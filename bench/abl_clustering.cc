@@ -1,0 +1,74 @@
+// Ablation (DESIGN.md §4): what does TRIC's trie *clustering* actually buy?
+// Runs TRIC and TRIC+ against variants with prefix sharing disabled (every
+// covering path gets private trie nodes and views) and with the covering-
+// path decomposition replaced by one path per edge. The gaps isolate the
+// contributions of §4.1 Step 1 (path covering) and Step 2 (trie sharing).
+
+#include "bench/harness.h"
+
+#include "tric/tric_engine.h"
+
+namespace {
+
+using namespace gstream;
+using namespace gstream::bench;
+
+CellResult RunVariant(const tric::TricEngine::Options& options,
+                      const std::vector<QueryPattern>& queries,
+                      const UpdateStream& stream, double budget_seconds) {
+  CellResult cell;
+  tric::TricEngine engine(options);
+  cell.index_stats = IndexQueries(engine, queries);
+  RunConfig config;
+  config.budget_seconds = budget_seconds;
+  RunStats stats = RunStream(engine, stream, config);
+  cell.ms_per_update = stats.MsecPerUpdate();
+  cell.partial = stats.timed_out;
+  cell.memory_bytes = stats.memory_bytes;
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchOptions opts = BenchOptions::FromArgs(argc, argv);
+  PrintHeader("Ablation", "TRIC design choices: trie sharing and path covering",
+              opts);
+
+  const size_t edges = opts.Pick(8'000, 100'000);
+  const size_t num_queries = opts.Pick(500, 5000);
+  std::printf("dataset=snb  |GE|=%zu  |QDB|=%zu  l=5  sigma=25%%  o=35%%\n\n", edges,
+              num_queries);
+
+  workload::Workload w = MakeWorkload("snb", edges, opts.seed);
+  workload::QuerySet qs =
+      workload::GenerateQueries(w, BaselineQueryConfig(opts, num_queries));
+
+  struct Variant {
+    const char* label;
+    tric::TricEngine::Options options;
+  };
+  const Variant variants[] = {
+      {"TRIC", {false, true, false}},
+      {"TRIC-nocluster", {false, false, false}},
+      {"TRIC-peredge", {false, true, true}},
+      {"TRIC+", {true, true, false}},
+      {"TRIC+-nocluster", {true, false, false}},
+      {"TRIC+-peredge", {true, true, true}},
+  };
+
+  TextTable table({"variant", "ms/update", "index ms/query", "memory MB"});
+  for (const auto& v : variants) {
+    CellResult cell =
+        RunVariant(v.options, qs.queries, w.stream, opts.cell_budget_seconds * 3);
+    table.AddRow({v.label, FormatMs(cell.ms_per_update, cell.partial),
+                  TextTable::Num(cell.index_stats.MsecPerQuery(), 4),
+                  TextTable::Num(
+                      static_cast<double>(cell.memory_bytes) / (1024.0 * 1024.0), 1)});
+    std::printf("  %s done\n", v.label);
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  PrintTable(table, opts);
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Reproduces paper Fig. 12(a): query answering time vs graph size on the
+// SNB dataset, all seven algorithms.
+//
+// Paper configuration: |GE| = 10K..100K edges, |QDB| = 5K, l = 5, σ = 25%,
+// o = 35%. Expected shape: TRIC/TRIC+ lowest and nearly flat; INV slowest;
+// INC between INV and GraphDB; cached (+) variants faster than their bases.
+
+#include "bench/harness.h"
+
+int main(int argc, char** argv) {
+  using namespace gstream;
+  using namespace gstream::bench;
+  BenchOptions opts = BenchOptions::FromArgs(argc, argv);
+  RunGrowthFigure("Fig 12(a)", "SNB: answering time vs graph size (all engines)",
+                  "snb", opts.Pick(10'000, 100'000), 10, opts.Pick(2500, 5000),
+                  PaperEngineKinds(), opts);
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Reproduces paper Fig. 12(b): query answering time when varying the
+// selectivity σ (the fraction of the query set that is ultimately
+// satisfied) over 10%..30%, SNB, |GE| = 100K, |QDB| = 5K at paper scale.
+//
+// To isolate the σ effect from query-set variance, one query set is
+// generated at the highest σ and lower values are produced by *poisoning* a
+// random subset of its planted queries (swapping one literal for a phantom
+// entity that never appears in the stream) — structures stay fixed, only
+// satisfiability changes.
+
+#include <algorithm>
+
+#include "bench/harness.h"
+
+#include "common/rng.h"
+
+namespace {
+
+using namespace gstream;
+
+/// Returns `q` with one literal vertex replaced by a fresh phantom literal
+/// (or the first vertex literalized when the query has none).
+QueryPattern Poison(const QueryPattern& q, StringInterner& interner,
+                    uint64_t& phantom_counter) {
+  int victim = -1;
+  for (uint32_t v = 0; v < q.NumVertices(); ++v) {
+    if (!q.vertex(v).is_var) {
+      victim = static_cast<int>(v);
+      break;
+    }
+  }
+  if (victim < 0) victim = 0;
+  VertexId phantom =
+      interner.Intern("sweep_phantom_" + std::to_string(phantom_counter++));
+
+  QueryPattern out;
+  for (uint32_t v = 0; v < q.NumVertices(); ++v) {
+    if (static_cast<int>(v) == victim) {
+      out.AddLiteral(phantom);
+    } else if (q.vertex(v).is_var) {
+      out.AddVariable(q.vertex(v).var_name);
+    } else {
+      out.AddLiteral(q.vertex(v).literal);
+    }
+  }
+  for (uint32_t e = 0; e < q.NumEdges(); ++e)
+    out.AddEdge(q.edge(e).src, q.edge(e).label, q.edge(e).dst);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gstream::bench;
+  BenchOptions opts = BenchOptions::FromArgs(argc, argv);
+  PrintHeader("Fig 12(b)", "SNB: influence of selectivity sigma", opts);
+
+  const size_t edges = opts.Pick(6'000, 100'000);
+  const size_t num_queries = opts.Pick(400, 5000);
+  const double sigmas[] = {0.10, 0.15, 0.20, 0.25, 0.30};
+  std::printf("dataset=snb  |GE|=%zu  |QDB|=%zu  l=5  o=35%%\n\n", edges, num_queries);
+
+  workload::Workload w = MakeWorkload("snb", edges, opts.seed);
+  workload::QueryGenConfig qc = BaselineQueryConfig(opts, num_queries);
+  qc.selectivity = sigmas[4];  // generate once at the top of the sweep
+  workload::QuerySet base = workload::GenerateQueries(w, qc);
+
+  std::vector<size_t> planted_idx;
+  for (size_t i = 0; i < base.queries.size(); ++i)
+    if (base.planted[i]) planted_idx.push_back(i);
+  Rng shuffle_rng(opts.seed * 7 + 3);
+  std::shuffle(planted_idx.begin(), planted_idx.end(), shuffle_rng.engine());
+
+  std::vector<std::string> header{"sigma"};
+  for (EngineKind kind : PaperEngineKinds()) header.emplace_back(EngineKindName(kind));
+  TextTable table(std::move(header));
+
+  uint64_t phantom_counter = 0;
+  for (double sigma : sigmas) {
+    // Keep the first sigma*|QDB| planted queries; poison the rest.
+    const size_t keep = static_cast<size_t>(
+        sigma * static_cast<double>(num_queries) + 0.5);
+    std::vector<QueryPattern> queries;
+    queries.reserve(base.queries.size());
+    std::vector<bool> poison(base.queries.size(), false);
+    for (size_t k = keep; k < planted_idx.size(); ++k) poison[planted_idx[k]] = true;
+    for (size_t i = 0; i < base.queries.size(); ++i) {
+      queries.push_back(poison[i] ? Poison(base.queries[i], *w.interner, phantom_counter)
+                                  : base.queries[i]);
+    }
+
+    std::vector<std::string> row{TextTable::Num(sigma * 100, 0) + "%"};
+    for (EngineKind kind : PaperEngineKinds()) {
+      CellResult cell = RunCell(kind, queries, w.stream, opts.cell_budget_seconds);
+      row.push_back(FormatMs(cell.ms_per_update, cell.partial));
+    }
+    table.AddRow(std::move(row));
+    std::printf("  sigma=%.0f%% done\n", sigma * 100);
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  PrintTable(table, opts);
+  return 0;
+}

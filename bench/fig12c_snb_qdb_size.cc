@@ -1,0 +1,46 @@
+// Reproduces paper Fig. 12(c): query answering time when varying the query
+// database size |QDB| (1K, 3K, 5K at paper scale; the paper's y-axis is
+// logarithmic). TRIC's trie clustering amortizes growth in |QDB|; the
+// per-query baselines degrade roughly linearly.
+
+#include "bench/harness.h"
+
+int main(int argc, char** argv) {
+  using namespace gstream;
+  using namespace gstream::bench;
+  BenchOptions opts = BenchOptions::FromArgs(argc, argv);
+  PrintHeader("Fig 12(c)", "SNB: influence of query database size |QDB|", opts);
+
+  const size_t edges = opts.Pick(6'000, 100'000);
+  const size_t sizes_quick[] = {100, 300, 500};
+  const size_t sizes_paper[] = {1000, 3000, 5000};
+  std::printf("dataset=snb  |GE|=%zu  l=5  sigma=25%%  o=35%%\n\n", edges);
+
+  workload::Workload w = MakeWorkload("snb", edges, opts.seed);
+
+  std::vector<std::string> header{"|QDB|"};
+  for (EngineKind kind : PaperEngineKinds()) header.emplace_back(EngineKindName(kind));
+  TextTable table(std::move(header));
+
+  // One query set at the largest size; smaller cells use nested prefixes so
+  // the sweep isolates |QDB| from query-set variance.
+  const size_t max_qdb = opts.full ? sizes_paper[2] : sizes_quick[2];
+  workload::QuerySet qs =
+      workload::GenerateQueries(w, BaselineQueryConfig(opts, max_qdb));
+
+  for (int i = 0; i < 3; ++i) {
+    const size_t qdb = opts.full ? sizes_paper[i] : sizes_quick[i];
+    std::vector<QueryPattern> slice(qs.queries.begin(), qs.queries.begin() + qdb);
+    std::vector<std::string> row{std::to_string(qdb)};
+    for (EngineKind kind : PaperEngineKinds()) {
+      CellResult cell = RunCell(kind, slice, w.stream, opts.cell_budget_seconds);
+      row.push_back(FormatMs(cell.ms_per_update, cell.partial));
+    }
+    table.AddRow(std::move(row));
+    std::printf("  |QDB|=%zu done\n", qdb);
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  PrintTable(table, opts);
+  return 0;
+}

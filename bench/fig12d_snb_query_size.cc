@@ -1,0 +1,43 @@
+// Reproduces paper Fig. 12(d): query answering time when varying the
+// average query size l over {3, 5, 7, 9} edges per pattern. Longer queries
+// mean longer covering paths and deeper joins; the paper reports every
+// engine slowing with l, the baselines dramatically so.
+
+#include "bench/harness.h"
+
+int main(int argc, char** argv) {
+  using namespace gstream;
+  using namespace gstream::bench;
+  BenchOptions opts = BenchOptions::FromArgs(argc, argv);
+  PrintHeader("Fig 12(d)", "SNB: influence of average query size l", opts);
+
+  const size_t edges = opts.Pick(6'000, 100'000);
+  const size_t num_queries = opts.Pick(400, 5000);
+  const double sizes[] = {3, 5, 7, 9};
+  std::printf("dataset=snb  |GE|=%zu  |QDB|=%zu  sigma=25%%  o=35%%\n\n", edges,
+              num_queries);
+
+  workload::Workload w = MakeWorkload("snb", edges, opts.seed);
+
+  std::vector<std::string> header{"l"};
+  for (EngineKind kind : PaperEngineKinds()) header.emplace_back(EngineKindName(kind));
+  TextTable table(std::move(header));
+
+  for (double l : sizes) {
+    workload::QueryGenConfig qc = BaselineQueryConfig(opts, num_queries);
+    qc.avg_size = l;
+    workload::QuerySet qs = workload::GenerateQueries(w, qc);
+    std::vector<std::string> row{TextTable::Num(l, 0)};
+    for (EngineKind kind : PaperEngineKinds()) {
+      CellResult cell =
+          RunCell(kind, qs.queries, w.stream, opts.cell_budget_seconds);
+      row.push_back(FormatMs(cell.ms_per_update, cell.partial));
+    }
+    table.AddRow(std::move(row));
+    std::printf("  l=%.0f done\n", l);
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  PrintTable(table, opts);
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Reproduces paper Fig. 12(e): query answering time when varying the query
+// overlap o over 25%..65%. More shared sub-patterns let TRIC cluster more
+// covering paths into shared trie prefixes, so its curve should flatten or
+// drop with o while the no-sharing baselines barely benefit.
+
+#include "bench/harness.h"
+
+int main(int argc, char** argv) {
+  using namespace gstream;
+  using namespace gstream::bench;
+  BenchOptions opts = BenchOptions::FromArgs(argc, argv);
+  PrintHeader("Fig 12(e)", "SNB: influence of query overlap o", opts);
+
+  const size_t edges = opts.Pick(6'000, 100'000);
+  const size_t num_queries = opts.Pick(400, 5000);
+  const double overlaps[] = {0.25, 0.35, 0.45, 0.55, 0.65};
+  std::printf("dataset=snb  |GE|=%zu  |QDB|=%zu  l=5  sigma=25%%\n\n", edges,
+              num_queries);
+
+  workload::Workload w = MakeWorkload("snb", edges, opts.seed);
+
+  std::vector<std::string> header{"o"};
+  for (EngineKind kind : PaperEngineKinds()) header.emplace_back(EngineKindName(kind));
+  TextTable table(std::move(header));
+
+  for (double o : overlaps) {
+    workload::QueryGenConfig qc = BaselineQueryConfig(opts, num_queries);
+    qc.overlap = o;
+    workload::QuerySet qs = workload::GenerateQueries(w, qc);
+    std::vector<std::string> row{TextTable::Num(o * 100, 0) + "%"};
+    for (EngineKind kind : PaperEngineKinds()) {
+      CellResult cell =
+          RunCell(kind, qs.queries, w.stream, opts.cell_budget_seconds);
+      row.push_back(FormatMs(cell.ms_per_update, cell.partial));
+    }
+    table.AddRow(std::move(row));
+    std::printf("  o=%.0f%% done\n", o * 100);
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  PrintTable(table, opts);
+  return 0;
+}

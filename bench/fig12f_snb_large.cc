@@ -1,0 +1,16 @@
+// Reproduces paper Fig. 12(f): large-graph SNB run (100K..1M edges at paper
+// scale). The paper reports INV/INV+ timing out at |GE| ≈ 210K and INC/INC+
+// at ≈ 310K (asterisks); the same asterisks appear here at quick scale when
+// an engine exhausts its budget.
+
+#include "bench/harness.h"
+
+int main(int argc, char** argv) {
+  using namespace gstream;
+  using namespace gstream::bench;
+  BenchOptions opts = BenchOptions::FromArgs(argc, argv);
+  RunGrowthFigure("Fig 12(f)", "SNB large: inverted-index baselines time out",
+                  "snb", opts.Pick(40'000, 1'000'000), 10, opts.Pick(2500, 5000),
+                  PaperEngineKinds(), opts);
+  return 0;
+}

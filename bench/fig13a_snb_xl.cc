@@ -1,0 +1,16 @@
+// Reproduces paper Fig. 13(a): XL SNB run (1M..10M edges at paper scale),
+// survivors only — TRIC, TRIC+ and the graph database. The paper reports
+// TRIC timing out at |GE| ≈ 5.47M and Neo4j at ≈ 4.3M while TRIC+ finishes.
+
+#include "bench/harness.h"
+
+int main(int argc, char** argv) {
+  using namespace gstream;
+  using namespace gstream::bench;
+  BenchOptions opts = BenchOptions::FromArgs(argc, argv);
+  RunGrowthFigure(
+      "Fig 13(a)", "SNB XL: TRIC vs TRIC+ vs GraphDB at scale", "snb",
+      opts.Pick(100'000, 10'000'000), 10, opts.Pick(2500, 5000),
+      {EngineKind::kTric, EngineKind::kTricPlus, EngineKind::kGraphDb}, opts);
+  return 0;
+}

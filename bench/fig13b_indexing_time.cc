@@ -1,0 +1,48 @@
+// Reproduces paper Fig. 13(b): query indexing time in msec per query when
+// inserting successive 1K-query batches into a growing query database
+// (1K..5K at paper scale; the paper's y-axis is logarithmic). The first
+// batch is slower for every engine (cold data structures); later batches
+// benefit from already-present shared entries.
+
+#include "bench/harness.h"
+
+#include "common/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace gstream;
+  using namespace gstream::bench;
+  BenchOptions opts = BenchOptions::FromArgs(argc, argv);
+  PrintHeader("Fig 13(b)", "SNB: query indexing time per batch", opts);
+
+  const size_t edges = opts.Pick(6'000, 100'000);
+  const size_t batch = opts.Pick(200, 1000);
+  const size_t num_batches = 5;
+  std::printf("dataset=snb  |GE|=%zu  batch=%zu queries x %zu batches\n\n", edges,
+              batch, num_batches);
+
+  workload::Workload w = MakeWorkload("snb", edges, opts.seed);
+  workload::QuerySet qs =
+      workload::GenerateQueries(w, BaselineQueryConfig(opts, batch * num_batches));
+
+  std::vector<std::string> header{"|QDB| after batch"};
+  for (EngineKind kind : PaperEngineKinds()) header.emplace_back(EngineKindName(kind));
+  TextTable table(std::move(header));
+
+  // One engine instance per algorithm; batches stream into the same engine
+  // so clustering effects across batches are visible.
+  std::vector<std::unique_ptr<ContinuousEngine>> engines;
+  for (EngineKind kind : PaperEngineKinds()) engines.push_back(CreateEngine(kind));
+
+  for (size_t b = 0; b < num_batches; ++b) {
+    std::vector<std::string> row{std::to_string((b + 1) * batch)};
+    for (auto& engine : engines) {
+      WallTimer timer;
+      for (size_t i = b * batch; i < (b + 1) * batch; ++i)
+        engine->AddQuery(static_cast<QueryId>(i), qs.queries[i]);
+      row.push_back(TextTable::Num(timer.ElapsedMillis() / batch, 4));
+    }
+    table.AddRow(std::move(row));
+  }
+  PrintTable(table, opts);
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Reproduces paper Fig. 13(c): memory requirements (MB) of every algorithm
+// after indexing the query set and processing the stream, for all three
+// datasets. Expected shape: base algorithms lowest; the "+" (caching)
+// variants slightly higher; the graph database — which retains the whole
+// graph — highest.
+
+#include "bench/harness.h"
+
+int main(int argc, char** argv) {
+  using namespace gstream;
+  using namespace gstream::bench;
+  BenchOptions opts = BenchOptions::FromArgs(argc, argv);
+  PrintHeader("Fig 13(c)", "Memory requirements per algorithm and dataset", opts);
+
+  const size_t edges = opts.Pick(5'000, 100'000);
+  const size_t num_queries = opts.Pick(300, 5000);
+  const double budget = opts.full ? opts.budget_seconds : 10.0;
+  const char* datasets[] = {"snb", "taxi", "bio"};
+  std::printf("|GE|=%zu  |QDB|=%zu  l=5  sigma=25%%  o=35%%\n", edges, num_queries);
+  std::printf("cells: MB after the run; '*' = stream not finished in budget\n\n");
+
+  std::vector<std::string> header{"algorithm", "SNB", "TAXI", "BioGRID"};
+  TextTable table(std::move(header));
+
+  std::vector<std::vector<std::string>> cells(
+      PaperEngineKinds().size(), std::vector<std::string>(3));
+  for (int d = 0; d < 3; ++d) {
+    workload::Workload w = MakeWorkload(datasets[d], edges, opts.seed);
+    workload::QuerySet qs =
+        workload::GenerateQueries(w, BaselineQueryConfig(opts, num_queries));
+    size_t e = 0;
+    for (EngineKind kind : PaperEngineKinds()) {
+      CellResult cell = RunCell(kind, qs.queries, w.stream, budget);
+      double mb = static_cast<double>(cell.memory_bytes) / (1024.0 * 1024.0);
+      cells[e][d] = TextTable::Num(mb, 1) + "MB" + (cell.partial ? "*" : "");
+      ++e;
+    }
+    std::printf("  %s done\n", datasets[d]);
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  size_t e = 0;
+  for (EngineKind kind : PaperEngineKinds()) {
+    table.AddRow({EngineKindName(kind), cells[e][0], cells[e][1], cells[e][2]});
+    ++e;
+  }
+  PrintTable(table, opts);
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Reproduces paper Fig. 14(a): the NYC TAXI dataset (100K..1M edges at paper
+// scale), all seven algorithms. Paper: INV/INV+ time out at ≈ 210K/300K
+// edges, INC/INC+ at ≈ 220K/360K; TRIC improves on the graph database by
+// ≈ 60% and TRIC+ by ≈ 82%.
+
+#include "bench/harness.h"
+
+int main(int argc, char** argv) {
+  using namespace gstream;
+  using namespace gstream::bench;
+  BenchOptions opts = BenchOptions::FromArgs(argc, argv);
+  RunGrowthFigure("Fig 14(a)", "TAXI: answering time vs graph size (all engines)",
+                  "taxi", opts.Pick(20'000, 1'000'000), 10, opts.Pick(2500, 5000),
+                  PaperEngineKinds(), opts);
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Reproduces paper Fig. 14(b): the BioGRID stress test (10K..100K edges at
+// paper scale). One vertex class and one edge label mean every update
+// affects the whole query database; the paper reports INV/INV+/INC timing
+// out at ≈ 50K edges and INC+ at ≈ 60K while TRIC/TRIC+ survive.
+
+#include "bench/harness.h"
+
+int main(int argc, char** argv) {
+  using namespace gstream;
+  using namespace gstream::bench;
+  BenchOptions opts = BenchOptions::FromArgs(argc, argv);
+  RunGrowthFigure("Fig 14(b)", "BioGRID stress: every update affects all queries",
+                  "bio", opts.Pick(4'000, 100'000), 10, opts.Pick(1000, 5000),
+                  PaperEngineKinds(), opts);
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Reproduces paper Fig. 14(c): BioGRID at 100K..1M edges, survivors only —
+// TRIC, TRIC+ and the graph database. Paper: Neo4j times out at ≈ 550K
+// edges; TRIC/TRIC+ finish the full stream.
+
+#include "bench/harness.h"
+
+int main(int argc, char** argv) {
+  using namespace gstream;
+  using namespace gstream::bench;
+  BenchOptions opts = BenchOptions::FromArgs(argc, argv);
+  RunGrowthFigure(
+      "Fig 14(c)", "BioGRID large: TRIC vs TRIC+ vs GraphDB", "bio",
+      opts.Pick(30'000, 1'000'000), 10, opts.Pick(1000, 5000),
+      {EngineKind::kTric, EngineKind::kTricPlus, EngineKind::kGraphDb}, opts);
+  return 0;
+}

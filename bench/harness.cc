@@ -1,0 +1,193 @@
+#include "bench/harness.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/timer.h"
+#include "workload/bio.h"
+#include "workload/snb.h"
+#include "workload/taxi.h"
+
+namespace gstream {
+namespace bench {
+
+BenchOptions BenchOptions::FromArgs(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  BenchOptions opts;
+  opts.full = flags.GetBool("full", false);
+  opts.budget_seconds =
+      flags.GetDouble("budget-sec", opts.full ? 86400.0 : 8.0);
+  opts.cell_budget_seconds =
+      flags.GetDouble("cell-budget-sec", opts.full ? 86400.0 : 2.0);
+  opts.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  opts.csv = flags.GetBool("csv", false);
+  return opts;
+}
+
+GrowthSeries RunGrowthSeries(EngineKind kind,
+                             const std::vector<QueryPattern>& queries,
+                             const UpdateStream& stream,
+                             const std::vector<size_t>& checkpoints,
+                             double budget_seconds) {
+  GrowthSeries series;
+  series.kind = kind;
+  series.segment_ms.assign(checkpoints.size(), std::nan(""));
+  series.partial.assign(checkpoints.size(), false);
+
+  auto engine = CreateEngine(kind);
+  series.index_stats = IndexQueries(*engine, queries);
+
+  Budget budget;
+  budget.SetDeadlineAfter(budget_seconds);
+  engine->set_budget(&budget);
+
+  size_t pos = 0;
+  bool dead = false;
+  WallTimer total;
+  for (size_t seg = 0; seg < checkpoints.size() && !dead; ++seg) {
+    const size_t seg_end = checkpoints[seg];
+    const size_t seg_begin = pos;
+    WallTimer seg_timer;
+    while (pos < seg_end) {
+      UpdateResult result = engine->ApplyUpdate(stream[pos]);
+      ++pos;
+      series.new_embeddings += result.new_embeddings;
+      if (result.timed_out || budget.ExceededNow()) {
+        dead = true;
+        break;
+      }
+    }
+    const size_t processed = pos - seg_begin;
+    if (processed > 0) {
+      series.segment_ms[seg] = seg_timer.ElapsedMillis() / processed;
+      series.partial[seg] = dead && pos < seg_end;
+    }
+  }
+  series.updates_applied = pos;
+  series.memory_bytes = engine->MemoryBytes();
+  return series;
+}
+
+CellResult RunCell(EngineKind kind, const std::vector<QueryPattern>& queries,
+                   const UpdateStream& stream, double budget_seconds) {
+  CellResult cell;
+  auto engine = CreateEngine(kind);
+  cell.index_stats = IndexQueries(*engine, queries);
+  RunConfig config;
+  config.budget_seconds = budget_seconds;
+  RunStats stats = RunStream(*engine, stream, config);
+  cell.ms_per_update = stats.MsecPerUpdate();
+  cell.partial = stats.timed_out;
+  cell.updates_applied = stats.updates_applied;
+  cell.memory_bytes = stats.memory_bytes;
+  cell.new_embeddings = stats.new_embeddings;
+  cell.queries_satisfied = stats.queries_satisfied;
+  return cell;
+}
+
+std::string FormatMs(double ms, bool partial) {
+  if (std::isnan(ms)) return "*";
+  std::string s = TextTable::Num(ms, 3);
+  if (partial) s += "*";
+  return s;
+}
+
+std::vector<size_t> EvenCheckpoints(size_t total, size_t n) {
+  std::vector<size_t> cp;
+  cp.reserve(n);
+  for (size_t i = 1; i <= n; ++i) cp.push_back(total * i / n);
+  return cp;
+}
+
+void PrintHeader(const std::string& figure, const std::string& caption,
+                 const BenchOptions& opts) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), caption.c_str());
+  std::printf("mode=%s  budget=%.1fs/engine-series  seed=%llu\n",
+              opts.full ? "FULL (paper scale)" : "QUICK (laptop scale)",
+              opts.budget_seconds, static_cast<unsigned long long>(opts.seed));
+  std::printf("cells marked '*' exceeded the time budget (paper's timeout marker);\n");
+  std::printf("a value with '*' is the average over the prefix processed.\n");
+  std::printf("==============================================================\n");
+}
+
+void PrintTable(const TextTable& table, const BenchOptions& opts) {
+  std::printf("%s\n", table.ToString().c_str());
+  if (opts.csv) std::printf("CSV:\n%s\n", table.ToCsv().c_str());
+  std::fflush(stdout);
+}
+
+workload::Workload MakeWorkload(const std::string& dataset, size_t num_updates,
+                                uint64_t seed) {
+  if (dataset == "snb") {
+    workload::SnbConfig c;
+    c.num_updates = num_updates;
+    c.seed = seed;
+    return workload::GenerateSnb(c);
+  }
+  if (dataset == "taxi") {
+    workload::TaxiConfig c;
+    c.num_updates = num_updates;
+    c.seed = seed;
+    return workload::GenerateTaxi(c);
+  }
+  workload::BioConfig c;
+  c.num_updates = num_updates;
+  c.seed = seed;
+  return workload::GenerateBio(c);
+}
+
+workload::QueryGenConfig BaselineQueryConfig(const BenchOptions& opts,
+                                             size_t num_queries) {
+  workload::QueryGenConfig qc;
+  qc.num_queries = num_queries;
+  qc.avg_size = 5.0;        // paper baseline l = 5
+  qc.selectivity = 0.25;    // σ = 25%
+  qc.overlap = 0.35;        // o = 35%
+  qc.seed = opts.seed * 1315423911ull + 17;
+  return qc;
+}
+
+void RunGrowthFigure(const std::string& figure, const std::string& caption,
+                     const std::string& dataset, size_t total_updates,
+                     size_t num_segments, size_t num_queries,
+                     const std::vector<EngineKind>& kinds, const BenchOptions& opts) {
+  PrintHeader(figure, caption, opts);
+  std::printf("dataset=%s  |GE|=%zu  |QDB|=%zu  l=5  sigma=25%%  o=35%%\n\n",
+              dataset.c_str(), total_updates, num_queries);
+
+  workload::Workload w = MakeWorkload(dataset, total_updates, opts.seed);
+  workload::QuerySet qs =
+      workload::GenerateQueries(w, BaselineQueryConfig(opts, num_queries));
+  const std::vector<size_t> checkpoints = EvenCheckpoints(total_updates, num_segments);
+
+  std::vector<GrowthSeries> all;
+  for (EngineKind kind : kinds) {
+    std::printf("  running %-8s ...", EngineKindName(kind));
+    std::fflush(stdout);
+    GrowthSeries s =
+        RunGrowthSeries(kind, qs.queries, w.stream, checkpoints, opts.budget_seconds);
+    std::printf(" %zu/%zu updates, %.1f MB, %llu new embeddings\n",
+                s.updates_applied, total_updates,
+                static_cast<double>(s.memory_bytes) / (1024.0 * 1024.0),
+                static_cast<unsigned long long>(s.new_embeddings));
+    all.push_back(std::move(s));
+  }
+  std::printf("\n");
+
+  std::vector<std::string> header{"edges", "vertices"};
+  for (EngineKind kind : kinds) header.emplace_back(EngineKindName(kind));
+  TextTable table(std::move(header));
+  for (size_t seg = 0; seg < checkpoints.size(); ++seg) {
+    std::vector<std::string> row;
+    row.push_back(std::to_string(checkpoints[seg]));
+    row.push_back(std::to_string(w.stream.CountVertices(checkpoints[seg])));
+    for (const auto& s : all)
+      row.push_back(FormatMs(s.segment_ms[seg], s.partial[seg]));
+    table.AddRow(std::move(row));
+  }
+  PrintTable(table, opts);
+}
+
+}  // namespace bench
+}  // namespace gstream

@@ -1,0 +1,85 @@
+// Micro-benchmarks of the graph-database substrate: store throughput and
+// the backtracking subgraph matcher (the Neo4j-substitute's hot paths).
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "graphdb/executor.h"
+#include "graphdb/store.h"
+#include "query/parser.h"
+
+namespace {
+
+using namespace gstream;
+
+void FillStore(graphdb::GraphStore& store, size_t n, uint64_t seed) {
+  Rng rng(seed);
+  const size_t universe = n / 4 + 8;
+  size_t added = 0;
+  while (added < n) {
+    if (store.AddEdge(static_cast<VertexId>(rng.Next(universe)), 0,
+                      static_cast<VertexId>(rng.Next(universe))))
+      ++added;
+  }
+}
+
+void BM_StoreAddEdge(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    graphdb::GraphStore store;
+    state.ResumeTiming();
+    for (uint32_t i = 0; i < 1000; ++i) store.AddEdge(i % 257, i % 5, i % 131);
+    benchmark::DoNotOptimize(store.NumEdges());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_StoreAddEdge);
+
+void BM_CountChain2(benchmark::State& state) {
+  graphdb::GraphStore store;
+  FillStore(store, static_cast<size_t>(state.range(0)), 2);
+  StringInterner in;
+  in.Intern("r");  // label 0
+  auto r = ParsePattern("(?x)-[r]->(?y); (?y)-[r]->(?z)", in);
+  auto plan = graphdb::PlanQuery(r.pattern);
+  graphdb::MatchExecutor exec(&store);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(exec.CountMatches(r.pattern, plan));
+}
+BENCHMARK(BM_CountChain2)->Range(1 << 8, 1 << 12);
+
+void BM_CountTriangles(benchmark::State& state) {
+  graphdb::GraphStore store;
+  FillStore(store, static_cast<size_t>(state.range(0)), 3);
+  StringInterner in;
+  in.Intern("r");
+  auto r = ParsePattern("(?x)-[r]->(?y); (?y)-[r]->(?z); (?z)-[r]->(?x)", in);
+  auto plan = graphdb::PlanQuery(r.pattern);
+  graphdb::MatchExecutor exec(&store);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(exec.CountMatches(r.pattern, plan));
+}
+BENCHMARK(BM_CountTriangles)->Range(1 << 8, 1 << 12);
+
+void BM_CountWithLiteralAnchor(benchmark::State& state) {
+  graphdb::GraphStore store;
+  FillStore(store, static_cast<size_t>(state.range(0)), 4);
+  StringInterner in;
+  in.Intern("r");
+  // Vertex ids are numeric strings of the universe; anchor on one of them.
+  auto r = ParsePattern("(?x)-[r]->(?y)", in);
+  QueryPattern anchored;
+  uint32_t x = anchored.AddVariable();
+  uint32_t lit = anchored.AddLiteral(3);
+  anchored.AddEdge(x, in.Find("r"), lit);
+  auto plan = graphdb::PlanQuery(anchored);
+  graphdb::MatchExecutor exec(&store);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(exec.CountMatches(anchored, plan));
+}
+BENCHMARK(BM_CountWithLiteralAnchor)->Range(1 << 8, 1 << 12);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Micro-benchmarks of the TRIC index structures: covering-path extraction,
+// trie insertion (the indexing phase of Fig. 5) and update routing.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "query/parser.h"
+#include "query/path_cover.h"
+#include "tric/tric_engine.h"
+#include "workload/query_gen.h"
+#include "workload/snb.h"
+
+namespace {
+
+using namespace gstream;
+
+workload::QuerySet SnbQueries(size_t n, workload::Workload& w) {
+  workload::SnbConfig sc;
+  sc.num_updates = 20'000;
+  w = workload::GenerateSnb(sc);
+  workload::QueryGenConfig qc;
+  qc.num_queries = n;
+  return workload::GenerateQueries(w, qc);
+}
+
+void BM_ExtractCoveringPaths(benchmark::State& state) {
+  StringInterner in;
+  auto r = ParsePattern(
+      "(?f1)-[hasMod]->(?p1); (?p1)-[posted]->(pst1);"
+      "(?p1)-[posted]->(pst2); (?com)-[reply]->(pst2);"
+      "(pst1)-[containedIn]->(?f2)",
+      in);
+  for (auto _ : state) {
+    auto paths = ExtractCoveringPaths(r.pattern);
+    benchmark::DoNotOptimize(paths.size());
+  }
+}
+BENCHMARK(BM_ExtractCoveringPaths);
+
+void BM_TricIndexQueries(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  workload::Workload w;
+  workload::QuerySet qs = SnbQueries(n, w);
+  for (auto _ : state) {
+    tric::TricEngine engine(false);
+    for (QueryId q = 0; q < qs.queries.size(); ++q)
+      engine.AddQuery(q, qs.queries[q]);
+    benchmark::DoNotOptimize(engine.forest().NumNodes());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_TricIndexQueries)->Arg(100)->Arg(400)->Arg(1600);
+
+void BM_TricAnswerUpdates(benchmark::State& state) {
+  workload::Workload w;
+  workload::QuerySet qs = SnbQueries(300, w);
+  tric::TricEngine engine(true);
+  for (QueryId q = 0; q < qs.queries.size(); ++q) engine.AddQuery(q, qs.queries[q]);
+  size_t pos = 0;
+  for (auto _ : state) {
+    auto result = engine.ApplyUpdate(w.stream[pos]);
+    benchmark::DoNotOptimize(result.new_embeddings);
+    pos = (pos + 1) % w.stream.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TricAnswerUpdates);
+
+}  // namespace
+
+BENCHMARK_MAIN();

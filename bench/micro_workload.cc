@@ -1,0 +1,64 @@
+// Micro-benchmarks of the workload generators: stream and query-set
+// generation throughput (they gate the figure benches' setup time).
+
+#include <benchmark/benchmark.h>
+
+#include "workload/bio.h"
+#include "workload/query_gen.h"
+#include "workload/snb.h"
+#include "workload/taxi.h"
+
+namespace {
+
+using namespace gstream;
+
+void BM_GenerateSnb(benchmark::State& state) {
+  workload::SnbConfig c;
+  c.num_updates = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto w = workload::GenerateSnb(c);
+    benchmark::DoNotOptimize(w.stream.size());
+  }
+  state.SetItemsProcessed(state.iterations() * c.num_updates);
+}
+BENCHMARK(BM_GenerateSnb)->Arg(10'000)->Arg(100'000);
+
+void BM_GenerateTaxi(benchmark::State& state) {
+  workload::TaxiConfig c;
+  c.num_updates = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto w = workload::GenerateTaxi(c);
+    benchmark::DoNotOptimize(w.stream.size());
+  }
+  state.SetItemsProcessed(state.iterations() * c.num_updates);
+}
+BENCHMARK(BM_GenerateTaxi)->Arg(10'000)->Arg(100'000);
+
+void BM_GenerateBio(benchmark::State& state) {
+  workload::BioConfig c;
+  c.num_updates = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto w = workload::GenerateBio(c);
+    benchmark::DoNotOptimize(w.stream.size());
+  }
+  state.SetItemsProcessed(state.iterations() * c.num_updates);
+}
+BENCHMARK(BM_GenerateBio)->Arg(10'000)->Arg(100'000);
+
+void BM_GenerateQueries(benchmark::State& state) {
+  workload::SnbConfig sc;
+  sc.num_updates = 20'000;
+  auto w = workload::GenerateSnb(sc);
+  workload::QueryGenConfig qc;
+  qc.num_queries = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto qs = workload::GenerateQueries(w, qc);
+    benchmark::DoNotOptimize(qs.queries.size());
+  }
+  state.SetItemsProcessed(state.iterations() * qc.num_queries);
+}
+BENCHMARK(BM_GenerateQueries)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// Property-graph constraints (paper §4.3 extension): continuous fraud
+// watches that combine structural patterns with vertex-attribute predicates
+// — young accounts moving large sums through shared counterparties.
+//
+//   build/examples/fraud_watch
+
+#include <cstdio>
+#include <memory>
+
+#include "common/interning.h"
+#include "engine/engine.h"
+#include "graph/properties.h"
+#include "query/parser.h"
+
+using namespace gstream;
+
+int main() {
+  StringInterner interner;
+  PropertyStore props;
+  auto engine = CreateEngine(EngineKind::kTricPlus);
+  engine->set_property_store(&props);
+
+  // Vertex attributes: account age in days, risk score 0-100.
+  LabelId age_days = interner.Intern("ageDays");
+  LabelId risk = interner.Intern("risk");
+  auto account = [&](const char* name, int64_t age, int64_t r) {
+    VertexId v = interner.Intern(name);
+    props.Set(v, age_days, age);
+    props.Set(v, risk, r);
+    return v;
+  };
+  account("acct_old", 2100, 5);
+  account("acct_fresh1", 3, 60);
+  account("acct_fresh2", 7, 75);
+  account("mule", 14, 90);
+
+  // Watch 1: a fresh account (younger than 30 days) pays into any account
+  // that also receives from a high-risk account.
+  ParseResult w1 = ParsePattern(
+      "(?fresh {ageDays<30})-[pays]->(?sink);"
+      "(?risky {risk>=70})-[pays]->(?sink)",
+      interner);
+  // Watch 2: circular flow between two young accounts.
+  ParseResult w2 = ParsePattern(
+      "(?a {ageDays<30})-[pays]->(?b {ageDays<30}); (?b)-[pays]->(?a)", interner);
+  if (!w1.ok || !w2.ok) {
+    std::fprintf(stderr, "parse error: %s%s\n", w1.error.c_str(), w2.error.c_str());
+    return 1;
+  }
+  engine->AddQuery(1, w1.pattern);
+  engine->AddQuery(2, w2.pattern);
+
+  auto pay = [&](const char* from, const char* to) {
+    UpdateResult r = engine->ApplyUpdate({interner.Intern(from), interner.Intern("pays"),
+                                          interner.Intern(to), UpdateOp::kAdd});
+    std::printf("%-12s pays %-12s :", from, to);
+    if (r.triggered.empty()) {
+      std::printf(" ok\n");
+    } else {
+      for (auto [qid, n] : r.per_query)
+        std::printf(" FRAUD-WATCH %u fired (%llu pattern(s))", qid,
+                    static_cast<unsigned long long>(n));
+      std::printf("\n");
+    }
+  };
+
+  // Normal traffic: old, low-risk accounts.
+  pay("acct_old", "acct_fresh1");
+
+  // Fresh account pays a sink; no risky co-payer yet.
+  pay("acct_fresh1", "acct_old");
+
+  // The mule (risk 90) pays into the same sink -> watch 1 fires.
+  pay("mule", "acct_old");
+
+  // Circular flow between two fresh accounts -> watch 2 fires on closure.
+  pay("acct_fresh1", "acct_fresh2");
+  pay("acct_fresh2", "acct_fresh1");
+
+  return 0;
+}

@@ -1,0 +1,108 @@
+#include "baseline/inc_engine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace gstream {
+namespace baseline {
+
+IncEngine::IncEngine(bool enable_cache)
+    : cache_(enable_cache ? std::make_unique<JoinCache>() : nullptr) {}
+
+UpdateResult IncEngine::ApplyUpdate(const EdgeUpdate& u) {
+  UpdateResult result;
+  if (u.op == UpdateOp::kDelete) {
+    // INC owns no per-query state beyond the shared views; retracting the
+    // tuple is the whole story (deletions trigger nothing).
+    result.changed = RemoveFromBaseViews(u);
+    return result;
+  }
+  if (IsDuplicateUpdate(u)) return result;
+  result.changed = true;
+
+  AppendToBaseViews(u);
+
+  for (QueryId qid : AffectedQueries(u)) {
+    if (BudgetExceeded()) {
+      result.timed_out = true;
+      return result;
+    }
+    QueryEntry& entry = queries_.at(qid);
+    const QueryPattern& q = entry.pattern;
+    if (!AllViewsNonEmpty(entry)) continue;
+
+    const size_t num_paths = entry.paths.size();
+    size_t transient_bytes = 0;
+
+    // Which covering paths does the update touch?
+    std::vector<bool> touched(num_paths, false);
+    bool any_touched = false;
+    for (size_t pi = 0; pi < num_paths; ++pi) {
+      for (const auto& pattern : entry.signatures[pi]) {
+        if (pattern.Matches(u)) {
+          touched[pi] = true;
+          any_touched = true;
+          break;
+        }
+      }
+    }
+    if (!any_touched) continue;
+
+    // Seeded deltas for touched paths; lazy INV-style recomputation for the
+    // rest (computed at most once per query per update).
+    std::vector<std::unique_ptr<Relation>> deltas(num_paths);
+    std::vector<std::unique_ptr<Relation>> fulls(num_paths);
+    bool infeasible = false;
+    for (size_t pi = 0; pi < num_paths && !infeasible; ++pi) {
+      if (!touched[pi]) continue;
+      deltas[pi] = MaterializePathDelta(entry, pi, u, cache_.get(), transient_bytes);
+    }
+    auto full_of = [&](size_t pi) -> Relation* {
+      if (fulls[pi] == nullptr)
+        fulls[pi] = MaterializeFullPath(entry, pi, cache_.get(), transient_bytes);
+      return fulls[pi].get();
+    };
+
+    // New assignments (over all query vertices), deduped across seed paths.
+    Relation assignments(static_cast<uint32_t>(q.NumVertices()));
+    for (size_t pi = 0; pi < num_paths && !infeasible; ++pi) {
+      if (!touched[pi] || deltas[pi] == nullptr || deltas[pi]->Empty()) continue;
+      OwnedBindings acc = PathRowsToBindings(AllRows(*deltas[pi]), entry.specs[pi]);
+      for (size_t pj = 0; pj < num_paths && !acc.Empty(); ++pj) {
+        if (pj == pi) continue;
+        Relation* other = full_of(pj);
+        if (other == nullptr) {  // empty path view => query unsatisfiable now
+          infeasible = true;
+          break;
+        }
+        OwnedBindings ob = PathRowsToBindings(AllRows(*other), entry.specs[pj]);
+        acc = JoinBindingRanges(acc.schema, acc.All(), ob.schema, ob.All());
+        if (BudgetExceeded()) {
+          result.timed_out = true;
+          return result;
+        }
+      }
+      if (infeasible || acc.Empty()) continue;
+
+      // Project onto canonical vertex order; dedup across seeds.
+      std::vector<uint32_t> perm(q.NumVertices());
+      for (uint32_t c = 0; c < acc.schema.size(); ++c) perm[acc.schema[c]] = c;
+      std::vector<VertexId> row(q.NumVertices());
+      for (size_t r = 0; r < acc.rows->NumRows(); ++r) {
+        const VertexId* src = acc.rows->Row(r);
+        for (uint32_t v = 0; v < q.NumVertices(); ++v) row[v] = src[perm[v]];
+        // §4.3 extra phase: property constraints on the full assignment.
+        if (!SatisfiesConstraints(q, row.data())) continue;
+        assignments.Append(row.data());
+      }
+    }
+
+    NotePeakTransient(transient_bytes + assignments.MemoryBytes());
+    result.AddQueryCount(qid, assignments.NumRows());
+  }
+  return result;
+}
+
+}  // namespace baseline
+}  // namespace gstream

@@ -1,0 +1,98 @@
+#include "baseline/inv_engine.h"
+
+#include "common/logging.h"
+
+namespace gstream {
+namespace baseline {
+
+InvEngine::InvEngine(bool enable_cache)
+    : cache_(enable_cache ? std::make_unique<JoinCache>() : nullptr) {}
+
+bool InvEngine::EvaluateQueryTotal(QueryEntry& entry, uint64_t& total) {
+  total = 0;
+  if (!AllViewsNonEmpty(entry)) return true;  // Step 1 candidate filter
+
+  // Steps 2+3: re-materialize every covering path from scratch.
+  size_t transient_bytes = 0;
+  std::vector<std::unique_ptr<Relation>> path_views;
+  for (size_t pi = 0; pi < entry.paths.size(); ++pi) {
+    auto view = MaterializeFullPath(entry, pi, cache_.get(), transient_bytes);
+    if (view == nullptr) {
+      NotePeakTransient(transient_bytes);
+      return !BudgetExceeded();
+    }
+    path_views.push_back(std::move(view));
+  }
+  NotePeakTransient(transient_bytes);
+
+  // Final join across paths on shared query vertices.
+  OwnedBindings acc = PathRowsToBindings(AllRows(*path_views[0]), entry.specs[0]);
+  for (size_t pi = 1; pi < entry.paths.size() && !acc.Empty(); ++pi) {
+    OwnedBindings other = PathRowsToBindings(AllRows(*path_views[pi]), entry.specs[pi]);
+    acc = JoinBindingRanges(acc.schema, acc.All(), other.schema, other.All());
+    if (BudgetExceeded()) return false;
+  }
+  if (acc.Empty()) return true;
+  if (!entry.pattern.HasConstraints()) {
+    total = acc.rows->NumRows();
+    return true;
+  }
+
+  // §4.3 extra phase: count only assignments passing property constraints.
+  const uint32_t num_vertices = static_cast<uint32_t>(entry.pattern.NumVertices());
+  std::vector<uint32_t> perm(num_vertices);
+  for (uint32_t c = 0; c < acc.schema.size(); ++c) perm[acc.schema[c]] = c;
+  std::vector<VertexId> row(num_vertices);
+  for (size_t r = 0; r < acc.rows->NumRows(); ++r) {
+    const VertexId* src = acc.rows->Row(r);
+    for (uint32_t v = 0; v < num_vertices; ++v) row[v] = src[perm[v]];
+    if (SatisfiesConstraints(entry.pattern, row.data())) ++total;
+  }
+  return true;
+}
+
+UpdateResult InvEngine::ApplyUpdate(const EdgeUpdate& u) {
+  UpdateResult result;
+  if (u.op == UpdateOp::kDelete) {
+    result.changed = RemoveFromBaseViews(u);
+    if (!result.changed) return result;
+    // Counts may have dropped; refresh the diff baseline of the affected
+    // queries (deletions cannot trigger notifications).
+    for (QueryId qid : AffectedQueries(u)) {
+      QueryEntry& entry = queries_.at(qid);
+      uint64_t total = 0;
+      if (!EvaluateQueryTotal(entry, total)) {
+        result.timed_out = true;
+        return result;
+      }
+      entry.last_count = total;
+    }
+    return result;
+  }
+
+  if (IsDuplicateUpdate(u)) return result;
+  result.changed = true;
+
+  AppendToBaseViews(u);
+
+  for (QueryId qid : AffectedQueries(u)) {
+    if (BudgetExceeded()) {
+      result.timed_out = true;
+      return result;
+    }
+    QueryEntry& entry = queries_.at(qid);
+    uint64_t total = 0;
+    if (!EvaluateQueryTotal(entry, total)) {
+      result.timed_out = true;
+      return result;
+    }
+    if (total == 0) continue;
+    GS_DCHECK(total >= entry.last_count);
+    result.AddQueryCount(qid, total - entry.last_count);
+    entry.last_count = total;
+  }
+  return result;
+}
+
+}  // namespace baseline
+}  // namespace gstream

@@ -1,0 +1,171 @@
+#include "baseline/inverted_common.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/mem_tracker.h"
+
+namespace gstream {
+namespace baseline {
+
+void InvertedIndexEngineBase::AddQuery(QueryId qid, const QueryPattern& q) {
+  GS_CHECK_MSG(q.IsValid(), "invalid query pattern");
+  GS_CHECK_MSG(queries_.count(qid) == 0, "duplicate query id");
+
+  QueryEntry entry;
+  entry.pattern = q;
+  entry.paths = ExtractCoveringPaths(q);
+  for (const auto& path : entry.paths) {
+    entry.signatures.push_back(GenericSignature(q, path));
+    entry.specs.push_back(PathBindingSpec::For(path.vertices));
+  }
+
+  // Inverted indexes; one entry per distinct pattern per query.
+  std::unordered_set<GenericEdgePattern, GenericEdgePatternHash> distinct;
+  for (uint32_t e = 0; e < q.NumEdges(); ++e) {
+    GenericEdgePattern p = q.Genericized(e);
+    GetOrCreateBaseView(p);
+    if (!distinct.insert(p).second) continue;
+    edge_ind_[p].push_back(qid);
+    source_ind_[p.src].push_back(p);
+    target_ind_[p.dst].push_back(p);
+  }
+  queries_.emplace(qid, std::move(entry));
+}
+
+std::vector<QueryId> InvertedIndexEngineBase::AffectedQueries(
+    const EdgeUpdate& u) const {
+  std::vector<QueryId> qids;
+  for (const auto& g : Generalizations(u)) {
+    auto it = edge_ind_.find(g);
+    if (it == edge_ind_.end()) continue;
+    qids.insert(qids.end(), it->second.begin(), it->second.end());
+  }
+  std::sort(qids.begin(), qids.end());
+  qids.erase(std::unique(qids.begin(), qids.end()), qids.end());
+  return qids;
+}
+
+bool InvertedIndexEngineBase::AllViewsNonEmpty(const QueryEntry& entry) const {
+  for (uint32_t e = 0; e < entry.pattern.NumEdges(); ++e) {
+    const Relation* view = FindBaseView(entry.pattern.Genericized(e));
+    if (view == nullptr || view->Empty()) return false;
+  }
+  return true;
+}
+
+std::unique_ptr<Relation> InvertedIndexEngineBase::MaterializeFullPath(
+    const QueryEntry& entry, size_t pi, JoinCache* cache, size_t& transient_bytes) {
+  const auto& sig = entry.signatures[pi];
+  const Relation* first = FindBaseView(sig[0]);
+  GS_DCHECK(first != nullptr);
+
+  // Copy-start the chain so single-edge and multi-edge paths are handled
+  // uniformly (the copy is the price of owning no per-path state).
+  auto current = std::make_unique<Relation>(2);
+  for (size_t r = 0; r < first->NumRows(); ++r) current->Append(first->Row(r));
+
+  for (size_t i = 1; i < sig.size(); ++i) {
+    if (current->Empty()) return nullptr;
+    const Relation* base = FindBaseView(sig[i]);
+    GS_DCHECK(base != nullptr);
+    auto next = std::make_unique<Relation>(current->arity() + 1);
+    ExtendRight(AllRows(*current), *base, cache ? cache->Get(base, 0) : nullptr,
+                *next);
+    transient_bytes += next->MemoryBytes();
+    current = std::move(next);
+    if (BudgetExceeded()) return nullptr;
+  }
+  if (current->Empty()) return nullptr;
+  return current;
+}
+
+std::unique_ptr<Relation> InvertedIndexEngineBase::MaterializePathDelta(
+    const QueryEntry& entry, size_t pi, const EdgeUpdate& u, JoinCache* cache,
+    size_t& transient_bytes) {
+  const auto& sig = entry.signatures[pi];
+  const uint32_t arity = static_cast<uint32_t>(sig.size()) + 1;
+  auto delta = std::make_unique<Relation>(arity);
+
+  for (size_t pos = 0; pos < sig.size(); ++pos) {
+    if (!sig[pos].Matches(u)) continue;
+    // Seed with the update tuple at `pos`, then grow the fragment leftwards
+    // and rightwards over the edge views.
+    auto cur = std::make_unique<Relation>(2);
+    const VertexId seed[2] = {u.src, u.dst};
+    cur->Append(seed);
+    bool dead = false;
+    for (size_t j = pos; j-- > 0 && !dead;) {
+      const Relation* base = FindBaseView(sig[j]);
+      auto next = std::make_unique<Relation>(cur->arity() + 1);
+      ExtendLeft(AllRows(*cur), *base, cache ? cache->Get(base, 1) : nullptr, *next);
+      transient_bytes += next->MemoryBytes();
+      cur = std::move(next);
+      dead = cur->Empty();
+    }
+    for (size_t j = pos + 1; j < sig.size() && !dead; ++j) {
+      const Relation* base = FindBaseView(sig[j]);
+      auto next = std::make_unique<Relation>(cur->arity() + 1);
+      ExtendRight(AllRows(*cur), *base, cache ? cache->Get(base, 0) : nullptr, *next);
+      transient_bytes += next->MemoryBytes();
+      cur = std::move(next);
+      dead = cur->Empty();
+    }
+    if (dead || BudgetExceeded()) continue;
+    for (size_t r = 0; r < cur->NumRows(); ++r) delta->Append(cur->Row(r));
+  }
+  return delta;
+}
+
+size_t InvertedIndexEngineBase::MemoryBytes() const {
+  size_t bytes = SharedMemoryBytes();
+  for (const auto& [qid, entry] : queries_) {
+    bytes += sizeof(qid) + entry.pattern.MemoryBytes() + 2 * sizeof(void*);
+    for (const auto& path : entry.paths)
+      bytes += mem::OfVector(path.vertices) + mem::OfVector(path.edges);
+    for (const auto& sig : entry.signatures)
+      bytes += sig.capacity() * sizeof(GenericEdgePattern);
+  }
+  for (const auto& [p, qids] : edge_ind_)
+    bytes += sizeof(p) + mem::OfVector(qids) + 2 * sizeof(void*);
+  for (const auto& [v, ps] : source_ind_)
+    bytes += sizeof(v) + ps.capacity() * sizeof(GenericEdgePattern) + 2 * sizeof(void*);
+  for (const auto& [v, ps] : target_ind_)
+    bytes += sizeof(v) + ps.capacity() * sizeof(GenericEdgePattern) + 2 * sizeof(void*);
+  return bytes;
+}
+
+std::vector<uint32_t> PlanExtensionOrder(const QueryPattern& q, uint32_t seed) {
+  const size_t n = q.NumEdges();
+  std::vector<uint32_t> order;
+  std::vector<bool> used(n, false);
+  std::vector<bool> bound(q.NumVertices(), false);
+  used[seed] = true;
+  bound[q.edge(seed).src] = true;
+  bound[q.edge(seed).dst] = true;
+
+  for (size_t step = 1; step < n; ++step) {
+    int best = -1;
+    int best_score = -1;
+    for (uint32_t e = 0; e < n; ++e) {
+      if (used[e]) continue;
+      const auto& edge = q.edge(e);
+      int score = 0;
+      score += bound[edge.src] ? 4 : (q.vertex(edge.src).is_var ? 0 : 1);
+      score += bound[edge.dst] ? 4 : (q.vertex(edge.dst).is_var ? 0 : 1);
+      if (score > best_score) {
+        best_score = score;
+        best = static_cast<int>(e);
+      }
+    }
+    used[best] = true;
+    order.push_back(static_cast<uint32_t>(best));
+    bound[q.edge(best).src] = true;
+    bound[q.edge(best).dst] = true;
+  }
+  return order;
+}
+
+}  // namespace baseline
+}  // namespace gstream

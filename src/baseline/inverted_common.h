@@ -1,0 +1,84 @@
+#ifndef GSTREAM_BASELINE_INVERTED_COMMON_H_
+#define GSTREAM_BASELINE_INVERTED_COMMON_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/view_engine_base.h"
+#include "matview/binding.h"
+#include "matview/join_cache.h"
+#include "query/path_cover.h"
+
+namespace gstream {
+namespace baseline {
+
+/// Shared indexing state of the paper's advanced baselines INV and INC
+/// (§5.1, §5.2). Both transform queries into covering paths stored per query
+/// (`queryInd`) and build three inverted indexes:
+///  * `edgeInd`:   genericized edge pattern -> query ids;
+///  * `sourceInd`: source vertex term (literal label or ?var) -> patterns;
+///  * `targetInd`: target vertex term -> patterns.
+/// Unlike TRIC there is *no* sharing of materialized path state across
+/// queries — only the edge-level base views are shared.
+class InvertedIndexEngineBase : public ViewEngineBase {
+ public:
+  void AddQuery(QueryId qid, const QueryPattern& q) override;
+  size_t NumQueries() const override { return queries_.size(); }
+  size_t MemoryBytes() const override;
+
+ protected:
+  struct QueryEntry {
+    QueryPattern pattern;
+    std::vector<CoveringPath> paths;
+    std::vector<std::vector<GenericEdgePattern>> signatures;  ///< Per path.
+    std::vector<PathBindingSpec> specs;                       ///< Per path.
+    /// Embedding count at the previous evaluation (INV's diff bookkeeping).
+    uint64_t last_count = 0;
+  };
+
+  /// Sorted unique query ids whose patterns match `u` (via edgeInd).
+  std::vector<QueryId> AffectedQueries(const EdgeUpdate& u) const;
+
+  /// True when every edge pattern of the query has a non-empty base view
+  /// (paper §5.1 answering Step 1: a query is only a match candidate when all
+  /// its materialized views are usable).
+  bool AllViewsNonEmpty(const QueryEntry& entry) const;
+
+  /// Re-materializes covering path `pi` of `entry` from scratch by chaining
+  /// hash joins over the edge-level views (paper §5.1 Step 3 — INV's per-
+  /// update cost, also paid by INC for the paths the update does not touch).
+  /// Returns nullptr when the chain dies or the budget expires.
+  std::unique_ptr<Relation> MaterializeFullPath(const QueryEntry& entry, size_t pi,
+                                                JoinCache* cache,
+                                                size_t& transient_bytes);
+
+  /// Materializes only the path rows that use update `u` (INC's seeded
+  /// evaluation, §5.2): for every position of the path whose pattern matches
+  /// `u`, seed with the update tuple and extend left/right over the edge
+  /// views. Returns the (deduplicated) delta rows.
+  std::unique_ptr<Relation> MaterializePathDelta(const QueryEntry& entry, size_t pi,
+                                                 const EdgeUpdate& u, JoinCache* cache,
+                                                 size_t& transient_bytes);
+
+  std::unordered_map<QueryId, QueryEntry> queries_;
+  std::unordered_map<GenericEdgePattern, std::vector<QueryId>, GenericEdgePatternHash>
+      edge_ind_;
+  /// Vertex term (literal id; kNoVertex = ?var) -> patterns with that source
+  /// / target. Kept for the paper's path-exploration structure and memory
+  /// accounting; path re-evaluation walks the stored covering paths, which
+  /// visits the same edges the index navigation would.
+  std::unordered_map<VertexId, std::vector<GenericEdgePattern>> source_ind_;
+  std::unordered_map<VertexId, std::vector<GenericEdgePattern>> target_ind_;
+};
+
+/// Greedy extension order over query edges starting from `seed` (most-bound,
+/// then most-literal first). A planning utility for update-seeded whole-query
+/// evaluation; INC's paper-faithful per-path evaluation does not use it, but
+/// it is exercised by tests and available to custom engines.
+std::vector<uint32_t> PlanExtensionOrder(const QueryPattern& q, uint32_t seed);
+
+}  // namespace baseline
+}  // namespace gstream
+
+#endif  // GSTREAM_BASELINE_INVERTED_COMMON_H_

@@ -1,0 +1,36 @@
+#ifndef GSTREAM_COMMON_FLAGS_H_
+#define GSTREAM_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gstream {
+
+/// Minimal `--key=value` / `--switch` command-line parser for the bench and
+/// example binaries. Unknown flags are collected so benchmark binaries can
+/// coexist with google-benchmark's own flags.
+class Flags {
+ public:
+  /// Parses argv; flags look like `--name=value` or bare `--name` (= "true").
+  static Flags Parse(int argc, char** argv);
+
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+
+  std::string GetString(const std::string& name, const std::string& def) const;
+  int64_t GetInt(const std::string& name, int64_t def) const;
+  double GetDouble(const std::string& name, double def) const;
+  bool GetBool(const std::string& name, bool def) const;
+
+  /// Positional (non-flag) arguments, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace gstream
+
+#endif  // GSTREAM_COMMON_FLAGS_H_

@@ -1,0 +1,53 @@
+#ifndef GSTREAM_COMMON_HASH_H_
+#define GSTREAM_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace gstream {
+
+/// 64-bit mix (splitmix64 finalizer). Cheap and well distributed; used as the
+/// scalar hash throughout the join and index code.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Incrementally combines a value into a running hash seed.
+inline void HashCombine(size_t& seed, uint64_t v) {
+  seed ^= Mix64(v + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2));
+}
+
+/// Hash for a span of 32-bit ids (tuple keys in materialized views).
+inline size_t HashIds(const uint32_t* data, size_t n) {
+  size_t seed = 0x51ab5f1e9cce77d3ull ^ n;
+  for (size_t i = 0; i < n; ++i) HashCombine(seed, data[i]);
+  return seed;
+}
+
+/// std::hash adaptor for std::vector<uint32_t>.
+struct IdVectorHash {
+  size_t operator()(const std::vector<uint32_t>& v) const {
+    return HashIds(v.data(), v.size());
+  }
+};
+
+/// std::hash adaptor for std::pair of integral types.
+struct PairHash {
+  template <typename A, typename B>
+  size_t operator()(const std::pair<A, B>& p) const {
+    size_t seed = 0;
+    HashCombine(seed, static_cast<uint64_t>(p.first));
+    HashCombine(seed, static_cast<uint64_t>(p.second));
+    return seed;
+  }
+};
+
+}  // namespace gstream
+
+#endif  // GSTREAM_COMMON_HASH_H_

@@ -1,0 +1,35 @@
+#ifndef GSTREAM_COMMON_IDS_H_
+#define GSTREAM_COMMON_IDS_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace gstream {
+
+/// Interned identifier of a vertex label. In our data model a vertex label
+/// identifies an entity (paper §3.1: literals are "specific entities in the
+/// graph identified by their label"), so `VertexId` doubles as the vertex
+/// identity.
+using VertexId = uint32_t;
+
+/// Interned identifier of an edge label (relationship type).
+using LabelId = uint32_t;
+
+/// Identifier of a continuous query graph pattern inside a `QueryDb`.
+using QueryId = uint32_t;
+
+/// Identifier of a variable vertex inside one query pattern (local scope).
+using VarId = uint32_t;
+
+/// Sentinel: "no vertex".
+inline constexpr VertexId kNoVertex = std::numeric_limits<VertexId>::max();
+
+/// Sentinel: "no label".
+inline constexpr LabelId kNoLabel = std::numeric_limits<LabelId>::max();
+
+/// Sentinel: "no query".
+inline constexpr QueryId kNoQuery = std::numeric_limits<QueryId>::max();
+
+}  // namespace gstream
+
+#endif  // GSTREAM_COMMON_IDS_H_

@@ -1,0 +1,29 @@
+#include "common/interning.h"
+
+namespace gstream {
+
+uint32_t StringInterner::Intern(std::string_view s) {
+  auto it = index_.find(std::string(s));
+  if (it != index_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(strings_.size());
+  strings_.emplace_back(s);
+  index_.emplace(strings_.back(), id);
+  return id;
+}
+
+uint32_t StringInterner::Find(std::string_view s) const {
+  auto it = index_.find(std::string(s));
+  return it == index_.end() ? kNotFound : it->second;
+}
+
+size_t StringInterner::MemoryBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const auto& s : strings_) {
+    bytes += sizeof(std::string) + s.capacity();
+    // Hash-map entry: key string + id + bucket overhead (approximation).
+    bytes += sizeof(std::string) + s.capacity() + sizeof(uint32_t) + 2 * sizeof(void*);
+  }
+  return bytes;
+}
+
+}  // namespace gstream

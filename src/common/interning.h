@@ -1,0 +1,46 @@
+#ifndef GSTREAM_COMMON_INTERNING_H_
+#define GSTREAM_COMMON_INTERNING_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace gstream {
+
+/// Bidirectional string <-> dense integer id mapping.
+///
+/// All vertex and edge labels flowing through the system are interned once at
+/// the boundary so that the hot path (indexing, joins, trie traversal) only
+/// touches 32-bit ids. Ids are dense and start at 0, which lets downstream
+/// structures use them as vector indexes.
+class StringInterner {
+ public:
+  StringInterner() = default;
+
+  /// Returns the id for `s`, creating a new one if unseen.
+  uint32_t Intern(std::string_view s);
+
+  /// Returns the id for `s` or `kNotFound` if it was never interned.
+  uint32_t Find(std::string_view s) const;
+
+  /// Returns the string for a previously returned id.
+  const std::string& Lookup(uint32_t id) const { return strings_[id]; }
+
+  /// Number of distinct interned strings.
+  size_t size() const { return strings_.size(); }
+
+  /// Approximate heap footprint in bytes (for Fig. 13(c) accounting).
+  size_t MemoryBytes() const;
+
+  static constexpr uint32_t kNotFound = 0xffffffffu;
+
+ private:
+  std::unordered_map<std::string, uint32_t> index_;
+  std::vector<std::string> strings_;
+};
+
+}  // namespace gstream
+
+#endif  // GSTREAM_COMMON_INTERNING_H_

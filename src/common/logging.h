@@ -1,0 +1,65 @@
+#ifndef GSTREAM_COMMON_LOGGING_H_
+#define GSTREAM_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace gstream {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style one-shot logger; flushes on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+[[noreturn]] void CheckFailed(const char* expr, const char* file, int line,
+                              const std::string& msg);
+
+}  // namespace internal
+}  // namespace gstream
+
+#define GS_LOG(level)                                                            \
+  ::gstream::internal::LogMessage(::gstream::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Always-on invariant check. Database code fails loudly on broken
+/// invariants instead of silently corrupting results.
+#define GS_CHECK(expr)                                                           \
+  do {                                                                           \
+    if (!(expr))                                                                 \
+      ::gstream::internal::CheckFailed(#expr, __FILE__, __LINE__, std::string()); \
+  } while (0)
+
+#define GS_CHECK_MSG(expr, msg)                                                  \
+  do {                                                                           \
+    if (!(expr))                                                                 \
+      ::gstream::internal::CheckFailed(#expr, __FILE__, __LINE__, (msg));        \
+  } while (0)
+
+#ifdef NDEBUG
+#define GS_DCHECK(expr) \
+  do {                  \
+  } while (0)
+#else
+#define GS_DCHECK(expr) GS_CHECK(expr)
+#endif
+
+#endif  // GSTREAM_COMMON_LOGGING_H_

@@ -1,0 +1,17 @@
+#include "common/mem_tracker.h"
+
+namespace gstream {
+
+void MemTracker::Add(const std::string& component, size_t bytes) {
+  breakdown_[component] += bytes;
+}
+
+void MemTracker::Clear() { breakdown_.clear(); }
+
+size_t MemTracker::TotalBytes() const {
+  size_t total = 0;
+  for (const auto& [name, bytes] : breakdown_) total += bytes;
+  return total;
+}
+
+}  // namespace gstream

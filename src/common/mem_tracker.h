@@ -1,0 +1,53 @@
+#ifndef GSTREAM_COMMON_MEM_TRACKER_H_
+#define GSTREAM_COMMON_MEM_TRACKER_H_
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace gstream {
+
+/// Container-footprint estimators used to reproduce the paper's memory table
+/// (Fig. 13(c)). We deliberately account logical structure sizes instead of
+/// RSS: RSS on a shared test machine is dominated by allocator and runtime
+/// noise, while structure accounting preserves the paper's *relative*
+/// ordering (base < "+" variants < graph database).
+namespace mem {
+
+template <typename T>
+size_t OfVector(const std::vector<T>& v) {
+  return sizeof(v) + v.capacity() * sizeof(T);
+}
+
+template <typename K, typename V, typename H, typename E>
+size_t OfHashMap(const std::unordered_map<K, V, H, E>& m) {
+  // Node-based map: per element one node (key+value+next pointer) plus the
+  // bucket array.
+  return sizeof(m) + m.size() * (sizeof(K) + sizeof(V) + 2 * sizeof(void*)) +
+         m.bucket_count() * sizeof(void*);
+}
+
+inline size_t OfString(const std::string& s) { return sizeof(s) + s.capacity(); }
+
+}  // namespace mem
+
+/// Aggregates per-component byte counts so engines can answer
+/// `MemoryBytes()` with a breakdown.
+class MemTracker {
+ public:
+  void Add(const std::string& component, size_t bytes);
+  void Clear();
+
+  size_t TotalBytes() const;
+  const std::unordered_map<std::string, size_t>& breakdown() const {
+    return breakdown_;
+  }
+
+ private:
+  std::unordered_map<std::string, size_t> breakdown_;
+};
+
+}  // namespace gstream
+
+#endif  // GSTREAM_COMMON_MEM_TRACKER_H_

@@ -1,0 +1,64 @@
+#ifndef GSTREAM_COMMON_RNG_H_
+#define GSTREAM_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace gstream {
+
+/// Deterministic random source used by all workload generators.
+///
+/// Every experiment in the paper is an average over repeated runs on a fixed
+/// dataset; determinism (one seed -> one stream) is what makes our
+/// cross-engine property tests and bench series reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [0, n).
+  uint64_t Next(uint64_t n) {
+    return std::uniform_int_distribution<uint64_t>(0, n - 1)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Bernoulli draw.
+  bool Flip(double p) { return NextDouble() < p; }
+
+  /// Raw engine access (for std:: distributions).
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Zipf-distributed sampler over {0, ..., n-1} with exponent `s`.
+///
+/// Social-network activity (posts per forum, likes per post, friends per
+/// person) is heavily skewed; SNB models this with power laws. We precompute
+/// the CDF once and sample by binary search, so sampling is O(log n).
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s);
+
+  /// Draws one value in [0, n).
+  size_t Sample(Rng& rng) const;
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace gstream
+
+#endif  // GSTREAM_COMMON_RNG_H_

@@ -1,0 +1,60 @@
+#include "common/table.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace gstream {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  GS_CHECK_MSG(cells.size() == header_.size(), "row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> width(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (size_t c = 0; c < row.size(); ++c)
+      if (row[c].size() > width[c]) width[c] = row[c].size();
+
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "" : "  ");
+      out << row[c];
+      for (size_t pad = row[c].size(); pad < width[c]; ++pad) out << ' ';
+    }
+    out << '\n';
+  };
+  emit(header_);
+  std::vector<std::string> rule;
+  for (size_t c = 0; c < header_.size(); ++c) rule.push_back(std::string(width[c], '-'));
+  emit(rule);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string TextTable::ToCsv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) out << (c == 0 ? "" : ",") << row[c];
+    out << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string TextTable::Num(double v, int digits) {
+  if (std::isnan(v)) return "*";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+}  // namespace gstream

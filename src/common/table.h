@@ -1,0 +1,34 @@
+#ifndef GSTREAM_COMMON_TABLE_H_
+#define GSTREAM_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace gstream {
+
+/// Fixed-width text table used by the bench binaries to print paper-style
+/// result series (one row per x-axis point, one column per algorithm).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table with aligned columns.
+  std::string ToString() const;
+
+  /// Renders as comma-separated values (easy plotting).
+  std::string ToCsv() const;
+
+  /// Formats a double with `digits` decimals; NaN renders as the paper's
+  /// timeout marker "*".
+  static std::string Num(double v, int digits = 3);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gstream
+
+#endif  // GSTREAM_COMMON_TABLE_H_

@@ -1,0 +1,34 @@
+#ifndef GSTREAM_COMMON_TIMER_H_
+#define GSTREAM_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace gstream {
+
+/// Wall-clock stopwatch. The paper reports wall-clock answering time per
+/// update (§6.1 "The time shown in the graphs is wall-clock time").
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/Restart, in nanoseconds.
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start_)
+        .count();
+  }
+
+  double ElapsedMicros() const { return ElapsedNanos() / 1e3; }
+  double ElapsedMillis() const { return ElapsedNanos() / 1e6; }
+  double ElapsedSeconds() const { return ElapsedNanos() / 1e9; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gstream
+
+#endif  // GSTREAM_COMMON_TIMER_H_

@@ -1,0 +1,56 @@
+#ifndef GSTREAM_ENGINE_BUDGET_H_
+#define GSTREAM_ENGINE_BUDGET_H_
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+namespace gstream {
+
+/// Cooperative wall-clock budget for one experiment cell. The paper ran each
+/// configuration with a 24-hour ceiling and marks cells that crossed it with
+/// an asterisk (Figs. 12(f)–14); our driver does the same at laptop scale.
+/// Engines poll `Exceeded()` inside expensive loops; the clock is sampled
+/// only every `kStride` polls to keep the check out of the profile.
+class Budget {
+ public:
+  Budget() = default;
+
+  void SetDeadlineAfter(double seconds) {
+    deadline_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double>(seconds));
+    tripped_ = false;
+    polls_ = 0;
+  }
+
+  void ClearDeadline() {
+    deadline_ = Clock::time_point::max();
+    tripped_ = false;
+  }
+
+  /// True once the deadline passed. Sticky until the next SetDeadlineAfter.
+  bool Exceeded() {
+    if (tripped_) return true;
+    if (++polls_ % kStride != 0) return false;
+    if (Clock::now() >= deadline_) tripped_ = true;
+    return tripped_;
+  }
+
+  /// Non-sampling variant for cold paths.
+  bool ExceededNow() {
+    if (!tripped_ && Clock::now() >= deadline_) tripped_ = true;
+    return tripped_;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  static constexpr uint64_t kStride = 512;
+
+  Clock::time_point deadline_ = Clock::time_point::max();
+  uint64_t polls_ = 0;
+  bool tripped_ = false;
+};
+
+}  // namespace gstream
+
+#endif  // GSTREAM_ENGINE_BUDGET_H_

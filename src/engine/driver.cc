@@ -1,0 +1,47 @@
+#include "engine/driver.h"
+
+#include <cmath>
+
+#include "common/timer.h"
+
+namespace gstream {
+
+IndexStats IndexQueries(ContinuousEngine& engine,
+                        const std::vector<QueryPattern>& queries, QueryId first_qid) {
+  IndexStats stats;
+  WallTimer timer;
+  QueryId qid = first_qid;
+  for (const auto& q : queries) engine.AddQuery(qid++, q);
+  stats.index_millis = timer.ElapsedMillis();
+  stats.queries_indexed = queries.size();
+  return stats;
+}
+
+RunStats RunStream(ContinuousEngine& engine, const UpdateStream& stream,
+                   const RunConfig& config) {
+  RunStats stats;
+  Budget budget;
+  if (std::isfinite(config.budget_seconds))
+    budget.SetDeadlineAfter(config.budget_seconds);
+  engine.set_budget(&budget);
+
+  std::unordered_set<QueryId> satisfied;
+  WallTimer total;
+  for (const auto& u : stream.updates()) {
+    UpdateResult result = engine.ApplyUpdate(u);
+    ++stats.updates_applied;
+    stats.new_embeddings += result.new_embeddings;
+    for (QueryId qid : result.triggered) satisfied.insert(qid);
+    if (result.timed_out || budget.ExceededNow()) {
+      stats.timed_out = true;
+      break;
+    }
+  }
+  stats.answer_millis = total.ElapsedMillis();
+  stats.queries_satisfied = satisfied.size();
+  stats.memory_bytes = engine.MemoryBytes();
+  engine.set_budget(nullptr);
+  return stats;
+}
+
+}  // namespace gstream

@@ -1,0 +1,59 @@
+#ifndef GSTREAM_ENGINE_DRIVER_H_
+#define GSTREAM_ENGINE_DRIVER_H_
+
+#include <cstdint>
+#include <limits>
+#include <unordered_set>
+#include <vector>
+
+#include "engine/engine.h"
+#include "graph/stream.h"
+
+namespace gstream {
+
+/// One experiment cell's configuration: how long the engine may run before
+/// the cell is declared timed out (the paper's 24-hour ceiling, scaled).
+struct RunConfig {
+  double budget_seconds = std::numeric_limits<double>::infinity();
+};
+
+/// Aggregate result of streaming one update sequence through one engine —
+/// the quantities the paper plots.
+struct RunStats {
+  size_t updates_applied = 0;
+  double answer_millis = 0.0;       ///< Total answering time (wall clock).
+  uint64_t new_embeddings = 0;      ///< Total new embeddings reported.
+  size_t queries_satisfied = 0;     ///< Distinct queries triggered at least once.
+  bool timed_out = false;
+  size_t memory_bytes = 0;          ///< Engine memory after the run.
+
+  /// The paper's y-axis: average answering time per update, in msec.
+  double MsecPerUpdate() const {
+    return updates_applied == 0 ? 0.0 : answer_millis / updates_applied;
+  }
+};
+
+/// Statistics of the query indexing phase (Fig. 13(b)).
+struct IndexStats {
+  size_t queries_indexed = 0;
+  double index_millis = 0.0;
+
+  double MsecPerQuery() const {
+    return queries_indexed == 0 ? 0.0 : index_millis / queries_indexed;
+  }
+};
+
+/// Registers `queries` into `engine` with ids `first_qid..`, timing the
+/// indexing phase.
+IndexStats IndexQueries(ContinuousEngine& engine,
+                        const std::vector<QueryPattern>& queries,
+                        QueryId first_qid = 0);
+
+/// Streams `stream` through `engine` under `config`, timing every update.
+/// Stops early (marking `timed_out`) when the budget expires.
+RunStats RunStream(ContinuousEngine& engine, const UpdateStream& stream,
+                   const RunConfig& config = {});
+
+}  // namespace gstream
+
+#endif  // GSTREAM_ENGINE_DRIVER_H_

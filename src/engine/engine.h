@@ -1,0 +1,101 @@
+#ifndef GSTREAM_ENGINE_ENGINE_H_
+#define GSTREAM_ENGINE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "engine/budget.h"
+#include "engine/match.h"
+#include "graph/properties.h"
+#include "graph/update.h"
+#include "query/pattern.h"
+
+namespace gstream {
+
+/// A continuous multi-query processing engine (the paper's problem
+/// definition, §3.2): hold a query database QDB, consume a stream of edge
+/// updates, and report per update which queries are satisfied.
+///
+/// Contract:
+///  * Queries are registered before (or between) updates; an engine does not
+///    backfill results for updates that preceded a query's registration
+///    beyond whatever shared state it already materialized.
+///  * `ApplyUpdate` returns continuous-notification results (see
+///    `UpdateResult`); duplicate edges are no-ops.
+///  * Engines are single-threaded; one engine instance per stream.
+class ContinuousEngine {
+ public:
+  virtual ~ContinuousEngine() = default;
+
+  /// Engine identifier as used in the paper's plots ("TRIC", "INV+", ...).
+  virtual std::string name() const = 0;
+
+  /// Registers a continuous query. `qid` must be fresh; `q` must be valid.
+  virtual void AddQuery(QueryId qid, const QueryPattern& q) = 0;
+
+  /// Applies one streamed edge update and reports newly satisfied queries.
+  virtual UpdateResult ApplyUpdate(const EdgeUpdate& u) = 0;
+
+  /// Number of registered queries.
+  virtual size_t NumQueries() const = 0;
+
+  /// Approximate bytes of all retained structures, including the peak
+  /// transient join scratch observed so far (Fig. 13(c) accounting).
+  virtual size_t MemoryBytes() const = 0;
+
+  /// Cooperative time budget; engines poll it inside expensive loops.
+  void set_budget(Budget* budget) { budget_ = budget; }
+
+  /// Shared read-only vertex property store for §4.3 property-graph
+  /// constraints. Must be set before updates are applied when any
+  /// registered query carries constraints; see PropertyStore's contract.
+  void set_property_store(const PropertyStore* store) { properties_ = store; }
+
+ protected:
+  bool BudgetExceeded() { return budget_ != nullptr && budget_->Exceeded(); }
+
+  /// The §4.3 extra answering phase: checks a full assignment (indexed by
+  /// query vertex) against the query's property constraints. Constraints on
+  /// vertices without the property — or with no store attached — fail.
+  bool SatisfiesConstraints(const QueryPattern& q, const VertexId* assignment) const {
+    if (!q.HasConstraints()) return true;
+    if (properties_ == nullptr) return false;
+    for (const auto& c : q.constraints()) {
+      std::optional<int64_t> value = properties_->Get(assignment[c.vertex], c.key);
+      if (!value.has_value() || !QueryPattern::EvalCmp(c.op, *value, c.value))
+        return false;
+    }
+    return true;
+  }
+
+  Budget* budget_ = nullptr;
+  const PropertyStore* properties_ = nullptr;
+};
+
+/// The seven evaluated algorithms (paper §4–§5) plus the naive oracle used by
+/// the test suite.
+enum class EngineKind {
+  kTric,
+  kTricPlus,
+  kInv,
+  kInvPlus,
+  kInc,
+  kIncPlus,
+  kGraphDb,  ///< Neo4j-substitute: full graph store + per-query re-execution.
+  kNaive,    ///< Oracle: re-counts every query on every update.
+};
+
+/// Display name matching the paper's figures.
+const char* EngineKindName(EngineKind kind);
+
+/// Instantiates an engine.
+std::unique_ptr<ContinuousEngine> CreateEngine(EngineKind kind);
+
+/// The seven paper algorithms, in plot order (no oracle).
+std::vector<EngineKind> PaperEngineKinds();
+
+}  // namespace gstream
+
+#endif  // GSTREAM_ENGINE_ENGINE_H_

@@ -1,0 +1,66 @@
+#include "engine/naive_engine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace gstream {
+
+NaiveEngine::NaiveEngine() : executor_(&store_) {}
+
+uint64_t NaiveEngine::CountQuery(const QueryEntry& entry) {
+  if (!entry.pattern.HasConstraints())
+    return executor_.CountMatches(entry.pattern, entry.plan);
+  uint64_t count = 0;
+  executor_.Enumerate(entry.pattern, entry.plan,
+                      [&](const std::vector<VertexId>& assignment) {
+                        if (SatisfiesConstraints(entry.pattern, assignment.data()))
+                          ++count;
+                        return true;
+                      });
+  return count;
+}
+
+void NaiveEngine::AddQuery(QueryId qid, const QueryPattern& q) {
+  GS_CHECK_MSG(q.IsValid(), "invalid query pattern");
+  QueryEntry entry;
+  entry.pattern = q;
+  entry.plan = graphdb::PlanQuery(q);
+  if (store_.NumEdges() > 0) entry.last_count = CountQuery(entry);
+  queries_.emplace(qid, std::move(entry));
+}
+
+UpdateResult NaiveEngine::ApplyUpdate(const EdgeUpdate& u) {
+  UpdateResult result;
+  if (u.op == UpdateOp::kDelete) {
+    if (!store_.RemoveEdge(u.src, u.label, u.dst)) return result;  // absent
+    result.changed = true;
+    for (auto& [qid, entry] : queries_) entry.last_count = CountQuery(entry);
+    return result;
+  }
+  if (!store_.AddEdge(u.src, u.label, u.dst)) return result;
+  result.changed = true;
+
+  std::vector<QueryId> qids;
+  qids.reserve(queries_.size());
+  for (const auto& [qid, entry] : queries_) qids.push_back(qid);
+  std::sort(qids.begin(), qids.end());
+
+  for (QueryId qid : qids) {
+    auto& entry = queries_.at(qid);
+    uint64_t count = CountQuery(entry);
+    GS_DCHECK(count >= entry.last_count);
+    result.AddQueryCount(qid, count - entry.last_count);
+    entry.last_count = count;
+  }
+  return result;
+}
+
+size_t NaiveEngine::MemoryBytes() const {
+  size_t bytes = sizeof(*this) + store_.MemoryBytes();
+  for (const auto& [qid, entry] : queries_)
+    bytes += sizeof(qid) + entry.pattern.MemoryBytes() + 2 * sizeof(void*);
+  return bytes;
+}
+
+}  // namespace gstream

@@ -1,0 +1,43 @@
+#ifndef GSTREAM_ENGINE_NAIVE_ENGINE_H_
+#define GSTREAM_ENGINE_NAIVE_ENGINE_H_
+
+#include <unordered_map>
+
+#include "engine/engine.h"
+#include "graphdb/executor.h"
+#include "graphdb/store.h"
+
+namespace gstream {
+
+/// Test oracle: stores the whole graph and, on every update, re-counts the
+/// embeddings of *every* registered query (no inverted index, no sharing, no
+/// increments). Slow by design; the property suites validate every other
+/// engine's `UpdateResult` against it on small streams.
+class NaiveEngine : public ContinuousEngine {
+ public:
+  NaiveEngine();
+
+  std::string name() const override { return "Naive"; }
+  void AddQuery(QueryId qid, const QueryPattern& q) override;
+  UpdateResult ApplyUpdate(const EdgeUpdate& u) override;
+  size_t NumQueries() const override { return queries_.size(); }
+  size_t MemoryBytes() const override;
+
+ private:
+  struct QueryEntry {
+    QueryPattern pattern;
+    graphdb::ExecPlan plan;
+    uint64_t last_count = 0;
+  };
+
+  /// Full recount with the §4.3 property-constraint filter applied.
+  uint64_t CountQuery(const QueryEntry& entry);
+
+  graphdb::GraphStore store_;
+  graphdb::MatchExecutor executor_;
+  std::unordered_map<QueryId, QueryEntry> queries_;
+};
+
+}  // namespace gstream
+
+#endif  // GSTREAM_ENGINE_NAIVE_ENGINE_H_

@@ -1,0 +1,49 @@
+#include "engine/view_engine_base.h"
+
+namespace gstream {
+
+Relation* ViewEngineBase::GetOrCreateBaseView(const GenericEdgePattern& p) {
+  auto it = base_views_.find(p);
+  if (it == base_views_.end())
+    it = base_views_.emplace(p, std::make_unique<Relation>(2)).first;
+  return it->second.get();
+}
+
+Relation* ViewEngineBase::FindBaseView(const GenericEdgePattern& p) const {
+  auto it = base_views_.find(p);
+  return it == base_views_.end() ? nullptr : it->second.get();
+}
+
+void ViewEngineBase::AppendToBaseViews(const EdgeUpdate& u) {
+  const VertexId row[2] = {u.src, u.dst};
+  for (const auto& g : Generalizations(u)) {
+    auto it = base_views_.find(g);
+    if (it != base_views_.end()) it->second->Append(row);
+  }
+}
+
+bool ViewEngineBase::RemoveFromBaseViews(const EdgeUpdate& u) {
+  if (seen_edges_.erase(u) == 0) return false;
+  for (const auto& g : Generalizations(u)) {
+    auto it = base_views_.find(g);
+    if (it == base_views_.end()) continue;
+    it->second->RemoveRowsWhere(
+        [&](const VertexId* row) { return row[0] == u.src && row[1] == u.dst; });
+  }
+  return true;
+}
+
+bool ViewEngineBase::IsDuplicateUpdate(const EdgeUpdate& u) {
+  return !seen_edges_.insert(u).second;
+}
+
+size_t ViewEngineBase::SharedMemoryBytes() const {
+  size_t bytes = sizeof(*this) + peak_transient_bytes_;
+  for (const auto& [p, rel] : base_views_)
+    bytes += sizeof(p) + rel->MemoryBytes() + 2 * sizeof(void*);
+  bytes += seen_edges_.size() * (sizeof(EdgeUpdate) + 2 * sizeof(void*)) +
+           seen_edges_.bucket_count() * sizeof(void*);
+  return bytes;
+}
+
+}  // namespace gstream

@@ -1,0 +1,61 @@
+#ifndef GSTREAM_ENGINE_VIEW_ENGINE_BASE_H_
+#define GSTREAM_ENGINE_VIEW_ENGINE_BASE_H_
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "engine/engine.h"
+#include "matview/relation.h"
+#include "query/edge_pattern.h"
+
+namespace gstream {
+
+/// Shared plumbing of the view-based engines (TRIC/TRIC+/INV/INV+/INC/INC+):
+///
+///  * the global edge-level materialized views matV[e], one per distinct
+///    genericized edge pattern appearing in the query set (§4.1
+///    "Materialization") — these are *shared* across queries and across
+///    covering paths;
+///  * duplicate-update suppression (the edge set has set semantics);
+///  * peak-transient accounting: the base algorithms rebuild hash tables and
+///    intermediate join results per update and discard them, which dominates
+///    their real memory peaks (Fig. 13(c)); we track the high-water mark of
+///    that scratch.
+class ViewEngineBase : public ContinuousEngine {
+ protected:
+  /// The base view for `p`, created empty on first use (at query indexing).
+  Relation* GetOrCreateBaseView(const GenericEdgePattern& p);
+
+  /// The base view for `p`, or nullptr when no query uses this pattern.
+  Relation* FindBaseView(const GenericEdgePattern& p) const;
+
+  /// Records `u` into every existing base view whose pattern it satisfies
+  /// (up to the 4 generalizations).
+  void AppendToBaseViews(const EdgeUpdate& u);
+
+  /// Retracts `u`'s tuple from every matching base view and forgets the
+  /// edge (paper §4.3 deletions). Returns false when the edge was absent.
+  bool RemoveFromBaseViews(const EdgeUpdate& u);
+
+  /// Returns true (and remembers the edge) when `u` was already applied.
+  bool IsDuplicateUpdate(const EdgeUpdate& u);
+
+  /// Tracks the largest transient join scratch seen in one update.
+  void NotePeakTransient(size_t bytes) {
+    if (bytes > peak_transient_bytes_) peak_transient_bytes_ = bytes;
+  }
+
+  /// Bytes of base views + seen-edge set + transient high-water mark.
+  size_t SharedMemoryBytes() const;
+
+  std::unordered_map<GenericEdgePattern, std::unique_ptr<Relation>,
+                     GenericEdgePatternHash>
+      base_views_;
+  std::unordered_set<EdgeUpdate, EdgeKeyHash, EdgeKeyEq> seen_edges_;
+  size_t peak_transient_bytes_ = 0;
+};
+
+}  // namespace gstream
+
+#endif  // GSTREAM_ENGINE_VIEW_ENGINE_BASE_H_

@@ -1,0 +1,69 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace gstream {
+
+namespace {
+const std::vector<Graph::OutEdge> kNoOut;
+const std::vector<Graph::InEdge> kNoIn;
+}  // namespace
+
+bool Graph::AddEdge(VertexId src, LabelId label, VertexId dst) {
+  EdgeUpdate key{src, label, dst, UpdateOp::kAdd};
+  if (!edge_set_.insert(key).second) return false;
+  out_[src].push_back({label, dst});
+  in_[dst].push_back({label, src});
+  vertices_.insert(src);
+  vertices_.insert(dst);
+  return true;
+}
+
+bool Graph::RemoveEdge(VertexId src, LabelId label, VertexId dst) {
+  EdgeUpdate key{src, label, dst, UpdateOp::kAdd};
+  if (edge_set_.erase(key) == 0) return false;
+  auto& outs = out_[src];
+  outs.erase(std::find_if(outs.begin(), outs.end(),
+                          [&](const OutEdge& e) {
+                            return e.label == label && e.dst == dst;
+                          }));
+  auto& ins = in_[dst];
+  ins.erase(std::find_if(ins.begin(), ins.end(),
+                         [&](const InEdge& e) {
+                           return e.label == label && e.src == src;
+                         }));
+  // Vertices are kept even when isolated: entity identity outlives edges.
+  return true;
+}
+
+bool Graph::Apply(const EdgeUpdate& u) {
+  if (u.op == UpdateOp::kAdd) return AddEdge(u.src, u.label, u.dst);
+  return RemoveEdge(u.src, u.label, u.dst);
+}
+
+bool Graph::HasEdge(VertexId src, LabelId label, VertexId dst) const {
+  return edge_set_.count(EdgeUpdate{src, label, dst, UpdateOp::kAdd}) > 0;
+}
+
+const std::vector<Graph::OutEdge>& Graph::Out(VertexId v) const {
+  auto it = out_.find(v);
+  return it == out_.end() ? kNoOut : it->second;
+}
+
+const std::vector<Graph::InEdge>& Graph::In(VertexId v) const {
+  auto it = in_.find(v);
+  return it == in_.end() ? kNoIn : it->second;
+}
+
+size_t Graph::MemoryBytes() const {
+  size_t bytes = sizeof(*this);
+  bytes += edge_set_.size() * (sizeof(EdgeUpdate) + 2 * sizeof(void*));
+  bytes += vertices_.size() * (sizeof(VertexId) + 2 * sizeof(void*));
+  for (const auto& [v, adj] : out_)
+    bytes += sizeof(v) + adj.capacity() * sizeof(OutEdge) + 3 * sizeof(void*);
+  for (const auto& [v, adj] : in_)
+    bytes += sizeof(v) + adj.capacity() * sizeof(InEdge) + 3 * sizeof(void*);
+  return bytes;
+}
+
+}  // namespace gstream

@@ -1,0 +1,63 @@
+#ifndef GSTREAM_GRAPH_GRAPH_H_
+#define GSTREAM_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/ids.h"
+#include "graph/update.h"
+
+namespace gstream {
+
+/// Attribute graph G = (V, E, l_V, l_E) (Definition 3.1): a directed labeled
+/// multigraph. Vertices are identified by their interned label (entities);
+/// parallel edges between the same vertex pair are allowed as long as their
+/// edge labels differ. Duplicate (src, label, dst) triples are rejected so
+/// that all engines see set semantics on the edge set.
+class Graph {
+ public:
+  struct OutEdge {
+    LabelId label;
+    VertexId dst;
+  };
+  struct InEdge {
+    LabelId label;
+    VertexId src;
+  };
+
+  /// Applies an edge insertion. Returns false (no change) for duplicates.
+  bool AddEdge(VertexId src, LabelId label, VertexId dst);
+
+  /// Applies an edge deletion. Returns false if the edge was absent.
+  bool RemoveEdge(VertexId src, LabelId label, VertexId dst);
+
+  /// Applies an update (add or delete); returns whether the graph changed.
+  bool Apply(const EdgeUpdate& u);
+
+  bool HasEdge(VertexId src, LabelId label, VertexId dst) const;
+
+  /// Outgoing adjacency of `v` (empty when unknown vertex).
+  const std::vector<OutEdge>& Out(VertexId v) const;
+  /// Incoming adjacency of `v` (empty when unknown vertex).
+  const std::vector<InEdge>& In(VertexId v) const;
+
+  size_t NumEdges() const { return edge_set_.size(); }
+  size_t NumVertices() const { return vertices_.size(); }
+  bool HasVertex(VertexId v) const { return vertices_.count(v) > 0; }
+
+  /// Approximate heap footprint in bytes.
+  size_t MemoryBytes() const;
+
+ private:
+  std::unordered_map<VertexId, std::vector<OutEdge>> out_;
+  std::unordered_map<VertexId, std::vector<InEdge>> in_;
+  std::unordered_set<EdgeUpdate, EdgeKeyHash, EdgeKeyEq> edge_set_;
+  std::unordered_set<VertexId> vertices_;
+};
+
+}  // namespace gstream
+
+#endif  // GSTREAM_GRAPH_GRAPH_H_

@@ -1,0 +1,55 @@
+#ifndef GSTREAM_GRAPH_PROPERTIES_H_
+#define GSTREAM_GRAPH_PROPERTIES_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "common/hash.h"
+#include "common/ids.h"
+
+namespace gstream {
+
+/// Vertex property store — the substrate of the paper's §4.3 property-graph
+/// extension ("extending our solution for more general graph types, like
+/// property graphs, entails ... the usage of a separate data structure to
+/// appropriately index these constraints").
+///
+/// Properties are integer-valued attributes keyed by an interned name
+/// (ages, counts, timestamps; categorical values intern their label).
+/// Engines share one read-only store; query vertices may carry comparison
+/// constraints against it, checked in a dedicated answering phase.
+///
+/// Contract: properties of a vertex are set before updates touching that
+/// vertex are evaluated against constrained queries (the engines snapshot
+/// nothing — late property edits would retroactively change what the
+/// diff-based engines already counted).
+class PropertyStore {
+ public:
+  void Set(VertexId vertex, LabelId key, int64_t value) {
+    values_[{vertex, key}] = value;
+  }
+
+  std::optional<int64_t> Get(VertexId vertex, LabelId key) const {
+    auto it = values_.find({vertex, key});
+    if (it == values_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  size_t size() const { return values_.size(); }
+
+  size_t MemoryBytes() const {
+    return sizeof(*this) +
+           values_.size() * (sizeof(std::pair<VertexId, LabelId>) + sizeof(int64_t) +
+                             2 * sizeof(void*)) +
+           values_.bucket_count() * sizeof(void*);
+  }
+
+ private:
+  std::unordered_map<std::pair<VertexId, LabelId>, int64_t, PairHash> values_;
+};
+
+}  // namespace gstream
+
+#endif  // GSTREAM_GRAPH_PROPERTIES_H_

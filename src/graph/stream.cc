@@ -1,0 +1,23 @@
+#include "graph/stream.h"
+
+#include <unordered_set>
+
+namespace gstream {
+
+Graph UpdateStream::ToGraph() const {
+  Graph g;
+  for (const auto& u : updates_) g.Apply(u);
+  return g;
+}
+
+size_t UpdateStream::CountVertices(size_t n) const {
+  std::unordered_set<VertexId> seen;
+  if (n > updates_.size()) n = updates_.size();
+  for (size_t i = 0; i < n; ++i) {
+    seen.insert(updates_[i].src);
+    seen.insert(updates_[i].dst);
+  }
+  return seen.size();
+}
+
+}  // namespace gstream

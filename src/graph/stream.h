@@ -1,0 +1,49 @@
+#ifndef GSTREAM_GRAPH_STREAM_H_
+#define GSTREAM_GRAPH_STREAM_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/interning.h"
+#include "graph/graph.h"
+#include "graph/update.h"
+
+namespace gstream {
+
+/// A graph stream S = (u_1, u_2, ..., u_t) (Definition 3.3): an ordered
+/// sequence of updates over a shared label interner.
+class UpdateStream {
+ public:
+  UpdateStream() = default;
+  explicit UpdateStream(std::shared_ptr<StringInterner> interner)
+      : interner_(std::move(interner)) {}
+
+  void Append(const EdgeUpdate& u) { updates_.push_back(u); }
+
+  const std::vector<EdgeUpdate>& updates() const { return updates_; }
+  size_t size() const { return updates_.size(); }
+  const EdgeUpdate& operator[](size_t i) const { return updates_[i]; }
+
+  const std::shared_ptr<StringInterner>& interner() const { return interner_; }
+
+  /// Truncates the stream to its first `n` updates.
+  void Truncate(size_t n) {
+    if (n < updates_.size()) updates_.resize(n);
+  }
+
+  /// Materializes the stream into a graph (final state after all updates).
+  Graph ToGraph() const;
+
+  /// Counts distinct vertices touched by the first `n` updates (the paper's
+  /// |G_V| axis values in Figs. 12 and 14).
+  size_t CountVertices(size_t n) const;
+
+ private:
+  std::shared_ptr<StringInterner> interner_;
+  std::vector<EdgeUpdate> updates_;
+};
+
+}  // namespace gstream
+
+#endif  // GSTREAM_GRAPH_STREAM_H_

@@ -1,0 +1,51 @@
+#ifndef GSTREAM_GRAPH_UPDATE_H_
+#define GSTREAM_GRAPH_UPDATE_H_
+
+#include <cstdint>
+#include <tuple>
+
+#include "common/hash.h"
+#include "common/ids.h"
+
+namespace gstream {
+
+/// Kind of a stream operation. The paper's core model is insert-only
+/// (Definition 3.2); deletions are the §4.3 extension and are supported by
+/// the engines that implement `SupportsDeletion()`.
+enum class UpdateOp : uint8_t { kAdd = 0, kDelete = 1 };
+
+/// One streamed graph update `u_t = (e)` with `e = (s, t)` (Definition 3.2):
+/// a labeled directed edge between two labeled vertices. Vertex labels
+/// identify entities, so `src`/`dst` are interned vertex labels.
+struct EdgeUpdate {
+  VertexId src = kNoVertex;
+  LabelId label = kNoLabel;
+  VertexId dst = kNoVertex;
+  UpdateOp op = UpdateOp::kAdd;
+
+  friend bool operator==(const EdgeUpdate& a, const EdgeUpdate& b) {
+    return a.src == b.src && a.label == b.label && a.dst == b.dst && a.op == b.op;
+  }
+};
+
+/// Hash over the edge identity (src, label, dst); `op` is excluded so the
+/// same edge's add and delete hash alike in edge-set containers.
+struct EdgeKeyHash {
+  size_t operator()(const EdgeUpdate& e) const {
+    size_t seed = 0;
+    HashCombine(seed, e.src);
+    HashCombine(seed, e.label);
+    HashCombine(seed, e.dst);
+    return seed;
+  }
+};
+
+struct EdgeKeyEq {
+  bool operator()(const EdgeUpdate& a, const EdgeUpdate& b) const {
+    return a.src == b.src && a.label == b.label && a.dst == b.dst;
+  }
+};
+
+}  // namespace gstream
+
+#endif  // GSTREAM_GRAPH_UPDATE_H_

@@ -1,0 +1,167 @@
+#include "graphdb/executor.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace gstream {
+namespace graphdb {
+
+namespace {
+
+/// Selectivity score of an edge given which vertices are bound: higher is
+/// better (matched earlier).
+int EdgeScore(const QueryPattern& q, const QueryPattern::Edge& e,
+              const std::vector<bool>& bound) {
+  int score = 0;
+  auto endpoint = [&](uint32_t v) {
+    if (bound[v]) return 4;                  // join against existing binding
+    if (!q.vertex(v).is_var) return 3;       // literal: direct lookup
+    return 0;                                // free variable
+  };
+  score += endpoint(e.src) + endpoint(e.dst);
+  return score;
+}
+
+}  // namespace
+
+ExecPlan PlanQuery(const QueryPattern& q) {
+  const size_t n = q.NumEdges();
+  ExecPlan plan;
+  plan.edge_order.reserve(n);
+  std::vector<bool> used(n, false);
+  std::vector<bool> bound(q.NumVertices(), false);
+  // Literals are bound from the start.
+  for (uint32_t v = 0; v < q.NumVertices(); ++v)
+    if (!q.vertex(v).is_var) bound[v] = true;
+
+  for (size_t step = 0; step < n; ++step) {
+    int best = -1;
+    int best_score = -1;
+    for (uint32_t e = 0; e < n; ++e) {
+      if (used[e]) continue;
+      int score = EdgeScore(q, q.edge(e), bound);
+      if (score > best_score) {
+        best_score = score;
+        best = static_cast<int>(e);
+      }
+    }
+    GS_CHECK(best >= 0);
+    used[best] = true;
+    plan.edge_order.push_back(static_cast<uint32_t>(best));
+    bound[q.edge(best).src] = true;
+    bound[q.edge(best).dst] = true;
+  }
+  return plan;
+}
+
+namespace {
+
+/// Shared recursive enumeration core. `emit` returns false to stop.
+class Search {
+ public:
+  Search(const GraphStore& store, const QueryPattern& q, const ExecPlan& plan,
+         const std::function<bool(const std::vector<VertexId>&)>& emit, Budget* budget)
+      : store_(store), q_(q), plan_(plan), emit_(emit), budget_(budget) {
+    assignment_.assign(q.NumVertices(), kNoVertex);
+    for (uint32_t v = 0; v < q.NumVertices(); ++v)
+      if (!q.vertex(v).is_var) assignment_[v] = q.vertex(v).literal;
+  }
+
+  void Run() { Step(0); }
+
+  bool aborted() const { return aborted_; }
+
+ private:
+  /// Returns false to propagate "stop everything".
+  bool Step(size_t depth) {
+    if (budget_ != nullptr && budget_->Exceeded()) {
+      aborted_ = true;
+      return false;
+    }
+    if (depth == plan_.edge_order.size()) return emit_(assignment_);
+
+    const auto& e = q_.edge(plan_.edge_order[depth]);
+    VertexId s = assignment_[e.src];
+    VertexId t = assignment_[e.dst];
+
+    if (s != kNoVertex && t != kNoVertex) {
+      if (!store_.HasEdge(s, e.label, t)) return true;
+      return Step(depth + 1);
+    }
+    if (s != kNoVertex) {
+      for (VertexId cand : store_.OutNeighbors(s, e.label)) {
+        // Self-referencing edge (src == dst vertex) already handled: s bound
+        // implies t bound in that case.
+        assignment_[e.dst] = cand;
+        if (!Step(depth + 1)) {
+          assignment_[e.dst] = kNoVertex;
+          return false;
+        }
+      }
+      assignment_[e.dst] = kNoVertex;
+      return true;
+    }
+    if (t != kNoVertex) {
+      for (VertexId cand : store_.InNeighbors(t, e.label)) {
+        assignment_[e.src] = cand;
+        if (!Step(depth + 1)) {
+          assignment_[e.src] = kNoVertex;
+          return false;
+        }
+      }
+      assignment_[e.src] = kNoVertex;
+      return true;
+    }
+    // Neither endpoint bound: label scan. For a self-loop query edge
+    // (e.src == e.dst) only (x, x) rows qualify.
+    for (const auto& [cs, ct] : store_.EdgesByLabel(e.label)) {
+      if (e.src == e.dst) {
+        if (cs != ct) continue;
+        assignment_[e.src] = cs;
+      } else {
+        assignment_[e.src] = cs;
+        assignment_[e.dst] = ct;
+      }
+      bool keep_going = Step(depth + 1);
+      assignment_[e.src] = kNoVertex;
+      if (e.src != e.dst) assignment_[e.dst] = kNoVertex;
+      if (!keep_going) return false;
+    }
+    return true;
+  }
+
+  const GraphStore& store_;
+  const QueryPattern& q_;
+  const ExecPlan& plan_;
+  const std::function<bool(const std::vector<VertexId>&)>& emit_;
+  Budget* budget_;
+  std::vector<VertexId> assignment_;
+  bool aborted_ = false;
+};
+
+}  // namespace
+
+uint64_t MatchExecutor::CountMatches(const QueryPattern& q, const ExecPlan& plan,
+                                     uint64_t limit, Budget* budget) const {
+  uint64_t count = 0;
+  auto emit = [&](const std::vector<VertexId>&) {
+    ++count;
+    return count < limit;
+  };
+  std::function<bool(const std::vector<VertexId>&)> cb = emit;
+  Search search(*store_, q, plan, cb, budget);
+  search.Run();
+  return count;
+}
+
+void MatchExecutor::Enumerate(
+    const QueryPattern& q, const ExecPlan& plan,
+    const std::function<bool(const std::vector<VertexId>&)>& callback,
+    Budget* budget) const {
+  Search search(*store_, q, plan, callback, budget);
+  search.Run();
+}
+
+}  // namespace graphdb
+}  // namespace gstream

@@ -1,0 +1,55 @@
+#ifndef GSTREAM_GRAPHDB_EXECUTOR_H_
+#define GSTREAM_GRAPHDB_EXECUTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/ids.h"
+#include "engine/budget.h"
+#include "graphdb/store.h"
+#include "query/pattern.h"
+
+namespace gstream {
+namespace graphdb {
+
+/// A compiled execution plan: the order in which query edges are matched.
+/// Mirrors Neo4j's cached Cypher plans (paper §5.3: "the parameters syntax
+/// enables the execution planner to cache the query plans for future use").
+struct ExecPlan {
+  std::vector<uint32_t> edge_order;
+};
+
+/// Plans a query greedily: start from the most selective edge (literal
+/// endpoints first), then repeatedly take the edge with the most already-
+/// bound endpoints (ties: more literals, then lower index). Disconnected
+/// patterns fall back to a fresh seed per component.
+ExecPlan PlanQuery(const QueryPattern& q);
+
+/// Backtracking subgraph-matching executor over a `GraphStore`: the query
+/// runtime of the Neo4j-substitute baseline. Matching semantics are
+/// homomorphic, identical to the view-based engines.
+class MatchExecutor {
+ public:
+  explicit MatchExecutor(const GraphStore* store) : store_(store) {}
+
+  /// Counts distinct homomorphisms of `q` (each assignment enumerated exactly
+  /// once). Stops early when `limit` is reached or `budget` (optional)
+  /// expires; both report via the saturated return value.
+  uint64_t CountMatches(const QueryPattern& q, const ExecPlan& plan,
+                        uint64_t limit = UINT64_MAX, Budget* budget = nullptr) const;
+
+  /// Enumerates homomorphisms; `callback` receives the per-vertex assignment
+  /// and returns false to stop enumeration.
+  void Enumerate(const QueryPattern& q, const ExecPlan& plan,
+                 const std::function<bool(const std::vector<VertexId>&)>& callback,
+                 Budget* budget = nullptr) const;
+
+ private:
+  const GraphStore* store_;
+};
+
+}  // namespace graphdb
+}  // namespace gstream
+
+#endif  // GSTREAM_GRAPHDB_EXECUTOR_H_

@@ -1,0 +1,102 @@
+#include "graphdb/graphdb_engine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/mem_tracker.h"
+
+namespace gstream {
+namespace graphdb {
+
+GraphDbEngine::GraphDbEngine() : executor_(&store_) {}
+
+uint64_t GraphDbEngine::CountQuery(const QueryEntry& entry) {
+  if (!entry.pattern.HasConstraints())
+    return executor_.CountMatches(entry.pattern, entry.plan, UINT64_MAX, budget_);
+  uint64_t count = 0;
+  executor_.Enumerate(
+      entry.pattern, entry.plan,
+      [&](const std::vector<VertexId>& assignment) {
+        if (SatisfiesConstraints(entry.pattern, assignment.data())) ++count;
+        return true;
+      },
+      budget_);
+  return count;
+}
+
+void GraphDbEngine::AddQuery(QueryId qid, const QueryPattern& q) {
+  GS_CHECK_MSG(q.IsValid(), "invalid query pattern");
+  GS_CHECK_MSG(queries_.count(qid) == 0, "duplicate query id");
+  QueryEntry entry;
+  entry.pattern = q;
+  entry.plan = PlanQuery(q);
+  // Queries registered mid-stream start from the current match count so they
+  // only report future matches.
+  if (store_.NumEdges() > 0) entry.last_count = CountQuery(entry);
+  for (uint32_t e = 0; e < q.NumEdges(); ++e)
+    edge_ind_[q.Genericized(e)].push_back(qid);
+  queries_.emplace(qid, std::move(entry));
+}
+
+UpdateResult GraphDbEngine::ApplyUpdate(const EdgeUpdate& u) {
+  UpdateResult result;
+  if (u.op == UpdateOp::kDelete) {
+    if (!store_.RemoveEdge(u.src, u.label, u.dst)) return result;  // absent
+    result.changed = true;
+    // Deletions cannot create embeddings; refresh affected counts downward.
+    for (const auto& g : Generalizations(u)) {
+      auto it = edge_ind_.find(g);
+      if (it == edge_ind_.end()) continue;
+      for (QueryId qid : it->second) {
+        auto& entry = queries_.at(qid);
+        entry.last_count = CountQuery(entry);
+      }
+    }
+    return result;
+  }
+
+  if (!store_.AddEdge(u.src, u.label, u.dst)) return result;  // duplicate
+  result.changed = true;
+
+  // Affected queries via the inverted pattern index.
+  std::vector<QueryId> affected;
+  for (const auto& g : Generalizations(u)) {
+    auto it = edge_ind_.find(g);
+    if (it == edge_ind_.end()) continue;
+    affected.insert(affected.end(), it->second.begin(), it->second.end());
+  }
+  std::sort(affected.begin(), affected.end());
+  affected.erase(std::unique(affected.begin(), affected.end()), affected.end());
+
+  for (QueryId qid : affected) {
+    if (BudgetExceeded()) {
+      result.timed_out = true;
+      break;
+    }
+    auto& entry = queries_.at(qid);
+    uint64_t count = CountQuery(entry);
+    if (budget_ != nullptr && budget_->ExceededNow()) {
+      result.timed_out = true;
+      break;
+    }
+    GS_DCHECK(count >= entry.last_count);
+    result.AddQueryCount(qid, count - entry.last_count);
+    entry.last_count = count;
+  }
+  return result;
+}
+
+size_t GraphDbEngine::MemoryBytes() const {
+  size_t bytes = sizeof(*this) + store_.MemoryBytes();
+  for (const auto& [qid, entry] : queries_) {
+    bytes += sizeof(qid) + entry.pattern.MemoryBytes() +
+             mem::OfVector(entry.plan.edge_order) + sizeof(entry.last_count) +
+             2 * sizeof(void*);
+  }
+  for (const auto& [p, qids] : edge_ind_)
+    bytes += sizeof(p) + mem::OfVector(qids) + 2 * sizeof(void*);
+  return bytes;
+}
+
+}  // namespace graphdb
+}  // namespace gstream

@@ -1,0 +1,57 @@
+#ifndef GSTREAM_GRAPHDB_GRAPHDB_ENGINE_H_
+#define GSTREAM_GRAPHDB_GRAPHDB_ENGINE_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/engine.h"
+#include "graphdb/executor.h"
+#include "graphdb/store.h"
+#include "query/edge_pattern.h"
+
+namespace gstream {
+namespace graphdb {
+
+/// The Neo4j-substitute baseline (paper §5.3): the whole graph lives in an
+/// embedded store; an inverted index over genericized edge patterns
+/// (`edgeInd`) maps an incoming update to the affected queries, which are
+/// then *re-executed in full* against the store with cached execution plans.
+/// New-embedding counts are obtained by diffing against the count at each
+/// query's previous evaluation (sound because embeddings are monotone under
+/// edge insertions and any new embedding makes its queries "affected").
+class GraphDbEngine : public ContinuousEngine {
+ public:
+  GraphDbEngine();
+
+  std::string name() const override { return "GraphDB"; }
+  void AddQuery(QueryId qid, const QueryPattern& q) override;
+  UpdateResult ApplyUpdate(const EdgeUpdate& u) override;
+  size_t NumQueries() const override { return queries_.size(); }
+  size_t MemoryBytes() const override;
+
+  /// Direct access for examples and the test suite.
+  const GraphStore& store() const { return store_; }
+
+ private:
+  struct QueryEntry {
+    QueryPattern pattern;
+    ExecPlan plan;
+    uint64_t last_count = 0;
+  };
+
+  /// Full re-execution of one query; applies §4.3 property constraints as a
+  /// result filter when the query carries any.
+  uint64_t CountQuery(const QueryEntry& entry);
+
+  GraphStore store_;
+  MatchExecutor executor_;
+  std::unordered_map<QueryId, QueryEntry> queries_;
+  std::unordered_map<GenericEdgePattern, std::vector<QueryId>, GenericEdgePatternHash>
+      edge_ind_;
+};
+
+}  // namespace graphdb
+}  // namespace gstream
+
+#endif  // GSTREAM_GRAPHDB_GRAPHDB_ENGINE_H_

@@ -1,0 +1,76 @@
+#include "graphdb/store.h"
+
+#include <algorithm>
+
+namespace gstream {
+namespace graphdb {
+
+namespace {
+const std::vector<VertexId> kNoVertices;
+const std::vector<std::pair<VertexId, VertexId>> kNoEdges;
+}  // namespace
+
+bool GraphStore::AddEdge(VertexId src, LabelId label, VertexId dst) {
+  EdgeUpdate key{src, label, dst, UpdateOp::kAdd};
+  if (!edges_.insert(key).second) return false;
+  out_[{src, label}].push_back(dst);
+  in_[{dst, label}].push_back(src);
+  by_label_[label].emplace_back(src, dst);
+  vertices_.insert(src);
+  vertices_.insert(dst);
+  return true;
+}
+
+bool GraphStore::RemoveEdge(VertexId src, LabelId label, VertexId dst) {
+  EdgeUpdate key{src, label, dst, UpdateOp::kAdd};
+  if (edges_.erase(key) == 0) return false;
+  auto& outs = out_[{src, label}];
+  outs.erase(std::find(outs.begin(), outs.end(), dst));
+  auto& ins = in_[{dst, label}];
+  ins.erase(std::find(ins.begin(), ins.end(), src));
+  auto& scan = by_label_[label];
+  scan.erase(std::find(scan.begin(), scan.end(), std::make_pair(src, dst)));
+  return true;
+}
+
+bool GraphStore::HasEdge(VertexId src, LabelId label, VertexId dst) const {
+  return edges_.count(EdgeUpdate{src, label, dst, UpdateOp::kAdd}) > 0;
+}
+
+const std::vector<VertexId>& GraphStore::OutNeighbors(VertexId v, LabelId l) const {
+  auto it = out_.find({v, l});
+  return it == out_.end() ? kNoVertices : it->second;
+}
+
+const std::vector<VertexId>& GraphStore::InNeighbors(VertexId v, LabelId l) const {
+  auto it = in_.find({v, l});
+  return it == in_.end() ? kNoVertices : it->second;
+}
+
+const std::vector<std::pair<VertexId, VertexId>>& GraphStore::EdgesByLabel(
+    LabelId l) const {
+  auto it = by_label_.find(l);
+  return it == by_label_.end() ? kNoEdges : it->second;
+}
+
+size_t GraphStore::MemoryBytes() const {
+  size_t bytes = sizeof(*this);
+  auto adj_bytes = [](const auto& m) {
+    size_t b = m.bucket_count() * sizeof(void*);
+    for (const auto& [k, v] : m)
+      b += sizeof(k) + sizeof(v) + v.capacity() * sizeof(typename std::decay_t<decltype(v)>::value_type) +
+           2 * sizeof(void*);
+    return b;
+  };
+  bytes += adj_bytes(out_);
+  bytes += adj_bytes(in_);
+  bytes += adj_bytes(by_label_);
+  bytes += edges_.size() * (sizeof(EdgeUpdate) + 2 * sizeof(void*)) +
+           edges_.bucket_count() * sizeof(void*);
+  bytes += vertices_.size() * (sizeof(VertexId) + 2 * sizeof(void*)) +
+           vertices_.bucket_count() * sizeof(void*);
+  return bytes;
+}
+
+}  // namespace graphdb
+}  // namespace gstream

@@ -1,0 +1,61 @@
+#ifndef GSTREAM_GRAPHDB_STORE_H_
+#define GSTREAM_GRAPHDB_STORE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/ids.h"
+#include "graph/update.h"
+
+namespace gstream {
+namespace graphdb {
+
+/// The storage layer of the Neo4j-substitute baseline (paper §5.3): an
+/// embedded in-memory property-graph store that — unlike the view-based
+/// engines — retains the *entire* graph, with per-label adjacency and edge
+/// scans indexed ("the graph database builds indexes on all labels of the
+/// schema allowing for faster look up times").
+class GraphStore {
+ public:
+  /// Inserts one edge; returns false on duplicates.
+  bool AddEdge(VertexId src, LabelId label, VertexId dst);
+
+  /// Deletes one edge; returns false when absent.
+  bool RemoveEdge(VertexId src, LabelId label, VertexId dst);
+
+  bool HasEdge(VertexId src, LabelId label, VertexId dst) const;
+
+  /// Targets of label-`l` edges out of `v` (empty when none).
+  const std::vector<VertexId>& OutNeighbors(VertexId v, LabelId l) const;
+
+  /// Sources of label-`l` edges into `v`.
+  const std::vector<VertexId>& InNeighbors(VertexId v, LabelId l) const;
+
+  /// All (src, dst) pairs with label `l` — the label scan index.
+  const std::vector<std::pair<VertexId, VertexId>>& EdgesByLabel(LabelId l) const;
+
+  size_t NumEdges() const { return edges_.size(); }
+  size_t NumVertices() const { return vertices_.size(); }
+  bool HasVertex(VertexId v) const { return vertices_.count(v) > 0; }
+
+  /// Approximate heap footprint in bytes.
+  size_t MemoryBytes() const;
+
+ private:
+  using VKey = std::pair<VertexId, LabelId>;
+
+  std::unordered_map<VKey, std::vector<VertexId>, PairHash> out_;
+  std::unordered_map<VKey, std::vector<VertexId>, PairHash> in_;
+  std::unordered_map<LabelId, std::vector<std::pair<VertexId, VertexId>>> by_label_;
+  std::unordered_set<EdgeUpdate, EdgeKeyHash, EdgeKeyEq> edges_;
+  std::unordered_set<VertexId> vertices_;
+};
+
+}  // namespace graphdb
+}  // namespace gstream
+
+#endif  // GSTREAM_GRAPHDB_STORE_H_

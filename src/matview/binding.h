@@ -1,0 +1,57 @@
+#ifndef GSTREAM_MATVIEW_BINDING_H_
+#define GSTREAM_MATVIEW_BINDING_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "matview/join.h"
+#include "matview/relation.h"
+
+namespace gstream {
+
+/// Bindings: a relation whose columns are named by query-vertex ids — the
+/// intermediate form of the answering phase's final step, where the
+/// materialized views of a query's covering paths are joined on their shared
+/// vertices (paper §4.1: "the intersection of two paths Pi and Pj are their
+/// common vertices").
+struct OwnedBindings {
+  std::vector<uint32_t> schema;    ///< Query-vertex ids, first-occurrence order.
+  std::unique_ptr<Relation> rows;  ///< arity == schema.size().
+
+  bool Empty() const { return rows == nullptr || rows->Empty(); }
+  RowRange All() const { return rows ? AllRows(*rows) : RowRange{}; }
+};
+
+/// Computes the distinct-vertex schema of a path position map and the
+/// equality checks implied by repeated vertices (cyclic covering paths).
+struct PathBindingSpec {
+  std::vector<uint32_t> schema;    ///< Distinct query vertices, in order.
+  std::vector<uint32_t> src_pos;   ///< Source path position per schema column.
+  std::vector<std::pair<uint32_t, uint32_t>> eq_checks;  ///< Positions that must agree.
+
+  bool has_repeats() const { return !eq_checks.empty(); }
+
+  static PathBindingSpec For(const std::vector<uint32_t>& pos_to_vertex);
+};
+
+/// Converts path-view rows into bindings using `spec` (drops rows violating
+/// the equality checks, projects onto the distinct vertices, dedups).
+OwnedBindings PathRowsToBindings(RowRange rows, const PathBindingSpec& spec);
+
+/// Natural join of two binding ranges on their shared query vertices (cross
+/// product when disjoint). Output schema: `sa` followed by vertices unique to
+/// `sb`. `b_first_key_index`, when non-null, must index `b.rel` on the first
+/// shared vertex's column in `sb` (pass the index only when such a vertex
+/// exists; callers using a `JoinCache` know the column via
+/// `FirstSharedColumn`).
+OwnedBindings JoinBindingRanges(const std::vector<uint32_t>& sa, RowRange a,
+                                const std::vector<uint32_t>& sb, RowRange b,
+                                const HashIndex* b_first_key_index = nullptr);
+
+/// Column in `sb` of the first vertex shared with `sa`, or -1 when disjoint.
+int FirstSharedColumn(const std::vector<uint32_t>& sa, const std::vector<uint32_t>& sb);
+
+}  // namespace gstream
+
+#endif  // GSTREAM_MATVIEW_BINDING_H_

@@ -1,0 +1,41 @@
+#include "matview/hash_index.h"
+
+#include "common/logging.h"
+
+namespace gstream {
+
+namespace {
+const std::vector<uint32_t> kNoRows;
+}  // namespace
+
+HashIndex::HashIndex(const Relation* rel, uint32_t col) : rel_(rel), col_(col) {
+  GS_CHECK(col < rel->arity());
+  CatchUp();
+}
+
+void HashIndex::CatchUp() {
+  if (generation_ != rel_->generation()) {
+    map_.clear();
+    indexed_ = 0;
+    generation_ = rel_->generation();
+  }
+  const size_t n = rel_->NumRows();
+  for (size_t i = indexed_; i < n; ++i)
+    map_[rel_->At(i, col_)].push_back(static_cast<uint32_t>(i));
+  indexed_ = n;
+}
+
+const std::vector<uint32_t>& HashIndex::Probe(VertexId key) const {
+  auto it = map_.find(key);
+  return it == map_.end() ? kNoRows : it->second;
+}
+
+size_t HashIndex::MemoryBytes() const {
+  size_t bytes = sizeof(*this) + map_.bucket_count() * sizeof(void*);
+  for (const auto& [k, rows] : map_)
+    bytes += sizeof(k) + sizeof(rows) + rows.capacity() * sizeof(uint32_t) +
+             2 * sizeof(void*);
+  return bytes;
+}
+
+}  // namespace gstream

@@ -1,0 +1,49 @@
+#ifndef GSTREAM_MATVIEW_HASH_INDEX_H_
+#define GSTREAM_MATVIEW_HASH_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "matview/relation.h"
+
+namespace gstream {
+
+/// Equi-join hash index over one column of a relation: the build-phase hash
+/// table of the paper's hash joins (§4.2 "Caching"). Base algorithms build
+/// such tables transiently and discard them after each join; the "+"
+/// variants keep them in a `JoinCache` and maintain them incrementally
+/// (`CatchUp()` indexes only rows appended since the last call — relations
+/// are insert-only, so this is sound).
+class HashIndex {
+ public:
+  HashIndex(const Relation* rel, uint32_t col);
+
+  /// Indexes rows appended since construction / the previous CatchUp. When
+  /// the relation has seen a retraction since (its `generation()` moved),
+  /// the index is rebuilt from scratch — row indexes are only stable within
+  /// a generation.
+  void CatchUp();
+
+  /// Row indexes whose `col` equals `key` (among indexed rows).
+  const std::vector<uint32_t>& Probe(VertexId key) const;
+
+  const Relation* relation() const { return rel_; }
+  uint32_t column() const { return col_; }
+  size_t indexed_rows() const { return indexed_; }
+
+  /// Approximate heap footprint in bytes.
+  size_t MemoryBytes() const;
+
+ private:
+  const Relation* rel_;
+  uint32_t col_;
+  size_t indexed_ = 0;
+  uint64_t generation_ = 0;
+  std::unordered_map<VertexId, std::vector<uint32_t>> map_;
+};
+
+}  // namespace gstream
+
+#endif  // GSTREAM_MATVIEW_HASH_INDEX_H_

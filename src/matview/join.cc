@@ -1,0 +1,158 @@
+#include "matview/join.h"
+
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace gstream {
+
+namespace {
+
+/// Transient build-phase table: key column value -> row indexes in range.
+std::unordered_map<VertexId, std::vector<uint32_t>> BuildTransient(RowRange range,
+                                                                   uint32_t col) {
+  std::unordered_map<VertexId, std::vector<uint32_t>> table;
+  for (size_t i = range.begin; i < range.end; ++i)
+    table[range.rel->At(i, col)].push_back(static_cast<uint32_t>(i));
+  return table;
+}
+
+}  // namespace
+
+void ExtendRight(RowRange prefix, const Relation& base, const HashIndex* base_src_index,
+                 Relation& out) {
+  if (prefix.empty()) return;
+  const uint32_t p_arity = prefix.rel->arity();
+  GS_DCHECK(out.arity() == p_arity + 1);
+  GS_DCHECK(base.arity() == 2);
+  std::vector<VertexId> row(p_arity + 1);
+
+  if (base_src_index != nullptr) {
+    // Cached path: probe the maintained index per prefix row.
+    for (size_t i = prefix.begin; i < prefix.end; ++i) {
+      const VertexId* pr = prefix.rel->Row(i);
+      for (uint32_t b : base_src_index->Probe(pr[p_arity - 1])) {
+        std::copy(pr, pr + p_arity, row.begin());
+        row[p_arity] = base.At(b, 1);
+        out.Append(row.data());
+      }
+    }
+    return;
+  }
+
+  // Build-and-discard path (paper: hash join, build on the smaller table —
+  // the delta — probe by scanning the larger base view).
+  auto table = BuildTransient(prefix, p_arity - 1);
+  for (size_t b = 0; b < base.NumRows(); ++b) {
+    auto it = table.find(base.At(b, 0));
+    if (it == table.end()) continue;
+    for (uint32_t i : it->second) {
+      const VertexId* pr = prefix.rel->Row(i);
+      std::copy(pr, pr + p_arity, row.begin());
+      row[p_arity] = base.At(b, 1);
+      out.Append(row.data());
+    }
+  }
+}
+
+void ExtendRightSingle(RowRange prefix, VertexId src, VertexId dst,
+                       const HashIndex* prefix_last_index, Relation& out) {
+  if (prefix.empty()) return;
+  const uint32_t p_arity = prefix.rel->arity();
+  GS_DCHECK(out.arity() == p_arity + 1);
+  std::vector<VertexId> row(p_arity + 1);
+
+  auto emit = [&](size_t i) {
+    const VertexId* pr = prefix.rel->Row(i);
+    std::copy(pr, pr + p_arity, row.begin());
+    row[p_arity] = dst;
+    out.Append(row.data());
+  };
+
+  if (prefix_last_index != nullptr) {
+    for (uint32_t i : prefix_last_index->Probe(src))
+      if (i >= prefix.begin && i < prefix.end) emit(i);
+    return;
+  }
+  for (size_t i = prefix.begin; i < prefix.end; ++i)
+    if (prefix.rel->At(i, p_arity - 1) == src) emit(i);
+}
+
+void ExtendLeft(RowRange suffix, const Relation& base, const HashIndex* base_dst_index,
+                Relation& out) {
+  if (suffix.empty()) return;
+  const uint32_t s_arity = suffix.rel->arity();
+  GS_DCHECK(out.arity() == s_arity + 1);
+  GS_DCHECK(base.arity() == 2);
+  std::vector<VertexId> row(s_arity + 1);
+
+  auto emit = [&](size_t s, size_t b) {
+    row[0] = base.At(b, 0);
+    const VertexId* sr = suffix.rel->Row(s);
+    std::copy(sr, sr + s_arity, row.begin() + 1);
+    out.Append(row.data());
+  };
+
+  if (base_dst_index != nullptr) {
+    for (size_t s = suffix.begin; s < suffix.end; ++s)
+      for (uint32_t b : base_dst_index->Probe(suffix.rel->At(s, 0))) emit(s, b);
+    return;
+  }
+  auto table = BuildTransient(suffix, 0);
+  for (size_t b = 0; b < base.NumRows(); ++b) {
+    auto it = table.find(base.At(b, 1));
+    if (it == table.end()) continue;
+    for (uint32_t s : it->second) emit(s, b);
+  }
+}
+
+void JoinConcat(RowRange a, RowRange b,
+                const std::vector<std::pair<uint32_t, uint32_t>>& keys,
+                const HashIndex* b_first_key_index, Relation& out) {
+  if (a.empty() || b.empty()) return;
+  const uint32_t a_arity = a.rel->arity();
+  const uint32_t b_arity = b.rel->arity();
+  GS_DCHECK(out.arity() == a_arity + b_arity);
+  std::vector<VertexId> row(a_arity + b_arity);
+
+  auto matches = [&](size_t ia, size_t ib) {
+    for (const auto& [ca, cb] : keys)
+      if (a.rel->At(ia, ca) != b.rel->At(ib, cb)) return false;
+    return true;
+  };
+  auto emit = [&](size_t ia, size_t ib) {
+    const VertexId* ra = a.rel->Row(ia);
+    const VertexId* rb = b.rel->Row(ib);
+    std::copy(ra, ra + a_arity, row.begin());
+    std::copy(rb, rb + b_arity, row.begin() + a_arity);
+    out.Append(row.data());
+  };
+
+  if (keys.empty()) {  // cross product
+    for (size_t ia = a.begin; ia < a.end; ++ia)
+      for (size_t ib = b.begin; ib < b.end; ++ib) emit(ia, ib);
+    return;
+  }
+
+  if (b_first_key_index != nullptr) {
+    GS_DCHECK(b_first_key_index->column() == keys[0].second);
+    for (size_t ia = a.begin; ia < a.end; ++ia) {
+      for (uint32_t ib : b_first_key_index->Probe(a.rel->At(ia, keys[0].first))) {
+        if (ib < b.begin || ib >= b.end) continue;
+        if (matches(ia, ib)) emit(ia, ib);
+      }
+    }
+    return;
+  }
+
+  // Build on b's first key column, probe with a.
+  auto table = BuildTransient(b, keys[0].second);
+  for (size_t ia = a.begin; ia < a.end; ++ia) {
+    auto it = table.find(a.rel->At(ia, keys[0].first));
+    if (it == table.end()) continue;
+    for (uint32_t ib : it->second)
+      if (matches(ia, ib)) emit(ia, ib);
+  }
+}
+
+}  // namespace gstream

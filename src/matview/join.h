@@ -1,0 +1,65 @@
+#ifndef GSTREAM_MATVIEW_JOIN_H_
+#define GSTREAM_MATVIEW_JOIN_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+#include "matview/hash_index.h"
+#include "matview/relation.h"
+
+namespace gstream {
+
+/// A contiguous run of rows of a relation — either a full view or the delta
+/// appended by the current update.
+struct RowRange {
+  const Relation* rel = nullptr;
+  size_t begin = 0;
+  size_t end = 0;
+
+  size_t size() const { return end - begin; }
+  bool empty() const { return begin >= end; }
+};
+
+inline RowRange AllRows(const Relation& r) { return {&r, 0, r.NumRows()}; }
+inline RowRange DeltaRows(const Relation& r, size_t from) {
+  return {&r, from, r.NumRows()};
+}
+
+/// Path-extension join (paper §4.2 Step 2): `out += prefix ⋈ base` where the
+/// prefix's last column equals the base edge view's source column (column 0)
+/// and the output row is the prefix row extended with the base target
+/// (column 1). `out.arity() == prefix arity + 1`.
+///
+/// `base_src_index`, when non-null, must index `base` column 0; the cached
+/// ("+") engines pass it, the base engines pass nullptr and pay the paper's
+/// build-and-discard hash-join cost (build over the smaller prefix range,
+/// probe by scanning `base`).
+void ExtendRight(RowRange prefix, const Relation& base, const HashIndex* base_src_index,
+                 Relation& out);
+
+/// Single-update variant: `out += prefix ⋈ {(src, dst)}` joining the prefix's
+/// last column against `src`. With `prefix_last_index` (cached engines) this
+/// is an O(matches) probe; without it the prefix range is scanned.
+void ExtendRightSingle(RowRange prefix, VertexId src, VertexId dst,
+                       const HashIndex* prefix_last_index, Relation& out);
+
+/// Leftward path extension (INC walking a path backwards from the update):
+/// `out += base ⋈ suffix` joining the base target (column 1) against the
+/// suffix's first column; output row is the base source prepended to the
+/// suffix row. `base_dst_index`, when non-null, must index `base` column 1.
+void ExtendLeft(RowRange suffix, const Relation& base, const HashIndex* base_dst_index,
+                Relation& out);
+
+/// General equi-join: emits `a_row ++ b_row` for every pair agreeing on all
+/// `keys` (pairs of (a column, b column)). With empty `keys` this is a cross
+/// product. `b_first_key_index`, when non-null, must index `b.rel` on
+/// `keys[0].second`.
+void JoinConcat(RowRange a, RowRange b,
+                const std::vector<std::pair<uint32_t, uint32_t>>& keys,
+                const HashIndex* b_first_key_index, Relation& out);
+
+}  // namespace gstream
+
+#endif  // GSTREAM_MATVIEW_JOIN_H_

@@ -1,0 +1,22 @@
+#include "matview/join_cache.h"
+
+namespace gstream {
+
+HashIndex* JoinCache::Get(const Relation* rel, uint32_t col) {
+  auto key = Key{rel, col};
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    it = cache_.emplace(key, std::make_unique<HashIndex>(rel, col)).first;
+  } else {
+    it->second->CatchUp();
+  }
+  return it->second.get();
+}
+
+size_t JoinCache::MemoryBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const auto& [key, index] : cache_) bytes += sizeof(key) + index->MemoryBytes();
+  return bytes;
+}
+
+}  // namespace gstream

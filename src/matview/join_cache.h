@@ -1,0 +1,47 @@
+#ifndef GSTREAM_MATVIEW_JOIN_CACHE_H_
+#define GSTREAM_MATVIEW_JOIN_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+#include "common/hash.h"
+#include "matview/hash_index.h"
+
+namespace gstream {
+
+/// The "+" extension (paper §4.2 "Caching"): instead of discarding the hash
+/// tables built during each join, keep them keyed by (relation, column) and
+/// maintain them incrementally as the underlying views grow. TRIC+, INV+ and
+/// INC+ own one JoinCache; the base algorithms pass null indexes and rebuild
+/// per join.
+class JoinCache {
+ public:
+  /// Returns a maintained index over `rel` column `col`, creating it on first
+  /// use and catching up on rows appended since the previous call.
+  HashIndex* Get(const Relation* rel, uint32_t col);
+
+  size_t NumIndexes() const { return cache_.size(); }
+
+  /// Approximate heap footprint of all cached indexes.
+  size_t MemoryBytes() const;
+
+  void Clear() { cache_.clear(); }
+
+ private:
+  using Key = std::pair<const Relation*, uint32_t>;
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      size_t seed = 0;
+      HashCombine(seed, reinterpret_cast<uintptr_t>(k.first));
+      HashCombine(seed, k.second);
+      return seed;
+    }
+  };
+  std::unordered_map<Key, std::unique_ptr<HashIndex>, KeyHash> cache_;
+};
+
+}  // namespace gstream
+
+#endif  // GSTREAM_MATVIEW_JOIN_CACHE_H_

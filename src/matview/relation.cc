@@ -1,0 +1,78 @@
+#include "matview/relation.h"
+
+#include "common/logging.h"
+
+namespace gstream {
+
+Relation::Relation(uint32_t arity)
+    : arity_(arity), row_set_(16, RowHash{this}, RowEq{this}) {
+  GS_CHECK_MSG(arity > 0, "relation arity must be positive");
+}
+
+Relation::Relation(Relation&& other) noexcept
+    : arity_(other.arity_),
+      num_rows_(other.num_rows_),
+      data_(std::move(other.data_)),
+      row_set_(16, RowHash{this}, RowEq{this}) {
+  // The dedup functors capture `this`, so the set is rebuilt rather than
+  // moved. Row indexes are preserved by construction.
+  row_set_.reserve(num_rows_);
+  for (uint32_t i = 0; i < num_rows_; ++i) row_set_.insert(i);
+  other.num_rows_ = 0;
+  other.row_set_.clear();
+}
+
+bool Relation::Append(const VertexId* row) {
+  // Tentatively append, then insert the index into the dedup set; roll back
+  // on duplicates. This avoids hashing rows that are not yet stored.
+  data_.insert(data_.end(), row, row + arity_);
+  uint32_t idx = static_cast<uint32_t>(num_rows_);
+  auto [it, inserted] = row_set_.insert(idx);
+  (void)it;
+  if (!inserted) {
+    data_.resize(data_.size() - arity_);
+    return false;
+  }
+  ++num_rows_;
+  return true;
+}
+
+bool Relation::Append(const std::vector<VertexId>& row) {
+  GS_DCHECK(row.size() == arity_);
+  return Append(row.data());
+}
+
+size_t Relation::RemoveRowsWhere(const std::function<bool(const VertexId*)>& pred) {
+  size_t kept = 0;
+  for (size_t i = 0; i < num_rows_; ++i) {
+    const VertexId* row = Row(i);
+    if (pred(row)) continue;
+    if (kept != i)
+      std::copy(row, row + arity_, data_.begin() + kept * arity_);
+    ++kept;
+  }
+  const size_t removed = num_rows_ - kept;
+  if (removed == 0) return 0;
+  data_.resize(kept * arity_);
+  num_rows_ = kept;
+  ++generation_;
+  row_set_.clear();
+  for (uint32_t i = 0; i < num_rows_; ++i) row_set_.insert(i);
+  return removed;
+}
+
+void Relation::Clear() {
+  if (num_rows_ == 0) return;
+  data_.clear();
+  num_rows_ = 0;
+  row_set_.clear();
+  ++generation_;
+}
+
+size_t Relation::MemoryBytes() const {
+  return sizeof(*this) + data_.capacity() * sizeof(VertexId) +
+         row_set_.size() * (sizeof(uint32_t) + 2 * sizeof(void*)) +
+         row_set_.bucket_count() * sizeof(void*);
+}
+
+}  // namespace gstream

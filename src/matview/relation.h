@@ -1,0 +1,95 @@
+#ifndef GSTREAM_MATVIEW_RELATION_H_
+#define GSTREAM_MATVIEW_RELATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/ids.h"
+
+namespace gstream {
+
+/// A materialized view: a fixed-arity relation of vertex-id tuples with set
+/// semantics (paper §4.1 "Materialization": matV[e] stores all updates that
+/// match e; path views store the join results along a covering path).
+///
+/// Rows are append-only and duplicate rows are rejected, which is what makes
+/// the delta-based answering phase exact (every derivation of a tuple may be
+/// attempted; only the first lands). Insert-only lets `NumRows()` double as a
+/// monotone version for incremental hash-index maintenance.
+///
+/// Not copyable. Move-constructible (the internal dedup set is rebuilt
+/// against the new address), but note that hash indexes hold stable pointers
+/// to a relation — anything indexed must stay put; own such relations via
+/// std::unique_ptr.
+class Relation {
+ public:
+  explicit Relation(uint32_t arity);
+  Relation(const Relation&) = delete;
+  Relation& operator=(const Relation&) = delete;
+  Relation(Relation&& other) noexcept;
+  Relation& operator=(Relation&&) = delete;
+
+  /// Appends `row` (arity() ids) unless an equal row exists.
+  /// Returns true when the row was inserted.
+  bool Append(const VertexId* row);
+  bool Append(const std::vector<VertexId>& row);
+
+  /// Retraction support (paper §4.3: edge deletions remove the affected
+  /// tuples from the materialized views). Removes every row for which
+  /// `pred(row_pointer)` is true, compacting storage and rebuilding the
+  /// dedup set. Returns the number of rows removed; bumps `generation()`
+  /// when anything changed, which tells dependent hash indexes to rebuild.
+  size_t RemoveRowsWhere(const std::function<bool(const VertexId*)>& pred);
+
+  /// Drops all rows (bumps `generation()` when non-empty).
+  void Clear();
+
+  /// Incremented by every retraction; row indexes are only stable within a
+  /// generation.
+  uint64_t generation() const { return generation_; }
+
+  uint32_t arity() const { return arity_; }
+  size_t NumRows() const { return num_rows_; }
+  bool Empty() const { return num_rows_ == 0; }
+
+  /// Pointer to the first id of row `i`.
+  const VertexId* Row(size_t i) const { return data_.data() + i * arity_; }
+  VertexId At(size_t row, uint32_t col) const { return data_[row * arity_ + col]; }
+
+  /// Monotone version counter (== NumRows()).
+  uint64_t version() const { return num_rows_; }
+
+  /// Approximate heap footprint in bytes.
+  size_t MemoryBytes() const;
+
+ private:
+  struct RowHash {
+    const Relation* rel;
+    size_t operator()(uint32_t idx) const {
+      return HashIds(rel->Row(idx), rel->arity_);
+    }
+  };
+  struct RowEq {
+    const Relation* rel;
+    bool operator()(uint32_t a, uint32_t b) const {
+      const VertexId* ra = rel->Row(a);
+      const VertexId* rb = rel->Row(b);
+      for (uint32_t c = 0; c < rel->arity_; ++c)
+        if (ra[c] != rb[c]) return false;
+      return true;
+    }
+  };
+
+  uint32_t arity_;
+  size_t num_rows_ = 0;
+  uint64_t generation_ = 0;
+  std::vector<VertexId> data_;
+  std::unordered_set<uint32_t, RowHash, RowEq> row_set_;
+};
+
+}  // namespace gstream
+
+#endif  // GSTREAM_MATVIEW_RELATION_H_

@@ -1,0 +1,23 @@
+#include "query/edge_pattern.h"
+
+namespace gstream {
+
+std::string GenericEdgePattern::ToString(const StringInterner& interner) const {
+  std::string s = "(";
+  s += src_is_var() ? "?var" : interner.Lookup(src);
+  s += ")-[";
+  s += interner.Lookup(label);
+  s += "]->(";
+  s += dst_is_var() ? "?var" : interner.Lookup(dst);
+  s += ")";
+  return s;
+}
+
+std::array<GenericEdgePattern, 4> Generalizations(const EdgeUpdate& u) {
+  return {GenericEdgePattern{u.src, u.label, u.dst},
+          GenericEdgePattern{u.src, u.label, kNoVertex},
+          GenericEdgePattern{kNoVertex, u.label, u.dst},
+          GenericEdgePattern{kNoVertex, u.label, kNoVertex}};
+}
+
+}  // namespace gstream

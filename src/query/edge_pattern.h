@@ -1,0 +1,61 @@
+#ifndef GSTREAM_QUERY_EDGE_PATTERN_H_
+#define GSTREAM_QUERY_EDGE_PATTERN_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/hash.h"
+#include "common/ids.h"
+#include "common/interning.h"
+#include "graph/update.h"
+
+namespace gstream {
+
+/// A variable-genericized edge pattern: the unit of clustering in TRIC and of
+/// inverted indexing in INV/INC (paper §4.1 "Variable Handling": all variable
+/// vertices are substituted by the generic "?var" so that structurally equal
+/// restrictions share index entries and materialized views).
+///
+/// `src`/`dst` hold an interned vertex label for literal endpoints and
+/// `kNoVertex` for variable endpoints.
+struct GenericEdgePattern {
+  VertexId src = kNoVertex;
+  LabelId label = kNoLabel;
+  VertexId dst = kNoVertex;
+
+  bool src_is_var() const { return src == kNoVertex; }
+  bool dst_is_var() const { return dst == kNoVertex; }
+
+  /// True iff graph edge (s, l, t) satisfies this pattern's restrictions.
+  bool Matches(VertexId s, LabelId l, VertexId t) const {
+    return l == label && (src_is_var() || src == s) && (dst_is_var() || dst == t);
+  }
+  bool Matches(const EdgeUpdate& u) const { return Matches(u.src, u.label, u.dst); }
+
+  friend bool operator==(const GenericEdgePattern& a, const GenericEdgePattern& b) {
+    return a.src == b.src && a.label == b.label && a.dst == b.dst;
+  }
+
+  /// Debug rendering, e.g. `(?var)-[knows]->(alice)`.
+  std::string ToString(const StringInterner& interner) const;
+};
+
+struct GenericEdgePatternHash {
+  size_t operator()(const GenericEdgePattern& p) const {
+    size_t seed = 0;
+    HashCombine(seed, p.src);
+    HashCombine(seed, p.label);
+    HashCombine(seed, p.dst);
+    return seed;
+  }
+};
+
+/// The (up to 4) generic patterns a concrete edge can satisfy:
+/// (s, t), (s, ?var), (?var, t), (?var, ?var). Engines probe their pattern
+/// indexes with each of these at answering time.
+std::array<GenericEdgePattern, 4> Generalizations(const EdgeUpdate& u);
+
+}  // namespace gstream
+
+#endif  // GSTREAM_QUERY_EDGE_PATTERN_H_

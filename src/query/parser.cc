@@ -1,0 +1,217 @@
+#include "query/parser.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace gstream {
+
+namespace {
+
+/// Single-pass recursive-descent scanner over the pattern text.
+class Scanner {
+ public:
+  Scanner(std::string_view text, StringInterner& interner)
+      : text_(text), interner_(interner) {}
+
+  ParseResult Run() {
+    ParseResult result;
+    SkipSpace();
+    // Optional Cypher-flavoured MATCH keyword.
+    if (MatchKeyword("MATCH")) SkipSpace();
+    if (Eof()) return Fail("empty pattern");
+    while (true) {
+      if (!ParseClause(result)) return result;  // error already recorded
+      SkipSpace();
+      if (Eof()) break;
+      if (!Consume(';') && !Consume(',')) return Fail("expected ';' or ',' between clauses");
+      SkipSpace();
+      if (Eof()) break;  // tolerate trailing separator
+    }
+    if (!result.pattern.IsValid()) return Fail("pattern has no edges");
+    result.ok = true;
+    return result;
+  }
+
+ private:
+  bool ParseClause(ParseResult& result) {
+    uint32_t src;
+    if (!ParseVertex(result, src)) return false;
+    SkipSpace();
+    if (!Consume('-') || !Consume('[')) {
+      result = Fail("expected '-[' after vertex");
+      return false;
+    }
+    SkipSpace();
+    std::string label = ParseIdent();
+    if (label.empty()) {
+      result = Fail("expected edge label");
+      return false;
+    }
+    SkipSpace();
+    if (!Consume(']') || !Consume('-') || !Consume('>')) {
+      result = Fail("expected ']->' after edge label");
+      return false;
+    }
+    SkipSpace();
+    uint32_t dst;
+    if (!ParseVertex(result, dst)) return false;
+    result.pattern.AddEdge(src, interner_.Intern(label), dst);
+    return true;
+  }
+
+  bool ParseVertex(ParseResult& result, uint32_t& out_idx) {
+    SkipSpace();
+    if (!Consume('(')) {
+      result = Fail("expected '('");
+      return false;
+    }
+    SkipSpace();
+    bool is_var = Consume('?');
+    std::string name = ParseIdent();
+    if (name.empty()) {
+      result = Fail("expected vertex name");
+      return false;
+    }
+    SkipSpace();
+    // Optional property constraints: (?x {age>25, city=4}).
+    std::vector<QueryPattern::VertexConstraint> constraints;
+    if (Consume('{')) {
+      while (true) {
+        SkipSpace();
+        QueryPattern::VertexConstraint c;
+        if (!ParseConstraint(result, c)) return false;
+        constraints.push_back(c);
+        SkipSpace();
+        if (Consume(',')) continue;
+        if (Consume('}')) break;
+        result = Fail("expected ',' or '}' in constraint list");
+        return false;
+      }
+      SkipSpace();
+    }
+    if (!Consume(')')) {
+      result = Fail("expected ')'");
+      return false;
+    }
+    if (is_var) {
+      std::string var = "?" + name;
+      auto it = vars_.find(var);
+      if (it != vars_.end()) {
+        out_idx = it->second;
+      } else {
+        out_idx = result.pattern.AddVariable(var);
+        vars_.emplace(var, out_idx);
+      }
+    } else {
+      VertexId literal = interner_.Intern(name);
+      auto it = literals_.find(literal);
+      if (it != literals_.end()) {
+        out_idx = it->second;
+      } else {
+        out_idx = result.pattern.AddLiteral(literal);
+        literals_.emplace(literal, out_idx);
+      }
+    }
+    for (const auto& c : constraints)
+      result.pattern.AddConstraint(out_idx, c.key, c.op, c.value);
+    return true;
+  }
+
+  bool ParseConstraint(ParseResult& result, QueryPattern::VertexConstraint& out) {
+    std::string key = ParseIdent();
+    if (key.empty()) {
+      result = Fail("expected property name");
+      return false;
+    }
+    SkipSpace();
+    using CmpOp = QueryPattern::CmpOp;
+    if (Consume('!')) {
+      if (!Consume('=')) {
+        result = Fail("expected '=' after '!'");
+        return false;
+      }
+      out.op = CmpOp::kNe;
+    } else if (Consume('<')) {
+      out.op = Consume('=') ? CmpOp::kLe : CmpOp::kLt;
+    } else if (Consume('>')) {
+      out.op = Consume('=') ? CmpOp::kGe : CmpOp::kGt;
+    } else if (Consume('=')) {
+      out.op = CmpOp::kEq;
+    } else {
+      result = Fail("expected comparison operator");
+      return false;
+    }
+    SkipSpace();
+    bool negative = Consume('-');
+    std::string digits;
+    while (!Eof() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      digits += text_[pos_];
+      ++pos_;
+    }
+    if (digits.empty()) {
+      result = Fail("expected integer constraint value");
+      return false;
+    }
+    out.key = interner_.Intern(key);
+    out.value = std::stoll(digits) * (negative ? -1 : 1);
+    return true;
+  }
+
+  std::string ParseIdent() {
+    std::string s;
+    while (!Eof()) {
+      char c = text_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.' ||
+          c == ':' || c == '@') {
+        s += c;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    return s;
+  }
+
+  bool MatchKeyword(std::string_view kw) {
+    if (text_.substr(pos_, kw.size()) == kw) {
+      pos_ += kw.size();
+      return true;
+    }
+    return false;
+  }
+
+  bool Consume(char c) {
+    if (!Eof() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void SkipSpace() {
+    while (!Eof() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+
+  bool Eof() const { return pos_ >= text_.size(); }
+
+  ParseResult Fail(const std::string& msg) {
+    ParseResult r;
+    r.ok = false;
+    r.error = msg + " at offset " + std::to_string(pos_);
+    return r;
+  }
+
+  std::string_view text_;
+  StringInterner& interner_;
+  size_t pos_ = 0;
+  std::unordered_map<std::string, uint32_t> vars_;
+  std::unordered_map<VertexId, uint32_t> literals_;
+};
+
+}  // namespace
+
+ParseResult ParsePattern(std::string_view text, StringInterner& interner) {
+  return Scanner(text, interner).Run();
+}
+
+}  // namespace gstream

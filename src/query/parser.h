@@ -1,0 +1,40 @@
+#ifndef GSTREAM_QUERY_PARSER_H_
+#define GSTREAM_QUERY_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/interning.h"
+#include "query/pattern.h"
+
+namespace gstream {
+
+/// Result of parsing a textual pattern; `ok == false` carries a message with
+/// the offending position.
+struct ParseResult {
+  bool ok = false;
+  QueryPattern pattern;
+  std::string error;
+};
+
+/// Parses the textual query pattern language.
+///
+/// Grammar (whitespace-insensitive):
+///
+///   pattern := [ "MATCH" ] clause { (";" | ",") clause }
+///   clause  := vertex "-[" label "]->" vertex
+///   vertex  := "(" name ")"
+///   name    := "?" ident        -- variable (same name = same vertex)
+///            | ident            -- literal entity label
+///
+/// Example (the paper's Fig. 3 check-in query):
+///
+///   (?p1)-[knows]->(?p2); (?p1)-[checksIn]->(?plc); (?p2)-[checksIn]->(?plc);
+///   (?plc)-[partOf]->(rio)
+///
+/// Literal entity labels and edge labels are interned into `interner`.
+ParseResult ParsePattern(std::string_view text, StringInterner& interner);
+
+}  // namespace gstream
+
+#endif  // GSTREAM_QUERY_PARSER_H_

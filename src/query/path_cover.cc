@@ -1,0 +1,154 @@
+#include "query/path_cover.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace gstream {
+
+namespace {
+
+/// Backward BFS from `start` through covered edges only; returns the reversed
+/// prepend path (vertices+edges ending at `start`) to the nearest root
+/// (in-degree-0 vertex), or an empty path when no covered in-edge exists.
+void FindPrepend(const QueryPattern& q, const std::vector<bool>& covered,
+                 uint32_t start, std::vector<uint32_t>& pre_vertices,
+                 std::vector<uint32_t>& pre_edges) {
+  pre_vertices.clear();
+  pre_edges.clear();
+  std::deque<uint32_t> frontier{start};
+  std::unordered_set<uint32_t> visited{start};
+  // parent[v] = (prev vertex, edge used) walking backwards.
+  std::unordered_map<uint32_t, std::pair<uint32_t, uint32_t>> parent;
+  uint32_t root = start;
+  bool found = false;
+  while (!frontier.empty() && !found) {
+    uint32_t v = frontier.front();
+    frontier.pop_front();
+    for (uint32_t e : q.InEdges(v)) {
+      if (!covered[e]) continue;
+      uint32_t u = q.edge(e).src;
+      if (visited.count(u)) continue;
+      visited.insert(u);
+      parent[u] = {v, e};
+      if (q.InEdges(u).empty()) {
+        root = u;
+        found = true;
+        break;
+      }
+      frontier.push_back(u);
+    }
+  }
+  if (!found) return;
+  // Unroll root -> ... -> start.
+  uint32_t v = root;
+  pre_vertices.push_back(v);
+  while (v != start) {
+    auto [next, e] = parent[v];
+    pre_edges.push_back(e);
+    pre_vertices.push_back(next);
+    v = next;
+  }
+}
+
+}  // namespace
+
+std::vector<CoveringPath> ExtractCoveringPaths(const QueryPattern& q) {
+  GS_CHECK_MSG(q.IsValid(), "covering paths need a valid (edge-bearing) pattern");
+  const size_t num_edges = q.NumEdges();
+  std::vector<bool> covered(num_edges, false);
+  size_t num_covered = 0;
+  std::vector<CoveringPath> paths;
+
+  auto pick_start = [&]() -> uint32_t {
+    // Preference 1: an in-degree-0 root with an uncovered out-edge.
+    for (uint32_t v = 0; v < q.NumVertices(); ++v) {
+      if (!q.InEdges(v).empty()) continue;
+      for (uint32_t e : q.OutEdges(v))
+        if (!covered[e]) return v;
+    }
+    // Preference 2: the source of the smallest uncovered edge.
+    for (uint32_t e = 0; e < num_edges; ++e)
+      if (!covered[e]) return q.edge(e).src;
+    GS_CHECK(false);
+    return 0;
+  };
+
+  while (num_covered < num_edges) {
+    uint32_t start = pick_start();
+    CoveringPath path;
+
+    // When the walk starts mid-graph, prepend the covered route from the
+    // nearest root so shared prefixes re-appear in every path (paper Fig. 4:
+    // Q1's P2 repeats the hasMod edge).
+    std::vector<uint32_t> pre_v, pre_e;
+    FindPrepend(q, covered, start, pre_v, pre_e);
+    if (!pre_v.empty()) {
+      path.vertices = pre_v;
+      path.edges = pre_e;
+    } else {
+      path.vertices.push_back(start);
+    }
+
+    // Forward greedy walk along uncovered edges (each edge used once per
+    // path).
+    std::unordered_set<uint32_t> in_path(path.edges.begin(), path.edges.end());
+    uint32_t v = path.vertices.back();
+    while (true) {
+      uint32_t chosen = kNoVertex;
+      for (uint32_t e : q.OutEdges(v)) {
+        if (!covered[e] && !in_path.count(e)) {
+          chosen = e;
+          break;
+        }
+      }
+      if (chosen == kNoVertex) break;
+      covered[chosen] = true;
+      ++num_covered;
+      in_path.insert(chosen);
+      path.edges.push_back(chosen);
+      v = q.edge(chosen).dst;
+      path.vertices.push_back(v);
+    }
+    GS_CHECK_MSG(!path.edges.empty(), "walk made no progress");
+    paths.push_back(std::move(path));
+  }
+
+  // Remove paths contiguously contained in another path (keep first of
+  // duplicates).
+  std::vector<CoveringPath> kept;
+  for (size_t i = 0; i < paths.size(); ++i) {
+    bool redundant = false;
+    for (size_t j = 0; j < paths.size() && !redundant; ++j) {
+      if (i == j) continue;
+      if (paths[i].edges.size() > paths[j].edges.size()) continue;
+      if (paths[i] == paths[j]) {
+        redundant = j < i;  // exact duplicate: keep the earliest
+        continue;
+      }
+      redundant = IsSubPath(paths[i], paths[j]);
+    }
+    if (!redundant) kept.push_back(paths[i]);
+  }
+  return kept;
+}
+
+std::vector<GenericEdgePattern> GenericSignature(const QueryPattern& q,
+                                                 const CoveringPath& path) {
+  std::vector<GenericEdgePattern> sig;
+  sig.reserve(path.edges.size());
+  for (uint32_t e : path.edges) sig.push_back(q.Genericized(e));
+  return sig;
+}
+
+bool IsSubPath(const CoveringPath& inner, const CoveringPath& outer) {
+  if (inner.edges.empty() || inner.edges.size() > outer.edges.size()) return false;
+  auto it = std::search(outer.edges.begin(), outer.edges.end(), inner.edges.begin(),
+                        inner.edges.end());
+  return it != outer.edges.end();
+}
+
+}  // namespace gstream

@@ -1,0 +1,52 @@
+#ifndef GSTREAM_QUERY_PATH_COVER_H_
+#define GSTREAM_QUERY_PATH_COVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/edge_pattern.h"
+#include "query/pattern.h"
+
+namespace gstream {
+
+/// One directed path P = {v1 -e1-> v2 -e2-> ... -ek-> v(k+1)} through a query
+/// graph (Definition 4.1). Entries are local indexes into the owning
+/// `QueryPattern`; `vertices.size() == edges.size() + 1`. A path may revisit
+/// a vertex (cycles), never an edge.
+struct CoveringPath {
+  std::vector<uint32_t> vertices;
+  std::vector<uint32_t> edges;
+
+  size_t Length() const { return edges.size(); }
+
+  friend bool operator==(const CoveringPath& a, const CoveringPath& b) {
+    return a.vertices == b.vertices && a.edges == b.edges;
+  }
+};
+
+/// Extracts a covering path set CP(Q) (Definition 4.2): every vertex and
+/// every edge of `q` appears in at least one path, redundant sub-paths are
+/// removed.
+///
+/// Greedy strategy (paper §4.1 Step 1): repeatedly walk depth-first from a
+/// preferred start vertex (in-degree-0 roots first) along unvisited edges
+/// until no edge can extend the walk; a walk that must begin mid-graph is
+/// first extended backwards through already-covered edges to the nearest
+/// root, which recreates the paper's shared-prefix decompositions (Fig. 4:
+/// P1/P2 of Q1 both carry the `hasMod` edge). Finally, paths that are
+/// contiguous sub-paths of other paths are dropped.
+///
+/// Requires `q.IsValid()`; output is deterministic for a given pattern.
+std::vector<CoveringPath> ExtractCoveringPaths(const QueryPattern& q);
+
+/// The trie signature of a path: its genericized edge patterns in order
+/// (paper §4.1 Step 2 input).
+std::vector<GenericEdgePattern> GenericSignature(const QueryPattern& q,
+                                                 const CoveringPath& path);
+
+/// True if `inner`'s edge sequence occurs contiguously inside `outer`'s.
+bool IsSubPath(const CoveringPath& inner, const CoveringPath& outer);
+
+}  // namespace gstream
+
+#endif  // GSTREAM_QUERY_PATH_COVER_H_

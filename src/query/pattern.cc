@@ -1,0 +1,101 @@
+#include "query/pattern.h"
+
+#include "common/logging.h"
+
+namespace gstream {
+
+uint32_t QueryPattern::AddVariable(std::string name) {
+  uint32_t idx = static_cast<uint32_t>(vertices_.size());
+  vertices_.push_back(Vertex{true, kNoVertex, std::move(name)});
+  out_.emplace_back();
+  in_.emplace_back();
+  return idx;
+}
+
+uint32_t QueryPattern::AddLiteral(VertexId label) {
+  uint32_t idx = static_cast<uint32_t>(vertices_.size());
+  vertices_.push_back(Vertex{false, label, {}});
+  out_.emplace_back();
+  in_.emplace_back();
+  return idx;
+}
+
+uint32_t QueryPattern::AddEdge(uint32_t src, LabelId label, uint32_t dst) {
+  GS_CHECK(src < vertices_.size() && dst < vertices_.size());
+  uint32_t idx = static_cast<uint32_t>(edges_.size());
+  edges_.push_back(Edge{src, dst, label});
+  out_[src].push_back(idx);
+  in_[dst].push_back(idx);
+  return idx;
+}
+
+void QueryPattern::AddConstraint(uint32_t vertex, LabelId key, CmpOp op,
+                                 int64_t value) {
+  GS_CHECK(vertex < vertices_.size());
+  constraints_.push_back(VertexConstraint{vertex, key, op, value});
+}
+
+bool QueryPattern::EvalCmp(CmpOp op, int64_t lhs, int64_t rhs) {
+  switch (op) {
+    case CmpOp::kEq: return lhs == rhs;
+    case CmpOp::kNe: return lhs != rhs;
+    case CmpOp::kLt: return lhs < rhs;
+    case CmpOp::kLe: return lhs <= rhs;
+    case CmpOp::kGt: return lhs > rhs;
+    case CmpOp::kGe: return lhs >= rhs;
+  }
+  return false;
+}
+
+GenericEdgePattern QueryPattern::Genericized(uint32_t edge_idx) const {
+  const Edge& e = edges_[edge_idx];
+  GenericEdgePattern p;
+  p.label = e.label;
+  p.src = vertices_[e.src].is_var ? kNoVertex : vertices_[e.src].literal;
+  p.dst = vertices_[e.dst].is_var ? kNoVertex : vertices_[e.dst].literal;
+  return p;
+}
+
+bool QueryPattern::IsValid() const {
+  if (edges_.empty()) return false;
+  for (uint32_t v = 0; v < vertices_.size(); ++v)
+    if (out_[v].empty() && in_[v].empty()) return false;
+  return true;
+}
+
+std::string QueryPattern::ToString(const StringInterner& interner) const {
+  std::string s;
+  auto render_vertex = [&](uint32_t v) -> std::string {
+    const Vertex& vx = vertices_[v];
+    if (vx.is_var) {
+      // Positional variable naming keeps the form canonical regardless of the
+      // original variable names.
+      return "?v" + std::to_string(v);
+    }
+    return interner.Lookup(vx.literal);
+  };
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    if (i > 0) s += "; ";
+    s += '(';
+    s += render_vertex(edges_[i].src);
+    s += ")-[";
+    s += interner.Lookup(edges_[i].label);
+    s += "]->(";
+    s += render_vertex(edges_[i].dst);
+    s += ')';
+  }
+  return s;
+}
+
+size_t QueryPattern::MemoryBytes() const {
+  size_t bytes = sizeof(*this);
+  bytes += vertices_.capacity() * sizeof(Vertex);
+  for (const auto& v : vertices_) bytes += v.var_name.capacity();
+  bytes += edges_.capacity() * sizeof(Edge);
+  bytes += constraints_.capacity() * sizeof(VertexConstraint);
+  for (const auto& adj : out_) bytes += sizeof(adj) + adj.capacity() * sizeof(uint32_t);
+  for (const auto& adj : in_) bytes += sizeof(adj) + adj.capacity() * sizeof(uint32_t);
+  return bytes;
+}
+
+}  // namespace gstream

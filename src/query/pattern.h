@@ -1,0 +1,102 @@
+#ifndef GSTREAM_QUERY_PATTERN_H_
+#define GSTREAM_QUERY_PATTERN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/interning.h"
+#include "query/edge_pattern.h"
+
+namespace gstream {
+
+/// A query graph pattern Q = (V_Q, E_Q, vars, l_V, l_E) (Definition 3.4):
+/// a directed labeled multigraph whose vertices are either literals (bound to
+/// a specific entity label) or variables.
+///
+/// Vertices are addressed by their local index in [0, NumVertices()).
+/// Matching semantics are homomorphic (SPARQL/Cypher-like): literals must map
+/// to the entity with that label, repeated variables bind consistently, and
+/// distinct variables may map to the same graph vertex.
+class QueryPattern {
+ public:
+  struct Vertex {
+    bool is_var = true;
+    VertexId literal = kNoVertex;   ///< Interned entity label when !is_var.
+    std::string var_name;           ///< Diagnostic name when is_var ("?x").
+  };
+
+  struct Edge {
+    uint32_t src = 0;  ///< Local index of the source vertex.
+    uint32_t dst = 0;  ///< Local index of the target vertex.
+    LabelId label = kNoLabel;
+  };
+
+  /// Comparison operator of a vertex property constraint.
+  enum class CmpOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+  /// A property-graph constraint (paper §4.3): the vertex bound at `vertex`
+  /// must have property `key` and `property <op> value` must hold. A vertex
+  /// with the property missing fails the constraint.
+  struct VertexConstraint {
+    uint32_t vertex = 0;
+    LabelId key = kNoLabel;
+    CmpOp op = CmpOp::kEq;
+    int64_t value = 0;
+  };
+
+  /// Adds a variable vertex; returns its local index.
+  uint32_t AddVariable(std::string name = "?var");
+
+  /// Adds a literal vertex bound to entity `label`; returns its local index.
+  uint32_t AddLiteral(VertexId label);
+
+  /// Adds a directed edge between existing local vertex indexes.
+  uint32_t AddEdge(uint32_t src, LabelId label, uint32_t dst);
+
+  /// Adds a property constraint on local vertex `vertex`.
+  void AddConstraint(uint32_t vertex, LabelId key, CmpOp op, int64_t value);
+
+  const std::vector<VertexConstraint>& constraints() const { return constraints_; }
+  bool HasConstraints() const { return !constraints_.empty(); }
+
+  /// Evaluates one constraint against a property value (missing = fail).
+  static bool EvalCmp(CmpOp op, int64_t lhs, int64_t rhs);
+
+  size_t NumVertices() const { return vertices_.size(); }
+  size_t NumEdges() const { return edges_.size(); }
+  const Vertex& vertex(uint32_t i) const { return vertices_[i]; }
+  const Edge& edge(uint32_t i) const { return edges_[i]; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Out-edge indexes of local vertex `v`, in insertion order.
+  const std::vector<uint32_t>& OutEdges(uint32_t v) const { return out_[v]; }
+  /// In-edge indexes of local vertex `v`.
+  const std::vector<uint32_t>& InEdges(uint32_t v) const { return in_[v]; }
+
+  /// The genericized pattern of edge `i` (paper §4.1 "Variable Handling").
+  GenericEdgePattern Genericized(uint32_t edge_idx) const;
+
+  /// True when every vertex touches at least one edge and there is at least
+  /// one edge (single-vertex patterns are not meaningful subscriptions).
+  bool IsValid() const;
+
+  /// Canonical text form (also accepted by `ParsePattern`); stable across
+  /// runs, usable as a dedup key for generated query sets.
+  std::string ToString(const StringInterner& interner) const;
+
+  /// Approximate heap footprint in bytes.
+  size_t MemoryBytes() const;
+
+ private:
+  std::vector<Vertex> vertices_;
+  std::vector<Edge> edges_;
+  std::vector<VertexConstraint> constraints_;
+  std::vector<std::vector<uint32_t>> out_;
+  std::vector<std::vector<uint32_t>> in_;
+};
+
+}  // namespace gstream
+
+#endif  // GSTREAM_QUERY_PATTERN_H_

@@ -1,0 +1,366 @@
+#include "tric/tric_engine.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/mem_tracker.h"
+
+namespace gstream {
+namespace tric {
+
+TricEngine::TricEngine(const Options& options)
+    : options_(options),
+      cache_(options.cache ? std::make_unique<JoinCache>() : nullptr) {}
+
+std::string TricEngine::name() const {
+  std::string name = cache_ ? "TRIC+" : "TRIC";
+  if (!options_.clustering) name += "(nocluster)";
+  if (options_.per_edge_paths) name += "(peredge)";
+  return name;
+}
+
+void TricEngine::AddQuery(QueryId qid, const QueryPattern& q) {
+  GS_CHECK_MSG(q.IsValid(), "invalid query pattern");
+  GS_CHECK_MSG(queries_.count(qid) == 0, "duplicate query id");
+
+  QueryEntry entry;
+  entry.pattern = q;
+
+  // Step 1 (paper §4.1): extract the covering paths (or the per-edge
+  // decomposition for the ablation).
+  std::vector<CoveringPath> paths;
+  if (options_.per_edge_paths) {
+    for (uint32_t e = 0; e < q.NumEdges(); ++e) {
+      CoveringPath p;
+      p.edges = {e};
+      p.vertices = {q.edge(e).src, q.edge(e).dst};
+      paths.push_back(std::move(p));
+    }
+  } else {
+    paths = ExtractCoveringPaths(q);
+  }
+
+  // Step 2: index each genericized path in the trie forest.
+  for (uint32_t pi = 0; pi < paths.size(); ++pi) {
+    std::vector<GenericEdgePattern> sig = GenericSignature(q, paths[pi]);
+    for (const auto& p : sig) GetOrCreateBaseView(p);
+    TrieNode* terminal = forest_.InsertPath(
+        sig, [this](TrieNode* n) { InitNodeView(n); }, options_.clustering);
+    terminal->paths.push_back(PathRef{qid, pi});
+
+    PathInfo info;
+    info.terminal = terminal;
+    info.pos_to_vertex = paths[pi].vertices;
+    info.spec = PathBindingSpec::For(info.pos_to_vertex);
+    if (info.spec.has_repeats())
+      info.filtered =
+          std::make_unique<Relation>(static_cast<uint32_t>(info.spec.schema.size()));
+    entry.paths.push_back(std::move(info));
+  }
+  queries_.emplace(qid, std::move(entry));
+}
+
+void TricEngine::InitNodeView(TrieNode* node) {
+  node->view = std::make_unique<Relation>(node->depth + 2);
+  Relation* base = GetOrCreateBaseView(node->pattern);
+  if (base->Empty()) return;
+  // Backfill from already-materialized shared state (queries registered
+  // mid-stream see the data their shared prefixes retained).
+  if (node->parent == nullptr) {
+    for (size_t i = 0; i < base->NumRows(); ++i) node->view->Append(base->Row(i));
+  } else if (!node->parent->view->Empty()) {
+    ExtendRight(AllRows(*node->parent->view), *base,
+                cache_ ? cache_->Get(base, 0) : nullptr, *node->view);
+  }
+}
+
+void TricEngine::EnsureEpoch(TrieNode* node) {
+  if (node->epoch != epoch_) {
+    node->epoch = epoch_;
+    node->delta_begin = node->view->NumRows();
+  }
+}
+
+void TricEngine::MarkAffected(TrieNode* node) {
+  if (node->paths.empty()) return;
+  if (node->affected_epoch == epoch_) return;
+  node->affected_epoch = epoch_;
+  affected_terminals_.push_back(node);
+}
+
+void TricEngine::ProcessMatchingNode(TrieNode* node, const EdgeUpdate& u) {
+  EnsureEpoch(node);
+  Relation* view = node->view.get();
+  const size_t before = view->NumRows();
+
+  if (node->parent == nullptr) {
+    const VertexId row[2] = {u.src, u.dst};
+    view->Append(row);
+  } else {
+    Relation* pview = node->parent->view.get();
+    // Join the parent's (current) prefix view against the single update
+    // tuple — never a full view-by-view join (paper §4.2 Step 2). TRIC scans
+    // the parent view; TRIC+ probes a maintained index on its tail column.
+    const HashIndex* idx =
+        cache_ ? cache_->Get(pview, pview->arity() - 1) : nullptr;
+    ExtendRightSingle(AllRows(*pview), u.src, u.dst, idx, *view);
+  }
+
+  const size_t after = view->NumRows();
+  if (after == before) return;
+  MarkAffected(node);
+  Cascade(node, before, after);
+}
+
+void TricEngine::Cascade(TrieNode* node, size_t lo, size_t hi) {
+  for (const auto& child_ptr : node->children) {
+    if (BudgetExceeded()) return;
+    TrieNode* child = child_ptr.get();
+    Relation* base = FindBaseView(child->pattern);
+    GS_DCHECK(base != nullptr);
+    if (base->Empty()) continue;  // prune: sub-trie cannot produce results
+    EnsureEpoch(child);
+    const size_t before = child->view->NumRows();
+    ExtendRight(RowRange{node->view.get(), lo, hi}, *base,
+                cache_ ? cache_->Get(base, 0) : nullptr, *child->view);
+    const size_t after = child->view->NumRows();
+    if (after == before) continue;  // prune: empty delta stops this branch
+    MarkAffected(child);
+    Cascade(child, before, after);
+  }
+}
+
+RowRange TricEngine::FullPathRange(PathInfo& info) {
+  Relation* view = info.terminal->view.get();
+  if (!info.spec.has_repeats()) return AllRows(*view);
+  // Cyclic path: maintain the filtered projection incrementally.
+  std::vector<VertexId> row(info.spec.schema.size());
+  for (size_t i = info.filtered_upto; i < view->NumRows(); ++i) {
+    const VertexId* r = view->Row(i);
+    bool ok = true;
+    for (const auto& [pa, pb] : info.spec.eq_checks) {
+      if (r[pa] != r[pb]) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    for (size_t c = 0; c < info.spec.src_pos.size(); ++c) row[c] = r[info.spec.src_pos[c]];
+    info.filtered->Append(row.data());
+  }
+  info.filtered_upto = view->NumRows();
+  return AllRows(*info.filtered);
+}
+
+const std::vector<uint32_t>& TricEngine::PathSchema(const PathInfo& info) const {
+  // Acyclic paths: positions are exactly the distinct vertices, so the view
+  // doubles as the binding relation; cyclic paths use the filtered copy.
+  return info.spec.has_repeats() ? info.spec.schema : info.pos_to_vertex;
+}
+
+UpdateResult TricEngine::ApplyUpdate(const EdgeUpdate& u) {
+  UpdateResult result;
+  if (u.op == UpdateOp::kDelete) {
+    result.changed = RemoveFromBaseViews(u);
+    if (result.changed) HandleDelete(u);
+    return result;
+  }
+  if (IsDuplicateUpdate(u)) return result;
+  result.changed = true;
+
+  ++epoch_;
+  affected_terminals_.clear();
+
+  // Record the update in every shared edge-level view it satisfies, then
+  // route it to the matching trie nodes via the node-granular edgeInd.
+  AppendToBaseViews(u);
+
+  std::vector<TrieNode*> matching;
+  for (const auto& g : Generalizations(u)) {
+    const std::vector<TrieNode*>* nodes = forest_.NodesFor(g);
+    if (nodes != nullptr) matching.insert(matching.end(), nodes->begin(), nodes->end());
+  }
+  std::sort(matching.begin(), matching.end(), [](const TrieNode* a, const TrieNode* b) {
+    return a->depth != b->depth ? a->depth < b->depth : a->seq < b->seq;
+  });
+
+  for (TrieNode* node : matching) {
+    if (BudgetExceeded()) {
+      result.timed_out = true;
+      return result;
+    }
+    ProcessMatchingNode(node, u);
+  }
+
+  FinalizeQueries(result);
+  if (budget_ != nullptr && budget_->ExceededNow()) result.timed_out = true;
+  return result;
+}
+
+void TricEngine::FinalizeQueries(UpdateResult& result) {
+  if (affected_terminals_.empty()) return;
+
+  // Group the affected covering paths per query, ascending qid.
+  std::vector<std::pair<QueryId, uint32_t>> affected_paths;  // (qid, path idx)
+  for (TrieNode* node : affected_terminals_)
+    for (const PathRef& ref : node->paths) affected_paths.emplace_back(ref.qid, ref.path_idx);
+  std::sort(affected_paths.begin(), affected_paths.end());
+
+  size_t i = 0;
+  while (i < affected_paths.size()) {
+    const QueryId qid = affected_paths[i].first;
+    size_t j = i;
+    while (j < affected_paths.size() && affected_paths[j].first == qid) ++j;
+
+    if (BudgetExceeded()) {
+      result.timed_out = true;
+      return;
+    }
+
+    QueryEntry& entry = queries_.at(qid);
+
+    // All covering paths must have non-empty views for any embedding to
+    // exist (paper Fig. 8 line 12 precondition).
+    bool feasible = true;
+    for (const PathInfo& info : entry.paths) {
+      if (info.terminal->view->Empty()) {
+        feasible = false;
+        break;
+      }
+    }
+    if (!feasible) {
+      i = j;
+      continue;
+    }
+
+    // Transient per-update assignment set over all query vertices (dedups
+    // across multiple affected paths).
+    const uint32_t num_vertices = static_cast<uint32_t>(entry.pattern.NumVertices());
+    Relation assignments(num_vertices);
+
+    for (size_t k = i; k < j; ++k) {
+      const uint32_t path_idx = affected_paths[k].second;
+      PathInfo& seed = entry.paths[path_idx];
+      TrieNode* node = seed.terminal;
+      if (node->epoch != epoch_) continue;  // no delta after all
+
+      OwnedBindings acc = PathRowsToBindings(
+          RowRange{node->view.get(), node->delta_begin, node->view->NumRows()},
+          seed.spec);
+      if (acc.Empty()) continue;
+
+      // Join the other covering paths' full views, preferring join partners
+      // that share vertices with the accumulated schema.
+      std::vector<uint32_t> remaining;
+      for (uint32_t p = 0; p < entry.paths.size(); ++p)
+        if (p != path_idx) remaining.push_back(p);
+
+      bool dead = false;
+      while (!remaining.empty() && !dead) {
+        size_t pick = 0;
+        for (size_t r = 0; r < remaining.size(); ++r) {
+          if (FirstSharedColumn(acc.schema, PathSchema(entry.paths[remaining[r]])) >= 0) {
+            pick = r;
+            break;
+          }
+        }
+        PathInfo& other = entry.paths[remaining[pick]];
+        const std::vector<uint32_t>& sb = PathSchema(other);
+        RowRange b = FullPathRange(other);
+        const HashIndex* idx = nullptr;
+        if (cache_) {
+          int col = FirstSharedColumn(acc.schema, sb);
+          if (col >= 0) idx = cache_->Get(b.rel, static_cast<uint32_t>(col));
+        }
+        acc = JoinBindingRanges(acc.schema, acc.All(), sb, b, idx);
+        dead = acc.Empty();
+        remaining.erase(remaining.begin() + pick);
+        if (BudgetExceeded()) {
+          result.timed_out = true;
+          return;
+        }
+      }
+      if (dead) continue;
+
+      // Project onto canonical vertex order and dedup into the per-update
+      // assignment set.
+      std::vector<uint32_t> perm(num_vertices);
+      for (uint32_t c = 0; c < acc.schema.size(); ++c) perm[acc.schema[c]] = c;
+      std::vector<VertexId> row(num_vertices);
+      for (size_t r = 0; r < acc.rows->NumRows(); ++r) {
+        const VertexId* src = acc.rows->Row(r);
+        for (uint32_t v = 0; v < num_vertices; ++v) row[v] = src[perm[v]];
+        // §4.3 extra phase: property constraints on the full assignment.
+        if (!SatisfiesConstraints(entry.pattern, row.data())) continue;
+        assignments.Append(row.data());
+      }
+    }
+
+    result.AddQueryCount(qid, assignments.NumRows());
+    NotePeakTransient(assignments.MemoryBytes());
+    i = j;
+  }
+}
+
+void TricEngine::HandleDelete(const EdgeUpdate& u) {
+  // Locate the affected tries: every trie containing a node whose pattern
+  // matches the deleted edge.
+  std::unordered_set<TrieNode*> roots;
+  for (const auto& g : Generalizations(u)) {
+    const std::vector<TrieNode*>* nodes = forest_.NodesFor(g);
+    if (nodes == nullptr) continue;
+    for (TrieNode* n : *nodes) {
+      while (n->parent != nullptr) n = n->parent;
+      roots.insert(n);
+    }
+  }
+  std::vector<uint32_t> depths;
+  for (TrieNode* root : roots) {
+    depths.clear();
+    DeleteCascade(root, u, depths);
+  }
+
+  // Cyclic paths keep a filtered projection of their terminal view; those
+  // shrank, so rebuild them lazily from scratch.
+  for (auto& [qid, entry] : queries_) {
+    for (PathInfo& info : entry.paths) {
+      if (info.filtered != nullptr && info.filtered_upto > 0) {
+        info.filtered->Clear();
+        info.filtered_upto = 0;
+      }
+    }
+  }
+}
+
+void TricEngine::DeleteCascade(TrieNode* node, const EdgeUpdate& u,
+                               std::vector<uint32_t>& depths) {
+  const bool mine = node->pattern.Matches(u);
+  if (mine) depths.push_back(node->depth);
+  if (!depths.empty() && !node->view->Empty()) {
+    node->view->RemoveRowsWhere([&](const VertexId* row) {
+      for (uint32_t d : depths)
+        if (row[d] == u.src && row[d + 1] == u.dst) return true;
+      return false;
+    });
+  }
+  for (const auto& child : node->children) DeleteCascade(child.get(), u, depths);
+  if (mine) depths.pop_back();
+}
+
+size_t TricEngine::MemoryBytes() const {
+  size_t bytes = SharedMemoryBytes() + forest_.MemoryBytes();
+  for (const auto& [qid, entry] : queries_) {
+    bytes += sizeof(qid) + entry.pattern.MemoryBytes() + 2 * sizeof(void*);
+    for (const auto& info : entry.paths) {
+      bytes += sizeof(info) + mem::OfVector(info.pos_to_vertex) +
+               mem::OfVector(info.spec.schema) + mem::OfVector(info.spec.src_pos);
+      if (info.filtered != nullptr) bytes += info.filtered->MemoryBytes();
+    }
+  }
+  if (cache_ != nullptr) bytes += cache_->MemoryBytes();
+  return bytes;
+}
+
+}  // namespace tric
+}  // namespace gstream

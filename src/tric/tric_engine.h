@@ -1,0 +1,135 @@
+#ifndef GSTREAM_TRIC_TRIC_ENGINE_H_
+#define GSTREAM_TRIC_TRIC_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/view_engine_base.h"
+#include "matview/binding.h"
+#include "matview/join_cache.h"
+#include "query/path_cover.h"
+#include "tric/trie.h"
+
+namespace gstream {
+namespace tric {
+
+/// TRIC — TRIe-based Clustering (paper §4), the system's primary
+/// contribution, plus its caching extension TRIC+ (§4.2 "Caching").
+///
+/// Indexing phase (§4.1): each query is decomposed into covering paths
+/// (Definition 4.2); the genericized paths are inserted into a trie forest so
+/// queries with common structural/attribute restrictions share both trie
+/// nodes and the per-node materialized prefix views.
+///
+/// Answering phase (§4.2): an update is routed through the node-granular
+/// `edgeInd` to the trie nodes storing a matching pattern. Each matching
+/// node joins its parent's prefix view with the single update tuple (never a
+/// full view-by-view join) and the resulting delta cascades down the
+/// sub-trie, pruning branches whose delta is empty. Matching nodes are
+/// processed top-down so repeated patterns along one trie path (BioGRID-style
+/// chains) stay exact; set-semantics views absorb re-derivations. Queries
+/// whose covering paths received delta rows are then finalized by joining the
+/// affected paths' deltas against the other paths' full views on the shared
+/// original-query vertices recorded at indexing time (§4.1 "Variable
+/// Handling").
+///
+/// TRIC+ passes a `JoinCache` so every hash table built for a join is kept
+/// and maintained incrementally instead of rebuilt per operation.
+class TricEngine : public ViewEngineBase {
+ public:
+  /// Engine variants. Beyond the paper's TRIC/TRIC+ pair, two ablations
+  /// isolate the design choices DESIGN.md calls out:
+  ///  * `clustering = false` disables trie prefix sharing — every covering
+  ///    path gets a private chain of nodes and views (quantifies the gain of
+  ///    §4.1 Step 2's clustering);
+  ///  * `per_edge_paths = true` replaces the covering-path decomposition
+  ///    with one single-edge path per query edge (quantifies the gain of
+  ///    §4.1 Step 1's path covering).
+  struct Options {
+    bool cache = false;
+    bool clustering = true;
+    bool per_edge_paths = false;
+  };
+
+  /// `enable_cache` selects TRIC+ behaviour.
+  explicit TricEngine(bool enable_cache)
+      : TricEngine(Options{enable_cache, true, false}) {}
+  explicit TricEngine(const Options& options);
+
+  std::string name() const override;
+  void AddQuery(QueryId qid, const QueryPattern& q) override;
+  UpdateResult ApplyUpdate(const EdgeUpdate& u) override;
+  size_t NumQueries() const override { return queries_.size(); }
+  size_t MemoryBytes() const override;
+
+  /// Diagnostics for tests and the ablation bench.
+  const TrieForest& forest() const { return forest_; }
+
+ private:
+  struct PathInfo {
+    TrieNode* terminal = nullptr;
+    std::vector<uint32_t> pos_to_vertex;  ///< Path position -> query vertex.
+    PathBindingSpec spec;
+    /// For cyclic paths (repeated vertices): the incrementally maintained
+    /// filtered+projected copy of the terminal view, schema = spec.schema.
+    std::unique_ptr<Relation> filtered;
+    size_t filtered_upto = 0;
+  };
+
+  struct QueryEntry {
+    QueryPattern pattern;
+    std::vector<PathInfo> paths;
+  };
+
+  /// Allocates a freshly created trie node's view and backfills it from its
+  /// parent's view (best-effort for queries registered mid-stream).
+  void InitNodeView(TrieNode* node);
+
+  /// Joins `node`'s parent view (or the update itself at roots) with `u`,
+  /// appends the delta and cascades it down the sub-trie.
+  void ProcessMatchingNode(TrieNode* node, const EdgeUpdate& u);
+
+  /// Extends rows [lo, hi) of `node`'s view into each child via the child's
+  /// base edge view; recurses while deltas are non-empty.
+  void Cascade(TrieNode* node, size_t lo, size_t hi);
+
+  /// Lazily stamps the node's delta window for the current epoch.
+  void EnsureEpoch(TrieNode* node);
+
+  /// Registers `node` in the per-update affected set when it terminates
+  /// covering paths.
+  void MarkAffected(TrieNode* node);
+
+  /// Catches `info.filtered` up with its terminal view; returns the full
+  /// binding range + schema of the path (view-backed when acyclic).
+  RowRange FullPathRange(PathInfo& info);
+  const std::vector<uint32_t>& PathSchema(const PathInfo& info) const;
+
+  /// Per-query final join (paper Fig. 8 lines 8-13, delta-seeded).
+  void FinalizeQueries(UpdateResult& result);
+
+  /// Edge deletion (paper §4.3): retracts the tuple from the base views,
+  /// then walks the affected tries removing every prefix-view row that used
+  /// the deleted edge at any matching depth. Exact because a view row's edge
+  /// instances are fully determined by its vertex sequence.
+  void HandleDelete(const EdgeUpdate& u);
+  void DeleteCascade(TrieNode* node, const EdgeUpdate& u,
+                     std::vector<uint32_t>& depths);
+
+  bool cache_enabled() const { return cache_ != nullptr; }
+
+  Options options_;
+  TrieForest forest_;
+  std::unordered_map<QueryId, QueryEntry> queries_;
+  std::unique_ptr<JoinCache> cache_;  ///< Non-null for TRIC+.
+
+  uint64_t epoch_ = 0;
+  std::vector<TrieNode*> affected_terminals_;
+};
+
+}  // namespace tric
+}  // namespace gstream
+
+#endif  // GSTREAM_TRIC_TRIC_ENGINE_H_

@@ -1,0 +1,105 @@
+#include "tric/trie.h"
+
+#include "common/logging.h"
+#include "common/mem_tracker.h"
+
+namespace gstream {
+namespace tric {
+
+size_t TrieNode::MemoryBytes() const {
+  size_t bytes = sizeof(*this);
+  bytes += children.capacity() * sizeof(std::unique_ptr<TrieNode>);
+  bytes += paths.capacity() * sizeof(PathRef);
+  if (view != nullptr) bytes += view->MemoryBytes();
+  return bytes;
+}
+
+TrieNode* TrieForest::InsertPath(const std::vector<GenericEdgePattern>& sig,
+                                 const std::function<void(TrieNode*)>& on_create,
+                                 bool share) {
+  GS_CHECK_MSG(!sig.empty(), "empty path signature");
+
+  auto make_node = [&](const GenericEdgePattern& p, TrieNode* parent) {
+    auto node = std::make_unique<TrieNode>();
+    node->pattern = p;
+    node->parent = parent;
+    node->depth = parent == nullptr ? 0 : parent->depth + 1;
+    node->seq = next_seq_++;
+    TrieNode* raw = node.get();
+    node_ind_[p].push_back(raw);
+    ++num_nodes_;
+    if (parent == nullptr) {
+      roots_.emplace(p, std::move(node));
+    } else {
+      parent->children.push_back(std::move(node));
+    }
+    on_create(raw);
+    return raw;
+  };
+
+  // Root lookup / creation (rootInd). The no-sharing ablation keeps private
+  // chains in `extra_roots_` so the rootInd invariant (one root per pattern)
+  // is preserved for the clustered forest.
+  TrieNode* node = nullptr;
+  if (share) {
+    auto rit = roots_.find(sig[0]);
+    if (rit != roots_.end()) {
+      node = rit->second.get();
+    } else {
+      node = make_node(sig[0], nullptr);
+    }
+  } else {
+    auto root = std::make_unique<TrieNode>();
+    root->pattern = sig[0];
+    root->seq = next_seq_++;
+    node = root.get();
+    node_ind_[sig[0]].push_back(node);
+    ++num_nodes_;
+    extra_roots_.push_back(std::move(root));
+    on_create(node);
+  }
+
+  // Walk/extend the trie along the remaining edges.
+  for (size_t i = 1; i < sig.size(); ++i) {
+    TrieNode* child = nullptr;
+    if (share) {
+      for (const auto& c : node->children) {
+        if (c->pattern == sig[i]) {
+          child = c.get();
+          break;
+        }
+      }
+    }
+    if (child == nullptr) child = make_node(sig[i], node);
+    node = child;
+  }
+  return node;
+}
+
+const std::vector<TrieNode*>* TrieForest::NodesFor(const GenericEdgePattern& p) const {
+  auto it = node_ind_.find(p);
+  return it == node_ind_.end() ? nullptr : &it->second;
+}
+
+size_t TrieForest::MemoryBytes() const {
+  size_t bytes = sizeof(*this);
+  ForEachNode([&](const TrieNode& n) { bytes += n.MemoryBytes(); });
+  for (const auto& [p, nodes] : node_ind_)
+    bytes += sizeof(p) + mem::OfVector(nodes) + 2 * sizeof(void*);
+  return bytes;
+}
+
+void TrieForest::ForEachNode(const std::function<void(const TrieNode&)>& fn) const {
+  std::vector<const TrieNode*> stack;
+  for (const auto& [p, root] : roots_) stack.push_back(root.get());
+  for (const auto& root : extra_roots_) stack.push_back(root.get());
+  while (!stack.empty()) {
+    const TrieNode* n = stack.back();
+    stack.pop_back();
+    fn(*n);
+    for (const auto& c : n->children) stack.push_back(c.get());
+  }
+}
+
+}  // namespace tric
+}  // namespace gstream

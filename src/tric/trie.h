@@ -1,0 +1,94 @@
+#ifndef GSTREAM_TRIC_TRIE_H_
+#define GSTREAM_TRIC_TRIE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "matview/relation.h"
+#include "query/edge_pattern.h"
+
+namespace gstream {
+namespace tric {
+
+/// Reference to one covering path of one query (stored at the trie node where
+/// the path terminates — paper Fig. 5 line 9: "store the query id at the last
+/// node of the trie path").
+struct PathRef {
+  QueryId qid;
+  uint32_t path_idx;
+};
+
+/// One node of the trie forest. A root-to-node path spells a sequence of
+/// genericized edge patterns; `view` materializes the chain join of those
+/// edges' base views (paper §4.2: "a trie path represents a series of joined
+/// materialized views"), so its arity is depth + 2 (one column per path
+/// vertex).
+struct TrieNode {
+  GenericEdgePattern pattern;
+  TrieNode* parent = nullptr;  ///< Null for roots.
+  uint32_t depth = 0;          ///< Root depth is 0.
+  uint64_t seq = 0;            ///< Creation sequence (deterministic ordering).
+  std::vector<std::unique_ptr<TrieNode>> children;
+  std::unique_ptr<Relation> view;
+  std::vector<PathRef> paths;  ///< Covering paths terminating here.
+
+  /// Delta bookkeeping for the current update epoch: rows appended during the
+  /// epoch are [delta_begin, view->NumRows()).
+  uint64_t epoch = 0;
+  size_t delta_begin = 0;
+  uint64_t affected_epoch = 0;  ///< Last epoch this node entered the affected set.
+
+  size_t MemoryBytes() const;
+};
+
+/// The trie forest with its two access paths (paper Fig. 6):
+///  * `rootInd`: first edge pattern -> trie root;
+///  * a node-granular `edgeInd`: edge pattern -> every trie node storing it.
+///    (The paper stores pattern -> trie roots and locates nodes by DFS; the
+///    node-granular index visits exactly the same nodes without re-walking
+///    unaffected sub-tries — pruning by empty views still happens because a
+///    node under an empty ancestor joins against an empty parent view.)
+class TrieForest {
+ public:
+  /// Inserts a covering-path signature, reusing the longest existing prefix
+  /// (paper Fig. 5 lines 3-8). `on_create` runs for each newly created node
+  /// (engine hook to allocate and backfill its view). Returns the terminal
+  /// node. With `share == false` no prefix reuse happens — every call builds
+  /// a private root-to-leaf chain (the no-clustering ablation; answering
+  /// still works because the node index tracks every node).
+  TrieNode* InsertPath(const std::vector<GenericEdgePattern>& sig,
+                       const std::function<void(TrieNode*)>& on_create,
+                       bool share = true);
+
+  /// Nodes whose stored pattern equals `p`, in creation order; null when
+  /// none.
+  const std::vector<TrieNode*>* NodesFor(const GenericEdgePattern& p) const;
+
+  size_t NumTries() const { return roots_.size(); }
+  size_t NumNodes() const { return num_nodes_; }
+
+  /// Sum of structural bytes + all node views.
+  size_t MemoryBytes() const;
+
+  /// Iterates over every node (tests/diagnostics).
+  void ForEachNode(const std::function<void(const TrieNode&)>& fn) const;
+
+ private:
+  std::unordered_map<GenericEdgePattern, std::unique_ptr<TrieNode>,
+                     GenericEdgePatternHash>
+      roots_;
+  std::vector<std::unique_ptr<TrieNode>> extra_roots_;  ///< No-sharing chains.
+  std::unordered_map<GenericEdgePattern, std::vector<TrieNode*>, GenericEdgePatternHash>
+      node_ind_;
+  size_t num_nodes_ = 0;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace tric
+}  // namespace gstream
+
+#endif  // GSTREAM_TRIC_TRIE_H_

@@ -1,0 +1,89 @@
+#include "workload/bio.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "common/rng.h"
+
+namespace gstream {
+namespace workload {
+
+Workload GenerateBio(const BioConfig& config) {
+  Workload w;
+  w.name = "BioGRID";
+  w.interner = std::make_shared<StringInterner>();
+  w.stream = UpdateStream(w.interner);
+  Rng rng(config.seed);
+
+  const uint32_t protein = w.schema.AddClass("Protein");
+  w.entities.resize(1);
+  const LabelId interacts = w.interner->Intern("interacts");
+  w.schema.AddEdge(interacts, protein, protein);
+
+  // Degree-proportional endpoint sampling: every emitted endpoint is
+  // appended to `endpoints`, so a uniform draw from it is a draw weighted by
+  // current degree (classic preferential attachment), clipped at the
+  // configured hub cap.
+  std::vector<VertexId> endpoints;
+  std::unordered_map<VertexId, uint32_t> degree;
+
+  auto target_vertices = [&](size_t edges) {
+    return static_cast<size_t>(std::ceil(
+        config.growth_coefficient *
+        std::pow(static_cast<double>(edges + 1) / 100000.0, config.growth_exponent)));
+  };
+
+  auto sample_pa = [&]() -> VertexId {
+    for (int attempt = 0; attempt < 12; ++attempt) {
+      VertexId v = endpoints[rng.Next(endpoints.size())];
+      if (degree[v] < config.max_degree) return v;
+    }
+    // Saturated region: fall back to a uniform protein.
+    return w.entities[0][rng.Next(w.entities[0].size())];
+  };
+
+  // Seed proteins.
+  VertexId a = w.NewEntity(protein, "protein");
+  VertexId b = w.NewEntity(protein, "protein");
+  w.Emit(a, interacts, b);
+  endpoints.push_back(a);
+  endpoints.push_back(b);
+  std::unordered_set<EdgeUpdate, EdgeKeyHash, EdgeKeyEq> emitted;
+  emitted.insert(EdgeUpdate{a, interacts, b, UpdateOp::kAdd});
+
+  while (w.stream.size() < config.num_updates) {
+    VertexId s = kNoVertex, t = kNoVertex;
+    bool fresh = false;
+    if (w.entities[protein].size() < target_vertices(w.stream.size())) {
+      // Newly discovered protein interacting with a popular one.
+      s = w.NewEntity(protein, "protein");
+      t = sample_pa();
+      if (rng.Flip(0.5)) std::swap(s, t);
+      fresh = true;
+    } else {
+      // Degree-biased endpoints; retry duplicates/self-loops, and force a
+      // fresh protein when the sampled region is saturated.
+      for (int attempt = 0; attempt < 16 && !fresh; ++attempt) {
+        s = sample_pa();
+        t = sample_pa();
+        fresh = s != t && emitted.count(EdgeUpdate{s, interacts, t, UpdateOp::kAdd}) == 0;
+      }
+      if (!fresh) {
+        s = w.NewEntity(protein, "protein");
+        t = sample_pa();
+        fresh = true;
+      }
+    }
+    emitted.insert(EdgeUpdate{s, interacts, t, UpdateOp::kAdd});
+    w.Emit(s, interacts, t);
+    endpoints.push_back(s);
+    endpoints.push_back(t);
+    ++degree[s];
+    ++degree[t];
+  }
+  w.stream.Truncate(config.num_updates);
+  return w;
+}
+
+}  // namespace workload
+}  // namespace gstream

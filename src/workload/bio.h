@@ -1,0 +1,36 @@
+#ifndef GSTREAM_WORKLOAD_BIO_H_
+#define GSTREAM_WORKLOAD_BIO_H_
+
+#include <cstdint>
+
+#include "workload/workload.h"
+
+namespace gstream {
+namespace workload {
+
+/// Configuration of the BioGRID-like protein-interaction stream (substitute
+/// for the BioGRID snapshot the paper used — see DESIGN.md §1.1). The
+/// dataset is the paper's stress test precisely because it has ONE vertex
+/// class and ONE edge label, so every update affects the entire query
+/// database. Vertices follow the paper's growth curve
+/// |G_V|(E) ≈ 17.2K · (E / 100K)^0.56 (17.2K @ 100K edges, 63K @ 1M);
+/// endpoints follow preferential attachment.
+struct BioConfig {
+  size_t num_updates = 100'000;
+  uint64_t seed = 44;
+  double growth_coefficient = 17200.0;  ///< Vertices at the 100K-edge anchor.
+  double growth_exponent = 0.56;
+  /// Preferential attachment with unbounded hubs makes k-hop path counts
+  /// astronomically large; real PPI networks have bounded interaction
+  /// partner counts, so we cap the degree (BioGRID's median protein has
+  /// <10 partners; hubs a few hundred).
+  size_t max_degree = 48;
+};
+
+/// Generates the BioGRID-like workload: `interacts` edges between proteins.
+Workload GenerateBio(const BioConfig& config);
+
+}  // namespace workload
+}  // namespace gstream
+
+#endif  // GSTREAM_WORKLOAD_BIO_H_

@@ -1,0 +1,638 @@
+#include "workload/query_gen.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "graphdb/executor.h"
+#include "graphdb/store.h"
+
+namespace gstream {
+namespace workload {
+
+namespace {
+
+constexpr int kAttempts = 40;       ///< Per-query instance-sampling retries.
+constexpr size_t kPoolCap = 512;    ///< Fragment pool size per class.
+constexpr size_t kFanoutCap = 12;   ///< DFS branching cap for cycle search.
+
+/// A planted query with >= 3 edges may have at most this many embeddings in
+/// the final graph. Rejecting combinatorial outliers keeps every engine's
+/// enumeration work proportionate — the paper's measured Neo4j times imply
+/// per-query result sets of this order. (<= 2-edge queries are exempt: their
+/// totals grow with the graph but their per-update marginals stay tiny.)
+constexpr uint64_t kMaxPlantedMatches = 10'000;
+
+/// One concrete edge instance sampled from the final graph.
+struct EdgeInstance {
+  VertexId src;
+  LabelId label;
+  VertexId dst;
+};
+
+/// A star spoke type: edge label + orientation relative to the center.
+struct Spoke {
+  LabelId label;
+  bool outgoing;
+  friend bool operator==(const Spoke& a, const Spoke& b) {
+    return a.label == b.label && a.outgoing == b.outgoing;
+  }
+};
+
+/// Structural fragments reused across queries to realize the overlap knob.
+struct FragmentPools {
+  std::deque<std::vector<LabelId>> chains;  ///< Label sequences.
+  std::deque<std::pair<uint32_t, std::vector<Spoke>>> stars;  ///< (class, spokes).
+  std::deque<std::vector<LabelId>> cycles;  ///< Label rings.
+
+  template <typename T>
+  static void Push(std::deque<T>& pool, T value) {
+    pool.push_back(std::move(value));
+    if (pool.size() > kPoolCap) pool.pop_front();
+  }
+};
+
+/// Generation context shared by the per-class builders.
+class Generator {
+ public:
+  Generator(const Workload& w, const QueryGenConfig& config)
+      : w_(w),
+        config_(config),
+        rng_(config.seed),
+        graph_(w.stream.ToGraph()),
+        executor_(&store_) {
+    for (const auto& u : w.stream.updates()) {
+      edges_by_label_[u.label].emplace_back(u.src, u.dst);
+      store_.AddEdge(u.src, u.label, u.dst);
+    }
+    schema_cycles_ = w.schema.FindCycles(6);
+  }
+
+  QuerySet Run() {
+    QuerySet out;
+    const size_t target_planted = static_cast<size_t>(
+        config_.selectivity * static_cast<double>(config_.num_queries) + 0.5);
+    size_t remaining = config_.num_queries;
+    size_t remaining_planted = target_planted;
+    std::unordered_set<std::string> seen;
+
+    while (out.queries.size() < config_.num_queries) {
+      // Exact-σ scheduling: plant with probability remaining_planted/remaining.
+      const bool plant =
+          remaining_planted > 0 && rng_.Next(remaining) < remaining_planted;
+      QueryPattern q;
+      bool accepted = false;
+      for (int attempt = 0; attempt < 20 && !accepted; ++attempt) {
+        q = GenerateOne(plant);
+        if (plant && TooManyMatches(q)) continue;
+        std::string key = q.ToString(*w_.interner);
+        accepted = seen.insert(std::move(key)).second;
+      }
+      if (plant && !accepted) q = PlantExactChain();
+      out.queries.push_back(std::move(q));
+      out.planted.push_back(plant);
+      if (plant) {
+        ++out.num_planted;
+        --remaining_planted;
+      }
+      --remaining;
+    }
+    return out;
+  }
+
+ private:
+  QueryPattern GenerateOne(bool plant) {
+    const QueryClass cls = static_cast<QueryClass>(rng_.Next(3));
+    const size_t size = SampleSize();
+    QueryPattern q;
+    switch (cls) {
+      case QueryClass::kChain:
+        q = plant ? PlantChain(size) : SynthChain(size);
+        break;
+      case QueryClass::kStar:
+        q = plant ? PlantStar(size) : SynthStar(size);
+        break;
+      case QueryClass::kCycle:
+        q = plant ? PlantCycle(size) : SynthCycle(size);
+        break;
+    }
+    GS_CHECK(q.IsValid());
+    return q;
+  }
+
+  /// l_i ~ uniform{avg-2 .. avg+2}, clamped to >= 1.
+  size_t SampleSize() {
+    const int64_t lo = std::max<int64_t>(1, static_cast<int64_t>(config_.avg_size) - 2);
+    const int64_t hi = std::max<int64_t>(lo, static_cast<int64_t>(config_.avg_size) + 2);
+    return static_cast<size_t>(rng_.Range(lo, hi));
+  }
+
+  bool UseFragment() { return rng_.NextDouble() < config_.overlap; }
+
+  /// Selectivity guard for planted queries (see kMaxPlantedMatches).
+  bool TooManyMatches(const QueryPattern& q) {
+    if (q.NumEdges() <= 2) return false;
+    uint64_t count = executor_.CountMatches(q, graphdb::PlanQuery(q),
+                                            kMaxPlantedMatches + 1);
+    return count > kMaxPlantedMatches;
+  }
+
+  /// Last-resort planted query: a fully literal 1-2 edge walk — guaranteed
+  /// satisfied, trivially selective, always fresh thanks to walk randomness.
+  QueryPattern PlantExactChain() {
+    for (int attempt = 0; attempt < kAttempts; ++attempt) {
+      const EdgeInstance first = RandomStreamEdge();
+      QueryPattern q;
+      uint32_t a = q.AddLiteral(first.src);
+      uint32_t b = q.AddLiteral(first.dst);
+      q.AddEdge(a, first.label, b);
+      EdgeInstance next;
+      if (RandomOutEdge(first.dst, kNoLabel, next)) {
+        uint32_t c = next.dst == first.src ? a
+                     : next.dst == first.dst ? b
+                                             : q.AddLiteral(next.dst);
+        q.AddEdge(b, next.label, c);
+      }
+      return q;
+    }
+    GS_CHECK(false);
+    return QueryPattern();
+  }
+
+  // ----- instance sampling helpers (planted queries) -----
+
+  const EdgeInstance RandomStreamEdge() {
+    const auto& u = w_.stream[rng_.Next(w_.stream.size())];
+    return {u.src, u.label, u.dst};
+  }
+
+  /// A random stream edge with the given label; `found=false` when the label
+  /// never occurs.
+  EdgeInstance RandomEdgeWithLabel(LabelId label, bool& found) {
+    auto it = edges_by_label_.find(label);
+    if (it == edges_by_label_.end() || it->second.empty()) {
+      found = false;
+      return {};
+    }
+    found = true;
+    const auto& [s, t] = it->second[rng_.Next(it->second.size())];
+    return {s, label, t};
+  }
+
+  /// A random out-edge of `v`, optionally constrained to `label`
+  /// (kNoLabel = free).
+  bool RandomOutEdge(VertexId v, LabelId label, EdgeInstance& out) {
+    const auto& adj = graph_.Out(v);
+    if (adj.empty()) return false;
+    // Reservoir-of-one over matching edges.
+    size_t matches = 0;
+    for (const auto& e : adj) {
+      if (label != kNoLabel && e.label != label) continue;
+      ++matches;
+      if (rng_.Next(matches) == 0) out = {v, e.label, e.dst};
+    }
+    return matches > 0;
+  }
+
+  // ----- pattern assembly -----
+
+  /// Maps concrete instance vertices to query vertices; repeated instance
+  /// vertices collapse to one query vertex, literals are chosen with
+  /// `literal_prob` (value = the concrete entity, guaranteeing matchability).
+  /// Every planted query gets at least one literal anchor — unanchored
+  /// all-variable patterns have homomorphism counts that grow
+  /// combinatorially with the graph, which no engine (and no paper
+  /// measurement) sustains. `force_literals` lists instance vertices that
+  /// must be literal regardless of the coin flips (star fan-out damping).
+  QueryPattern InstanceToPattern(const std::vector<EdgeInstance>& instance,
+                                 const std::unordered_set<VertexId>* force_literals =
+                                     nullptr) {
+    // First pass: distinct vertices in encounter order.
+    std::vector<VertexId> distinct;
+    std::unordered_map<VertexId, uint32_t> mapping;
+    for (const auto& e : instance) {
+      for (VertexId v : {e.src, e.dst}) {
+        if (mapping.emplace(v, static_cast<uint32_t>(distinct.size())).second)
+          distinct.push_back(v);
+      }
+    }
+    // Decide literal flags; guarantee one anchor.
+    std::vector<bool> literal(distinct.size(), false);
+    for (size_t i = 0; i < distinct.size(); ++i) {
+      literal[i] = rng_.NextDouble() < config_.literal_prob ||
+                   (force_literals != nullptr && force_literals->count(distinct[i]));
+    }
+    bool anchored = false;
+    for (bool b : literal) anchored |= b;
+    if (!anchored) {
+      size_t pick = 0;
+      if (w_.schema.edges().size() > 1) {
+        // Anchor on the most popular (earliest-interned) vertex: popular
+        // entities recur across planted queries, so anchors coincide and
+        // the genericized patterns still cluster in the trie.
+        for (size_t i = 1; i < distinct.size(); ++i)
+          if (distinct[i] < distinct[pick]) pick = i;
+      }
+      // Single-label datasets (BioGRID) anchor the *first* instance vertex —
+      // the walk start — like real PPI subscriptions ("protein P interacts
+      // with ..."); with one edge label, labels cannot segment the views, so
+      // a root anchor is what keeps shared prefix views bounded.
+      literal[pick] = true;
+    }
+
+    QueryPattern q;
+    std::vector<uint32_t> idx(distinct.size());
+    for (size_t i = 0; i < distinct.size(); ++i)
+      idx[i] = literal[i] ? q.AddLiteral(distinct[i]) : q.AddVariable();
+    for (const auto& e : instance)
+      q.AddEdge(idx[mapping[e.src]], e.label, idx[mapping[e.dst]]);
+    return q;
+  }
+
+  VertexId PhantomLiteral() {
+    return w_.interner->Intern("phantom_" + std::to_string(phantom_counter_++));
+  }
+
+  /// Literal-or-variable choice for synthetic (schema-walk) vertices.
+  uint32_t SynthVertex(QueryPattern& q, uint32_t cls) {
+    if (rng_.NextDouble() < config_.literal_prob && !w_.entities[cls].empty()) {
+      const auto& pool = w_.entities[cls];
+      return q.AddLiteral(pool[rng_.Next(pool.size())]);
+    }
+    return q.AddVariable();
+  }
+
+  // ----- chains -----
+
+  QueryPattern PlantChain(size_t size) {
+    std::vector<LabelId> constraint;
+    if (UseFragment() && !pools_.chains.empty())
+      constraint = pools_.chains[rng_.Next(pools_.chains.size())];
+
+    std::vector<EdgeInstance> best;
+    for (int attempt = 0; attempt < kAttempts; ++attempt) {
+      std::vector<EdgeInstance> walk;
+      EdgeInstance first;
+      if (!constraint.empty()) {
+        bool found = false;
+        first = RandomEdgeWithLabel(constraint[0], found);
+        if (!found) {
+          constraint.clear();
+          first = RandomStreamEdge();
+        }
+      } else {
+        first = RandomStreamEdge();
+      }
+      walk.push_back(first);
+      VertexId cur = first.dst;
+      for (size_t k = 1; k < size; ++k) {
+        LabelId want = k < constraint.size() ? constraint[k] : kNoLabel;
+        EdgeInstance next;
+        if (!RandomOutEdge(cur, want, next) &&
+            (want == kNoLabel || !RandomOutEdge(cur, kNoLabel, next)))
+          break;
+        walk.push_back(next);
+        cur = next.dst;
+      }
+      if (walk.size() > best.size()) best = std::move(walk);
+      if (best.size() == size) break;
+    }
+    GS_CHECK(!best.empty());
+    RecordChainFragment(best);
+    return InstanceToPattern(best);
+  }
+
+  QueryPattern SynthChain(size_t size) {
+    std::vector<LabelId> labels = SynthChainLabels(size);
+    // Poison early (at the third vertex at the latest): the prefix before
+    // the phantom still exercises the engines' materialization, while the
+    // phantom guarantees unsatisfiability AND keeps the unanchored prefix —
+    // and hence every shared prefix view — short. End-poisoned chains would
+    // leave l-1 unselective variable edges whose path views explode.
+    const size_t poison_vertex = std::min<size_t>(2, labels.size());
+    QueryPattern q;
+    uint32_t prev = kNoVertex;
+    uint32_t prev_idx = 0;
+    for (size_t k = 0; k < labels.size(); ++k) {
+      const SchemaEdge* se = SchemaEdgeByLabelFrom(labels[k], prev);
+      GS_CHECK(se != nullptr);
+      uint32_t s_idx = k == 0 ? SynthVertex(q, se->src_class) : prev_idx;
+      uint32_t t_idx = (k + 1 == poison_vertex) ? q.AddLiteral(PhantomLiteral())
+                                                : SynthVertex(q, se->dst_class);
+      q.AddEdge(s_idx, labels[k], t_idx);
+      prev = se->dst_class;
+      prev_idx = t_idx;
+    }
+    FragmentPools::Push(pools_.chains, std::move(labels));
+    return q;
+  }
+
+  /// A schema-conformant label walk; reuses a pooled fragment as prefix with
+  /// probability `overlap`.
+  std::vector<LabelId> SynthChainLabels(size_t size) {
+    std::vector<LabelId> labels;
+    uint32_t cur_class = 0;
+    if (UseFragment() && !pools_.chains.empty()) {
+      const auto& frag = pools_.chains[rng_.Next(pools_.chains.size())];
+      for (size_t k = 0; k < frag.size() && k < size; ++k) labels.push_back(frag[k]);
+      const SchemaEdge* last = nullptr;
+      uint32_t cls = kNoVertex;
+      for (LabelId l : labels) {
+        last = SchemaEdgeByLabelFrom(l, cls);
+        if (last == nullptr) break;
+        cls = last->dst_class;
+      }
+      if (last == nullptr) {
+        labels.clear();  // stale fragment (shouldn't happen); fall through
+      } else {
+        cur_class = last->dst_class;
+      }
+    }
+    if (labels.empty()) {
+      const auto& all = w_.schema.edges();
+      const SchemaEdge& e = all[rng_.Next(all.size())];
+      labels.push_back(e.label);
+      cur_class = e.dst_class;
+    }
+    while (labels.size() < size) {
+      const auto& from = w_.schema.EdgesFrom(cur_class);
+      if (from.empty()) break;  // dead-end class; accept shorter chain
+      const SchemaEdge& e = from[rng_.Next(from.size())];
+      labels.push_back(e.label);
+      cur_class = e.dst_class;
+    }
+    return labels;
+  }
+
+  /// Schema edge with `label` whose source class is `from_class`
+  /// (kNoVertex = any).
+  const SchemaEdge* SchemaEdgeByLabelFrom(LabelId label, uint32_t from_class) const {
+    for (const auto& e : w_.schema.edges())
+      if (e.label == label && (from_class == kNoVertex || e.src_class == from_class))
+        return &e;
+    return nullptr;
+  }
+
+  void RecordChainFragment(const std::vector<EdgeInstance>& walk) {
+    std::vector<LabelId> labels;
+    labels.reserve(walk.size());
+    for (const auto& e : walk) labels.push_back(e.label);
+    FragmentPools::Push(pools_.chains, std::move(labels));
+  }
+
+  // ----- stars -----
+
+  QueryPattern PlantStar(size_t size) {
+    std::vector<Spoke> constraint;
+    if (UseFragment() && !pools_.stars.empty())
+      constraint = pools_.stars[rng_.Next(pools_.stars.size())].second;
+
+    std::vector<EdgeInstance> best;
+    VertexId best_center = kNoVertex;
+    for (int attempt = 0; attempt < kAttempts; ++attempt) {
+      const EdgeInstance seed = RandomStreamEdge();
+      const VertexId center = rng_.Flip(0.5) ? seed.src : seed.dst;
+      std::vector<EdgeInstance> incident;
+      for (const auto& e : graph_.Out(center))
+        incident.push_back({center, e.label, e.dst});
+      for (const auto& e : graph_.In(center))
+        incident.push_back({e.src, e.label, center});
+      if (incident.empty()) continue;
+
+      // Honour the fragment's spoke types first, then fill freely.
+      std::vector<EdgeInstance> chosen;
+      std::vector<bool> used(incident.size(), false);
+      for (const Spoke& spoke : constraint) {
+        if (chosen.size() >= size) break;
+        for (size_t i = 0; i < incident.size(); ++i) {
+          if (used[i] || incident[i].label != spoke.label) continue;
+          const bool out = incident[i].src == center;
+          if (out != spoke.outgoing) continue;
+          used[i] = true;
+          chosen.push_back(incident[i]);
+          break;
+        }
+      }
+      // Free fill with reservoir-free random picks.
+      std::vector<size_t> free_idx;
+      for (size_t i = 0; i < incident.size(); ++i)
+        if (!used[i]) free_idx.push_back(i);
+      std::shuffle(free_idx.begin(), free_idx.end(), rng_.engine());
+      for (size_t i : free_idx) {
+        if (chosen.size() >= size) break;
+        chosen.push_back(incident[i]);
+      }
+      if (chosen.size() > best.size()) {
+        best = std::move(chosen);
+        best_center = center;
+      }
+      if (best.size() >= size) break;
+    }
+    GS_CHECK(!best.empty());
+    RecordStarFragment(best_center, best);
+    // Fan-out damping: at most two spokes of the same (label, direction) may
+    // keep variable tips; extra repeats are anchored, otherwise the star's
+    // embedding count is Π degree^k.
+    std::unordered_map<uint64_t, int> type_count;
+    std::unordered_set<VertexId> force;
+    for (const auto& e : best) {
+      const bool out = e.src == best_center;
+      const uint64_t key = (static_cast<uint64_t>(e.label) << 1) | (out ? 1 : 0);
+      if (++type_count[key] > 2) force.insert(out ? e.dst : e.src);
+    }
+    return InstanceToPattern(best, &force);
+  }
+
+  QueryPattern SynthStar(size_t size) {
+    uint32_t center_class;
+    std::vector<Spoke> spokes;
+    if (UseFragment() && !pools_.stars.empty()) {
+      const auto& frag = pools_.stars[rng_.Next(pools_.stars.size())];
+      center_class = frag.first;
+      spokes = frag.second;
+    } else {
+      center_class = static_cast<uint32_t>(rng_.Next(w_.schema.NumClasses()));
+    }
+    auto touching = w_.schema.EdgesTouching(center_class);
+    if (touching.empty()) {
+      // Class with no edges (cannot happen with our schemas); pick any edge.
+      const auto& all = w_.schema.edges();
+      const SchemaEdge& e = all[rng_.Next(all.size())];
+      center_class = e.src_class;
+      touching = w_.schema.EdgesTouching(center_class);
+    }
+    while (spokes.size() < size) {
+      const SchemaEdge& e = touching[rng_.Next(touching.size())];
+      spokes.push_back(Spoke{e.label, e.src_class == center_class});
+    }
+    if (spokes.size() > size) spokes.resize(size);
+
+    QueryPattern q;
+    const uint32_t center = SynthVertex(q, center_class);
+    // Poison one spoke tip; the other spokes stay satisfiable so the engines
+    // still do real join work on the poisoned queries. Same fan-out damping
+    // as planted stars: the 3rd+ spoke of one type gets a literal tip.
+    const size_t poison = rng_.Next(spokes.size());
+    std::unordered_map<uint64_t, int> type_count;
+    for (size_t i = 0; i < spokes.size(); ++i) {
+      const Spoke& spoke = spokes[i];
+      const SchemaEdge* se = SchemaEdgeTouching(spoke, center_class);
+      GS_CHECK(se != nullptr);
+      const uint32_t other_class = spoke.outgoing ? se->dst_class : se->src_class;
+      const uint64_t key =
+          (static_cast<uint64_t>(spoke.label) << 1) | (spoke.outgoing ? 1 : 0);
+      const bool damp =
+          ++type_count[key] > 2 && !w_.entities[other_class].empty();
+      uint32_t tip;
+      if (i == poison) {
+        tip = q.AddLiteral(PhantomLiteral());
+      } else if (damp) {
+        const auto& pool = w_.entities[other_class];
+        tip = q.AddLiteral(pool[rng_.Next(pool.size())]);
+      } else {
+        tip = SynthVertex(q, other_class);
+      }
+      if (spoke.outgoing)
+        q.AddEdge(center, spoke.label, tip);
+      else
+        q.AddEdge(tip, spoke.label, center);
+    }
+    FragmentPools::Push(pools_.stars, {center_class, std::move(spokes)});
+    return q;
+  }
+
+  const SchemaEdge* SchemaEdgeTouching(const Spoke& spoke, uint32_t center_class) const {
+    for (const auto& e : w_.schema.edges()) {
+      if (e.label != spoke.label) continue;
+      if (spoke.outgoing && e.src_class == center_class) return &e;
+      if (!spoke.outgoing && e.dst_class == center_class) return &e;
+    }
+    return nullptr;
+  }
+
+  void RecordStarFragment(VertexId center, const std::vector<EdgeInstance>& spokes) {
+    auto cit = w_.vertex_class.find(center);
+    if (cit == w_.vertex_class.end()) return;
+    std::vector<Spoke> frag;
+    frag.reserve(spokes.size());
+    for (const auto& e : spokes) frag.push_back(Spoke{e.label, e.src == center});
+    FragmentPools::Push(pools_.stars, {cit->second, std::move(frag)});
+  }
+
+  // ----- cycles -----
+
+  QueryPattern PlantCycle(size_t size) {
+    const size_t len = std::max<size_t>(2, size);
+    for (int attempt = 0; attempt < kAttempts; ++attempt) {
+      const EdgeInstance seed = RandomStreamEdge();
+      std::vector<EdgeInstance> path{seed};
+      std::unordered_set<VertexId> on_path{seed.src, seed.dst};
+      if (FindCycleDfs(seed.src, seed.dst, len - 1, path, on_path)) {
+        RecordCycleFragment(path);
+        return InstanceToPattern(path);
+      }
+    }
+    // The graph may simply lack directed cycles (e.g. TAXI): fall back to a
+    // chain instance, as documented in DESIGN.md.
+    return PlantChain(size);
+  }
+
+  /// DFS from `at` back to `target` using at most `budget` more edges,
+  /// visiting only fresh vertices; fanout is capped for bounded cost.
+  bool FindCycleDfs(VertexId target, VertexId at, size_t budget,
+                    std::vector<EdgeInstance>& path,
+                    std::unordered_set<VertexId>& on_path) {
+    if (budget == 0) return false;
+    const auto& adj = graph_.Out(at);
+    if (adj.empty()) return false;
+    const size_t fanout = std::min(adj.size(), kFanoutCap);
+    const size_t offset = rng_.Next(adj.size());
+    for (size_t k = 0; k < fanout; ++k) {
+      const auto& e = adj[(offset + k) % adj.size()];
+      if (e.dst == target) {
+        path.push_back({at, e.label, e.dst});
+        return true;
+      }
+      if (budget == 1 || on_path.count(e.dst)) continue;
+      path.push_back({at, e.label, e.dst});
+      on_path.insert(e.dst);
+      if (FindCycleDfs(target, e.dst, budget - 1, path, on_path)) return true;
+      on_path.erase(e.dst);
+      path.pop_back();
+    }
+    return false;
+  }
+
+  QueryPattern SynthCycle(size_t size) {
+    std::vector<LabelId> ring;
+    if (UseFragment() && !pools_.cycles.empty()) {
+      ring = pools_.cycles[rng_.Next(pools_.cycles.size())];
+    } else if (!schema_cycles_.empty()) {
+      const auto& cyc = schema_cycles_[rng_.Next(schema_cycles_.size())];
+      for (const auto& e : cyc) ring.push_back(e.label);
+      // Self-class rings stretch to the requested size.
+      if (cyc.size() == 2 && cyc[0].src_class == cyc[0].dst_class &&
+          cyc[0].label == cyc[1].label) {
+        ring.assign(std::max<size_t>(2, size), cyc[0].label);
+      }
+    }
+    if (ring.empty()) return SynthChain(size);  // schema has no cycles (TAXI)
+
+    // Class sequence around the ring.
+    std::vector<uint32_t> classes(ring.size());
+    const SchemaEdge* first = SchemaEdgeByLabelFrom(ring[0], kNoVertex);
+    GS_CHECK(first != nullptr);
+    classes[0] = first->src_class;
+    for (size_t k = 0; k < ring.size(); ++k) {
+      const SchemaEdge* se = SchemaEdgeByLabelFrom(ring[k], classes[k]);
+      if (se == nullptr) return SynthChain(size);  // stale fragment
+      if (k + 1 < ring.size()) classes[k + 1] = se->dst_class;
+    }
+
+    QueryPattern q;
+    std::vector<uint32_t> vertices(ring.size());
+    // Same early-poison rule as chains (see SynthChain).
+    const size_t poison = std::min<size_t>(2, ring.size() - 1);
+    for (size_t k = 0; k < ring.size(); ++k)
+      vertices[k] = k == poison ? q.AddLiteral(PhantomLiteral())
+                                : SynthVertex(q, classes[k]);
+    for (size_t k = 0; k < ring.size(); ++k)
+      q.AddEdge(vertices[k], ring[k], vertices[(k + 1) % ring.size()]);
+    FragmentPools::Push(pools_.cycles, std::move(ring));
+    return q;
+  }
+
+  void RecordCycleFragment(const std::vector<EdgeInstance>& path) {
+    std::vector<LabelId> ring;
+    ring.reserve(path.size());
+    for (const auto& e : path) ring.push_back(e.label);
+    FragmentPools::Push(pools_.cycles, std::move(ring));
+  }
+
+  const Workload& w_;
+  const QueryGenConfig& config_;
+  Rng rng_;
+  Graph graph_;
+  graphdb::GraphStore store_;
+  graphdb::MatchExecutor executor_;
+  std::unordered_map<LabelId, std::vector<std::pair<VertexId, VertexId>>>
+      edges_by_label_;
+  std::vector<std::vector<SchemaEdge>> schema_cycles_;
+  FragmentPools pools_;
+  uint64_t phantom_counter_ = 0;
+};
+
+}  // namespace
+
+QuerySet GenerateQueries(const Workload& w, const QueryGenConfig& config) {
+  GS_CHECK_MSG(w.stream.size() > 0, "workload stream is empty");
+  Generator generator(w, config);
+  return generator.Run();
+}
+
+}  // namespace workload
+}  // namespace gstream

@@ -1,0 +1,59 @@
+#ifndef GSTREAM_WORKLOAD_QUERY_GEN_H_
+#define GSTREAM_WORKLOAD_QUERY_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/pattern.h"
+#include "workload/workload.h"
+
+namespace gstream {
+namespace workload {
+
+/// The paper's three query classes (§6.1: "chains, stars, and cycles ...
+/// chosen equiprobably").
+enum class QueryClass : uint8_t { kChain = 0, kStar = 1, kCycle = 2 };
+
+/// Query-set knobs, mirroring §6.1's baseline values:
+///  * `avg_size` (l):     average edges per query graph pattern;
+///  * `num_queries`:      |QDB|;
+///  * `selectivity` (σ):  exact fraction of queries that will ultimately be
+///                        satisfied by the stream — enforced by *planting*
+///                        satisfied queries from real subgraph instances and
+///                        *poisoning* the rest with a phantom literal that
+///                        never appears in the stream (placed at a path end,
+///                        so the poisoned queries still exercise the
+///                        engines' materialization);
+///  * `overlap` (o):      probability that a query reuses a structural
+///                        fragment (label sequence / spoke set / cycle ring)
+///                        from previously generated queries, creating the
+///                        shared sub-patterns TRIC clusters.
+struct QueryGenConfig {
+  size_t num_queries = 5000;
+  double avg_size = 5.0;
+  double selectivity = 0.25;
+  double overlap = 0.35;
+  /// Fraction of query vertices bound to literals. The paper's example
+  /// queries (Fig. 4) bind ~40% of their vertices (pst1, pst2, com1, ...);
+  /// literal anchors are also what keeps materialized path views — and
+  /// homomorphism counts — proportionate.
+  double literal_prob = 0.4;
+  uint64_t seed = 7;
+};
+
+/// A generated query set with its ground truth.
+struct QuerySet {
+  std::vector<QueryPattern> queries;
+  /// Whether queries[i] was planted (guaranteed ultimately satisfied).
+  std::vector<bool> planted;
+  size_t num_planted = 0;
+};
+
+/// Generates `config.num_queries` schema-conformant patterns against `w`.
+/// Deterministic for a given (workload, config) pair.
+QuerySet GenerateQueries(const Workload& w, const QueryGenConfig& config);
+
+}  // namespace workload
+}  // namespace gstream
+
+#endif  // GSTREAM_WORKLOAD_QUERY_GEN_H_

@@ -1,0 +1,74 @@
+#include "workload/schema.h"
+
+#include <functional>
+
+#include "common/logging.h"
+
+namespace gstream {
+namespace workload {
+
+uint32_t Schema::AddClass(std::string name) {
+  uint32_t id = static_cast<uint32_t>(class_names_.size());
+  class_names_.push_back(std::move(name));
+  from_.emplace_back();
+  into_.emplace_back();
+  return id;
+}
+
+void Schema::AddEdge(LabelId label, uint32_t src_class, uint32_t dst_class) {
+  GS_CHECK(src_class < NumClasses() && dst_class < NumClasses());
+  SchemaEdge e{label, src_class, dst_class};
+  edges_.push_back(e);
+  from_[src_class].push_back(e);
+  into_[dst_class].push_back(e);
+}
+
+std::vector<SchemaEdge> Schema::EdgesTouching(uint32_t cls) const {
+  std::vector<SchemaEdge> result = from_[cls];
+  for (const auto& e : into_[cls]) {
+    if (e.src_class == cls) continue;  // self-loop already included
+    result.push_back(e);
+  }
+  return result;
+}
+
+std::vector<std::vector<SchemaEdge>> Schema::FindCycles(size_t max_len) const {
+  std::vector<std::vector<SchemaEdge>> cycles;
+
+  // Self-class loops become 2-rings (a -knows-> b -knows-> a).
+  for (const auto& e : edges_)
+    if (e.src_class == e.dst_class) cycles.push_back({e, e});
+
+  // Bounded DFS for proper class cycles.
+  std::vector<SchemaEdge> path;
+  std::vector<bool> on_path(NumClasses(), false);
+
+  std::function<void(uint32_t, uint32_t)> dfs = [&](uint32_t start, uint32_t at) {
+    if (path.size() >= max_len) return;
+    for (const auto& e : from_[at]) {
+      if (e.dst_class == start && path.size() >= 1 && e.src_class != e.dst_class) {
+        auto cycle = path;
+        cycle.push_back(e);
+        if (cycle.size() >= 2) cycles.push_back(cycle);
+        continue;
+      }
+      if (e.dst_class == e.src_class || on_path[e.dst_class]) continue;
+      on_path[e.dst_class] = true;
+      path.push_back(e);
+      dfs(start, e.dst_class);
+      path.pop_back();
+      on_path[e.dst_class] = false;
+    }
+  };
+
+  for (uint32_t cls = 0; cls < NumClasses(); ++cls) {
+    on_path.assign(NumClasses(), false);
+    on_path[cls] = true;
+    path.clear();
+    dfs(cls, cls);
+  }
+  return cycles;
+}
+
+}  // namespace workload
+}  // namespace gstream

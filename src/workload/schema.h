@@ -1,0 +1,62 @@
+#ifndef GSTREAM_WORKLOAD_SCHEMA_H_
+#define GSTREAM_WORKLOAD_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace gstream {
+namespace workload {
+
+/// One allowed edge type: `label` connects an entity of `src_class` to one of
+/// `dst_class` (e.g. posted: Person -> Post).
+struct SchemaEdge {
+  LabelId label = kNoLabel;
+  uint32_t src_class = 0;
+  uint32_t dst_class = 0;
+
+  friend bool operator==(const SchemaEdge& a, const SchemaEdge& b) {
+    return a.label == b.label && a.src_class == b.src_class && a.dst_class == b.dst_class;
+  }
+};
+
+/// The label schema of a dataset: entity classes and the edge types between
+/// them. The query generator walks this graph to produce structurally valid
+/// (schema-conformant) chain/star/cycle patterns (paper §6.1 "Query Set
+/// Configuration").
+class Schema {
+ public:
+  /// Registers an entity class; returns its id.
+  uint32_t AddClass(std::string name);
+
+  /// Registers an edge type.
+  void AddEdge(LabelId label, uint32_t src_class, uint32_t dst_class);
+
+  size_t NumClasses() const { return class_names_.size(); }
+  const std::string& ClassName(uint32_t cls) const { return class_names_[cls]; }
+
+  const std::vector<SchemaEdge>& edges() const { return edges_; }
+  const std::vector<SchemaEdge>& EdgesFrom(uint32_t cls) const { return from_[cls]; }
+  const std::vector<SchemaEdge>& EdgesInto(uint32_t cls) const { return into_[cls]; }
+  /// Edge types touching `cls` on either side.
+  std::vector<SchemaEdge> EdgesTouching(uint32_t cls) const;
+
+  /// Directed label cycles of length in [2, max_len] (each returned as the
+  /// edge sequence around the cycle), found by bounded DFS over classes.
+  /// Length-1 cycles (self-class loops like knows: Person->Person) are
+  /// returned as length-2 rings of the same label.
+  std::vector<std::vector<SchemaEdge>> FindCycles(size_t max_len) const;
+
+ private:
+  std::vector<std::string> class_names_;
+  std::vector<SchemaEdge> edges_;
+  std::vector<std::vector<SchemaEdge>> from_;
+  std::vector<std::vector<SchemaEdge>> into_;
+};
+
+}  // namespace workload
+}  // namespace gstream
+
+#endif  // GSTREAM_WORKLOAD_SCHEMA_H_

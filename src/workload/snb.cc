@@ -1,0 +1,192 @@
+#include "workload/snb.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace gstream {
+namespace workload {
+
+namespace {
+
+/// Entity class ids, fixed by construction order.
+struct SnbClasses {
+  uint32_t person, forum, post, comment, place, tag;
+};
+
+/// Degree-skewed sampling from an entity pool: Zipf over creation rank, so
+/// early entities are the popular ones (stable across the stream).
+VertexId SampleZipf(const std::vector<VertexId>& pool, const ZipfSampler& zipf,
+                    Rng& rng) {
+  size_t idx = zipf.Sample(rng);
+  if (idx >= pool.size()) idx = rng.Next(pool.size());
+  return pool[idx];
+}
+
+}  // namespace
+
+Workload GenerateSnb(const SnbConfig& config) {
+  Workload w;
+  w.name = "SNB";
+  w.interner = std::make_shared<StringInterner>();
+  w.stream = UpdateStream(w.interner);
+  Rng rng(config.seed);
+
+  SnbClasses cls;
+  cls.person = w.schema.AddClass("Person");
+  cls.forum = w.schema.AddClass("Forum");
+  cls.post = w.schema.AddClass("Post");
+  cls.comment = w.schema.AddClass("Comment");
+  cls.place = w.schema.AddClass("Place");
+  cls.tag = w.schema.AddClass("Tag");
+  w.entities.resize(w.schema.NumClasses());
+
+  const LabelId knows = w.interner->Intern("knows");
+  const LabelId has_mod = w.interner->Intern("hasMod");
+  const LabelId posted = w.interner->Intern("posted");
+  const LabelId contained_in = w.interner->Intern("containedIn");
+  const LabelId has_creator = w.interner->Intern("hasCreator");
+  const LabelId reply = w.interner->Intern("reply");
+  const LabelId likes = w.interner->Intern("likes");
+  const LabelId checks_in = w.interner->Intern("checksIn");
+  const LabelId has_tag = w.interner->Intern("hasTag");
+  const LabelId part_of = w.interner->Intern("partOf");
+
+  w.schema.AddEdge(knows, cls.person, cls.person);
+  w.schema.AddEdge(has_mod, cls.forum, cls.person);
+  w.schema.AddEdge(posted, cls.person, cls.post);
+  w.schema.AddEdge(contained_in, cls.post, cls.forum);
+  w.schema.AddEdge(has_creator, cls.comment, cls.person);
+  w.schema.AddEdge(reply, cls.comment, cls.post);
+  w.schema.AddEdge(likes, cls.person, cls.post);
+  w.schema.AddEdge(checks_in, cls.person, cls.place);
+  w.schema.AddEdge(has_tag, cls.post, cls.tag);
+  w.schema.AddEdge(part_of, cls.place, cls.place);
+
+  // Static pools: places form a two-level partOf hierarchy, tags are flat.
+  // These setup edges are part of the stream (the graph starts empty).
+  const size_t num_regions = std::max<size_t>(1, config.num_places / 20);
+  std::vector<VertexId> regions;
+  for (size_t i = 0; i < num_regions; ++i)
+    regions.push_back(w.NewEntity(cls.place, "region"));
+  for (size_t i = 0; i < config.num_places && w.stream.size() < config.num_updates; ++i) {
+    VertexId place = w.NewEntity(cls.place, "place");
+    w.Emit(place, part_of, regions[rng.Next(regions.size())]);
+  }
+  for (size_t i = 0; i < config.num_tags; ++i) w.NewEntity(cls.tag, "tag");
+
+  // Popularity samplers (rank-skewed; pool sizes grow, sampler caps at the
+  // configured horizon and falls back to uniform beyond it).
+  const size_t horizon = std::max<size_t>(1024, config.num_updates / 8);
+  ZipfSampler zipf(horizon, config.zipf_exponent);
+
+  auto sample_person = [&] { return SampleZipf(w.entities[cls.person], zipf, rng); };
+  auto sample_post = [&] { return SampleZipf(w.entities[cls.post], zipf, rng); };
+  auto sample_forum = [&] { return SampleZipf(w.entities[cls.forum], zipf, rng); };
+  auto sample_place = [&] {
+    return w.entities[cls.place][rng.Next(w.entities[cls.place].size())];
+  };
+  auto sample_tag = [&] {
+    return w.entities[cls.tag][rng.Next(w.entities[cls.tag].size())];
+  };
+
+  // Per-relation degree bookkeeping for the fan-out caps.
+  using DegreeMap = std::unordered_map<VertexId, uint32_t>;
+  DegreeMap knows_deg, posts_by_person, posts_in_forum, replies_on_post,
+      likes_on_post, checkins_by_person;
+  /// Resamples until the relation's degree cap admits the vertex.
+  auto capped = [&](auto sampler, DegreeMap& deg, size_t cap) -> VertexId {
+    for (int attempt = 0; attempt < 12; ++attempt) {
+      VertexId v = sampler();
+      auto it = deg.find(v);
+      if (it == deg.end() || it->second < cap) return v;
+    }
+    return kNoVertex;
+  };
+
+  // Bootstrap: a couple of persons and one forum so every event has targets.
+  VertexId p0 = w.NewEntity(cls.person, "person");
+  VertexId p1 = w.NewEntity(cls.person, "person");
+  w.Emit(p0, knows, p1);
+  VertexId f0 = w.NewEntity(cls.forum, "forum");
+  w.Emit(f0, has_mod, p0);
+  VertexId post0 = w.NewEntity(cls.post, "post");
+  w.Emit(p1, posted, post0);
+  w.Emit(post0, contained_in, f0);
+
+  // Event mix. The interaction share grows slowly with stream length, which
+  // reproduces the paper's falling vertex/edge ratio across scales
+  // (0.57 @ 100K -> 0.46 @ 1M -> 0.35 @ 10M).
+  while (w.stream.size() < config.num_updates) {
+    const double t = static_cast<double>(w.stream.size());
+    const double interact_boost = 0.08 * std::log10(1.0 + t / 20000.0);
+    const double r = rng.NextDouble();
+
+    if (r < 0.20) {
+      // New person: join the network, know someone, maybe check in.
+      VertexId p = w.NewEntity(cls.person, "person");
+      VertexId friend_p =
+          capped(sample_person, knows_deg, config.max_knows_per_person);
+      if (friend_p != kNoVertex) {
+        w.Emit(p, knows, friend_p);
+        ++knows_deg[p];
+        ++knows_deg[friend_p];
+      }
+      if (rng.Flip(0.3)) {
+        w.Emit(p, checks_in, sample_place());
+        ++checkins_by_person[p];
+      }
+    } else if (r < 0.24) {
+      // New forum with a moderator.
+      VertexId f = w.NewEntity(cls.forum, "forum");
+      w.Emit(f, has_mod, sample_person());
+    } else if (r < 0.52) {
+      // New post into a forum, sometimes tagged.
+      VertexId author =
+          capped(sample_person, posts_by_person, config.max_posts_per_person);
+      VertexId forum = capped(sample_forum, posts_in_forum, config.max_posts_per_forum);
+      if (author == kNoVertex || forum == kNoVertex) continue;
+      VertexId post = w.NewEntity(cls.post, "post");
+      w.Emit(author, posted, post);
+      ++posts_by_person[author];
+      w.Emit(post, contained_in, forum);
+      ++posts_in_forum[forum];
+      if (rng.Flip(0.25)) w.Emit(post, has_tag, sample_tag());
+    } else if (r < 0.74) {
+      // New comment replying to a post.
+      VertexId target = capped(sample_post, replies_on_post, config.max_replies_per_post);
+      if (target == kNoVertex) continue;
+      VertexId c = w.NewEntity(cls.comment, "comment");
+      w.Emit(c, has_creator, sample_person());
+      w.Emit(c, reply, target);
+      ++replies_on_post[target];
+    } else if (r < 0.82 + interact_boost * 0.4) {
+      // Friendship; half the time reciprocal (knows is symmetric in SNB).
+      VertexId a = capped(sample_person, knows_deg, config.max_knows_per_person);
+      VertexId b = capped(sample_person, knows_deg, config.max_knows_per_person);
+      if (a != kNoVertex && b != kNoVertex && a != b) {
+        w.Emit(a, knows, b);
+        ++knows_deg[a];
+        ++knows_deg[b];
+        if (rng.Flip(0.5)) w.Emit(b, knows, a);
+      }
+    } else if (r < 0.92 + interact_boost * 0.7) {
+      VertexId target = capped(sample_post, likes_on_post, config.max_likes_per_post);
+      if (target != kNoVertex) w.Emit(sample_person(), likes, target);
+      if (target != kNoVertex) ++likes_on_post[target];
+    } else {
+      VertexId p =
+          capped(sample_person, checkins_by_person, config.max_checkins_per_person);
+      if (p != kNoVertex) {
+        w.Emit(p, checks_in, sample_place());
+        ++checkins_by_person[p];
+      }
+    }
+  }
+  w.stream.Truncate(config.num_updates);
+  return w;
+}
+
+}  // namespace workload
+}  // namespace gstream

@@ -1,0 +1,44 @@
+#ifndef GSTREAM_WORKLOAD_SNB_H_
+#define GSTREAM_WORKLOAD_SNB_H_
+
+#include <cstdint>
+
+#include "workload/workload.h"
+
+namespace gstream {
+namespace workload {
+
+/// Configuration of the SNB-like social-network stream (our substitute for
+/// the LDBC Social Network Benchmark generator the paper used — see
+/// DESIGN.md §1.1). The defaults reproduce the paper's structural statistics:
+/// |G_V| / |G_E| ≈ 0.57 at 100K edges, decreasing with scale as interactions
+/// densify over entity creation.
+struct SnbConfig {
+  size_t num_updates = 100'000;
+  uint64_t seed = 42;
+  size_t num_places = 200;
+  size_t num_tags = 500;
+  double zipf_exponent = 0.8;  ///< Popularity skew of persons/posts/forums.
+
+  /// Per-vertex degree caps, mirroring LDBC SNB's bounded fan-outs (friend
+  /// lists, replies per post, ...). Without them the rank-skewed sampling
+  /// creates super-hubs whose homomorphism counts explode combinatorially —
+  /// far beyond anything the paper's measurements imply.
+  size_t max_knows_per_person = 24;
+  size_t max_posts_per_person = 24;
+  size_t max_replies_per_post = 48;
+  size_t max_likes_per_post = 48;
+  size_t max_posts_per_forum = 48;
+  size_t max_checkins_per_person = 12;
+};
+
+/// Generates the SNB-like workload: persons, forums, posts, comments, places
+/// and tags connected by knows / hasMod / posted / containedIn / hasCreator /
+/// reply / likes / checksIn / hasTag / partOf edges — the schema behind the
+/// paper's example queries (Figs. 1, 3, 4).
+Workload GenerateSnb(const SnbConfig& config);
+
+}  // namespace workload
+}  // namespace gstream
+
+#endif  // GSTREAM_WORKLOAD_SNB_H_

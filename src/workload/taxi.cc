@@ -1,0 +1,76 @@
+#include "workload/taxi.h"
+
+#include "common/rng.h"
+
+namespace gstream {
+namespace workload {
+
+Workload GenerateTaxi(const TaxiConfig& config) {
+  Workload w;
+  w.name = "TAXI";
+  w.interner = std::make_shared<StringInterner>();
+  w.stream = UpdateStream(w.interner);
+  Rng rng(config.seed);
+
+  const uint32_t ride = w.schema.AddClass("Ride");
+  const uint32_t medallion = w.schema.AddClass("Medallion");
+  const uint32_t driver = w.schema.AddClass("Driver");
+  const uint32_t zone = w.schema.AddClass("Zone");
+  const uint32_t payment = w.schema.AddClass("Payment");
+  w.entities.resize(w.schema.NumClasses());
+
+  const LabelId by_medallion = w.interner->Intern("byMedallion");
+  const LabelId driven_by = w.interner->Intern("drivenBy");
+  const LabelId pickup_at = w.interner->Intern("pickupAt");
+  const LabelId dropoff_at = w.interner->Intern("dropoffAt");
+  const LabelId paid_by = w.interner->Intern("paidBy");
+  const LabelId drives = w.interner->Intern("drives");
+
+  w.schema.AddEdge(by_medallion, ride, medallion);
+  w.schema.AddEdge(driven_by, ride, driver);
+  w.schema.AddEdge(pickup_at, ride, zone);
+  w.schema.AddEdge(dropoff_at, ride, zone);
+  w.schema.AddEdge(paid_by, ride, payment);
+  w.schema.AddEdge(drives, driver, medallion);
+
+  for (size_t i = 0; i < config.num_zones; ++i) w.NewEntity(zone, "zone");
+  w.NewEntity(payment, "cash");
+  w.NewEntity(payment, "card");
+  ZipfSampler zone_zipf(config.num_zones, config.zipf_exponent);
+
+  // Medallion/driver fleets grow slowly: ~13K medallions served NYC in 2013.
+  auto fleet_target = [&](size_t rides) { return 50 + rides / 40; };
+
+  size_t rides_emitted = 0;
+  while (w.stream.size() < config.num_updates) {
+    // Grow fleets toward their targets.
+    while (w.entities[medallion].size() < fleet_target(rides_emitted))
+      w.NewEntity(medallion, "medallion");
+    while (w.entities[driver].size() < fleet_target(rides_emitted) * 12 / 10) {
+      VertexId d = w.NewEntity(driver, "driver");
+      // A new driver is licensed onto some medallion.
+      w.Emit(d, drives,
+             w.entities[medallion][rng.Next(w.entities[medallion].size())]);
+    }
+
+    // One ride event: a star around the fresh Ride vertex. Drivers pick up
+    // in a Zipf-popular zone; 20% of dropoffs stay in the pickup zone.
+    VertexId r = w.NewEntity(ride, "ride");
+    VertexId m = w.entities[medallion][rng.Next(w.entities[medallion].size())];
+    w.Emit(r, by_medallion, m);
+    if (rng.Flip(0.6))
+      w.Emit(r, driven_by, w.entities[driver][rng.Next(w.entities[driver].size())]);
+    VertexId pick = w.entities[zone][zone_zipf.Sample(rng)];
+    w.Emit(r, pickup_at, pick);
+    VertexId drop = rng.Flip(0.2) ? pick : w.entities[zone][zone_zipf.Sample(rng)];
+    w.Emit(r, dropoff_at, drop);
+    if (rng.Flip(0.5))
+      w.Emit(r, paid_by, w.entities[payment][rng.Flip(0.55) ? 1 : 0]);
+    ++rides_emitted;
+  }
+  w.stream.Truncate(config.num_updates);
+  return w;
+}
+
+}  // namespace workload
+}  // namespace gstream

@@ -1,0 +1,31 @@
+#ifndef GSTREAM_WORKLOAD_TAXI_H_
+#define GSTREAM_WORKLOAD_TAXI_H_
+
+#include <cstdint>
+
+#include "workload/workload.h"
+
+namespace gstream {
+namespace workload {
+
+/// Configuration of the NYC-taxi-like stream (substitute for the DEBS'15
+/// TAXI dataset the paper used — see DESIGN.md §1.1). Each ride event
+/// becomes a small star of edges around a fresh Ride vertex; zone popularity
+/// is Zipf-skewed. Defaults reproduce |G_V| / |G_E| ≈ 0.28 (paper: 1M edges,
+/// 280K vertices).
+struct TaxiConfig {
+  size_t num_updates = 100'000;
+  uint64_t seed = 43;
+  size_t num_zones = 260;       ///< NYC TLC has 263 taxi zones.
+  double zipf_exponent = 0.9;   ///< Zone popularity skew.
+};
+
+/// Generates the TAXI-like workload: Ride / Medallion / Driver / Zone /
+/// Payment entities connected by byMedallion / drivenBy / pickupAt /
+/// dropoffAt / paidBy / drives edges.
+Workload GenerateTaxi(const TaxiConfig& config);
+
+}  // namespace workload
+}  // namespace gstream
+
+#endif  // GSTREAM_WORKLOAD_TAXI_H_

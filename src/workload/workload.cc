@@ -1,0 +1,27 @@
+#include "workload/workload.h"
+
+#include <unordered_set>
+
+namespace gstream {
+namespace workload {
+
+VertexId Workload::NewEntity(uint32_t cls, const std::string& prefix) {
+  const size_t index = entities[cls].size();
+  VertexId id = interner->Intern(prefix + "_" + std::to_string(index));
+  entities[cls].push_back(id);
+  vertex_class[id] = cls;
+  return id;
+}
+
+WorkloadStats ComputeStats(const Workload& w) {
+  WorkloadStats stats;
+  stats.updates = w.stream.size();
+  stats.distinct_vertices = w.stream.CountVertices(w.stream.size());
+  std::unordered_set<LabelId> labels;
+  for (const auto& u : w.stream.updates()) labels.insert(u.label);
+  stats.distinct_labels = labels.size();
+  return stats;
+}
+
+}  // namespace workload
+}  // namespace gstream

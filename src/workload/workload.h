@@ -1,0 +1,52 @@
+#ifndef GSTREAM_WORKLOAD_WORKLOAD_H_
+#define GSTREAM_WORKLOAD_WORKLOAD_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/interning.h"
+#include "graph/stream.h"
+#include "workload/schema.h"
+
+namespace gstream {
+namespace workload {
+
+/// A fully generated experimental workload: the label schema, the update
+/// stream, and per-class entity pools the query generator samples literals
+/// from. One `Workload` corresponds to one dataset column of the paper's
+/// evaluation (§6.1).
+struct Workload {
+  std::string name;
+  std::shared_ptr<StringInterner> interner;
+  Schema schema;
+  UpdateStream stream;
+
+  /// Entity labels per class, in creation order.
+  std::vector<std::vector<VertexId>> entities;
+
+  /// Class of every vertex appearing in the stream.
+  std::unordered_map<VertexId, uint32_t> vertex_class;
+
+  /// Registers a fresh entity of `cls` named `<prefix>_<index>`.
+  VertexId NewEntity(uint32_t cls, const std::string& prefix);
+
+  /// Appends an insert update.
+  void Emit(VertexId src, LabelId label, VertexId dst) {
+    stream.Append(EdgeUpdate{src, label, dst, UpdateOp::kAdd});
+  }
+};
+
+/// Rough dataset statistics for logging / tests.
+struct WorkloadStats {
+  size_t updates = 0;
+  size_t distinct_vertices = 0;
+  size_t distinct_labels = 0;
+};
+WorkloadStats ComputeStats(const Workload& w);
+
+}  // namespace workload
+}  // namespace gstream
+
+#endif  // GSTREAM_WORKLOAD_WORKLOAD_H_

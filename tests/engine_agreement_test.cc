@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "common/rng.h"
+#include "engine/engine.h"
+#include "graph/stream.h"
+#include "query/parser.h"
+#include "workload/bio.h"
+#include "workload/query_gen.h"
+#include "workload/snb.h"
+#include "workload/taxi.h"
+
+namespace gstream {
+namespace {
+
+/// The keystone property suite: every engine must emit exactly the same
+/// per-update (query id, #new embeddings) vector as the naive oracle on
+/// randomized streams and query sets. One disagreement anywhere in the delta
+/// machinery (trie cascades, seeded joins, recompute diffs) fails here.
+struct AgreementCase {
+  const char* name;
+  const char* dataset;      // snb | taxi | bio
+  size_t stream_len;
+  size_t num_queries;
+  double avg_size;
+  double selectivity;
+  double overlap;
+  uint64_t seed;
+};
+
+std::ostream& operator<<(std::ostream& os, const AgreementCase& c) {
+  return os << c.name;
+}
+
+class EngineAgreementTest : public ::testing::TestWithParam<AgreementCase> {};
+
+workload::Workload MakeWorkload(const AgreementCase& c) {
+  if (std::string(c.dataset) == "snb") {
+    workload::SnbConfig config;
+    config.num_updates = c.stream_len;
+    config.seed = c.seed;
+    config.num_places = 10;
+    config.num_tags = 10;
+    return workload::GenerateSnb(config);
+  }
+  if (std::string(c.dataset) == "taxi") {
+    workload::TaxiConfig config;
+    config.num_updates = c.stream_len;
+    config.seed = c.seed;
+    config.num_zones = 12;
+    return workload::GenerateTaxi(config);
+  }
+  workload::BioConfig config;
+  config.num_updates = c.stream_len;
+  config.seed = c.seed;
+  config.growth_coefficient = 1200;  // small vertex set => dense, cyclic graph
+  return workload::GenerateBio(config);
+}
+
+TEST_P(EngineAgreementTest, AllEnginesMatchTheOracle) {
+  const AgreementCase& c = GetParam();
+  workload::Workload w = MakeWorkload(c);
+
+  workload::QueryGenConfig qcfg;
+  qcfg.num_queries = c.num_queries;
+  qcfg.avg_size = c.avg_size;
+  qcfg.selectivity = c.selectivity;
+  qcfg.overlap = c.overlap;
+  qcfg.seed = c.seed * 31 + 7;
+  workload::QuerySet qs = workload::GenerateQueries(w, qcfg);
+
+  auto oracle = CreateEngine(EngineKind::kNaive);
+  std::vector<std::unique_ptr<ContinuousEngine>> engines;
+  for (EngineKind kind : PaperEngineKinds()) engines.push_back(CreateEngine(kind));
+
+  for (QueryId qid = 0; qid < qs.queries.size(); ++qid) {
+    oracle->AddQuery(qid, qs.queries[qid]);
+    for (auto& e : engines) e->AddQuery(qid, qs.queries[qid]);
+  }
+
+  for (size_t i = 0; i < w.stream.size(); ++i) {
+    const EdgeUpdate& u = w.stream[i];
+    UpdateResult expected = oracle->ApplyUpdate(u);
+    for (auto& e : engines) {
+      UpdateResult got = e->ApplyUpdate(u);
+      ASSERT_EQ(got.changed, expected.changed)
+          << e->name() << " vs oracle at update " << i;
+      ASSERT_EQ(got.per_query, expected.per_query)
+          << e->name() << " disagrees with the oracle at update " << i << " ("
+          << w.interner->Lookup(u.src) << " -" << w.interner->Lookup(u.label) << "-> "
+          << w.interner->Lookup(u.dst) << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomizedStreams, EngineAgreementTest,
+    ::testing::Values(
+        AgreementCase{"SnbSmall", "snb", 220, 25, 3.0, 0.5, 0.35, 1},
+        AgreementCase{"SnbMedium", "snb", 400, 40, 5.0, 0.25, 0.35, 2},
+        AgreementCase{"SnbHighOverlap", "snb", 300, 30, 4.0, 0.4, 0.8, 3},
+        AgreementCase{"SnbNoOverlap", "snb", 300, 30, 4.0, 0.4, 0.0, 4},
+        AgreementCase{"SnbLongQueries", "snb", 260, 20, 7.0, 0.3, 0.5, 5},
+        AgreementCase{"TaxiSmall", "taxi", 300, 30, 4.0, 0.3, 0.35, 6},
+        AgreementCase{"TaxiTinyQueries", "taxi", 350, 30, 2.0, 0.5, 0.2, 7},
+        AgreementCase{"BioDense", "bio", 180, 20, 3.0, 0.4, 0.35, 8},
+        AgreementCase{"BioChains", "bio", 150, 15, 4.0, 0.5, 0.5, 9},
+        AgreementCase{"BioSingleLabelStress", "bio", 120, 25, 2.0, 0.6, 0.6, 10}),
+    [](const ::testing::TestParamInfo<AgreementCase>& info) {
+      return info.param.name;
+    });
+
+/// Directed hand-built streams that historically break delta engines:
+/// repeated labels, self loops, literal anchors arriving late.
+TEST(EngineAgreementDirected, RepeatedLabelChainsOnTinyAlphabet) {
+  StringInterner in;
+  auto oracle = CreateEngine(EngineKind::kNaive);
+  std::vector<std::unique_ptr<ContinuousEngine>> engines;
+  for (EngineKind kind : PaperEngineKinds()) engines.push_back(CreateEngine(kind));
+
+  const char* patterns[] = {
+      "(?a)-[r]->(?b); (?b)-[r]->(?c)",
+      "(?a)-[r]->(?b); (?b)-[r]->(?c); (?c)-[r]->(?d)",
+      "(?a)-[r]->(?b); (?b)-[r]->(?a)",
+      "(?x)-[r]->(?x)",
+      "(?a)-[r]->(v1)",
+      "(v0)-[r]->(?b); (?b)-[r]->(?c)",
+  };
+  QueryId qid = 0;
+  for (const char* p : patterns) {
+    auto r = ParsePattern(p, in);
+    ASSERT_TRUE(r.ok) << r.error;
+    oracle->AddQuery(qid, r.pattern);
+    for (auto& e : engines) e->AddQuery(qid, r.pattern);
+    ++qid;
+  }
+
+  // All r-edges over a 5-vertex universe, in a scrambled deterministic order.
+  LabelId rl = in.Intern("r");
+  std::vector<EdgeUpdate> updates;
+  for (uint32_t s = 0; s < 5; ++s)
+    for (uint32_t t = 0; t < 5; ++t)
+      updates.push_back({in.Intern("v" + std::to_string(s)), rl,
+                         in.Intern("v" + std::to_string(t)), UpdateOp::kAdd});
+  Rng rng(99);
+  std::shuffle(updates.begin(), updates.end(), rng.engine());
+
+  for (size_t i = 0; i < updates.size(); ++i) {
+    UpdateResult expected = oracle->ApplyUpdate(updates[i]);
+    for (auto& e : engines) {
+      UpdateResult got = e->ApplyUpdate(updates[i]);
+      ASSERT_EQ(got.per_query, expected.per_query)
+          << e->name() << " at update " << i;
+    }
+  }
+}
+
+TEST(EngineAgreementDirected, MixedLabelsWithLiteralHubs) {
+  StringInterner in;
+  auto oracle = CreateEngine(EngineKind::kNaive);
+  std::vector<std::unique_ptr<ContinuousEngine>> engines;
+  for (EngineKind kind : PaperEngineKinds()) engines.push_back(CreateEngine(kind));
+
+  const char* patterns[] = {
+      "(?f)-[hasMod]->(?p); (?p)-[posted]->(pst1)",
+      "(?f)-[hasMod]->(?p); (?p)-[posted]->(pst2)",
+      "(?c)-[reply]->(pst2)",
+      "(?f)-[hasMod]->(?p)",
+      "(com1)-[hasCreator]->(?v); (?v)-[posted]->(pst1); (pst1)-[containedIn]->(?w)",
+      "(?f)-[hasMod]->(?p); (?p)-[posted]->(pst1); (pst1)-[containedIn]->(?w)",
+  };
+  QueryId qid = 0;
+  for (const char* p : patterns) {
+    auto r = ParsePattern(p, in);
+    ASSERT_TRUE(r.ok) << r.error;
+    oracle->AddQuery(qid, r.pattern);
+    for (auto& e : engines) e->AddQuery(qid, r.pattern);
+    ++qid;
+  }
+
+  // The paper's Fig. 4/6/9 world, streamed in an adversarial order.
+  struct E {
+    const char* s;
+    const char* l;
+    const char* t;
+  };
+  const E stream[] = {
+      {"f1", "hasMod", "p1"},   {"p1", "posted", "pst1"},
+      {"p2", "posted", "pst1"}, {"f2", "hasMod", "p1"},
+      {"p1", "posted", "pst2"}, {"com1", "reply", "pst2"},
+      {"com1", "hasCreator", "p1"}, {"pst1", "containedIn", "f1"},
+      {"f2", "hasMod", "p2"},   {"pst1", "containedIn", "f2"},
+      {"com2", "reply", "pst2"}, {"p3", "posted", "pst2"},
+  };
+  size_t i = 0;
+  for (const auto& [s, l, t] : stream) {
+    EdgeUpdate u{in.Intern(s), in.Intern(l), in.Intern(t), UpdateOp::kAdd};
+    UpdateResult expected = oracle->ApplyUpdate(u);
+    for (auto& e : engines) {
+      UpdateResult got = e->ApplyUpdate(u);
+      ASSERT_EQ(got.per_query, expected.per_query)
+          << e->name() << " at update " << i << " (" << s << " -" << l << "-> " << t
+          << ")";
+    }
+    ++i;
+  }
+}
+
+}  // namespace
+}  // namespace gstream

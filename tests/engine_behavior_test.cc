@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/interning.h"
+#include "engine/driver.h"
+#include "engine/engine.h"
+#include "query/parser.h"
+
+namespace gstream {
+namespace {
+
+/// Every scenario below must hold for every engine — TRIC's delta
+/// propagation, INV's recompute-diff, INC's seeded joins, the graph database
+/// and the naive oracle all implement the same continuous semantics.
+class EngineBehaviorTest : public ::testing::TestWithParam<EngineKind> {
+ protected:
+  void SetUp() override { engine_ = CreateEngine(GetParam()); }
+
+  void AddQuery(QueryId qid, const std::string& pattern) {
+    auto r = ParsePattern(pattern, in_);
+    ASSERT_TRUE(r.ok) << r.error;
+    engine_->AddQuery(qid, r.pattern);
+  }
+
+  UpdateResult Apply(const std::string& s, const std::string& l,
+                     const std::string& t) {
+    return engine_->ApplyUpdate(
+        {in_.Intern(s), in_.Intern(l), in_.Intern(t), UpdateOp::kAdd});
+  }
+
+  StringInterner in_;
+  std::unique_ptr<ContinuousEngine> engine_;
+};
+
+TEST_P(EngineBehaviorTest, SingleEdgeQueryTriggersOnMatch) {
+  AddQuery(1, "(?x)-[knows]->(?y)");
+  auto r1 = Apply("a", "likes", "b");
+  EXPECT_TRUE(r1.triggered.empty());
+  auto r2 = Apply("a", "knows", "b");
+  ASSERT_EQ(r2.triggered.size(), 1u);
+  EXPECT_EQ(r2.triggered[0], 1u);
+  EXPECT_EQ(r2.new_embeddings, 1u);
+}
+
+TEST_P(EngineBehaviorTest, DuplicateUpdateIsNoOp) {
+  AddQuery(1, "(?x)-[r]->(?y)");
+  EXPECT_EQ(Apply("a", "r", "b").new_embeddings, 1u);
+  auto dup = Apply("a", "r", "b");
+  EXPECT_FALSE(dup.changed);
+  EXPECT_EQ(dup.new_embeddings, 0u);
+}
+
+TEST_P(EngineBehaviorTest, ChainCompletesOnLastEdge) {
+  AddQuery(1, "(?x)-[r]->(?y); (?y)-[s]->(?z); (?z)-[t]->(?w)");
+  EXPECT_TRUE(Apply("a", "r", "b").triggered.empty());
+  EXPECT_TRUE(Apply("b", "s", "c").triggered.empty());
+  auto done = Apply("c", "t", "d");
+  ASSERT_EQ(done.triggered.size(), 1u);
+  EXPECT_EQ(done.new_embeddings, 1u);
+}
+
+TEST_P(EngineBehaviorTest, ChainCompletesInAnyArrivalOrder) {
+  AddQuery(1, "(?x)-[r]->(?y); (?y)-[s]->(?z)");
+  EXPECT_TRUE(Apply("b", "s", "c").triggered.empty());  // suffix first
+  auto done = Apply("a", "r", "b");
+  ASSERT_EQ(done.triggered.size(), 1u);
+  EXPECT_EQ(done.new_embeddings, 1u);
+}
+
+TEST_P(EngineBehaviorTest, LiteralConstraintFilters) {
+  AddQuery(1, "(?x)-[posted]->(pst1)");
+  EXPECT_TRUE(Apply("u1", "posted", "pst2").triggered.empty());
+  EXPECT_EQ(Apply("u1", "posted", "pst1").new_embeddings, 1u);
+}
+
+TEST_P(EngineBehaviorTest, NewEmbeddingsCountMultiplicity) {
+  AddQuery(1, "(?x)-[r]->(?y); (?y)-[s]->(?z)");
+  Apply("a1", "r", "b");
+  Apply("a2", "r", "b");
+  // One s-edge completes two embeddings (x=a1 and x=a2).
+  auto done = Apply("b", "s", "c");
+  EXPECT_EQ(done.new_embeddings, 2u);
+}
+
+TEST_P(EngineBehaviorTest, ContinuousNotificationKeepsFiring) {
+  AddQuery(1, "(?x)-[r]->(?y)");
+  EXPECT_EQ(Apply("a", "r", "b").new_embeddings, 1u);
+  EXPECT_EQ(Apply("c", "r", "d").new_embeddings, 1u);
+  EXPECT_EQ(Apply("e", "r", "f").new_embeddings, 1u);
+}
+
+TEST_P(EngineBehaviorTest, MultipleQueriesShareAnUpdate) {
+  AddQuery(1, "(?x)-[knows]->(?y)");
+  AddQuery(2, "(?x)-[knows]->(?y); (?y)-[posted]->(?p)");
+  AddQuery(3, "(?x)-[likes]->(?p)");
+  auto r = Apply("a", "knows", "b");
+  ASSERT_EQ(r.triggered.size(), 1u);
+  EXPECT_EQ(r.triggered[0], 1u);
+  auto r2 = Apply("b", "posted", "p1");
+  ASSERT_EQ(r2.triggered.size(), 1u);
+  EXPECT_EQ(r2.triggered[0], 2u);
+}
+
+TEST_P(EngineBehaviorTest, StarQueryNeedsAllSpokes) {
+  AddQuery(1, "(?c)-[r]->(?x); (?c)-[s]->(?y); (?z)-[t]->(?c)");
+  EXPECT_TRUE(Apply("c", "r", "x").triggered.empty());
+  EXPECT_TRUE(Apply("c", "s", "y").triggered.empty());
+  auto done = Apply("z", "t", "c");
+  ASSERT_EQ(done.triggered.size(), 1u);
+  EXPECT_EQ(done.new_embeddings, 1u);
+}
+
+TEST_P(EngineBehaviorTest, CycleQueryRequiresClosure) {
+  AddQuery(1, "(?a)-[r]->(?b); (?b)-[r]->(?c); (?c)-[r]->(?a)");
+  EXPECT_TRUE(Apply("x", "r", "y").triggered.empty());
+  EXPECT_TRUE(Apply("y", "r", "z").triggered.empty());
+  // A non-closing edge must not trigger.
+  EXPECT_TRUE(Apply("z", "r", "w").triggered.empty());
+  auto done = Apply("z", "r", "x");
+  ASSERT_EQ(done.triggered.size(), 1u);
+  // Three rotations of the same triangle are three distinct assignments.
+  EXPECT_EQ(done.new_embeddings, 3u);
+}
+
+TEST_P(EngineBehaviorTest, TwoCycleWithRepeatedVariable) {
+  AddQuery(1, "(?x)-[knows]->(?y); (?y)-[knows]->(?x)");
+  EXPECT_TRUE(Apply("a", "knows", "b").triggered.empty());
+  auto done = Apply("b", "knows", "a");
+  ASSERT_EQ(done.triggered.size(), 1u);
+  EXPECT_EQ(done.new_embeddings, 2u);  // (a,b) and (b,a)
+}
+
+TEST_P(EngineBehaviorTest, SelfLoopEdgePattern) {
+  AddQuery(1, "(?x)-[r]->(?x)");
+  EXPECT_TRUE(Apply("a", "r", "b").triggered.empty());
+  auto done = Apply("a", "r", "a");
+  ASSERT_EQ(done.triggered.size(), 1u);
+  EXPECT_EQ(done.new_embeddings, 1u);
+}
+
+TEST_P(EngineBehaviorTest, SharedVariableAcrossBranches) {
+  // Fig. 3's shape: two people check into the same place.
+  AddQuery(1,
+           "(?p1)-[knows]->(?p2); (?p1)-[checksIn]->(?plc);"
+           "(?p2)-[checksIn]->(?plc)");
+  Apply("p1", "knows", "p2");
+  Apply("p1", "checksIn", "rio");
+  EXPECT_TRUE(Apply("p2", "checksIn", "oslo").triggered.empty());  // different place
+  auto done = Apply("p2", "checksIn", "rio");
+  ASSERT_EQ(done.triggered.size(), 1u);
+  EXPECT_EQ(done.new_embeddings, 1u);
+}
+
+TEST_P(EngineBehaviorTest, HomomorphicSemanticsAllowVertexReuse) {
+  AddQuery(1, "(?x)-[r]->(?y); (?z)-[r]->(?y)");
+  // One edge binds both x and z to the same vertex: valid homomorphism.
+  auto r = Apply("a", "r", "b");
+  ASSERT_EQ(r.triggered.size(), 1u);
+  EXPECT_EQ(r.new_embeddings, 1u);
+}
+
+TEST_P(EngineBehaviorTest, DoubleEdgeBetweenSameVertices) {
+  AddQuery(1, "(?x)-[r]->(?y); (?x)-[s]->(?y)");
+  Apply("a", "r", "b");
+  auto done = Apply("a", "s", "b");
+  ASSERT_EQ(done.triggered.size(), 1u);
+  EXPECT_EQ(done.new_embeddings, 1u);
+}
+
+TEST_P(EngineBehaviorTest, TriggeredIsSortedAndUnique) {
+  AddQuery(3, "(?x)-[r]->(?y)");
+  AddQuery(1, "(?x)-[r]->(?y); (?y)-[s]->(?z)");
+  AddQuery(2, "(?a)-[r]->(?b)");
+  Apply("m", "s", "n");
+  auto res = Apply("l", "r", "m");
+  ASSERT_EQ(res.triggered.size(), 3u);
+  EXPECT_EQ(res.triggered, (std::vector<QueryId>{1, 2, 3}));
+  for (size_t i = 0; i < res.per_query.size(); ++i)
+    EXPECT_EQ(res.per_query[i].first, res.triggered[i]);
+}
+
+TEST_P(EngineBehaviorTest, UpdateArrivingTwiceInDifferentRoles) {
+  // The same edge can seed two different query-edge positions.
+  AddQuery(1, "(?x)-[r]->(?y); (?y)-[r]->(?z)");
+  EXPECT_TRUE(Apply("a", "r", "b").triggered.empty());
+  auto done = Apply("b", "r", "c");
+  EXPECT_EQ(done.new_embeddings, 1u);
+  // A self-referential chain a->a completes two ways at once.
+  auto self_done = Apply("c", "r", "c");
+  EXPECT_EQ(self_done.new_embeddings, 2u);  // (b,c,c) and (c,c,c)
+}
+
+TEST_P(EngineBehaviorTest, EmptyEngineIgnoresUpdates) {
+  auto r = Apply("a", "r", "b");
+  EXPECT_TRUE(r.changed);
+  EXPECT_TRUE(r.triggered.empty());
+  EXPECT_EQ(r.new_embeddings, 0u);
+}
+
+TEST_P(EngineBehaviorTest, MemoryBytesNonZeroAndGrows) {
+  AddQuery(1, "(?x)-[r]->(?y); (?y)-[s]->(?z)");
+  size_t before = engine_->MemoryBytes();
+  EXPECT_GT(before, 0u);
+  for (int i = 0; i < 100; ++i)
+    Apply("a" + std::to_string(i), "r", "b" + std::to_string(i));
+  EXPECT_GT(engine_->MemoryBytes(), before);
+}
+
+TEST_P(EngineBehaviorTest, NumQueriesReflectsRegistrations) {
+  EXPECT_EQ(engine_->NumQueries(), 0u);
+  AddQuery(1, "(?x)-[r]->(?y)");
+  AddQuery(2, "(?x)-[s]->(?y)");
+  EXPECT_EQ(engine_->NumQueries(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEngines, EngineBehaviorTest,
+    ::testing::Values(EngineKind::kTric, EngineKind::kTricPlus, EngineKind::kInv,
+                      EngineKind::kInvPlus, EngineKind::kInc, EngineKind::kIncPlus,
+                      EngineKind::kGraphDb, EngineKind::kNaive),
+    [](const ::testing::TestParamInfo<EngineKind>& info) {
+      std::string name = EngineKindName(info.param);
+      for (auto& c : name)
+        if (c == '+') c = 'P';
+      return name;
+    });
+
+}  // namespace
+}  // namespace gstream

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "engine/engine.h"
+#include "query/parser.h"
+
+namespace gstream {
+namespace {
+
+/// Adversarial micro-universes: every engine against the oracle on dense
+/// random streams with tiny alphabets, where multi-position trie hits,
+/// self-loops and literal collisions are the norm rather than the exception.
+struct StressCase {
+  const char* name;
+  int vertices;
+  int labels;
+  size_t updates;
+  uint64_t seed;
+};
+
+std::ostream& operator<<(std::ostream& os, const StressCase& c) {
+  return os << c.name;
+}
+
+class EngineStressTest : public ::testing::TestWithParam<StressCase> {};
+
+TEST_P(EngineStressTest, DenseRandomStreamsAgree) {
+  const StressCase& c = GetParam();
+  StringInterner in;
+  Rng rng(c.seed);
+
+  // Query zoo over the tiny alphabet: chains, stars, cycles, self-loops,
+  // literal anchors — sizes 1..4.
+  std::vector<std::string> patterns = {
+      "(?a)-[l0]->(?b)",
+      "(?a)-[l0]->(?b); (?b)-[l0]->(?c)",
+      "(?a)-[l0]->(?b); (?b)-[l1]->(?c)",
+      "(?a)-[l1]->(?b); (?b)-[l0]->(?a)",
+      "(?a)-[l0]->(?a)",
+      "(?a)-[l0]->(v0)",
+      "(v1)-[l1]->(?b); (?b)-[l0]->(?c)",
+      "(?c)-[l0]->(?x); (?c)-[l1]->(?y)",
+      "(?x)-[l0]->(?c); (?y)-[l1]->(?c)",
+      "(?a)-[l0]->(?b); (?b)-[l1]->(?c); (?c)-[l0]->(?a)",
+      "(?a)-[l0]->(?b); (?b)-[l0]->(?c); (?c)-[l0]->(?d)",
+      "(v0)-[l0]->(?b); (?b)-[l1]->(v1)",
+  };
+
+  auto oracle = CreateEngine(EngineKind::kNaive);
+  std::vector<std::unique_ptr<ContinuousEngine>> engines;
+  for (EngineKind kind : PaperEngineKinds()) engines.push_back(CreateEngine(kind));
+  for (QueryId qid = 0; qid < patterns.size(); ++qid) {
+    auto r = ParsePattern(patterns[qid], in);
+    ASSERT_TRUE(r.ok) << r.error;
+    oracle->AddQuery(qid, r.pattern);
+    for (auto& e : engines) e->AddQuery(qid, r.pattern);
+  }
+
+  for (size_t i = 0; i < c.updates; ++i) {
+    EdgeUpdate u{
+        in.Intern("v" + std::to_string(rng.Next(c.vertices))),
+        in.Intern("l" + std::to_string(rng.Next(c.labels))),
+        in.Intern("v" + std::to_string(rng.Next(c.vertices))),
+        UpdateOp::kAdd,
+    };
+    UpdateResult expected = oracle->ApplyUpdate(u);
+    for (auto& e : engines) {
+      UpdateResult got = e->ApplyUpdate(u);
+      ASSERT_EQ(got.changed, expected.changed) << e->name() << " update " << i;
+      ASSERT_EQ(got.per_query, expected.per_query)
+          << e->name() << " diverged at update " << i << ": ("
+          << in.Lookup(u.src) << ")-[" << in.Lookup(u.label) << "]->("
+          << in.Lookup(u.dst) << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MicroUniverses, EngineStressTest,
+    ::testing::Values(StressCase{"Tiny3x1", 3, 1, 60, 21},
+                      StressCase{"Small4x2", 4, 2, 120, 22},
+                      StressCase{"Medium6x2", 6, 2, 200, 23},
+                      StressCase{"SelfLoopHeavy2x2", 2, 2, 40, 24},
+                      StressCase{"Wide8x1", 8, 1, 180, 25},
+                      StressCase{"TwoLabels5x2", 5, 2, 160, 26}),
+    [](const ::testing::TestParamInfo<StressCase>& info) { return info.param.name; });
+
+/// Duplicate-heavy stream: most updates are repeats; engines must treat them
+/// as no-ops bit-for-bit.
+TEST(EngineStressDirected, DuplicateStorm) {
+  StringInterner in;
+  auto oracle = CreateEngine(EngineKind::kNaive);
+  std::vector<std::unique_ptr<ContinuousEngine>> engines;
+  for (EngineKind kind : PaperEngineKinds()) engines.push_back(CreateEngine(kind));
+  auto q = ParsePattern("(?a)-[l]->(?b); (?b)-[l]->(?c)", in);
+  oracle->AddQuery(0, q.pattern);
+  for (auto& e : engines) e->AddQuery(0, q.pattern);
+
+  Rng rng(31);
+  for (int i = 0; i < 150; ++i) {
+    EdgeUpdate u{in.Intern("v" + std::to_string(rng.Next(3))), in.Intern("l"),
+                 in.Intern("v" + std::to_string(rng.Next(3))), UpdateOp::kAdd};
+    UpdateResult expected = oracle->ApplyUpdate(u);
+    for (auto& e : engines) {
+      UpdateResult got = e->ApplyUpdate(u);
+      ASSERT_EQ(got.changed, expected.changed) << e->name();
+      ASSERT_EQ(got.per_query, expected.per_query) << e->name();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gstream

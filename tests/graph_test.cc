@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "graph/graph.h"
+#include "graph/stream.h"
+
+namespace gstream {
+namespace {
+
+class GraphTest : public ::testing::Test {
+ protected:
+  StringInterner interner_;
+  Graph g_;
+
+  VertexId V(const std::string& s) { return interner_.Intern(s); }
+};
+
+TEST_F(GraphTest, AddEdgeCreatesVerticesAndAdjacency) {
+  ASSERT_TRUE(g_.AddEdge(V("a"), V("knows"), V("b")));
+  EXPECT_EQ(g_.NumEdges(), 1u);
+  EXPECT_EQ(g_.NumVertices(), 2u);
+  ASSERT_EQ(g_.Out(V("a")).size(), 1u);
+  EXPECT_EQ(g_.Out(V("a"))[0].dst, V("b"));
+  ASSERT_EQ(g_.In(V("b")).size(), 1u);
+  EXPECT_EQ(g_.In(V("b"))[0].src, V("a"));
+}
+
+TEST_F(GraphTest, DuplicateEdgeRejected) {
+  EXPECT_TRUE(g_.AddEdge(V("a"), V("r"), V("b")));
+  EXPECT_FALSE(g_.AddEdge(V("a"), V("r"), V("b")));
+  EXPECT_EQ(g_.NumEdges(), 1u);
+  EXPECT_EQ(g_.Out(V("a")).size(), 1u);
+}
+
+TEST_F(GraphTest, ParallelEdgesWithDifferentLabelsAllowed) {
+  EXPECT_TRUE(g_.AddEdge(V("a"), V("likes"), V("b")));
+  EXPECT_TRUE(g_.AddEdge(V("a"), V("knows"), V("b")));
+  EXPECT_EQ(g_.NumEdges(), 2u);
+  EXPECT_EQ(g_.Out(V("a")).size(), 2u);
+}
+
+TEST_F(GraphTest, HasEdgeChecksLabel) {
+  g_.AddEdge(V("a"), V("r"), V("b"));
+  EXPECT_TRUE(g_.HasEdge(V("a"), V("r"), V("b")));
+  EXPECT_FALSE(g_.HasEdge(V("a"), V("s"), V("b")));
+  EXPECT_FALSE(g_.HasEdge(V("b"), V("r"), V("a")));
+}
+
+TEST_F(GraphTest, RemoveEdgeUpdatesAdjacency) {
+  g_.AddEdge(V("a"), V("r"), V("b"));
+  g_.AddEdge(V("a"), V("r"), V("c"));
+  ASSERT_TRUE(g_.RemoveEdge(V("a"), V("r"), V("b")));
+  EXPECT_EQ(g_.NumEdges(), 1u);
+  ASSERT_EQ(g_.Out(V("a")).size(), 1u);
+  EXPECT_EQ(g_.Out(V("a"))[0].dst, V("c"));
+  EXPECT_TRUE(g_.In(V("b")).empty());
+  EXPECT_FALSE(g_.RemoveEdge(V("a"), V("r"), V("b")));
+}
+
+TEST_F(GraphTest, SelfLoopSupported) {
+  ASSERT_TRUE(g_.AddEdge(V("x"), V("r"), V("x")));
+  EXPECT_EQ(g_.NumVertices(), 1u);
+  EXPECT_EQ(g_.Out(V("x")).size(), 1u);
+  EXPECT_EQ(g_.In(V("x")).size(), 1u);
+}
+
+TEST_F(GraphTest, ApplyDispatchesOnOp) {
+  EdgeUpdate add{V("a"), V("r"), V("b"), UpdateOp::kAdd};
+  EXPECT_TRUE(g_.Apply(add));
+  EdgeUpdate del{V("a"), V("r"), V("b"), UpdateOp::kDelete};
+  EXPECT_TRUE(g_.Apply(del));
+  EXPECT_EQ(g_.NumEdges(), 0u);
+}
+
+TEST_F(GraphTest, UnknownVertexHasEmptyAdjacency) {
+  EXPECT_TRUE(g_.Out(V("ghost")).empty());
+  EXPECT_TRUE(g_.In(V("ghost")).empty());
+}
+
+TEST(UpdateStreamTest, ToGraphMaterializesAllUpdates) {
+  auto interner = std::make_shared<StringInterner>();
+  UpdateStream stream(interner);
+  VertexId a = interner->Intern("a"), b = interner->Intern("b"),
+           c = interner->Intern("c");
+  LabelId r = interner->Intern("r");
+  stream.Append({a, r, b, UpdateOp::kAdd});
+  stream.Append({b, r, c, UpdateOp::kAdd});
+  Graph g = stream.ToGraph();
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_TRUE(g.HasEdge(a, r, b));
+  EXPECT_TRUE(g.HasEdge(b, r, c));
+}
+
+TEST(UpdateStreamTest, CountVerticesOverPrefix) {
+  auto interner = std::make_shared<StringInterner>();
+  UpdateStream stream(interner);
+  VertexId a = interner->Intern("a"), b = interner->Intern("b"),
+           c = interner->Intern("c");
+  LabelId r = interner->Intern("r");
+  stream.Append({a, r, b, UpdateOp::kAdd});
+  stream.Append({a, r, c, UpdateOp::kAdd});
+  EXPECT_EQ(stream.CountVertices(1), 2u);
+  EXPECT_EQ(stream.CountVertices(2), 3u);
+  EXPECT_EQ(stream.CountVertices(100), 3u);  // clamped
+}
+
+TEST(UpdateStreamTest, TruncateShortensStream) {
+  auto interner = std::make_shared<StringInterner>();
+  UpdateStream stream(interner);
+  LabelId r = interner->Intern("r");
+  for (uint32_t i = 0; i < 10; ++i)
+    stream.Append({i, r, i + 1, UpdateOp::kAdd});
+  stream.Truncate(4);
+  EXPECT_EQ(stream.size(), 4u);
+  stream.Truncate(100);  // no-op
+  EXPECT_EQ(stream.size(), 4u);
+}
+
+TEST(EdgeKeyTest, HashIgnoresOpCompareIgnoresOp) {
+  EdgeUpdate add{1, 2, 3, UpdateOp::kAdd};
+  EdgeUpdate del{1, 2, 3, UpdateOp::kDelete};
+  EXPECT_EQ(EdgeKeyHash{}(add), EdgeKeyHash{}(del));
+  EXPECT_TRUE(EdgeKeyEq{}(add, del));
+}
+
+}  // namespace
+}  // namespace gstream

@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include "common/interning.h"
+#include "graphdb/executor.h"
+#include "graphdb/graphdb_engine.h"
+#include "graphdb/store.h"
+#include "query/parser.h"
+
+namespace gstream {
+namespace {
+
+using graphdb::ExecPlan;
+using graphdb::GraphDbEngine;
+using graphdb::GraphStore;
+using graphdb::MatchExecutor;
+using graphdb::PlanQuery;
+
+class GraphDbTest : public ::testing::Test {
+ protected:
+  StringInterner in_;
+  GraphStore store_;
+
+  VertexId V(const std::string& s) { return in_.Intern(s); }
+  void Edge(const std::string& s, const std::string& l, const std::string& t) {
+    store_.AddEdge(V(s), V(l), V(t));
+  }
+  uint64_t Count(const std::string& pattern) {
+    auto r = ParsePattern(pattern, in_);
+    EXPECT_TRUE(r.ok) << r.error;
+    MatchExecutor exec(&store_);
+    return exec.CountMatches(r.pattern, PlanQuery(r.pattern));
+  }
+};
+
+TEST_F(GraphDbTest, StoreAdjacencyByLabel) {
+  Edge("a", "r", "b");
+  Edge("a", "r", "c");
+  Edge("a", "s", "d");
+  EXPECT_EQ(store_.OutNeighbors(V("a"), V("r")).size(), 2u);
+  EXPECT_EQ(store_.OutNeighbors(V("a"), V("s")).size(), 1u);
+  EXPECT_EQ(store_.InNeighbors(V("b"), V("r")).size(), 1u);
+  EXPECT_EQ(store_.EdgesByLabel(V("r")).size(), 2u);
+}
+
+TEST_F(GraphDbTest, StoreRemoveEdge) {
+  Edge("a", "r", "b");
+  ASSERT_TRUE(store_.RemoveEdge(V("a"), V("r"), V("b")));
+  EXPECT_TRUE(store_.OutNeighbors(V("a"), V("r")).empty());
+  EXPECT_TRUE(store_.EdgesByLabel(V("r")).empty());
+  EXPECT_EQ(store_.NumEdges(), 0u);
+}
+
+TEST_F(GraphDbTest, SingleEdgeVariables) {
+  Edge("a", "knows", "b");
+  Edge("b", "knows", "c");
+  EXPECT_EQ(Count("(?x)-[knows]->(?y)"), 2u);
+}
+
+TEST_F(GraphDbTest, LiteralEndpointRestricts) {
+  Edge("a", "knows", "b");
+  Edge("c", "knows", "b");
+  Edge("a", "knows", "d");
+  EXPECT_EQ(Count("(?x)-[knows]->(b)"), 2u);
+  EXPECT_EQ(Count("(a)-[knows]->(?y)"), 2u);
+  EXPECT_EQ(Count("(a)-[knows]->(b)"), 1u);
+  EXPECT_EQ(Count("(a)-[knows]->(z)"), 0u);
+}
+
+TEST_F(GraphDbTest, ChainJoinsOnSharedVariable) {
+  Edge("a", "r", "b");
+  Edge("b", "s", "c");
+  Edge("b", "s", "d");
+  EXPECT_EQ(Count("(?x)-[r]->(?y); (?y)-[s]->(?z)"), 2u);
+}
+
+TEST_F(GraphDbTest, HomomorphismAllowsSameVertexForDistinctVars) {
+  Edge("a", "knows", "a2");
+  Edge("a2", "knows", "a");
+  // x=a,y=a2,z=a is a valid homomorphism (z and x both bind a).
+  EXPECT_EQ(Count("(?x)-[knows]->(?y); (?y)-[knows]->(?z)"), 2u);
+}
+
+TEST_F(GraphDbTest, RepeatedVariableForcesCycle) {
+  Edge("a", "r", "b");
+  Edge("b", "r", "a");
+  Edge("b", "r", "c");
+  EXPECT_EQ(Count("(?x)-[r]->(?y); (?y)-[r]->(?x)"), 2u);  // (a,b) and (b,a)
+}
+
+TEST_F(GraphDbTest, TriangleCycle) {
+  Edge("a", "r", "b");
+  Edge("b", "r", "c");
+  Edge("c", "r", "a");
+  EXPECT_EQ(Count("(?x)-[r]->(?y); (?y)-[r]->(?z); (?z)-[r]->(?x)"), 3u);
+}
+
+TEST_F(GraphDbTest, SelfLoopQueryEdge) {
+  Edge("a", "r", "a");
+  Edge("a", "r", "b");
+  EXPECT_EQ(Count("(?x)-[r]->(?x)"), 1u);
+}
+
+TEST_F(GraphDbTest, StarQuery) {
+  Edge("c", "r", "x");
+  Edge("c", "r", "y");
+  Edge("z", "s", "c");
+  EXPECT_EQ(Count("(?c)-[r]->(?a); (?c)-[r]->(?b); (?w)-[s]->(?c)"), 4u);
+}
+
+TEST_F(GraphDbTest, DisconnectedPatternIsCrossProduct) {
+  Edge("a", "r", "b");
+  Edge("c", "s", "d");
+  Edge("e", "s", "f");
+  EXPECT_EQ(Count("(?x)-[r]->(?y); (?u)-[s]->(?v)"), 2u);
+}
+
+TEST_F(GraphDbTest, CountLimitStopsEarly) {
+  for (int i = 0; i < 50; ++i) Edge("a" + std::to_string(i), "r", "hub");
+  auto r = ParsePattern("(?x)-[r]->(?y)", in_);
+  MatchExecutor exec(&store_);
+  EXPECT_EQ(exec.CountMatches(r.pattern, PlanQuery(r.pattern), 10), 10u);
+}
+
+TEST_F(GraphDbTest, EnumerateYieldsAssignments) {
+  Edge("a", "r", "b");
+  Edge("a", "r", "c");
+  auto r = ParsePattern("(a)-[r]->(?y)", in_);
+  MatchExecutor exec(&store_);
+  std::vector<std::vector<VertexId>> rows;
+  exec.Enumerate(r.pattern, PlanQuery(r.pattern),
+                 [&](const std::vector<VertexId>& a) {
+                   rows.push_back(a);
+                   return true;
+                 });
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], V("a"));  // literal bound
+}
+
+TEST_F(GraphDbTest, PlanPrefersLiteralEdges) {
+  auto r = ParsePattern("(?x)-[r]->(?y); (?y)-[s]->(lit)", in_);
+  ExecPlan plan = PlanQuery(r.pattern);
+  ASSERT_EQ(plan.edge_order.size(), 2u);
+  EXPECT_EQ(plan.edge_order[0], 1u);  // edge with the literal goes first
+}
+
+TEST(GraphDbEngineTest, ReportsNewEmbeddingsPerUpdate) {
+  StringInterner in;
+  GraphDbEngine engine;
+  auto r = ParsePattern("(?x)-[r]->(?y); (?y)-[s]->(?z)", in);
+  ASSERT_TRUE(r.ok);
+  engine.AddQuery(7, r.pattern);
+
+  LabelId rl = in.Intern("r"), sl = in.Intern("s");
+  VertexId a = in.Intern("a"), b = in.Intern("b"), c = in.Intern("c");
+
+  auto res1 = engine.ApplyUpdate({a, rl, b, UpdateOp::kAdd});
+  EXPECT_TRUE(res1.changed);
+  EXPECT_TRUE(res1.triggered.empty());
+
+  auto res2 = engine.ApplyUpdate({b, sl, c, UpdateOp::kAdd});
+  ASSERT_EQ(res2.triggered.size(), 1u);
+  EXPECT_EQ(res2.triggered[0], 7u);
+  EXPECT_EQ(res2.new_embeddings, 1u);
+
+  // Duplicate is a no-op.
+  auto res3 = engine.ApplyUpdate({b, sl, c, UpdateOp::kAdd});
+  EXPECT_FALSE(res3.changed);
+  EXPECT_TRUE(res3.triggered.empty());
+}
+
+TEST(GraphDbEngineTest, UnaffectedQueriesNotEvaluated) {
+  StringInterner in;
+  GraphDbEngine engine;
+  auto r1 = ParsePattern("(?x)-[r]->(?y)", in);
+  auto r2 = ParsePattern("(?x)-[zzz]->(?y)", in);
+  engine.AddQuery(1, r1.pattern);
+  engine.AddQuery(2, r2.pattern);
+  auto res = engine.ApplyUpdate({in.Intern("a"), in.Intern("r"), in.Intern("b"),
+                                 UpdateOp::kAdd});
+  ASSERT_EQ(res.triggered.size(), 1u);
+  EXPECT_EQ(res.triggered[0], 1u);
+}
+
+TEST(GraphDbEngineTest, DeletionLowersCountsAndReaddTriggersAgain) {
+  StringInterner in;
+  GraphDbEngine engine;
+  auto r = ParsePattern("(?x)-[r]->(?y)", in);
+  engine.AddQuery(1, r.pattern);
+  VertexId a = in.Intern("a"), b = in.Intern("b");
+  LabelId rl = in.Intern("r");
+
+  auto add = engine.ApplyUpdate({a, rl, b, UpdateOp::kAdd});
+  EXPECT_EQ(add.new_embeddings, 1u);
+  auto del = engine.ApplyUpdate({a, rl, b, UpdateOp::kDelete});
+  EXPECT_TRUE(del.changed);
+  auto readd = engine.ApplyUpdate({a, rl, b, UpdateOp::kAdd});
+  EXPECT_EQ(readd.new_embeddings, 1u);
+}
+
+TEST(GraphDbEngineTest, MidStreamQueryRegistrationSeesOnlyFutureMatches) {
+  StringInterner in;
+  GraphDbEngine engine;
+  VertexId a = in.Intern("a"), b = in.Intern("b"), c = in.Intern("c");
+  LabelId rl = in.Intern("r");
+  engine.ApplyUpdate({a, rl, b, UpdateOp::kAdd});
+
+  auto r = ParsePattern("(?x)-[r]->(?y)", in);
+  engine.AddQuery(1, r.pattern);
+  // The pre-existing embedding (a,b) is not re-reported.
+  auto res = engine.ApplyUpdate({b, rl, c, UpdateOp::kAdd});
+  EXPECT_EQ(res.new_embeddings, 1u);
+}
+
+TEST(GraphDbEngineTest, MemoryGrowsWithGraph) {
+  StringInterner in;
+  GraphDbEngine engine;
+  size_t before = engine.MemoryBytes();
+  LabelId rl = in.Intern("r");
+  for (uint32_t i = 0; i < 200; ++i)
+    engine.ApplyUpdate({i, rl, i + 1, UpdateOp::kAdd});
+  EXPECT_GT(engine.MemoryBytes(), before);
+}
+
+}  // namespace
+}  // namespace gstream

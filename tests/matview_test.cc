@@ -1,0 +1,289 @@
+#include <gtest/gtest.h>
+
+#include "matview/binding.h"
+#include "matview/hash_index.h"
+#include "matview/join.h"
+#include "matview/join_cache.h"
+#include "matview/relation.h"
+
+namespace gstream {
+namespace {
+
+Relation MakeRel(uint32_t arity, std::initializer_list<std::vector<VertexId>> rows) {
+  Relation r(arity);
+  for (const auto& row : rows) r.Append(row);
+  return r;
+}
+
+TEST(Relation, AppendDeduplicates) {
+  Relation r(2);
+  EXPECT_TRUE(r.Append({1, 2}));
+  EXPECT_FALSE(r.Append({1, 2}));
+  EXPECT_TRUE(r.Append({2, 1}));
+  EXPECT_EQ(r.NumRows(), 2u);
+}
+
+TEST(Relation, RowAccessors) {
+  Relation r(3);
+  r.Append({7, 8, 9});
+  EXPECT_EQ(r.At(0, 0), 7u);
+  EXPECT_EQ(r.At(0, 2), 9u);
+  EXPECT_EQ(r.Row(0)[1], 8u);
+}
+
+TEST(Relation, VersionIsRowCount) {
+  Relation r(1);
+  EXPECT_EQ(r.version(), 0u);
+  r.Append({5});
+  r.Append({5});  // dup
+  EXPECT_EQ(r.version(), 1u);
+}
+
+TEST(Relation, LargeDedupStress) {
+  Relation r(2);
+  for (VertexId i = 0; i < 1000; ++i) r.Append({i % 100, i % 50});
+  // Distinct pairs: (i%100, i%50) has period lcm(100,50)=100.
+  EXPECT_EQ(r.NumRows(), 100u);
+}
+
+TEST(HashIndex, ProbeFindsAllRows) {
+  Relation r = MakeRel(2, {{1, 10}, {2, 20}, {1, 30}});
+  HashIndex idx(&r, 0);
+  EXPECT_EQ(idx.Probe(1).size(), 2u);
+  EXPECT_EQ(idx.Probe(2).size(), 1u);
+  EXPECT_TRUE(idx.Probe(99).empty());
+}
+
+TEST(HashIndex, CatchUpIndexesNewRows) {
+  Relation r(2);
+  r.Append({1, 10});
+  HashIndex idx(&r, 0);
+  r.Append({1, 20});
+  EXPECT_EQ(idx.Probe(1).size(), 1u);  // stale until caught up
+  idx.CatchUp();
+  EXPECT_EQ(idx.Probe(1).size(), 2u);
+}
+
+TEST(HashIndex, IndexesChosenColumn) {
+  Relation r = MakeRel(2, {{1, 10}, {2, 10}});
+  HashIndex idx(&r, 1);
+  EXPECT_EQ(idx.Probe(10).size(), 2u);
+  EXPECT_TRUE(idx.Probe(1).empty());
+}
+
+TEST(ExtendRight, JoinsOnTailColumn) {
+  Relation prefix = MakeRel(2, {{1, 2}, {3, 4}});
+  Relation base = MakeRel(2, {{2, 5}, {2, 6}, {4, 7}, {9, 9}});
+  Relation out(3);
+  ExtendRight(AllRows(prefix), base, nullptr, out);
+  EXPECT_EQ(out.NumRows(), 3u);  // (1,2,5) (1,2,6) (3,4,7)
+}
+
+TEST(ExtendRight, IndexedAndScanAgree) {
+  Relation prefix = MakeRel(2, {{1, 2}, {3, 2}, {5, 6}});
+  Relation base = MakeRel(2, {{2, 5}, {6, 1}, {2, 9}});
+  Relation scan_out(3), idx_out(3);
+  ExtendRight(AllRows(prefix), base, nullptr, scan_out);
+  HashIndex idx(&base, 0);
+  ExtendRight(AllRows(prefix), base, &idx, idx_out);
+  EXPECT_EQ(scan_out.NumRows(), idx_out.NumRows());
+}
+
+TEST(ExtendRight, RespectsRowRange) {
+  Relation prefix = MakeRel(2, {{1, 2}, {3, 2}});
+  Relation base = MakeRel(2, {{2, 5}});
+  Relation out(3);
+  ExtendRight(RowRange{&prefix, 1, 2}, base, nullptr, out);  // only row (3,2)
+  ASSERT_EQ(out.NumRows(), 1u);
+  EXPECT_EQ(out.At(0, 0), 3u);
+}
+
+TEST(ExtendRightSingle, JoinsOneTuple) {
+  Relation prefix = MakeRel(2, {{1, 2}, {3, 2}, {4, 5}});
+  Relation out(3);
+  ExtendRightSingle(AllRows(prefix), /*src=*/2, /*dst=*/8, nullptr, out);
+  EXPECT_EQ(out.NumRows(), 2u);
+  EXPECT_EQ(out.At(0, 2), 8u);
+}
+
+TEST(ExtendRightSingle, IndexedVariantHonorsRange) {
+  Relation prefix = MakeRel(2, {{1, 2}, {3, 2}});
+  HashIndex idx(&prefix, 1);
+  Relation out(3);
+  ExtendRightSingle(RowRange{&prefix, 0, 1}, 2, 8, &idx, out);
+  EXPECT_EQ(out.NumRows(), 1u);  // second row excluded by range
+}
+
+TEST(ExtendLeft, PrependsSource) {
+  Relation suffix = MakeRel(2, {{2, 7}, {9, 9}});
+  Relation base = MakeRel(2, {{1, 2}, {5, 2}});
+  Relation out(3);
+  ExtendLeft(AllRows(suffix), base, nullptr, out);
+  EXPECT_EQ(out.NumRows(), 2u);  // (1,2,7) (5,2,7)
+  EXPECT_EQ(out.At(0, 1), 2u);
+  EXPECT_EQ(out.At(0, 2), 7u);
+}
+
+TEST(ExtendLeft, IndexedAndScanAgree) {
+  Relation suffix = MakeRel(2, {{2, 7}, {3, 8}});
+  Relation base = MakeRel(2, {{1, 2}, {5, 3}, {6, 3}});
+  Relation a(3), b(3);
+  ExtendLeft(AllRows(suffix), base, nullptr, a);
+  HashIndex idx(&base, 1);
+  ExtendLeft(AllRows(suffix), base, &idx, b);
+  EXPECT_EQ(a.NumRows(), b.NumRows());
+  EXPECT_EQ(a.NumRows(), 3u);
+}
+
+TEST(JoinConcat, EquiJoinOnKeys) {
+  Relation a = MakeRel(2, {{1, 2}, {3, 4}});
+  Relation b = MakeRel(2, {{2, 9}, {4, 8}, {5, 7}});
+  Relation out(4);
+  JoinConcat(AllRows(a), AllRows(b), {{1, 0}}, nullptr, out);
+  EXPECT_EQ(out.NumRows(), 2u);
+}
+
+TEST(JoinConcat, MultiKeyVerifiesAllPairs) {
+  Relation a = MakeRel(2, {{1, 2}});
+  Relation b = MakeRel(2, {{1, 2}, {1, 3}});
+  Relation out(4);
+  JoinConcat(AllRows(a), AllRows(b), {{0, 0}, {1, 1}}, nullptr, out);
+  EXPECT_EQ(out.NumRows(), 1u);
+}
+
+TEST(JoinConcat, EmptyKeysIsCrossProduct) {
+  Relation a = MakeRel(1, {{1}, {2}});
+  Relation b = MakeRel(1, {{7}, {8}, {9}});
+  Relation out(2);
+  JoinConcat(AllRows(a), AllRows(b), {}, nullptr, out);
+  EXPECT_EQ(out.NumRows(), 6u);
+}
+
+TEST(JoinCache, ReturnsSameIndexAndCatchesUp) {
+  JoinCache cache;
+  Relation r(2);
+  r.Append({1, 2});
+  HashIndex* a = cache.Get(&r, 0);
+  EXPECT_EQ(a->Probe(1).size(), 1u);
+  r.Append({1, 3});
+  HashIndex* b = cache.Get(&r, 0);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b->Probe(1).size(), 2u);
+  EXPECT_EQ(cache.NumIndexes(), 1u);
+  cache.Get(&r, 1);
+  EXPECT_EQ(cache.NumIndexes(), 2u);
+}
+
+TEST(Relation, RemoveRowsWhereCompactsAndBumpsGeneration) {
+  Relation r = MakeRel(2, {{1, 10}, {2, 20}, {3, 10}, {4, 30}});
+  uint64_t gen = r.generation();
+  size_t removed = r.RemoveRowsWhere([](const VertexId* row) { return row[1] == 10; });
+  EXPECT_EQ(removed, 2u);
+  EXPECT_EQ(r.NumRows(), 2u);
+  EXPECT_EQ(r.At(0, 0), 2u);
+  EXPECT_EQ(r.At(1, 0), 4u);
+  EXPECT_GT(r.generation(), gen);
+  // Dedup set rebuilt correctly: removed rows can be re-appended...
+  EXPECT_TRUE(r.Append({1, 10}));
+  // ...and surviving rows still dedupe.
+  EXPECT_FALSE(r.Append({2, 20}));
+}
+
+TEST(Relation, RemoveRowsWhereNoMatchKeepsGeneration) {
+  Relation r = MakeRel(2, {{1, 10}});
+  uint64_t gen = r.generation();
+  EXPECT_EQ(r.RemoveRowsWhere([](const VertexId*) { return false; }), 0u);
+  EXPECT_EQ(r.generation(), gen);
+}
+
+TEST(Relation, ClearResetsRows) {
+  Relation r = MakeRel(2, {{1, 10}, {2, 20}});
+  r.Clear();
+  EXPECT_TRUE(r.Empty());
+  EXPECT_TRUE(r.Append({1, 10}));  // re-insert after clear works
+  r.Clear();
+  uint64_t gen = r.generation();
+  r.Clear();  // clearing empty is a no-op
+  EXPECT_EQ(r.generation(), gen);
+}
+
+TEST(HashIndex, RebuildsAfterRetraction) {
+  Relation r = MakeRel(2, {{1, 10}, {2, 20}, {1, 30}});
+  HashIndex idx(&r, 0);
+  EXPECT_EQ(idx.Probe(1).size(), 2u);
+  r.RemoveRowsWhere([](const VertexId* row) { return row[1] == 30; });
+  idx.CatchUp();
+  EXPECT_EQ(idx.Probe(1).size(), 1u);
+  EXPECT_EQ(idx.Probe(2).size(), 1u);
+  // Probed row index is valid in the compacted relation.
+  EXPECT_EQ(r.At(idx.Probe(2)[0], 1), 20u);
+}
+
+TEST(JoinCache, ServesRebuiltIndexAfterRetraction) {
+  JoinCache cache;
+  Relation r(2);
+  r.Append({1, 10});
+  r.Append({1, 20});
+  HashIndex* idx = cache.Get(&r, 0);
+  EXPECT_EQ(idx->Probe(1).size(), 2u);
+  r.RemoveRowsWhere([](const VertexId* row) { return row[1] == 10; });
+  idx = cache.Get(&r, 0);
+  EXPECT_EQ(idx->Probe(1).size(), 1u);
+}
+
+TEST(PathBindingSpec, NoRepeatsPassthrough) {
+  auto spec = PathBindingSpec::For({0, 1, 2});
+  EXPECT_FALSE(spec.has_repeats());
+  EXPECT_EQ(spec.schema, (std::vector<uint32_t>{0, 1, 2}));
+}
+
+TEST(PathBindingSpec, RepeatsBecomeEqualityChecks) {
+  auto spec = PathBindingSpec::For({0, 1, 0});  // cycle a->b->a
+  EXPECT_TRUE(spec.has_repeats());
+  EXPECT_EQ(spec.schema, (std::vector<uint32_t>{0, 1}));
+  ASSERT_EQ(spec.eq_checks.size(), 1u);
+  EXPECT_EQ(spec.eq_checks[0], (std::pair<uint32_t, uint32_t>{0, 2}));
+}
+
+TEST(PathRowsToBindings, FiltersCycleViolations) {
+  Relation view = MakeRel(3, {{1, 2, 1}, {1, 2, 3}});
+  auto spec = PathBindingSpec::For({0, 1, 0});
+  auto bindings = PathRowsToBindings(AllRows(view), spec);
+  ASSERT_EQ(bindings.rows->NumRows(), 1u);  // only (1,2,1) closes the cycle
+  EXPECT_EQ(bindings.rows->At(0, 0), 1u);
+  EXPECT_EQ(bindings.rows->At(0, 1), 2u);
+}
+
+TEST(JoinBindingRanges, NaturalJoinOnSharedVertices) {
+  // Path A over vertices (0,1); path B over (1,2).
+  Relation a = MakeRel(2, {{5, 6}, {7, 8}});
+  Relation b = MakeRel(2, {{6, 9}, {8, 10}, {6, 11}});
+  auto joined = JoinBindingRanges({0, 1}, AllRows(a), {1, 2}, AllRows(b));
+  EXPECT_EQ(joined.schema, (std::vector<uint32_t>{0, 1, 2}));
+  EXPECT_EQ(joined.rows->NumRows(), 3u);
+}
+
+TEST(JoinBindingRanges, DisjointSchemasCross) {
+  Relation a = MakeRel(1, {{1}});
+  Relation b = MakeRel(1, {{2}, {3}});
+  auto joined = JoinBindingRanges({0}, AllRows(a), {1}, AllRows(b));
+  EXPECT_EQ(joined.rows->NumRows(), 2u);
+  EXPECT_EQ(joined.schema.size(), 2u);
+}
+
+TEST(JoinBindingRanges, WithIndexMatchesScan) {
+  Relation a = MakeRel(2, {{5, 6}, {7, 8}});
+  Relation b = MakeRel(2, {{6, 9}, {8, 10}});
+  auto plain = JoinBindingRanges({0, 1}, AllRows(a), {1, 2}, AllRows(b));
+  HashIndex idx(&b, 0);  // first shared vertex (1) is column 0 of b
+  auto indexed = JoinBindingRanges({0, 1}, AllRows(a), {1, 2}, AllRows(b), &idx);
+  EXPECT_EQ(plain.rows->NumRows(), indexed.rows->NumRows());
+}
+
+TEST(FirstSharedColumn, FindsAndMisses) {
+  EXPECT_EQ(FirstSharedColumn({0, 1}, {2, 1, 3}), 1);
+  EXPECT_EQ(FirstSharedColumn({0, 1}, {2, 3}), -1);
+}
+
+}  // namespace
+}  // namespace gstream

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "engine/engine.h"
+#include "query/parser.h"
+#include "tric/tric_engine.h"
+
+namespace gstream {
+namespace {
+
+/// End-to-end walkthroughs of the paper's running examples, executed on
+/// every engine.
+class PaperScenariosTest : public ::testing::TestWithParam<EngineKind> {
+ protected:
+  void SetUp() override { engine_ = CreateEngine(GetParam()); }
+
+  QueryPattern Parse(const std::string& text) {
+    auto r = ParsePattern(text, in_);
+    EXPECT_TRUE(r.ok) << r.error;
+    return r.pattern;
+  }
+
+  UpdateResult Apply(const std::string& s, const std::string& l,
+                     const std::string& t) {
+    return engine_->ApplyUpdate(
+        {in_.Intern(s), in_.Intern(l), in_.Intern(t), UpdateOp::kAdd});
+  }
+
+  StringInterner in_;
+  std::unique_ptr<ContinuousEngine> engine_;
+};
+
+/// Fig. 2 + Fig. 3: the check-in stream. The initial graph knows(P1,P2),
+/// knows(P2,P3), knows(P1,P3); then P1, P2, P3 check in at `plc`. The Fig. 3
+/// query ("two people who know each other check in at the same place") must
+/// fire as the check-ins accumulate.
+TEST_P(PaperScenariosTest, Fig2CheckinStream) {
+  engine_->AddQuery(
+      1, Parse("(?p1)-[knows]->(?p2); (?p1)-[checksIn]->(?plc);"
+               "(?p2)-[checksIn]->(?plc)"));
+
+  // Initial graph G (Fig. 2(b), leftmost).
+  Apply("P1", "knows", "P2");
+  Apply("P2", "knows", "P3");
+  Apply("P1", "knows", "P3");
+
+  // u1 = checksIn(P1, plc): no pair complete yet.
+  EXPECT_TRUE(Apply("P1", "checksIn", "plc").triggered.empty());
+  // u2 = checksIn(P2, plc): P1-knows->P2 and both checked in -> match.
+  auto u2 = Apply("P2", "checksIn", "plc");
+  ASSERT_EQ(u2.triggered.size(), 1u);
+  EXPECT_EQ(u2.new_embeddings, 1u);
+  // u3 = checksIn(P3, plc): completes (P1,P3) and (P2,P3).
+  auto u3 = Apply("P3", "checksIn", "plc");
+  ASSERT_EQ(u3.triggered.size(), 1u);
+  EXPECT_EQ(u3.new_embeddings, 2u);
+}
+
+/// Fig. 4's four queries against the Fig. 9 updates: posted(p2, pst1) must
+/// derive the tuple (f2, p2, pst1) for the hasMod->posted-pst1 path — the
+/// exact materialization the paper walks through in Examples 4.6/4.7.
+TEST_P(PaperScenariosTest, Fig4QueriesFig9Updates) {
+  engine_->AddQuery(1, Parse("(?f1)-[hasMod]->(?p1); (?p1)-[posted]->(pst1);"
+                             "(?p1)-[posted]->(pst2); (?c)-[reply]->(pst2)"));
+  engine_->AddQuery(2, Parse("(?f1)-[hasMod]->(?p1)"));
+  engine_->AddQuery(3, Parse("(com1)-[hasCreator]->(?v); (?v)-[posted]->(pst1);"
+                             "(pst1)-[containedIn]->(?w)"));
+  engine_->AddQuery(4, Parse("(?f1)-[hasMod]->(?p1); (?p1)-[posted]->(pst1);"
+                             "(pst1)-[containedIn]->(?w)"));
+
+  // The state the paper's Fig. 9 materialized views imply.
+  auto q2_first = Apply("f1", "hasMod", "p1");  // Q2 fires immediately
+  ASSERT_EQ(q2_first.triggered.size(), 1u);
+  EXPECT_EQ(q2_first.triggered[0], 2u);
+  Apply("f2", "hasMod", "p1");
+  Apply("f2", "hasMod", "p2");
+  Apply("p1", "posted", "pst1");
+
+  // Example 4.6/4.7's update u1 = posted(p2, pst1): in the hasMod trie it
+  // joins with (f2, p2) producing (f2, p2, pst1); the containedIn and
+  // posted-pst2 branches stay empty, so no query completes...
+  auto u1 = Apply("p2", "posted", "pst1");
+  EXPECT_TRUE(u1.triggered.empty());
+
+  // ...until the containedIn edge arrives, completing Q4 for both
+  // moderators' derivations: (f1,p1,pst1,f9) and (f2,p1,pst1,f9) and
+  // (f2,p2,pst1,f9).
+  auto contained = Apply("pst1", "containedIn", "f9");
+  ASSERT_EQ(contained.triggered.size(), 1u);
+  EXPECT_EQ(contained.triggered[0], 4u);
+  EXPECT_EQ(contained.new_embeddings, 3u);
+
+  // Q1 completes once pst2 posts and the reply arrive.
+  Apply("p1", "posted", "pst2");
+  auto reply = Apply("com1", "reply", "pst2");
+  ASSERT_EQ(reply.triggered.size(), 1u);
+  EXPECT_EQ(reply.triggered[0], 1u);
+  // Assignments: f in {f1, f2} with p1, com1 -> 2 embeddings.
+  EXPECT_EQ(reply.new_embeddings, 2u);
+
+  // Q3 completes via hasCreator.
+  auto creator = Apply("com1", "hasCreator", "p1");
+  ASSERT_EQ(creator.triggered.size(), 1u);
+  EXPECT_EQ(creator.triggered[0], 3u);
+}
+
+/// Fig. 1(a): the spam clique. Reported once the full clique pattern holds.
+TEST_P(PaperScenariosTest, Fig1SpamClique) {
+  engine_->AddQuery(7, Parse("(?u1)-[knows]->(?u2);"
+                             "(?u1)-[shares]->(?post); (?post)-[links]->(dom);"
+                             "(?u2)-[likes]->(?post)"));
+  Apply("u1", "knows", "u2");
+  Apply("u1", "shares", "postA");
+  EXPECT_TRUE(Apply("u2", "likes", "postA").triggered.empty());  // not flagged yet
+  auto flagged = Apply("postA", "links", "dom");
+  ASSERT_EQ(flagged.triggered.size(), 1u);
+  EXPECT_EQ(flagged.new_embeddings, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEngines, PaperScenariosTest,
+    ::testing::Values(EngineKind::kTric, EngineKind::kTricPlus, EngineKind::kInv,
+                      EngineKind::kInvPlus, EngineKind::kInc, EngineKind::kIncPlus,
+                      EngineKind::kGraphDb, EngineKind::kNaive),
+    [](const ::testing::TestParamInfo<EngineKind>& info) {
+      std::string name = EngineKindName(info.param);
+      for (auto& c : name)
+        if (c == '+') c = 'P';
+      return name;
+    });
+
+/// Fig. 6's clustering: TRIC must build exactly the trie forest of the
+/// paper's Example 4.5 (also asserted structurally in tric_test.cc) and the
+/// paper's Example 4.6 pruning: the hasCreator trie is not expanded when its
+/// root view is empty.
+TEST(PaperStructures, Fig6TrieShape) {
+  StringInterner in;
+  tric::TricEngine engine(false);
+  auto parse = [&](const char* p) {
+    auto r = ParsePattern(p, in);
+    EXPECT_TRUE(r.ok);
+    return r.pattern;
+  };
+  engine.AddQuery(1, parse("(?f1)-[hasMod]->(?p1); (?p1)-[posted]->(pst1);"
+                           "(?p1)-[posted]->(pst2); (?c)-[reply]->(pst2)"));
+  engine.AddQuery(2, parse("(?f1)-[hasMod]->(?p1)"));
+  engine.AddQuery(3, parse("(com1)-[hasCreator]->(?v); (?v)-[posted]->(pst1);"
+                           "(pst1)-[containedIn]->(?w)"));
+  engine.AddQuery(4, parse("(?f1)-[hasMod]->(?p1); (?p1)-[posted]->(pst1);"
+                           "(pst1)-[containedIn]->(?w)"));
+  // Fig. 6: three tries — the hasMod trie holds the shared root plus
+  // posted->pst1, posted->pst2 and Q4's containedIn below posted->pst1
+  // (4 nodes); the reply->pst2 trie is a single node; the hasCreator trie
+  // chains hasCreator -> posted->pst1 -> containedIn (3 nodes).
+  EXPECT_EQ(engine.forest().NumTries(), 3u);
+  EXPECT_EQ(engine.forest().NumNodes(), 8u);
+}
+
+}  // namespace
+}  // namespace gstream

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "query/parser.h"
+#include "query/path_cover.h"
+
+namespace gstream {
+namespace {
+
+QueryPattern Parse(const std::string& text, StringInterner& in) {
+  auto r = ParsePattern(text, in);
+  EXPECT_TRUE(r.ok) << r.error;
+  return r.pattern;
+}
+
+/// Every vertex and every edge must appear in at least one path
+/// (Definition 4.2), and paths must be well-formed.
+void CheckCoverage(const QueryPattern& q, const std::vector<CoveringPath>& paths) {
+  std::set<uint32_t> vertices, edges;
+  for (const auto& p : paths) {
+    ASSERT_EQ(p.vertices.size(), p.edges.size() + 1);
+    for (size_t i = 0; i < p.edges.size(); ++i) {
+      const auto& e = q.edge(p.edges[i]);
+      EXPECT_EQ(e.src, p.vertices[i]) << "edge/vertex misalignment";
+      EXPECT_EQ(e.dst, p.vertices[i + 1]);
+      edges.insert(p.edges[i]);
+    }
+    for (uint32_t v : p.vertices) vertices.insert(v);
+    // No edge repeats inside one path.
+    std::set<uint32_t> distinct(p.edges.begin(), p.edges.end());
+    EXPECT_EQ(distinct.size(), p.edges.size());
+  }
+  EXPECT_EQ(vertices.size(), q.NumVertices());
+  EXPECT_EQ(edges.size(), q.NumEdges());
+}
+
+TEST(PathCover, SingleEdge) {
+  StringInterner in;
+  auto q = Parse("(?x)-[r]->(?y)", in);
+  auto paths = ExtractCoveringPaths(q);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].edges.size(), 1u);
+  CheckCoverage(q, paths);
+}
+
+TEST(PathCover, ChainIsOnePath) {
+  StringInterner in;
+  auto q = Parse("(?a)-[r]->(?b); (?b)-[s]->(?c); (?c)-[t]->(?d)", in);
+  auto paths = ExtractCoveringPaths(q);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].edges.size(), 3u);
+  CheckCoverage(q, paths);
+}
+
+TEST(PathCover, OutStarNeedsOnePathPerSpoke) {
+  StringInterner in;
+  auto q = Parse("(?c)-[r]->(?x); (?c)-[s]->(?y); (?c)-[t]->(?z)", in);
+  auto paths = ExtractCoveringPaths(q);
+  EXPECT_EQ(paths.size(), 3u);
+  CheckCoverage(q, paths);
+}
+
+TEST(PathCover, MixedStarWalksThroughCenter) {
+  StringInterner in;
+  // y -> c -> x: one path should traverse the center.
+  auto q = Parse("(?y)-[in]->(?c); (?c)-[out]->(?x)", in);
+  auto paths = ExtractCoveringPaths(q);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].edges.size(), 2u);
+  CheckCoverage(q, paths);
+}
+
+TEST(PathCover, CycleCoveredByOnePathRevisitingStart) {
+  StringInterner in;
+  auto q = Parse("(?a)-[r]->(?b); (?b)-[s]->(?c); (?c)-[t]->(?a)", in);
+  auto paths = ExtractCoveringPaths(q);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].edges.size(), 3u);
+  EXPECT_EQ(paths[0].vertices.front(), paths[0].vertices.back());
+  CheckCoverage(q, paths);
+}
+
+TEST(PathCover, PaperQ1SharedPrefix) {
+  StringInterner in;
+  // Fig. 4 Q1: ?f1-hasMod->?p1; ?p1-posted->pst1; ?p1-posted->pst2;
+  //            ?com-reply->pst2.
+  auto q = Parse(
+      "(?f1)-[hasMod]->(?p1); (?p1)-[posted]->(pst1);"
+      "(?p1)-[posted]->(pst2); (?com)-[reply]->(pst2)",
+      in);
+  auto paths = ExtractCoveringPaths(q);
+  CheckCoverage(q, paths);
+  ASSERT_EQ(paths.size(), 3u);
+  // Both posted-branches carry the shared hasMod prefix (the paper's P1/P2).
+  int with_hasmod_prefix = 0;
+  for (const auto& p : paths)
+    if (p.edges.size() == 2 && p.edges[0] == 0) ++with_hasmod_prefix;
+  EXPECT_EQ(with_hasmod_prefix, 2);
+}
+
+TEST(PathCover, PaperQ4SinglePath) {
+  StringInterner in;
+  // Fig. 4 Q4: hasMod, posted -> pst1, containedIn: one 3-edge path.
+  auto q = Parse(
+      "(?f1)-[hasMod]->(?p1); (?p1)-[posted]->(pst1); (pst1)-[containedIn]->(?f2)",
+      in);
+  auto paths = ExtractCoveringPaths(q);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].edges.size(), 3u);
+}
+
+TEST(PathCover, SubPathsRemoved) {
+  StringInterner in;
+  // Diamond-ish: a->b->c plus a standalone b->c would be a sub-path.
+  auto q = Parse("(?a)-[r]->(?b); (?b)-[s]->(?c)", in);
+  auto paths = ExtractCoveringPaths(q);
+  ASSERT_EQ(paths.size(), 1u);
+}
+
+TEST(PathCover, SelfLoopHandled) {
+  StringInterner in;
+  auto q = Parse("(?x)-[r]->(?x)", in);
+  auto paths = ExtractCoveringPaths(q);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].vertices.front(), paths[0].vertices.back());
+  CheckCoverage(q, paths);
+}
+
+TEST(PathCover, DiamondBothBranchesCovered) {
+  StringInterner in;
+  auto q = Parse("(?a)-[r]->(?b); (?a)-[s]->(?c); (?b)-[t]->(?d); (?c)-[u]->(?d)", in);
+  auto paths = ExtractCoveringPaths(q);
+  CheckCoverage(q, paths);
+  EXPECT_EQ(paths.size(), 2u);
+  for (const auto& p : paths) EXPECT_EQ(p.edges.size(), 2u);
+}
+
+TEST(PathCover, InStarConvergesOnCenter) {
+  StringInterner in;
+  auto q = Parse("(?x)-[r]->(?c); (?y)-[s]->(?c); (?z)-[t]->(?c)", in);
+  auto paths = ExtractCoveringPaths(q);
+  EXPECT_EQ(paths.size(), 3u);
+  CheckCoverage(q, paths);
+}
+
+TEST(PathCover, BranchReachableOnlyThroughCoveredEdges) {
+  StringInterner in;
+  // a->b->c->d and c->e: the second path should re-walk a->b->c.
+  auto q = Parse("(?a)-[r]->(?b); (?b)-[s]->(?c); (?c)-[t]->(?d); (?c)-[u]->(?e)", in);
+  auto paths = ExtractCoveringPaths(q);
+  CheckCoverage(q, paths);
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0].edges.size(), 3u);
+  EXPECT_EQ(paths[1].edges.size(), 3u);
+  // Shared prefix: both start with edges r, s.
+  EXPECT_EQ(paths[0].edges[0], paths[1].edges[0]);
+  EXPECT_EQ(paths[0].edges[1], paths[1].edges[1]);
+}
+
+TEST(PathCover, GenericSignatureMatchesPathEdges) {
+  StringInterner in;
+  auto q = Parse("(?a)-[r]->(?b); (?b)-[s]->(pst1)", in);
+  auto paths = ExtractCoveringPaths(q);
+  ASSERT_EQ(paths.size(), 1u);
+  auto sig = GenericSignature(q, paths[0]);
+  ASSERT_EQ(sig.size(), 2u);
+  EXPECT_TRUE(sig[0].src_is_var());
+  EXPECT_TRUE(sig[0].dst_is_var());
+  EXPECT_EQ(sig[1].dst, in.Intern("pst1"));
+}
+
+TEST(PathCover, IsSubPathDetectsContiguity) {
+  CoveringPath inner, outer;
+  outer.edges = {1, 2, 3, 4};
+  outer.vertices = {0, 1, 2, 3, 4};
+  inner.edges = {2, 3};
+  inner.vertices = {1, 2, 3};
+  EXPECT_TRUE(IsSubPath(inner, outer));
+  inner.edges = {1, 3};
+  EXPECT_FALSE(IsSubPath(inner, outer));
+  inner.edges = {};
+  EXPECT_FALSE(IsSubPath(inner, outer));
+}
+
+TEST(PathCover, DeterministicAcrossCalls) {
+  StringInterner in;
+  auto q = Parse(
+      "(?f1)-[hasMod]->(?p1); (?p1)-[posted]->(pst1);"
+      "(?p1)-[posted]->(pst2); (?com)-[reply]->(pst2)",
+      in);
+  auto a = ExtractCoveringPaths(q);
+  auto b = ExtractCoveringPaths(q);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_TRUE(a[i] == b[i]);
+}
+
+}  // namespace
+}  // namespace gstream

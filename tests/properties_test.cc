@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "engine/engine.h"
+#include "graph/properties.h"
+#include "query/parser.h"
+
+namespace gstream {
+namespace {
+
+using CmpOp = QueryPattern::CmpOp;
+
+TEST(PropertyStore, SetGetRoundTrip) {
+  PropertyStore store;
+  store.Set(5, 1, 42);
+  EXPECT_EQ(store.Get(5, 1), std::optional<int64_t>(42));
+  EXPECT_FALSE(store.Get(5, 2).has_value());
+  EXPECT_FALSE(store.Get(6, 1).has_value());
+  store.Set(5, 1, 43);  // overwrite
+  EXPECT_EQ(store.Get(5, 1), std::optional<int64_t>(43));
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(EvalCmp, AllOperators) {
+  EXPECT_TRUE(QueryPattern::EvalCmp(CmpOp::kEq, 3, 3));
+  EXPECT_FALSE(QueryPattern::EvalCmp(CmpOp::kEq, 3, 4));
+  EXPECT_TRUE(QueryPattern::EvalCmp(CmpOp::kNe, 3, 4));
+  EXPECT_TRUE(QueryPattern::EvalCmp(CmpOp::kLt, 3, 4));
+  EXPECT_FALSE(QueryPattern::EvalCmp(CmpOp::kLt, 4, 4));
+  EXPECT_TRUE(QueryPattern::EvalCmp(CmpOp::kLe, 4, 4));
+  EXPECT_TRUE(QueryPattern::EvalCmp(CmpOp::kGt, 5, 4));
+  EXPECT_TRUE(QueryPattern::EvalCmp(CmpOp::kGe, 4, 4));
+  EXPECT_FALSE(QueryPattern::EvalCmp(CmpOp::kGe, 3, 4));
+}
+
+TEST(ConstraintParser, ParsesAllOperators) {
+  StringInterner in;
+  auto r = ParsePattern(
+      "(?x {age>25, score<=100, level!=3})-[knows]->(?y {age>=18, rank<5, tier=2})",
+      in);
+  ASSERT_TRUE(r.ok) << r.error;
+  const auto& cs = r.pattern.constraints();
+  ASSERT_EQ(cs.size(), 6u);
+  EXPECT_EQ(cs[0].op, CmpOp::kGt);
+  EXPECT_EQ(cs[0].value, 25);
+  EXPECT_EQ(cs[1].op, CmpOp::kLe);
+  EXPECT_EQ(cs[2].op, CmpOp::kNe);
+  EXPECT_EQ(cs[3].op, CmpOp::kGe);
+  EXPECT_EQ(cs[4].op, CmpOp::kLt);
+  EXPECT_EQ(cs[5].op, CmpOp::kEq);
+  // First three attach to vertex ?x (index 0), rest to ?y.
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(cs[i].vertex, 0u);
+  for (int i = 3; i < 6; ++i) EXPECT_EQ(cs[i].vertex, 1u);
+}
+
+TEST(ConstraintParser, NegativeValuesAndSharedVariables) {
+  StringInterner in;
+  auto r = ParsePattern("(?x {balance>-100})-[owes]->(?y); (?x {flags=0})-[knows]->(?y)",
+                        in);
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_EQ(r.pattern.constraints().size(), 2u);
+  EXPECT_EQ(r.pattern.constraints()[0].value, -100);
+  // Both constraints bind to the same vertex ?x.
+  EXPECT_EQ(r.pattern.constraints()[0].vertex, r.pattern.constraints()[1].vertex);
+}
+
+TEST(ConstraintParser, RejectsMalformedConstraints) {
+  StringInterner in;
+  EXPECT_FALSE(ParsePattern("(?x {age>})-[r]->(?y)", in).ok);
+  EXPECT_FALSE(ParsePattern("(?x {>25})-[r]->(?y)", in).ok);
+  EXPECT_FALSE(ParsePattern("(?x {age 25})-[r]->(?y)", in).ok);
+  EXPECT_FALSE(ParsePattern("(?x {age>25)-[r]->(?y)", in).ok);
+  EXPECT_FALSE(ParsePattern("(?x {age!25})-[r]->(?y)", in).ok);
+}
+
+/// Constraint semantics across every engine.
+class ConstraintEngineTest : public ::testing::TestWithParam<EngineKind> {};
+
+TEST_P(ConstraintEngineTest, FiltersByProperty) {
+  StringInterner in;
+  PropertyStore props;
+  auto engine = CreateEngine(GetParam());
+  engine->set_property_store(&props);
+
+  auto r = ParsePattern("(?adult {age>=18})-[buys]->(?item)", in);
+  ASSERT_TRUE(r.ok) << r.error;
+  engine->AddQuery(1, r.pattern);
+
+  LabelId age = in.Intern("age"), buys = in.Intern("buys");
+  VertexId kid = in.Intern("kid"), adult = in.Intern("adult"),
+           beer = in.Intern("beer");
+  props.Set(kid, age, 12);
+  props.Set(adult, age, 30);
+
+  auto blocked = engine->ApplyUpdate({kid, buys, beer, UpdateOp::kAdd});
+  EXPECT_TRUE(blocked.triggered.empty());
+  auto ok = engine->ApplyUpdate({adult, buys, beer, UpdateOp::kAdd});
+  ASSERT_EQ(ok.triggered.size(), 1u);
+  EXPECT_EQ(ok.new_embeddings, 1u);
+}
+
+TEST_P(ConstraintEngineTest, MissingPropertyFailsConstraint) {
+  StringInterner in;
+  PropertyStore props;
+  auto engine = CreateEngine(GetParam());
+  engine->set_property_store(&props);
+  auto r = ParsePattern("(?x {vetted=1})-[posts]->(?p)", in);
+  engine->AddQuery(1, r.pattern);
+  // No property on "anon": constraint fails closed.
+  auto res = engine->ApplyUpdate(
+      {in.Intern("anon"), in.Intern("posts"), in.Intern("p1"), UpdateOp::kAdd});
+  EXPECT_TRUE(res.triggered.empty());
+}
+
+TEST_P(ConstraintEngineTest, UnconstrainedQueriesUnaffectedByStore) {
+  StringInterner in;
+  PropertyStore props;
+  auto engine = CreateEngine(GetParam());
+  engine->set_property_store(&props);
+  engine->AddQuery(1, ParsePattern("(?x)-[r]->(?y)", in).pattern);
+  auto res = engine->ApplyUpdate(
+      {in.Intern("a"), in.Intern("r"), in.Intern("b"), UpdateOp::kAdd});
+  EXPECT_EQ(res.new_embeddings, 1u);
+}
+
+TEST_P(ConstraintEngineTest, ConstraintOnIntermediateVertex) {
+  StringInterner in;
+  PropertyStore props;
+  auto engine = CreateEngine(GetParam());
+  engine->set_property_store(&props);
+  auto r = ParsePattern("(?a)-[r]->(?mid {hot=1}); (?mid)-[s]->(?b)", in);
+  engine->AddQuery(1, r.pattern);
+
+  LabelId hot = in.Intern("hot");
+  props.Set(in.Intern("m1"), hot, 1);
+  props.Set(in.Intern("m2"), hot, 0);
+
+  engine->ApplyUpdate({in.Intern("a"), in.Intern("r"), in.Intern("m1"), UpdateOp::kAdd});
+  engine->ApplyUpdate({in.Intern("a"), in.Intern("r"), in.Intern("m2"), UpdateOp::kAdd});
+  auto r1 = engine->ApplyUpdate(
+      {in.Intern("m1"), in.Intern("s"), in.Intern("b"), UpdateOp::kAdd});
+  EXPECT_EQ(r1.new_embeddings, 1u);  // through the hot vertex
+  auto r2 = engine->ApplyUpdate(
+      {in.Intern("m2"), in.Intern("s"), in.Intern("b"), UpdateOp::kAdd});
+  EXPECT_TRUE(r2.triggered.empty());  // cold vertex filtered
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEngines, ConstraintEngineTest,
+    ::testing::Values(EngineKind::kTric, EngineKind::kTricPlus, EngineKind::kInv,
+                      EngineKind::kInvPlus, EngineKind::kInc, EngineKind::kIncPlus,
+                      EngineKind::kGraphDb, EngineKind::kNaive),
+    [](const ::testing::TestParamInfo<EngineKind>& info) {
+      std::string name = EngineKindName(info.param);
+      for (auto& c : name)
+        if (c == '+') c = 'P';
+      return name;
+    });
+
+/// Randomized agreement: constrained queries over random properties; every
+/// engine vs the oracle.
+TEST(ConstraintAgreement, RandomizedPropertiesMatchOracle) {
+  StringInterner in;
+  PropertyStore props;
+  Rng rng(88);
+
+  // Random ages for a small vertex universe.
+  LabelId age = in.Intern("age");
+  for (int v = 0; v < 8; ++v)
+    props.Set(in.Intern("v" + std::to_string(v)), age,
+              static_cast<int64_t>(rng.Next(50)));
+
+  const char* patterns[] = {
+      "(?a {age>20})-[l0]->(?b)",
+      "(?a)-[l0]->(?b {age<=25})",
+      "(?a {age>10})-[l0]->(?b); (?b {age>10})-[l0]->(?c)",
+      "(?a {age>=0})-[l1]->(?b {age<20}); (?b)-[l0]->(?a)",
+      "(?a {age!=13})-[l0]->(?a)",
+  };
+
+  auto oracle = CreateEngine(EngineKind::kNaive);
+  oracle->set_property_store(&props);
+  std::vector<std::unique_ptr<ContinuousEngine>> engines;
+  for (EngineKind kind : PaperEngineKinds()) {
+    engines.push_back(CreateEngine(kind));
+    engines.back()->set_property_store(&props);
+  }
+  for (QueryId qid = 0; qid < 5; ++qid) {
+    auto r = ParsePattern(patterns[qid], in);
+    ASSERT_TRUE(r.ok) << r.error;
+    oracle->AddQuery(qid, r.pattern);
+    for (auto& e : engines) e->AddQuery(qid, r.pattern);
+  }
+
+  for (int i = 0; i < 250; ++i) {
+    EdgeUpdate u{in.Intern("v" + std::to_string(rng.Next(8))),
+                 in.Intern("l" + std::to_string(rng.Next(2))),
+                 in.Intern("v" + std::to_string(rng.Next(8))), UpdateOp::kAdd};
+    UpdateResult expected = oracle->ApplyUpdate(u);
+    for (auto& e : engines) {
+      UpdateResult got = e->ApplyUpdate(u);
+      ASSERT_EQ(got.per_query, expected.per_query) << e->name() << " update " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gstream

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "query/edge_pattern.h"
+#include "query/parser.h"
+#include "query/pattern.h"
+
+namespace gstream {
+namespace {
+
+TEST(QueryPattern, BuildsVerticesAndEdges) {
+  StringInterner in;
+  QueryPattern q;
+  uint32_t x = q.AddVariable("?x");
+  uint32_t p = q.AddLiteral(in.Intern("pst1"));
+  q.AddEdge(x, in.Intern("posted"), p);
+  EXPECT_EQ(q.NumVertices(), 2u);
+  EXPECT_EQ(q.NumEdges(), 1u);
+  EXPECT_TRUE(q.vertex(x).is_var);
+  EXPECT_FALSE(q.vertex(p).is_var);
+  EXPECT_TRUE(q.IsValid());
+}
+
+TEST(QueryPattern, InvalidWhenEdgeless) {
+  QueryPattern q;
+  q.AddVariable();
+  EXPECT_FALSE(q.IsValid());
+}
+
+TEST(QueryPattern, InvalidWithIsolatedVertex) {
+  StringInterner in;
+  QueryPattern q;
+  uint32_t a = q.AddVariable();
+  uint32_t b = q.AddVariable();
+  q.AddVariable();  // isolated
+  q.AddEdge(a, in.Intern("r"), b);
+  EXPECT_FALSE(q.IsValid());
+}
+
+TEST(QueryPattern, GenericizedSubstitutesVariables) {
+  StringInterner in;
+  QueryPattern q;
+  uint32_t x = q.AddVariable();
+  uint32_t lit = q.AddLiteral(in.Intern("plc"));
+  q.AddEdge(x, in.Intern("checksIn"), lit);
+  GenericEdgePattern g = q.Genericized(0);
+  EXPECT_TRUE(g.src_is_var());
+  EXPECT_FALSE(g.dst_is_var());
+  EXPECT_EQ(g.dst, in.Intern("plc"));
+  EXPECT_EQ(g.label, in.Intern("checksIn"));
+}
+
+TEST(QueryPattern, AdjacencyListsTrackEdges) {
+  StringInterner in;
+  QueryPattern q;
+  uint32_t a = q.AddVariable(), b = q.AddVariable(), c = q.AddVariable();
+  uint32_t e0 = q.AddEdge(a, in.Intern("r"), b);
+  uint32_t e1 = q.AddEdge(b, in.Intern("s"), c);
+  EXPECT_EQ(q.OutEdges(a), std::vector<uint32_t>{e0});
+  EXPECT_EQ(q.InEdges(b), std::vector<uint32_t>{e0});
+  EXPECT_EQ(q.OutEdges(b), std::vector<uint32_t>{e1});
+  EXPECT_EQ(q.InEdges(c), std::vector<uint32_t>{e1});
+}
+
+TEST(GenericEdgePattern, MatchesRespectsLiterals) {
+  GenericEdgePattern p{5, 9, kNoVertex};  // (5)-[9]->(?var)
+  EXPECT_TRUE(p.Matches(5, 9, 77));
+  EXPECT_FALSE(p.Matches(6, 9, 77));
+  EXPECT_FALSE(p.Matches(5, 8, 77));
+}
+
+TEST(GenericEdgePattern, GeneralizationsCoverAllFour) {
+  EdgeUpdate u{10, 3, 20, UpdateOp::kAdd};
+  auto gens = Generalizations(u);
+  for (const auto& g : gens) EXPECT_TRUE(g.Matches(u));
+  EXPECT_EQ(gens[0].src, 10u);
+  EXPECT_EQ(gens[0].dst, 20u);
+  EXPECT_TRUE(gens[3].src_is_var());
+  EXPECT_TRUE(gens[3].dst_is_var());
+}
+
+TEST(Parser, ParsesSingleClause) {
+  StringInterner in;
+  auto r = ParsePattern("(?x)-[knows]->(?y)", in);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.pattern.NumVertices(), 2u);
+  EXPECT_EQ(r.pattern.NumEdges(), 1u);
+  EXPECT_TRUE(r.pattern.vertex(0).is_var);
+}
+
+TEST(Parser, SharedVariablesUnify) {
+  StringInterner in;
+  auto r = ParsePattern("(?x)-[knows]->(?y); (?y)-[posted]->(pst1)", in);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.pattern.NumVertices(), 3u);
+  EXPECT_EQ(r.pattern.NumEdges(), 2u);
+  // ?y is the target of edge 0 and the source of edge 1.
+  EXPECT_EQ(r.pattern.edge(0).dst, r.pattern.edge(1).src);
+}
+
+TEST(Parser, SharedLiteralsUnify) {
+  StringInterner in;
+  auto r = ParsePattern("(?a)-[r]->(hub); (?b)-[s]->(hub)", in);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.pattern.NumVertices(), 3u);
+  EXPECT_EQ(r.pattern.edge(0).dst, r.pattern.edge(1).dst);
+}
+
+TEST(Parser, AcceptsMatchKeywordAndCommas) {
+  StringInterner in;
+  auto r = ParsePattern("MATCH (?a)-[r]->(?b), (?b)-[s]->(?c)", in);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.pattern.NumEdges(), 2u);
+}
+
+TEST(Parser, AcceptsTheFig3CheckinQuery) {
+  StringInterner in;
+  auto r = ParsePattern(
+      "(?p1)-[knows]->(?p2); (?p1)-[checksIn]->(?plc);"
+      "(?p2)-[checksIn]->(?plc); (?plc)-[partOf]->(rio)",
+      in);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.pattern.NumVertices(), 4u);
+  EXPECT_EQ(r.pattern.NumEdges(), 4u);
+}
+
+TEST(Parser, RejectsMissingArrow) {
+  StringInterner in;
+  auto r = ParsePattern("(?x)-[knows]-(?y)", in);
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.error.empty());
+}
+
+TEST(Parser, RejectsEmptyInput) {
+  StringInterner in;
+  EXPECT_FALSE(ParsePattern("", in).ok);
+  EXPECT_FALSE(ParsePattern("   ", in).ok);
+}
+
+TEST(Parser, RejectsDanglingClause) {
+  StringInterner in;
+  EXPECT_FALSE(ParsePattern("(?x)-[r]->", in).ok);
+  EXPECT_FALSE(ParsePattern("(?x)", in).ok);
+}
+
+TEST(Parser, ToleratesTrailingSeparator) {
+  StringInterner in;
+  auto r = ParsePattern("(?x)-[r]->(?y);", in);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.pattern.NumEdges(), 1u);
+}
+
+TEST(Parser, SelfLoopClause) {
+  StringInterner in;
+  auto r = ParsePattern("(?x)-[r]->(?x)", in);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.pattern.NumVertices(), 1u);
+  EXPECT_EQ(r.pattern.edge(0).src, r.pattern.edge(0).dst);
+}
+
+TEST(Parser, CanonicalToStringRoundTrips) {
+  StringInterner in;
+  auto r = ParsePattern("(?a)-[knows]->(?b); (?b)-[posted]->(pst1)", in);
+  ASSERT_TRUE(r.ok);
+  std::string canonical = r.pattern.ToString(in);
+  auto r2 = ParsePattern(canonical, in);
+  ASSERT_TRUE(r2.ok) << r2.error;
+  EXPECT_EQ(r2.pattern.ToString(in), canonical);
+}
+
+}  // namespace
+}  // namespace gstream

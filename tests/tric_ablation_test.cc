@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "query/parser.h"
+#include "tric/tric_engine.h"
+#include "workload/query_gen.h"
+#include "workload/snb.h"
+
+namespace gstream {
+namespace {
+
+using tric::TricEngine;
+
+/// The ablation variants must stay *correct* — they only trade performance.
+/// Every variant is compared against the naive oracle on a randomized
+/// SNB stream.
+class TricAblationTest : public ::testing::TestWithParam<TricEngine::Options> {};
+
+TEST_P(TricAblationTest, AgreesWithOracle) {
+  workload::SnbConfig sc;
+  sc.num_updates = 350;
+  sc.num_places = 10;
+  sc.num_tags = 10;
+  workload::Workload w = workload::GenerateSnb(sc);
+  workload::QueryGenConfig qc;
+  qc.num_queries = 30;
+  qc.selectivity = 0.4;
+  qc.seed = 77;
+  workload::QuerySet qs = workload::GenerateQueries(w, qc);
+
+  auto oracle = CreateEngine(EngineKind::kNaive);
+  TricEngine engine(GetParam());
+  for (QueryId qid = 0; qid < qs.queries.size(); ++qid) {
+    oracle->AddQuery(qid, qs.queries[qid]);
+    engine.AddQuery(qid, qs.queries[qid]);
+  }
+  for (size_t i = 0; i < w.stream.size(); ++i) {
+    UpdateResult expected = oracle->ApplyUpdate(w.stream[i]);
+    UpdateResult got = engine.ApplyUpdate(w.stream[i]);
+    ASSERT_EQ(got.per_query, expected.per_query)
+        << engine.name() << " at update " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, TricAblationTest,
+    ::testing::Values(TricEngine::Options{false, false, false},   // no clustering
+                      TricEngine::Options{true, false, false},    // cached, no clustering
+                      TricEngine::Options{false, true, true},     // per-edge paths
+                      TricEngine::Options{true, true, true},      // cached per-edge
+                      TricEngine::Options{false, false, true}),   // both ablations
+    [](const ::testing::TestParamInfo<TricEngine::Options>& info) {
+      std::string name = info.param.cache ? "Cached" : "Plain";
+      name += info.param.clustering ? "Clustered" : "NoCluster";
+      name += info.param.per_edge_paths ? "PerEdge" : "CoverPaths";
+      return name;
+    });
+
+TEST(TricAblationStructure, NoClusteringCreatesPrivateNodes) {
+  StringInterner in;
+  TricEngine clustered(TricEngine::Options{false, true, false});
+  TricEngine unclustered(TricEngine::Options{false, false, false});
+  for (QueryId q = 0; q < 10; ++q) {
+    auto r = ParsePattern("(?x)-[knows]->(?y); (?y)-[posted]->(?p)", in);
+    clustered.AddQuery(q, r.pattern);
+    unclustered.AddQuery(q, r.pattern);
+  }
+  // Ten identical 2-edge chains: clustered = 2 nodes, unclustered = 20.
+  EXPECT_EQ(clustered.forest().NumNodes(), 2u);
+  EXPECT_EQ(unclustered.forest().NumNodes(), 20u);
+}
+
+TEST(TricAblationStructure, PerEdgePathsIndexEveryEdgeSeparately) {
+  StringInterner in;
+  TricEngine per_edge(TricEngine::Options{false, true, true});
+  auto r = ParsePattern("(?a)-[x]->(?b); (?b)-[y]->(?c); (?c)-[z]->(?d)", in);
+  per_edge.AddQuery(1, r.pattern);
+  // Three single-edge paths => three root nodes, no depth.
+  EXPECT_EQ(per_edge.forest().NumTries(), 3u);
+  EXPECT_EQ(per_edge.forest().NumNodes(), 3u);
+}
+
+}  // namespace
+}  // namespace gstream

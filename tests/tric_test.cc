@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include "common/interning.h"
+#include "query/parser.h"
+#include "tric/tric_engine.h"
+#include "tric/trie.h"
+
+namespace gstream {
+namespace {
+
+using tric::TricEngine;
+using tric::TrieForest;
+using tric::TrieNode;
+
+QueryPattern Parse(const std::string& text, StringInterner& in) {
+  auto r = ParsePattern(text, in);
+  EXPECT_TRUE(r.ok) << r.error;
+  return r.pattern;
+}
+
+TEST(TrieForest, InsertPathCreatesChain) {
+  TrieForest forest;
+  GenericEdgePattern a{kNoVertex, 1, kNoVertex};
+  GenericEdgePattern b{kNoVertex, 2, 7};
+  int created = 0;
+  auto init = [&](TrieNode* n) {
+    n->view = std::make_unique<Relation>(n->depth + 2);
+    ++created;
+  };
+  TrieNode* t = forest.InsertPath({a, b}, init);
+  EXPECT_EQ(created, 2);
+  EXPECT_EQ(forest.NumTries(), 1u);
+  EXPECT_EQ(forest.NumNodes(), 2u);
+  EXPECT_EQ(t->depth, 1u);
+  ASSERT_NE(t->parent, nullptr);
+  EXPECT_TRUE(t->parent->pattern == a);
+}
+
+TEST(TrieForest, SharedPrefixReusesNodes) {
+  TrieForest forest;
+  GenericEdgePattern a{kNoVertex, 1, kNoVertex};
+  GenericEdgePattern b{kNoVertex, 2, 7};
+  GenericEdgePattern c{kNoVertex, 2, 8};
+  auto init = [](TrieNode* n) { n->view = std::make_unique<Relation>(n->depth + 2); };
+  TrieNode* t1 = forest.InsertPath({a, b}, init);
+  TrieNode* t2 = forest.InsertPath({a, c}, init);
+  EXPECT_EQ(forest.NumTries(), 1u);
+  EXPECT_EQ(forest.NumNodes(), 3u);  // shared root + two children
+  EXPECT_EQ(t1->parent, t2->parent);
+}
+
+TEST(TrieForest, IdenticalPathsShareTerminal) {
+  TrieForest forest;
+  GenericEdgePattern a{kNoVertex, 1, kNoVertex};
+  auto init = [](TrieNode* n) { n->view = std::make_unique<Relation>(n->depth + 2); };
+  TrieNode* t1 = forest.InsertPath({a}, init);
+  TrieNode* t2 = forest.InsertPath({a}, init);
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(forest.NumNodes(), 1u);
+}
+
+TEST(TrieForest, NodeIndexFindsAllOccurrences) {
+  TrieForest forest;
+  GenericEdgePattern a{kNoVertex, 1, kNoVertex};
+  auto init = [](TrieNode* n) { n->view = std::make_unique<Relation>(n->depth + 2); };
+  forest.InsertPath({a, a, a}, init);  // chain of the same pattern
+  const auto* nodes = forest.NodesFor(a);
+  ASSERT_NE(nodes, nullptr);
+  EXPECT_EQ(nodes->size(), 3u);
+  EXPECT_EQ(forest.NodesFor(GenericEdgePattern{0, 9, 0}), nullptr);
+}
+
+/// Paper Example 4.5 / Fig. 6: indexing Q1..Q4's covering paths must cluster
+/// the hasMod-rooted paths into one trie.
+TEST(TricEngine, PaperFig6Clustering) {
+  StringInterner in;
+  TricEngine engine(false);
+  engine.AddQuery(1, Parse("(?f)-[hasMod]->(?p); (?p)-[posted]->(pst1);"
+                           "(?p)-[posted]->(pst2); (?c)-[reply]->(pst2)",
+                           in));
+  engine.AddQuery(2, Parse("(?f)-[hasMod]->(?p)", in));
+  engine.AddQuery(3, Parse("(com1)-[hasCreator]->(?v); (?v)-[posted]->(pst1);"
+                           "(pst1)-[containedIn]->(?w)",
+                           in));
+  engine.AddQuery(4, Parse("(?f)-[hasMod]->(?p); (?p)-[posted]->(pst1);"
+                           "(pst1)-[containedIn]->(?w)",
+                           in));
+
+  // Tries: T1 rooted at hasMod(?,?), T2 at reply(?,pst2), T3 at
+  // hasCreator(com1,?) — exactly as in Fig. 6.
+  EXPECT_EQ(engine.forest().NumTries(), 3u);
+
+  // The hasMod trie clusters: root(shared by Q1 P1/P2, Q2, Q4) + posted->pst1
+  // (shared by Q1 P1 and Q4) + posted->pst2 + containedIn under pst1.
+  GenericEdgePattern has_mod{kNoVertex, in.Intern("hasMod"), kNoVertex};
+  const auto* roots = engine.forest().NodesFor(has_mod);
+  ASSERT_NE(roots, nullptr);
+  ASSERT_EQ(roots->size(), 1u);
+  const TrieNode* root = (*roots)[0];
+  EXPECT_EQ(root->children.size(), 2u);  // posted->pst1, posted->pst2
+  // Q2's single-edge path terminates at the shared root.
+  ASSERT_EQ(root->paths.size(), 1u);
+  EXPECT_EQ(root->paths[0].qid, 2u);
+}
+
+TEST(TricEngine, SharedPatternViewsAcrossQueries) {
+  StringInterner in;
+  TricEngine engine(false);
+  // Ten structurally identical queries: the trie must hold ONE node.
+  for (QueryId q = 0; q < 10; ++q)
+    engine.AddQuery(q, Parse("(?x)-[knows]->(?y)", in));
+  EXPECT_EQ(engine.forest().NumNodes(), 1u);
+
+  auto res = engine.ApplyUpdate(
+      {in.Intern("a"), in.Intern("knows"), in.Intern("b"), UpdateOp::kAdd});
+  EXPECT_EQ(res.triggered.size(), 10u);
+  EXPECT_EQ(res.new_embeddings, 10u);
+}
+
+TEST(TricEngine, PruningStopsAtEmptyAncestor) {
+  StringInterner in;
+  TricEngine engine(false);
+  engine.AddQuery(1, Parse("(com1)-[hasCreator]->(?v); (?v)-[posted]->(pst1)", in));
+  // posted arrives but the root (hasCreator from com1) has an empty view:
+  // the sub-trie must yield nothing (Example 4.6, trie T3).
+  auto res = engine.ApplyUpdate(
+      {in.Intern("p2"), in.Intern("posted"), in.Intern("pst1"), UpdateOp::kAdd});
+  EXPECT_TRUE(res.triggered.empty());
+
+  // Once the root fills, the chain completes.
+  engine.ApplyUpdate(
+      {in.Intern("com1"), in.Intern("hasCreator"), in.Intern("p2"), UpdateOp::kAdd});
+  auto res2 = engine.ApplyUpdate(
+      {in.Intern("p2"), in.Intern("posted"), in.Intern("pst2"), UpdateOp::kAdd});
+  EXPECT_TRUE(res2.triggered.empty());  // wrong literal
+  auto res3 = engine.ApplyUpdate(
+      {in.Intern("com1"), in.Intern("hasCreator"), in.Intern("p3"), UpdateOp::kAdd});
+  EXPECT_TRUE(res3.triggered.empty());
+  auto res4 = engine.ApplyUpdate(
+      {in.Intern("p3"), in.Intern("posted"), in.Intern("pst1"), UpdateOp::kAdd});
+  ASSERT_EQ(res4.triggered.size(), 1u);
+}
+
+TEST(TricEngine, RepeatedPatternChainIsExact) {
+  StringInterner in;
+  // knows^3 chain; updates arriving in an order that hits several trie
+  // levels at once (the multi-matching-node case the paper's Fig. 8
+  // pseudocode glosses over).
+  TricEngine engine(false);
+  engine.AddQuery(1, Parse("(?a)-[knows]->(?b); (?b)-[knows]->(?c); (?c)-[knows]->(?d)",
+                           in));
+  LabelId k = in.Intern("knows");
+  auto apply = [&](const char* s, const char* t) {
+    return engine.ApplyUpdate({in.Intern(s), k, in.Intern(t), UpdateOp::kAdd});
+  };
+  apply("v1", "v2");
+  apply("v3", "v4");
+  // v2->v3 completes v1..v4 in one shot: the update matches trie depth 0, 1
+  // and 2 simultaneously.
+  auto res = apply("v2", "v3");
+  ASSERT_EQ(res.triggered.size(), 1u);
+  EXPECT_EQ(res.new_embeddings, 1u);
+}
+
+TEST(TricEngine, SelfLoopUpdateOnRepeatedChain) {
+  StringInterner in;
+  TricEngine engine(false);
+  engine.AddQuery(1, Parse("(?a)-[r]->(?b); (?b)-[r]->(?c)", in));
+  LabelId r = in.Intern("r");
+  auto res = engine.ApplyUpdate({in.Intern("x"), r, in.Intern("x"), UpdateOp::kAdd});
+  // x->x; x->x gives the single homomorphism (x,x,x).
+  ASSERT_EQ(res.triggered.size(), 1u);
+  EXPECT_EQ(res.new_embeddings, 1u);
+}
+
+TEST(TricEngine, CachedAndUncachedAgree) {
+  StringInterner in1, in2;
+  TricEngine plain(false), cached(true);
+  const char* queries[] = {
+      "(?f)-[hasMod]->(?p); (?p)-[posted]->(?q)",
+      "(?x)-[knows]->(?y); (?y)-[knows]->(?x)",
+      "(?x)-[posted]->(pst1)",
+  };
+  for (QueryId q = 0; q < 3; ++q) {
+    plain.AddQuery(q, Parse(queries[q], in1));
+    cached.AddQuery(q, Parse(queries[q], in2));
+  }
+  const char* edges[][3] = {
+      {"f1", "hasMod", "p1"}, {"p1", "posted", "pst1"}, {"a", "knows", "b"},
+      {"b", "knows", "a"},    {"p1", "posted", "pst2"}, {"f2", "hasMod", "p1"},
+  };
+  for (const auto& [s, l, t] : edges) {
+    auto r1 = plain.ApplyUpdate(
+        {in1.Intern(s), in1.Intern(l), in1.Intern(t), UpdateOp::kAdd});
+    auto r2 = cached.ApplyUpdate(
+        {in2.Intern(s), in2.Intern(l), in2.Intern(t), UpdateOp::kAdd});
+    ASSERT_EQ(r1.per_query, r2.per_query);
+  }
+}
+
+TEST(TricEngine, MidStreamQueryBackfillsFromSharedViews) {
+  StringInterner in;
+  TricEngine engine(false);
+  engine.AddQuery(1, Parse("(?x)-[r]->(?y)", in));
+  engine.ApplyUpdate({in.Intern("a"), in.Intern("r"), in.Intern("b"), UpdateOp::kAdd});
+
+  // A new query over the same pattern joins the existing trie node and sees
+  // its materialized state: the next matching update triggers it.
+  engine.AddQuery(2, Parse("(?x)-[r]->(?y); (?y)-[s]->(?z)", in));
+  auto res = engine.ApplyUpdate(
+      {in.Intern("b"), in.Intern("s"), in.Intern("c"), UpdateOp::kAdd});
+  ASSERT_EQ(res.triggered.size(), 1u);
+  EXPECT_EQ(res.triggered[0], 2u);
+}
+
+TEST(TricEngine, MemoryAccountsTrieAndCache) {
+  StringInterner in;
+  TricEngine plain(false), cached(true);
+  for (QueryId q = 0; q < 5; ++q) {
+    plain.AddQuery(q, Parse("(?x)-[r" + std::to_string(q) + "]->(?y)", in));
+    cached.AddQuery(q, Parse("(?x)-[r" + std::to_string(q) + "]->(?y)", in));
+  }
+  for (uint32_t i = 0; i < 50; ++i) {
+    EdgeUpdate u{i, in.Intern("r" + std::to_string(i % 5)), i + 1, UpdateOp::kAdd};
+    plain.ApplyUpdate(u);
+    cached.ApplyUpdate(u);
+  }
+  // The cached engine retains hash indexes on top of the same views.
+  EXPECT_GT(cached.MemoryBytes(), plain.MemoryBytes());
+}
+
+TEST(TricEngine, TriggersOnlyQueriesWhoseDeltaReachesTerminal) {
+  StringInterner in;
+  TricEngine engine(false);
+  engine.AddQuery(1, Parse("(?x)-[r]->(?y); (?y)-[s]->(?z)", in));
+  engine.AddQuery(2, Parse("(?x)-[r]->(?y); (?y)-[t]->(?z)", in));
+  engine.ApplyUpdate({in.Intern("a"), in.Intern("r"), in.Intern("b"), UpdateOp::kAdd});
+  engine.ApplyUpdate({in.Intern("b"), in.Intern("s"), in.Intern("c"), UpdateOp::kAdd});
+  // Another r edge extends both prefixes, but only query 1 has a complete
+  // suffix; query 2's branch dies in the trie (empty containedIn-like view).
+  auto res = engine.ApplyUpdate(
+      {in.Intern("a2"), in.Intern("r"), in.Intern("b"), UpdateOp::kAdd});
+  ASSERT_EQ(res.triggered.size(), 1u);
+  EXPECT_EQ(res.triggered[0], 1u);
+}
+
+}  // namespace
+}  // namespace gstream

@@ -1,0 +1,277 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "graphdb/executor.h"
+#include "query/path_cover.h"
+#include "graphdb/store.h"
+#include "workload/bio.h"
+#include "workload/query_gen.h"
+#include "workload/schema.h"
+#include "workload/snb.h"
+#include "workload/taxi.h"
+
+namespace gstream {
+namespace {
+
+using workload::BioConfig;
+using workload::GenerateBio;
+using workload::GenerateQueries;
+using workload::GenerateSnb;
+using workload::GenerateTaxi;
+using workload::QueryGenConfig;
+using workload::Schema;
+using workload::SnbConfig;
+using workload::TaxiConfig;
+
+TEST(Schema, EdgesFromAndInto) {
+  Schema s;
+  uint32_t a = s.AddClass("A");
+  uint32_t b = s.AddClass("B");
+  s.AddEdge(1, a, b);
+  s.AddEdge(2, b, a);
+  s.AddEdge(3, a, a);
+  EXPECT_EQ(s.EdgesFrom(a).size(), 2u);
+  EXPECT_EQ(s.EdgesInto(a).size(), 2u);
+  EXPECT_EQ(s.EdgesTouching(a).size(), 3u);  // 1, 3 out; 2 in (3 not repeated)
+}
+
+TEST(Schema, FindCyclesIncludesSelfLoopRings) {
+  Schema s;
+  uint32_t a = s.AddClass("A");
+  s.AddEdge(7, a, a);
+  auto cycles = s.FindCycles(4);
+  ASSERT_FALSE(cycles.empty());
+  EXPECT_EQ(cycles[0].size(), 2u);
+  EXPECT_EQ(cycles[0][0].label, 7u);
+}
+
+TEST(Schema, FindCyclesFindsMultiClassRings) {
+  Schema s;
+  uint32_t a = s.AddClass("A"), b = s.AddClass("B"), c = s.AddClass("C");
+  s.AddEdge(1, a, b);
+  s.AddEdge(2, b, c);
+  s.AddEdge(3, c, a);
+  auto cycles = s.FindCycles(4);
+  bool found3 = false;
+  for (const auto& cyc : cycles) found3 |= cyc.size() == 3;
+  EXPECT_TRUE(found3);
+}
+
+template <typename Config, typename Gen>
+void CheckDeterminism(Config config, Gen gen) {
+  auto w1 = gen(config);
+  auto w2 = gen(config);
+  ASSERT_EQ(w1.stream.size(), w2.stream.size());
+  for (size_t i = 0; i < w1.stream.size(); ++i) {
+    EXPECT_EQ(w1.stream[i].src, w2.stream[i].src);
+    EXPECT_EQ(w1.stream[i].label, w2.stream[i].label);
+    EXPECT_EQ(w1.stream[i].dst, w2.stream[i].dst);
+  }
+}
+
+TEST(SnbGenerator, DeterministicForSeed) {
+  SnbConfig c;
+  c.num_updates = 2000;
+  CheckDeterminism(c, GenerateSnb);
+}
+
+TEST(TaxiGenerator, DeterministicForSeed) {
+  TaxiConfig c;
+  c.num_updates = 2000;
+  CheckDeterminism(c, GenerateTaxi);
+}
+
+TEST(BioGenerator, DeterministicForSeed) {
+  BioConfig c;
+  c.num_updates = 2000;
+  CheckDeterminism(c, GenerateBio);
+}
+
+TEST(SnbGenerator, VertexEdgeRatioNearPaper) {
+  SnbConfig c;
+  c.num_updates = 50000;
+  auto w = GenerateSnb(c);
+  EXPECT_EQ(w.stream.size(), c.num_updates);
+  double ratio = static_cast<double>(w.stream.CountVertices(w.stream.size())) /
+                 static_cast<double>(w.stream.size());
+  // Paper: 0.57 at 100K edges. Allow a generous band.
+  EXPECT_GT(ratio, 0.35);
+  EXPECT_LT(ratio, 0.75);
+}
+
+TEST(TaxiGenerator, VertexEdgeRatioNearPaper) {
+  TaxiConfig c;
+  c.num_updates = 50000;
+  auto w = GenerateTaxi(c);
+  double ratio = static_cast<double>(w.stream.CountVertices(w.stream.size())) /
+                 static_cast<double>(w.stream.size());
+  // Paper: 0.28 at 1M edges.
+  EXPECT_GT(ratio, 0.15);
+  EXPECT_LT(ratio, 0.45);
+}
+
+TEST(BioGenerator, FollowsGrowthCurve) {
+  BioConfig c;
+  c.num_updates = 100000;
+  auto w = GenerateBio(c);
+  size_t vertices = w.stream.CountVertices(w.stream.size());
+  // Target: 17.2K vertices at 100K edges (paper's BioGRID statistics).
+  EXPECT_GT(vertices, 14000u);
+  EXPECT_LT(vertices, 21000u);
+}
+
+TEST(BioGenerator, SingleLabelSingleClass) {
+  BioConfig c;
+  c.num_updates = 5000;
+  auto w = GenerateBio(c);
+  auto stats = workload::ComputeStats(w);
+  EXPECT_EQ(stats.distinct_labels, 1u);
+  EXPECT_EQ(w.schema.NumClasses(), 1u);
+}
+
+TEST(SnbGenerator, NoDuplicateEntityNames) {
+  SnbConfig c;
+  c.num_updates = 5000;
+  auto w = GenerateSnb(c);
+  for (const auto& pool : w.entities) {
+    std::unordered_set<VertexId> seen(pool.begin(), pool.end());
+    EXPECT_EQ(seen.size(), pool.size());
+  }
+}
+
+class QueryGenTest : public ::testing::Test {
+ protected:
+  /// Counts a query's matches on the workload's final graph.
+  static uint64_t CountOnFinalGraph(const workload::Workload& w,
+                                    const QueryPattern& q) {
+    graphdb::GraphStore store;
+    for (const auto& u : w.stream.updates()) store.AddEdge(u.src, u.label, u.dst);
+    graphdb::MatchExecutor exec(&store);
+    return exec.CountMatches(q, graphdb::PlanQuery(q), /*limit=*/1);
+  }
+};
+
+TEST_F(QueryGenTest, ExactPlantedCount) {
+  SnbConfig sc;
+  sc.num_updates = 3000;
+  auto w = GenerateSnb(sc);
+  QueryGenConfig qc;
+  qc.num_queries = 80;
+  qc.selectivity = 0.25;
+  auto qs = GenerateQueries(w, qc);
+  EXPECT_EQ(qs.queries.size(), 80u);
+  EXPECT_EQ(qs.num_planted, 20u);
+}
+
+TEST_F(QueryGenTest, SigmaGroundTruthHolds) {
+  SnbConfig sc;
+  sc.num_updates = 3000;
+  auto w = GenerateSnb(sc);
+  QueryGenConfig qc;
+  qc.num_queries = 60;
+  qc.selectivity = 0.3;
+  qc.seed = 17;
+  auto qs = GenerateQueries(w, qc);
+  for (size_t i = 0; i < qs.queries.size(); ++i) {
+    uint64_t matches = CountOnFinalGraph(w, qs.queries[i]);
+    if (qs.planted[i]) {
+      EXPECT_GT(matches, 0u) << "planted query " << i << " unsatisfied: "
+                             << qs.queries[i].ToString(*w.interner);
+    } else {
+      EXPECT_EQ(matches, 0u) << "poisoned query " << i << " satisfied: "
+                             << qs.queries[i].ToString(*w.interner);
+    }
+  }
+}
+
+TEST_F(QueryGenTest, SigmaGroundTruthHoldsOnBio) {
+  BioConfig bc;
+  bc.num_updates = 2000;
+  bc.growth_coefficient = 2000;
+  auto w = GenerateBio(bc);
+  QueryGenConfig qc;
+  qc.num_queries = 40;
+  qc.selectivity = 0.5;
+  qc.seed = 23;
+  auto qs = GenerateQueries(w, qc);
+  for (size_t i = 0; i < qs.queries.size(); ++i) {
+    uint64_t matches = CountOnFinalGraph(w, qs.queries[i]);
+    if (qs.planted[i]) {
+      EXPECT_GT(matches, 0u) << "planted bio query " << i << " unsatisfied";
+    } else {
+      EXPECT_EQ(matches, 0u) << "poisoned bio query " << i << " satisfied";
+    }
+  }
+}
+
+TEST_F(QueryGenTest, AverageSizeNearL) {
+  SnbConfig sc;
+  sc.num_updates = 3000;
+  auto w = GenerateSnb(sc);
+  QueryGenConfig qc;
+  qc.num_queries = 200;
+  qc.avg_size = 5;
+  auto qs = GenerateQueries(w, qc);
+  double total = 0;
+  for (const auto& q : qs.queries) total += static_cast<double>(q.NumEdges());
+  double avg = total / static_cast<double>(qs.queries.size());
+  EXPECT_GT(avg, 3.2);
+  EXPECT_LT(avg, 6.5);
+}
+
+TEST_F(QueryGenTest, OverlapIncreasesSharedStructure) {
+  SnbConfig sc;
+  sc.num_updates = 3000;
+  auto w = GenerateSnb(sc);
+
+  // The overlap knob controls structural fragment reuse; measure it on what
+  // it directly shapes — the label sequences of the queries' covering paths.
+  auto distinct_label_paths = [&](double overlap) {
+    QueryGenConfig qc;
+    qc.num_queries = 150;
+    qc.overlap = overlap;
+    qc.seed = 5;
+    auto qs = GenerateQueries(w, qc);
+    std::unordered_set<std::string> sigs;
+    for (const auto& q : qs.queries) {
+      for (const auto& path : ExtractCoveringPaths(q)) {
+        std::string s;
+        for (uint32_t e : path.edges)
+          s += w.interner->Lookup(q.edge(e).label) + ">";
+        sigs.insert(std::move(s));
+      }
+    }
+    return sigs.size();
+  };
+  EXPECT_LT(distinct_label_paths(0.9), distinct_label_paths(0.0));
+}
+
+TEST_F(QueryGenTest, DeterministicForSeed) {
+  SnbConfig sc;
+  sc.num_updates = 2000;
+  auto w = GenerateSnb(sc);
+  QueryGenConfig qc;
+  qc.num_queries = 50;
+  auto a = GenerateQueries(w, qc);
+  auto b = GenerateQueries(w, qc);
+  ASSERT_EQ(a.queries.size(), b.queries.size());
+  for (size_t i = 0; i < a.queries.size(); ++i)
+    EXPECT_EQ(a.queries[i].ToString(*w.interner), b.queries[i].ToString(*w.interner));
+}
+
+TEST_F(QueryGenTest, AllQueriesValid) {
+  TaxiConfig tc;
+  tc.num_updates = 2000;
+  auto w = GenerateTaxi(tc);
+  QueryGenConfig qc;
+  qc.num_queries = 100;
+  auto qs = GenerateQueries(w, qc);
+  for (const auto& q : qs.queries) {
+    EXPECT_TRUE(q.IsValid());
+    EXPECT_GE(q.NumEdges(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace gstream
