@@ -93,6 +93,13 @@ int main(int argc, char** argv) {
     for (EngineKind kind : PaperEngineKinds()) {
       CellResult cell = RunCell(kind, queries, w.stream, opts.cell_budget_seconds);
       row.push_back(FormatMs(cell.ms_per_update, cell.partial));
+      BenchLine("fig12b")
+          .Add("engine", EngineKindName(kind))
+          .Add("sigma", sigma)
+          .Add("ms_per_update", cell.ms_per_update)
+          .Add("updates_per_sec", cell.UpdatesPerSec())
+          .Add("updates_applied", static_cast<uint64_t>(cell.updates_applied))
+          .Emit();
     }
     table.AddRow(std::move(row));
     std::printf("  sigma=%.0f%% done\n", sigma * 100);

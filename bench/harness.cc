@@ -59,7 +59,9 @@ GrowthSeries RunGrowthSeries(EngineKind kind,
     }
     const size_t processed = pos - seg_begin;
     if (processed > 0) {
-      series.segment_ms[seg] = seg_timer.ElapsedMillis() / processed;
+      const double seg_ms = seg_timer.ElapsedMillis();
+      series.answer_millis += seg_ms;
+      series.segment_ms[seg] = seg_ms / processed;
       series.partial[seg] = dead && pos < seg_end;
     }
   }
@@ -90,6 +92,33 @@ std::string FormatMs(double ms, bool partial) {
   std::string s = TextTable::Num(ms, 3);
   if (partial) s += "*";
   return s;
+}
+
+BenchLine::BenchLine(const std::string& bench) {
+  body_ = "{\"bench\":\"" + bench + "\"";
+}
+
+BenchLine& BenchLine::Add(const std::string& key, const std::string& value) {
+  body_ += ",\"" + key + "\":\"" + value + "\"";
+  return *this;
+}
+
+BenchLine& BenchLine::Add(const std::string& key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  body_ += ",\"" + key + "\":" + buf;
+  return *this;
+}
+
+BenchLine& BenchLine::Add(const std::string& key, uint64_t value) {
+  body_ += ",\"" + key + "\":" + std::to_string(value);
+  return *this;
+}
+
+void BenchLine::Emit() {
+  std::printf("BENCH_JSON %s}\n", body_.c_str());
+  std::fflush(stdout);
+  body_.clear();
 }
 
 std::vector<size_t> EvenCheckpoints(size_t total, size_t n) {
@@ -167,10 +196,17 @@ void RunGrowthFigure(const std::string& figure, const std::string& caption,
     std::fflush(stdout);
     GrowthSeries s =
         RunGrowthSeries(kind, qs.queries, w.stream, checkpoints, opts.budget_seconds);
-    std::printf(" %zu/%zu updates, %.1f MB, %llu new embeddings\n",
-                s.updates_applied, total_updates,
+    std::printf(" %zu/%zu updates, %.0f updates/s, %.1f MB, %llu new embeddings\n",
+                s.updates_applied, total_updates, s.UpdatesPerSec(),
                 static_cast<double>(s.memory_bytes) / (1024.0 * 1024.0),
                 static_cast<unsigned long long>(s.new_embeddings));
+    BenchLine(figure)
+        .Add("dataset", dataset)
+        .Add("engine", EngineKindName(kind))
+        .Add("updates_per_sec", s.UpdatesPerSec())
+        .Add("updates_applied", static_cast<uint64_t>(s.updates_applied))
+        .Add("memory_bytes", static_cast<uint64_t>(s.memory_bytes))
+        .Emit();
     all.push_back(std::move(s));
   }
   std::printf("\n");

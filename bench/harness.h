@@ -48,6 +48,12 @@ struct GrowthSeries {
   size_t memory_bytes = 0;
   size_t updates_applied = 0;
   uint64_t new_embeddings = 0;
+  double answer_millis = 0.0;          ///< Total answering wall clock.
+
+  /// Throughput counter: processed updates per second of answering time.
+  double UpdatesPerSec() const {
+    return answer_millis <= 0.0 ? 0.0 : updates_applied * 1000.0 / answer_millis;
+  }
 };
 
 /// Streams `stream` through a fresh engine of `kind` (after indexing
@@ -70,6 +76,11 @@ struct CellResult {
   uint64_t new_embeddings = 0;
   size_t queries_satisfied = 0;
   IndexStats index_stats;
+
+  /// Throughput counter: processed updates per second of answering time.
+  double UpdatesPerSec() const {
+    return ms_per_update <= 0.0 ? 0.0 : 1000.0 / ms_per_update;
+  }
 };
 
 CellResult RunCell(EngineKind kind, const std::vector<QueryPattern>& queries,
@@ -77,6 +88,21 @@ CellResult RunCell(EngineKind kind, const std::vector<QueryPattern>& queries,
 
 /// Formats a cell/segment value with the paper's timeout marker.
 std::string FormatMs(double ms, bool partial);
+
+/// Machine-readable result line for trajectory tracking: accumulates fields
+/// and emits one `BENCH_JSON {...}` line on stdout. tools/bench_smoke.sh and
+/// CI grep for these.
+class BenchLine {
+ public:
+  explicit BenchLine(const std::string& bench);
+  BenchLine& Add(const std::string& key, const std::string& value);  ///< Quoted.
+  BenchLine& Add(const std::string& key, double value);
+  BenchLine& Add(const std::string& key, uint64_t value);
+  void Emit();  ///< Prints and invalidates the line.
+
+ private:
+  std::string body_;
+};
 
 /// Evenly spaced checkpoints 1/n..n/n of `total`.
 std::vector<size_t> EvenCheckpoints(size_t total, size_t n);

@@ -1,0 +1,168 @@
+// Micro-benchmarks of the flat open-addressing containers against the
+// node-based std equivalents they replaced (the data-plane overhaul's
+// before/after at container granularity): build-table construction, probe
+// throughput, and Relation's row dedup.
+
+#include <benchmark/benchmark.h>
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/flat_map.h"
+#include "common/hash.h"
+#include "common/rng.h"
+#include "matview/relation.h"
+
+namespace {
+
+using namespace gstream;
+
+std::vector<VertexId> MakeKeys(size_t n, size_t universe, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<VertexId> keys(n);
+  for (auto& k : keys) k = static_cast<VertexId>(rng.Next(universe));
+  return keys;
+}
+
+void BM_FlatPostingMapBuild(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto keys = MakeKeys(n, n / 4 + 8, 1);
+  for (auto _ : state) {
+    FlatPostingMap map;
+    map.Reserve(n);
+    for (uint32_t i = 0; i < n; ++i) map.Add(keys[i], i);
+    benchmark::DoNotOptimize(map.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FlatPostingMapBuild)->Range(1 << 10, 1 << 16);
+
+void BM_StdUnorderedMapBuild(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto keys = MakeKeys(n, n / 4 + 8, 1);
+  for (auto _ : state) {
+    std::unordered_map<VertexId, std::vector<uint32_t>> map;
+    for (uint32_t i = 0; i < n; ++i) map[keys[i]].push_back(i);
+    benchmark::DoNotOptimize(map.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_StdUnorderedMapBuild)->Range(1 << 10, 1 << 16);
+
+void BM_FlatPostingMapProbe(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t universe = n / 4 + 8;
+  auto keys = MakeKeys(n, universe, 1);
+  FlatPostingMap map;
+  map.Reserve(n);
+  for (uint32_t i = 0; i < n; ++i) map.Add(keys[i], i);
+  auto probes = MakeKeys(n, universe * 2, 2);  // ~50% misses
+  for (auto _ : state) {
+    size_t hits = 0;
+    for (VertexId k : probes) hits += map.Probe(k).size();
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FlatPostingMapProbe)->Range(1 << 10, 1 << 16);
+
+void BM_StdUnorderedMapProbe(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t universe = n / 4 + 8;
+  auto keys = MakeKeys(n, universe, 1);
+  std::unordered_map<VertexId, std::vector<uint32_t>> map;
+  for (uint32_t i = 0; i < n; ++i) map[keys[i]].push_back(i);
+  auto probes = MakeKeys(n, universe * 2, 2);
+  for (auto _ : state) {
+    size_t hits = 0;
+    for (VertexId k : probes) {
+      auto it = map.find(k);
+      if (it != map.end()) hits += it->second.size();
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_StdUnorderedMapProbe)->Range(1 << 10, 1 << 16);
+
+void BM_RelationDedupAppend(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto a = MakeKeys(n, n / 2 + 8, 3);
+  auto b = MakeKeys(n, n / 2 + 8, 4);
+  for (auto _ : state) {
+    Relation rel(2);
+    rel.Reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      VertexId row[2] = {a[i], b[i]};
+      rel.Append(row);
+    }
+    benchmark::DoNotOptimize(rel.NumRows());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RelationDedupAppend)->Range(1 << 10, 1 << 16);
+
+void BM_StdSetDedupAppend(benchmark::State& state) {
+  // Reference shape of the seed's Relation: columnar data + node-based
+  // unordered_set of row indexes.
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto a = MakeKeys(n, n / 2 + 8, 3);
+  auto b = MakeKeys(n, n / 2 + 8, 4);
+  struct RowHash {
+    const std::vector<VertexId>* data;
+    size_t operator()(uint32_t idx) const { return HashIds(data->data() + idx * 2, 2); }
+  };
+  struct RowEq {
+    const std::vector<VertexId>* data;
+    bool operator()(uint32_t x, uint32_t y) const {
+      return (*data)[x * 2] == (*data)[y * 2] && (*data)[x * 2 + 1] == (*data)[y * 2 + 1];
+    }
+  };
+  for (auto _ : state) {
+    std::vector<VertexId> data;
+    std::unordered_set<uint32_t, RowHash, RowEq> set(16, RowHash{&data}, RowEq{&data});
+    uint32_t rows = 0;
+    for (size_t i = 0; i < n; ++i) {
+      data.push_back(a[i]);
+      data.push_back(b[i]);
+      if (set.insert(rows).second) {
+        ++rows;
+      } else {
+        data.resize(data.size() - 2);
+      }
+    }
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_StdSetDedupAppend)->Range(1 << 10, 1 << 16);
+
+void BM_FlatMapJoinCacheKey(benchmark::State& state) {
+  // JoinCache::Get key shape: (pointer, column).
+  using Key = std::pair<const void*, uint32_t>;
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      size_t seed = 0;
+      HashCombine(seed, reinterpret_cast<uintptr_t>(k.first));
+      HashCombine(seed, k.second);
+      return seed;
+    }
+  };
+  std::vector<Key> keys;
+  for (uintptr_t i = 0; i < 256; ++i)
+    keys.emplace_back(reinterpret_cast<const void*>(i * 64), i & 1);
+  FlatMap<Key, uint64_t, KeyHash> map;
+  for (const Key& k : keys) map.GetOrCreate(k) = 1;
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    for (const Key& k : keys) sum += *map.Find(k);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * keys.size());
+}
+BENCHMARK(BM_FlatMapJoinCacheKey);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -27,9 +27,9 @@ void InvertedIndexEngineBase::AddQuery(QueryId qid, const QueryPattern& q) {
     GenericEdgePattern p = q.Genericized(e);
     GetOrCreateBaseView(p);
     if (!distinct.insert(p).second) continue;
-    edge_ind_[p].push_back(qid);
-    source_ind_[p.src].push_back(p);
-    target_ind_[p.dst].push_back(p);
+    edge_ind_.GetOrCreate(p).push_back(qid);
+    source_ind_.GetOrCreate(p.src).push_back(p);
+    target_ind_.GetOrCreate(p.dst).push_back(p);
   }
   queries_.emplace(qid, std::move(entry));
 }
@@ -38,9 +38,9 @@ std::vector<QueryId> InvertedIndexEngineBase::AffectedQueries(
     const EdgeUpdate& u) const {
   std::vector<QueryId> qids;
   for (const auto& g : Generalizations(u)) {
-    auto it = edge_ind_.find(g);
-    if (it == edge_ind_.end()) continue;
-    qids.insert(qids.end(), it->second.begin(), it->second.end());
+    const std::vector<QueryId>* hits = edge_ind_.Find(g);
+    if (hits == nullptr) continue;
+    qids.insert(qids.end(), hits->begin(), hits->end());
   }
   std::sort(qids.begin(), qids.end());
   qids.erase(std::unique(qids.begin(), qids.end()), qids.end());
@@ -64,7 +64,7 @@ std::unique_ptr<Relation> InvertedIndexEngineBase::MaterializeFullPath(
   // Copy-start the chain so single-edge and multi-edge paths are handled
   // uniformly (the copy is the price of owning no per-path state).
   auto current = std::make_unique<Relation>(2);
-  for (size_t r = 0; r < first->NumRows(); ++r) current->Append(first->Row(r));
+  current->AppendAll(*first);
 
   for (size_t i = 1; i < sig.size(); ++i) {
     if (current->Empty()) return nullptr;
@@ -113,7 +113,7 @@ std::unique_ptr<Relation> InvertedIndexEngineBase::MaterializePathDelta(
       dead = cur->Empty();
     }
     if (dead || BudgetExceeded()) continue;
-    for (size_t r = 0; r < cur->NumRows(); ++r) delta->Append(cur->Row(r));
+    delta->AppendAll(*cur);
   }
   return delta;
 }
@@ -127,12 +127,17 @@ size_t InvertedIndexEngineBase::MemoryBytes() const {
     for (const auto& sig : entry.signatures)
       bytes += sig.capacity() * sizeof(GenericEdgePattern);
   }
-  for (const auto& [p, qids] : edge_ind_)
-    bytes += sizeof(p) + mem::OfVector(qids) + 2 * sizeof(void*);
-  for (const auto& [v, ps] : source_ind_)
-    bytes += sizeof(v) + ps.capacity() * sizeof(GenericEdgePattern) + 2 * sizeof(void*);
-  for (const auto& [v, ps] : target_ind_)
-    bytes += sizeof(v) + ps.capacity() * sizeof(GenericEdgePattern) + 2 * sizeof(void*);
+  bytes += edge_ind_.MemoryBytes() + source_ind_.MemoryBytes() +
+           target_ind_.MemoryBytes();
+  edge_ind_.ForEach([&](const GenericEdgePattern&, const std::vector<QueryId>& qids) {
+    bytes += qids.capacity() * sizeof(QueryId);
+  });
+  source_ind_.ForEach([&](VertexId, const std::vector<GenericEdgePattern>& ps) {
+    bytes += ps.capacity() * sizeof(GenericEdgePattern);
+  });
+  target_ind_.ForEach([&](VertexId, const std::vector<GenericEdgePattern>& ps) {
+    bytes += ps.capacity() * sizeof(GenericEdgePattern);
+  });
   return bytes;
 }
 

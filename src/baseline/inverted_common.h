@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "engine/view_engine_base.h"
 #include "matview/binding.h"
 #include "matview/join_cache.h"
@@ -62,14 +63,15 @@ class InvertedIndexEngineBase : public ViewEngineBase {
                                                  size_t& transient_bytes);
 
   std::unordered_map<QueryId, QueryEntry> queries_;
-  std::unordered_map<GenericEdgePattern, std::vector<QueryId>, GenericEdgePatternHash>
-      edge_ind_;
+  /// Probed with every generalization of every streamed update — flat
+  /// open-addressing postings (see flat_map.h).
+  FlatMap<GenericEdgePattern, std::vector<QueryId>, GenericEdgePatternHash> edge_ind_;
   /// Vertex term (literal id; kNoVertex = ?var) -> patterns with that source
   /// / target. Kept for the paper's path-exploration structure and memory
   /// accounting; path re-evaluation walks the stored covering paths, which
   /// visits the same edges the index navigation would.
-  std::unordered_map<VertexId, std::vector<GenericEdgePattern>> source_ind_;
-  std::unordered_map<VertexId, std::vector<GenericEdgePattern>> target_ind_;
+  FlatMap<VertexId, std::vector<GenericEdgePattern>, VertexIdHash> source_ind_;
+  FlatMap<VertexId, std::vector<GenericEdgePattern>, VertexIdHash> target_ind_;
 };
 
 /// Greedy extension order over query edges starting from `seed` (most-bound,

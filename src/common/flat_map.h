@@ -1,0 +1,438 @@
+#ifndef GSTREAM_COMMON_FLAT_MAP_H_
+#define GSTREAM_COMMON_FLAT_MAP_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/ids.h"
+
+namespace gstream {
+
+/// Flat open-addressing hash containers for the data plane.
+///
+/// Every engine in this system funnels through the same two index shapes: a
+/// `VertexId -> row ids` posting map (hash-join build tables, maintained
+/// indexes, inverted indexes) and a row-dedup set (`Relation`'s set
+/// semantics). The std containers used by the seed are node-based — one heap
+/// allocation per key and a pointer chase per probe — which dominates
+/// streaming-join cost (cf. Pacaci et al., "Evaluating Complex Queries on
+/// Streaming Graphs"). The containers here are power-of-two, linear-probing
+/// open-addressing tables with contiguous slot storage, sized so the hot
+/// probe touches one or two cache lines.
+///
+/// Shared conventions:
+///  * capacity is a power of two, probing is `(i + 1) & mask`;
+///  * growth at ~7/8 load factor keeps probe chains short;
+///  * no per-element erase (the data plane is append-only within a relation
+///    generation; retractions rebuild), so no tombstones are needed.
+
+namespace flat_internal {
+
+/// Smallest power-of-two capacity that holds `n` entries at ≤7/8 load.
+inline size_t RoundUpCapacity(size_t n) {
+  size_t cap = 16;
+  while (cap * 7 < n * 8) cap <<= 1;
+  return cap;
+}
+
+/// 0 marks an empty slot in the hash-keyed tables; real hashes are forced
+/// non-zero.
+inline uint64_t MangleHash(uint64_t h) { return h ? h : 0x9e3779b97f4a7c15ull; }
+
+}  // namespace flat_internal
+
+/// Non-owning view over a posting list (row ids, ascending insertion order).
+struct RowIdSpan {
+  const uint32_t* data = nullptr;
+  size_t count = 0;
+
+  size_t size() const { return count; }
+  bool empty() const { return count == 0; }
+  uint32_t operator[](size_t i) const { return data[i]; }
+  const uint32_t* begin() const { return data; }
+  const uint32_t* end() const { return data + count; }
+};
+
+/// Small-buffer-optimized posting list: the first two row ids live inline in
+/// the slot (most join keys in the paper's workloads have fanout 1-2), and
+/// only high-fanout keys spill to a heap block. Move-only.
+class PostingList {
+ public:
+  static constexpr uint32_t kInlineCap = 2;
+
+  PostingList() = default;
+  PostingList(const PostingList&) = delete;
+  PostingList& operator=(const PostingList&) = delete;
+  PostingList(PostingList&& o) noexcept : size_(o.size_), cap_(o.cap_) {
+    std::memcpy(&storage_, &o.storage_, sizeof(storage_));
+    o.size_ = 0;
+    o.cap_ = kInlineCap;
+  }
+  PostingList& operator=(PostingList&& o) noexcept {
+    if (this != &o) {
+      if (spilled()) delete[] storage_.heap;
+      size_ = o.size_;
+      cap_ = o.cap_;
+      std::memcpy(&storage_, &o.storage_, sizeof(storage_));
+      o.size_ = 0;
+      o.cap_ = kInlineCap;
+    }
+    return *this;
+  }
+  ~PostingList() {
+    if (spilled()) delete[] storage_.heap;
+  }
+
+  void Append(uint32_t v) {
+    if (size_ == cap_) Grow();
+    (spilled() ? storage_.heap : storage_.inline_ids)[size_++] = v;
+  }
+
+  RowIdSpan Span() const {
+    return {spilled() ? storage_.heap : storage_.inline_ids, size_};
+  }
+
+  uint32_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Heap bytes beyond the inline slot.
+  size_t HeapBytes() const { return spilled() ? cap_ * sizeof(uint32_t) : 0; }
+
+ private:
+  bool spilled() const { return cap_ > kInlineCap; }
+
+  void Grow() {
+    const uint32_t new_cap = cap_ < 8 ? 8 : cap_ * 2;
+    uint32_t* heap = new uint32_t[new_cap];
+    std::memcpy(heap, spilled() ? storage_.heap : storage_.inline_ids,
+                size_ * sizeof(uint32_t));
+    if (spilled()) delete[] storage_.heap;
+    storage_.heap = heap;
+    cap_ = new_cap;
+  }
+
+  uint32_t size_ = 0;
+  uint32_t cap_ = kInlineCap;
+  union Storage {
+    uint32_t inline_ids[kInlineCap];
+    uint32_t* heap;
+  } storage_ = {};
+};
+
+/// Open-addressing map `VertexId -> PostingList`, the hash-join build table
+/// and maintained-index shape. Keys may be any VertexId including the
+/// `kNoVertex` sentinel (stored out of band).
+class FlatPostingMap {
+ public:
+  FlatPostingMap() = default;
+  FlatPostingMap(FlatPostingMap&&) noexcept = default;
+  FlatPostingMap& operator=(FlatPostingMap&&) noexcept = default;
+
+  /// Pre-sizes for `n` distinct keys.
+  void Reserve(size_t n) {
+    const size_t cap = flat_internal::RoundUpCapacity(n);
+    if (cap > Capacity()) Rehash(cap);
+  }
+
+  void Add(VertexId key, uint32_t row) { GetOrCreate(key).Append(row); }
+
+  PostingList& GetOrCreate(VertexId key) {
+    if (key == kEmptyKey) {
+      if (!has_sentinel_) {
+        has_sentinel_ = true;
+        ++num_keys_;
+      }
+      return sentinel_list_;
+    }
+    if (Capacity() == 0 || (num_keys_ + 1) * 8 > Capacity() * 7)
+      Rehash(Capacity() == 0 ? 16 : Capacity() * 2);
+    size_t i = Bucket(key, mask_);
+    while (keys_[i] != kEmptyKey) {
+      if (keys_[i] == key) return lists_[i];
+      i = (i + 1) & mask_;
+    }
+    keys_[i] = key;
+    ++num_keys_;
+    return lists_[i];
+  }
+
+  RowIdSpan Probe(VertexId key) const {
+    if (key == kEmptyKey) return has_sentinel_ ? sentinel_list_.Span() : RowIdSpan{};
+    if (num_keys_ == 0 || keys_.empty()) return {};
+    size_t i = Bucket(key, mask_);
+    while (keys_[i] != kEmptyKey) {
+      if (keys_[i] == key) return lists_[i].Span();
+      i = (i + 1) & mask_;
+    }
+    return {};
+  }
+
+  /// Number of distinct keys.
+  size_t size() const { return num_keys_; }
+  bool empty() const { return num_keys_ == 0; }
+
+  void Clear() {
+    keys_.clear();
+    lists_.clear();
+    num_keys_ = 0;
+    mask_ = 0;
+    has_sentinel_ = false;
+    sentinel_list_ = PostingList();
+  }
+
+  /// `fn(VertexId, RowIdSpan)` over every key, table order.
+  template <typename Fn>
+  void ForEach(Fn fn) const {
+    for (size_t i = 0; i < keys_.size(); ++i)
+      if (keys_[i] != kEmptyKey) fn(keys_[i], lists_[i].Span());
+    if (has_sentinel_) fn(kEmptyKey, sentinel_list_.Span());
+  }
+
+  size_t MemoryBytes() const {
+    size_t bytes = sizeof(*this) + keys_.capacity() * sizeof(VertexId) +
+                   lists_.capacity() * sizeof(PostingList) + sentinel_list_.HeapBytes();
+    for (const auto& l : lists_) bytes += l.HeapBytes();
+    return bytes;
+  }
+
+ private:
+  static constexpr VertexId kEmptyKey = kNoVertex;
+
+  /// Fibonacci multiplicative bucket: one 64-bit multiply, no dependency
+  /// chain — the probe hot path is a multiply, a shift, and one cache-line
+  /// read. Bits 32.. of the product are well mixed for power-of-two masks.
+  static size_t Bucket(VertexId key, size_t mask) {
+    return static_cast<size_t>(
+               (static_cast<uint64_t>(key) * 0x9e3779b97f4a7c15ull) >> 32) &
+           mask;
+  }
+
+  size_t Capacity() const { return keys_.size(); }
+
+  void Rehash(size_t new_cap) {
+    std::vector<VertexId> old_keys = std::move(keys_);
+    std::vector<PostingList> old_lists = std::move(lists_);
+    keys_.assign(new_cap, kEmptyKey);
+    lists_.clear();
+    lists_.resize(new_cap);
+    mask_ = new_cap - 1;
+    for (size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] == kEmptyKey) continue;
+      size_t j = Bucket(old_keys[i], mask_);
+      while (keys_[j] != kEmptyKey) j = (j + 1) & mask_;
+      keys_[j] = old_keys[i];
+      lists_[j] = std::move(old_lists[i]);
+    }
+  }
+
+  std::vector<VertexId> keys_;      ///< kEmptyKey marks an empty slot.
+  std::vector<PostingList> lists_;  ///< Parallel to keys_.
+  size_t num_keys_ = 0;
+  size_t mask_ = 0;
+  bool has_sentinel_ = false;
+  PostingList sentinel_list_;  ///< Postings for the kNoVertex key itself.
+};
+
+/// Open-addressing row-dedup set for `Relation`: stores (hash, row index)
+/// pairs; the caller supplies row equality (the rows live in the relation's
+/// own columnar buffer). ~12 bytes per row vs. the ~56 of a node-based
+/// unordered_set entry, and insertion is allocation-free until growth.
+class FlatRowSet {
+ public:
+  void Reserve(size_t n) {
+    const size_t cap = flat_internal::RoundUpCapacity(n);
+    if (cap > hashes_.size()) Rehash(cap);
+  }
+
+  /// Inserts row `idx` with precomputed `hash` unless an equal row exists;
+  /// `eq(existing_idx)` decides equality. Returns true when inserted.
+  template <typename EqFn>
+  bool Insert(uint64_t hash, uint32_t idx, EqFn eq) {
+    if (hashes_.empty() || (size_ + 1) * 8 > hashes_.size() * 7)
+      Rehash(hashes_.empty() ? 16 : hashes_.size() * 2);
+    const uint64_t h = flat_internal::MangleHash(hash);
+    size_t i = h & mask_;
+    while (hashes_[i] != 0) {
+      if (hashes_[i] == h && eq(rows_[i])) return false;
+      i = (i + 1) & mask_;
+    }
+    hashes_[i] = h;
+    rows_[i] = idx;
+    ++size_;
+    return true;
+  }
+
+  size_t size() const { return size_; }
+
+  void Clear() {
+    std::fill(hashes_.begin(), hashes_.end(), 0);
+    size_ = 0;
+  }
+
+  size_t MemoryBytes() const {
+    return sizeof(*this) + hashes_.capacity() * sizeof(uint64_t) +
+           rows_.capacity() * sizeof(uint32_t);
+  }
+
+ private:
+  void Rehash(size_t new_cap) {
+    std::vector<uint64_t> old_hashes = std::move(hashes_);
+    std::vector<uint32_t> old_rows = std::move(rows_);
+    hashes_.assign(new_cap, 0);
+    rows_.assign(new_cap, 0);
+    mask_ = new_cap - 1;
+    for (size_t i = 0; i < old_hashes.size(); ++i) {
+      if (old_hashes[i] == 0) continue;
+      size_t j = old_hashes[i] & mask_;
+      while (hashes_[j] != 0) j = (j + 1) & mask_;
+      hashes_[j] = old_hashes[i];
+      rows_[j] = old_rows[i];
+    }
+  }
+
+  std::vector<uint64_t> hashes_;  ///< Mangled hash; 0 = empty.
+  std::vector<uint32_t> rows_;    ///< Parallel: row index in the relation.
+  size_t size_ = 0;
+  size_t mask_ = 0;
+};
+
+/// Generic open-addressing map for the colder index shapes (JoinCache keys,
+/// trie rootInd / node index, the baselines' inverted indexes). Keys must be
+/// copyable and equality-comparable; values move on rehash, so stable-address
+/// values belong behind unique_ptr. No per-element erase.
+///
+/// Pointer stability: unlike the node-based std maps this replaces, pointers
+/// returned by Find/GetOrCreate are into slot storage and are invalidated by
+/// the next insertion (rehash moves every slot). Copy out what you need
+/// before mutating the map.
+template <typename K, typename V, typename Hash, typename Eq = std::equal_to<K>>
+class FlatMap {
+ public:
+  V& GetOrCreate(const K& key) {
+    if (slots_.empty() || (size_ + 1) * 8 > slots_.size() * 7)
+      Rehash(slots_.empty() ? 16 : slots_.size() * 2);
+    const uint64_t h = flat_internal::MangleHash(Hash{}(key));
+    size_t i = h & mask_;
+    while (slots_[i].hash != 0) {
+      if (slots_[i].hash == h && Eq{}(slots_[i].key, key)) return slots_[i].value;
+      i = (i + 1) & mask_;
+    }
+    slots_[i].hash = h;
+    slots_[i].key = key;
+    ++size_;
+    return slots_[i].value;
+  }
+
+  V* Find(const K& key) {
+    return const_cast<V*>(static_cast<const FlatMap*>(this)->Find(key));
+  }
+  const V* Find(const K& key) const {
+    if (size_ == 0) return nullptr;
+    const uint64_t h = flat_internal::MangleHash(Hash{}(key));
+    size_t i = h & mask_;
+    while (slots_[i].hash != 0) {
+      if (slots_[i].hash == h && Eq{}(slots_[i].key, key)) return &slots_[i].value;
+      i = (i + 1) & mask_;
+    }
+    return nullptr;
+  }
+
+  bool Contains(const K& key) const { return Find(key) != nullptr; }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void Reserve(size_t n) {
+    const size_t cap = flat_internal::RoundUpCapacity(n);
+    if (cap > slots_.size()) Rehash(cap);
+  }
+
+  void Clear() {
+    slots_.clear();
+    size_ = 0;
+    mask_ = 0;
+  }
+
+  /// `fn(const K&, const V&)` / `fn(const K&, V&)` over every entry.
+  template <typename Fn>
+  void ForEach(Fn fn) const {
+    for (const Slot& s : slots_)
+      if (s.hash != 0) fn(s.key, s.value);
+  }
+  template <typename Fn>
+  void ForEachMutable(Fn fn) {
+    for (Slot& s : slots_)
+      if (s.hash != 0) fn(s.key, s.value);
+  }
+
+  /// Slot-array bytes only; value-owned heap is the caller's to account.
+  size_t MemoryBytes() const {
+    return sizeof(*this) + slots_.capacity() * sizeof(Slot);
+  }
+
+ private:
+  struct Slot {
+    uint64_t hash = 0;  ///< 0 = empty.
+    K key{};
+    V value{};
+  };
+
+  void Rehash(size_t new_cap) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.clear();
+    slots_.resize(new_cap);
+    mask_ = new_cap - 1;
+    for (Slot& s : old) {
+      if (s.hash == 0) continue;
+      size_t j = s.hash & mask_;
+      while (slots_[j].hash != 0) j = (j + 1) & mask_;
+      slots_[j] = std::move(s);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t size_ = 0;
+  size_t mask_ = 0;
+};
+
+/// Hash functor for VertexId keys in FlatMap.
+struct VertexIdHash {
+  size_t operator()(VertexId v) const { return Mix64(v); }
+};
+
+/// Stack-first row scratch for the join kernels: join outputs are path rows
+/// (arity = path length + 2, almost always tiny), so a per-call heap
+/// std::vector is pure overhead. Falls back to the heap above kInline ids.
+class RowScratch {
+ public:
+  explicit RowScratch(size_t n) {
+    if (n <= kInline) {
+      data_ = buf_;
+    } else {
+      heap_ = std::make_unique<VertexId[]>(n);
+      data_ = heap_.get();
+    }
+  }
+  RowScratch(const RowScratch&) = delete;
+  RowScratch& operator=(const RowScratch&) = delete;
+
+  VertexId* data() { return data_; }
+  VertexId& operator[](size_t i) { return data_[i]; }
+
+ private:
+  static constexpr size_t kInline = 16;
+  VertexId* data_;
+  VertexId buf_[kInline];
+  std::unique_ptr<VertexId[]> heap_;
+};
+
+}  // namespace gstream
+
+#endif  // GSTREAM_COMMON_FLAT_MAP_H_

@@ -4,10 +4,6 @@
 
 namespace gstream {
 
-namespace {
-const std::vector<uint32_t> kNoRows;
-}  // namespace
-
 HashIndex::HashIndex(const Relation* rel, uint32_t col) : rel_(rel), col_(col) {
   GS_CHECK(col < rel->arity());
   CatchUp();
@@ -15,27 +11,22 @@ HashIndex::HashIndex(const Relation* rel, uint32_t col) : rel_(rel), col_(col) {
 
 void HashIndex::CatchUp() {
   if (generation_ != rel_->generation()) {
-    map_.clear();
+    map_.Clear();
     indexed_ = 0;
     generation_ = rel_->generation();
   }
   const size_t n = rel_->NumRows();
+  if (indexed_ == n) return;
+  // No pre-reserve: n counts rows, not distinct keys, and a fanout-f column
+  // would permanently hold an f-times-oversized table (the capacity feeds
+  // the fig13c memory accounting). Growth doubling keeps the build O(n).
   for (size_t i = indexed_; i < n; ++i)
-    map_[rel_->At(i, col_)].push_back(static_cast<uint32_t>(i));
+    map_.Add(rel_->At(i, col_), static_cast<uint32_t>(i));
   indexed_ = n;
 }
 
-const std::vector<uint32_t>& HashIndex::Probe(VertexId key) const {
-  auto it = map_.find(key);
-  return it == map_.end() ? kNoRows : it->second;
-}
-
 size_t HashIndex::MemoryBytes() const {
-  size_t bytes = sizeof(*this) + map_.bucket_count() * sizeof(void*);
-  for (const auto& [k, rows] : map_)
-    bytes += sizeof(k) + sizeof(rows) + rows.capacity() * sizeof(uint32_t) +
-             2 * sizeof(void*);
-  return bytes;
+  return sizeof(*this) + map_.MemoryBytes();
 }
 
 }  // namespace gstream

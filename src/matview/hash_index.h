@@ -2,9 +2,8 @@
 #define GSTREAM_MATVIEW_HASH_INDEX_H_
 
 #include <cstdint>
-#include <unordered_map>
-#include <vector>
 
+#include "common/flat_map.h"
 #include "common/ids.h"
 #include "matview/relation.h"
 
@@ -16,6 +15,10 @@ namespace gstream {
 /// variants keep them in a `JoinCache` and maintain them incrementally
 /// (`CatchUp()` indexes only rows appended since the last call — relations
 /// are insert-only, so this is sound).
+///
+/// Postings live in a flat open-addressing map with small-buffer posting
+/// lists (see flat_map.h); `Probe` returns a non-owning span whose row ids
+/// are in ascending order (rows are indexed in append order).
 class HashIndex {
  public:
   HashIndex(const Relation* rel, uint32_t col);
@@ -26,8 +29,9 @@ class HashIndex {
   /// a generation.
   void CatchUp();
 
-  /// Row indexes whose `col` equals `key` (among indexed rows).
-  const std::vector<uint32_t>& Probe(VertexId key) const;
+  /// Row indexes whose `col` equals `key` (among indexed rows), ascending.
+  /// The span is invalidated by the next CatchUp.
+  RowIdSpan Probe(VertexId key) const { return map_.Probe(key); }
 
   const Relation* relation() const { return rel_; }
   uint32_t column() const { return col_; }
@@ -41,7 +45,7 @@ class HashIndex {
   uint32_t col_;
   size_t indexed_ = 0;
   uint64_t generation_ = 0;
-  std::unordered_map<VertexId, std::vector<uint32_t>> map_;
+  FlatPostingMap map_;
 };
 
 }  // namespace gstream

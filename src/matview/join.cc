@@ -1,7 +1,8 @@
 #include "matview/join.h"
 
-#include <unordered_map>
+#include <algorithm>
 
+#include "common/flat_map.h"
 #include "common/logging.h"
 
 namespace gstream {
@@ -9,13 +10,19 @@ namespace gstream {
 namespace {
 
 /// Transient build-phase table: key column value -> row indexes in range.
-std::unordered_map<VertexId, std::vector<uint32_t>> BuildTransient(RowRange range,
-                                                                   uint32_t col) {
-  std::unordered_map<VertexId, std::vector<uint32_t>> table;
+/// Flat open-addressing postings, pre-sized from the build range so the
+/// build loop is allocation-free apart from high-fanout spills.
+FlatPostingMap BuildTransient(RowRange range, uint32_t col) {
+  FlatPostingMap table;
+  table.Reserve(range.size());
   for (size_t i = range.begin; i < range.end; ++i)
-    table[range.rel->At(i, col)].push_back(static_cast<uint32_t>(i));
+    table.Add(range.rel->At(i, col), static_cast<uint32_t>(i));
   return table;
 }
+
+/// Below this delta width, scanning the window beats probing an index and
+/// filtering its postings to the window (single-update deltas are width 1).
+constexpr size_t kSmallDeltaScan = 4;
 
 }  // namespace
 
@@ -25,14 +32,16 @@ void ExtendRight(RowRange prefix, const Relation& base, const HashIndex* base_sr
   const uint32_t p_arity = prefix.rel->arity();
   GS_DCHECK(out.arity() == p_arity + 1);
   GS_DCHECK(base.arity() == 2);
-  std::vector<VertexId> row(p_arity + 1);
+  RowScratch row(p_arity + 1);
 
   if (base_src_index != nullptr) {
     // Cached path: probe the maintained index per prefix row.
     for (size_t i = prefix.begin; i < prefix.end; ++i) {
       const VertexId* pr = prefix.rel->Row(i);
-      for (uint32_t b : base_src_index->Probe(pr[p_arity - 1])) {
-        std::copy(pr, pr + p_arity, row.begin());
+      RowIdSpan hits = base_src_index->Probe(pr[p_arity - 1]);
+      if (hits.empty()) continue;
+      std::copy(pr, pr + p_arity, row.data());
+      for (uint32_t b : hits) {
         row[p_arity] = base.At(b, 1);
         out.Append(row.data());
       }
@@ -42,14 +51,15 @@ void ExtendRight(RowRange prefix, const Relation& base, const HashIndex* base_sr
 
   // Build-and-discard path (paper: hash join, build on the smaller table —
   // the delta — probe by scanning the larger base view).
-  auto table = BuildTransient(prefix, p_arity - 1);
+  FlatPostingMap table = BuildTransient(prefix, p_arity - 1);
   for (size_t b = 0; b < base.NumRows(); ++b) {
-    auto it = table.find(base.At(b, 0));
-    if (it == table.end()) continue;
-    for (uint32_t i : it->second) {
+    RowIdSpan hits = table.Probe(base.At(b, 0));
+    if (hits.empty()) continue;
+    const VertexId tail = base.At(b, 1);
+    for (uint32_t i : hits) {
       const VertexId* pr = prefix.rel->Row(i);
-      std::copy(pr, pr + p_arity, row.begin());
-      row[p_arity] = base.At(b, 1);
+      std::copy(pr, pr + p_arity, row.data());
+      row[p_arity] = tail;
       out.Append(row.data());
     }
   }
@@ -60,18 +70,25 @@ void ExtendRightSingle(RowRange prefix, VertexId src, VertexId dst,
   if (prefix.empty()) return;
   const uint32_t p_arity = prefix.rel->arity();
   GS_DCHECK(out.arity() == p_arity + 1);
-  std::vector<VertexId> row(p_arity + 1);
+  RowScratch row(p_arity + 1);
 
   auto emit = [&](size_t i) {
     const VertexId* pr = prefix.rel->Row(i);
-    std::copy(pr, pr + p_arity, row.begin());
+    std::copy(pr, pr + p_arity, row.data());
     row[p_arity] = dst;
     out.Append(row.data());
   };
 
-  if (prefix_last_index != nullptr) {
-    for (uint32_t i : prefix_last_index->Probe(src))
-      if (i >= prefix.begin && i < prefix.end) emit(i);
+  // Narrow windows (single-update deltas) are cheaper to scan than to probe:
+  // the cached path must never do more work than the scan path there.
+  if (prefix_last_index != nullptr && prefix.size() > kSmallDeltaScan) {
+    RowIdSpan hits = prefix_last_index->Probe(src);
+    // Postings are ascending row ids; binary-search the window instead of
+    // filtering every hit through [begin, end).
+    const uint32_t* lo =
+        std::lower_bound(hits.begin(), hits.end(), static_cast<uint32_t>(prefix.begin));
+    for (const uint32_t* it = lo; it != hits.end() && *it < prefix.end; ++it)
+      emit(*it);
     return;
   }
   for (size_t i = prefix.begin; i < prefix.end; ++i)
@@ -84,12 +101,12 @@ void ExtendLeft(RowRange suffix, const Relation& base, const HashIndex* base_dst
   const uint32_t s_arity = suffix.rel->arity();
   GS_DCHECK(out.arity() == s_arity + 1);
   GS_DCHECK(base.arity() == 2);
-  std::vector<VertexId> row(s_arity + 1);
+  RowScratch row(s_arity + 1);
 
   auto emit = [&](size_t s, size_t b) {
     row[0] = base.At(b, 0);
     const VertexId* sr = suffix.rel->Row(s);
-    std::copy(sr, sr + s_arity, row.begin() + 1);
+    std::copy(sr, sr + s_arity, row.data() + 1);
     out.Append(row.data());
   };
 
@@ -98,11 +115,10 @@ void ExtendLeft(RowRange suffix, const Relation& base, const HashIndex* base_dst
       for (uint32_t b : base_dst_index->Probe(suffix.rel->At(s, 0))) emit(s, b);
     return;
   }
-  auto table = BuildTransient(suffix, 0);
+  FlatPostingMap table = BuildTransient(suffix, 0);
   for (size_t b = 0; b < base.NumRows(); ++b) {
-    auto it = table.find(base.At(b, 1));
-    if (it == table.end()) continue;
-    for (uint32_t s : it->second) emit(s, b);
+    RowIdSpan hits = table.Probe(base.At(b, 1));
+    for (uint32_t s : hits) emit(s, b);
   }
 }
 
@@ -113,7 +129,7 @@ void JoinConcat(RowRange a, RowRange b,
   const uint32_t a_arity = a.rel->arity();
   const uint32_t b_arity = b.rel->arity();
   GS_DCHECK(out.arity() == a_arity + b_arity);
-  std::vector<VertexId> row(a_arity + b_arity);
+  RowScratch row(a_arity + b_arity);
 
   auto matches = [&](size_t ia, size_t ib) {
     for (const auto& [ca, cb] : keys)
@@ -123,34 +139,42 @@ void JoinConcat(RowRange a, RowRange b,
   auto emit = [&](size_t ia, size_t ib) {
     const VertexId* ra = a.rel->Row(ia);
     const VertexId* rb = b.rel->Row(ib);
-    std::copy(ra, ra + a_arity, row.begin());
-    std::copy(rb, rb + b_arity, row.begin() + a_arity);
+    std::copy(ra, ra + a_arity, row.data());
+    std::copy(rb, rb + b_arity, row.data() + a_arity);
     out.Append(row.data());
   };
 
   if (keys.empty()) {  // cross product
+    out.Reserve(out.NumRows() + a.size() * b.size());
     for (size_t ia = a.begin; ia < a.end; ++ia)
       for (size_t ib = b.begin; ib < b.end; ++ib) emit(ia, ib);
     return;
   }
 
+  // An equi-join emits at most one row per matching pair; seed the output
+  // with room for the smaller side. The reserve must stay conservative:
+  // Relation::MemoryBytes() is capacity-based and feeds the paper's
+  // transient-memory accounting, so over-reserving a selective join would
+  // report phantom bytes.
+  out.Reserve(out.NumRows() + std::min(a.size(), b.size()));
+
   if (b_first_key_index != nullptr) {
     GS_DCHECK(b_first_key_index->column() == keys[0].second);
     for (size_t ia = a.begin; ia < a.end; ++ia) {
-      for (uint32_t ib : b_first_key_index->Probe(a.rel->At(ia, keys[0].first))) {
-        if (ib < b.begin || ib >= b.end) continue;
-        if (matches(ia, ib)) emit(ia, ib);
-      }
+      RowIdSpan hits = b_first_key_index->Probe(a.rel->At(ia, keys[0].first));
+      const uint32_t* lo =
+          std::lower_bound(hits.begin(), hits.end(), static_cast<uint32_t>(b.begin));
+      for (const uint32_t* it = lo; it != hits.end() && *it < b.end; ++it)
+        if (matches(ia, *it)) emit(ia, *it);
     }
     return;
   }
 
   // Build on b's first key column, probe with a.
-  auto table = BuildTransient(b, keys[0].second);
+  FlatPostingMap table = BuildTransient(b, keys[0].second);
   for (size_t ia = a.begin; ia < a.end; ++ia) {
-    auto it = table.find(a.rel->At(ia, keys[0].first));
-    if (it == table.end()) continue;
-    for (uint32_t ib : it->second)
+    RowIdSpan hits = table.Probe(a.rel->At(ia, keys[0].first));
+    for (uint32_t ib : hits)
       if (matches(ia, ib)) emit(ia, ib);
   }
 }

@@ -3,19 +3,20 @@
 namespace gstream {
 
 HashIndex* JoinCache::Get(const Relation* rel, uint32_t col) {
-  auto key = Key{rel, col};
-  auto it = cache_.find(key);
-  if (it == cache_.end()) {
-    it = cache_.emplace(key, std::make_unique<HashIndex>(rel, col)).first;
+  std::unique_ptr<HashIndex>& slot = cache_.GetOrCreate(Key{rel, col});
+  if (slot == nullptr) {
+    slot = std::make_unique<HashIndex>(rel, col);
   } else {
-    it->second->CatchUp();
+    slot->CatchUp();
   }
-  return it->second.get();
+  return slot.get();
 }
 
 size_t JoinCache::MemoryBytes() const {
-  size_t bytes = sizeof(*this);
-  for (const auto& [key, index] : cache_) bytes += sizeof(key) + index->MemoryBytes();
+  size_t bytes = sizeof(*this) + cache_.MemoryBytes();
+  cache_.ForEach([&](const Key&, const std::unique_ptr<HashIndex>& index) {
+    bytes += index->MemoryBytes();
+  });
   return bytes;
 }
 

@@ -3,9 +3,9 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <utility>
 
+#include "common/flat_map.h"
 #include "common/hash.h"
 #include "matview/hash_index.h"
 
@@ -15,7 +15,8 @@ namespace gstream {
 /// tables built during each join, keep them keyed by (relation, column) and
 /// maintain them incrementally as the underlying views grow. TRIC+, INV+ and
 /// INC+ own one JoinCache; the base algorithms pass null indexes and rebuild
-/// per join.
+/// per join. The cache itself is a flat open-addressing map — `Get` sits on
+/// the per-update hot path of every "+" engine.
 class JoinCache {
  public:
   /// Returns a maintained index over `rel` column `col`, creating it on first
@@ -27,7 +28,7 @@ class JoinCache {
   /// Approximate heap footprint of all cached indexes.
   size_t MemoryBytes() const;
 
-  void Clear() { cache_.clear(); }
+  void Clear() { cache_.Clear(); }
 
  private:
   using Key = std::pair<const Relation*, uint32_t>;
@@ -39,7 +40,7 @@ class JoinCache {
       return seed;
     }
   };
-  std::unordered_map<Key, std::unique_ptr<HashIndex>, KeyHash> cache_;
+  FlatMap<Key, std::unique_ptr<HashIndex>, KeyHash> cache_;
 };
 
 }  // namespace gstream

@@ -1,37 +1,41 @@
 #include "matview/relation.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace gstream {
 
-Relation::Relation(uint32_t arity)
-    : arity_(arity), row_set_(16, RowHash{this}, RowEq{this}) {
+Relation::Relation(uint32_t arity) : arity_(arity) {
   GS_CHECK_MSG(arity > 0, "relation arity must be positive");
 }
 
 Relation::Relation(Relation&& other) noexcept
     : arity_(other.arity_),
       num_rows_(other.num_rows_),
+      generation_(other.generation_),
       data_(std::move(other.data_)),
-      row_set_(16, RowHash{this}, RowEq{this}) {
-  // The dedup functors capture `this`, so the set is rebuilt rather than
-  // moved. Row indexes are preserved by construction.
-  row_set_.reserve(num_rows_);
-  for (uint32_t i = 0; i < num_rows_; ++i) row_set_.insert(i);
+      row_set_(std::move(other.row_set_)) {
+  // The dedup set stores hashes + row indexes only (nothing address-bound),
+  // so it moves wholesale with the data buffer.
   other.num_rows_ = 0;
-  other.row_set_.clear();
+  other.row_set_ = FlatRowSet();
 }
 
 bool Relation::Append(const VertexId* row) {
-  // Tentatively append, then insert the index into the dedup set; roll back
-  // on duplicates. This avoids hashing rows that are not yet stored.
-  data_.insert(data_.end(), row, row + arity_);
-  uint32_t idx = static_cast<uint32_t>(num_rows_);
-  auto [it, inserted] = row_set_.insert(idx);
-  (void)it;
-  if (!inserted) {
-    data_.resize(data_.size() - arity_);
-    return false;
+  const uint64_t hash = HashIds(row, arity_);
+  const bool inserted =
+      row_set_.Insert(hash, static_cast<uint32_t>(num_rows_),
+                      [&](uint32_t existing) { return RowEquals(Row(existing), row); });
+  if (!inserted) return false;
+  if (data_.size() + arity_ > data_.capacity() && row >= data_.data() &&
+      row < data_.data() + data_.size()) {
+    // Self-append would dangle across the growth realloc; stage a copy.
+    RowScratch copy(arity_);
+    std::copy(row, row + arity_, copy.data());
+    data_.insert(data_.end(), copy.data(), copy.data() + arity_);
+  } else {
+    data_.insert(data_.end(), row, row + arity_);
   }
   ++num_rows_;
   return true;
@@ -40,6 +44,30 @@ bool Relation::Append(const VertexId* row) {
 bool Relation::Append(const std::vector<VertexId>& row) {
   GS_DCHECK(row.size() == arity_);
   return Append(row.data());
+}
+
+void Relation::Reserve(size_t rows) {
+  data_.reserve(rows * arity_);
+  row_set_.Reserve(rows);
+}
+
+size_t Relation::AppendAll(const Relation& other) {
+  GS_DCHECK(other.arity_ == arity_);
+  Reserve(num_rows_ + other.num_rows_);
+  size_t inserted = 0;
+  for (size_t i = 0; i < other.num_rows_; ++i)
+    if (Append(other.Row(i))) ++inserted;
+  return inserted;
+}
+
+void Relation::RebuildSet() {
+  row_set_.Clear();
+  row_set_.Reserve(num_rows_);
+  for (uint32_t i = 0; i < num_rows_; ++i) {
+    const VertexId* row = Row(i);
+    row_set_.Insert(HashIds(row, arity_), i,
+                    [&](uint32_t existing) { return RowEquals(Row(existing), row); });
+  }
 }
 
 size_t Relation::RemoveRowsWhere(const std::function<bool(const VertexId*)>& pred) {
@@ -56,8 +84,7 @@ size_t Relation::RemoveRowsWhere(const std::function<bool(const VertexId*)>& pre
   data_.resize(kept * arity_);
   num_rows_ = kept;
   ++generation_;
-  row_set_.clear();
-  for (uint32_t i = 0; i < num_rows_; ++i) row_set_.insert(i);
+  RebuildSet();
   return removed;
 }
 
@@ -65,14 +92,13 @@ void Relation::Clear() {
   if (num_rows_ == 0) return;
   data_.clear();
   num_rows_ = 0;
-  row_set_.clear();
+  row_set_.Clear();
   ++generation_;
 }
 
 size_t Relation::MemoryBytes() const {
   return sizeof(*this) + data_.capacity() * sizeof(VertexId) +
-         row_set_.size() * (sizeof(uint32_t) + 2 * sizeof(void*)) +
-         row_set_.bucket_count() * sizeof(void*);
+         row_set_.MemoryBytes();
 }
 
 }  // namespace gstream

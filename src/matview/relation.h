@@ -3,9 +3,9 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_set>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/hash.h"
 #include "common/ids.h"
 
@@ -20,10 +20,13 @@ namespace gstream {
 /// attempted; only the first lands). Insert-only lets `NumRows()` double as a
 /// monotone version for incremental hash-index maintenance.
 ///
-/// Not copyable. Move-constructible (the internal dedup set is rebuilt
-/// against the new address), but note that hash indexes hold stable pointers
-/// to a relation — anything indexed must stay put; own such relations via
-/// std::unique_ptr.
+/// Storage is columnar-flat: one contiguous id buffer plus a flat
+/// open-addressing dedup set (hash + row index, no per-row nodes), so appends
+/// are allocation-free between capacity doublings.
+///
+/// Not copyable. Move-constructible, but note that hash indexes hold stable
+/// pointers to a relation — anything indexed must stay put; own such
+/// relations via std::unique_ptr.
 class Relation {
  public:
   explicit Relation(uint32_t arity);
@@ -36,6 +39,13 @@ class Relation {
   /// Returns true when the row was inserted.
   bool Append(const VertexId* row);
   bool Append(const std::vector<VertexId>& row);
+
+  /// Pre-sizes storage for `rows` total rows (data buffer + dedup set).
+  void Reserve(size_t rows);
+
+  /// Appends every row of `other` (arities must match). Returns the number
+  /// of rows actually inserted.
+  size_t AppendAll(const Relation& other);
 
   /// Retraction support (paper §4.3: edge deletions remove the affected
   /// tuples from the materialized views). Removes every row for which
@@ -66,28 +76,20 @@ class Relation {
   size_t MemoryBytes() const;
 
  private:
-  struct RowHash {
-    const Relation* rel;
-    size_t operator()(uint32_t idx) const {
-      return HashIds(rel->Row(idx), rel->arity_);
-    }
-  };
-  struct RowEq {
-    const Relation* rel;
-    bool operator()(uint32_t a, uint32_t b) const {
-      const VertexId* ra = rel->Row(a);
-      const VertexId* rb = rel->Row(b);
-      for (uint32_t c = 0; c < rel->arity_; ++c)
-        if (ra[c] != rb[c]) return false;
-      return true;
-    }
-  };
+  bool RowEquals(const VertexId* a, const VertexId* b) const {
+    for (uint32_t c = 0; c < arity_; ++c)
+      if (a[c] != b[c]) return false;
+    return true;
+  }
+
+  /// Rebuilds the dedup set from the stored rows.
+  void RebuildSet();
 
   uint32_t arity_;
   size_t num_rows_ = 0;
   uint64_t generation_ = 0;
   std::vector<VertexId> data_;
-  std::unordered_set<uint32_t, RowHash, RowEq> row_set_;
+  FlatRowSet row_set_;
 };
 
 }  // namespace gstream

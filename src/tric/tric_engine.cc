@@ -68,7 +68,7 @@ void TricEngine::InitNodeView(TrieNode* node) {
   // Backfill from already-materialized shared state (queries registered
   // mid-stream see the data their shared prefixes retained).
   if (node->parent == nullptr) {
-    for (size_t i = 0; i < base->NumRows(); ++i) node->view->Append(base->Row(i));
+    node->view->AppendAll(*base);
   } else if (!node->parent->view->Empty()) {
     ExtendRight(AllRows(*node->parent->view), *base,
                 cache_ ? cache_->Get(base, 0) : nullptr, *node->view);

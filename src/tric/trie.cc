@@ -26,10 +26,10 @@ TrieNode* TrieForest::InsertPath(const std::vector<GenericEdgePattern>& sig,
     node->depth = parent == nullptr ? 0 : parent->depth + 1;
     node->seq = next_seq_++;
     TrieNode* raw = node.get();
-    node_ind_[p].push_back(raw);
+    node_ind_.GetOrCreate(p).push_back(raw);
     ++num_nodes_;
     if (parent == nullptr) {
-      roots_.emplace(p, std::move(node));
+      roots_.GetOrCreate(p) = std::move(node);
     } else {
       parent->children.push_back(std::move(node));
     }
@@ -42,9 +42,9 @@ TrieNode* TrieForest::InsertPath(const std::vector<GenericEdgePattern>& sig,
   // is preserved for the clustered forest.
   TrieNode* node = nullptr;
   if (share) {
-    auto rit = roots_.find(sig[0]);
-    if (rit != roots_.end()) {
-      node = rit->second.get();
+    std::unique_ptr<TrieNode>* rit = roots_.Find(sig[0]);
+    if (rit != nullptr) {
+      node = rit->get();
     } else {
       node = make_node(sig[0], nullptr);
     }
@@ -53,7 +53,7 @@ TrieNode* TrieForest::InsertPath(const std::vector<GenericEdgePattern>& sig,
     root->pattern = sig[0];
     root->seq = next_seq_++;
     node = root.get();
-    node_ind_[sig[0]].push_back(node);
+    node_ind_.GetOrCreate(sig[0]).push_back(node);
     ++num_nodes_;
     extra_roots_.push_back(std::move(root));
     on_create(node);
@@ -77,21 +77,23 @@ TrieNode* TrieForest::InsertPath(const std::vector<GenericEdgePattern>& sig,
 }
 
 const std::vector<TrieNode*>* TrieForest::NodesFor(const GenericEdgePattern& p) const {
-  auto it = node_ind_.find(p);
-  return it == node_ind_.end() ? nullptr : &it->second;
+  return node_ind_.Find(p);
 }
 
 size_t TrieForest::MemoryBytes() const {
-  size_t bytes = sizeof(*this);
+  size_t bytes = sizeof(*this) + roots_.MemoryBytes() + node_ind_.MemoryBytes();
   ForEachNode([&](const TrieNode& n) { bytes += n.MemoryBytes(); });
-  for (const auto& [p, nodes] : node_ind_)
-    bytes += sizeof(p) + mem::OfVector(nodes) + 2 * sizeof(void*);
+  node_ind_.ForEach([&](const GenericEdgePattern&, const std::vector<TrieNode*>& nodes) {
+    bytes += nodes.capacity() * sizeof(TrieNode*);
+  });
   return bytes;
 }
 
 void TrieForest::ForEachNode(const std::function<void(const TrieNode&)>& fn) const {
   std::vector<const TrieNode*> stack;
-  for (const auto& [p, root] : roots_) stack.push_back(root.get());
+  roots_.ForEach([&](const GenericEdgePattern&, const std::unique_ptr<TrieNode>& root) {
+    stack.push_back(root.get());
+  });
   for (const auto& root : extra_roots_) stack.push_back(root.get());
   while (!stack.empty()) {
     const TrieNode* n = stack.back();

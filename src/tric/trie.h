@@ -4,9 +4,9 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/ids.h"
 #include "matview/relation.h"
 #include "query/edge_pattern.h"
@@ -65,7 +65,9 @@ class TrieForest {
                        bool share = true);
 
   /// Nodes whose stored pattern equals `p`, in creation order; null when
-  /// none.
+  /// none. The returned pointer is into flat-map slot storage and is
+  /// invalidated by the next InsertPath (rehash moves slots) — copy the
+  /// node list out before indexing more paths.
   const std::vector<TrieNode*>* NodesFor(const GenericEdgePattern& p) const;
 
   size_t NumTries() const { return roots_.size(); }
@@ -78,11 +80,13 @@ class TrieForest {
   void ForEachNode(const std::function<void(const TrieNode&)>& fn) const;
 
  private:
-  std::unordered_map<GenericEdgePattern, std::unique_ptr<TrieNode>,
-                     GenericEdgePatternHash>
+  /// rootInd / edgeInd live in flat open-addressing maps: both are probed on
+  /// every streamed update (root lookup, node routing), so they share the
+  /// data plane's container family (see flat_map.h).
+  FlatMap<GenericEdgePattern, std::unique_ptr<TrieNode>, GenericEdgePatternHash>
       roots_;
   std::vector<std::unique_ptr<TrieNode>> extra_roots_;  ///< No-sharing chains.
-  std::unordered_map<GenericEdgePattern, std::vector<TrieNode*>, GenericEdgePatternHash>
+  FlatMap<GenericEdgePattern, std::vector<TrieNode*>, GenericEdgePatternHash>
       node_ind_;
   size_t num_nodes_ = 0;
   uint64_t next_seq_ = 0;

@@ -1,0 +1,281 @@
+#include "common/flat_map.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "matview/relation.h"
+
+namespace gstream {
+namespace {
+
+// ---------------------------------------------------------------- PostingList
+
+TEST(PostingList, InlineThenSpill) {
+  PostingList list;
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.HeapBytes(), 0u);
+
+  list.Append(10);
+  list.Append(20);
+  EXPECT_EQ(list.size(), 2u);
+  EXPECT_EQ(list.HeapBytes(), 0u);  // still inline
+
+  list.Append(30);  // spills
+  EXPECT_EQ(list.size(), 3u);
+  EXPECT_GT(list.HeapBytes(), 0u);
+
+  RowIdSpan span = list.Span();
+  ASSERT_EQ(span.size(), 3u);
+  EXPECT_EQ(span[0], 10u);
+  EXPECT_EQ(span[1], 20u);
+  EXPECT_EQ(span[2], 30u);
+}
+
+TEST(PostingList, MovePreservesContentAndEmptiesSource) {
+  PostingList list;
+  for (uint32_t i = 0; i < 100; ++i) list.Append(i);
+  PostingList moved = std::move(list);
+  EXPECT_EQ(moved.size(), 100u);
+  EXPECT_EQ(moved.Span()[99], 99u);
+  EXPECT_EQ(list.size(), 0u);  // NOLINT(bugprone-use-after-move)
+  list.Append(7);              // reusable after move
+  EXPECT_EQ(list.Span()[0], 7u);
+}
+
+// ------------------------------------------------------------- FlatPostingMap
+
+TEST(FlatPostingMap, InsertProbeGrow) {
+  FlatPostingMap map;
+  EXPECT_TRUE(map.Probe(1).empty());
+
+  const size_t n = 10'000;
+  for (uint32_t k = 0; k < n; ++k) {
+    map.Add(k, k * 2);
+    map.Add(k, k * 2 + 1);
+  }
+  EXPECT_EQ(map.size(), n);
+  for (uint32_t k = 0; k < n; ++k) {
+    RowIdSpan span = map.Probe(k);
+    ASSERT_EQ(span.size(), 2u) << k;
+    EXPECT_EQ(span[0], k * 2);
+    EXPECT_EQ(span[1], k * 2 + 1);
+  }
+  EXPECT_TRUE(map.Probe(n + 5).empty());
+}
+
+TEST(FlatPostingMap, CollisionHeavyKeys) {
+  // Keys strided by a large power of two collide in small tables.
+  FlatPostingMap map;
+  std::vector<VertexId> keys;
+  for (uint32_t i = 0; i < 512; ++i) keys.push_back(i << 16);
+  for (VertexId k : keys) map.Add(k, k + 1);
+  for (VertexId k : keys) {
+    RowIdSpan span = map.Probe(k);
+    ASSERT_EQ(span.size(), 1u);
+    EXPECT_EQ(span[0], k + 1);
+  }
+}
+
+TEST(FlatPostingMap, SentinelKeyIsSupported) {
+  // kNoVertex is a legal key (the inverted indexes key "?var" terms by it).
+  FlatPostingMap map;
+  map.Add(kNoVertex, 42);
+  map.Add(kNoVertex, 43);
+  map.Add(7, 1);
+  EXPECT_EQ(map.size(), 2u);
+  RowIdSpan span = map.Probe(kNoVertex);
+  ASSERT_EQ(span.size(), 2u);
+  EXPECT_EQ(span[0], 42u);
+  EXPECT_EQ(span[1], 43u);
+}
+
+TEST(FlatPostingMap, ReserveDoesNotLoseEntries) {
+  FlatPostingMap map;
+  for (uint32_t k = 0; k < 100; ++k) map.Add(k, k);
+  map.Reserve(100'000);
+  for (uint32_t k = 0; k < 100; ++k) {
+    ASSERT_EQ(map.Probe(k).size(), 1u);
+    EXPECT_EQ(map.Probe(k)[0], k);
+  }
+}
+
+TEST(FlatPostingMap, ClearResets) {
+  FlatPostingMap map;
+  for (uint32_t k = 0; k < 64; ++k) map.Add(k, k);
+  map.Add(kNoVertex, 9);
+  map.Clear();
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_TRUE(map.Probe(3).empty());
+  EXPECT_TRUE(map.Probe(kNoVertex).empty());
+  map.Add(3, 33);  // reusable after Clear
+  EXPECT_EQ(map.Probe(3)[0], 33u);
+}
+
+TEST(FlatPostingMap, PostingsStayAscending) {
+  // The join kernels binary-search postings by row id; insertion in
+  // ascending row order must be preserved across spills and rehashes.
+  FlatPostingMap map;
+  Rng rng(99);
+  std::vector<std::vector<uint32_t>> expected(37);
+  for (uint32_t row = 0; row < 5000; ++row) {
+    VertexId key = static_cast<VertexId>(rng.Next(37));
+    map.Add(key, row);
+    expected[key].push_back(row);
+  }
+  for (VertexId k = 0; k < 37; ++k) {
+    RowIdSpan span = map.Probe(k);
+    ASSERT_EQ(span.size(), expected[k].size());
+    EXPECT_TRUE(std::is_sorted(span.begin(), span.end()));
+    EXPECT_TRUE(std::equal(span.begin(), span.end(), expected[k].begin()));
+  }
+}
+
+// ----------------------------------------------------------------- FlatRowSet
+
+TEST(FlatRowSet, InsertRejectsEqualAcceptsDistinct) {
+  // Simulate two-column rows stored externally.
+  std::vector<std::pair<uint32_t, uint32_t>> rows;
+  FlatRowSet set;
+  auto insert = [&](uint32_t a, uint32_t b) {
+    rows.emplace_back(a, b);
+    const uint32_t idx = static_cast<uint32_t>(rows.size() - 1);
+    uint32_t key[2] = {a, b};
+    const bool ok = set.Insert(HashIds(key, 2), idx, [&](uint32_t existing) {
+      return rows[existing] == rows[idx];
+    });
+    if (!ok) rows.pop_back();
+    return ok;
+  };
+  EXPECT_TRUE(insert(1, 2));
+  EXPECT_FALSE(insert(1, 2));
+  EXPECT_TRUE(insert(2, 1));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+// --------------------------------------------------------------- FlatMap<K,V>
+
+struct CollidingHash {
+  size_t operator()(uint32_t) const { return 7; }  // everything collides
+};
+
+TEST(FlatMap, GetOrCreateFindGrow) {
+  FlatMap<uint32_t, std::vector<int>, VertexIdHash> map;
+  for (uint32_t k = 0; k < 3000; ++k) map.GetOrCreate(k).push_back(static_cast<int>(k));
+  EXPECT_EQ(map.size(), 3000u);
+  for (uint32_t k = 0; k < 3000; ++k) {
+    const std::vector<int>* v = map.Find(k);
+    ASSERT_NE(v, nullptr);
+    ASSERT_EQ(v->size(), 1u);
+    EXPECT_EQ((*v)[0], static_cast<int>(k));
+  }
+  EXPECT_EQ(map.Find(99999), nullptr);
+}
+
+TEST(FlatMap, SurvivesPathologicalHash) {
+  FlatMap<uint32_t, int, CollidingHash> map;
+  for (uint32_t k = 0; k < 200; ++k) map.GetOrCreate(k) = static_cast<int>(k) + 1;
+  for (uint32_t k = 0; k < 200; ++k) {
+    ASSERT_NE(map.Find(k), nullptr);
+    EXPECT_EQ(*map.Find(k), static_cast<int>(k) + 1);
+  }
+  EXPECT_EQ(map.size(), 200u);
+}
+
+TEST(FlatMap, MoveOnlyValues) {
+  FlatMap<uint32_t, std::unique_ptr<int>, VertexIdHash> map;
+  for (uint32_t k = 0; k < 100; ++k) map.GetOrCreate(k) = std::make_unique<int>(k);
+  for (uint32_t k = 0; k < 100; ++k) {
+    ASSERT_NE(map.Find(k), nullptr);
+    EXPECT_EQ(**map.Find(k), static_cast<int>(k));
+  }
+}
+
+TEST(FlatMap, ForEachVisitsEverything) {
+  FlatMap<uint32_t, int, VertexIdHash> map;
+  for (uint32_t k = 0; k < 500; ++k) map.GetOrCreate(k) = 1;
+  size_t count = 0;
+  map.ForEach([&](uint32_t, int v) { count += v; });
+  EXPECT_EQ(count, 500u);
+}
+
+// --------------------------------------- Relation dedup equivalence (flat set
+// vs. reference std::set), including post-RemoveRowsWhere generations.
+
+TEST(RelationDedupEquivalence, RandomizedAgainstReferenceSet) {
+  Rng rng(4242);
+  const uint32_t arity = 3;
+  Relation rel(arity);
+  std::set<std::vector<VertexId>> reference;
+
+  auto check_equal = [&]() {
+    ASSERT_EQ(rel.NumRows(), reference.size());
+    std::set<std::vector<VertexId>> actual;
+    for (size_t i = 0; i < rel.NumRows(); ++i)
+      actual.emplace(rel.Row(i), rel.Row(i) + arity);
+    EXPECT_EQ(actual, reference);
+  };
+
+  for (int round = 0; round < 3; ++round) {
+    for (int step = 0; step < 4000; ++step) {
+      // Small universe so duplicates are frequent.
+      std::vector<VertexId> row = {static_cast<VertexId>(rng.Next(12)),
+                                   static_cast<VertexId>(rng.Next(12)),
+                                   static_cast<VertexId>(rng.Next(12))};
+      const bool inserted = rel.Append(row);
+      EXPECT_EQ(inserted, reference.insert(row).second);
+    }
+    check_equal();
+
+    // Retraction bumps the generation and rebuilds the dedup set; dedup
+    // must stay exact afterwards.
+    const VertexId victim = static_cast<VertexId>(rng.Next(12));
+    const uint64_t gen_before = rel.generation();
+    size_t removed = rel.RemoveRowsWhere(
+        [&](const VertexId* r) { return r[0] == victim; });
+    size_t ref_removed = 0;
+    for (auto it = reference.begin(); it != reference.end();) {
+      if ((*it)[0] == victim) {
+        it = reference.erase(it);
+        ++ref_removed;
+      } else {
+        ++it;
+      }
+    }
+    EXPECT_EQ(removed, ref_removed);
+    if (removed > 0) {
+      EXPECT_GT(rel.generation(), gen_before);
+    }
+    check_equal();
+  }
+}
+
+TEST(RelationReserve, AppendAllDeduplicatesAcrossRelations) {
+  Relation a(2), b(2);
+  a.Append({1, 2});
+  a.Append({3, 4});
+  b.Append({3, 4});
+  b.Append({5, 6});
+  a.Reserve(10);
+  EXPECT_EQ(a.AppendAll(b), 1u);  // {3,4} already present
+  EXPECT_EQ(a.NumRows(), 3u);
+}
+
+TEST(RelationSelfAppend, RowPointerIntoOwnStorageIsSafe) {
+  Relation r(2);
+  r.Append({1, 2});
+  // Force many appends of rows aliasing r's own buffer across growth.
+  for (uint32_t i = 0; i < 200; ++i) {
+    std::vector<VertexId> fresh = {i + 10, i + 11};
+    r.Append(fresh);
+    r.Append(r.Row(0));  // duplicate of {1,2}: must be rejected, not corrupt
+  }
+  EXPECT_EQ(r.At(0, 0), 1u);
+  EXPECT_EQ(r.At(0, 1), 2u);
+}
+
+}  // namespace
+}  // namespace gstream

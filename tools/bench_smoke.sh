@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Bench smoke: runs the micro benches at tiny sizes and emits one
+# BENCH_*.json-compatible line per suite for trajectory tracking.
+#
+#   tools/bench_smoke.sh [build_dir]
+#
+# Output: a `BENCH_JSON {...}` line per suite on stdout (same format the
+# figure benches emit via bench::BenchLine), plus a BENCH_SMOKE.json file in
+# the build dir aggregating the google-benchmark JSON reports.
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+
+if [[ ! -d "$BUILD_DIR" ]]; then
+  echo "bench_smoke: build dir '$BUILD_DIR' not found (run cmake first)" >&2
+  exit 1
+fi
+
+SUITES=(micro_flatmap micro_join micro_trie)
+OUT="$BUILD_DIR/BENCH_SMOKE.json"
+REPORTS=()
+
+for suite in "${SUITES[@]}"; do
+  bin="$BUILD_DIR/$suite"
+  if [[ ! -x "$bin" ]]; then
+    echo "bench_smoke: $suite not built (google-benchmark missing?); skipping" >&2
+    continue
+  fi
+  json="$BUILD_DIR/BENCH_${suite}.json"
+  # Tiny sizes: min_time far below default so the whole smoke stays seconds.
+  "$bin" --benchmark_min_time=0.01 \
+         --benchmark_format=json \
+         --benchmark_out="$json" \
+         --benchmark_out_format=json >/dev/null 2>&1 || {
+    echo "bench_smoke: $suite failed" >&2
+    exit 1
+  }
+  REPORTS+=("$json")
+
+  # One compact BENCH_JSON line per suite: benchmark count + total cpu time,
+  # enough for a trajectory tracker to notice a build that got slower.
+  python3 - "$suite" "$json" <<'EOF'
+import json, sys
+suite, path = sys.argv[1], sys.argv[2]
+with open(path) as f:
+    report = json.load(f)
+benches = [b for b in report.get("benchmarks", []) if b.get("run_type") != "aggregate"]
+total_cpu_ns = sum(b.get("cpu_time", 0.0) for b in benches)
+items = [b["items_per_second"] for b in benches if "items_per_second" in b]
+line = {
+    "bench": f"smoke_{suite}",
+    "benchmarks": len(benches),
+    "total_cpu_ns": round(total_cpu_ns, 1),
+    "max_items_per_sec": round(max(items), 1) if items else 0,
+}
+print("BENCH_JSON " + json.dumps(line, separators=(",", ":")))
+EOF
+done
+
+# Aggregate the per-suite reports into one *valid* JSON document (an array
+# of google-benchmark reports), so consumers can json.load() the artifact.
+python3 - "$OUT" "${REPORTS[@]}" <<'EOF'
+import json, sys
+out, paths = sys.argv[1], sys.argv[2:]
+reports = []
+for path in paths:
+    with open(path) as f:
+        reports.append(json.load(f))
+with open(out, "w") as f:
+    json.dump(reports, f, indent=1)
+EOF
+
+echo "bench_smoke: aggregated google-benchmark reports in $OUT" >&2
