@@ -15,12 +15,15 @@ using namespace gstream::bench;
 
 CellResult RunVariant(const tric::TricEngine::Options& options,
                       const std::vector<QueryPattern>& queries,
-                      const UpdateStream& stream, double budget_seconds) {
+                      const UpdateStream& stream, double budget_seconds,
+                      const BenchOptions& opts) {
   CellResult cell;
   tric::TricEngine engine(options);
   cell.index_stats = IndexQueries(engine, queries);
   RunConfig config;
   config.budget_seconds = budget_seconds;
+  config.batch_window = opts.batch;
+  config.batch_threads = opts.threads;
   RunStats stats = RunStream(engine, stream, config);
   cell.ms_per_update = stats.MsecPerUpdate();
   cell.partial = stats.timed_out;
@@ -60,7 +63,7 @@ int main(int argc, char** argv) {
   TextTable table({"variant", "ms/update", "index ms/query", "memory MB"});
   for (const auto& v : variants) {
     CellResult cell =
-        RunVariant(v.options, qs.queries, w.stream, opts.cell_budget_seconds * 3);
+        RunVariant(v.options, qs.queries, w.stream, opts.cell_budget_seconds * 3, opts);
     table.AddRow({v.label, FormatMs(cell.ms_per_update, cell.partial),
                   TextTable::Num(cell.index_stats.MsecPerQuery(), 4),
                   TextTable::Num(

@@ -91,7 +91,7 @@ int main(int argc, char** argv) {
 
     std::vector<std::string> row{TextTable::Num(sigma * 100, 0) + "%"};
     for (EngineKind kind : PaperEngineKinds()) {
-      CellResult cell = RunCell(kind, queries, w.stream, opts.cell_budget_seconds);
+      CellResult cell = RunCell(kind, queries, w.stream, opts.cell_budget_seconds, opts.batch, opts.threads);
       row.push_back(FormatMs(cell.ms_per_update, cell.partial));
       BenchLine("fig12b")
           .Add("engine", EngineKindName(kind))

@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
     std::vector<QueryPattern> slice(qs.queries.begin(), qs.queries.begin() + qdb);
     std::vector<std::string> row{std::to_string(qdb)};
     for (EngineKind kind : PaperEngineKinds()) {
-      CellResult cell = RunCell(kind, slice, w.stream, opts.cell_budget_seconds);
+      CellResult cell = RunCell(kind, slice, w.stream, opts.cell_budget_seconds, opts.batch, opts.threads);
       row.push_back(FormatMs(cell.ms_per_update, cell.partial));
     }
     table.AddRow(std::move(row));

@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
     std::vector<std::string> row{TextTable::Num(l, 0)};
     for (EngineKind kind : PaperEngineKinds()) {
       CellResult cell =
-          RunCell(kind, qs.queries, w.stream, opts.cell_budget_seconds);
+          RunCell(kind, qs.queries, w.stream, opts.cell_budget_seconds, opts.batch, opts.threads);
       row.push_back(FormatMs(cell.ms_per_update, cell.partial));
     }
     table.AddRow(std::move(row));

@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
         workload::GenerateQueries(w, BaselineQueryConfig(opts, num_queries));
     size_t e = 0;
     for (EngineKind kind : PaperEngineKinds()) {
-      CellResult cell = RunCell(kind, qs.queries, w.stream, budget);
+      CellResult cell = RunCell(kind, qs.queries, w.stream, budget, opts.batch, opts.threads);
       double mb = static_cast<double>(cell.memory_bytes) / (1024.0 * 1024.0);
       cells[e][d] = TextTable::Num(mb, 1) + "MB" + (cell.partial ? "*" : "");
       ++e;

@@ -1,7 +1,9 @@
 #include "bench/harness.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/timer.h"
 #include "workload/bio.h"
@@ -13,6 +15,23 @@ namespace bench {
 
 BenchOptions BenchOptions::FromArgs(int argc, char** argv) {
   Flags flags = Flags::Parse(argc, argv);
+  static const char* kKnown[] = {"full",    "budget-sec", "cell-budget-sec",
+                                 "seed",    "csv",        "batch",
+                                 "threads", "help"};
+  bool usage_error = false;
+  for (const std::string& name : flags.Names()) {
+    if (std::find_if(std::begin(kKnown), std::end(kKnown),
+                     [&](const char* k) { return name == k; }) == std::end(kKnown)) {
+      std::fprintf(stderr, "unknown flag --%s\n", name.c_str());
+      usage_error = true;
+    }
+  }
+  if (usage_error || flags.Has("help")) {
+    std::fprintf(stderr,
+                 "bench flags: --full --budget-sec=S --cell-budget-sec=S "
+                 "--seed=N --csv --batch=N --threads=N\n");
+    std::exit(usage_error ? 2 : 0);
+  }
   BenchOptions opts;
   opts.full = flags.GetBool("full", false);
   opts.budget_seconds =
@@ -21,6 +40,8 @@ BenchOptions BenchOptions::FromArgs(int argc, char** argv) {
       flags.GetDouble("cell-budget-sec", opts.full ? 86400.0 : 2.0);
   opts.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   opts.csv = flags.GetBool("csv", false);
+  opts.batch = static_cast<size_t>(flags.GetInt("batch", 1));
+  opts.threads = static_cast<int>(flags.GetInt("threads", 1));
   return opts;
 }
 
@@ -28,7 +49,7 @@ GrowthSeries RunGrowthSeries(EngineKind kind,
                              const std::vector<QueryPattern>& queries,
                              const UpdateStream& stream,
                              const std::vector<size_t>& checkpoints,
-                             double budget_seconds) {
+                             double budget_seconds, size_t batch, int threads) {
   GrowthSeries series;
   series.kind = kind;
   series.segment_ms.assign(checkpoints.size(), std::nan(""));
@@ -40,6 +61,7 @@ GrowthSeries RunGrowthSeries(EngineKind kind,
   Budget budget;
   budget.SetDeadlineAfter(budget_seconds);
   engine->set_budget(&budget);
+  if (batch > 1) engine->SetBatchThreads(threads);
 
   size_t pos = 0;
   bool dead = false;
@@ -48,14 +70,23 @@ GrowthSeries RunGrowthSeries(EngineKind kind,
     const size_t seg_end = checkpoints[seg];
     const size_t seg_begin = pos;
     WallTimer seg_timer;
-    while (pos < seg_end) {
-      UpdateResult result = engine->ApplyUpdate(stream[pos]);
-      ++pos;
-      series.new_embeddings += result.new_embeddings;
-      if (result.timed_out || budget.ExceededNow()) {
-        dead = true;
-        break;
+    while (pos < seg_end && !dead) {
+      if (batch <= 1) {
+        UpdateResult result = engine->ApplyUpdate(stream[pos]);
+        ++pos;
+        series.new_embeddings += result.new_embeddings;
+        if (result.timed_out || budget.ExceededNow()) dead = true;
+        continue;
       }
+      const size_t n = std::min(batch, seg_end - pos);
+      std::vector<UpdateResult> results =
+          engine->ApplyBatch(&stream.updates()[pos], n);
+      pos += results.size();
+      for (const UpdateResult& r : results) {
+        series.new_embeddings += r.new_embeddings;
+        if (r.timed_out) dead = true;
+      }
+      if (results.size() < n || budget.ExceededNow()) dead = true;
     }
     const size_t processed = pos - seg_begin;
     if (processed > 0) {
@@ -71,12 +102,15 @@ GrowthSeries RunGrowthSeries(EngineKind kind,
 }
 
 CellResult RunCell(EngineKind kind, const std::vector<QueryPattern>& queries,
-                   const UpdateStream& stream, double budget_seconds) {
+                   const UpdateStream& stream, double budget_seconds,
+                   size_t batch, int threads) {
   CellResult cell;
   auto engine = CreateEngine(kind);
   cell.index_stats = IndexQueries(*engine, queries);
   RunConfig config;
   config.budget_seconds = budget_seconds;
+  config.batch_window = batch;
+  config.batch_threads = threads;
   RunStats stats = RunStream(*engine, stream, config);
   cell.ms_per_update = stats.MsecPerUpdate();
   cell.partial = stats.timed_out;
@@ -135,6 +169,9 @@ void PrintHeader(const std::string& figure, const std::string& caption,
   std::printf("mode=%s  budget=%.1fs/engine-series  seed=%llu\n",
               opts.full ? "FULL (paper scale)" : "QUICK (laptop scale)",
               opts.budget_seconds, static_cast<unsigned long long>(opts.seed));
+  if (opts.batch > 1)
+    std::printf("batched execution: ApplyBatch window=%zu threads=%d\n",
+                opts.batch, opts.threads);
   std::printf("cells marked '*' exceeded the time budget (paper's timeout marker);\n");
   std::printf("a value with '*' is the average over the prefix processed.\n");
   std::printf("==============================================================\n");
@@ -195,7 +232,8 @@ void RunGrowthFigure(const std::string& figure, const std::string& caption,
     std::printf("  running %-8s ...", EngineKindName(kind));
     std::fflush(stdout);
     GrowthSeries s =
-        RunGrowthSeries(kind, qs.queries, w.stream, checkpoints, opts.budget_seconds);
+        RunGrowthSeries(kind, qs.queries, w.stream, checkpoints,
+                        opts.budget_seconds, opts.batch, opts.threads);
     std::printf(" %zu/%zu updates, %.0f updates/s, %.1f MB, %llu new embeddings\n",
                 s.updates_applied, total_updates, s.UpdatesPerSec(),
                 static_cast<double>(s.memory_bytes) / (1024.0 * 1024.0),

@@ -30,7 +30,11 @@ struct BenchOptions {
   double cell_budget_seconds = 2.0;  ///< Per engine per sweep cell.
   uint64_t seed = 42;
   bool csv = false;                  ///< Also print CSV rows.
+  size_t batch = 1;                  ///< ApplyBatch window; 1 = per-update.
+  int threads = 1;                   ///< Batch shard worker threads.
 
+  /// Strict parse: an unknown `--flag` prints the flag set and exits with
+  /// status 2 (a typo like `--ful` must not silently run quick mode).
   static BenchOptions FromArgs(int argc, char** argv);
 
   /// `quick` when !full, else `paper`.
@@ -64,7 +68,8 @@ GrowthSeries RunGrowthSeries(EngineKind kind,
                              const std::vector<QueryPattern>& queries,
                              const UpdateStream& stream,
                              const std::vector<size_t>& checkpoints,
-                             double budget_seconds);
+                             double budget_seconds, size_t batch = 1,
+                             int threads = 1);
 
 /// One independent cell: average ms/update over the whole stream (or the
 /// prefix processed within budget — flagged `partial`).
@@ -84,7 +89,8 @@ struct CellResult {
 };
 
 CellResult RunCell(EngineKind kind, const std::vector<QueryPattern>& queries,
-                   const UpdateStream& stream, double budget_seconds);
+                   const UpdateStream& stream, double budget_seconds,
+                   size_t batch = 1, int threads = 1);
 
 /// Formats a cell/segment value with the paper's timeout marker.
 std::string FormatMs(double ms, bool partial);

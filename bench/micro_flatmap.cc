@@ -67,6 +67,44 @@ void BM_FlatPostingMapProbe(benchmark::State& state) {
 }
 BENCHMARK(BM_FlatPostingMapProbe)->Range(1 << 10, 1 << 16);
 
+void BM_FlatPostingMapProbeGrown(benchmark::State& state) {
+  // Natural growth (no Reserve): the table sits between 7/16 and 7/8 load,
+  // the shape of every incrementally maintained index (HashIndex::CatchUp,
+  // the trie/inverted routing maps). Long probe chains is where group
+  // probing earns its keep.
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto keys = MakeKeys(n, n, 1);  // mostly-distinct keys: high table load
+  FlatPostingMap map;
+  for (uint32_t i = 0; i < n; ++i) map.Add(keys[i], i);
+  auto probes = MakeKeys(n, n * 2, 2);  // ~50% misses
+  for (auto _ : state) {
+    size_t hits = 0;
+    for (VertexId k : probes) hits += map.Probe(k).size();
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FlatPostingMapProbeGrown)->Range(1 << 10, 1 << 16);
+
+void BM_FlatPostingMapProbeMissGrown(benchmark::State& state) {
+  // All-miss probing at natural load: the routing-index fast path (most
+  // streamed edges match no registered pattern). A miss must rule the key
+  // out, which costs a walk to the next empty slot.
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto keys = MakeKeys(n, n, 1);
+  FlatPostingMap map;
+  for (uint32_t i = 0; i < n; ++i) map.Add(keys[i], i);
+  std::vector<VertexId> probes = MakeKeys(n, n, 5);
+  for (auto& p : probes) p += static_cast<VertexId>(2 * n);  // disjoint universe
+  for (auto _ : state) {
+    size_t hits = 0;
+    for (VertexId k : probes) hits += map.Probe(k).size();
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FlatPostingMapProbeMissGrown)->Range(1 << 10, 1 << 16);
+
 void BM_StdUnorderedMapProbe(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
   const size_t universe = n / 4 + 8;

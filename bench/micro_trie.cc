@@ -3,6 +3,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "common/rng.h"
 #include "query/parser.h"
 #include "query/path_cover.h"
@@ -65,6 +67,34 @@ void BM_TricAnswerUpdates(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TricAnswerUpdates);
+
+void BM_TricApplyBatch(benchmark::State& state) {
+  // Sharded batch execution over the same stream BM_TricAnswerUpdates feeds
+  // one update at a time; range(0) = ApplyBatch window, range(1) = shard
+  // worker threads (1 keeps the whole batch on the calling thread).
+  const size_t window = static_cast<size_t>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  workload::Workload w;
+  workload::QuerySet qs = SnbQueries(300, w);
+  tric::TricEngine engine(true);
+  for (QueryId q = 0; q < qs.queries.size(); ++q) engine.AddQuery(q, qs.queries[q]);
+  engine.SetBatchThreads(threads);
+  const auto& updates = w.stream.updates();
+  size_t pos = 0;
+  for (auto _ : state) {
+    const size_t n = std::min(window, updates.size() - pos);
+    auto results = engine.ApplyBatch(&updates[pos], n);
+    benchmark::DoNotOptimize(results.size());
+    pos += n;
+    if (pos >= updates.size()) pos = 0;
+    state.SetItemsProcessed(state.items_processed() + static_cast<int64_t>(n));
+  }
+}
+BENCHMARK(BM_TricApplyBatch)
+    ->Args({32, 1})
+    ->Args({32, 4})
+    ->Args({128, 1})
+    ->Args({128, 4});
 
 }  // namespace
 

@@ -7,9 +7,6 @@
 namespace gstream {
 namespace baseline {
 
-IncEngine::IncEngine(bool enable_cache)
-    : cache_(enable_cache ? std::make_unique<JoinCache>() : nullptr) {}
-
 UpdateResult IncEngine::ApplyUpdate(const EdgeUpdate& u) {
   UpdateResult result;
   if (u.op == UpdateOp::kDelete) {
@@ -19,6 +16,11 @@ UpdateResult IncEngine::ApplyUpdate(const EdgeUpdate& u) {
     return result;
   }
   if (IsDuplicateUpdate(u)) return result;
+  return ProcessInsert(u);
+}
+
+UpdateResult IncEngine::ProcessInsert(const EdgeUpdate& u) {
+  UpdateResult result;
   result.changed = true;
 
   AppendToBaseViews(u);
@@ -56,11 +58,11 @@ UpdateResult IncEngine::ApplyUpdate(const EdgeUpdate& u) {
     bool infeasible = false;
     for (size_t pi = 0; pi < num_paths && !infeasible; ++pi) {
       if (!touched[pi]) continue;
-      deltas[pi] = MaterializePathDelta(entry, pi, u, cache_.get(), transient_bytes);
+      deltas[pi] = MaterializePathDelta(entry, pi, u, IndexSource(), transient_bytes);
     }
     auto full_of = [&](size_t pi) -> Relation* {
       if (fulls[pi] == nullptr)
-        fulls[pi] = MaterializeFullPath(entry, pi, cache_.get(), transient_bytes);
+        fulls[pi] = MaterializeFullPath(entry, pi, IndexSource(), transient_bytes);
       return fulls[pi].get();
     };
 

@@ -25,17 +25,13 @@ namespace baseline {
 /// INC+ reuses the per-view hash tables through a `JoinCache`.
 class IncEngine : public InvertedIndexEngineBase {
  public:
-  explicit IncEngine(bool enable_cache);
+  explicit IncEngine(bool enable_cache) : InvertedIndexEngineBase(enable_cache) {}
 
   std::string name() const override { return cache_ ? "INC+" : "INC"; }
   UpdateResult ApplyUpdate(const EdgeUpdate& u) override;
-  size_t MemoryBytes() const override {
-    return InvertedIndexEngineBase::MemoryBytes() +
-           (cache_ ? cache_->MemoryBytes() : 0);
-  }
 
- private:
-  std::unique_ptr<JoinCache> cache_;
+ protected:
+  UpdateResult ProcessInsert(const EdgeUpdate& u) override;
 };
 
 }  // namespace baseline

@@ -5,9 +5,6 @@
 namespace gstream {
 namespace baseline {
 
-InvEngine::InvEngine(bool enable_cache)
-    : cache_(enable_cache ? std::make_unique<JoinCache>() : nullptr) {}
-
 bool InvEngine::EvaluateQueryTotal(QueryEntry& entry, uint64_t& total) {
   total = 0;
   if (!AllViewsNonEmpty(entry)) return true;  // Step 1 candidate filter
@@ -16,7 +13,7 @@ bool InvEngine::EvaluateQueryTotal(QueryEntry& entry, uint64_t& total) {
   size_t transient_bytes = 0;
   std::vector<std::unique_ptr<Relation>> path_views;
   for (size_t pi = 0; pi < entry.paths.size(); ++pi) {
-    auto view = MaterializeFullPath(entry, pi, cache_.get(), transient_bytes);
+    auto view = MaterializeFullPath(entry, pi, IndexSource(), transient_bytes);
     if (view == nullptr) {
       NotePeakTransient(transient_bytes);
       return !BudgetExceeded();
@@ -71,6 +68,11 @@ UpdateResult InvEngine::ApplyUpdate(const EdgeUpdate& u) {
   }
 
   if (IsDuplicateUpdate(u)) return result;
+  return ProcessInsert(u);
+}
+
+UpdateResult InvEngine::ProcessInsert(const EdgeUpdate& u) {
+  UpdateResult result;
   result.changed = true;
 
   AppendToBaseViews(u);

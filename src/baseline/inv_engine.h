@@ -26,22 +26,19 @@ namespace baseline {
 /// gain over INV is modest (paper: ~9%).
 class InvEngine : public InvertedIndexEngineBase {
  public:
-  explicit InvEngine(bool enable_cache);
+  explicit InvEngine(bool enable_cache) : InvertedIndexEngineBase(enable_cache) {}
 
   std::string name() const override { return cache_ ? "INV+" : "INV"; }
   UpdateResult ApplyUpdate(const EdgeUpdate& u) override;
-  size_t MemoryBytes() const override {
-    return InvertedIndexEngineBase::MemoryBytes() +
-           (cache_ ? cache_->MemoryBytes() : 0);
-  }
+
+ protected:
+  UpdateResult ProcessInsert(const EdgeUpdate& u) override;
 
  private:
   /// INV's core evaluation: recompute the query's current embedding total
   /// from the base views. Returns false when the time budget expired
   /// mid-evaluation (total is then unusable).
   bool EvaluateQueryTotal(QueryEntry& entry, uint64_t& total);
-
-  std::unique_ptr<JoinCache> cache_;
 };
 
 }  // namespace baseline

@@ -9,9 +9,15 @@
 namespace gstream {
 namespace baseline {
 
+InvertedIndexEngineBase::InvertedIndexEngineBase(bool enable_cache)
+    : cache_(enable_cache ? std::make_unique<JoinCache>() : nullptr) {
+  if (!enable_cache) EnableWindowCache();
+}
+
 void InvertedIndexEngineBase::AddQuery(QueryId qid, const QueryPattern& q) {
   GS_CHECK_MSG(q.IsValid(), "invalid query pattern");
   GS_CHECK_MSG(queries_.count(qid) == 0, "duplicate query id");
+  MarkReachDirty();
 
   QueryEntry entry;
   entry.pattern = q;
@@ -47,6 +53,26 @@ std::vector<QueryId> InvertedIndexEngineBase::AffectedQueries(
   return qids;
 }
 
+void InvertedIndexEngineBase::BuildPatternReach() {
+  // Per-pattern reach: the pattern's base view plus, for each query the
+  // pattern can affect (edgeInd), the query's per-update state and every
+  // base view its path (re)materialization scans.
+  for (const auto& [pattern, view] : base_views_) {
+    Footprint& fp = pattern_reach_[pattern];
+    fp.push_back(PatternElem(PatternId(pattern)));
+    if (const std::vector<QueryId>* qids = edge_ind_.Find(pattern)) {
+      for (QueryId qid : *qids) {
+        fp.push_back(QueryElem(qid));
+        const QueryEntry& entry = queries_.at(qid);
+        for (const auto& sig : entry.signatures)
+          for (const auto& p : sig) fp.push_back(PatternElem(PatternId(p)));
+      }
+    }
+    std::sort(fp.begin(), fp.end());
+    fp.erase(std::unique(fp.begin(), fp.end()), fp.end());
+  }
+}
+
 bool InvertedIndexEngineBase::AllViewsNonEmpty(const QueryEntry& entry) const {
   for (uint32_t e = 0; e < entry.pattern.NumEdges(); ++e) {
     const Relation* view = FindBaseView(entry.pattern.Genericized(e));
@@ -56,7 +82,7 @@ bool InvertedIndexEngineBase::AllViewsNonEmpty(const QueryEntry& entry) const {
 }
 
 std::unique_ptr<Relation> InvertedIndexEngineBase::MaterializeFullPath(
-    const QueryEntry& entry, size_t pi, JoinCache* cache, size_t& transient_bytes) {
+    const QueryEntry& entry, size_t pi, JoinIndexSource* cache, size_t& transient_bytes) {
   const auto& sig = entry.signatures[pi];
   const Relation* first = FindBaseView(sig[0]);
   GS_DCHECK(first != nullptr);
@@ -82,7 +108,7 @@ std::unique_ptr<Relation> InvertedIndexEngineBase::MaterializeFullPath(
 }
 
 std::unique_ptr<Relation> InvertedIndexEngineBase::MaterializePathDelta(
-    const QueryEntry& entry, size_t pi, const EdgeUpdate& u, JoinCache* cache,
+    const QueryEntry& entry, size_t pi, const EdgeUpdate& u, JoinIndexSource* cache,
     size_t& transient_bytes) {
   const auto& sig = entry.signatures[pi];
   const uint32_t arity = static_cast<uint32_t>(sig.size()) + 1;
@@ -120,6 +146,7 @@ std::unique_ptr<Relation> InvertedIndexEngineBase::MaterializePathDelta(
 
 size_t InvertedIndexEngineBase::MemoryBytes() const {
   size_t bytes = SharedMemoryBytes();
+  if (cache_ != nullptr) bytes += cache_->MemoryBytes();
   for (const auto& [qid, entry] : queries_) {
     bytes += sizeof(qid) + entry.pattern.MemoryBytes() + 2 * sizeof(void*);
     for (const auto& path : entry.paths)

@@ -29,6 +29,22 @@ class InvertedIndexEngineBase : public ViewEngineBase {
   size_t MemoryBytes() const override;
 
  protected:
+  /// `enable_cache` selects the "+" variant (a persistent JoinCache); the
+  /// base variants amortize within batch windows only.
+  explicit InvertedIndexEngineBase(bool enable_cache);
+
+  /// The "+" persistent cache, or the batch window's transient cache.
+  JoinIndexSource* IndexSource() {
+    return cache_ != nullptr ? static_cast<JoinIndexSource*>(cache_.get())
+                             : window_cache();
+  }
+  /// Batch sharding (ViewEngineBase): a pattern's reach is its base view
+  /// plus, per query it can affect, the query's per-update state and every
+  /// base view its covering-path (re)materialization scans (INV redoes
+  /// whole paths, INC seeds the touched ones — both stay within the query's
+  /// signature patterns).
+  void BuildPatternReach() override;
+
   struct QueryEntry {
     QueryPattern pattern;
     std::vector<CoveringPath> paths;
@@ -51,7 +67,7 @@ class InvertedIndexEngineBase : public ViewEngineBase {
   /// update cost, also paid by INC for the paths the update does not touch).
   /// Returns nullptr when the chain dies or the budget expires.
   std::unique_ptr<Relation> MaterializeFullPath(const QueryEntry& entry, size_t pi,
-                                                JoinCache* cache,
+                                                JoinIndexSource* cache,
                                                 size_t& transient_bytes);
 
   /// Materializes only the path rows that use update `u` (INC's seeded
@@ -59,9 +75,10 @@ class InvertedIndexEngineBase : public ViewEngineBase {
   /// `u`, seed with the update tuple and extend left/right over the edge
   /// views. Returns the (deduplicated) delta rows.
   std::unique_ptr<Relation> MaterializePathDelta(const QueryEntry& entry, size_t pi,
-                                                 const EdgeUpdate& u, JoinCache* cache,
+                                                 const EdgeUpdate& u, JoinIndexSource* cache,
                                                  size_t& transient_bytes);
 
+  std::unique_ptr<JoinCache> cache_;  ///< Non-null for INV+/INC+.
   std::unordered_map<QueryId, QueryEntry> queries_;
   /// Probed with every generalization of every streamed update — flat
   /// open-addressing postings (see flat_map.h).

@@ -23,6 +23,13 @@ Flags Flags::Parse(int argc, char** argv) {
   return flags;
 }
 
+std::vector<std::string> Flags::Names() const {
+  std::vector<std::string> names;
+  names.reserve(values_.size());
+  for (const auto& [name, value] : values_) names.push_back(name);
+  return names;
+}
+
 std::string Flags::GetString(const std::string& name, const std::string& def) const {
   auto it = values_.find(name);
   return it == values_.end() ? def : it->second;

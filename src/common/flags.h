@@ -26,6 +26,10 @@ class Flags {
   /// Positional (non-flag) arguments, in order.
   const std::vector<std::string>& positional() const { return positional_; }
 
+  /// Names of all flags present on the command line (sorted; for strict
+  /// parsers that reject unknown flags).
+  std::vector<std::string> Names() const;
+
  private:
   std::map<std::string, std::string> values_;
   std::vector<std::string> positional_;

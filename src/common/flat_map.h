@@ -13,6 +13,12 @@
 #include "common/hash.h"
 #include "common/ids.h"
 
+#if !defined(GSTREAM_NO_SIMD) && defined(__SSE2__)
+#include <emmintrin.h>
+#elif !defined(GSTREAM_NO_SIMD) && defined(__ARM_NEON)
+#include <arm_neon.h>
+#endif
+
 namespace gstream {
 
 /// Flat open-addressing hash containers for the data plane.
@@ -23,28 +29,152 @@ namespace gstream {
 /// semantics). The std containers used by the seed are node-based — one heap
 /// allocation per key and a pointer chase per probe — which dominates
 /// streaming-join cost (cf. Pacaci et al., "Evaluating Complex Queries on
-/// Streaming Graphs"). The containers here are power-of-two, linear-probing
-/// open-addressing tables with contiguous slot storage, sized so the hot
-/// probe touches one or two cache lines.
+/// Streaming Graphs"). The containers here are power-of-two, open-addressing
+/// tables with contiguous slot storage and SwissTable-style group probing: a
+/// separate per-slot control byte (empty marker | 7-bit hash fragment) lets a
+/// probe rule 16 slots in or out with one 16-byte compare, so slot storage is
+/// only touched for candidates whose fragment already matched.
 ///
 /// Shared conventions:
-///  * capacity is a power of two, probing is `(i + 1) & mask`;
+///  * capacity is a power of two (and a multiple of the 16-slot group);
+///    probing walks group-aligned windows, `g = (g + 16) & mask`;
 ///  * growth at ~7/8 load factor keeps probe chains short;
 ///  * no per-element erase (the data plane is append-only within a relation
-///    generation; retractions rebuild), so no tombstones are needed.
+///    generation; retractions rebuild), so no tombstones are needed — a group
+///    containing an empty slot always terminates a probe.
+///
+/// SIMD: the 16-byte group compare uses SSE2 on x86 and NEON on arm; defining
+/// `GSTREAM_NO_SIMD` (CMake option of the same name) selects a portable
+/// scalar loop with bit-identical results. The scalar implementation is
+/// always compiled (`ScalarGroup`) so the SIMD paths can be parity-tested
+/// against it in the same binary.
 
 namespace flat_internal {
 
+/// Slots probed per group step (one SSE2/NEON register of control bytes).
+inline constexpr size_t kGroupWidth = 16;
+
+/// Control byte of an empty slot. Full slots store the 7-bit `H2` fragment
+/// (0..127), so the sign bit alone distinguishes empty from full.
+inline constexpr int8_t kCtrlEmpty = -128;
+
 /// Smallest power-of-two capacity that holds `n` entries at ≤7/8 load.
 inline size_t RoundUpCapacity(size_t n) {
-  size_t cap = 16;
+  size_t cap = kGroupWidth;
   while (cap * 7 < n * 8) cap <<= 1;
   return cap;
 }
 
-/// 0 marks an empty slot in the hash-keyed tables; real hashes are forced
-/// non-zero.
-inline uint64_t MangleHash(uint64_t h) { return h ? h : 0x9e3779b97f4a7c15ull; }
+/// Splits a 64-bit hash for group probing: the home-group window and the
+/// 7-bit `H2` control fragment must come from disjoint bit ranges, or
+/// same-group entries get correlated fragments and the 16-byte prefilter
+/// stops filtering. `FlatRowSet`/`FlatMap` index groups from the low bits,
+/// so the top-bits fragment is disjoint below 2^57 slots; `FlatPostingMap`
+/// indexes from bits 32.. and uses `H2Low` (bits 25..31), disjoint for any
+/// capacity.
+inline int8_t H2(uint64_t h) { return static_cast<int8_t>(h >> 57); }
+inline int8_t H2Low(uint64_t h) { return static_cast<int8_t>((h >> 25) & 0x7f); }
+
+/// Iterator over the matching lanes of one 16-slot group, lowest lane first.
+/// `shift` folds the backend mask encodings into one type: SSE2/scalar masks
+/// carry one bit per lane, the NEON mask carries one bit in the top of each
+/// lane nibble (so lane = trailing-zeros >> shift and `bits & (bits - 1)`
+/// clears exactly one lane in both encodings).
+class LaneMask {
+ public:
+  LaneMask(uint64_t bits, uint32_t shift) : bits_(bits), shift_(shift) {}
+  explicit operator bool() const { return bits_ != 0; }
+  uint32_t Lane() const {
+    return static_cast<uint32_t>(__builtin_ctzll(bits_)) >> shift_;
+  }
+  void Clear() { bits_ &= bits_ - 1; }
+
+ private:
+  uint64_t bits_;
+  uint32_t shift_;
+};
+
+/// Portable group ops; also the reference the SIMD backends are tested
+/// against (tests/flat_map_test.cc fuzzes Match/MatchEmpty parity).
+struct ScalarGroup {
+  explicit ScalarGroup(const int8_t* ctrl) : p(ctrl) {}
+
+  LaneMask Match(int8_t h2) const {
+    uint64_t m = 0;
+    for (uint32_t i = 0; i < kGroupWidth; ++i)
+      m |= static_cast<uint64_t>(p[i] == h2) << i;
+    return {m, 0};
+  }
+
+  /// Empty slots are the only control bytes with the sign bit set.
+  LaneMask MatchEmpty() const {
+    uint64_t m = 0;
+    for (uint32_t i = 0; i < kGroupWidth; ++i)
+      m |= static_cast<uint64_t>(p[i] < 0) << i;
+    return {m, 0};
+  }
+
+  const int8_t* p;
+};
+
+#if !defined(GSTREAM_NO_SIMD) && defined(__SSE2__)
+
+struct SseGroup {
+  explicit SseGroup(const int8_t* ctrl)
+      : v(_mm_loadu_si128(reinterpret_cast<const __m128i*>(ctrl))) {}
+
+  LaneMask Match(int8_t h2) const {
+    const uint32_t m = static_cast<uint32_t>(
+        _mm_movemask_epi8(_mm_cmpeq_epi8(v, _mm_set1_epi8(h2))));
+    return {m, 0};
+  }
+
+  LaneMask MatchEmpty() const {
+    // kCtrlEmpty is the only byte value with the sign bit set.
+    return {static_cast<uint32_t>(_mm_movemask_epi8(v)), 0};
+  }
+
+  __m128i v;
+};
+using Group = SseGroup;
+
+#elif !defined(GSTREAM_NO_SIMD) && defined(__ARM_NEON)
+
+struct NeonGroup {
+  explicit NeonGroup(const int8_t* ctrl) : v(vld1q_s8(ctrl)) {}
+
+  LaneMask Match(int8_t h2) const {
+    return FromLanes(vceqq_s8(v, vdupq_n_s8(h2)));
+  }
+
+  LaneMask MatchEmpty() const {
+    return FromLanes(vcltq_s8(v, vdupq_n_s8(0)));
+  }
+
+  /// Narrows a per-lane 0xFF/0x00 mask to 4 bits per lane and keeps one bit
+  /// per lane (the nibble's top bit) so `bits & (bits - 1)` clears one lane.
+  static LaneMask FromLanes(uint8x16_t eq) {
+    const uint8x8_t nib = vshrn_n_u16(vreinterpretq_u16_u8(eq), 4);
+    const uint64_t packed = vget_lane_u64(vreinterpret_u64_u8(nib), 0);
+    return {packed & 0x8888888888888888ull, 2};
+  }
+
+  int8x16_t v;
+};
+using Group = NeonGroup;
+
+#else
+using Group = ScalarGroup;
+#endif
+
+/// First empty slot on the probe chain starting at group-aligned `g`
+/// (insert/rehash path — the caller already knows the key is absent).
+inline size_t FindFirstEmpty(const int8_t* ctrl, size_t mask, size_t g) {
+  while (true) {
+    if (auto e = Group(ctrl + g).MatchEmpty()) return g + e.Lane();
+    g = (g + kGroupWidth) & mask;
+  }
+}
 
 }  // namespace flat_internal
 
@@ -151,27 +281,51 @@ class FlatPostingMap {
       }
       return sentinel_list_;
     }
-    if (Capacity() == 0 || (num_keys_ + 1) * 8 > Capacity() * 7)
-      Rehash(Capacity() == 0 ? 16 : Capacity() * 2);
-    size_t i = Bucket(key, mask_);
-    while (keys_[i] != kEmptyKey) {
-      if (keys_[i] == key) return lists_[i];
-      i = (i + 1) & mask_;
+    const uint64_t h = Hash(key);
+    const int8_t h2 = flat_internal::H2Low(h);
+    // Probe before the growth check: hitting an existing key must neither
+    // rehash (slot pointers stay valid) nor pay a wasted table double.
+    size_t insert_at = kNoSlot;
+    if (!ctrl_.empty()) {
+      size_t g = HomeGroup(h);
+      while (true) {
+        const flat_internal::Group grp(ctrl_.data() + g);
+        for (auto m = grp.Match(h2); m; m.Clear()) {
+          const size_t i = g + m.Lane();
+          if (keys_[i] == key) return lists_[i];
+        }
+        if (auto e = grp.MatchEmpty()) {
+          insert_at = g + e.Lane();
+          break;
+        }
+        g = (g + flat_internal::kGroupWidth) & mask_;
+      }
     }
-    keys_[i] = key;
+    if (Capacity() == 0 || (num_keys_ + 1) * 8 > Capacity() * 7) {
+      Rehash(Capacity() == 0 ? flat_internal::kGroupWidth : Capacity() * 2);
+      insert_at = FindInsertSlot(h);
+    }
+    ctrl_[insert_at] = h2;
+    keys_[insert_at] = key;
     ++num_keys_;
-    return lists_[i];
+    return lists_[insert_at];
   }
 
   RowIdSpan Probe(VertexId key) const {
     if (key == kEmptyKey) return has_sentinel_ ? sentinel_list_.Span() : RowIdSpan{};
-    if (num_keys_ == 0 || keys_.empty()) return {};
-    size_t i = Bucket(key, mask_);
-    while (keys_[i] != kEmptyKey) {
-      if (keys_[i] == key) return lists_[i].Span();
-      i = (i + 1) & mask_;
+    if (num_keys_ == 0 || ctrl_.empty()) return {};
+    const uint64_t h = Hash(key);
+    const int8_t h2 = flat_internal::H2Low(h);
+    size_t g = HomeGroup(h);
+    while (true) {
+      const flat_internal::Group grp(ctrl_.data() + g);
+      for (auto m = grp.Match(h2); m; m.Clear()) {
+        const size_t i = g + m.Lane();
+        if (keys_[i] == key) return lists_[i].Span();
+      }
+      if (grp.MatchEmpty()) return {};
+      g = (g + flat_internal::kGroupWidth) & mask_;
     }
-    return {};
   }
 
   /// Number of distinct keys.
@@ -179,6 +333,7 @@ class FlatPostingMap {
   bool empty() const { return num_keys_ == 0; }
 
   void Clear() {
+    ctrl_.clear();
     keys_.clear();
     lists_.clear();
     num_keys_ = 0;
@@ -190,13 +345,14 @@ class FlatPostingMap {
   /// `fn(VertexId, RowIdSpan)` over every key, table order.
   template <typename Fn>
   void ForEach(Fn fn) const {
-    for (size_t i = 0; i < keys_.size(); ++i)
-      if (keys_[i] != kEmptyKey) fn(keys_[i], lists_[i].Span());
+    for (size_t i = 0; i < ctrl_.size(); ++i)
+      if (ctrl_[i] != flat_internal::kCtrlEmpty) fn(keys_[i], lists_[i].Span());
     if (has_sentinel_) fn(kEmptyKey, sentinel_list_.Span());
   }
 
   size_t MemoryBytes() const {
-    size_t bytes = sizeof(*this) + keys_.capacity() * sizeof(VertexId) +
+    size_t bytes = sizeof(*this) + ctrl_.capacity() * sizeof(int8_t) +
+                   keys_.capacity() * sizeof(VertexId) +
                    lists_.capacity() * sizeof(PostingList) + sentinel_list_.HeapBytes();
     for (const auto& l : lists_) bytes += l.HeapBytes();
     return bytes;
@@ -204,67 +360,101 @@ class FlatPostingMap {
 
  private:
   static constexpr VertexId kEmptyKey = kNoVertex;
+  static constexpr size_t kNoSlot = static_cast<size_t>(-1);
 
-  /// Fibonacci multiplicative bucket: one 64-bit multiply, no dependency
-  /// chain — the probe hot path is a multiply, a shift, and one cache-line
-  /// read. Bits 32.. of the product are well mixed for power-of-two masks.
-  static size_t Bucket(VertexId key, size_t mask) {
-    return static_cast<size_t>(
-               (static_cast<uint64_t>(key) * 0x9e3779b97f4a7c15ull) >> 32) &
-           mask;
+  /// Fibonacci multiplicative hash: one 64-bit multiply, no dependency
+  /// chain — the probe hot path is a multiply, a shift, and one 16-byte
+  /// control-group compare. Bits 32.. pick the home group, the top 7 bits
+  /// are the control fragment.
+  static uint64_t Hash(VertexId key) {
+    return static_cast<uint64_t>(key) * 0x9e3779b97f4a7c15ull;
   }
 
-  size_t Capacity() const { return keys_.size(); }
+  /// Group-aligned home slot of `h`.
+  size_t HomeGroup(uint64_t h) const {
+    return (static_cast<size_t>(h >> 32) & mask_) & ~(flat_internal::kGroupWidth - 1);
+  }
+
+  size_t Capacity() const { return ctrl_.size(); }
+
+  /// First empty slot on `h`'s probe chain (rehash path: keys are distinct,
+  /// so no match scan is needed).
+  size_t FindInsertSlot(uint64_t h) const {
+    return flat_internal::FindFirstEmpty(ctrl_.data(), mask_, HomeGroup(h));
+  }
 
   void Rehash(size_t new_cap) {
+    std::vector<int8_t> old_ctrl = std::move(ctrl_);
     std::vector<VertexId> old_keys = std::move(keys_);
     std::vector<PostingList> old_lists = std::move(lists_);
-    keys_.assign(new_cap, kEmptyKey);
+    ctrl_.assign(new_cap, flat_internal::kCtrlEmpty);
+    keys_.resize(new_cap);
     lists_.clear();
     lists_.resize(new_cap);
     mask_ = new_cap - 1;
-    for (size_t i = 0; i < old_keys.size(); ++i) {
-      if (old_keys[i] == kEmptyKey) continue;
-      size_t j = Bucket(old_keys[i], mask_);
-      while (keys_[j] != kEmptyKey) j = (j + 1) & mask_;
+    for (size_t i = 0; i < old_ctrl.size(); ++i) {
+      if (old_ctrl[i] == flat_internal::kCtrlEmpty) continue;
+      const uint64_t h = Hash(old_keys[i]);
+      const size_t j = FindInsertSlot(h);
+      ctrl_[j] = flat_internal::H2Low(h);
       keys_[j] = old_keys[i];
       lists_[j] = std::move(old_lists[i]);
     }
   }
 
-  std::vector<VertexId> keys_;      ///< kEmptyKey marks an empty slot.
-  std::vector<PostingList> lists_;  ///< Parallel to keys_.
+  std::vector<int8_t> ctrl_;        ///< kCtrlEmpty | H2 fragment, per slot.
+  std::vector<VertexId> keys_;      ///< Parallel to ctrl_; valid where full.
+  std::vector<PostingList> lists_;  ///< Parallel to ctrl_.
   size_t num_keys_ = 0;
   size_t mask_ = 0;
   bool has_sentinel_ = false;
   PostingList sentinel_list_;  ///< Postings for the kNoVertex key itself.
 };
 
-/// Open-addressing row-dedup set for `Relation`: stores (hash, row index)
-/// pairs; the caller supplies row equality (the rows live in the relation's
-/// own columnar buffer). ~12 bytes per row vs. the ~56 of a node-based
-/// unordered_set entry, and insertion is allocation-free until growth.
+/// Open-addressing row-dedup set for `Relation`: control bytes + row
+/// indexes, 5 bytes per slot (vs. ~56 of a node-based unordered_set entry
+/// and 13 of a stored-hash flat layout) — an insert touches one control
+/// line and one row line. Full hashes are not stored: the 7-bit control
+/// fragment prefilters (1/128 false-candidate rate) and `eq` confirms on
+/// the relation's own row data; growth recomputes row hashes through the
+/// caller-supplied `hash_of` (rows are cheap to rehash — a handful of ids).
 class FlatRowSet {
  public:
-  void Reserve(size_t n) {
+  /// `hash_of(row_idx)` recomputes a stored row's hash (growth only).
+  template <typename HashFn>
+  void Reserve(size_t n, HashFn hash_of) {
     const size_t cap = flat_internal::RoundUpCapacity(n);
-    if (cap > hashes_.size()) Rehash(cap);
+    if (cap > ctrl_.size()) Rehash(cap, hash_of);
   }
 
   /// Inserts row `idx` with precomputed `hash` unless an equal row exists;
   /// `eq(existing_idx)` decides equality. Returns true when inserted.
-  template <typename EqFn>
-  bool Insert(uint64_t hash, uint32_t idx, EqFn eq) {
-    if (hashes_.empty() || (size_ + 1) * 8 > hashes_.size() * 7)
-      Rehash(hashes_.empty() ? 16 : hashes_.size() * 2);
-    const uint64_t h = flat_internal::MangleHash(hash);
-    size_t i = h & mask_;
-    while (hashes_[i] != 0) {
-      if (hashes_[i] == h && eq(rows_[i])) return false;
-      i = (i + 1) & mask_;
+  template <typename EqFn, typename HashFn>
+  bool Insert(uint64_t hash, uint32_t idx, EqFn eq, HashFn hash_of) {
+    const int8_t h2 = flat_internal::H2(hash);
+    // Probe before the growth check: rejecting a duplicate row must not pay
+    // a wasted table double at the load threshold.
+    size_t insert_at = static_cast<size_t>(-1);
+    if (!ctrl_.empty()) {
+      size_t g = HomeGroup(hash);
+      while (true) {
+        const flat_internal::Group grp(ctrl_.data() + g);
+        for (auto m = grp.Match(h2); m; m.Clear()) {
+          if (eq(rows_[g + m.Lane()])) return false;
+        }
+        if (auto e = grp.MatchEmpty()) {
+          insert_at = g + e.Lane();
+          break;
+        }
+        g = (g + flat_internal::kGroupWidth) & mask_;
+      }
     }
-    hashes_[i] = h;
-    rows_[i] = idx;
+    if (ctrl_.empty() || (size_ + 1) * 8 > ctrl_.size() * 7) {
+      Rehash(ctrl_.empty() ? flat_internal::kGroupWidth : ctrl_.size() * 2, hash_of);
+      insert_at = flat_internal::FindFirstEmpty(ctrl_.data(), mask_, HomeGroup(hash));
+    }
+    ctrl_[insert_at] = h2;
+    rows_[insert_at] = idx;
     ++size_;
     return true;
   }
@@ -272,33 +462,38 @@ class FlatRowSet {
   size_t size() const { return size_; }
 
   void Clear() {
-    std::fill(hashes_.begin(), hashes_.end(), 0);
+    std::fill(ctrl_.begin(), ctrl_.end(), flat_internal::kCtrlEmpty);
     size_ = 0;
   }
 
   size_t MemoryBytes() const {
-    return sizeof(*this) + hashes_.capacity() * sizeof(uint64_t) +
+    return sizeof(*this) + ctrl_.capacity() * sizeof(int8_t) +
            rows_.capacity() * sizeof(uint32_t);
   }
 
  private:
-  void Rehash(size_t new_cap) {
-    std::vector<uint64_t> old_hashes = std::move(hashes_);
+  size_t HomeGroup(uint64_t h) const {
+    return (static_cast<size_t>(h) & mask_) & ~(flat_internal::kGroupWidth - 1);
+  }
+
+  template <typename HashFn>
+  void Rehash(size_t new_cap, HashFn hash_of) {
+    std::vector<int8_t> old_ctrl = std::move(ctrl_);
     std::vector<uint32_t> old_rows = std::move(rows_);
-    hashes_.assign(new_cap, 0);
-    rows_.assign(new_cap, 0);
+    ctrl_.assign(new_cap, flat_internal::kCtrlEmpty);
+    rows_.resize(new_cap);
     mask_ = new_cap - 1;
-    for (size_t i = 0; i < old_hashes.size(); ++i) {
-      if (old_hashes[i] == 0) continue;
-      size_t j = old_hashes[i] & mask_;
-      while (hashes_[j] != 0) j = (j + 1) & mask_;
-      hashes_[j] = old_hashes[i];
+    for (size_t i = 0; i < old_ctrl.size(); ++i) {
+      if (old_ctrl[i] == flat_internal::kCtrlEmpty) continue;
+      const size_t j = flat_internal::FindFirstEmpty(
+          ctrl_.data(), mask_, HomeGroup(hash_of(old_rows[i])));
+      ctrl_[j] = old_ctrl[i];
       rows_[j] = old_rows[i];
     }
   }
 
-  std::vector<uint64_t> hashes_;  ///< Mangled hash; 0 = empty.
-  std::vector<uint32_t> rows_;    ///< Parallel: row index in the relation.
+  std::vector<int8_t> ctrl_;    ///< kCtrlEmpty | H2 fragment, per slot.
+  std::vector<uint32_t> rows_;  ///< Parallel: row index in the relation.
   size_t size_ = 0;
   size_t mask_ = 0;
 };
@@ -316,18 +511,35 @@ template <typename K, typename V, typename Hash, typename Eq = std::equal_to<K>>
 class FlatMap {
  public:
   V& GetOrCreate(const K& key) {
-    if (slots_.empty() || (size_ + 1) * 8 > slots_.size() * 7)
-      Rehash(slots_.empty() ? 16 : slots_.size() * 2);
-    const uint64_t h = flat_internal::MangleHash(Hash{}(key));
-    size_t i = h & mask_;
-    while (slots_[i].hash != 0) {
-      if (slots_[i].hash == h && Eq{}(slots_[i].key, key)) return slots_[i].value;
-      i = (i + 1) & mask_;
+    const uint64_t h = Hash{}(key);
+    const int8_t h2 = flat_internal::H2(h);
+    // Probe before the growth check: hitting an existing key must neither
+    // rehash (slot pointers stay valid) nor pay a wasted table double.
+    size_t insert_at = static_cast<size_t>(-1);
+    if (!ctrl_.empty()) {
+      size_t g = HomeGroup(h);
+      while (true) {
+        const flat_internal::Group grp(ctrl_.data() + g);
+        for (auto m = grp.Match(h2); m; m.Clear()) {
+          const size_t i = g + m.Lane();
+          if (slots_[i].hash == h && Eq{}(slots_[i].key, key)) return slots_[i].value;
+        }
+        if (auto e = grp.MatchEmpty()) {
+          insert_at = g + e.Lane();
+          break;
+        }
+        g = (g + flat_internal::kGroupWidth) & mask_;
+      }
     }
-    slots_[i].hash = h;
-    slots_[i].key = key;
+    if (ctrl_.empty() || (size_ + 1) * 8 > ctrl_.size() * 7) {
+      Rehash(ctrl_.empty() ? flat_internal::kGroupWidth : ctrl_.size() * 2);
+      insert_at = flat_internal::FindFirstEmpty(ctrl_.data(), mask_, HomeGroup(h));
+    }
+    ctrl_[insert_at] = h2;
+    slots_[insert_at].hash = h;
+    slots_[insert_at].key = key;
     ++size_;
-    return slots_[i].value;
+    return slots_[insert_at].value;
   }
 
   V* Find(const K& key) {
@@ -335,13 +547,18 @@ class FlatMap {
   }
   const V* Find(const K& key) const {
     if (size_ == 0) return nullptr;
-    const uint64_t h = flat_internal::MangleHash(Hash{}(key));
-    size_t i = h & mask_;
-    while (slots_[i].hash != 0) {
-      if (slots_[i].hash == h && Eq{}(slots_[i].key, key)) return &slots_[i].value;
-      i = (i + 1) & mask_;
+    const uint64_t h = Hash{}(key);
+    const int8_t h2 = flat_internal::H2(h);
+    size_t g = HomeGroup(h);
+    while (true) {
+      const flat_internal::Group grp(ctrl_.data() + g);
+      for (auto m = grp.Match(h2); m; m.Clear()) {
+        const size_t i = g + m.Lane();
+        if (slots_[i].hash == h && Eq{}(slots_[i].key, key)) return &slots_[i].value;
+      }
+      if (grp.MatchEmpty()) return nullptr;
+      g = (g + flat_internal::kGroupWidth) & mask_;
     }
-    return nullptr;
   }
 
   bool Contains(const K& key) const { return Find(key) != nullptr; }
@@ -351,10 +568,11 @@ class FlatMap {
 
   void Reserve(size_t n) {
     const size_t cap = flat_internal::RoundUpCapacity(n);
-    if (cap > slots_.size()) Rehash(cap);
+    if (cap > ctrl_.size()) Rehash(cap);
   }
 
   void Clear() {
+    ctrl_.clear();
     slots_.clear();
     size_ = 0;
     mask_ = 0;
@@ -363,41 +581,50 @@ class FlatMap {
   /// `fn(const K&, const V&)` / `fn(const K&, V&)` over every entry.
   template <typename Fn>
   void ForEach(Fn fn) const {
-    for (const Slot& s : slots_)
-      if (s.hash != 0) fn(s.key, s.value);
+    for (size_t i = 0; i < ctrl_.size(); ++i)
+      if (ctrl_[i] != flat_internal::kCtrlEmpty) fn(slots_[i].key, slots_[i].value);
   }
   template <typename Fn>
   void ForEachMutable(Fn fn) {
-    for (Slot& s : slots_)
-      if (s.hash != 0) fn(s.key, s.value);
+    for (size_t i = 0; i < ctrl_.size(); ++i)
+      if (ctrl_[i] != flat_internal::kCtrlEmpty) fn(slots_[i].key, slots_[i].value);
   }
 
   /// Slot-array bytes only; value-owned heap is the caller's to account.
   size_t MemoryBytes() const {
-    return sizeof(*this) + slots_.capacity() * sizeof(Slot);
+    return sizeof(*this) + ctrl_.capacity() * sizeof(int8_t) +
+           slots_.capacity() * sizeof(Slot);
   }
 
  private:
   struct Slot {
-    uint64_t hash = 0;  ///< 0 = empty.
+    uint64_t hash = 0;
     K key{};
     V value{};
   };
 
+  size_t HomeGroup(uint64_t h) const {
+    return (static_cast<size_t>(h) & mask_) & ~(flat_internal::kGroupWidth - 1);
+  }
+
   void Rehash(size_t new_cap) {
+    std::vector<int8_t> old_ctrl = std::move(ctrl_);
     std::vector<Slot> old = std::move(slots_);
+    ctrl_.assign(new_cap, flat_internal::kCtrlEmpty);
     slots_.clear();
     slots_.resize(new_cap);
     mask_ = new_cap - 1;
-    for (Slot& s : old) {
-      if (s.hash == 0) continue;
-      size_t j = s.hash & mask_;
-      while (slots_[j].hash != 0) j = (j + 1) & mask_;
-      slots_[j] = std::move(s);
+    for (size_t i = 0; i < old_ctrl.size(); ++i) {
+      if (old_ctrl[i] == flat_internal::kCtrlEmpty) continue;
+      const size_t j =
+          flat_internal::FindFirstEmpty(ctrl_.data(), mask_, HomeGroup(old[i].hash));
+      ctrl_[j] = old_ctrl[i];
+      slots_[j] = std::move(old[i]);
     }
   }
 
-  std::vector<Slot> slots_;
+  std::vector<int8_t> ctrl_;  ///< kCtrlEmpty | H2 fragment, per slot.
+  std::vector<Slot> slots_;   ///< Parallel to ctrl_; valid where full.
   size_t size_ = 0;
   size_t mask_ = 0;
 };

@@ -1,0 +1,105 @@
+#ifndef GSTREAM_COMMON_THREAD_POOL_H_
+#define GSTREAM_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace gstream {
+
+/// Small fixed thread pool for the engines' sharded batch execution
+/// (`ContinuousEngine::ApplyBatch`): `threads - 1` workers plus the calling
+/// thread, which drains the same queue inside `Wait()`. The pool is owned by
+/// one engine and driven from one coordinator thread at a time — `Submit` and
+/// `Wait` are not themselves concurrent entry points; only the submitted
+/// tasks run in parallel.
+///
+/// Tasks must not throw (the engines' update paths are exception-free by
+/// construction) and must not Submit further tasks.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int threads) {
+    const int workers = threads > 1 ? threads - 1 : 0;
+    workers_.reserve(static_cast<size_t>(workers));
+    for (int i = 0; i < workers; ++i)
+      workers_.emplace_back([this] { WorkerLoop(); });
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  /// Total threads that execute tasks (workers + the waiting caller).
+  int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Enqueues one task. Call `Wait()` before destroying captured state.
+  void Submit(std::function<void()> fn) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(std::move(fn));
+    }
+    work_cv_.notify_one();
+  }
+
+  /// Runs queued tasks on the calling thread until the queue is empty and
+  /// every in-flight task has finished.
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (true) {
+      if (!queue_.empty()) {
+        std::function<void()> task = std::move(queue_.front());
+        queue_.pop_front();
+        ++active_;
+        lock.unlock();
+        task();
+        lock.lock();
+        --active_;
+        continue;
+      }
+      if (active_ == 0) return;
+      idle_cv_.wait(lock, [this] { return !queue_.empty() || active_ == 0; });
+    }
+  }
+
+ private:
+  void WorkerLoop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (true) {
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_) return;
+      std::function<void()> task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+      lock.unlock();
+      task();
+      lock.lock();
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< Signals queued work / shutdown.
+  std::condition_variable idle_cv_;  ///< Signals the waiting coordinator.
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace gstream
+
+#endif  // GSTREAM_COMMON_THREAD_POOL_H_

@@ -1,5 +1,6 @@
 #include "engine/driver.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/timer.h"
@@ -26,16 +27,35 @@ RunStats RunStream(ContinuousEngine& engine, const UpdateStream& stream,
   engine.set_budget(&budget);
 
   std::unordered_set<QueryId> satisfied;
-  WallTimer total;
-  for (const auto& u : stream.updates()) {
-    UpdateResult result = engine.ApplyUpdate(u);
+  const auto absorb = [&](const UpdateResult& result) {
     ++stats.updates_applied;
     stats.new_embeddings += result.new_embeddings;
     for (QueryId qid : result.triggered) satisfied.insert(qid);
-    if (result.timed_out || budget.ExceededNow()) {
-      stats.timed_out = true;
-      break;
+    return result.timed_out;
+  };
+
+  WallTimer total;
+  const size_t window = config.batch_window > 1 ? config.batch_window : 1;
+  if (window == 1) {
+    for (const auto& u : stream.updates()) {
+      if (absorb(engine.ApplyUpdate(u)) || budget.ExceededNow()) {
+        stats.timed_out = true;
+        break;
+      }
     }
+  } else {
+    engine.SetBatchThreads(config.batch_threads);
+    const std::vector<EdgeUpdate>& updates = stream.updates();
+    for (size_t pos = 0; pos < updates.size() && !stats.timed_out;) {
+      const size_t n = std::min(window, updates.size() - pos);
+      std::vector<UpdateResult> results = engine.ApplyBatch(&updates[pos], n);
+      for (const UpdateResult& r : results)
+        if (absorb(r)) stats.timed_out = true;
+      // A short window means the engine dropped the suffix on timeout.
+      if (results.size() < n || budget.ExceededNow()) stats.timed_out = true;
+      pos += n;
+    }
+    engine.SetBatchThreads(1);
   }
   stats.answer_millis = total.ElapsedMillis();
   stats.queries_satisfied = satisfied.size();

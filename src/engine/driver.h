@@ -12,9 +12,17 @@
 namespace gstream {
 
 /// One experiment cell's configuration: how long the engine may run before
-/// the cell is declared timed out (the paper's 24-hour ceiling, scaled).
+/// the cell is declared timed out (the paper's 24-hour ceiling, scaled), and
+/// how updates are fed to the engine.
 struct RunConfig {
   double budget_seconds = std::numeric_limits<double>::infinity();
+
+  /// Updates per `ApplyBatch` window; 1 = classic per-update `ApplyUpdate`.
+  size_t batch_window = 1;
+
+  /// Worker threads for the engines' sharded batch execution (only
+  /// meaningful with batch_window > 1).
+  int batch_threads = 1;
 };
 
 /// Aggregate result of streaming one update sequence through one engine —

@@ -1,0 +1,16 @@
+#include "engine/engine.h"
+
+namespace gstream {
+
+std::vector<UpdateResult> ContinuousEngine::ApplyBatch(const EdgeUpdate* updates,
+                                                       size_t n) {
+  std::vector<UpdateResult> results;
+  results.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    results.push_back(ApplyUpdate(updates[i]));
+    if (results.back().timed_out) break;
+  }
+  return results;
+}
+
+}  // namespace gstream

@@ -38,6 +38,23 @@ class ContinuousEngine {
   /// Applies one streamed edge update and reports newly satisfied queries.
   virtual UpdateResult ApplyUpdate(const EdgeUpdate& u) = 0;
 
+  /// Applies a window of `n` consecutive stream updates and returns exactly
+  /// the per-update results sequential `ApplyUpdate` calls would produce, in
+  /// stream order (same match sets, same notification order). The returned
+  /// vector is shorter than `n` only when the time budget tripped mid-window;
+  /// the unprocessed suffix was not applied.
+  ///
+  /// The base implementation is the sequential loop. The view-based engines
+  /// override it with footprint-sharded execution: updates whose read/write
+  /// sets are provably disjoint run concurrently on the engine's batch
+  /// thread pool (see `SetBatchThreads`).
+  virtual std::vector<UpdateResult> ApplyBatch(const EdgeUpdate* updates, size_t n);
+
+  /// Worker-thread count for `ApplyBatch` shards; 1 (default) keeps batched
+  /// execution on the calling thread. Engines without a batch override
+  /// ignore it. Must not be called while a batch is in flight.
+  virtual void SetBatchThreads(int threads) { (void)threads; }
+
   /// Number of registered queries.
   virtual size_t NumQueries() const = 0;
 

@@ -1,6 +1,32 @@
 #include "engine/view_engine_base.h"
 
+#include <algorithm>
+#include <numeric>
+
 namespace gstream {
+
+namespace {
+
+/// Union-find over window slots (path-halving; windows are small).
+uint32_t FindRoot(std::vector<uint32_t>& parent, uint32_t x) {
+  while (parent[x] != x) {
+    parent[x] = parent[parent[x]];
+    x = parent[x];
+  }
+  return x;
+}
+
+void Union(std::vector<uint32_t>& parent, uint32_t a, uint32_t b) {
+  a = FindRoot(parent, a);
+  b = FindRoot(parent, b);
+  if (a != b) parent[b < a ? a : b] = b < a ? b : a;  // smaller slot wins
+}
+
+struct ElemHash {
+  size_t operator()(uint64_t e) const { return Mix64(e); }
+};
+
+}  // namespace
 
 Relation* ViewEngineBase::GetOrCreateBaseView(const GenericEdgePattern& p) {
   auto it = base_views_.find(p);
@@ -37,12 +63,153 @@ bool ViewEngineBase::IsDuplicateUpdate(const EdgeUpdate& u) {
   return !seen_edges_.insert(u).second;
 }
 
+bool ViewEngineBase::CollectFootprint(const EdgeUpdate& u, Footprint& out) {
+  if (reach_dirty_) {
+    pattern_reach_.clear();
+    BuildPatternReach();
+    reach_dirty_ = false;
+  }
+  for (const auto& g : Generalizations(u)) {
+    // Unregistered patterns have no base view and no index entries — an
+    // insert matching only those touches nothing.
+    auto it = pattern_reach_.find(g);
+    if (it != pattern_reach_.end())
+      out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  return true;
+}
+
+std::vector<UpdateResult> ViewEngineBase::ApplyBatch(const EdgeUpdate* updates,
+                                                     size_t n) {
+  std::vector<UpdateResult> results;
+  results.reserve(n);
+  size_t i = 0;
+  while (i < n) {
+    if (updates[i].op == UpdateOp::kDelete) {
+      // Deletions retract shared state with global reach; they act as
+      // barriers between insert windows.
+      results.push_back(ApplyUpdate(updates[i]));
+      ++i;
+      if (results.back().timed_out) return results;
+      continue;
+    }
+    size_t j = i;
+    while (j < n && updates[j].op != UpdateOp::kDelete) ++j;
+    if (!RunInsertWindow(updates, i, j, results)) return results;
+    i = j;
+  }
+  return results;
+}
+
+bool ViewEngineBase::RunInsertWindow(const EdgeUpdate* updates, size_t lo,
+                                     size_t hi, std::vector<UpdateResult>& results) {
+  if (window_cache_enabled_) window_cache_ = std::make_unique<WindowJoinCache>();
+  const bool ok = RunInsertWindowImpl(updates, lo, hi, results);
+  if (window_cache_ != nullptr) {
+    // The window's build tables are transient scratch, never engine state.
+    NotePeakTransient(window_cache_->MemoryBytes());
+    window_cache_.reset();
+  }
+  return ok;
+}
+
+bool ViewEngineBase::RunInsertWindowImpl(const EdgeUpdate* updates, size_t lo,
+                                           size_t hi,
+                                           std::vector<UpdateResult>& results) {
+  const size_t count = hi - lo;
+
+  // Duplicate pre-pass, in stream order: the seen-edge set is global, so the
+  // coordinator resolves it before any sharding. A duplicate's result is the
+  // empty no-op result, exactly as in sequential execution.
+  std::vector<uint8_t> dup(count);
+  for (size_t k = 0; k < count; ++k)
+    dup[k] = IsDuplicateUpdate(updates[lo + k]) ? 1 : 0;
+
+  const auto run_sequential = [&]() {
+    for (size_t k = 0; k < count; ++k) {
+      results.push_back(dup[k] ? UpdateResult{} : ProcessInsert(updates[lo + k]));
+      if (results.back().timed_out) {
+        // The pre-pass marked the whole window as seen; un-mark the edges
+        // this timeout kept us from applying, so the dropped suffix leaves
+        // no trace (ApplyBatch contract: the suffix was not applied).
+        for (size_t j = k + 1; j < count; ++j)
+          if (!dup[j]) seen_edges_.erase(updates[lo + j]);
+        return false;
+      }
+    }
+    return true;
+  };
+  if (pool_ == nullptr || count == 1) return run_sequential();
+
+  // Footprint collection + union-find grouping: two inserts sharing any
+  // footprint element may interact and land in one shard; shards are
+  // therefore pairwise disjoint in everything they read or write.
+  std::vector<Footprint> fps(count);
+  std::vector<uint32_t> parent(count);
+  std::iota(parent.begin(), parent.end(), 0u);
+  FlatMap<uint64_t, uint32_t, ElemHash> owner;
+  for (size_t k = 0; k < count; ++k) {
+    if (dup[k]) continue;
+    if (!CollectFootprint(updates[lo + k], fps[k])) return run_sequential();
+    for (uint64_t e : fps[k]) {
+      uint32_t& first = owner.GetOrCreate(e);
+      if (first == 0) {
+        first = static_cast<uint32_t>(k) + 1;  // 1-based; 0 = unclaimed
+      } else {
+        Union(parent, first - 1, static_cast<uint32_t>(k));
+      }
+    }
+  }
+
+  // Shard member lists, ascending stream position within each shard. The
+  // root is always a shard's smallest slot, so indexing by root keeps member
+  // lists ordered and the shard order deterministic.
+  std::vector<std::vector<uint32_t>> shards(count);
+  size_t num_shards = 0;
+  for (size_t k = 0; k < count; ++k) {
+    if (dup[k]) continue;
+    std::vector<uint32_t>& members = shards[FindRoot(parent, static_cast<uint32_t>(k))];
+    if (members.empty()) ++num_shards;
+    members.push_back(static_cast<uint32_t>(k));
+  }
+  if (num_shards <= 1) return run_sequential();
+
+  std::vector<UpdateResult> window(count);  // dup slots stay the no-op result
+  // Shards must not poll the (non-thread-safe) budget; the coordinator
+  // checks it at the window boundary instead.
+  Budget* saved_budget = budget_;
+  budget_ = nullptr;
+  // One task per executor, striped over the shards — shards greatly
+  // outnumber threads on busy windows and per-shard tasks would pay queue
+  // and wakeup costs per shard.
+  const size_t num_tasks =
+      std::min(static_cast<size_t>(pool_->size()), num_shards);
+  for (size_t t = 0; t < num_tasks; ++t) {
+    pool_->Submit([this, updates, lo, t, num_tasks, &shards, &window] {
+      for (size_t g = t; g < shards.size(); g += num_tasks)
+        for (uint32_t k : shards[g]) window[k] = ProcessInsert(updates[lo + k]);
+    });
+  }
+  pool_->Wait();
+  budget_ = saved_budget;
+
+  for (size_t k = 0; k < count; ++k) results.push_back(std::move(window[k]));
+  if (budget_ != nullptr && budget_->ExceededNow()) {
+    results.back().timed_out = true;
+    return false;
+  }
+  return true;
+}
+
 size_t ViewEngineBase::SharedMemoryBytes() const {
-  size_t bytes = sizeof(*this) + peak_transient_bytes_;
+  size_t bytes = sizeof(*this) + peak_transient_bytes_.load(std::memory_order_relaxed);
   for (const auto& [p, rel] : base_views_)
     bytes += sizeof(p) + rel->MemoryBytes() + 2 * sizeof(void*);
   bytes += seen_edges_.size() * (sizeof(EdgeUpdate) + 2 * sizeof(void*)) +
            seen_edges_.bucket_count() * sizeof(void*);
+  bytes += pattern_ids_.MemoryBytes();
+  for (const auto& [p, fp] : pattern_reach_)
+    bytes += sizeof(p) + fp.capacity() * sizeof(uint64_t) + 2 * sizeof(void*);
   return bytes;
 }
 

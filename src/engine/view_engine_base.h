@@ -1,11 +1,16 @@
 #ifndef GSTREAM_ENGINE_VIEW_ENGINE_BASE_H_
 #define GSTREAM_ENGINE_VIEW_ENGINE_BASE_H_
 
+#include <atomic>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
+#include "common/flat_map.h"
+#include "common/thread_pool.h"
 #include "engine/engine.h"
+#include "matview/join_cache.h"
 #include "matview/relation.h"
 #include "query/edge_pattern.h"
 
@@ -21,9 +26,79 @@ namespace gstream {
 ///  * peak-transient accounting: the base algorithms rebuild hash tables and
 ///    intermediate join results per update and discard them, which dominates
 ///    their real memory peaks (Fig. 13(c)); we track the high-water mark of
-///    that scratch.
+///    that scratch;
+///  * sharded batch execution (`ApplyBatch`): a window of consecutive edge
+///    insertions is grouped by the footprint of everything each insert's
+///    processing can read or write — genericized edge patterns (base views),
+///    trie nodes (prefix views), query ids (per-query state). Footprint-
+///    disjoint shards commute, so they run concurrently on a small fixed
+///    thread pool while each shard replays its members in stream order;
+///    results are merged back by stream position, keeping match sets and
+///    notification order identical to sequential execution. Deletions and
+///    duplicate checks are order-sensitive and global, so deletions act as
+///    window barriers and the duplicate pre-pass runs on the coordinator.
 class ViewEngineBase : public ContinuousEngine {
+ public:
+  std::vector<UpdateResult> ApplyBatch(const EdgeUpdate* updates, size_t n) override;
+
+  void SetBatchThreads(int threads) override {
+    pool_ = threads > 1 ? std::make_unique<ThreadPool>(threads) : nullptr;
+  }
+
  protected:
+  /// Element ids of one insert's read/write footprint. The three namespaces
+  /// share one id space via a 2-bit tag in the low bits.
+  using Footprint = std::vector<uint64_t>;
+  static uint64_t PatternElem(uint32_t pattern_id) {
+    return (static_cast<uint64_t>(pattern_id) << 2) | 0;
+  }
+  static uint64_t NodeElem(uint64_t node_seq) { return (node_seq << 2) | 1; }
+  static uint64_t QueryElem(QueryId qid) {
+    return (static_cast<uint64_t>(qid) << 2) | 2;
+  }
+
+  /// Appends every element the processing of insert `u` may read or write.
+  /// Must over-approximate (a missed element breaks exactness). The default
+  /// implementation concatenates the precomputed per-pattern reaches of
+  /// `u`'s ≤4 generalizations (lazily rebuilt via BuildPatternReach after
+  /// AddQuery — the routing indexes are immutable while updates stream, so
+  /// reaches are stable across a window); engines whose reach is not
+  /// pattern-local may override. Returning false marks the update
+  /// non-shardable; its window falls back to sequential execution.
+  virtual bool CollectFootprint(const EdgeUpdate& u, Footprint& out);
+
+  /// Fills `pattern_reach_`: for every *registered* genericized pattern,
+  /// every element an insert matching that pattern can read or write
+  /// (patterns absent from the map are unregistered — no base view, no
+  /// index entries — and contribute nothing).
+  virtual void BuildPatternReach() = 0;
+
+  /// Invalidate the per-pattern reaches (call from AddQuery).
+  void MarkReachDirty() { reach_dirty_ = true; }
+
+  /// The insert path of `ApplyUpdate` *after* the duplicate check. Must be
+  /// safe to run concurrently with other footprint-disjoint inserts; the
+  /// coordinator clears the budget before fanning out, so implementations
+  /// never observe a budget mid-shard.
+  virtual UpdateResult ProcessInsert(const EdgeUpdate& u) = 0;
+
+  /// Opt-in (engine constructor) for the base algorithms: inside a batch
+  /// window, `window_cache()` returns a transient WindowJoinCache that
+  /// amortizes repeated join builds across the window's updates (results
+  /// are unchanged — an indexed equi-join emits exactly the scan join's
+  /// rows). Outside batch windows it stays null, preserving the sequential
+  /// base-engine cost model.
+  void EnableWindowCache() { window_cache_enabled_ = true; }
+  WindowJoinCache* window_cache() const { return window_cache_.get(); }
+
+  /// Stable small id for a genericized edge pattern (footprint elements).
+  /// Coordinator-thread only.
+  uint32_t PatternId(const GenericEdgePattern& p) {
+    uint32_t& id = pattern_ids_.GetOrCreate(p);
+    if (id == 0) id = ++next_pattern_id_;
+    return id;
+  }
+
   /// The base view for `p`, created empty on first use (at query indexing).
   Relation* GetOrCreateBaseView(const GenericEdgePattern& p);
 
@@ -42,8 +117,12 @@ class ViewEngineBase : public ContinuousEngine {
   bool IsDuplicateUpdate(const EdgeUpdate& u);
 
   /// Tracks the largest transient join scratch seen in one update.
+  /// Thread-safe (shards report concurrently).
   void NotePeakTransient(size_t bytes) {
-    if (bytes > peak_transient_bytes_) peak_transient_bytes_ = bytes;
+    size_t cur = peak_transient_bytes_.load(std::memory_order_relaxed);
+    while (bytes > cur && !peak_transient_bytes_.compare_exchange_weak(
+                              cur, bytes, std::memory_order_relaxed)) {
+    }
   }
 
   /// Bytes of base views + seen-edge set + transient high-water mark.
@@ -53,7 +132,27 @@ class ViewEngineBase : public ContinuousEngine {
                      GenericEdgePatternHash>
       base_views_;
   std::unordered_set<EdgeUpdate, EdgeKeyHash, EdgeKeyEq> seen_edges_;
-  size_t peak_transient_bytes_ = 0;
+  std::atomic<size_t> peak_transient_bytes_{0};
+  std::unique_ptr<ThreadPool> pool_;  ///< Non-null after SetBatchThreads(>1).
+  /// Per-pattern reach aggregates; see CollectFootprint/BuildPatternReach.
+  std::unordered_map<GenericEdgePattern, Footprint, GenericEdgePatternHash>
+      pattern_reach_;
+
+ private:
+  /// Executes inserts `updates[lo..hi)` (one delete-free run), appending one
+  /// result per update to `results`. Returns false when the budget tripped
+  /// (the window's unprocessed suffix was dropped). The outer function owns
+  /// the window-cache lifecycle around the inner executor.
+  bool RunInsertWindow(const EdgeUpdate* updates, size_t lo, size_t hi,
+                       std::vector<UpdateResult>& results);
+  bool RunInsertWindowImpl(const EdgeUpdate* updates, size_t lo, size_t hi,
+                             std::vector<UpdateResult>& results);
+
+  FlatMap<GenericEdgePattern, uint32_t, GenericEdgePatternHash> pattern_ids_;
+  uint32_t next_pattern_id_ = 0;
+  bool reach_dirty_ = true;
+  bool window_cache_enabled_ = false;
+  std::unique_ptr<WindowJoinCache> window_cache_;
 };
 
 }  // namespace gstream

@@ -4,9 +4,10 @@
 
 namespace gstream {
 
-HashIndex::HashIndex(const Relation* rel, uint32_t col) : rel_(rel), col_(col) {
+HashIndex::HashIndex(const Relation* rel, uint32_t col, bool build)
+    : rel_(rel), col_(col) {
   GS_CHECK(col < rel->arity());
-  CatchUp();
+  if (build) CatchUp();
 }
 
 void HashIndex::CatchUp() {

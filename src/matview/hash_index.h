@@ -21,7 +21,10 @@ namespace gstream {
 /// are in ascending order (rows are indexed in append order).
 class HashIndex {
  public:
-  HashIndex(const Relation* rel, uint32_t col);
+  /// With `build` (default) the constructor indexes the relation's current
+  /// rows; `build = false` defers to the first CatchUp, which lets JoinCache
+  /// allocate entries inside its lock and index outside it.
+  HashIndex(const Relation* rel, uint32_t col, bool build = true);
 
   /// Indexes rows appended since construction / the previous CatchUp. When
   /// the relation has seen a retraction since (its `generation()` moved),

@@ -3,19 +3,47 @@
 namespace gstream {
 
 HashIndex* JoinCache::Get(const Relation* rel, uint32_t col) {
-  std::unique_ptr<HashIndex>& slot = cache_.GetOrCreate(Key{rel, col});
-  if (slot == nullptr) {
-    slot = std::make_unique<HashIndex>(rel, col);
-  } else {
-    slot->CatchUp();
+  HashIndex* index;
+  {
+    // The indexes live behind unique_ptr, so only the map structure needs
+    // the lock; a concurrent Get for another key may rehash the slot array
+    // under us the moment it is released.
+    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_ptr<HashIndex>& slot = cache_.GetOrCreate(Key{rel, col});
+    if (slot == nullptr)
+      slot = std::make_unique<HashIndex>(rel, col, /*build=*/false);
+    index = slot.get();
   }
-  return slot.get();
+  index->CatchUp();
+  return index;
 }
 
 size_t JoinCache::MemoryBytes() const {
   size_t bytes = sizeof(*this) + cache_.MemoryBytes();
   cache_.ForEach([&](const Key&, const std::unique_ptr<HashIndex>& index) {
     bytes += index->MemoryBytes();
+  });
+  return bytes;
+}
+
+HashIndex* WindowJoinCache::Get(const Relation* rel, uint32_t col) {
+  HashIndex* index;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry& entry = cache_.GetOrCreate(Key{rel, col});
+    if (++entry.touches < 2) return nullptr;  // first touch: caller scans
+    if (entry.index == nullptr)
+      entry.index = std::make_unique<HashIndex>(rel, col, /*build=*/false);
+    index = entry.index.get();
+  }
+  index->CatchUp();
+  return index;
+}
+
+size_t WindowJoinCache::MemoryBytes() const {
+  size_t bytes = sizeof(*this) + cache_.MemoryBytes();
+  cache_.ForEach([&](const Key&, const Entry& entry) {
+    if (entry.index != nullptr) bytes += entry.index->MemoryBytes();
   });
   return bytes;
 }

@@ -24,13 +24,14 @@ Relation::Relation(Relation&& other) noexcept
 
 bool Relation::Append(const VertexId* row) {
   const uint64_t hash = HashIds(row, arity_);
-  const bool inserted =
-      row_set_.Insert(hash, static_cast<uint32_t>(num_rows_),
-                      [&](uint32_t existing) { return RowEquals(Row(existing), row); });
+  const bool inserted = row_set_.Insert(
+      hash, static_cast<uint32_t>(num_rows_),
+      [&](uint32_t existing) { return RowEquals(Row(existing), row); },
+      [&](uint32_t existing) { return HashIds(Row(existing), arity_); });
   if (!inserted) return false;
-  if (data_.size() + arity_ > data_.capacity() && row >= data_.data() &&
-      row < data_.data() + data_.size()) {
-    // Self-append would dangle across the growth realloc; stage a copy.
+  if (row >= data_.data() && row < data_.data() + data_.size()) {
+    // Self-append: vector::insert from the vector's own range is UB (and
+    // would dangle outright across a growth realloc); stage a copy.
     RowScratch copy(arity_);
     std::copy(row, row + arity_, copy.data());
     data_.insert(data_.end(), copy.data(), copy.data() + arity_);
@@ -48,7 +49,8 @@ bool Relation::Append(const std::vector<VertexId>& row) {
 
 void Relation::Reserve(size_t rows) {
   data_.reserve(rows * arity_);
-  row_set_.Reserve(rows);
+  row_set_.Reserve(rows,
+                   [&](uint32_t existing) { return HashIds(Row(existing), arity_); });
 }
 
 size_t Relation::AppendAll(const Relation& other) {
@@ -61,12 +63,16 @@ size_t Relation::AppendAll(const Relation& other) {
 }
 
 void Relation::RebuildSet() {
+  const auto hash_of = [&](uint32_t existing) {
+    return HashIds(Row(existing), arity_);
+  };
   row_set_.Clear();
-  row_set_.Reserve(num_rows_);
+  row_set_.Reserve(num_rows_, hash_of);
   for (uint32_t i = 0; i < num_rows_; ++i) {
     const VertexId* row = Row(i);
-    row_set_.Insert(HashIds(row, arity_), i,
-                    [&](uint32_t existing) { return RowEquals(Row(existing), row); });
+    row_set_.Insert(
+        HashIds(row, arity_), i,
+        [&](uint32_t existing) { return RowEquals(Row(existing), row); }, hash_of);
   }
 }
 

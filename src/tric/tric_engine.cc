@@ -11,7 +11,11 @@ namespace tric {
 
 TricEngine::TricEngine(const Options& options)
     : options_(options),
-      cache_(options.cache ? std::make_unique<JoinCache>() : nullptr) {}
+      cache_(options.cache ? std::make_unique<JoinCache>() : nullptr) {
+  // Plain TRIC rebuilds join tables per update; batch windows may amortize
+  // them (transiently — see ViewEngineBase::EnableWindowCache).
+  if (!options.cache) EnableWindowCache();
+}
 
 std::string TricEngine::name() const {
   std::string name = cache_ ? "TRIC+" : "TRIC";
@@ -23,6 +27,7 @@ std::string TricEngine::name() const {
 void TricEngine::AddQuery(QueryId qid, const QueryPattern& q) {
   GS_CHECK_MSG(q.IsValid(), "invalid query pattern");
   GS_CHECK_MSG(queries_.count(qid) == 0, "duplicate query id");
+  MarkReachDirty();
 
   QueryEntry entry;
   entry.pattern = q;
@@ -75,22 +80,23 @@ void TricEngine::InitNodeView(TrieNode* node) {
   }
 }
 
-void TricEngine::EnsureEpoch(TrieNode* node) {
-  if (node->epoch != epoch_) {
-    node->epoch = epoch_;
+void TricEngine::EnsureEpoch(TrieNode* node, const DeltaScratch& ds) {
+  if (node->epoch != ds.epoch) {
+    node->epoch = ds.epoch;
     node->delta_begin = node->view->NumRows();
   }
 }
 
-void TricEngine::MarkAffected(TrieNode* node) {
+void TricEngine::MarkAffected(TrieNode* node, DeltaScratch& ds) {
   if (node->paths.empty()) return;
-  if (node->affected_epoch == epoch_) return;
-  node->affected_epoch = epoch_;
-  affected_terminals_.push_back(node);
+  if (node->affected_epoch == ds.epoch) return;
+  node->affected_epoch = ds.epoch;
+  ds.affected_terminals.push_back(node);
 }
 
-void TricEngine::ProcessMatchingNode(TrieNode* node, const EdgeUpdate& u) {
-  EnsureEpoch(node);
+void TricEngine::ProcessMatchingNode(TrieNode* node, const EdgeUpdate& u,
+                                     DeltaScratch& ds) {
+  EnsureEpoch(node, ds);
   Relation* view = node->view.get();
   const size_t before = view->NumRows();
 
@@ -101,33 +107,33 @@ void TricEngine::ProcessMatchingNode(TrieNode* node, const EdgeUpdate& u) {
     Relation* pview = node->parent->view.get();
     // Join the parent's (current) prefix view against the single update
     // tuple — never a full view-by-view join (paper §4.2 Step 2). TRIC scans
-    // the parent view; TRIC+ probes a maintained index on its tail column.
-    const HashIndex* idx =
-        cache_ ? cache_->Get(pview, pview->arity() - 1) : nullptr;
-    ExtendRightSingle(AllRows(*pview), u.src, u.dst, idx, *view);
+    // the parent view; TRIC+ probes a maintained index on its tail column
+    // (as does plain TRIC within a batch window, from the second touch on).
+    ExtendRightSingle(AllRows(*pview), u.src, u.dst,
+                      JoinIndexFor(pview, pview->arity() - 1), *view);
   }
 
   const size_t after = view->NumRows();
   if (after == before) return;
-  MarkAffected(node);
-  Cascade(node, before, after);
+  MarkAffected(node, ds);
+  Cascade(node, before, after, ds);
 }
 
-void TricEngine::Cascade(TrieNode* node, size_t lo, size_t hi) {
+void TricEngine::Cascade(TrieNode* node, size_t lo, size_t hi, DeltaScratch& ds) {
   for (const auto& child_ptr : node->children) {
     if (BudgetExceeded()) return;
     TrieNode* child = child_ptr.get();
     Relation* base = FindBaseView(child->pattern);
     GS_DCHECK(base != nullptr);
     if (base->Empty()) continue;  // prune: sub-trie cannot produce results
-    EnsureEpoch(child);
+    EnsureEpoch(child, ds);
     const size_t before = child->view->NumRows();
-    ExtendRight(RowRange{node->view.get(), lo, hi}, *base,
-                cache_ ? cache_->Get(base, 0) : nullptr, *child->view);
+    ExtendRight(RowRange{node->view.get(), lo, hi}, *base, JoinIndexFor(base, 0),
+                *child->view);
     const size_t after = child->view->NumRows();
     if (after == before) continue;  // prune: empty delta stops this branch
-    MarkAffected(child);
-    Cascade(child, before, after);
+    MarkAffected(child, ds);
+    Cascade(child, before, after, ds);
   }
 }
 
@@ -167,10 +173,15 @@ UpdateResult TricEngine::ApplyUpdate(const EdgeUpdate& u) {
     return result;
   }
   if (IsDuplicateUpdate(u)) return result;
+  return ProcessInsert(u);
+}
+
+UpdateResult TricEngine::ProcessInsert(const EdgeUpdate& u) {
+  UpdateResult result;
   result.changed = true;
 
-  ++epoch_;
-  affected_terminals_.clear();
+  DeltaScratch ds;
+  ds.epoch = epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
 
   // Record the update in every shared edge-level view it satisfies, then
   // route it to the matching trie nodes via the node-granular edgeInd.
@@ -190,20 +201,20 @@ UpdateResult TricEngine::ApplyUpdate(const EdgeUpdate& u) {
       result.timed_out = true;
       return result;
     }
-    ProcessMatchingNode(node, u);
+    ProcessMatchingNode(node, u, ds);
   }
 
-  FinalizeQueries(result);
+  FinalizeQueries(result, ds);
   if (budget_ != nullptr && budget_->ExceededNow()) result.timed_out = true;
   return result;
 }
 
-void TricEngine::FinalizeQueries(UpdateResult& result) {
-  if (affected_terminals_.empty()) return;
+void TricEngine::FinalizeQueries(UpdateResult& result, DeltaScratch& ds) {
+  if (ds.affected_terminals.empty()) return;
 
   // Group the affected covering paths per query, ascending qid.
   std::vector<std::pair<QueryId, uint32_t>> affected_paths;  // (qid, path idx)
-  for (TrieNode* node : affected_terminals_)
+  for (TrieNode* node : ds.affected_terminals)
     for (const PathRef& ref : node->paths) affected_paths.emplace_back(ref.qid, ref.path_idx);
   std::sort(affected_paths.begin(), affected_paths.end());
 
@@ -243,7 +254,7 @@ void TricEngine::FinalizeQueries(UpdateResult& result) {
       const uint32_t path_idx = affected_paths[k].second;
       PathInfo& seed = entry.paths[path_idx];
       TrieNode* node = seed.terminal;
-      if (node->epoch != epoch_) continue;  // no delta after all
+      if (node->epoch != ds.epoch) continue;  // no delta after all
 
       OwnedBindings acc = PathRowsToBindings(
           RowRange{node->view.get(), node->delta_begin, node->view->NumRows()},
@@ -269,10 +280,8 @@ void TricEngine::FinalizeQueries(UpdateResult& result) {
         const std::vector<uint32_t>& sb = PathSchema(other);
         RowRange b = FullPathRange(other);
         const HashIndex* idx = nullptr;
-        if (cache_) {
-          int col = FirstSharedColumn(acc.schema, sb);
-          if (col >= 0) idx = cache_->Get(b.rel, static_cast<uint32_t>(col));
-        }
+        int col = FirstSharedColumn(acc.schema, sb);
+        if (col >= 0) idx = JoinIndexFor(b.rel, static_cast<uint32_t>(col));
         acc = JoinBindingRanges(acc.schema, acc.All(), sb, b, idx);
         dead = acc.Empty();
         remaining.erase(remaining.begin() + pick);
@@ -346,6 +355,53 @@ void TricEngine::DeleteCascade(TrieNode* node, const EdgeUpdate& u,
   }
   for (const auto& child : node->children) DeleteCascade(child.get(), u, depths);
   if (mine) depths.pop_back();
+}
+
+void TricEngine::BuildPatternReach() {
+  // Pass 1: per-node subtree aggregates. ForEachNode is pre-order (parents
+  // before children), so a reverse sweep folds children into parents
+  // bottom-up.
+  std::unordered_map<const TrieNode*, Footprint> node_reach;
+  std::vector<const TrieNode*> order;
+  order.reserve(forest_.NumNodes());
+  forest_.ForEachNode([&](const TrieNode& n) { order.push_back(&n); });
+  node_reach.reserve(order.size());
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const TrieNode* n = *it;
+    Footprint& fp = node_reach[n];
+    fp.push_back(NodeElem(n->seq));
+    fp.push_back(PatternElem(PatternId(n->pattern)));
+    for (const PathRef& ref : n->paths) {
+      // Finalizing a query joins the delta against the *other* covering
+      // paths' terminal views, so the query's whole terminal closure is in
+      // reach (including the shared maintained indexes over those views).
+      fp.push_back(QueryElem(ref.qid));
+      for (const PathInfo& info : queries_.at(ref.qid).paths)
+        fp.push_back(NodeElem(info.terminal->seq));
+    }
+    for (const auto& child : n->children) {
+      const Footprint& cfp = node_reach.at(child.get());
+      fp.insert(fp.end(), cfp.begin(), cfp.end());
+    }
+    std::sort(fp.begin(), fp.end());
+    fp.erase(std::unique(fp.begin(), fp.end()), fp.end());
+  }
+
+  // Pass 2: fold into per-pattern reaches (one per registered base view) so
+  // CollectFootprint is a handful of map lookups per update.
+  for (const auto& [pattern, view] : base_views_) {
+    Footprint& fp = pattern_reach_[pattern];
+    fp.push_back(PatternElem(PatternId(pattern)));  // base-view append
+    if (const std::vector<TrieNode*>* nodes = forest_.NodesFor(pattern)) {
+      for (const TrieNode* node : *nodes) {
+        if (node->parent != nullptr) fp.push_back(NodeElem(node->parent->seq));
+        const Footprint& nfp = node_reach.at(node);
+        fp.insert(fp.end(), nfp.begin(), nfp.end());
+      }
+    }
+    std::sort(fp.begin(), fp.end());
+    fp.erase(std::unique(fp.begin(), fp.end()), fp.end());
+  }
 }
 
 size_t TricEngine::MemoryBytes() const {

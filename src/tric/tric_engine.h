@@ -1,6 +1,7 @@
 #ifndef GSTREAM_TRIC_TRIC_ENGINE_H_
 #define GSTREAM_TRIC_TRIC_ENGINE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -67,6 +68,14 @@ class TricEngine : public ViewEngineBase {
   /// Diagnostics for tests and the ablation bench.
   const TrieForest& forest() const { return forest_; }
 
+ protected:
+  /// Batch sharding (ViewEngineBase): a pattern's reach is its matching trie
+  /// nodes, everything below them (cascades write those views and read their
+  /// base views), the parents they join against, and the queries they can
+  /// finalize (whose *other* covering-path terminals the final join reads).
+  void BuildPatternReach() override;
+  UpdateResult ProcessInsert(const EdgeUpdate& u) override;
+
  private:
   struct PathInfo {
     TrieNode* terminal = nullptr;
@@ -83,24 +92,32 @@ class TricEngine : public ViewEngineBase {
     std::vector<PathInfo> paths;
   };
 
+  /// Per-update delta scratch: the epoch stamping node delta windows and the
+  /// affected-terminal set. One instance per in-flight update, so
+  /// footprint-disjoint batch shards can process updates concurrently.
+  struct DeltaScratch {
+    uint64_t epoch = 0;
+    std::vector<TrieNode*> affected_terminals;
+  };
+
   /// Allocates a freshly created trie node's view and backfills it from its
   /// parent's view (best-effort for queries registered mid-stream).
   void InitNodeView(TrieNode* node);
 
   /// Joins `node`'s parent view (or the update itself at roots) with `u`,
   /// appends the delta and cascades it down the sub-trie.
-  void ProcessMatchingNode(TrieNode* node, const EdgeUpdate& u);
+  void ProcessMatchingNode(TrieNode* node, const EdgeUpdate& u, DeltaScratch& ds);
 
   /// Extends rows [lo, hi) of `node`'s view into each child via the child's
   /// base edge view; recurses while deltas are non-empty.
-  void Cascade(TrieNode* node, size_t lo, size_t hi);
+  void Cascade(TrieNode* node, size_t lo, size_t hi, DeltaScratch& ds);
 
-  /// Lazily stamps the node's delta window for the current epoch.
-  void EnsureEpoch(TrieNode* node);
+  /// Lazily stamps the node's delta window for the scratch's epoch.
+  void EnsureEpoch(TrieNode* node, const DeltaScratch& ds);
 
   /// Registers `node` in the per-update affected set when it terminates
   /// covering paths.
-  void MarkAffected(TrieNode* node);
+  void MarkAffected(TrieNode* node, DeltaScratch& ds);
 
   /// Catches `info.filtered` up with its terminal view; returns the full
   /// binding range + schema of the path (view-backed when acyclic).
@@ -108,7 +125,7 @@ class TricEngine : public ViewEngineBase {
   const std::vector<uint32_t>& PathSchema(const PathInfo& info) const;
 
   /// Per-query final join (paper Fig. 8 lines 8-13, delta-seeded).
-  void FinalizeQueries(UpdateResult& result);
+  void FinalizeQueries(UpdateResult& result, DeltaScratch& ds);
 
   /// Edge deletion (paper §4.3): retracts the tuple from the base views,
   /// then walks the affected tries removing every prefix-view row that used
@@ -120,13 +137,23 @@ class TricEngine : public ViewEngineBase {
 
   bool cache_enabled() const { return cache_ != nullptr; }
 
+  /// Maintained index over `rel` column `col`: TRIC+'s persistent JoinCache,
+  /// or — inside a batch window for plain TRIC — the transient window cache
+  /// (null on its first touch of a view, so single-touch joins keep the
+  /// paper's scan plan). Null otherwise.
+  HashIndex* JoinIndexFor(const Relation* rel, uint32_t col) {
+    if (cache_ != nullptr) return cache_->Get(rel, col);
+    WindowJoinCache* wc = window_cache();
+    return wc != nullptr ? wc->Get(rel, col) : nullptr;
+  }
+
   Options options_;
   TrieForest forest_;
   std::unordered_map<QueryId, QueryEntry> queries_;
   std::unique_ptr<JoinCache> cache_;  ///< Non-null for TRIC+.
 
-  uint64_t epoch_ = 0;
-  std::vector<TrieNode*> affected_terminals_;
+  /// Epoch allocator; atomic so concurrent batch shards draw unique epochs.
+  std::atomic<uint64_t> epoch_{0};
 };
 
 }  // namespace tric

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <set>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.h"
@@ -144,9 +145,13 @@ TEST(FlatRowSet, InsertRejectsEqualAcceptsDistinct) {
     rows.emplace_back(a, b);
     const uint32_t idx = static_cast<uint32_t>(rows.size() - 1);
     uint32_t key[2] = {a, b};
-    const bool ok = set.Insert(HashIds(key, 2), idx, [&](uint32_t existing) {
-      return rows[existing] == rows[idx];
-    });
+    const bool ok = set.Insert(
+        HashIds(key, 2), idx,
+        [&](uint32_t existing) { return rows[existing] == rows[idx]; },
+        [&](uint32_t existing) {
+          uint32_t k[2] = {rows[existing].first, rows[existing].second};
+          return HashIds(k, 2);
+        });
     if (!ok) rows.pop_back();
     return ok;
   };
@@ -204,6 +209,137 @@ TEST(FlatMap, ForEachVisitsEverything) {
 
 // --------------------------------------- Relation dedup equivalence (flat set
 // vs. reference std::set), including post-RemoveRowsWhere generations.
+
+// --------------------------------------------- group-probe SIMD/scalar parity
+
+std::vector<uint32_t> Lanes(flat_internal::LaneMask m) {
+  std::vector<uint32_t> lanes;
+  for (; static_cast<bool>(m); m.Clear()) lanes.push_back(m.Lane());
+  return lanes;
+}
+
+TEST(GroupProbeParity, ActiveBackendMatchesScalarOnFuzzedControlBytes) {
+  // The active Group backend (SSE2 / NEON / scalar depending on the build)
+  // must report bit-identical match and empty lanes to the always-compiled
+  // scalar reference, for arbitrary control-byte contents.
+  Rng rng(20260728);
+  alignas(16) int8_t ctrl[flat_internal::kGroupWidth];
+  for (int iter = 0; iter < 20'000; ++iter) {
+    for (auto& c : ctrl) {
+      // Bias towards empties and towards one hot fragment so matches happen.
+      const uint64_t roll = rng.Next(10);
+      c = roll < 3 ? flat_internal::kCtrlEmpty
+                   : static_cast<int8_t>(rng.Next(roll < 6 ? 4 : 128));
+    }
+    const int8_t h2 = static_cast<int8_t>(rng.Next(128));
+    const flat_internal::Group active(ctrl);
+    const flat_internal::ScalarGroup ref(ctrl);
+    EXPECT_EQ(Lanes(active.Match(h2)), Lanes(ref.Match(h2)));
+    EXPECT_EQ(Lanes(active.MatchEmpty()), Lanes(ref.MatchEmpty()));
+  }
+}
+
+// ----------------------------------------- randomized container-model fuzzing
+//
+// The same test binary is built twice in CI (default SIMD and
+// -DGSTREAM_NO_SIMD=ON); identical reference-model behavior in both builds
+// proves the SIMD and scalar probe paths return identical results across
+// inserts, growth, and Reserve.
+
+TEST(FlatPostingMapFuzz, MatchesReferenceModelAcrossInsertsGrowthAndReserve) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    Rng rng(seed * 977);
+    FlatPostingMap map;
+    std::unordered_map<VertexId, std::vector<uint32_t>> model;
+    const size_t universe = 1 + rng.Next(2'000);
+    const size_t ops = 6'000;
+    for (uint32_t i = 0; i < ops; ++i) {
+      const uint64_t roll = rng.Next(100);
+      if (roll < 2) {
+        map.Reserve(rng.Next(4'000));  // must never perturb contents
+      } else {
+        // Include the sentinel key now and then.
+        VertexId k = roll < 5 ? kNoVertex : static_cast<VertexId>(rng.Next(universe));
+        map.Add(k, i);
+        model[k].push_back(i);
+      }
+      if (i % 701 == 0) {
+        for (const auto& [k, rows] : model) {
+          RowIdSpan span = map.Probe(k);
+          ASSERT_EQ(std::vector<uint32_t>(span.begin(), span.end()), rows)
+              << "seed " << seed << " op " << i;
+        }
+      }
+    }
+    ASSERT_EQ(map.size(), model.size());
+    // Misses: keys outside the inserted universe must probe empty.
+    for (uint32_t k = 0; k < 64; ++k)
+      EXPECT_TRUE(map.Probe(static_cast<VertexId>(universe + 1 + k)).empty());
+    // ForEach visits exactly the model.
+    size_t visited = 0;
+    map.ForEach([&](VertexId k, RowIdSpan span) {
+      ++visited;
+      auto it = model.find(k);
+      ASSERT_NE(it, model.end());
+      EXPECT_EQ(span.size(), it->second.size());
+    });
+    EXPECT_EQ(visited, model.size());
+  }
+}
+
+TEST(FlatRowSetFuzz, DedupDecisionsMatchReferenceModel) {
+  for (uint64_t seed : {11u, 12u, 13u}) {
+    Rng rng(seed);
+    FlatRowSet set;
+    std::vector<uint64_t> stored;          // values by row index
+    std::set<uint64_t> model;
+    const size_t universe = 1 + rng.Next(3'000);
+    // Deliberately weak hash (low entropy) to force candidate collisions.
+    const auto hash_of_value = [](uint64_t v) { return Mix64(v % 512); };
+    const auto hash_of_row = [&](uint32_t idx) { return hash_of_value(stored[idx]); };
+    for (uint32_t i = 0; i < 8'000; ++i) {
+      if (rng.Next(100) < 2) set.Reserve(rng.Next(6'000), hash_of_row);
+      const uint64_t value = rng.Next(universe);
+      const bool inserted = set.Insert(
+          hash_of_value(value), static_cast<uint32_t>(stored.size()),
+          [&](uint32_t idx) { return stored[idx] == value; }, hash_of_row);
+      EXPECT_EQ(inserted, model.insert(value).second) << "seed " << seed;
+      if (inserted) stored.push_back(value);
+      ASSERT_EQ(set.size(), model.size());
+    }
+  }
+}
+
+TEST(FlatMapFuzz, MatchesReferenceModelAcrossInsertsGrowthAndReserve) {
+  struct Hash {
+    size_t operator()(uint64_t k) const { return Mix64(k % 997); }  // collisions
+  };
+  for (uint64_t seed : {21u, 22u, 23u}) {
+    Rng rng(seed);
+    FlatMap<uint64_t, uint64_t, Hash> map;
+    std::unordered_map<uint64_t, uint64_t> model;
+    const size_t universe = 1 + rng.Next(4'000);
+    for (uint32_t i = 0; i < 8'000; ++i) {
+      const uint64_t roll = rng.Next(100);
+      if (roll < 2) {
+        map.Reserve(rng.Next(8'000));
+      } else if (roll < 60) {
+        const uint64_t k = rng.Next(universe);
+        map.GetOrCreate(k) = i;
+        model[k] = i;
+      } else {
+        const uint64_t k = rng.Next(universe * 2);  // ~50% misses
+        const uint64_t* found = map.Find(k);
+        auto it = model.find(k);
+        ASSERT_EQ(found != nullptr, it != model.end()) << "seed " << seed;
+        if (found != nullptr) {
+          EXPECT_EQ(*found, it->second);
+        }
+      }
+    }
+    EXPECT_EQ(map.size(), model.size());
+  }
+}
 
 TEST(RelationDedupEquivalence, RandomizedAgainstReferenceSet) {
   Rng rng(4242);

@@ -2,15 +2,24 @@
 # Bench smoke: runs the micro benches at tiny sizes and emits one
 # BENCH_*.json-compatible line per suite for trajectory tracking.
 #
-#   tools/bench_smoke.sh [build_dir]
+#   tools/bench_smoke.sh [build_dir] [trajectory_out]
 #
 # Output: a `BENCH_JSON {...}` line per suite on stdout (same format the
 # figure benches emit via bench::BenchLine), plus a BENCH_SMOKE.json file in
 # the build dir aggregating the google-benchmark JSON reports.
+#
+# The BENCH_JSON lines are also collected into `trajectory_out` (default:
+# BENCH_PR2.json next to this script's repo root) — a committed snapshot so
+# the per-PR perf trajectory accumulates in-repo. Refresh it by re-running
+# this script after perf-relevant changes.
 
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+TRAJECTORY_OUT="${2:-$REPO_ROOT/BENCH_PR2.json}"
+BENCH_LINES_TMP="$(mktemp)"
+trap 'rm -f "$BENCH_LINES_TMP"' EXIT
 
 if [[ ! -d "$BUILD_DIR" ]]; then
   echo "bench_smoke: build dir '$BUILD_DIR' not found (run cmake first)" >&2
@@ -40,7 +49,7 @@ for suite in "${SUITES[@]}"; do
 
   # One compact BENCH_JSON line per suite: benchmark count + total cpu time,
   # enough for a trajectory tracker to notice a build that got slower.
-  python3 - "$suite" "$json" <<'EOF'
+  python3 - "$suite" "$json" <<'EOF' | tee -a "$BENCH_LINES_TMP"
 import json, sys
 suite, path = sys.argv[1], sys.argv[2]
 with open(path) as f:
@@ -72,3 +81,22 @@ with open(out, "w") as f:
 EOF
 
 echo "bench_smoke: aggregated google-benchmark reports in $OUT" >&2
+
+# Collect the BENCH_JSON lines into the committed trajectory snapshot: one
+# valid JSON document {"generated_by", "lines": [...]} so consumers can
+# json.load() it and diff per-PR numbers.
+python3 - "$TRAJECTORY_OUT" "$BENCH_LINES_TMP" <<'EOF'
+import json, sys
+out, lines_path = sys.argv[1], sys.argv[2]
+lines = []
+with open(lines_path) as f:
+    for line in f:
+        line = line.strip()
+        if line.startswith("BENCH_JSON "):
+            lines.append(json.loads(line[len("BENCH_JSON "):]))
+with open(out, "w") as f:
+    json.dump({"generated_by": "tools/bench_smoke.sh", "lines": lines}, f, indent=1)
+    f.write("\n")
+EOF
+
+echo "bench_smoke: trajectory snapshot written to $TRAJECTORY_OUT" >&2

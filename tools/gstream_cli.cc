@@ -7,6 +7,11 @@
 //               [--stream=FILE.csv]
 //               [--engine=tric+|tric|inv|inv+|inc|inc+|graphdb]
 //               [--seed=N] [--verbose]
+//               [--batch=N] [--threads=N]
+//
+// --batch=N feeds the engine windows of N updates through ApplyBatch (the
+// sharded batch path; results are identical to per-update execution), and
+// --threads=N fans footprint-independent shards across N threads.
 //
 // The query file holds one pattern per line (see query/parser.h for the
 // grammar); blank lines and lines starting with '#' are skipped. Example:
@@ -19,9 +24,11 @@
 // stream: one "src,label,dst" triple per line (a leading '-' on a line
 // marks a deletion, e.g. "-alice,knows,bob"); '#' comments allowed.
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "common/flags.h"
 #include "common/timer.h"
@@ -126,6 +133,8 @@ int main(int argc, char** argv) {
   const size_t updates = static_cast<size_t>(flags.GetInt("updates", 20'000));
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   const bool verbose = flags.GetBool("verbose", false);
+  const size_t batch = static_cast<size_t>(flags.GetInt("batch", 1));
+  const int threads = static_cast<int>(flags.GetInt("threads", 1));
   const EngineKind kind = ParseEngine(flags.GetString("engine", "tric+"));
 
   workload::Workload w;
@@ -172,12 +181,16 @@ int main(int argc, char** argv) {
   std::printf("engine %s: %zu continuous queries registered\n",
               engine->name().c_str(), engine->NumQueries());
 
+  if (batch > 1) {
+    std::printf("batched execution: window=%zu threads=%d\n", batch, threads);
+    engine->SetBatchThreads(threads);
+  }
+
   WallTimer timer;
   uint64_t notifications = 0;
   size_t triggering_updates = 0;
-  for (size_t i = 0; i < w.stream.size(); ++i) {
-    UpdateResult r = engine->ApplyUpdate(w.stream[i]);
-    if (r.triggered.empty()) continue;
+  const auto report = [&](size_t i, const UpdateResult& r) {
+    if (r.triggered.empty()) return;
     ++triggering_updates;
     notifications += r.new_embeddings;
     if (verbose) {
@@ -189,6 +202,17 @@ int main(int argc, char** argv) {
       for (auto [qid, n] : r.per_query)
         std::printf(" q%u+%llu", qid, static_cast<unsigned long long>(n));
       std::printf("\n");
+    }
+  };
+  if (batch <= 1) {
+    for (size_t i = 0; i < w.stream.size(); ++i)
+      report(i, engine->ApplyUpdate(w.stream[i]));
+  } else {
+    const auto& updates = w.stream.updates();
+    for (size_t pos = 0; pos < updates.size(); pos += batch) {
+      const size_t n = std::min(batch, updates.size() - pos);
+      std::vector<UpdateResult> results = engine->ApplyBatch(&updates[pos], n);
+      for (size_t k = 0; k < results.size(); ++k) report(pos + k, results[k]);
     }
   }
   const double ms = timer.ElapsedMillis();
