@@ -99,6 +99,7 @@ int main(int argc, char** argv) {
           .Add("ms_per_update", cell.ms_per_update)
           .Add("updates_per_sec", cell.UpdatesPerSec())
           .Add("updates_applied", static_cast<uint64_t>(cell.updates_applied))
+          .Add("final_join_passes", cell.final_join_passes)
           .Emit();
     }
     table.AddRow(std::move(row));

@@ -40,8 +40,9 @@ BenchOptions BenchOptions::FromArgs(int argc, char** argv) {
       flags.GetDouble("cell-budget-sec", opts.full ? 86400.0 : 2.0);
   opts.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   opts.csv = flags.GetBool("csv", false);
-  opts.batch = static_cast<size_t>(flags.GetInt("batch", 1));
-  opts.threads = static_cast<int>(flags.GetInt("threads", 1));
+  // Rejects 0/negative/non-numeric values with a clear error (exit 2).
+  opts.batch = static_cast<size_t>(flags.GetPositiveInt("batch", 1));
+  opts.threads = static_cast<int>(flags.GetPositiveInt("threads", 1));
   return opts;
 }
 
@@ -98,6 +99,7 @@ GrowthSeries RunGrowthSeries(EngineKind kind,
   }
   series.updates_applied = pos;
   series.memory_bytes = engine->MemoryBytes();
+  series.final_join_passes = engine->final_join_passes();
   return series;
 }
 
@@ -117,6 +119,7 @@ CellResult RunCell(EngineKind kind, const std::vector<QueryPattern>& queries,
   cell.updates_applied = stats.updates_applied;
   cell.memory_bytes = stats.memory_bytes;
   cell.new_embeddings = stats.new_embeddings;
+  cell.final_join_passes = engine->final_join_passes();
   cell.queries_satisfied = stats.queries_satisfied;
   return cell;
 }
@@ -244,6 +247,7 @@ void RunGrowthFigure(const std::string& figure, const std::string& caption,
         .Add("updates_per_sec", s.UpdatesPerSec())
         .Add("updates_applied", static_cast<uint64_t>(s.updates_applied))
         .Add("memory_bytes", static_cast<uint64_t>(s.memory_bytes))
+        .Add("final_join_passes", s.final_join_passes)
         .Emit();
     all.push_back(std::move(s));
   }

@@ -52,6 +52,7 @@ struct GrowthSeries {
   size_t memory_bytes = 0;
   size_t updates_applied = 0;
   uint64_t new_embeddings = 0;
+  uint64_t final_join_passes = 0;      ///< Per-query final-join passes.
   double answer_millis = 0.0;          ///< Total answering wall clock.
 
   /// Throughput counter: processed updates per second of answering time.
@@ -79,6 +80,7 @@ struct CellResult {
   size_t updates_applied = 0;
   size_t memory_bytes = 0;
   uint64_t new_embeddings = 0;
+  uint64_t final_join_passes = 0;  ///< Per-query final-join passes.
   size_t queries_satisfied = 0;
   IndexStats index_stats;
 

@@ -99,6 +99,89 @@ void BM_JoinCacheCatchUp(benchmark::State& state) {
 }
 BENCHMARK(BM_JoinCacheCatchUp);
 
+// ---- Window-delta kernels (DESIGN.md §7) ------------------------------
+// A window of W seed updates joining one base view: the per-update path
+// runs W single-seed build+probe passes, the delta path runs ONE pass over
+// the tagged W-row batch. Same output rows; the ratio is the batching win
+// the engine-level window pipeline inherits.
+
+/// W seed rows tagged 1..W in a provenance-enabled relation.
+std::unique_ptr<Relation> MakeTaggedSeeds(size_t w, size_t universe, uint64_t seed) {
+  auto rel = std::make_unique<Relation>(2);
+  rel->EnableProvenance();
+  Rng rng(seed);
+  while (rel->NumRows() < w) {
+    VertexId row[2] = {static_cast<VertexId>(rng.Next(universe)),
+                       static_cast<VertexId>(rng.Next(universe))};
+    rel->AppendTagged(row, static_cast<uint32_t>(rel->NumRows()) + 1);
+  }
+  return rel;
+}
+
+void BM_ExtendRightWindowLooped(benchmark::State& state) {
+  const size_t w = static_cast<size_t>(state.range(0));
+  const size_t n = 1 << 13;
+  auto seeds = MakeTaggedSeeds(w, n / 16 + 8, 7);
+  auto base = MakeBase(n, n / 16 + 8, 8);
+  for (auto _ : state) {
+    Relation out(3);
+    for (size_t i = 0; i < w; ++i)
+      ExtendRight(RowRange{seeds.get(), i, i + 1}, *base, nullptr, out);
+    benchmark::DoNotOptimize(out.NumRows());
+  }
+  state.SetItemsProcessed(state.iterations() * w);
+}
+BENCHMARK(BM_ExtendRightWindowLooped)->Range(8, 256);
+
+void BM_ExtendRightWindowDelta(benchmark::State& state) {
+  const size_t w = static_cast<size_t>(state.range(0));
+  const size_t n = 1 << 13;
+  auto seeds = MakeTaggedSeeds(w, n / 16 + 8, 7);
+  auto base = MakeBase(n, n / 16 + 8, 8);
+  for (auto _ : state) {
+    Relation out(3);
+    out.EnableProvenance();
+    ExtendRightDelta(DeltaBatch{AllRows(*seeds), TagsOfProvenance(*seeds)}, *base,
+                     nullptr, RowTags{}, out);
+    benchmark::DoNotOptimize(out.NumRows());
+  }
+  state.SetItemsProcessed(state.iterations() * w);
+}
+BENCHMARK(BM_ExtendRightWindowDelta)->Range(8, 256);
+
+void BM_JoinConcatWindowLooped(benchmark::State& state) {
+  const size_t w = static_cast<size_t>(state.range(0));
+  const size_t n = 1 << 13;
+  auto seeds = MakeTaggedSeeds(w, n / 16 + 8, 9);
+  auto base = MakeBase(n, n / 16 + 8, 10);
+  const std::vector<std::pair<uint32_t, uint32_t>> keys{{1, 0}};
+  for (auto _ : state) {
+    Relation out(4);
+    for (size_t i = 0; i < w; ++i)
+      JoinConcat(RowRange{seeds.get(), i, i + 1}, AllRows(*base), keys, nullptr, out);
+    benchmark::DoNotOptimize(out.NumRows());
+  }
+  state.SetItemsProcessed(state.iterations() * w);
+}
+BENCHMARK(BM_JoinConcatWindowLooped)->Range(8, 256);
+
+void BM_JoinConcatWindowDelta(benchmark::State& state) {
+  const size_t w = static_cast<size_t>(state.range(0));
+  const size_t n = 1 << 13;
+  auto seeds = MakeTaggedSeeds(w, n / 16 + 8, 9);
+  auto base = MakeBase(n, n / 16 + 8, 10);
+  const std::vector<std::pair<uint32_t, uint32_t>> keys{{1, 0}};
+  for (auto _ : state) {
+    Relation out(4);
+    out.EnableProvenance();
+    JoinConcatDelta(DeltaBatch{AllRows(*seeds), TagsOfProvenance(*seeds)},
+                    AllRows(*base), RowTags{}, keys, nullptr, out);
+    benchmark::DoNotOptimize(out.NumRows());
+  }
+  state.SetItemsProcessed(state.iterations() * w);
+}
+BENCHMARK(BM_JoinConcatWindowDelta)->Range(8, 256);
+
 void BM_JoinBindings(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
   auto a = MakeBase(n, n / 8 + 8, 5);

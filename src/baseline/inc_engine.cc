@@ -50,6 +50,7 @@ UpdateResult IncEngine::ProcessInsert(const EdgeUpdate& u) {
       }
     }
     if (!any_touched) continue;
+    NoteFinalJoinPass();
 
     // Seeded deltas for touched paths; lazy INV-style recomputation for the
     // rest (computed at most once per query per update).
@@ -104,6 +105,128 @@ UpdateResult IncEngine::ProcessInsert(const EdgeUpdate& u) {
     result.AddQueryCount(qid, assignments.NumRows());
   }
   return result;
+}
+
+void IncEngine::FinalizeWindow(WindowContext& ctx, UpdateResult* window_results) {
+  InvWindowContext& wctx = static_cast<InvWindowContext&>(ctx);
+  if (wctx.affected.empty()) return;
+  std::sort(wctx.affected.begin(), wctx.affected.end());
+
+  size_t i = 0;
+  while (i < wctx.affected.size()) {
+    const QueryId qid = wctx.affected[i].first;
+    size_t j = i;
+    while (j < wctx.affected.size() && wctx.affected[j].first == qid) ++j;
+
+    if (BudgetExceededNow()) return;  // timeout: partial, flagged by the caller
+
+    QueryEntry& entry = queries_.at(qid);
+    const QueryPattern& q = entry.pattern;
+    if (!AllViewsNonEmpty(entry)) {
+      i = j;
+      continue;
+    }
+
+    // The query's window updates, ascending by position.
+    std::vector<std::pair<uint32_t, const EdgeUpdate*>> seeds;
+    seeds.reserve(j - i);
+    for (size_t k = i; k < j; ++k)
+      seeds.emplace_back(wctx.affected[k].second,
+                         &wctx.window_updates[wctx.affected[k].second - 1]);
+
+    const size_t num_paths = entry.paths.size();
+    size_t transient_bytes = 0;
+
+    // Which covering paths does *any* window update touch?
+    std::vector<bool> touched(num_paths, false);
+    bool any_touched = false;
+    for (size_t pi = 0; pi < num_paths; ++pi) {
+      for (const auto& pattern : entry.signatures[pi]) {
+        for (const auto& [position, u] : seeds) {
+          if (pattern.Matches(*u)) {
+            touched[pi] = true;
+            any_touched = true;
+            break;
+          }
+        }
+        if (touched[pi]) break;
+      }
+    }
+    if (!any_touched) {
+      i = j;
+      continue;
+    }
+    NoteFinalJoinPass();
+
+    // One tagged seeded evaluation per (query, window): batched deltas for
+    // the touched paths, each other path re-materialized at most once.
+    std::vector<std::unique_ptr<Relation>> deltas(num_paths);
+    std::vector<std::unique_ptr<Relation>> fulls(num_paths);
+    bool infeasible = false;
+    for (size_t pi = 0; pi < num_paths; ++pi) {
+      if (!touched[pi]) continue;
+      deltas[pi] =
+          MaterializePathDeltaBatch(entry, pi, seeds, IndexSource(), wctx.prov,
+                                    transient_bytes);
+    }
+    auto full_of = [&](size_t pi) -> Relation* {
+      if (fulls[pi] == nullptr)
+        fulls[pi] = MaterializeFullPathTagged(entry, pi, IndexSource(), wctx.prov,
+                                              transient_bytes);
+      return fulls[pi].get();
+    };
+
+    // Assignments over all query vertices, deduped across seed paths, each
+    // tagged with the window position sequential execution reports it at.
+    Relation assignments(static_cast<uint32_t>(q.NumVertices()));
+    assignments.EnableProvenance();
+    for (size_t pi = 0; pi < num_paths && !infeasible; ++pi) {
+      if (!touched[pi] || deltas[pi] == nullptr || deltas[pi]->Empty()) continue;
+      OwnedBindings acc = PathRowsToBindingsTagged(
+          AllRows(*deltas[pi]), entry.specs[pi], TagsOfProvenance(*deltas[pi]));
+      for (size_t pj = 0; pj < num_paths && !acc.Empty(); ++pj) {
+        if (pj == pi) continue;
+        Relation* other = full_of(pj);
+        if (other == nullptr) {
+          // A dead path chain means the query is unsatisfiable now — unless
+          // the materialization aborted on the budget, which must end the
+          // whole finalize (results are partial either way under timeout).
+          if (BudgetExceededNow()) return;
+          infeasible = true;
+          break;
+        }
+        OwnedBindings ob = PathRowsToBindingsTagged(AllRows(*other), entry.specs[pj],
+                                                    TagsOfProvenance(*other));
+        acc = JoinBindingRangesTagged(acc.schema, acc.All(), ob.schema, ob.All(),
+                                      TagsOfProvenance(*ob.rows));
+        if (BudgetExceededNow()) return;
+      }
+      if (infeasible || acc.Empty()) continue;
+
+      std::vector<uint32_t> perm(q.NumVertices());
+      for (uint32_t c = 0; c < acc.schema.size(); ++c) perm[acc.schema[c]] = c;
+      std::vector<VertexId> row(q.NumVertices());
+      for (size_t r = 0; r < acc.rows->NumRows(); ++r) {
+        const VertexId* src = acc.rows->Row(r);
+        for (uint32_t v = 0; v < q.NumVertices(); ++v) row[v] = src[perm[v]];
+        if (!SatisfiesConstraints(q, row.data())) continue;
+        assignments.AppendTagged(row.data(), acc.rows->ProvOf(r));
+      }
+    }
+
+    // Scatter the per-position counts back onto the window results.
+    std::vector<uint32_t> tags;
+    tags.reserve(assignments.NumRows());
+    for (size_t r = 0; r < assignments.NumRows(); ++r) {
+      const uint32_t tag = assignments.ProvOf(r);
+      GS_DCHECK(tag > 0);
+      tags.push_back(tag);
+    }
+    ScatterTagCounts(tags, qid, window_results);
+
+    NotePeakTransient(transient_bytes + assignments.MemoryBytes());
+    i = j;
+  }
 }
 
 }  // namespace baseline

@@ -32,6 +32,11 @@ class IncEngine : public InvertedIndexEngineBase {
 
  protected:
   UpdateResult ProcessInsert(const EdgeUpdate& u) override;
+
+  /// Window-delta pipeline: one tagged seeded evaluation per (query,
+  /// window) — path deltas batched over every window update, the other
+  /// paths re-materialized once instead of once per update.
+  void FinalizeWindow(WindowContext& ctx, UpdateResult* window_results) override;
 };
 
 }  // namespace baseline

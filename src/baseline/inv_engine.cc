@@ -1,5 +1,7 @@
 #include "baseline/inv_engine.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace gstream {
@@ -8,6 +10,7 @@ namespace baseline {
 bool InvEngine::EvaluateQueryTotal(QueryEntry& entry, uint64_t& total) {
   total = 0;
   if (!AllViewsNonEmpty(entry)) return true;  // Step 1 candidate filter
+  NoteFinalJoinPass();
 
   // Steps 2+3: re-materialize every covering path from scratch.
   size_t transient_bytes = 0;
@@ -94,6 +97,93 @@ UpdateResult InvEngine::ProcessInsert(const EdgeUpdate& u) {
     entry.last_count = total;
   }
   return result;
+}
+
+void InvEngine::FinalizeWindow(WindowContext& ctx, UpdateResult* window_results) {
+  InvWindowContext& wctx = static_cast<InvWindowContext&>(ctx);
+  if (wctx.affected.empty()) return;
+  std::sort(wctx.affected.begin(), wctx.affected.end());
+
+  size_t i = 0;
+  while (i < wctx.affected.size()) {
+    const QueryId qid = wctx.affected[i].first;
+    size_t j = i;
+    while (j < wctx.affected.size() && wctx.affected[j].first == qid) ++j;
+    i = j;  // positions are implied by the provenance histogram below
+
+    if (BudgetExceededNow()) return;  // timeout: partial, flagged by the caller
+
+    QueryEntry& entry = queries_.at(qid);
+    // End-of-window candidate filter: views only grow inside an insert
+    // window, so an empty view here means zero embeddings at every member
+    // position (sequential evaluation would have found total == 0 each time).
+    if (!AllViewsNonEmpty(entry)) continue;
+    NoteFinalJoinPass();
+
+    // One tagged full evaluation per (query, window): the per-update diffs
+    // INV recomputes from scratch each time fall out of the histogram of
+    // assignment tags (an assignment's tag is the window position its last
+    // contributing edge arrived at — exactly when the sequential diff first
+    // counts it; tag 0 = already counted in last_count).
+    size_t transient_bytes = 0;
+    std::vector<std::unique_ptr<Relation>> path_views;
+    bool died = false;
+    for (size_t pi = 0; pi < entry.paths.size(); ++pi) {
+      auto view = MaterializeFullPathTagged(entry, pi, IndexSource(), wctx.prov,
+                                            transient_bytes);
+      if (view == nullptr) {
+        died = true;
+        break;
+      }
+      path_views.push_back(std::move(view));
+    }
+    NotePeakTransient(transient_bytes);
+    if (died) {
+      if (BudgetExceededNow()) return;
+      continue;  // a path chain died: total is 0 at every position
+    }
+
+    OwnedBindings acc = PathRowsToBindingsTagged(
+        AllRows(*path_views[0]), entry.specs[0], TagsOfProvenance(*path_views[0]));
+    for (size_t pi = 1; pi < entry.paths.size() && !acc.Empty(); ++pi) {
+      OwnedBindings other = PathRowsToBindingsTagged(
+          AllRows(*path_views[pi]), entry.specs[pi],
+          TagsOfProvenance(*path_views[pi]));
+      acc = JoinBindingRangesTagged(acc.schema, acc.All(), other.schema,
+                                    other.All(), TagsOfProvenance(*other.rows));
+      if (BudgetExceededNow()) return;
+    }
+    if (acc.Empty()) continue;
+
+    // Count assignments passing the §4.3 property constraints, split by tag.
+    const uint32_t num_vertices = static_cast<uint32_t>(entry.pattern.NumVertices());
+    std::vector<uint32_t> perm(num_vertices);
+    for (uint32_t c = 0; c < acc.schema.size(); ++c) perm[acc.schema[c]] = c;
+    std::vector<VertexId> row(num_vertices);
+    uint64_t total = 0;
+    uint64_t pre_window = 0;
+    std::vector<uint32_t> tags;
+    for (size_t r = 0; r < acc.rows->NumRows(); ++r) {
+      if (entry.pattern.HasConstraints()) {
+        const VertexId* src = acc.rows->Row(r);
+        for (uint32_t v = 0; v < num_vertices; ++v) row[v] = src[perm[v]];
+        if (!SatisfiesConstraints(entry.pattern, row.data())) continue;
+      }
+      ++total;
+      const uint32_t tag = acc.rows->ProvOf(r);
+      if (tag == 0)
+        ++pre_window;
+      else
+        tags.push_back(tag);
+    }
+    if (total == 0) continue;
+    // Assignments predating the window are exactly the ones the previous
+    // evaluations already counted.
+    GS_DCHECK(pre_window == entry.last_count);
+    (void)pre_window;
+    ScatterTagCounts(tags, qid, window_results);
+    entry.last_count = total;
+  }
 }
 
 }  // namespace baseline

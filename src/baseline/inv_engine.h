@@ -34,6 +34,11 @@ class InvEngine : public InvertedIndexEngineBase {
  protected:
   UpdateResult ProcessInsert(const EdgeUpdate& u) override;
 
+  /// Window-delta pipeline: one tagged full evaluation per (query, window);
+  /// the per-position diffs fall out of the provenance histogram instead of
+  /// re-evaluating the query once per update.
+  void FinalizeWindow(WindowContext& ctx, UpdateResult* window_results) override;
+
  private:
   /// INV's core evaluation: recompute the query's current embedding total
   /// from the base views. Returns false when the time budget expired

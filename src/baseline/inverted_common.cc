@@ -144,6 +144,101 @@ std::unique_ptr<Relation> InvertedIndexEngineBase::MaterializePathDelta(
   return delta;
 }
 
+void InvertedIndexEngineBase::ProcessInsertDelta(const EdgeUpdate& u,
+                                                 WindowContext& ctx,
+                                                 UpdateResult& result) {
+  InvWindowContext& wctx = static_cast<InvWindowContext&>(ctx);
+  result.changed = true;
+  AppendToBaseViews(u, &ctx);
+  for (QueryId qid : AffectedQueries(u)) wctx.affected.emplace_back(qid, ctx.position);
+}
+
+std::unique_ptr<Relation> InvertedIndexEngineBase::MaterializeFullPathTagged(
+    const QueryEntry& entry, size_t pi, JoinIndexSource* cache,
+    const WindowProvenance& prov, size_t& transient_bytes) {
+  const auto& sig = entry.signatures[pi];
+  const Relation* first = FindBaseView(sig[0]);
+  GS_DCHECK(first != nullptr);
+
+  auto current = std::make_unique<Relation>(2);
+  current->EnableProvenance();
+  {
+    const RowTags tags = prov.TagsFor(first);
+    current->Reserve(first->NumRows());
+    for (size_t i = 0; i < first->NumRows(); ++i)
+      current->AppendTagged(first->Row(i), tags.TagOf(i));
+  }
+
+  for (size_t i = 1; i < sig.size(); ++i) {
+    if (current->Empty()) return nullptr;
+    const Relation* base = FindBaseView(sig[i]);
+    GS_DCHECK(base != nullptr);
+    auto next = std::make_unique<Relation>(current->arity() + 1);
+    next->EnableProvenance();
+    ExtendRightDelta(DeltaBatch{AllRows(*current), TagsOfProvenance(*current)},
+                     *base, cache ? cache->Get(base, 0) : nullptr,
+                     prov.TagsFor(base), *next);
+    transient_bytes += next->MemoryBytes();
+    current = std::move(next);
+    // Non-sampling: each chain step is a whole-view join, so the sampled
+    // poll could overshoot a deadline by hundreds of steps.
+    if (BudgetExceededNow()) return nullptr;
+  }
+  if (current->Empty()) return nullptr;
+  return current;
+}
+
+std::unique_ptr<Relation> InvertedIndexEngineBase::MaterializePathDeltaBatch(
+    const QueryEntry& entry, size_t pi,
+    const std::vector<std::pair<uint32_t, const EdgeUpdate*>>& seeds,
+    JoinIndexSource* cache, const WindowProvenance& prov, size_t& transient_bytes) {
+  const auto& sig = entry.signatures[pi];
+  const uint32_t arity = static_cast<uint32_t>(sig.size()) + 1;
+  auto delta = std::make_unique<Relation>(arity);
+  delta->EnableProvenance();
+
+  for (size_t pos = 0; pos < sig.size(); ++pos) {
+    // One tagged fragment chain per path position, seeded with *all* the
+    // window's matching updates at once (a non-duplicate update's tuple is
+    // always new to its matching views, so its seed tag is its own window
+    // position).
+    auto cur = std::make_unique<Relation>(2);
+    cur->EnableProvenance();
+    for (const auto& [position, u] : seeds) {
+      if (!sig[pos].Matches(*u)) continue;
+      const VertexId seed[2] = {u->src, u->dst};
+      cur->AppendTagged(seed, position);
+    }
+    if (cur->Empty()) continue;
+    bool dead = false;
+    for (size_t j = pos; j-- > 0 && !dead;) {
+      const Relation* base = FindBaseView(sig[j]);
+      auto next = std::make_unique<Relation>(cur->arity() + 1);
+      next->EnableProvenance();
+      ExtendLeftDelta(DeltaBatch{AllRows(*cur), TagsOfProvenance(*cur)}, *base,
+                      cache ? cache->Get(base, 1) : nullptr, prov.TagsFor(base),
+                      *next);
+      transient_bytes += next->MemoryBytes();
+      cur = std::move(next);
+      dead = cur->Empty();
+    }
+    for (size_t j = pos + 1; j < sig.size() && !dead; ++j) {
+      const Relation* base = FindBaseView(sig[j]);
+      auto next = std::make_unique<Relation>(cur->arity() + 1);
+      next->EnableProvenance();
+      ExtendRightDelta(DeltaBatch{AllRows(*cur), TagsOfProvenance(*cur)}, *base,
+                       cache ? cache->Get(base, 0) : nullptr, prov.TagsFor(base),
+                       *next);
+      transient_bytes += next->MemoryBytes();
+      cur = std::move(next);
+      dead = cur->Empty();
+    }
+    if (dead || BudgetExceeded()) continue;
+    delta->AppendAll(*cur);
+  }
+  return delta;
+}
+
 size_t InvertedIndexEngineBase::MemoryBytes() const {
   size_t bytes = SharedMemoryBytes();
   if (cache_ != nullptr) bytes += cache_->MemoryBytes();

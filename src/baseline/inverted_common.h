@@ -45,6 +45,24 @@ class InvertedIndexEngineBase : public ViewEngineBase {
   /// signature patterns).
   void BuildPatternReach() override;
 
+  /// Shard-local delta-window context (window-delta pipeline, DESIGN.md §7):
+  /// the (affected query, window position) pairs accumulated across the
+  /// window. The engine-specific FinalizeWindow overrides consume them to
+  /// run one tagged evaluation per (query, window).
+  struct InvWindowContext : WindowContext {
+    std::vector<std::pair<QueryId, uint32_t>> affected;
+  };
+
+  /// Maintenance is identical for INV and INC: append to the base views
+  /// (checkpointing them) and record the affected queries; every join is
+  /// deferred to the engine's FinalizeWindow.
+  bool SupportsWindowDelta() const override { return true; }
+  std::unique_ptr<WindowContext> NewWindowContext() override {
+    return std::make_unique<InvWindowContext>();
+  }
+  void ProcessInsertDelta(const EdgeUpdate& u, WindowContext& ctx,
+                          UpdateResult& result) override;
+
   struct QueryEntry {
     QueryPattern pattern;
     std::vector<CoveringPath> paths;
@@ -77,6 +95,26 @@ class InvertedIndexEngineBase : public ViewEngineBase {
   std::unique_ptr<Relation> MaterializePathDelta(const QueryEntry& entry, size_t pi,
                                                  const EdgeUpdate& u, JoinIndexSource* cache,
                                                  size_t& transient_bytes);
+
+  /// Tagged MaterializeFullPath (window-delta pipeline): the returned
+  /// relation carries a provenance column — each row's tag is the max
+  /// window position over its contributing base-view rows (0 = the row
+  /// existed before the window), derived from `prov`'s checkpoints.
+  std::unique_ptr<Relation> MaterializeFullPathTagged(const QueryEntry& entry,
+                                                      size_t pi, JoinIndexSource* cache,
+                                                      const WindowProvenance& prov,
+                                                      size_t& transient_bytes);
+
+  /// Window-batched MaterializePathDelta: seeds *every* window update in
+  /// `seeds` ((window position, update) pairs, ascending) that matches each
+  /// path position in one tagged pass and extends over the end-of-window
+  /// edge views — one build+probe chain per (path, window) instead of one
+  /// per (path, update). Rows are tagged with the window position at which
+  /// sequential per-update evaluation would have produced them.
+  std::unique_ptr<Relation> MaterializePathDeltaBatch(
+      const QueryEntry& entry, size_t pi,
+      const std::vector<std::pair<uint32_t, const EdgeUpdate*>>& seeds,
+      JoinIndexSource* cache, const WindowProvenance& prov, size_t& transient_bytes);
 
   std::unique_ptr<JoinCache> cache_;  ///< Non-null for INV+/INC+.
   std::unordered_map<QueryId, QueryEntry> queries_;

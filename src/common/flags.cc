@@ -1,5 +1,7 @@
 #include "common/flags.h"
 
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 
 namespace gstream {
@@ -43,6 +45,27 @@ int64_t Flags::GetInt(const std::string& name, int64_t def) const {
 double Flags::GetDouble(const std::string& name, double def) const {
   auto it = values_.find(name);
   return it == values_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+int64_t Flags::GetIntAtLeast(const std::string& name, int64_t def,
+                             int64_t min) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  const char* text = it->second.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const int64_t value = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr, "--%s: expected an integer, got '%s'\n", name.c_str(),
+                 text);
+    std::exit(2);
+  }
+  if (value < min) {
+    std::fprintf(stderr, "--%s must be >= %lld (got %lld)\n", name.c_str(),
+                 static_cast<long long>(min), static_cast<long long>(value));
+    std::exit(2);
+  }
+  return value;
 }
 
 bool Flags::GetBool(const std::string& name, bool def) const {

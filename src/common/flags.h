@@ -23,6 +23,18 @@ class Flags {
   double GetDouble(const std::string& name, double def) const;
   bool GetBool(const std::string& name, bool def) const;
 
+  /// Strictly parsed integer in [min, 2^63): a present flag that is not a
+  /// number, has trailing junk, or is below `min` prints a clear error to
+  /// stderr and exits with status 2 (config typos like `--batch=0` or
+  /// `--threads=-1` must not silently run a degenerate setup). Absent flags
+  /// return `def` unchecked.
+  int64_t GetIntAtLeast(const std::string& name, int64_t def, int64_t min) const;
+
+  /// GetIntAtLeast with min = 1: window sizes, thread counts, scales.
+  int64_t GetPositiveInt(const std::string& name, int64_t def) const {
+    return GetIntAtLeast(name, def, 1);
+  }
+
   /// Positional (non-flag) arguments, in order.
   const std::vector<std::string>& positional() const { return positional_; }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/logging.h"
 #include "common/timer.h"
 
 namespace gstream {
@@ -20,6 +21,8 @@ IndexStats IndexQueries(ContinuousEngine& engine,
 
 RunStats RunStream(ContinuousEngine& engine, const UpdateStream& stream,
                    const RunConfig& config) {
+  GS_CHECK_MSG(config.batch_window >= 1, "batch_window must be >= 1");
+  GS_CHECK_MSG(config.batch_threads >= 1, "batch_threads must be >= 1");
   RunStats stats;
   Budget budget;
   if (std::isfinite(config.budget_seconds))

@@ -17,11 +17,12 @@ namespace gstream {
 struct RunConfig {
   double budget_seconds = std::numeric_limits<double>::infinity();
 
-  /// Updates per `ApplyBatch` window; 1 = classic per-update `ApplyUpdate`.
+  /// Updates per `ApplyBatch` window; 1 = classic per-update `ApplyUpdate`,
+  /// > 1 = the window-delta batch pipeline. RunStream rejects 0.
   size_t batch_window = 1;
 
   /// Worker threads for the engines' sharded batch execution (only
-  /// meaningful with batch_window > 1).
+  /// meaningful with batch_window > 1). RunStream rejects < 1.
   int batch_threads = 1;
 };
 

@@ -58,6 +58,14 @@ class ContinuousEngine {
   /// Number of registered queries.
   virtual size_t NumQueries() const = 0;
 
+  /// Diagnostic counter: per-query final-join passes executed so far (one
+  /// pass = joining one query's covering-path views to produce matches).
+  /// The window-delta batch pipeline runs exactly one pass per (query,
+  /// window) where per-update execution runs one per (query, update) —
+  /// tests and the bench harness read this to verify the batching actually
+  /// batched. Engines without a final-join stage report 0.
+  virtual uint64_t final_join_passes() const { return 0; }
+
   /// Approximate bytes of all retained structures, including the peak
   /// transient join scratch observed so far (Fig. 13(c) accounting).
   virtual size_t MemoryBytes() const = 0;
@@ -72,6 +80,12 @@ class ContinuousEngine {
 
  protected:
   bool BudgetExceeded() { return budget_ != nullptr && budget_->Exceeded(); }
+
+  /// Non-sampling variant for coarse boundaries (per query per window):
+  /// `BudgetExceeded` samples the clock every ~512 polls, which lets a
+  /// window finalize overshoot the deadline by hundreds of expensive query
+  /// evaluations; boundaries that gate big work check the clock for real.
+  bool BudgetExceededNow() { return budget_ != nullptr && budget_->ExceededNow(); }
 
   /// The §4.3 extra answering phase: checks a full assignment (indexed by
   /// query vertex) against the query's property constraints. Constraints on

@@ -40,11 +40,13 @@ Relation* ViewEngineBase::FindBaseView(const GenericEdgePattern& p) const {
   return it == base_views_.end() ? nullptr : it->second.get();
 }
 
-void ViewEngineBase::AppendToBaseViews(const EdgeUpdate& u) {
+void ViewEngineBase::AppendToBaseViews(const EdgeUpdate& u, WindowContext* ctx) {
   const VertexId row[2] = {u.src, u.dst};
   for (const auto& g : Generalizations(u)) {
     auto it = base_views_.find(g);
-    if (it != base_views_.end()) it->second->Append(row);
+    if (it == base_views_.end()) continue;
+    if (ctx != nullptr) ctx->prov.Checkpoint(it->second.get(), ctx->position);
+    it->second->Append(row);
   }
 }
 
@@ -113,6 +115,28 @@ bool ViewEngineBase::RunInsertWindow(const EdgeUpdate* updates, size_t lo,
   return ok;
 }
 
+void ViewEngineBase::ProcessInsertDelta(const EdgeUpdate& u, WindowContext& ctx,
+                                        UpdateResult& result) {
+  (void)ctx;
+  result = ProcessInsert(u);
+}
+
+void ViewEngineBase::FinalizeWindow(WindowContext& ctx, UpdateResult* window_results) {
+  (void)ctx;
+  (void)window_results;
+}
+
+void ViewEngineBase::ScatterTagCounts(std::vector<uint32_t>& tags, QueryId qid,
+                                      UpdateResult* window_results) {
+  std::sort(tags.begin(), tags.end());
+  for (size_t r = 0; r < tags.size();) {
+    size_t e = r;
+    while (e < tags.size() && tags[e] == tags[r]) ++e;
+    window_results[tags[r] - 1].AddQueryCount(qid, e - r);
+    r = e;
+  }
+}
+
 bool ViewEngineBase::RunInsertWindowImpl(const EdgeUpdate* updates, size_t lo,
                                            size_t hi,
                                            std::vector<UpdateResult>& results) {
@@ -125,21 +149,57 @@ bool ViewEngineBase::RunInsertWindowImpl(const EdgeUpdate* updates, size_t lo,
   for (size_t k = 0; k < count; ++k)
     dup[k] = IsDuplicateUpdate(updates[lo + k]) ? 1 : 0;
 
+  // Window-delta execution needs ≥ 2 updates to amortize anything; single-
+  // insert windows take the per-update path unchanged.
+  const bool delta = count > 1 && SupportsWindowDelta();
+
+  // On a mid-window timeout the pre-pass marked edges we never applied;
+  // un-mark the suffix so it leaves no trace (ApplyBatch contract).
+  const auto unwind_suffix = [&](size_t first_unapplied) {
+    for (size_t j = first_unapplied; j < count; ++j)
+      if (!dup[j]) seen_edges_.erase(updates[lo + j]);
+  };
+
   const auto run_sequential = [&]() {
     for (size_t k = 0; k < count; ++k) {
       results.push_back(dup[k] ? UpdateResult{} : ProcessInsert(updates[lo + k]));
       if (results.back().timed_out) {
-        // The pre-pass marked the whole window as seen; un-mark the edges
-        // this timeout kept us from applying, so the dropped suffix leaves
-        // no trace (ApplyBatch contract: the suffix was not applied).
-        for (size_t j = k + 1; j < count; ++j)
-          if (!dup[j]) seen_edges_.erase(updates[lo + j]);
+        unwind_suffix(k + 1);
         return false;
       }
     }
     return true;
   };
-  if (pool_ == nullptr || count == 1) return run_sequential();
+
+  // Single-threaded delta path: maintain views per update in stream order,
+  // then run every deferred final join once at the window boundary. On a
+  // budget trip results are partial, as everywhere under timeout.
+  const auto run_sequential_delta = [&]() {
+    std::vector<UpdateResult> window(count);
+    std::unique_ptr<WindowContext> ctx = NewWindowContext();
+    ctx->window_updates = updates + lo;
+    for (size_t k = 0; k < count; ++k) {
+      if (dup[k]) continue;
+      ctx->position = static_cast<uint32_t>(k) + 1;
+      ProcessInsertDelta(updates[lo + k], *ctx, window[k]);
+      if (BudgetExceeded()) {
+        unwind_suffix(k + 1);
+        for (size_t j = 0; j <= k; ++j) results.push_back(std::move(window[j]));
+        results.back().timed_out = true;
+        return false;
+      }
+    }
+    FinalizeWindow(*ctx, window.data());
+    for (size_t k = 0; k < count; ++k) results.push_back(std::move(window[k]));
+    if (budget_ != nullptr && budget_->ExceededNow()) {
+      results.back().timed_out = true;
+      return false;
+    }
+    return true;
+  };
+
+  const auto run_single = [&]() { return delta ? run_sequential_delta() : run_sequential(); };
+  if (pool_ == nullptr || count == 1) return run_single();
 
   // Footprint collection + union-find grouping: two inserts sharing any
   // footprint element may interact and land in one shard; shards are
@@ -150,7 +210,7 @@ bool ViewEngineBase::RunInsertWindowImpl(const EdgeUpdate* updates, size_t lo,
   FlatMap<uint64_t, uint32_t, ElemHash> owner;
   for (size_t k = 0; k < count; ++k) {
     if (dup[k]) continue;
-    if (!CollectFootprint(updates[lo + k], fps[k])) return run_sequential();
+    if (!CollectFootprint(updates[lo + k], fps[k])) return run_single();
     for (uint64_t e : fps[k]) {
       uint32_t& first = owner.GetOrCreate(e);
       if (first == 0) {
@@ -172,7 +232,7 @@ bool ViewEngineBase::RunInsertWindowImpl(const EdgeUpdate* updates, size_t lo,
     if (members.empty()) ++num_shards;
     members.push_back(static_cast<uint32_t>(k));
   }
-  if (num_shards <= 1) return run_sequential();
+  if (num_shards <= 1) return run_single();
 
   std::vector<UpdateResult> window(count);  // dup slots stay the no-op result
   // Shards must not poll the (non-thread-safe) budget; the coordinator
@@ -181,13 +241,28 @@ bool ViewEngineBase::RunInsertWindowImpl(const EdgeUpdate* updates, size_t lo,
   budget_ = nullptr;
   // One task per executor, striped over the shards — shards greatly
   // outnumber threads on busy windows and per-shard tasks would pay queue
-  // and wakeup costs per shard.
+  // and wakeup costs per shard. On the delta path each shard replays its
+  // members' maintenance in stream order, then finalizes its own queries
+  // once — tags are global window positions, so the merged results read
+  // exactly like sequential execution.
   const size_t num_tasks =
       std::min(static_cast<size_t>(pool_->size()), num_shards);
   for (size_t t = 0; t < num_tasks; ++t) {
-    pool_->Submit([this, updates, lo, t, num_tasks, &shards, &window] {
-      for (size_t g = t; g < shards.size(); g += num_tasks)
-        for (uint32_t k : shards[g]) window[k] = ProcessInsert(updates[lo + k]);
+    pool_->Submit([this, updates, lo, t, num_tasks, delta, &shards, &window] {
+      for (size_t g = t; g < shards.size(); g += num_tasks) {
+        if (shards[g].empty()) continue;
+        if (delta) {
+          std::unique_ptr<WindowContext> ctx = NewWindowContext();
+          ctx->window_updates = updates + lo;
+          for (uint32_t k : shards[g]) {
+            ctx->position = k + 1;
+            ProcessInsertDelta(updates[lo + k], *ctx, window[k]);
+          }
+          FinalizeWindow(*ctx, window.data());
+        } else {
+          for (uint32_t k : shards[g]) window[k] = ProcessInsert(updates[lo + k]);
+        }
+      }
     });
   }
   pool_->Wait();

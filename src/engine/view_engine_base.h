@@ -37,6 +37,15 @@ namespace gstream {
 ///    notification order identical to sequential execution. Deletions and
 ///    duplicate checks are order-sensitive and global, so deletions act as
 ///    window barriers and the duplicate pre-pass runs on the coordinator.
+///  * window-delta execution (DESIGN.md §7): within an insert window the
+///    engines that opt in (`SupportsWindowDelta`) split each update into
+///    cheap view maintenance (`ProcessInsertDelta`, run per update in stream
+///    order) and the expensive final joins (`FinalizeWindow`, run once per
+///    (query, window) over the window's accumulated, provenance-tagged
+///    deltas). Emitted matches carry the window position they would have
+///    been produced at by sequential execution, so grouping them by tag
+///    reconstructs byte-identical per-update results. The per-update path
+///    remains the `--batch 1` / single-insert degenerate case.
 class ViewEngineBase : public ContinuousEngine {
  public:
   std::vector<UpdateResult> ApplyBatch(const EdgeUpdate* updates, size_t n) override;
@@ -45,7 +54,59 @@ class ViewEngineBase : public ContinuousEngine {
     pool_ = threads > 1 ? std::make_unique<ThreadPool>(threads) : nullptr;
   }
 
+  uint64_t final_join_passes() const override {
+    return final_join_passes_.load(std::memory_order_relaxed);
+  }
+
  protected:
+  /// Per-shard context of one delta window: the provenance checkpoints of
+  /// every relation the shard's updates touch, plus the engine's deferred-
+  /// finalize state (subclasses extend it). One instance per shard, so no
+  /// synchronization — shards are footprint-disjoint.
+  struct WindowContext {
+    virtual ~WindowContext() = default;
+    uint32_t position = 0;  ///< 1-based window position of the insert in flight.
+    /// The window's updates; slot p - 1 is window position p (set by the
+    /// coordinator before the first ProcessInsertDelta).
+    const EdgeUpdate* window_updates = nullptr;
+    WindowProvenance prov;
+  };
+
+  /// True when the engine implements the window-delta protocol below;
+  /// otherwise batch windows replay `ProcessInsert` per update.
+  virtual bool SupportsWindowDelta() const { return false; }
+
+  virtual std::unique_ptr<WindowContext> NewWindowContext() {
+    return std::make_unique<WindowContext>();
+  }
+
+  /// Delta-path maintenance for one insert (`ctx.position` is set): update
+  /// the shared views and routing state, checkpoint touched relations in
+  /// `ctx.prov`, and record which queries need finalizing — but defer every
+  /// final join to FinalizeWindow. `result` is the update's slot in the
+  /// window's result vector; maintenance fills `changed`, FinalizeWindow
+  /// adds the per-query counts.
+  virtual void ProcessInsertDelta(const EdgeUpdate& u, WindowContext& ctx,
+                                  UpdateResult& result);
+
+  /// Runs the deferred final joins of `ctx`'s shard: exactly one pass per
+  /// (query, window), scattering match counts onto `window_results[p - 1]`
+  /// for window position `p` (tags never cross shard boundaries — a query's
+  /// positions are its own shard's members).
+  virtual void FinalizeWindow(WindowContext& ctx, UpdateResult* window_results);
+
+  /// Bumps the per-query final-join pass counter (see final_join_passes).
+  void NoteFinalJoinPass() {
+    final_join_passes_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Scatters one query's finalize output back onto the per-update results:
+  /// sorts `tags` (1-based window positions, one per new assignment) and
+  /// adds one AddQueryCount per distinct position to its result slot.
+  /// Consumes `tags`. Shared by every engine's FinalizeWindow so the
+  /// attribution logic cannot diverge between families.
+  static void ScatterTagCounts(std::vector<uint32_t>& tags, QueryId qid,
+                               UpdateResult* window_results);
   /// Element ids of one insert's read/write footprint. The three namespaces
   /// share one id space via a 2-bit tag in the low bits.
   using Footprint = std::vector<uint64_t>;
@@ -106,8 +167,10 @@ class ViewEngineBase : public ContinuousEngine {
   Relation* FindBaseView(const GenericEdgePattern& p) const;
 
   /// Records `u` into every existing base view whose pattern it satisfies
-  /// (up to the 4 generalizations).
-  void AppendToBaseViews(const EdgeUpdate& u);
+  /// (up to the 4 generalizations). With a non-null `ctx` (delta windows)
+  /// each touched view is checkpointed at `ctx->position` first, so the
+  /// appended rows carry the right window tags.
+  void AppendToBaseViews(const EdgeUpdate& u, WindowContext* ctx = nullptr);
 
   /// Retracts `u`'s tuple from every matching base view and forgets the
   /// edge (paper §4.3 deletions). Returns false when the edge was absent.
@@ -153,6 +216,7 @@ class ViewEngineBase : public ContinuousEngine {
   bool reach_dirty_ = true;
   bool window_cache_enabled_ = false;
   std::unique_ptr<WindowJoinCache> window_cache_;
+  std::atomic<uint64_t> final_join_passes_{0};
 };
 
 }  // namespace gstream

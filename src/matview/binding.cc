@@ -84,6 +84,73 @@ OwnedBindings JoinBindingRanges(const std::vector<uint32_t>& sa, RowRange a,
   return out;
 }
 
+OwnedBindings PathRowsToBindingsTagged(RowRange rows, const PathBindingSpec& spec,
+                                       RowTags tags) {
+  OwnedBindings out;
+  out.schema = spec.schema;
+  out.rows = std::make_unique<Relation>(static_cast<uint32_t>(spec.schema.size()));
+  out.rows->EnableProvenance();
+  if (rows.rel == nullptr) return out;
+  GS_DCHECK(rows.rel->arity() == spec.src_pos.size() + spec.eq_checks.size());
+
+  std::vector<VertexId> row(spec.schema.size());
+  for (size_t i = rows.begin; i < rows.end; ++i) {
+    const VertexId* r = rows.rel->Row(i);
+    bool ok = true;
+    for (const auto& [pa, pb] : spec.eq_checks) {
+      if (r[pa] != r[pb]) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    for (size_t c = 0; c < spec.src_pos.size(); ++c) row[c] = r[spec.src_pos[c]];
+    out.rows->AppendTagged(row.data(), tags.TagOf(i));
+  }
+  return out;
+}
+
+OwnedBindings JoinBindingRangesTagged(const std::vector<uint32_t>& sa, RowRange a,
+                                      const std::vector<uint32_t>& sb, RowRange b,
+                                      RowTags b_tags,
+                                      const HashIndex* b_first_key_index) {
+  OwnedBindings out;
+  out.schema = sa;
+  std::vector<std::pair<uint32_t, uint32_t>> keys;  // (a col, b col)
+  std::vector<uint32_t> b_extra_cols;
+  for (uint32_t cb = 0; cb < sb.size(); ++cb) {
+    auto it = std::find(sa.begin(), sa.end(), sb[cb]);
+    if (it != sa.end()) {
+      keys.emplace_back(static_cast<uint32_t>(it - sa.begin()), cb);
+    } else {
+      out.schema.push_back(sb[cb]);
+      b_extra_cols.push_back(cb);
+    }
+  }
+
+  const uint32_t a_arity = static_cast<uint32_t>(sa.size());
+  out.rows = std::make_unique<Relation>(static_cast<uint32_t>(out.schema.size()));
+  out.rows->EnableProvenance();
+  if (a.empty() || b.empty()) return out;
+  GS_DCHECK(a.rel->arity() == sa.size() && b.rel->arity() == sb.size());
+  GS_DCHECK(a.rel->has_provenance());
+
+  Relation concat(a.rel->arity() + b.rel->arity());
+  concat.EnableProvenance();
+  JoinConcatDelta(DeltaBatch{a, TagsOfProvenance(*a.rel)}, b, b_tags, keys,
+                  b_first_key_index, concat);
+
+  std::vector<VertexId> row(out.schema.size());
+  for (size_t i = 0; i < concat.NumRows(); ++i) {
+    const VertexId* r = concat.Row(i);
+    for (uint32_t c = 0; c < a_arity; ++c) row[c] = r[c];
+    for (size_t k = 0; k < b_extra_cols.size(); ++k)
+      row[a_arity + k] = r[a.rel->arity() + b_extra_cols[k]];
+    out.rows->AppendTagged(row.data(), concat.ProvOf(i));
+  }
+  return out;
+}
+
 int FirstSharedColumn(const std::vector<uint32_t>& sa, const std::vector<uint32_t>& sb) {
   for (uint32_t cb = 0; cb < sb.size(); ++cb)
     if (std::find(sa.begin(), sa.end(), sb[cb]) != sa.end()) return static_cast<int>(cb);

@@ -52,6 +52,23 @@ OwnedBindings JoinBindingRanges(const std::vector<uint32_t>& sa, RowRange a,
 /// Column in `sb` of the first vertex shared with `sa`, or -1 when disjoint.
 int FirstSharedColumn(const std::vector<uint32_t>& sa, const std::vector<uint32_t>& sb);
 
+/// Tagged variants (window-delta pipeline, DESIGN.md §7): identical row sets
+/// to the functions above, but every produced binding row carries a window
+/// provenance tag in the output relation's provenance column.
+
+/// `PathRowsToBindings` over rows whose tags come from `tags`; each binding
+/// row keeps its source row's tag.
+OwnedBindings PathRowsToBindingsTagged(RowRange rows, const PathBindingSpec& spec,
+                                       RowTags tags);
+
+/// `JoinBindingRanges` where `a.rel` is provenance-enabled (a tagged
+/// accumulator) and `b`'s rows are tagged by `b_tags`; output rows carry the
+/// max of their inputs' tags.
+OwnedBindings JoinBindingRangesTagged(const std::vector<uint32_t>& sa, RowRange a,
+                                      const std::vector<uint32_t>& sb, RowRange b,
+                                      RowTags b_tags,
+                                      const HashIndex* b_first_key_index = nullptr);
+
 }  // namespace gstream
 
 #endif  // GSTREAM_MATVIEW_BINDING_H_

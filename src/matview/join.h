@@ -27,6 +27,57 @@ inline RowRange DeltaRows(const Relation& r, size_t from) {
   return {&r, from, r.NumRows()};
 }
 
+/// One window-position boundary of a shared view: rows with index >=
+/// `row_begin` (up to the next checkpoint) were appended while processing
+/// the window update at 1-based `position`.
+struct WindowCheckpoint {
+  size_t row_begin;
+  uint32_t position;
+};
+
+/// Per-row window-position tags for the window-delta join pipeline
+/// (DESIGN.md §7). Two backings:
+///  * `column` — the dense tag array of a provenance-enabled Relation
+///    (delta transients);
+///  * `checkpoints` — WindowProvenance boundaries of a shared view, tags
+///    derived from the row index (ascending `row_begin`; rows before the
+///    first checkpoint are pre-window).
+/// A default RowTags tags every row 0 (= pre-window / untouched view).
+struct RowTags {
+  const uint32_t* column = nullptr;
+  const WindowCheckpoint* checkpoints = nullptr;
+  size_t num_checkpoints = 0;
+
+  uint32_t TagOf(size_t row) const {
+    if (column != nullptr) return column[row];
+    // Last checkpoint with row_begin <= row owns the interval.
+    size_t lo = 0, hi = num_checkpoints;
+    while (lo < hi) {
+      const size_t mid = lo + (hi - lo) / 2;
+      if (checkpoints[mid].row_begin <= row)
+        lo = mid + 1;
+      else
+        hi = mid;
+    }
+    return lo == 0 ? 0 : checkpoints[lo - 1].position;
+  }
+};
+
+/// Tags backed by `r`'s own provenance column (all-zero when absent).
+inline RowTags TagsOfProvenance(const Relation& r) {
+  return RowTags{r.ProvData(), nullptr, 0};
+}
+
+/// A window's worth of tagged seed rows: the delta a whole batch window
+/// appended to one relation, each row tagged with the 1-based window
+/// position of the update that produced it. The delta-batch kernels run one
+/// build+probe pass over such a batch where the per-update path would run
+/// one pass per update.
+struct DeltaBatch {
+  RowRange rows;
+  RowTags tags;
+};
+
 /// Path-extension join (paper §4.2 Step 2): `out += prefix ⋈ base` where the
 /// prefix's last column equals the base edge view's source column (column 0)
 /// and the output row is the prefix row extended with the base target
@@ -59,6 +110,30 @@ void ExtendLeft(RowRange suffix, const Relation& base, const HashIndex* base_dst
 void JoinConcat(RowRange a, RowRange b,
                 const std::vector<std::pair<uint32_t, uint32_t>>& keys,
                 const HashIndex* b_first_key_index, Relation& out);
+
+/// Delta-batch variants (window-delta pipeline): same join plans as the
+/// untagged kernels above, but the left side is a DeltaBatch of tagged seed
+/// rows, the right side's rows carry `b`/`base` tags, and every emitted row
+/// lands in the provenance-enabled `out` tagged with the max of its inputs'
+/// tags — the window position at which the sequential per-update path would
+/// have produced it. One build+probe pass therefore serves every update in
+/// the window; sorting/grouping emitted rows by tag reconstructs the exact
+/// per-update results.
+
+/// `out += prefix ⋈ base` (see ExtendRight), max-combining tags.
+void ExtendRightDelta(DeltaBatch prefix, const Relation& base,
+                      const HashIndex* base_src_index, RowTags base_tags,
+                      Relation& out);
+
+/// `out += base ⋈ suffix` (see ExtendLeft), max-combining tags.
+void ExtendLeftDelta(DeltaBatch suffix, const Relation& base,
+                     const HashIndex* base_dst_index, RowTags base_tags,
+                     Relation& out);
+
+/// General tagged equi-join (see JoinConcat), max-combining tags.
+void JoinConcatDelta(DeltaBatch a, RowRange b, RowTags b_tags,
+                     const std::vector<std::pair<uint32_t, uint32_t>>& keys,
+                     const HashIndex* b_first_key_index, Relation& out);
 
 }  // namespace gstream
 

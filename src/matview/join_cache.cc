@@ -1,5 +1,7 @@
 #include "matview/join_cache.h"
 
+#include "common/logging.h"
+
 namespace gstream {
 
 HashIndex* JoinCache::Get(const Relation* rel, uint32_t col) {
@@ -44,6 +46,49 @@ size_t WindowJoinCache::MemoryBytes() const {
   size_t bytes = sizeof(*this) + cache_.MemoryBytes();
   cache_.ForEach([&](const Key&, const Entry& entry) {
     if (entry.index != nullptr) bytes += entry.index->MemoryBytes();
+  });
+  return bytes;
+}
+
+void WindowProvenance::Checkpoint(const Relation* rel, uint32_t position) {
+  std::vector<WindowCheckpoint>& log = logs_.GetOrCreate(rel);
+  const size_t rows = rel->NumRows();
+  if (!log.empty()) {
+    if (log.back().position == position) return;
+    if (log.back().row_begin == rows) {
+      // The previous position appended nothing; its empty interval folds
+      // into this one.
+      log.back().position = position;
+      return;
+    }
+  }
+  log.push_back(WindowCheckpoint{rows, position});
+}
+
+void WindowProvenance::Checkpoint(const Relation* rel, uint32_t position,
+                                  size_t row_begin) {
+  std::vector<WindowCheckpoint>& log = logs_.GetOrCreate(rel);
+  if (!log.empty() && log.back().position == position) return;
+  GS_DCHECK(log.empty() || log.back().row_begin <= row_begin);
+  log.push_back(WindowCheckpoint{row_begin, position});
+}
+
+RowTags WindowProvenance::TagsFor(const Relation* rel) const {
+  const std::vector<WindowCheckpoint>* log = logs_.Find(rel);
+  if (log == nullptr || log->empty()) return RowTags{};
+  return RowTags{nullptr, log->data(), log->size()};
+}
+
+size_t WindowProvenance::WindowDeltaBegin(const Relation* rel) const {
+  const std::vector<WindowCheckpoint>* log = logs_.Find(rel);
+  if (log == nullptr || log->empty()) return rel->NumRows();
+  return log->front().row_begin;
+}
+
+size_t WindowProvenance::MemoryBytes() const {
+  size_t bytes = sizeof(*this) + logs_.MemoryBytes();
+  logs_.ForEach([&](const Relation*, const std::vector<WindowCheckpoint>& log) {
+    bytes += log.capacity() * sizeof(WindowCheckpoint);
   });
   return bytes;
 }

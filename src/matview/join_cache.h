@@ -6,9 +6,12 @@
 #include <mutex>
 #include <utility>
 
+#include <vector>
+
 #include "common/flat_map.h"
 #include "common/hash.h"
 #include "matview/hash_index.h"
+#include "matview/join.h"
 
 namespace gstream {
 
@@ -98,6 +101,48 @@ class WindowJoinCache : public JoinIndexSource {
   };
   std::mutex mu_;
   FlatMap<Key, Entry, KeyHash> cache_;
+};
+
+/// Window-scoped provenance log of the delta pipeline (DESIGN.md §7): for
+/// every shared view a batch window appends to, the row-index boundaries of
+/// each window position, recorded as the window replays its updates.
+/// `TagsFor` then derives any row's window position from its index alone —
+/// the views themselves stay untouched (no widening, no per-row tag writes
+/// to shared state).
+///
+/// One instance per shard per window (shards touch footprint-disjoint
+/// relations), so no locking. Dropped at the window boundary.
+class WindowProvenance {
+ public:
+  /// Records that subsequent appends to `rel` belong to window `position`
+  /// (1-based, ascending across calls). Call before the appends of each
+  /// position; empty positions fold away.
+  void Checkpoint(const Relation* rel, uint32_t position);
+
+  /// Checkpoint with an explicit boundary: `row_begin` was `rel`'s row count
+  /// before this position's appends. Callers that already track the before-
+  /// count use this to log only positions that actually grew the relation
+  /// (no empty-touch bookkeeping on the hot path).
+  void Checkpoint(const Relation* rel, uint32_t position, size_t row_begin);
+
+  /// Tags for `rel`'s rows; a default (all pre-window) RowTags when the
+  /// window never touched `rel`.
+  RowTags TagsFor(const Relation* rel) const;
+
+  /// First window row of `rel`: the window's delta range is
+  /// [WindowDeltaBegin(rel), rel->NumRows()). `rel->NumRows()` at call time
+  /// when untouched.
+  size_t WindowDeltaBegin(const Relation* rel) const;
+
+  size_t MemoryBytes() const;
+
+ private:
+  struct PtrHash {
+    size_t operator()(const Relation* r) const {
+      return Mix64(reinterpret_cast<uintptr_t>(r));
+    }
+  };
+  FlatMap<const Relation*, std::vector<WindowCheckpoint>, PtrHash> logs_;
 };
 
 }  // namespace gstream

@@ -12,14 +12,21 @@ Relation::Relation(uint32_t arity) : arity_(arity) {
 
 Relation::Relation(Relation&& other) noexcept
     : arity_(other.arity_),
+      prov_enabled_(other.prov_enabled_),
       num_rows_(other.num_rows_),
       generation_(other.generation_),
       data_(std::move(other.data_)),
+      prov_(std::move(other.prov_)),
       row_set_(std::move(other.row_set_)) {
   // The dedup set stores hashes + row indexes only (nothing address-bound),
   // so it moves wholesale with the data buffer.
   other.num_rows_ = 0;
   other.row_set_ = FlatRowSet();
+}
+
+void Relation::EnableProvenance() {
+  GS_CHECK_MSG(num_rows_ == 0, "enable provenance before the first append");
+  prov_enabled_ = true;
 }
 
 bool Relation::Append(const VertexId* row) {
@@ -38,7 +45,15 @@ bool Relation::Append(const VertexId* row) {
   } else {
     data_.insert(data_.end(), row, row + arity_);
   }
+  if (prov_enabled_) prov_.push_back(0);
   ++num_rows_;
+  return true;
+}
+
+bool Relation::AppendTagged(const VertexId* row, uint32_t prov) {
+  GS_DCHECK(prov_enabled_);
+  if (!Append(row)) return false;
+  prov_.back() = prov;
   return true;
 }
 
@@ -57,8 +72,14 @@ size_t Relation::AppendAll(const Relation& other) {
   GS_DCHECK(other.arity_ == arity_);
   Reserve(num_rows_ + other.num_rows_);
   size_t inserted = 0;
-  for (size_t i = 0; i < other.num_rows_; ++i)
-    if (Append(other.Row(i))) ++inserted;
+  if (prov_enabled_) {
+    // Tags travel with the rows (0 when the source carries none).
+    for (size_t i = 0; i < other.num_rows_; ++i)
+      if (AppendTagged(other.Row(i), other.ProvOf(i))) ++inserted;
+  } else {
+    for (size_t i = 0; i < other.num_rows_; ++i)
+      if (Append(other.Row(i))) ++inserted;
+  }
   return inserted;
 }
 
@@ -81,13 +102,16 @@ size_t Relation::RemoveRowsWhere(const std::function<bool(const VertexId*)>& pre
   for (size_t i = 0; i < num_rows_; ++i) {
     const VertexId* row = Row(i);
     if (pred(row)) continue;
-    if (kept != i)
+    if (kept != i) {
       std::copy(row, row + arity_, data_.begin() + kept * arity_);
+      if (prov_enabled_) prov_[kept] = prov_[i];
+    }
     ++kept;
   }
   const size_t removed = num_rows_ - kept;
   if (removed == 0) return 0;
   data_.resize(kept * arity_);
+  if (prov_enabled_) prov_.resize(kept);
   num_rows_ = kept;
   ++generation_;
   RebuildSet();
@@ -97,6 +121,7 @@ size_t Relation::RemoveRowsWhere(const std::function<bool(const VertexId*)>& pre
 void Relation::Clear() {
   if (num_rows_ == 0) return;
   data_.clear();
+  prov_.clear();
   num_rows_ = 0;
   row_set_.Clear();
   ++generation_;
@@ -104,7 +129,7 @@ void Relation::Clear() {
 
 size_t Relation::MemoryBytes() const {
   return sizeof(*this) + data_.capacity() * sizeof(VertexId) +
-         row_set_.MemoryBytes();
+         prov_.capacity() * sizeof(uint32_t) + row_set_.MemoryBytes();
 }
 
 }  // namespace gstream

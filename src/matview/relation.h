@@ -24,6 +24,14 @@ namespace gstream {
 /// open-addressing dedup set (hash + row index, no per-row nodes), so appends
 /// are allocation-free between capacity doublings.
 ///
+/// Provenance (window-delta join pipeline, DESIGN.md §7): a relation may
+/// carry an optional provenance column — one `uint32_t` window position per
+/// row, packed in a parallel buffer so the id columns, their layout, and the
+/// dedup hashing stay untouched. Row identity remains the id columns alone:
+/// the delta pipeline guarantees every derivation of a row carries the same
+/// tag (a row's contributing view rows are determined by its ids), so a
+/// duplicate `AppendTagged` keeps the existing row and its tag.
+///
 /// Not copyable. Move-constructible, but note that hash indexes hold stable
 /// pointers to a relation — anything indexed must stay put; own such
 /// relations via std::unique_ptr.
@@ -39,6 +47,23 @@ class Relation {
   /// Returns true when the row was inserted.
   bool Append(const VertexId* row);
   bool Append(const std::vector<VertexId>& row);
+
+  /// Switches on the provenance column (call before the first append; used
+  /// by window-delta transients, never by shared views). Rows appended via
+  /// plain `Append` get tag 0 (= pre-window).
+  void EnableProvenance();
+  bool has_provenance() const { return prov_enabled_; }
+
+  /// Appends `row` tagged with window position `prov`; on a duplicate the
+  /// existing row keeps its tag (derivations of equal rows carry equal tags
+  /// — enforced in debug builds). Requires an enabled provenance column.
+  bool AppendTagged(const VertexId* row, uint32_t prov);
+
+  /// Window position tag of row `i` (0 when no provenance column).
+  uint32_t ProvOf(size_t i) const { return prov_enabled_ ? prov_[i] : 0; }
+
+  /// Dense per-row tag array, or nullptr without a provenance column.
+  const uint32_t* ProvData() const { return prov_enabled_ ? prov_.data() : nullptr; }
 
   /// Pre-sizes storage for `rows` total rows (data buffer + dedup set).
   void Reserve(size_t rows);
@@ -86,9 +111,11 @@ class Relation {
   void RebuildSet();
 
   uint32_t arity_;
+  bool prov_enabled_ = false;
   size_t num_rows_ = 0;
   uint64_t generation_ = 0;
   std::vector<VertexId> data_;
+  std::vector<uint32_t> prov_;  ///< One tag per row when prov_enabled_.
   FlatRowSet row_set_;
 };
 

@@ -87,6 +87,16 @@ void TricEngine::EnsureEpoch(TrieNode* node, const DeltaScratch& ds) {
   }
 }
 
+void TricEngine::NoteWindowGrowth(TrieNode* node, size_t rows_before,
+                                  const DeltaScratch& ds) {
+  // Delta windows track per-position boundaries of the grown views so
+  // FinalizeWindow can tag rows with the window position that created them.
+  // Only terminal views are ever read by the final joins, and only actual
+  // growth needs a checkpoint — empty touches stay off the books.
+  if (ds.wctx != nullptr && !node->paths.empty())
+    ds.wctx->prov.Checkpoint(node->view.get(), ds.wctx->position, rows_before);
+}
+
 void TricEngine::MarkAffected(TrieNode* node, DeltaScratch& ds) {
   if (node->paths.empty()) return;
   if (node->affected_epoch == ds.epoch) return;
@@ -115,6 +125,7 @@ void TricEngine::ProcessMatchingNode(TrieNode* node, const EdgeUpdate& u,
 
   const size_t after = view->NumRows();
   if (after == before) return;
+  NoteWindowGrowth(node, before, ds);
   MarkAffected(node, ds);
   Cascade(node, before, after, ds);
 }
@@ -132,6 +143,7 @@ void TricEngine::Cascade(TrieNode* node, size_t lo, size_t hi, DeltaScratch& ds)
                 *child->view);
     const size_t after = child->view->NumRows();
     if (after == before) continue;  // prune: empty delta stops this branch
+    NoteWindowGrowth(child, before, ds);
     MarkAffected(child, ds);
     Cascade(child, before, after, ds);
   }
@@ -176,13 +188,8 @@ UpdateResult TricEngine::ApplyUpdate(const EdgeUpdate& u) {
   return ProcessInsert(u);
 }
 
-UpdateResult TricEngine::ProcessInsert(const EdgeUpdate& u) {
-  UpdateResult result;
-  result.changed = true;
-
-  DeltaScratch ds;
-  ds.epoch = epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
-
+bool TricEngine::RouteUpdate(const EdgeUpdate& u, DeltaScratch& ds,
+                             UpdateResult& result) {
   // Record the update in every shared edge-level view it satisfies, then
   // route it to the matching trie nodes via the node-granular edgeInd.
   AppendToBaseViews(u);
@@ -199,14 +206,53 @@ UpdateResult TricEngine::ProcessInsert(const EdgeUpdate& u) {
   for (TrieNode* node : matching) {
     if (BudgetExceeded()) {
       result.timed_out = true;
-      return result;
+      return false;
     }
     ProcessMatchingNode(node, u, ds);
   }
+  return true;
+}
+
+UpdateResult TricEngine::ProcessInsert(const EdgeUpdate& u) {
+  UpdateResult result;
+  result.changed = true;
+
+  DeltaScratch ds;
+  ds.epoch = epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  if (!RouteUpdate(u, ds, result)) return result;
 
   FinalizeQueries(result, ds);
   if (budget_ != nullptr && budget_->ExceededNow()) result.timed_out = true;
   return result;
+}
+
+std::unique_ptr<ViewEngineBase::WindowContext> TricEngine::NewWindowContext() {
+  auto ctx = std::make_unique<TricWindowContext>();
+  // A fresh epoch value window-scopes TrieNode::window_affected_epoch marks
+  // (per-update epochs drawn later in the window are strictly larger).
+  ctx->window_epoch = epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
+  return ctx;
+}
+
+void TricEngine::ProcessInsertDelta(const EdgeUpdate& u, WindowContext& ctx,
+                                    UpdateResult& result) {
+  TricWindowContext& wctx = static_cast<TricWindowContext&>(ctx);
+  result.changed = true;
+
+  DeltaScratch ds;
+  ds.epoch = epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
+  ds.wctx = &wctx;
+
+  RouteUpdate(u, ds, result);
+
+  // Fold this update's affected terminals into the window's union; the
+  // final joins run once per (query, window) in FinalizeWindow.
+  for (TrieNode* node : ds.affected_terminals) {
+    if (node->window_affected_epoch == wctx.window_epoch) continue;
+    node->window_affected_epoch = wctx.window_epoch;
+    wctx.affected_terminals.push_back(node);
+  }
 }
 
 void TricEngine::FinalizeQueries(UpdateResult& result, DeltaScratch& ds) {
@@ -244,6 +290,7 @@ void TricEngine::FinalizeQueries(UpdateResult& result, DeltaScratch& ds) {
       i = j;
       continue;
     }
+    NoteFinalJoinPass();
 
     // Transient per-update assignment set over all query vertices (dedups
     // across multiple affected paths).
@@ -307,6 +354,148 @@ void TricEngine::FinalizeQueries(UpdateResult& result, DeltaScratch& ds) {
     }
 
     result.AddQueryCount(qid, assignments.NumRows());
+    NotePeakTransient(assignments.MemoryBytes());
+    i = j;
+  }
+}
+
+std::pair<RowRange, RowTags> TricEngine::FullPathRangeTagged(
+    PathInfo& info, TricWindowContext& wctx) {
+  Relation* view = info.terminal->view.get();
+  if (!info.spec.has_repeats())
+    return {AllRows(*view), wctx.prov.TagsFor(view)};
+
+  // Cyclic path: catch the filtered projection up, mirroring each view
+  // row's window tag onto the filtered relation via checkpoints (view rows
+  // arrive in window order, so tags ascend and checkpointing is valid).
+  RowTags view_tags = wctx.prov.TagsFor(view);
+  std::vector<VertexId> row(info.spec.schema.size());
+  for (size_t i = info.filtered_upto; i < view->NumRows(); ++i) {
+    const VertexId* r = view->Row(i);
+    bool ok = true;
+    for (const auto& [pa, pb] : info.spec.eq_checks) {
+      if (r[pa] != r[pb]) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    for (size_t c = 0; c < info.spec.src_pos.size(); ++c) row[c] = r[info.spec.src_pos[c]];
+    const uint32_t tag = view_tags.TagOf(i);
+    if (tag > 0) wctx.prov.Checkpoint(info.filtered.get(), tag);
+    info.filtered->Append(row.data());
+  }
+  info.filtered_upto = view->NumRows();
+  return {AllRows(*info.filtered), wctx.prov.TagsFor(info.filtered.get())};
+}
+
+void TricEngine::FinalizeWindow(WindowContext& ctx, UpdateResult* window_results) {
+  TricWindowContext& wctx = static_cast<TricWindowContext&>(ctx);
+  if (wctx.affected_terminals.empty()) return;
+
+  // Group the window's affected covering paths per query, ascending qid, so
+  // AddQueryCount calls keep every per-update result vector sorted.
+  std::vector<std::pair<QueryId, uint32_t>> affected_paths;  // (qid, path idx)
+  for (TrieNode* node : wctx.affected_terminals)
+    for (const PathRef& ref : node->paths) affected_paths.emplace_back(ref.qid, ref.path_idx);
+  std::sort(affected_paths.begin(), affected_paths.end());
+
+  size_t i = 0;
+  while (i < affected_paths.size()) {
+    const QueryId qid = affected_paths[i].first;
+    size_t j = i;
+    while (j < affected_paths.size() && affected_paths[j].first == qid) ++j;
+
+    if (BudgetExceededNow()) return;  // timeout: partial, flagged by the caller
+
+    QueryEntry& entry = queries_.at(qid);
+
+    // End-of-window feasibility: views only grow inside an insert window,
+    // so a path empty here was empty at every member position.
+    bool feasible = true;
+    for (const PathInfo& info : entry.paths) {
+      if (info.terminal->view->Empty()) {
+        feasible = false;
+        break;
+      }
+    }
+    if (!feasible) {
+      i = j;
+      continue;
+    }
+    NoteFinalJoinPass();
+
+    // Per-(query, window) assignment set: dedup on the vertex columns, each
+    // row tagged with the window position sequential execution would have
+    // reported it at (= the max tag over its contributing view rows; every
+    // derivation of a row carries the same tag).
+    const uint32_t num_vertices = static_cast<uint32_t>(entry.pattern.NumVertices());
+    Relation assignments(num_vertices);
+    assignments.EnableProvenance();
+
+    for (size_t k = i; k < j; ++k) {
+      const uint32_t path_idx = affected_paths[k].second;
+      PathInfo& seed = entry.paths[path_idx];
+      Relation* seed_view = seed.terminal->view.get();
+      const size_t delta_begin = wctx.prov.WindowDeltaBegin(seed_view);
+      if (delta_begin >= seed_view->NumRows()) continue;  // no delta after all
+
+      OwnedBindings acc = PathRowsToBindingsTagged(
+          RowRange{seed_view, delta_begin, seed_view->NumRows()}, seed.spec,
+          wctx.prov.TagsFor(seed_view));
+      if (acc.Empty()) continue;
+
+      // One tagged join pass against the other covering paths' end-of-window
+      // views serves every update in the window; the tags reconstruct the
+      // per-update attribution below.
+      std::vector<uint32_t> remaining;
+      for (uint32_t p = 0; p < entry.paths.size(); ++p)
+        if (p != path_idx) remaining.push_back(p);
+
+      bool dead = false;
+      while (!remaining.empty() && !dead) {
+        size_t pick = 0;
+        for (size_t r = 0; r < remaining.size(); ++r) {
+          if (FirstSharedColumn(acc.schema, PathSchema(entry.paths[remaining[r]])) >= 0) {
+            pick = r;
+            break;
+          }
+        }
+        PathInfo& other = entry.paths[remaining[pick]];
+        const std::vector<uint32_t>& sb = PathSchema(other);
+        auto [b, b_tags] = FullPathRangeTagged(other, wctx);
+        const HashIndex* idx = nullptr;
+        int col = FirstSharedColumn(acc.schema, sb);
+        if (col >= 0) idx = JoinIndexFor(b.rel, static_cast<uint32_t>(col));
+        acc = JoinBindingRangesTagged(acc.schema, acc.All(), sb, b, b_tags, idx);
+        dead = acc.Empty();
+        remaining.erase(remaining.begin() + pick);
+        if (BudgetExceeded()) return;
+      }
+      if (dead) continue;
+
+      std::vector<uint32_t> perm(num_vertices);
+      for (uint32_t c = 0; c < acc.schema.size(); ++c) perm[acc.schema[c]] = c;
+      std::vector<VertexId> row(num_vertices);
+      for (size_t r = 0; r < acc.rows->NumRows(); ++r) {
+        const VertexId* src = acc.rows->Row(r);
+        for (uint32_t v = 0; v < num_vertices; ++v) row[v] = src[perm[v]];
+        // §4.3 extra phase: property constraints on the full assignment.
+        if (!SatisfiesConstraints(entry.pattern, row.data())) continue;
+        assignments.AppendTagged(row.data(), acc.rows->ProvOf(r));
+      }
+    }
+
+    // Scatter the deduplicated assignments back onto their window positions.
+    std::vector<uint32_t> tags;
+    tags.reserve(assignments.NumRows());
+    for (size_t r = 0; r < assignments.NumRows(); ++r) {
+      const uint32_t tag = assignments.ProvOf(r);
+      GS_DCHECK(tag > 0);  // a new match always uses a window row
+      tags.push_back(tag);
+    }
+    ScatterTagCounts(tags, qid, window_results);
+
     NotePeakTransient(assignments.MemoryBytes());
     i = j;
   }

@@ -76,6 +76,16 @@ class TricEngine : public ViewEngineBase {
   void BuildPatternReach() override;
   UpdateResult ProcessInsert(const EdgeUpdate& u) override;
 
+  /// Window-delta pipeline (DESIGN.md §7): maintenance routes + cascades per
+  /// update (checkpointing touched node views), FinalizeWindow runs one
+  /// tagged final-join pass per (query, window) over the accumulated
+  /// terminal deltas.
+  bool SupportsWindowDelta() const override { return true; }
+  std::unique_ptr<WindowContext> NewWindowContext() override;
+  void ProcessInsertDelta(const EdgeUpdate& u, WindowContext& ctx,
+                          UpdateResult& result) override;
+  void FinalizeWindow(WindowContext& ctx, UpdateResult* window_results) override;
+
  private:
   struct PathInfo {
     TrieNode* terminal = nullptr;
@@ -98,6 +108,17 @@ class TricEngine : public ViewEngineBase {
   struct DeltaScratch {
     uint64_t epoch = 0;
     std::vector<TrieNode*> affected_terminals;
+    /// Non-null on the delta path: touched node views are checkpointed at
+    /// the context's current window position.
+    WindowContext* wctx = nullptr;
+  };
+
+  /// Shard-local window context: the affected terminals accumulated across
+  /// the window (deduplicated via TrieNode::window_affected_epoch against
+  /// `window_epoch`).
+  struct TricWindowContext : WindowContext {
+    uint64_t window_epoch = 0;
+    std::vector<TrieNode*> affected_terminals;
   };
 
   /// Allocates a freshly created trie node's view and backfills it from its
@@ -115,6 +136,10 @@ class TricEngine : public ViewEngineBase {
   /// Lazily stamps the node's delta window for the scratch's epoch.
   void EnsureEpoch(TrieNode* node, const DeltaScratch& ds);
 
+  /// Window-delta bookkeeping after a node's view grew from `rows_before`:
+  /// checkpoints terminal views at the context's current position.
+  void NoteWindowGrowth(TrieNode* node, size_t rows_before, const DeltaScratch& ds);
+
   /// Registers `node` in the per-update affected set when it terminates
   /// covering paths.
   void MarkAffected(TrieNode* node, DeltaScratch& ds);
@@ -123,6 +148,16 @@ class TricEngine : public ViewEngineBase {
   /// binding range + schema of the path (view-backed when acyclic).
   RowRange FullPathRange(PathInfo& info);
   const std::vector<uint32_t>& PathSchema(const PathInfo& info) const;
+
+  /// FullPathRange plus the rows' window tags (checkpointing `filtered`
+  /// rows as they are caught up, so cyclic paths tag correctly too).
+  std::pair<RowRange, RowTags> FullPathRangeTagged(PathInfo& info,
+                                                   TricWindowContext& wctx);
+
+  /// Routing (paper Fig. 8 lines 1-7): resolves the matching trie nodes for
+  /// `u`, top-down, and processes each. Returns false on a budget trip
+  /// (`result.timed_out` is set).
+  bool RouteUpdate(const EdgeUpdate& u, DeltaScratch& ds, UpdateResult& result);
 
   /// Per-query final join (paper Fig. 8 lines 8-13, delta-seeded).
   void FinalizeQueries(UpdateResult& result, DeltaScratch& ds);

@@ -41,6 +41,9 @@ struct TrieNode {
   uint64_t epoch = 0;
   size_t delta_begin = 0;
   uint64_t affected_epoch = 0;  ///< Last epoch this node entered the affected set.
+  /// Last delta-window epoch this node entered the *window* affected set
+  /// (window-delta pipeline; written only by the node's owning shard).
+  uint64_t window_affected_epoch = 0;
 
   size_t MemoryBytes() const;
 };

@@ -178,6 +178,100 @@ TEST(BatchAgreementDirected, DeletionsActAsWindowBarriers) {
                                "DeletionsSmallWindows");
 }
 
+TEST(BatchAgreementDirected, SameQueryWindowsSharedPrefixesDupsAndDeletions) {
+  // Window-delta stress: a tiny vertex pool so many updates in one window
+  // hit the same queries (shared trie prefixes, repeated covering paths),
+  // plus exact duplicate edges and interleaved deletions. The delta path
+  // must reconstruct byte-identical per-update notification order from the
+  // provenance tags.
+  StringInterner in;
+  const char* patterns[] = {
+      "(?a)-[knows]->(?b); (?b)-[knows]->(?c); (?c)-[likes]->(?d)",
+      "(?a)-[knows]->(?b); (?a)-[likes]->(?c)",
+      "(?x)-[likes]->(?y); (?z)-[likes]->(?y)",
+      "(v0)-[knows]->(?b); (?b)-[knows]->(v0)",
+      "(?p)-[likes]->(?q)",
+  };
+  std::vector<QueryPattern> queries;
+  for (const char* p : patterns) {
+    auto r = ParsePattern(p, in);
+    ASSERT_TRUE(r.ok) << r.error;
+    queries.push_back(r.pattern);
+  }
+
+  LabelId knows = in.Intern("knows");
+  LabelId likes = in.Intern("likes");
+  auto v = [&](int i) { return in.Intern("v" + std::to_string(i)); };
+  std::vector<EdgeUpdate> updates;
+  Rng rng(29);
+  for (int i = 0; i < 160; ++i) {
+    if (!updates.empty() && rng.Next(8) == 0) {
+      // Exact duplicate of an earlier update (same op): a no-op re-add or a
+      // second delete, resolved by the coordinator pre-pass.
+      updates.push_back(updates[rng.Next(updates.size())]);
+      continue;
+    }
+    EdgeUpdate u;
+    u.src = v(static_cast<int>(rng.Next(6)));
+    u.dst = v(static_cast<int>(rng.Next(6)));
+    u.label = rng.Next(3) == 0 ? likes : knows;
+    u.op = rng.Next(6) == 0 ? UpdateOp::kDelete : UpdateOp::kAdd;
+    updates.push_back(u);
+  }
+
+  ExpectBatchMatchesSequential(queries, updates, /*window=*/16, /*threads=*/1,
+                               "SameQueryWindows16");
+  ExpectBatchMatchesSequential(queries, updates, /*window=*/32, /*threads=*/4,
+                               "SameQueryWindows32T4");
+  ExpectBatchMatchesSequential(queries, updates, /*window=*/7, /*threads=*/2,
+                               "SameQueryWindows7T2");
+}
+
+TEST(BatchAgreementDirected, WindowDeltaRunsOneFinalJoinPassPerQueryWindow) {
+  // The acceptance gauge of the delta pipeline: a window of K inserts all
+  // hitting one query costs K final-join passes per update sequentially but
+  // exactly one per (query, window) batched. A deletion splits the window
+  // into two delta windows (barrier), doubling the batched count.
+  StringInterner in;
+  auto parsed = ParsePattern("(?a)-[r]->(?b)", in);
+  ASSERT_TRUE(parsed.ok);
+  LabelId rl = in.Intern("r");
+  LabelId sl = in.Intern("s");
+  auto v = [&](int i) { return in.Intern("v" + std::to_string(i)); };
+
+  constexpr size_t kWindow = 16;
+  std::vector<EdgeUpdate> inserts;
+  for (size_t i = 0; i < kWindow; ++i)
+    inserts.push_back({v(static_cast<int>(i)), rl, v(static_cast<int>(i) + 1),
+                       UpdateOp::kAdd});
+
+  const EngineKind view_kinds[] = {EngineKind::kTric,    EngineKind::kTricPlus,
+                                   EngineKind::kInv,     EngineKind::kInvPlus,
+                                   EngineKind::kInc,     EngineKind::kIncPlus};
+  for (EngineKind kind : view_kinds) {
+    auto sequential = CreateEngine(kind);
+    sequential->AddQuery(0, parsed.pattern);
+    for (const EdgeUpdate& u : inserts) sequential->ApplyUpdate(u);
+    EXPECT_EQ(sequential->final_join_passes(), kWindow)
+        << sequential->name() << " (per-update)";
+
+    auto batched = CreateEngine(kind);
+    batched->AddQuery(0, parsed.pattern);
+    batched->ApplyBatch(inserts.data(), inserts.size());
+    EXPECT_EQ(batched->final_join_passes(), 1u) << batched->name() << " (delta)";
+
+    // Same stream with a foreign-label deletion in the middle: two insert
+    // windows, two passes (the deletion itself matches no query pattern).
+    std::vector<EdgeUpdate> split = inserts;
+    split.insert(split.begin() + kWindow / 2,
+                 EdgeUpdate{v(0), sl, v(1), UpdateOp::kDelete});
+    auto barrier = CreateEngine(kind);
+    barrier->AddQuery(0, parsed.pattern);
+    barrier->ApplyBatch(split.data(), split.size());
+    EXPECT_EQ(barrier->final_join_passes(), 2u) << barrier->name() << " (barrier)";
+  }
+}
+
 TEST(BatchAgreementDirected, RunStreamBatchedMatchesSequentialStats) {
   // The driver-level entry point: RunStream with batch_window > 1 must report
   // the same aggregate stats as the classic per-update loop.

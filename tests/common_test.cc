@@ -146,6 +146,25 @@ TEST(Flags, DefaultsWhenAbsent) {
   EXPECT_FALSE(flags.GetBool("full", false));
 }
 
+TEST(Flags, GetPositiveIntAcceptsValidValues) {
+  const char* argv[] = {"bin", "--batch=16", "--threads=4"};
+  Flags flags = Flags::Parse(3, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetPositiveInt("batch", 1), 16);
+  EXPECT_EQ(flags.GetPositiveInt("threads", 1), 4);
+  EXPECT_EQ(flags.GetPositiveInt("absent", 7), 7);  // default is unchecked
+}
+
+TEST(FlagsDeathTest, GetPositiveIntRejectsZeroNegativeAndJunk) {
+  const char* argv[] = {"bin", "--batch=0", "--threads=-3", "--seed=12x"};
+  Flags flags = Flags::Parse(4, const_cast<char**>(argv));
+  EXPECT_EXIT(flags.GetPositiveInt("batch", 1), ::testing::ExitedWithCode(2),
+              "--batch must be >= 1");
+  EXPECT_EXIT(flags.GetPositiveInt("threads", 1), ::testing::ExitedWithCode(2),
+              "--threads must be >= 1");
+  EXPECT_EXIT(flags.GetPositiveInt("seed", 1), ::testing::ExitedWithCode(2),
+              "expected an integer");
+}
+
 TEST(TextTable, AlignsColumnsAndMarksTimeouts) {
   TextTable table({"x", "alg"});
   table.AddRow({"10", TextTable::Num(1.5, 2)});

@@ -9,15 +9,19 @@
 # the build dir aggregating the google-benchmark JSON reports.
 #
 # The BENCH_JSON lines are also collected into `trajectory_out` (default:
-# BENCH_PR2.json next to this script's repo root) — a committed snapshot so
+# BENCH_PR3.json next to this script's repo root) — a committed snapshot so
 # the per-PR perf trajectory accumulates in-repo. Refresh it by re-running
 # this script after perf-relevant changes.
+#
+# On 1-CPU containers, measure A/B pairs by alternating runs and taking the
+# min per configuration (see DESIGN.md §7 for the protocol); this script is
+# the smoke pass, not the measurement pass.
 
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-TRAJECTORY_OUT="${2:-$REPO_ROOT/BENCH_PR2.json}"
+TRAJECTORY_OUT="${2:-$REPO_ROOT/BENCH_PR3.json}"
 BENCH_LINES_TMP="$(mktemp)"
 trap 'rm -f "$BENCH_LINES_TMP"' EXIT
 
@@ -64,6 +68,17 @@ line = {
     "max_items_per_sec": round(max(items), 1) if items else 0,
 }
 print("BENCH_JSON " + json.dumps(line, separators=(",", ":")))
+# The window-delta kernel A/B pairs get individual lines: the Delta-vs-
+# Looped items/s ratio is the batching win the trajectory tracks.
+for b in benches:
+    if "Window" not in b.get("name", ""):
+        continue
+    line = {
+        "bench": f"smoke_{suite}_kernel",
+        "name": b["name"],
+        "items_per_sec": round(b.get("items_per_second", 0.0), 1),
+    }
+    print("BENCH_JSON " + json.dumps(line, separators=(",", ":")))
 EOF
 done
 

@@ -133,8 +133,9 @@ int main(int argc, char** argv) {
   const size_t updates = static_cast<size_t>(flags.GetInt("updates", 20'000));
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   const bool verbose = flags.GetBool("verbose", false);
-  const size_t batch = static_cast<size_t>(flags.GetInt("batch", 1));
-  const int threads = static_cast<int>(flags.GetInt("threads", 1));
+  // Rejects 0/negative/non-numeric values with a clear error (exit 2).
+  const size_t batch = static_cast<size_t>(flags.GetPositiveInt("batch", 1));
+  const int threads = static_cast<int>(flags.GetPositiveInt("threads", 1));
   const EngineKind kind = ParseEngine(flags.GetString("engine", "tric+"));
 
   workload::Workload w;
@@ -181,9 +182,14 @@ int main(int argc, char** argv) {
   std::printf("engine %s: %zu continuous queries registered\n",
               engine->name().c_str(), engine->NumQueries());
 
+  // Effective execution configuration, always reported: per-update vs the
+  // window-delta batch pipeline, and the shard worker count.
   if (batch > 1) {
-    std::printf("batched execution: window=%zu threads=%d\n", batch, threads);
+    std::printf("execution: window-delta batch (window=%zu threads=%d)\n", batch,
+                threads);
     engine->SetBatchThreads(threads);
+  } else {
+    std::printf("execution: per-update (batch=1 threads=1)\n");
   }
 
   WallTimer timer;
@@ -218,9 +224,10 @@ int main(int argc, char** argv) {
   const double ms = timer.ElapsedMillis();
   std::printf(
       "%zu updates in %.1f ms (%.4f ms/update); %zu updates triggered, "
-      "%llu notifications; %.1f MB engine state\n",
+      "%llu notifications; %llu final-join passes; %.1f MB engine state\n",
       w.stream.size(), ms, ms / w.stream.size(), triggering_updates,
       static_cast<unsigned long long>(notifications),
+      static_cast<unsigned long long>(engine->final_join_passes()),
       static_cast<double>(engine->MemoryBytes()) / (1024.0 * 1024.0));
   return 0;
 }
