@@ -124,6 +124,45 @@ CellResult RunCell(EngineKind kind, const std::vector<QueryPattern>& queries,
   return cell;
 }
 
+ChurnCellResult RunChurnCell(EngineKind kind,
+                             const std::vector<QueryPattern>& base,
+                             const std::vector<QueryPattern>& pool,
+                             const UpdateStream& stream, size_t churn_every,
+                             double budget_seconds, size_t batch, int threads) {
+  ChurnCellResult cell;
+  auto engine = CreateEngine(kind);
+  cell.initial_index = IndexQueries(*engine, base);
+  cell.memory_after_index = engine->MemoryBytes();
+
+  // The mixed event sequence: every `churn_every` updates, retire the
+  // oldest live query and register the next one from the pool (steady-state
+  // |QDB|, FIFO lifetimes — the paper's expiring continuous queries).
+  std::vector<StreamEvent> events;
+  events.reserve(stream.size() + 2 * pool.size());
+  std::vector<QueryId> live;
+  for (QueryId q = 0; q < base.size(); ++q) live.push_back(q);
+  QueryId next_qid = static_cast<QueryId>(base.size());
+  size_t next_pool = 0;
+  size_t oldest = 0;
+  for (size_t i = 0; i < stream.size(); ++i) {
+    if (churn_every > 0 && i > 0 && i % churn_every == 0 &&
+        next_pool < pool.size() && oldest < live.size()) {
+      events.push_back(StreamEvent::Remove(live[oldest++]));
+      events.push_back(StreamEvent::Add(next_qid, pool[next_pool++]));
+      live.push_back(next_qid++);
+    }
+    events.push_back(StreamEvent::Update(stream[i]));
+  }
+
+  RunConfig config;
+  config.budget_seconds = budget_seconds;
+  config.batch_window = batch;
+  config.batch_threads = threads;
+  cell.stats = RunMixedStream(*engine, events, config);
+  cell.live_queries_end = engine->NumQueries();
+  return cell;
+}
+
 std::string FormatMs(double ms, bool partial) {
   if (std::isnan(ms)) return "*";
   std::string s = TextTable::Num(ms, 3);

@@ -94,6 +94,27 @@ CellResult RunCell(EngineKind kind, const std::vector<QueryPattern>& queries,
                    const UpdateStream& stream, double budget_seconds,
                    size_t batch = 1, int threads = 1);
 
+/// One query-churn cell (the dynamic-QDB scenario): `base` queries are
+/// registered up front (timed as the indexing phase, Fig. 13(b) style),
+/// then the stream runs with one query removed (oldest first) and one fresh
+/// query from `pool` registered every `churn_every` updates. The mixed-run
+/// stats separate indexing, removal-GC, and answering time; `memory_*`
+/// bracket the run to show the shared-view GC holding memory flat under
+/// churn.
+struct ChurnCellResult {
+  MixedRunStats stats;
+  IndexStats initial_index;          ///< Up-front registration of `base`.
+  size_t memory_after_index = 0;     ///< Engine bytes before the stream.
+  size_t live_queries_end = 0;       ///< |QDB| after the run.
+};
+
+ChurnCellResult RunChurnCell(EngineKind kind,
+                             const std::vector<QueryPattern>& base,
+                             const std::vector<QueryPattern>& pool,
+                             const UpdateStream& stream, size_t churn_every,
+                             double budget_seconds, size_t batch = 1,
+                             int threads = 1);
+
 /// Formats a cell/segment value with the paper's timeout marker.
 std::string FormatMs(double ms, bool partial);
 

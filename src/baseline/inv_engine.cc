@@ -51,6 +51,14 @@ bool InvEngine::EvaluateQueryTotal(QueryEntry& entry, uint64_t& total) {
   return true;
 }
 
+void InvEngine::AddQueryImpl(QueryId qid, const QueryPattern& q) {
+  InvertedIndexEngineBase::AddQueryImpl(qid, q);
+  if (seen_edges_.empty()) return;  // pre-stream registration: total is 0
+  QueryEntry& entry = queries_.at(qid);
+  uint64_t total = 0;
+  if (EvaluateQueryTotal(entry, total)) entry.last_count = total;
+}
+
 UpdateResult InvEngine::ApplyUpdate(const EdgeUpdate& u) {
   UpdateResult result;
   if (u.op == UpdateOp::kDelete) {

@@ -32,6 +32,13 @@ class InvEngine : public InvertedIndexEngineBase {
   UpdateResult ApplyUpdate(const EdgeUpdate& u) override;
 
  protected:
+  /// Registration plus, mid-stream, a snapshot of the query's current
+  /// embedding total: INV reports by diffing totals, so the baseline must
+  /// start at "now" for a dynamically added query to notify only future
+  /// matches (the backfilled base views would otherwise all be reported as
+  /// new on the first affecting update).
+  void AddQueryImpl(QueryId qid, const QueryPattern& q) override;
+
   UpdateResult ProcessInsert(const EdgeUpdate& u) override;
 
   /// Window-delta pipeline: one tagged full evaluation per (query, window);

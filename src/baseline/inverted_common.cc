@@ -14,9 +14,7 @@ InvertedIndexEngineBase::InvertedIndexEngineBase(bool enable_cache)
   if (!enable_cache) EnableWindowCache();
 }
 
-void InvertedIndexEngineBase::AddQuery(QueryId qid, const QueryPattern& q) {
-  GS_CHECK_MSG(q.IsValid(), "invalid query pattern");
-  GS_CHECK_MSG(queries_.count(qid) == 0, "duplicate query id");
+void InvertedIndexEngineBase::AddQueryImpl(QueryId qid, const QueryPattern& q) {
   MarkReachDirty();
 
   QueryEntry entry;
@@ -27,17 +25,67 @@ void InvertedIndexEngineBase::AddQuery(QueryId qid, const QueryPattern& q) {
     entry.specs.push_back(PathBindingSpec::For(path.vertices));
   }
 
-  // Inverted indexes; one entry per distinct pattern per query.
+  // Inverted indexes; one entry per distinct pattern per query. Base views
+  // are reference-counted at the same granularity (covering paths traverse
+  // exactly the query's genericized edges), so RemoveQueryImpl releases
+  // symmetrically from the distinct-pattern set alone.
   std::unordered_set<GenericEdgePattern, GenericEdgePatternHash> distinct;
   for (uint32_t e = 0; e < q.NumEdges(); ++e) {
     GenericEdgePattern p = q.Genericized(e);
-    GetOrCreateBaseView(p);
     if (!distinct.insert(p).second) continue;
+    RefBaseView(p);
     edge_ind_.GetOrCreate(p).push_back(qid);
     source_ind_.GetOrCreate(p.src).push_back(p);
     target_ind_.GetOrCreate(p.dst).push_back(p);
   }
   queries_.emplace(qid, std::move(entry));
+}
+
+void InvertedIndexEngineBase::RemoveQueryImpl(QueryId qid) {
+  MarkReachDirty();
+  QueryEntry entry = std::move(queries_.at(qid));
+  queries_.erase(qid);
+
+  std::unordered_set<GenericEdgePattern, GenericEdgePatternHash> distinct;
+  for (uint32_t e = 0; e < entry.pattern.NumEdges(); ++e) {
+    GenericEdgePattern p = entry.pattern.Genericized(e);
+    if (!distinct.insert(p).second) continue;
+
+    // edgeInd: drop this query's posting (registered exactly once per
+    // distinct pattern). The pattern's sourceInd/targetInd entries are
+    // per referencing query, so one occurrence goes with it; emptied
+    // posting lists are erased outright.
+    std::vector<QueryId>* qids = edge_ind_.Find(p);
+    GS_CHECK(qids != nullptr);
+    qids->erase(std::find(qids->begin(), qids->end(), qid));
+    const bool last_query_of_pattern = qids->empty();
+    if (last_query_of_pattern) edge_ind_.Erase(p);
+
+    const auto drop_vertex_posting = [&](FlatMap<VertexId, std::vector<GenericEdgePattern>,
+                                                 VertexIdHash>& ind,
+                                         VertexId term) {
+      std::vector<GenericEdgePattern>* ps = ind.Find(term);
+      GS_CHECK(ps != nullptr);
+      ps->erase(std::find(ps->begin(), ps->end(), p));
+      if (ps->empty()) ind.Erase(term);
+    };
+    drop_vertex_posting(source_ind_, p.src);
+    drop_vertex_posting(target_ind_, p.dst);
+
+    UnrefBaseView(p);
+  }
+
+  // One compaction per removal: release the erased postings' slots and the
+  // "+" cache's evicted entries so the GC shows up in MemoryBytes.
+  edge_ind_.Compact();
+  source_ind_.Compact();
+  target_ind_.Compact();
+  if (cache_ != nullptr) cache_->Compact();
+  CompactSharedState();
+}
+
+void InvertedIndexEngineBase::OnRelationEvicted(const Relation* rel) {
+  if (cache_ != nullptr) cache_->Evict(rel);
 }
 
 std::vector<QueryId> InvertedIndexEngineBase::AffectedQueries(

@@ -24,7 +24,7 @@ namespace baseline {
 /// queries — only the edge-level base views are shared.
 class InvertedIndexEngineBase : public ViewEngineBase {
  public:
-  void AddQuery(QueryId qid, const QueryPattern& q) override;
+  bool HasQuery(QueryId qid) const override { return queries_.count(qid) > 0; }
   size_t NumQueries() const override { return queries_.size(); }
   size_t MemoryBytes() const override;
 
@@ -32,6 +32,21 @@ class InvertedIndexEngineBase : public ViewEngineBase {
   /// `enable_cache` selects the "+" variant (a persistent JoinCache); the
   /// base variants amortize within batch windows only.
   explicit InvertedIndexEngineBase(bool enable_cache);
+
+  void AddQueryImpl(QueryId qid, const QueryPattern& q) override;
+
+  /// Query removal: drops the query's postings from edgeInd (and the
+  /// pattern's sourceInd/targetInd entries when the last query using it
+  /// goes), releases the shared base-view references, and compacts the
+  /// inverted indexes so `MemoryBytes` reflects the GC. INV/INC own no
+  /// persistent per-path state, so postings + base views are the whole
+  /// story; the "+" variants additionally evict dead views' cached join
+  /// indexes via OnRelationEvicted.
+  void RemoveQueryImpl(QueryId qid) override;
+
+  /// Lifecycle GC hook: a shared base view is going away — drop the "+"
+  /// variant's cached indexes over it.
+  void OnRelationEvicted(const Relation* rel) override;
 
   /// The "+" persistent cache, or the batch window's transient cache.
   JoinIndexSource* IndexSource() {

@@ -39,9 +39,15 @@ namespace gstream {
 ///  * capacity is a power of two (and a multiple of the 16-slot group);
 ///    probing walks group-aligned windows, `g = (g + 16) & mask`;
 ///  * growth at ~7/8 load factor keeps probe chains short;
-///  * no per-element erase (the data plane is append-only within a relation
-///    generation; retractions rebuild), so no tombstones are needed — a group
-///    containing an empty slot always terminates a probe.
+///  * the two hot-path containers (`FlatPostingMap`, `FlatRowSet`) have no
+///    per-element erase (the data plane is append-only within a relation
+///    generation; retractions rebuild), so a group containing an empty slot
+///    always terminates their probes. The colder `FlatMap` supports
+///    `Erase`/`Compact` for the query-lifecycle GC (routing indexes and
+///    cached join tables shrink when queries are removed): erased slots
+///    become tombstones that keep probe chains intact, and `Compact`
+///    rehashes them (and excess capacity) away so `MemoryBytes` reflects
+///    the release.
 ///
 /// SIMD: the 16-byte group compare uses SSE2 on x86 and NEON on arm; defining
 /// `GSTREAM_NO_SIMD` (CMake option of the same name) selects a portable
@@ -55,8 +61,14 @@ namespace flat_internal {
 inline constexpr size_t kGroupWidth = 16;
 
 /// Control byte of an empty slot. Full slots store the 7-bit `H2` fragment
-/// (0..127), so the sign bit alone distinguishes empty from full.
+/// (0..127), so the sign bit alone distinguishes empty/deleted from full.
 inline constexpr int8_t kCtrlEmpty = -128;
+
+/// Control byte of a tombstoned (erased) slot: negative like kCtrlEmpty so
+/// `MatchEmpty` (sign-bit) treats it as free for the containers that never
+/// erase, but distinct so erase-aware probes (`FlatMap`) can keep walking
+/// past it — a tombstone never terminates a probe chain.
+inline constexpr int8_t kCtrlDeleted = -2;
 
 /// Smallest power-of-two capacity that holds `n` entries at ≤7/8 load.
 inline size_t RoundUpCapacity(size_t n) {
@@ -501,12 +513,19 @@ class FlatRowSet {
 /// Generic open-addressing map for the colder index shapes (JoinCache keys,
 /// trie rootInd / node index, the baselines' inverted indexes). Keys must be
 /// copyable and equality-comparable; values move on rehash, so stable-address
-/// values belong behind unique_ptr. No per-element erase.
+/// values belong behind unique_ptr.
+///
+/// Erase support (query-lifecycle GC): `Erase` tombstones the slot so probe
+/// chains through it stay intact; tombstones are reused by later inserts and
+/// count against the load factor until `Compact` rehashes them away.
+/// `Compact` also shrinks capacity to fit the live entries, so `MemoryBytes`
+/// observably drops after a removal wave — call it once per removal batch,
+/// not per erase.
 ///
 /// Pointer stability: unlike the node-based std maps this replaces, pointers
 /// returned by Find/GetOrCreate are into slot storage and are invalidated by
-/// the next insertion (rehash moves every slot). Copy out what you need
-/// before mutating the map.
+/// the next insertion, erase, or compaction (rehash moves every slot). Copy
+/// out what you need before mutating the map.
 template <typename K, typename V, typename Hash, typename Eq = std::equal_to<K>>
 class FlatMap {
  public:
@@ -514,8 +533,11 @@ class FlatMap {
     const uint64_t h = Hash{}(key);
     const int8_t h2 = flat_internal::H2(h);
     // Probe before the growth check: hitting an existing key must neither
-    // rehash (slot pointers stay valid) nor pay a wasted table double.
+    // rehash (slot pointers stay valid) nor pay a wasted table double. The
+    // first tombstone on the chain is remembered for reuse; only a truly
+    // empty slot proves the key absent.
     size_t insert_at = static_cast<size_t>(-1);
+    bool reuse_tombstone = false;
     if (!ctrl_.empty()) {
       size_t g = HomeGroup(h);
       while (true) {
@@ -524,17 +546,26 @@ class FlatMap {
           const size_t i = g + m.Lane();
           if (slots_[i].hash == h && Eq{}(slots_[i].key, key)) return slots_[i].value;
         }
-        if (auto e = grp.MatchEmpty()) {
-          insert_at = g + e.Lane();
+        if (!reuse_tombstone) {
+          if (auto d = grp.Match(flat_internal::kCtrlDeleted)) {
+            insert_at = g + d.Lane();
+            reuse_tombstone = true;
+          }
+        }
+        if (auto e = grp.Match(flat_internal::kCtrlEmpty)) {
+          if (!reuse_tombstone) insert_at = g + e.Lane();
           break;
         }
         g = (g + flat_internal::kGroupWidth) & mask_;
       }
     }
-    if (ctrl_.empty() || (size_ + 1) * 8 > ctrl_.size() * 7) {
+    if (ctrl_.empty() ||
+        (!reuse_tombstone && (size_ + num_deleted_ + 1) * 8 > ctrl_.size() * 7)) {
       Rehash(ctrl_.empty() ? flat_internal::kGroupWidth : ctrl_.size() * 2);
       insert_at = flat_internal::FindFirstEmpty(ctrl_.data(), mask_, HomeGroup(h));
+      reuse_tombstone = false;
     }
+    if (reuse_tombstone) --num_deleted_;
     ctrl_[insert_at] = h2;
     slots_[insert_at].hash = h;
     slots_[insert_at].key = key;
@@ -556,12 +587,52 @@ class FlatMap {
         const size_t i = g + m.Lane();
         if (slots_[i].hash == h && Eq{}(slots_[i].key, key)) return &slots_[i].value;
       }
-      if (grp.MatchEmpty()) return nullptr;
+      // Tombstones must not terminate the probe, so match the exact empty
+      // byte (same one-compare cost as the sign-bit check).
+      if (grp.Match(flat_internal::kCtrlEmpty)) return nullptr;
       g = (g + flat_internal::kGroupWidth) & mask_;
     }
   }
 
   bool Contains(const K& key) const { return Find(key) != nullptr; }
+
+  /// Erases `key`'s entry (the value is destroyed in place); the slot
+  /// becomes a tombstone until the next Compact/rehash. Returns true when
+  /// the key was present.
+  bool Erase(const K& key) {
+    if (size_ == 0) return false;
+    const uint64_t h = Hash{}(key);
+    const int8_t h2 = flat_internal::H2(h);
+    size_t g = HomeGroup(h);
+    while (true) {
+      const flat_internal::Group grp(ctrl_.data() + g);
+      for (auto m = grp.Match(h2); m; m.Clear()) {
+        const size_t i = g + m.Lane();
+        if (slots_[i].hash == h && Eq{}(slots_[i].key, key)) {
+          ctrl_[i] = flat_internal::kCtrlDeleted;
+          slots_[i] = Slot{};
+          --size_;
+          ++num_deleted_;
+          return true;
+        }
+      }
+      if (grp.Match(flat_internal::kCtrlEmpty)) return false;
+      g = (g + flat_internal::kGroupWidth) & mask_;
+    }
+  }
+
+  /// Rehashes tombstones away and shrinks capacity to fit the live entries
+  /// (an empty map releases all storage). Invalidates every slot pointer.
+  void Compact() {
+    if (size_ == 0) {
+      std::vector<int8_t>().swap(ctrl_);
+      std::vector<Slot>().swap(slots_);
+      mask_ = 0;
+      num_deleted_ = 0;
+      return;
+    }
+    Rehash(flat_internal::RoundUpCapacity(size_));
+  }
 
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
@@ -576,18 +647,19 @@ class FlatMap {
     slots_.clear();
     size_ = 0;
     mask_ = 0;
+    num_deleted_ = 0;
   }
 
   /// `fn(const K&, const V&)` / `fn(const K&, V&)` over every entry.
   template <typename Fn>
   void ForEach(Fn fn) const {
     for (size_t i = 0; i < ctrl_.size(); ++i)
-      if (ctrl_[i] != flat_internal::kCtrlEmpty) fn(slots_[i].key, slots_[i].value);
+      if (ctrl_[i] >= 0) fn(slots_[i].key, slots_[i].value);
   }
   template <typename Fn>
   void ForEachMutable(Fn fn) {
     for (size_t i = 0; i < ctrl_.size(); ++i)
-      if (ctrl_[i] != flat_internal::kCtrlEmpty) fn(slots_[i].key, slots_[i].value);
+      if (ctrl_[i] >= 0) fn(slots_[i].key, slots_[i].value);
   }
 
   /// Slot-array bytes only; value-owned heap is the caller's to account.
@@ -614,8 +686,9 @@ class FlatMap {
     slots_.clear();
     slots_.resize(new_cap);
     mask_ = new_cap - 1;
+    num_deleted_ = 0;  // tombstones are dropped, not migrated
     for (size_t i = 0; i < old_ctrl.size(); ++i) {
-      if (old_ctrl[i] == flat_internal::kCtrlEmpty) continue;
+      if (old_ctrl[i] < 0) continue;  // empty or tombstone
       const size_t j =
           flat_internal::FindFirstEmpty(ctrl_.data(), mask_, HomeGroup(old[i].hash));
       ctrl_[j] = old_ctrl[i];
@@ -623,10 +696,11 @@ class FlatMap {
     }
   }
 
-  std::vector<int8_t> ctrl_;  ///< kCtrlEmpty | H2 fragment, per slot.
+  std::vector<int8_t> ctrl_;  ///< kCtrlEmpty | kCtrlDeleted | H2, per slot.
   std::vector<Slot> slots_;   ///< Parallel to ctrl_; valid where full.
   size_t size_ = 0;
   size_t mask_ = 0;
+  size_t num_deleted_ = 0;    ///< Tombstoned slots (count against load).
 };
 
 /// Hash functor for VertexId keys in FlatMap.

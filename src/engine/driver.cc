@@ -67,4 +67,80 @@ RunStats RunStream(ContinuousEngine& engine, const UpdateStream& stream,
   return stats;
 }
 
+MixedRunStats RunMixedStream(ContinuousEngine& engine,
+                             const std::vector<StreamEvent>& events,
+                             const RunConfig& config) {
+  GS_CHECK_MSG(config.batch_window >= 1, "batch_window must be >= 1");
+  GS_CHECK_MSG(config.batch_threads >= 1, "batch_threads must be >= 1");
+  MixedRunStats stats;
+  Budget budget;
+  if (std::isfinite(config.budget_seconds))
+    budget.SetDeadlineAfter(config.budget_seconds);
+  engine.set_budget(&budget);
+  const size_t window = config.batch_window > 1 ? config.batch_window : 1;
+  if (window > 1) engine.SetBatchThreads(config.batch_threads);
+
+  std::unordered_set<QueryId> satisfied;
+  const auto absorb = [&](const UpdateResult& result) {
+    ++stats.updates_applied;
+    stats.new_embeddings += result.new_embeddings;
+    for (QueryId qid : result.triggered) satisfied.insert(qid);
+    return result.timed_out;
+  };
+
+  size_t i = 0;
+  while (i < events.size() && !stats.timed_out) {
+    const StreamEvent& ev = events[i];
+    if (ev.kind == StreamEvent::Kind::kUpdate) {
+      // One run of consecutive updates, fed in batch windows.
+      size_t j = i;
+      while (j < events.size() && events[j].kind == StreamEvent::Kind::kUpdate) ++j;
+      WallTimer timer;
+      if (window == 1) {
+        for (; i < j && !stats.timed_out; ++i) {
+          if (absorb(engine.ApplyUpdate(events[i].update)) || budget.ExceededNow())
+            stats.timed_out = true;
+        }
+      } else {
+        std::vector<EdgeUpdate> batch;
+        batch.reserve(std::min(window, j - i));
+        while (i < j && !stats.timed_out) {
+          batch.clear();
+          for (; i < j && batch.size() < window; ++i) batch.push_back(events[i].update);
+          std::vector<UpdateResult> results =
+              engine.ApplyBatch(batch.data(), batch.size());
+          for (const UpdateResult& r : results)
+            if (absorb(r)) stats.timed_out = true;
+          if (results.size() < batch.size() || budget.ExceededNow())
+            stats.timed_out = true;
+        }
+      }
+      stats.answer_millis += timer.ElapsedMillis();
+      continue;
+    }
+
+    if (ev.kind == StreamEvent::Kind::kAddQuery) {
+      WallTimer timer;
+      engine.AddQuery(ev.qid, ev.query);
+      stats.index_millis += timer.ElapsedMillis();
+      ++stats.queries_added;
+    } else {
+      WallTimer timer;
+      GS_CHECK_MSG(engine.RemoveQuery(ev.qid),
+                   "RunMixedStream: removing unknown query id " +
+                       std::to_string(ev.qid));
+      stats.remove_millis += timer.ElapsedMillis();
+      ++stats.queries_removed;
+    }
+    ++i;
+    if (budget.ExceededNow()) stats.timed_out = true;
+  }
+
+  if (window > 1) engine.SetBatchThreads(1);
+  stats.queries_satisfied = satisfied.size();
+  stats.memory_bytes = engine.MemoryBytes();
+  engine.set_budget(nullptr);
+  return stats;
+}
+
 }  // namespace gstream

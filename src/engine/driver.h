@@ -63,6 +63,76 @@ IndexStats IndexQueries(ContinuousEngine& engine,
 RunStats RunStream(ContinuousEngine& engine, const UpdateStream& stream,
                    const RunConfig& config = {});
 
+/// One event of a mixed stream (the paper's dynamic query database, §3.2):
+/// an edge update, a continuous-query registration, or a removal, arriving
+/// in one ordered sequence while the stream runs.
+struct StreamEvent {
+  enum class Kind : uint8_t { kUpdate, kAddQuery, kRemoveQuery };
+
+  Kind kind = Kind::kUpdate;
+  EdgeUpdate update{};   ///< kUpdate only.
+  QueryId qid = 0;       ///< kAddQuery / kRemoveQuery.
+  QueryPattern query{};  ///< kAddQuery only.
+
+  static StreamEvent Update(const EdgeUpdate& u) {
+    StreamEvent e;
+    e.kind = Kind::kUpdate;
+    e.update = u;
+    return e;
+  }
+  static StreamEvent Add(QueryId qid, QueryPattern q) {
+    StreamEvent e;
+    e.kind = Kind::kAddQuery;
+    e.qid = qid;
+    e.query = std::move(q);
+    return e;
+  }
+  static StreamEvent Remove(QueryId qid) {
+    StreamEvent e;
+    e.kind = Kind::kRemoveQuery;
+    e.qid = qid;
+    return e;
+  }
+};
+
+/// Aggregate result of a mixed update/query-event run, with the three cost
+/// phases separated: indexing (AddQuery), removal GC (RemoveQuery), and
+/// answering (edge updates).
+struct MixedRunStats {
+  size_t updates_applied = 0;
+  size_t queries_added = 0;
+  size_t queries_removed = 0;
+  double answer_millis = 0.0;   ///< Edge-update processing wall clock.
+  double index_millis = 0.0;    ///< AddQuery wall clock.
+  double remove_millis = 0.0;   ///< RemoveQuery wall clock.
+  uint64_t new_embeddings = 0;
+  size_t queries_satisfied = 0;  ///< Distinct queries triggered at least once.
+  bool timed_out = false;
+  size_t memory_bytes = 0;       ///< Engine memory after the run.
+
+  double MsecPerUpdate() const {
+    return updates_applied == 0 ? 0.0 : answer_millis / updates_applied;
+  }
+  double MsecPerAdd() const {
+    return queries_added == 0 ? 0.0 : index_millis / queries_added;
+  }
+  double MsecPerRemove() const {
+    return queries_removed == 0 ? 0.0 : remove_millis / queries_removed;
+  }
+};
+
+/// Drives `events` through `engine` in order. Consecutive edge updates form
+/// windows of up to `config.batch_window` fed through `ApplyBatch` (query
+/// events are window barriers — the engine API forbids lifecycle calls with
+/// a batch in flight); with the default window of 1 every update goes
+/// through `ApplyUpdate`. Add/remove/answer time is accounted separately.
+/// The budget covers the whole run; on expiry the remaining events are
+/// dropped and `timed_out` is set. Removing an unknown qid is a checked
+/// error (GS_CHECK) — event streams are validated input.
+MixedRunStats RunMixedStream(ContinuousEngine& engine,
+                             const std::vector<StreamEvent>& events,
+                             const RunConfig& config = {});
+
 }  // namespace gstream
 
 #endif  // GSTREAM_ENGINE_DRIVER_H_

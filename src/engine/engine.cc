@@ -1,6 +1,25 @@
 #include "engine/engine.h"
 
+#include "common/logging.h"
+
 namespace gstream {
+
+void ContinuousEngine::AddQuery(QueryId qid, const QueryPattern& q) {
+  // The one checked entry point for every engine: the "qid must be fresh"
+  // contract used to live in per-engine comments (and the oracle silently
+  // dropped duplicates); now a violation dies here before any shared state
+  // is touched.
+  GS_CHECK_MSG(q.IsValid(), "AddQuery: invalid query pattern");
+  GS_CHECK_MSG(!HasQuery(qid),
+               "AddQuery: duplicate query id " + std::to_string(qid));
+  AddQueryImpl(qid, q);
+}
+
+bool ContinuousEngine::RemoveQuery(QueryId qid) {
+  if (!HasQuery(qid)) return false;
+  RemoveQueryImpl(qid);
+  return true;
+}
 
 std::vector<UpdateResult> ContinuousEngine::ApplyBatch(const EdgeUpdate* updates,
                                                        size_t n) {

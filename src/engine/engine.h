@@ -15,13 +15,20 @@
 namespace gstream {
 
 /// A continuous multi-query processing engine (the paper's problem
-/// definition, §3.2): hold a query database QDB, consume a stream of edge
-/// updates, and report per update which queries are satisfied.
+/// definition, §3.2): hold a *dynamic* query database QDB — continuous
+/// queries register and expire while the stream runs — consume a stream of
+/// edge updates, and report per update which queries are satisfied.
 ///
 /// Contract:
-///  * Queries are registered before (or between) updates; an engine does not
-///    backfill results for updates that preceded a query's registration
-///    beyond whatever shared state it already materialized.
+///  * Queries register (`AddQuery`) and deregister (`RemoveQuery`) before,
+///    between, or after updates — never while one is in flight. An engine
+///    does not backfill results for updates that preceded a query's
+///    registration beyond whatever shared state it already materialized.
+///  * Removing a query garbage-collects every structure only that query
+///    pinned (trie suffix nodes, materialized views, cached join indexes,
+///    inverted-index postings) while leaving state shared with surviving
+///    queries — and their results — untouched. `MemoryBytes()` shrinks
+///    accordingly.
 ///  * `ApplyUpdate` returns continuous-notification results (see
 ///    `UpdateResult`); duplicate edges are no-ops.
 ///  * Engines are single-threaded; one engine instance per stream.
@@ -32,8 +39,19 @@ class ContinuousEngine {
   /// Engine identifier as used in the paper's plots ("TRIC", "INV+", ...).
   virtual std::string name() const = 0;
 
-  /// Registers a continuous query. `qid` must be fresh; `q` must be valid.
-  virtual void AddQuery(QueryId qid, const QueryPattern& q) = 0;
+  /// Registers a continuous query. Preconditions are checked here, once,
+  /// for every engine: `q` must be valid and `qid` must be fresh — a
+  /// duplicate id or invalid pattern fails loudly (GS_CHECK) instead of
+  /// silently corrupting shared views. Engines implement `AddQueryImpl`.
+  void AddQuery(QueryId qid, const QueryPattern& q);
+
+  /// Deregisters a continuous query and garbage-collects the state only it
+  /// pinned. Returns false (and changes nothing) when `qid` is unknown.
+  /// Must not be called while a batch window is in flight.
+  bool RemoveQuery(QueryId qid);
+
+  /// True when `qid` is currently registered.
+  virtual bool HasQuery(QueryId qid) const = 0;
 
   /// Applies one streamed edge update and reports newly satisfied queries.
   virtual UpdateResult ApplyUpdate(const EdgeUpdate& u) = 0;
@@ -79,6 +97,13 @@ class ContinuousEngine {
   void set_property_store(const PropertyStore* store) { properties_ = store; }
 
  protected:
+  /// The unchecked registration/removal hooks behind the public checked
+  /// entry points. Implementations may assume the preconditions hold:
+  /// AddQueryImpl sees a valid pattern and a fresh id, RemoveQueryImpl a
+  /// registered id.
+  virtual void AddQueryImpl(QueryId qid, const QueryPattern& q) = 0;
+  virtual void RemoveQueryImpl(QueryId qid) = 0;
+
   bool BudgetExceeded() { return budget_ != nullptr && budget_->Exceeded(); }
 
   /// Non-sampling variant for coarse boundaries (per query per window):

@@ -21,8 +21,7 @@ uint64_t NaiveEngine::CountQuery(const QueryEntry& entry) {
   return count;
 }
 
-void NaiveEngine::AddQuery(QueryId qid, const QueryPattern& q) {
-  GS_CHECK_MSG(q.IsValid(), "invalid query pattern");
+void NaiveEngine::AddQueryImpl(QueryId qid, const QueryPattern& q) {
   QueryEntry entry;
   entry.pattern = q;
   entry.plan = graphdb::PlanQuery(q);

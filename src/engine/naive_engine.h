@@ -18,10 +18,16 @@ class NaiveEngine : public ContinuousEngine {
   NaiveEngine();
 
   std::string name() const override { return "Naive"; }
-  void AddQuery(QueryId qid, const QueryPattern& q) override;
   UpdateResult ApplyUpdate(const EdgeUpdate& u) override;
+  bool HasQuery(QueryId qid) const override { return queries_.count(qid) > 0; }
   size_t NumQueries() const override { return queries_.size(); }
   size_t MemoryBytes() const override;
+
+ protected:
+  void AddQueryImpl(QueryId qid, const QueryPattern& q) override;
+  /// The oracle holds no shared per-query state: dropping the entry is the
+  /// whole removal.
+  void RemoveQueryImpl(QueryId qid) override { queries_.erase(qid); }
 
  private:
   struct QueryEntry {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/logging.h"
+
 namespace gstream {
 
 namespace {
@@ -39,6 +41,45 @@ Relation* ViewEngineBase::FindBaseView(const GenericEdgePattern& p) const {
   auto it = base_views_.find(p);
   return it == base_views_.end() ? nullptr : it->second.get();
 }
+
+Relation* ViewEngineBase::RefBaseView(const GenericEdgePattern& p) {
+  ++base_view_refs_[p];
+  auto it = base_views_.find(p);
+  if (it != base_views_.end()) return it->second.get();
+
+  // First reference creates the view — backfilled from the live edge set,
+  // so a query registered (or re-registered after a removal wave) mid-
+  // stream sees exactly the base-view contents it would have seen had it
+  // been registered up front. This pins down the dynamic-QDB semantics:
+  // notifications report only *future* matches, but those matches may
+  // combine old and new edges, same as the oracle's recount-and-diff.
+  Relation* view = GetOrCreateBaseView(p);
+  for (const EdgeUpdate& e : seen_edges_) {
+    if (!p.Matches(e)) continue;
+    const VertexId row[2] = {e.src, e.dst};
+    view->Append(row);
+  }
+  return view;
+}
+
+void ViewEngineBase::UnrefBaseView(const GenericEdgePattern& p) {
+  auto ref = base_view_refs_.find(p);
+  GS_DCHECK(ref != base_view_refs_.end() && ref->second > 0);
+  if (--ref->second > 0) return;
+  base_view_refs_.erase(ref);
+
+  // Last reference: no surviving query routes through this pattern, so the
+  // shared view (and everything keyed on it) is garbage. The rows it held
+  // are reconstructible from the seen-edge set if the pattern ever
+  // re-registers — exactly the mid-stream AddQuery backfill contract.
+  auto it = base_views_.find(p);
+  GS_DCHECK(it != base_views_.end());
+  OnRelationEvicted(it->second.get());
+  base_views_.erase(it);
+  pattern_ids_.Erase(p);  // footprint ids are window-scoped; safe to recycle
+}
+
+void ViewEngineBase::CompactSharedState() { pattern_ids_.Compact(); }
 
 void ViewEngineBase::AppendToBaseViews(const EdgeUpdate& u, WindowContext* ctx) {
   const VertexId row[2] = {u.src, u.dst};
@@ -280,6 +321,8 @@ size_t ViewEngineBase::SharedMemoryBytes() const {
   size_t bytes = sizeof(*this) + peak_transient_bytes_.load(std::memory_order_relaxed);
   for (const auto& [p, rel] : base_views_)
     bytes += sizeof(p) + rel->MemoryBytes() + 2 * sizeof(void*);
+  bytes += base_view_refs_.size() *
+           (sizeof(GenericEdgePattern) + sizeof(uint32_t) + 2 * sizeof(void*));
   bytes += seen_edges_.size() * (sizeof(EdgeUpdate) + 2 * sizeof(void*)) +
            seen_edges_.bucket_count() * sizeof(void*);
   bytes += pattern_ids_.MemoryBytes();

@@ -134,8 +134,12 @@ class ViewEngineBase : public ContinuousEngine {
   /// index entries — and contribute nothing).
   virtual void BuildPatternReach() = 0;
 
-  /// Invalidate the per-pattern reaches (call from AddQuery).
-  void MarkReachDirty() { reach_dirty_ = true; }
+  /// Invalidate (and release) the per-pattern reaches — call from
+  /// AddQueryImpl/RemoveQueryImpl; CollectFootprint rebuilds lazily.
+  void MarkReachDirty() {
+    reach_dirty_ = true;
+    pattern_reach_.clear();
+  }
 
   /// The insert path of `ApplyUpdate` *after* the duplicate check. Must be
   /// safe to run concurrently with other footprint-disjoint inserts; the
@@ -166,6 +170,26 @@ class ViewEngineBase : public ContinuousEngine {
   /// The base view for `p`, or nullptr when no query uses this pattern.
   Relation* FindBaseView(const GenericEdgePattern& p) const;
 
+  /// Query-lifecycle reference counting over the shared base views: each
+  /// registered query holds one reference per pattern occurrence it indexed
+  /// (engines choose the granularity — per signature element for TRIC, per
+  /// distinct edge pattern for INV/INC — and must release symmetrically).
+  /// `RefBaseView` creates the view on first use; `UnrefBaseView` destroys
+  /// it when the last reference goes, after announcing the doomed relation
+  /// through `OnRelationEvicted` so engines drop dependent cached indexes.
+  Relation* RefBaseView(const GenericEdgePattern& p);
+  void UnrefBaseView(const GenericEdgePattern& p);
+
+  /// Hook: `rel` (a shared base view, until now reachable through
+  /// FindBaseView) is about to be destroyed by the lifecycle GC. Engines
+  /// owning a JoinCache evict its indexes here. Default: nothing.
+  virtual void OnRelationEvicted(const Relation* rel) { (void)rel; }
+
+  /// Releases tombstoned/slack capacity of the shared routing structures
+  /// after a removal (pattern-id table today). Engines call it at the end
+  /// of RemoveQueryImpl, after compacting their own indexes.
+  void CompactSharedState();
+
   /// Records `u` into every existing base view whose pattern it satisfies
   /// (up to the 4 generalizations). With a non-null `ctx` (delta windows)
   /// each touched view is checkpointed at `ctx->position` first, so the
@@ -194,6 +218,9 @@ class ViewEngineBase : public ContinuousEngine {
   std::unordered_map<GenericEdgePattern, std::unique_ptr<Relation>,
                      GenericEdgePatternHash>
       base_views_;
+  /// Live query references per base-view pattern (see RefBaseView).
+  std::unordered_map<GenericEdgePattern, uint32_t, GenericEdgePatternHash>
+      base_view_refs_;
   std::unordered_set<EdgeUpdate, EdgeKeyHash, EdgeKeyEq> seen_edges_;
   std::atomic<size_t> peak_transient_bytes_{0};
   std::unique_ptr<ThreadPool> pool_;  ///< Non-null after SetBatchThreads(>1).

@@ -24,9 +24,7 @@ uint64_t GraphDbEngine::CountQuery(const QueryEntry& entry) {
   return count;
 }
 
-void GraphDbEngine::AddQuery(QueryId qid, const QueryPattern& q) {
-  GS_CHECK_MSG(q.IsValid(), "invalid query pattern");
-  GS_CHECK_MSG(queries_.count(qid) == 0, "duplicate query id");
+void GraphDbEngine::AddQueryImpl(QueryId qid, const QueryPattern& q) {
   QueryEntry entry;
   entry.pattern = q;
   entry.plan = PlanQuery(q);
@@ -36,6 +34,18 @@ void GraphDbEngine::AddQuery(QueryId qid, const QueryPattern& q) {
   for (uint32_t e = 0; e < q.NumEdges(); ++e)
     edge_ind_[q.Genericized(e)].push_back(qid);
   queries_.emplace(qid, std::move(entry));
+}
+
+void GraphDbEngine::RemoveQueryImpl(QueryId qid) {
+  const QueryPattern pattern = std::move(queries_.at(qid).pattern);
+  queries_.erase(qid);
+  // One posting per edge occurrence was registered; release symmetrically.
+  for (uint32_t e = 0; e < pattern.NumEdges(); ++e) {
+    auto it = edge_ind_.find(pattern.Genericized(e));
+    GS_CHECK(it != edge_ind_.end());
+    it->second.erase(std::find(it->second.begin(), it->second.end(), qid));
+    if (it->second.empty()) edge_ind_.erase(it);
+  }
 }
 
 UpdateResult GraphDbEngine::ApplyUpdate(const EdgeUpdate& u) {

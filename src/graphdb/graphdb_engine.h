@@ -25,13 +25,19 @@ class GraphDbEngine : public ContinuousEngine {
   GraphDbEngine();
 
   std::string name() const override { return "GraphDB"; }
-  void AddQuery(QueryId qid, const QueryPattern& q) override;
   UpdateResult ApplyUpdate(const EdgeUpdate& u) override;
+  bool HasQuery(QueryId qid) const override { return queries_.count(qid) > 0; }
   size_t NumQueries() const override { return queries_.size(); }
   size_t MemoryBytes() const override;
 
   /// Direct access for examples and the test suite.
   const GraphStore& store() const { return store_; }
+
+ protected:
+  void AddQueryImpl(QueryId qid, const QueryPattern& q) override;
+  /// Removal drops the query's plan/counters and its edgeInd postings; the
+  /// graph store itself is stream state and stays.
+  void RemoveQueryImpl(QueryId qid) override;
 
  private:
   struct QueryEntry {

@@ -20,6 +20,16 @@ HashIndex* JoinCache::Get(const Relation* rel, uint32_t col) {
   return index;
 }
 
+void JoinCache::Evict(const Relation* rel) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Collect first: Erase invalidates slot pointers mid-iteration.
+  std::vector<Key> doomed;
+  cache_.ForEach([&](const Key& key, const std::unique_ptr<HashIndex>&) {
+    if (key.first == rel) doomed.push_back(key);
+  });
+  for (const Key& key : doomed) cache_.Erase(key);
+}
+
 size_t JoinCache::MemoryBytes() const {
   size_t bytes = sizeof(*this) + cache_.MemoryBytes();
   cache_.ForEach([&](const Key&, const std::unique_ptr<HashIndex>& index) {
@@ -34,6 +44,14 @@ HashIndex* WindowJoinCache::Get(const Relation* rel, uint32_t col) {
     std::lock_guard<std::mutex> lock(mu_);
     Entry& entry = cache_.GetOrCreate(Key{rel, col});
     if (++entry.touches < 2) return nullptr;  // first touch: caller scans
+    // Tiny views: a handful-of-rows scan beats paying the index build and
+    // its CatchUp bookkeeping on every touch (ROADMAP §7.5 — plain TRIC's
+    // batch overhead at small scales). Declining is result-neutral (an
+    // indexed equi-join emits exactly the scan join's rows), and the view
+    // is re-checked on each touch, so the index kicks in as soon as the
+    // view outgrows the threshold mid-window. An already-built index keeps
+    // serving (its build cost is sunk).
+    if (entry.index == nullptr && rel->NumRows() < kMinIndexRows) return nullptr;
     if (entry.index == nullptr)
       entry.index = std::make_unique<HashIndex>(rel, col, /*build=*/false);
     index = entry.index.get();

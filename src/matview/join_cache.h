@@ -49,6 +49,19 @@ class JoinCache : public JoinIndexSource {
   /// Approximate heap footprint of all cached indexes.
   size_t MemoryBytes() const;
 
+  /// Drops every cached index over `rel` (all columns). Part of the query-
+  /// lifecycle GC: a garbage-collected view's indexes must go with it, or
+  /// the cache dangles into freed relation storage. Call before the
+  /// relation is destroyed; finish the removal batch with `Compact()`.
+  void Evict(const Relation* rel);
+
+  /// Releases tombstoned capacity after an eviction wave (one rehash, so
+  /// callers batch evictions and compact once).
+  void Compact() {
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_.Compact();
+  }
+
   void Clear() { cache_.Clear(); }
 
  private:
@@ -79,6 +92,11 @@ class JoinCache : public JoinIndexSource {
 /// the lock (disjoint shards never share a relation).
 class WindowJoinCache : public JoinIndexSource {
  public:
+  /// Views below this row count are never worth an index build within a
+  /// window: the break-even between per-touch scans and build-once-probe-
+  /// many sits around a few dozen rows (micro_join's Window A/B pairs).
+  static constexpr size_t kMinIndexRows = 16;
+
   HashIndex* Get(const Relation* rel, uint32_t col) override;
 
   /// Approximate bytes of all indexes built this window (peak-transient

@@ -24,9 +24,7 @@ std::string TricEngine::name() const {
   return name;
 }
 
-void TricEngine::AddQuery(QueryId qid, const QueryPattern& q) {
-  GS_CHECK_MSG(q.IsValid(), "invalid query pattern");
-  GS_CHECK_MSG(queries_.count(qid) == 0, "duplicate query id");
+void TricEngine::AddQueryImpl(QueryId qid, const QueryPattern& q) {
   MarkReachDirty();
 
   QueryEntry entry;
@@ -46,10 +44,12 @@ void TricEngine::AddQuery(QueryId qid, const QueryPattern& q) {
     paths = ExtractCoveringPaths(q);
   }
 
-  // Step 2: index each genericized path in the trie forest.
+  // Step 2: index each genericized path in the trie forest. Base views are
+  // reference-counted per signature element; RemoveQueryImpl releases the
+  // same references by re-walking the trie chains.
   for (uint32_t pi = 0; pi < paths.size(); ++pi) {
     std::vector<GenericEdgePattern> sig = GenericSignature(q, paths[pi]);
-    for (const auto& p : sig) GetOrCreateBaseView(p);
+    for (const auto& p : sig) RefBaseView(p);
     TrieNode* terminal = forest_.InsertPath(
         sig, [this](TrieNode* n) { InitNodeView(n); }, options_.clustering);
     terminal->paths.push_back(PathRef{qid, pi});
@@ -64,6 +64,48 @@ void TricEngine::AddQuery(QueryId qid, const QueryPattern& q) {
     entry.paths.push_back(std::move(info));
   }
   queries_.emplace(qid, std::move(entry));
+}
+
+void TricEngine::RemoveQueryImpl(QueryId qid) {
+  MarkReachDirty();
+  QueryEntry entry = std::move(queries_.at(qid));
+  queries_.erase(qid);
+
+  for (uint32_t pi = 0; pi < entry.paths.size(); ++pi) {
+    PathInfo& info = entry.paths[pi];
+
+    // The path's signature, reconstructed from its trie chain (identical to
+    // the GenericSignature AddQueryImpl referenced, reversed): one base-view
+    // release per element keeps the refcounts symmetric.
+    std::vector<GenericEdgePattern> sig;
+    for (const TrieNode* n = info.terminal; n != nullptr; n = n->parent)
+      sig.push_back(n->pattern);
+
+    // Unpin the covering path; suffix nodes nothing else pins are destroyed
+    // together with their prefix views (paper Fig. 5 in reverse: the
+    // deepest exclusively-owned node first, stopping at the shared prefix).
+    forest_.RemovePathRef(info.terminal, qid, pi, [this](TrieNode* dead) {
+      if (cache_ != nullptr) cache_->Evict(dead->view.get());
+    });
+
+    // Cyclic paths keep a per-query filtered projection; its indexes die
+    // with the query too.
+    if (cache_ != nullptr && info.filtered != nullptr)
+      cache_->Evict(info.filtered.get());
+
+    for (const auto& p : sig) UnrefBaseView(p);
+  }
+
+  // One compaction per removal (not per path/eviction): the routing indexes
+  // and cache release their tombstoned capacity, making the GC visible to
+  // MemoryBytes.
+  forest_.CompactIndexes();
+  if (cache_ != nullptr) cache_->Compact();
+  CompactSharedState();
+}
+
+void TricEngine::OnRelationEvicted(const Relation* rel) {
+  if (cache_ != nullptr) cache_->Evict(rel);
 }
 
 void TricEngine::InitNodeView(TrieNode* node) {

@@ -60,8 +60,8 @@ class TricEngine : public ViewEngineBase {
   explicit TricEngine(const Options& options);
 
   std::string name() const override;
-  void AddQuery(QueryId qid, const QueryPattern& q) override;
   UpdateResult ApplyUpdate(const EdgeUpdate& u) override;
+  bool HasQuery(QueryId qid) const override { return queries_.count(qid) > 0; }
   size_t NumQueries() const override { return queries_.size(); }
   size_t MemoryBytes() const override;
 
@@ -69,6 +69,19 @@ class TricEngine : public ViewEngineBase {
   const TrieForest& forest() const { return forest_; }
 
  protected:
+  void AddQueryImpl(QueryId qid, const QueryPattern& q) override;
+
+  /// Query removal (paper §3.2's dynamic QDB): drops the query's path
+  /// references from the trie, garbage-collects the unpinned suffix nodes
+  /// and their materialized views (shared prefixes survive), evicts the
+  /// dead views' cached join indexes, releases the base-view references,
+  /// and compacts the routing indexes so `MemoryBytes` reflects the GC.
+  void RemoveQueryImpl(QueryId qid) override;
+
+  /// Lifecycle GC hook: a shared base view is going away — drop TRIC+'s
+  /// cached indexes over it.
+  void OnRelationEvicted(const Relation* rel) override;
+
   /// Batch sharding (ViewEngineBase): a pattern's reach is its matching trie
   /// nodes, everything below them (cascades write those views and read their
   /// base views), the parents they join against, and the queries they can

@@ -1,5 +1,7 @@
 #include "tric/trie.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "common/mem_tracker.h"
 
@@ -74,6 +76,64 @@ TrieNode* TrieForest::InsertPath(const std::vector<GenericEdgePattern>& sig,
     node = child;
   }
   return node;
+}
+
+void TrieForest::RemovePathRef(TrieNode* terminal, QueryId qid, uint32_t path_idx,
+                               const std::function<void(TrieNode*)>& on_destroy) {
+  // Drop the path reference from the terminal's registry.
+  auto& paths = terminal->paths;
+  auto ref = std::find_if(paths.begin(), paths.end(), [&](const PathRef& r) {
+    return r.qid == qid && r.path_idx == path_idx;
+  });
+  GS_CHECK_MSG(ref != paths.end(), "RemovePathRef: unknown path reference");
+  paths.erase(ref);
+
+  // Suffix GC: free every node the removed path alone was pinning. The
+  // walk stops at the first node still holding paths or children — that
+  // node (and the whole prefix above it) is shared state.
+  TrieNode* node = terminal;
+  while (node != nullptr && node->paths.empty() && node->children.empty()) {
+    TrieNode* parent = node->parent;
+    on_destroy(node);
+
+    // edgeInd: forget the node before its storage goes away.
+    std::vector<TrieNode*>* siblings = node_ind_.Find(node->pattern);
+    GS_CHECK(siblings != nullptr);
+    siblings->erase(std::find(siblings->begin(), siblings->end(), node));
+    if (siblings->empty()) node_ind_.Erase(node->pattern);
+    --num_nodes_;
+
+    if (parent != nullptr) {
+      auto& kids = parent->children;
+      auto it = std::find_if(kids.begin(), kids.end(),
+                             [&](const std::unique_ptr<TrieNode>& c) {
+                               return c.get() == node;
+                             });
+      GS_CHECK(it != kids.end());
+      kids.erase(it);  // destroys the node and its view
+    } else {
+      // Root: in rootInd for clustered tries, in extra_roots_ for the
+      // no-sharing ablation's private chains (compare pointers — the
+      // ablation may hold several roots with the same pattern).
+      std::unique_ptr<TrieNode>* rit = roots_.Find(node->pattern);
+      if (rit != nullptr && rit->get() == node) {
+        roots_.Erase(node->pattern);
+      } else {
+        auto it = std::find_if(extra_roots_.begin(), extra_roots_.end(),
+                               [&](const std::unique_ptr<TrieNode>& r) {
+                                 return r.get() == node;
+                               });
+        GS_CHECK(it != extra_roots_.end());
+        extra_roots_.erase(it);
+      }
+    }
+    node = parent;
+  }
+}
+
+void TrieForest::CompactIndexes() {
+  roots_.Compact();
+  node_ind_.Compact();
 }
 
 const std::vector<TrieNode*>* TrieForest::NodesFor(const GenericEdgePattern& p) const {

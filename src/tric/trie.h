@@ -67,10 +67,29 @@ class TrieForest {
                        const std::function<void(TrieNode*)>& on_create,
                        bool share = true);
 
+  /// Removes the covering-path reference `(qid, path_idx)` stored at
+  /// `terminal` and garbage-collects the now-unpinned suffix: starting at
+  /// the terminal, every node left with no stored paths and no children is
+  /// destroyed bottom-up, stopping at the first ancestor still pinned — so
+  /// shared covering-path prefixes stay alive for surviving queries. A
+  /// node's pin count is `paths.size() + children.size()`: the trie's
+  /// reference count, maintained implicitly by the child lists and the
+  /// per-node path registry. `on_destroy` runs for each node just before
+  /// its destruction (engine hook: evict join indexes over the node's view).
+  /// Checks that the reference exists.
+  void RemovePathRef(TrieNode* terminal, QueryId qid, uint32_t path_idx,
+                     const std::function<void(TrieNode*)>& on_destroy);
+
+  /// Releases tombstoned/slack capacity of rootInd and edgeInd after a
+  /// removal wave (one rehash each — call once per RemoveQuery, not per
+  /// path). Invalidates pointers previously returned by NodesFor.
+  void CompactIndexes();
+
   /// Nodes whose stored pattern equals `p`, in creation order; null when
   /// none. The returned pointer is into flat-map slot storage and is
-  /// invalidated by the next InsertPath (rehash moves slots) — copy the
-  /// node list out before indexing more paths.
+  /// invalidated by the next InsertPath / RemovePathRef / CompactIndexes
+  /// (rehash and erase move slots) — copy the node list out before mutating
+  /// the forest.
   const std::vector<TrieNode*>* NodesFor(const GenericEdgePattern& p) const;
 
   size_t NumTries() const { return roots_.size(); }

@@ -207,6 +207,75 @@ TEST(FlatMap, ForEachVisitsEverything) {
   EXPECT_EQ(count, 500u);
 }
 
+TEST(FlatMap, EraseTombstonesKeepProbeChainsIntact) {
+  // Pathological hash: every key shares one probe chain, so erasing from
+  // the middle must not hide the keys behind the tombstone.
+  FlatMap<uint32_t, int, CollidingHash> map;
+  for (uint32_t k = 0; k < 60; ++k) map.GetOrCreate(k) = static_cast<int>(k);
+  for (uint32_t k = 0; k < 60; k += 2) EXPECT_TRUE(map.Erase(k));
+  EXPECT_FALSE(map.Erase(0));  // already gone
+  EXPECT_EQ(map.size(), 30u);
+  for (uint32_t k = 0; k < 60; ++k) {
+    if (k % 2 == 0) {
+      EXPECT_EQ(map.Find(k), nullptr) << k;
+    } else {
+      ASSERT_NE(map.Find(k), nullptr) << k;
+      EXPECT_EQ(*map.Find(k), static_cast<int>(k));
+    }
+  }
+  // Reinsertion reuses tombstoned slots and finds the fresh value.
+  for (uint32_t k = 0; k < 60; k += 2) map.GetOrCreate(k) = -static_cast<int>(k);
+  EXPECT_EQ(map.size(), 60u);
+  for (uint32_t k = 0; k < 60; k += 2) EXPECT_EQ(*map.Find(k), -static_cast<int>(k));
+}
+
+TEST(FlatMap, EraseDestroysTheValueInPlace) {
+  FlatMap<uint32_t, std::shared_ptr<int>, VertexIdHash> map;
+  auto alive = std::make_shared<int>(7);
+  map.GetOrCreate(1) = alive;
+  EXPECT_EQ(alive.use_count(), 2);
+  EXPECT_TRUE(map.Erase(1));
+  EXPECT_EQ(alive.use_count(), 1);  // the slot's copy died with the erase
+}
+
+TEST(FlatMap, CompactReleasesTombstonedAndExcessCapacity) {
+  FlatMap<uint32_t, uint64_t, VertexIdHash> map;
+  for (uint32_t k = 0; k < 4'000; ++k) map.GetOrCreate(k) = k;
+  const size_t loaded = map.MemoryBytes();
+  for (uint32_t k = 10; k < 4'000; ++k) EXPECT_TRUE(map.Erase(k));
+  // Tombstones keep the capacity (and the bytes) until compaction.
+  EXPECT_EQ(map.MemoryBytes(), loaded);
+  map.Compact();
+  EXPECT_LT(map.MemoryBytes(), loaded / 16);
+  EXPECT_EQ(map.size(), 10u);
+  for (uint32_t k = 0; k < 10; ++k) {
+    ASSERT_NE(map.Find(k), nullptr);
+    EXPECT_EQ(*map.Find(k), k);
+  }
+
+  // An emptied map releases everything.
+  for (uint32_t k = 0; k < 10; ++k) EXPECT_TRUE(map.Erase(k));
+  map.Compact();
+  EXPECT_EQ(map.MemoryBytes(), sizeof(map));
+  // And stays usable afterwards.
+  map.GetOrCreate(5) = 55;
+  EXPECT_EQ(*map.Find(5), 55u);
+}
+
+TEST(FlatMap, EraseHeavyChurnDoesNotDegradeToInfiniteProbes) {
+  // Erase/insert cycles at a stable size: tombstones count against the
+  // load factor, so the table rehashes instead of filling up with them.
+  FlatMap<uint32_t, uint32_t, VertexIdHash> map;
+  uint32_t next = 0;
+  for (uint32_t k = 0; k < 64; ++k) map.GetOrCreate(next++) = 1;
+  for (uint32_t round = 0; round < 2'000; ++round) {
+    EXPECT_TRUE(map.Erase(next - 64));
+    map.GetOrCreate(next++) = 1;
+    ASSERT_EQ(map.size(), 64u);
+  }
+  for (uint32_t k = next - 64; k < next; ++k) ASSERT_NE(map.Find(k), nullptr);
+}
+
 // --------------------------------------- Relation dedup equivalence (flat set
 // vs. reference std::set), including post-RemoveRowsWhere generations.
 
@@ -310,7 +379,7 @@ TEST(FlatRowSetFuzz, DedupDecisionsMatchReferenceModel) {
   }
 }
 
-TEST(FlatMapFuzz, MatchesReferenceModelAcrossInsertsGrowthAndReserve) {
+TEST(FlatMapFuzz, MatchesReferenceModelAcrossInsertsErasesGrowthAndCompact) {
   struct Hash {
     size_t operator()(uint64_t k) const { return Mix64(k % 997); }  // collisions
   };
@@ -323,10 +392,15 @@ TEST(FlatMapFuzz, MatchesReferenceModelAcrossInsertsGrowthAndReserve) {
       const uint64_t roll = rng.Next(100);
       if (roll < 2) {
         map.Reserve(rng.Next(8'000));
-      } else if (roll < 60) {
+      } else if (roll < 4) {
+        map.Compact();
+      } else if (roll < 55) {
         const uint64_t k = rng.Next(universe);
         map.GetOrCreate(k) = i;
         model[k] = i;
+      } else if (roll < 75) {
+        const uint64_t k = rng.Next(universe * 2);  // ~50% misses
+        ASSERT_EQ(map.Erase(k), model.erase(k) > 0) << "seed " << seed;
       } else {
         const uint64_t k = rng.Next(universe * 2);  // ~50% misses
         const uint64_t* found = map.Find(k);
@@ -338,6 +412,14 @@ TEST(FlatMapFuzz, MatchesReferenceModelAcrossInsertsGrowthAndReserve) {
       }
     }
     EXPECT_EQ(map.size(), model.size());
+    size_t visited = 0;
+    map.ForEach([&](uint64_t k, uint64_t v) {
+      ++visited;
+      auto it = model.find(k);
+      ASSERT_NE(it, model.end());
+      EXPECT_EQ(v, it->second);
+    });
+    EXPECT_EQ(visited, model.size());
   }
 }
 

@@ -6,10 +6,12 @@
 #
 # Output: a `BENCH_JSON {...}` line per suite on stdout (same format the
 # figure benches emit via bench::BenchLine), plus a BENCH_SMOKE.json file in
-# the build dir aggregating the google-benchmark JSON reports.
+# the build dir aggregating the google-benchmark JSON reports. The query-
+# churn cell (fig15_churn, tiny budget) contributes one line per engine with
+# indexing / removal / answering split out.
 #
 # The BENCH_JSON lines are also collected into `trajectory_out` (default:
-# BENCH_PR3.json next to this script's repo root) — a committed snapshot so
+# BENCH_PR4.json next to this script's repo root) — a committed snapshot so
 # the per-PR perf trajectory accumulates in-repo. Refresh it by re-running
 # this script after perf-relevant changes.
 #
@@ -21,7 +23,7 @@ set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-TRAJECTORY_OUT="${2:-$REPO_ROOT/BENCH_PR3.json}"
+TRAJECTORY_OUT="${2:-$REPO_ROOT/BENCH_PR4.json}"
 BENCH_LINES_TMP="$(mktemp)"
 trap 'rm -f "$BENCH_LINES_TMP"' EXIT
 
@@ -81,6 +83,18 @@ for b in benches:
     print("BENCH_JSON " + json.dumps(line, separators=(",", ":")))
 EOF
 done
+
+# Query-churn smoke: the dynamic-QDB cell (RemoveQuery + shared-view GC),
+# tiny per-engine budget so the whole smoke stays seconds. Its BENCH_JSON
+# lines (one per engine: updates/s, add/remove ms/query, end memory) join
+# the trajectory snapshot.
+if [[ -x "$BUILD_DIR/fig15_churn" ]]; then
+  "$BUILD_DIR/fig15_churn" --budget-sec=2 --cell-budget-sec=2 \
+    | grep '^BENCH_JSON ' | tee -a "$BENCH_LINES_TMP" \
+    || { echo "bench_smoke: fig15_churn failed" >&2; exit 1; }
+else
+  echo "bench_smoke: fig15_churn not built; skipping churn line" >&2
+fi
 
 # Aggregate the per-suite reports into one *valid* JSON document (an array
 # of google-benchmark reports), so consumers can json.load() the artifact.

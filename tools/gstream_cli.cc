@@ -4,7 +4,7 @@
 //
 // Usage:
 //   gstream_cli --queries=FILE [--dataset=snb|taxi|bio] [--updates=N]
-//               [--stream=FILE.csv]
+//               [--stream=FILE.csv] [--events=FILE.gse]
 //               [--engine=tric+|tric|inv|inv+|inc|inc+|graphdb]
 //               [--seed=N] [--verbose]
 //               [--batch=N] [--threads=N]
@@ -23,15 +23,32 @@
 // With --stream=FILE.csv the generated dataset is replaced by your own edge
 // stream: one "src,label,dst" triple per line (a leading '-' on a line
 // marks a deletion, e.g. "-alice,knows,bob"); '#' comments allowed.
+//
+// With --events=FILE the run becomes a *mixed* update/query-event stream
+// (the dynamic query database): edge lines as in --stream, interleaved with
+// query lifecycle events —
+//
+//   alice,knows,bob            # edge insertion
+//   -alice,knows,bob           # edge deletion
+//   +q 7 (?a)-[knows]->(?b)    # register continuous query 7 (id must be fresh)
+//   -q 7                       # remove query 7 (id must be registered)
+//
+// Queries from --queries (ids 0..N-1) are registered up front; event-file
+// ids must not collide with them. The run reports indexing, removal, and
+// answering time separately. --events replaces --dataset/--stream and makes
+// --queries optional.
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/flags.h"
 #include "common/timer.h"
+#include "engine/driver.h"
 #include "engine/engine.h"
 #include "query/parser.h"
 #include "workload/bio.h"
@@ -74,6 +91,27 @@ workload::Workload MakeDataset(const std::string& name, size_t updates,
   return workload::GenerateSnb(c);
 }
 
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t");
+  size_t e = s.find_last_not_of(" \t\r");
+  return b == std::string::npos ? std::string() : s.substr(b, e - b + 1);
+}
+
+/// Parses one "src,label,dst" edge body at `line[start..]` (the leading '-'
+/// already consumed into `op`). Returns false on malformed input.
+bool ParseEdgeBody(const std::string& line, size_t start, UpdateOp op,
+                   StringInterner& interner, EdgeUpdate* out) {
+  size_t c1 = line.find(',', start);
+  size_t c2 = c1 == std::string::npos ? std::string::npos : line.find(',', c1 + 1);
+  if (c2 == std::string::npos) return false;
+  std::string src = Trim(line.substr(start, c1 - start));
+  std::string label = Trim(line.substr(c1 + 1, c2 - c1 - 1));
+  std::string dst = Trim(line.substr(c2 + 1));
+  if (src.empty() || label.empty() || dst.empty()) return false;
+  *out = {interner.Intern(src), interner.Intern(label), interner.Intern(dst), op};
+  return true;
+}
+
 /// Parses a "src,label,dst" CSV edge stream (leading '-' = deletion).
 /// Returns false (with a message) on malformed lines.
 bool LoadCsvStream(const std::string& path, StringInterner& interner,
@@ -94,26 +132,82 @@ bool LoadCsvStream(const std::string& path, StringInterner& interner,
       op = UpdateOp::kDelete;
       ++start;
     }
-    size_t c1 = line.find(',', start);
-    size_t c2 = c1 == std::string::npos ? std::string::npos : line.find(',', c1 + 1);
-    if (c2 == std::string::npos) {
+    EdgeUpdate u;
+    if (!ParseEdgeBody(line, start, op, interner, &u)) {
       std::fprintf(stderr, "%s:%zu: expected 'src,label,dst'\n", path.c_str(), lineno);
       return false;
     }
-    auto trim = [](std::string s) {
-      size_t b = s.find_first_not_of(" \t");
-      size_t e = s.find_last_not_of(" \t\r");
-      return b == std::string::npos ? std::string() : s.substr(b, e - b + 1);
-    };
-    std::string src = trim(line.substr(start, c1 - start));
-    std::string label = trim(line.substr(c1 + 1, c2 - c1 - 1));
-    std::string dst = trim(line.substr(c2 + 1));
-    if (src.empty() || label.empty() || dst.empty()) {
-      std::fprintf(stderr, "%s:%zu: empty field\n", path.c_str(), lineno);
+    stream.Append(u);
+  }
+  return true;
+}
+
+/// Parses a mixed update/query-event file (see the header comment for the
+/// syntax). Query-id freshness/liveness is validated at run time by the
+/// engine's checked lifecycle API; this parser validates shapes only.
+bool LoadEventFile(const std::string& path, StringInterner& interner,
+                   std::vector<StreamEvent>& events) {
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "cannot open event file '%s'\n", path.c_str());
+    return false;
+  }
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(file, line)) {
+    ++lineno;
+    size_t start = line.find_first_not_of(" \t");
+    if (start == std::string::npos || line[start] == '#') continue;
+
+    // "+q ID PATTERN" / "-q ID": query lifecycle events.
+    if (start + 1 < line.size() && (line[start] == '+' || line[start] == '-') &&
+        line[start + 1] == 'q' &&
+        (start + 2 == line.size() || line[start + 2] == ' ' || line[start + 2] == '\t')) {
+      const bool is_add = line[start] == '+';
+      char* end = nullptr;
+      const char* id_begin = line.c_str() + start + 2;
+      const unsigned long long id = std::strtoull(id_begin, &end, 10);
+      if (end == id_begin) {
+        std::fprintf(stderr, "%s:%zu: expected '%cq <id>%s'\n", path.c_str(), lineno,
+                     is_add ? '+' : '-', is_add ? " <pattern>" : "");
+        return false;
+      }
+      const QueryId qid = static_cast<QueryId>(id);
+      if (!is_add) {
+        events.push_back(StreamEvent::Remove(qid));
+        continue;
+      }
+      const std::string pattern_text = Trim(line.substr(end - line.c_str()));
+      if (pattern_text.empty()) {
+        std::fprintf(stderr, "%s:%zu: '+q %llu' needs a pattern\n", path.c_str(),
+                     lineno, id);
+        return false;
+      }
+      ParseResult parsed = ParsePattern(pattern_text, interner);
+      if (!parsed.ok) {
+        std::fprintf(stderr, "%s:%zu: %s\n", path.c_str(), lineno,
+                     parsed.error.c_str());
+        return false;
+      }
+      events.push_back(StreamEvent::Add(qid, std::move(parsed.pattern)));
+      continue;
+    }
+
+    // Everything else is an edge line, as in --stream.
+    UpdateOp op = UpdateOp::kAdd;
+    if (line[start] == '-') {
+      op = UpdateOp::kDelete;
+      ++start;
+    }
+    EdgeUpdate u;
+    if (!ParseEdgeBody(line, start, op, interner, &u)) {
+      std::fprintf(stderr,
+                   "%s:%zu: expected 'src,label,dst', '+q <id> <pattern>' or "
+                   "'-q <id>'\n",
+                   path.c_str(), lineno);
       return false;
     }
-    stream.Append({interner.Intern(src), interner.Intern(label),
-                   interner.Intern(dst), op});
+    events.push_back(StreamEvent::Update(u));
   }
   return true;
 }
@@ -123,10 +217,12 @@ bool LoadCsvStream(const std::string& path, StringInterner& interner,
 int main(int argc, char** argv) {
   Flags flags = Flags::Parse(argc, argv);
   const std::string query_file = flags.GetString("queries", "");
-  if (query_file.empty()) {
+  const std::string events_file = flags.GetString("events", "");
+  if (query_file.empty() && events_file.empty()) {
     std::fprintf(stderr,
                  "usage: gstream_cli --queries=FILE [--dataset=snb|taxi|bio] "
-                 "[--updates=N] [--engine=tric+|...] [--seed=N] [--verbose]\n");
+                 "[--updates=N] [--events=FILE] [--engine=tric+|...] "
+                 "[--seed=N] [--verbose]\n");
     return 2;
   }
   const std::string dataset = flags.GetString("dataset", "snb");
@@ -140,7 +236,12 @@ int main(int argc, char** argv) {
 
   workload::Workload w;
   const std::string stream_file = flags.GetString("stream", "");
-  if (!stream_file.empty()) {
+  if (!events_file.empty()) {
+    // Mixed event mode: the event file is the whole stream.
+    w.name = events_file;
+    w.interner = std::make_shared<StringInterner>();
+    w.stream = UpdateStream(w.interner);
+  } else if (!stream_file.empty()) {
     w.name = stream_file;
     w.interner = std::make_shared<StringInterner>();
     w.stream = UpdateStream(w.interner);
@@ -148,37 +249,105 @@ int main(int argc, char** argv) {
   } else {
     w = MakeDataset(dataset, updates, seed);
   }
-  std::printf("dataset %s: %zu updates, %zu vertices\n", w.name.c_str(),
-              w.stream.size(), w.stream.CountVertices(w.stream.size()));
 
-  std::ifstream file(query_file);
-  if (!file) {
-    std::fprintf(stderr, "cannot open query file '%s'\n", query_file.c_str());
-    return 2;
-  }
   auto engine = CreateEngine(kind);
-  std::string line;
   QueryId next_qid = 0;
-  size_t lineno = 0;
-  while (std::getline(file, line)) {
-    ++lineno;
-    size_t start = line.find_first_not_of(" \t");
-    if (start == std::string::npos || line[start] == '#') continue;
-    ParseResult parsed = ParsePattern(line, *w.interner);
-    if (!parsed.ok) {
-      std::fprintf(stderr, "%s:%zu: %s\n", query_file.c_str(), lineno,
-                   parsed.error.c_str());
+  if (!query_file.empty()) {
+    std::ifstream file(query_file);
+    if (!file) {
+      std::fprintf(stderr, "cannot open query file '%s'\n", query_file.c_str());
+      return 2;
+    }
+    std::string line;
+    size_t lineno = 0;
+    while (std::getline(file, line)) {
+      ++lineno;
+      size_t start = line.find_first_not_of(" \t");
+      if (start == std::string::npos || line[start] == '#') continue;
+      ParseResult parsed = ParsePattern(line, *w.interner);
+      if (!parsed.ok) {
+        std::fprintf(stderr, "%s:%zu: %s\n", query_file.c_str(), lineno,
+                     parsed.error.c_str());
+        return 1;
+      }
+      if (verbose)
+        std::printf("query %u: %s\n", next_qid,
+                    parsed.pattern.ToString(*w.interner).c_str());
+      engine->AddQuery(next_qid++, parsed.pattern);
+    }
+    if (engine->NumQueries() == 0) {
+      std::fprintf(stderr, "no queries in '%s'\n", query_file.c_str());
       return 1;
     }
-    if (verbose)
-      std::printf("query %u: %s\n", next_qid,
-                  parsed.pattern.ToString(*w.interner).c_str());
-    engine->AddQuery(next_qid++, parsed.pattern);
   }
-  if (engine->NumQueries() == 0) {
-    std::fprintf(stderr, "no queries in '%s'\n", query_file.c_str());
-    return 1;
+
+  if (!events_file.empty()) {
+    std::vector<StreamEvent> events;
+    if (!LoadEventFile(events_file, *w.interner, events)) return 2;
+
+    // Validate lifecycle ids up front (clean CLI errors beat the engine's
+    // GS_CHECK abort): adds must be fresh, removals registered.
+    std::unordered_set<QueryId> live;
+    for (QueryId q = 0; q < next_qid; ++q) live.insert(q);
+    size_t num_updates = 0, num_adds = 0, num_removes = 0;
+    for (const StreamEvent& ev : events) {
+      if (ev.kind == StreamEvent::Kind::kUpdate) {
+        ++num_updates;
+      } else if (ev.kind == StreamEvent::Kind::kAddQuery) {
+        ++num_adds;
+        if (!live.insert(ev.qid).second) {
+          std::fprintf(stderr, "%s: '+q %u' collides with a registered query id\n",
+                       events_file.c_str(), ev.qid);
+          return 1;
+        }
+      } else {
+        ++num_removes;
+        if (live.erase(ev.qid) == 0) {
+          std::fprintf(stderr, "%s: '-q %u' removes an unregistered query id\n",
+                       events_file.c_str(), ev.qid);
+          return 1;
+        }
+      }
+    }
+    if (engine->NumQueries() == 0 && num_adds == 0) {
+      std::fprintf(stderr, "no queries registered and none added in '%s'\n",
+                   events_file.c_str());
+      return 1;
+    }
+    std::printf("event stream %s: %zu edge updates, %zu query adds, "
+                "%zu query removes; %zu queries pre-registered\n",
+                events_file.c_str(), num_updates, num_adds, num_removes,
+                engine->NumQueries());
+    if (batch > 1) {
+      std::printf("execution: window-delta batch (window=%zu threads=%d)\n",
+                  batch, threads);
+    } else {
+      std::printf("execution: per-update (batch=1 threads=1)\n");
+    }
+
+    RunConfig config;
+    config.batch_window = batch;
+    config.batch_threads = threads;
+    MixedRunStats stats = RunMixedStream(*engine, events, config);
+    std::printf(
+        "%zu updates in %.1f ms (%.4f ms/update); %zu adds in %.1f ms "
+        "(%.4f ms/add); %zu removes in %.1f ms (%.4f ms/remove)\n",
+        stats.updates_applied, stats.answer_millis, stats.MsecPerUpdate(),
+        stats.queries_added, stats.index_millis, stats.MsecPerAdd(),
+        stats.queries_removed, stats.remove_millis, stats.MsecPerRemove());
+    std::printf(
+        "%llu notifications across %zu satisfied queries; %llu final-join "
+        "passes; %.1f MB engine state (%zu live queries)%s\n",
+        static_cast<unsigned long long>(stats.new_embeddings),
+        stats.queries_satisfied,
+        static_cast<unsigned long long>(engine->final_join_passes()),
+        static_cast<double>(stats.memory_bytes) / (1024.0 * 1024.0),
+        engine->NumQueries(), stats.timed_out ? " [timed out]" : "");
+    return 0;
   }
+
+  std::printf("dataset %s: %zu updates, %zu vertices\n", w.name.c_str(),
+              w.stream.size(), w.stream.CountVertices(w.stream.size()));
   std::printf("engine %s: %zu continuous queries registered\n",
               engine->name().c_str(), engine->NumQueries());
 
