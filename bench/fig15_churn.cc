@@ -41,7 +41,8 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
     ChurnCellResult cell =
         RunChurnCell(kind, base.queries, pool.queries, w.stream, churn_every,
-                     opts.budget_seconds, opts.batch, opts.threads);
+                     opts.budget_seconds, opts.batch, opts.threads,
+                     opts.shared_finalize);
     const MixedRunStats& s = cell.stats;
     const double upd_per_sec =
         s.answer_millis <= 0.0 ? 0.0 : s.updates_applied * 1000.0 / s.answer_millis;
@@ -72,7 +73,10 @@ int main(int argc, char** argv) {
         .Add("queries_added", static_cast<uint64_t>(s.queries_added))
         .Add("queries_removed", static_cast<uint64_t>(s.queries_removed))
         .Add("updates_applied", static_cast<uint64_t>(s.updates_applied))
+        .Add("partial", static_cast<uint64_t>(s.timed_out ? 1 : 0))
         .Add("memory_bytes", static_cast<uint64_t>(s.memory_bytes))
+        .Add("final_join_passes", cell.final_join_passes)
+        .Add("shared_finalize_groups", cell.shared_finalize_groups)
         .Emit();
   }
   std::printf("\n");

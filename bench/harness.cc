@@ -17,7 +17,7 @@ BenchOptions BenchOptions::FromArgs(int argc, char** argv) {
   Flags flags = Flags::Parse(argc, argv);
   static const char* kKnown[] = {"full",    "budget-sec", "cell-budget-sec",
                                  "seed",    "csv",        "batch",
-                                 "threads", "help"};
+                                 "threads", "no-shared-finalize", "help"};
   bool usage_error = false;
   for (const std::string& name : flags.Names()) {
     if (std::find_if(std::begin(kKnown), std::end(kKnown),
@@ -29,11 +29,12 @@ BenchOptions BenchOptions::FromArgs(int argc, char** argv) {
   if (usage_error || flags.Has("help")) {
     std::fprintf(stderr,
                  "bench flags: --full --budget-sec=S --cell-budget-sec=S "
-                 "--seed=N --csv --batch=N --threads=N\n");
+                 "--seed=N --csv --batch=N --threads=N --no-shared-finalize\n");
     std::exit(usage_error ? 2 : 0);
   }
   BenchOptions opts;
   opts.full = flags.GetBool("full", false);
+  opts.shared_finalize = !flags.GetBool("no-shared-finalize", false);
   opts.budget_seconds =
       flags.GetDouble("budget-sec", opts.full ? 86400.0 : 8.0);
   opts.cell_budget_seconds =
@@ -50,13 +51,15 @@ GrowthSeries RunGrowthSeries(EngineKind kind,
                              const std::vector<QueryPattern>& queries,
                              const UpdateStream& stream,
                              const std::vector<size_t>& checkpoints,
-                             double budget_seconds, size_t batch, int threads) {
+                             double budget_seconds, size_t batch, int threads,
+                             bool shared_finalize) {
   GrowthSeries series;
   series.kind = kind;
   series.segment_ms.assign(checkpoints.size(), std::nan(""));
   series.partial.assign(checkpoints.size(), false);
 
   auto engine = CreateEngine(kind);
+  engine->SetSharedFinalize(shared_finalize);
   series.index_stats = IndexQueries(*engine, queries);
 
   Budget budget;
@@ -100,14 +103,16 @@ GrowthSeries RunGrowthSeries(EngineKind kind,
   series.updates_applied = pos;
   series.memory_bytes = engine->MemoryBytes();
   series.final_join_passes = engine->final_join_passes();
+  series.shared_finalize_groups = engine->shared_finalize_groups();
   return series;
 }
 
 CellResult RunCell(EngineKind kind, const std::vector<QueryPattern>& queries,
                    const UpdateStream& stream, double budget_seconds,
-                   size_t batch, int threads) {
+                   size_t batch, int threads, bool shared_finalize) {
   CellResult cell;
   auto engine = CreateEngine(kind);
+  engine->SetSharedFinalize(shared_finalize);
   cell.index_stats = IndexQueries(*engine, queries);
   RunConfig config;
   config.budget_seconds = budget_seconds;
@@ -120,6 +125,7 @@ CellResult RunCell(EngineKind kind, const std::vector<QueryPattern>& queries,
   cell.memory_bytes = stats.memory_bytes;
   cell.new_embeddings = stats.new_embeddings;
   cell.final_join_passes = engine->final_join_passes();
+  cell.shared_finalize_groups = engine->shared_finalize_groups();
   cell.queries_satisfied = stats.queries_satisfied;
   return cell;
 }
@@ -128,9 +134,11 @@ ChurnCellResult RunChurnCell(EngineKind kind,
                              const std::vector<QueryPattern>& base,
                              const std::vector<QueryPattern>& pool,
                              const UpdateStream& stream, size_t churn_every,
-                             double budget_seconds, size_t batch, int threads) {
+                             double budget_seconds, size_t batch, int threads,
+                             bool shared_finalize) {
   ChurnCellResult cell;
   auto engine = CreateEngine(kind);
+  engine->SetSharedFinalize(shared_finalize);
   cell.initial_index = IndexQueries(*engine, base);
   cell.memory_after_index = engine->MemoryBytes();
 
@@ -160,6 +168,8 @@ ChurnCellResult RunChurnCell(EngineKind kind,
   config.batch_threads = threads;
   cell.stats = RunMixedStream(*engine, events, config);
   cell.live_queries_end = engine->NumQueries();
+  cell.final_join_passes = engine->final_join_passes();
+  cell.shared_finalize_groups = engine->shared_finalize_groups();
   return cell;
 }
 
@@ -214,6 +224,8 @@ void PrintHeader(const std::string& figure, const std::string& caption,
   if (opts.batch > 1)
     std::printf("batched execution: ApplyBatch window=%zu threads=%d\n",
                 opts.batch, opts.threads);
+  if (!opts.shared_finalize)
+    std::printf("shared window finalization DISABLED (per-query passes)\n");
   std::printf("cells marked '*' exceeded the time budget (paper's timeout marker);\n");
   std::printf("a value with '*' is the average over the prefix processed.\n");
   std::printf("==============================================================\n");
@@ -275,7 +287,8 @@ void RunGrowthFigure(const std::string& figure, const std::string& caption,
     std::fflush(stdout);
     GrowthSeries s =
         RunGrowthSeries(kind, qs.queries, w.stream, checkpoints,
-                        opts.budget_seconds, opts.batch, opts.threads);
+                        opts.budget_seconds, opts.batch, opts.threads,
+                        opts.shared_finalize);
     std::printf(" %zu/%zu updates, %.0f updates/s, %.1f MB, %llu new embeddings\n",
                 s.updates_applied, total_updates, s.UpdatesPerSec(),
                 static_cast<double>(s.memory_bytes) / (1024.0 * 1024.0),
@@ -285,8 +298,10 @@ void RunGrowthFigure(const std::string& figure, const std::string& caption,
         .Add("engine", EngineKindName(kind))
         .Add("updates_per_sec", s.UpdatesPerSec())
         .Add("updates_applied", static_cast<uint64_t>(s.updates_applied))
+        .Add("partial", static_cast<uint64_t>(s.updates_applied < total_updates ? 1 : 0))
         .Add("memory_bytes", static_cast<uint64_t>(s.memory_bytes))
         .Add("final_join_passes", s.final_join_passes)
+        .Add("shared_finalize_groups", s.shared_finalize_groups)
         .Emit();
     all.push_back(std::move(s));
   }

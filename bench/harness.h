@@ -32,6 +32,10 @@ struct BenchOptions {
   bool csv = false;                  ///< Also print CSV rows.
   size_t batch = 1;                  ///< ApplyBatch window; 1 = per-update.
   int threads = 1;                   ///< Batch shard worker threads.
+  /// Cross-query shared window finalization (DESIGN.md §9); the engines'
+  /// default. `--no-shared-finalize` selects the per-(query, window) passes
+  /// for A/B measurement.
+  bool shared_finalize = true;
 
   /// Strict parse: an unknown `--flag` prints the flag set and exits with
   /// status 2 (a typo like `--ful` must not silently run quick mode).
@@ -52,7 +56,8 @@ struct GrowthSeries {
   size_t memory_bytes = 0;
   size_t updates_applied = 0;
   uint64_t new_embeddings = 0;
-  uint64_t final_join_passes = 0;      ///< Per-query final-join passes.
+  uint64_t final_join_passes = 0;      ///< Final-join passes (see engine.h).
+  uint64_t shared_finalize_groups = 0; ///< Passes fanned out to ≥ 2 queries.
   double answer_millis = 0.0;          ///< Total answering wall clock.
 
   /// Throughput counter: processed updates per second of answering time.
@@ -70,7 +75,7 @@ GrowthSeries RunGrowthSeries(EngineKind kind,
                              const UpdateStream& stream,
                              const std::vector<size_t>& checkpoints,
                              double budget_seconds, size_t batch = 1,
-                             int threads = 1);
+                             int threads = 1, bool shared_finalize = true);
 
 /// One independent cell: average ms/update over the whole stream (or the
 /// prefix processed within budget — flagged `partial`).
@@ -80,7 +85,8 @@ struct CellResult {
   size_t updates_applied = 0;
   size_t memory_bytes = 0;
   uint64_t new_embeddings = 0;
-  uint64_t final_join_passes = 0;  ///< Per-query final-join passes.
+  uint64_t final_join_passes = 0;      ///< Final-join passes (see engine.h).
+  uint64_t shared_finalize_groups = 0; ///< Passes fanned out to ≥ 2 queries.
   size_t queries_satisfied = 0;
   IndexStats index_stats;
 
@@ -92,7 +98,8 @@ struct CellResult {
 
 CellResult RunCell(EngineKind kind, const std::vector<QueryPattern>& queries,
                    const UpdateStream& stream, double budget_seconds,
-                   size_t batch = 1, int threads = 1);
+                   size_t batch = 1, int threads = 1,
+                   bool shared_finalize = true);
 
 /// One query-churn cell (the dynamic-QDB scenario): `base` queries are
 /// registered up front (timed as the indexing phase, Fig. 13(b) style),
@@ -106,6 +113,8 @@ struct ChurnCellResult {
   IndexStats initial_index;          ///< Up-front registration of `base`.
   size_t memory_after_index = 0;     ///< Engine bytes before the stream.
   size_t live_queries_end = 0;       ///< |QDB| after the run.
+  uint64_t final_join_passes = 0;      ///< Final-join passes (see engine.h).
+  uint64_t shared_finalize_groups = 0; ///< Passes fanned out to ≥ 2 queries.
 };
 
 ChurnCellResult RunChurnCell(EngineKind kind,
@@ -113,7 +122,7 @@ ChurnCellResult RunChurnCell(EngineKind kind,
                              const std::vector<QueryPattern>& pool,
                              const UpdateStream& stream, size_t churn_every,
                              double budget_seconds, size_t batch = 1,
-                             int threads = 1);
+                             int threads = 1, bool shared_finalize = true);
 
 /// Formats a cell/segment value with the paper's timeout marker.
 std::string FormatMs(double ms, bool partial);

@@ -120,9 +120,25 @@ void IncEngine::FinalizeWindow(WindowContext& ctx, UpdateResult* window_results)
 
     if (BudgetExceededNow()) return;  // timeout: partial, flagged by the caller
 
+    // Shared finalization (§9): signature-equal queries share views, seed
+    // positions, and binding specs, so one member's seeded evaluation (its
+    // memoized tag list) serves the whole group.
+    SharedFinalizeMemo* memo = SharedMemoFor(qid, wctx);
+    std::vector<uint64_t> window_key;
+    if (memo != nullptr) {
+      window_key.reserve(j - i);
+      for (size_t k = i; k < j; ++k) window_key.push_back(wctx.affected[k].second);
+      if (memo->evaluated && memo->runtime_key == window_key) {
+        ReplaySharedTags(*memo, qid, window_results);
+        i = j;
+        continue;
+      }
+    }
+
     QueryEntry& entry = queries_.at(qid);
     const QueryPattern& q = entry.pattern;
     if (!AllViewsNonEmpty(entry)) {
+      if (memo != nullptr) memo->Store(/*ran=*/false, std::move(window_key), nullptr);
       i = j;
       continue;
     }
@@ -153,13 +169,17 @@ void IncEngine::FinalizeWindow(WindowContext& ctx, UpdateResult* window_results)
       }
     }
     if (!any_touched) {
+      if (memo != nullptr) memo->Store(/*ran=*/false, std::move(window_key), nullptr);
       i = j;
       continue;
     }
     NoteFinalJoinPass();
 
     // One tagged seeded evaluation per (query, window): batched deltas for
-    // the touched paths, each other path re-materialized at most once.
+    // the touched paths, each other path re-materialized at most once. The
+    // probes stand in for one per group member (window-cache build decisions
+    // stay identical to the per-query pipeline's).
+    const uint32_t probe_weight = SharedGroupSize(qid);
     std::vector<std::unique_ptr<Relation>> deltas(num_paths);
     std::vector<std::unique_ptr<Relation>> fulls(num_paths);
     bool infeasible = false;
@@ -167,12 +187,12 @@ void IncEngine::FinalizeWindow(WindowContext& ctx, UpdateResult* window_results)
       if (!touched[pi]) continue;
       deltas[pi] =
           MaterializePathDeltaBatch(entry, pi, seeds, IndexSource(), wctx.prov,
-                                    transient_bytes);
+                                    transient_bytes, probe_weight);
     }
     auto full_of = [&](size_t pi) -> Relation* {
       if (fulls[pi] == nullptr)
         fulls[pi] = MaterializeFullPathTagged(entry, pi, IndexSource(), wctx.prov,
-                                              transient_bytes);
+                                              transient_bytes, probe_weight);
       return fulls[pi].get();
     };
 
@@ -222,6 +242,7 @@ void IncEngine::FinalizeWindow(WindowContext& ctx, UpdateResult* window_results)
       GS_DCHECK(tag > 0);
       tags.push_back(tag);
     }
+    if (memo != nullptr) memo->Store(/*ran=*/true, std::move(window_key), &tags);
     ScatterTagCounts(tags, qid, window_results);
 
     NotePeakTransient(transient_bytes + assignments.MemoryBytes());

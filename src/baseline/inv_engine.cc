@@ -117,15 +117,42 @@ void InvEngine::FinalizeWindow(WindowContext& ctx, UpdateResult* window_results)
     const QueryId qid = wctx.affected[i].first;
     size_t j = i;
     while (j < wctx.affected.size() && wctx.affected[j].first == qid) ++j;
-    i = j;  // positions are implied by the provenance histogram below
 
     if (BudgetExceededNow()) return;  // timeout: partial, flagged by the caller
+
+    // Shared finalization (§9): signature-equal queries see the same views
+    // and the same affecting positions, so the memoized tag histogram (and
+    // end-of-window total) of the group's first member serves the rest.
+    SharedFinalizeMemo* memo = SharedMemoFor(qid, wctx);
+    std::vector<uint64_t> window_key;
+    if (memo != nullptr) {
+      window_key.reserve(j - i);
+      for (size_t k = i; k < j; ++k) window_key.push_back(wctx.affected[k].second);
+    }
+    i = j;  // positions are implied by the provenance histogram below
+    if (memo != nullptr && memo->evaluated && memo->runtime_key == window_key) {
+      if (memo->total == 0) {  // no-op for every member (see below)
+        if (memo->pass_ran) NoteSharedServed(*memo);
+        continue;
+      }
+      QueryEntry& entry = queries_.at(qid);
+      // Assignments predating the window are exactly the ones this member's
+      // previous evaluations already counted — same invariant as the
+      // evaluating member's pre_window check.
+      GS_DCHECK(entry.last_count == memo->total - memo->tags.size());
+      ReplaySharedTags(*memo, qid, window_results);
+      entry.last_count = memo->total;
+      continue;
+    }
 
     QueryEntry& entry = queries_.at(qid);
     // End-of-window candidate filter: views only grow inside an insert
     // window, so an empty view here means zero embeddings at every member
     // position (sequential evaluation would have found total == 0 each time).
-    if (!AllViewsNonEmpty(entry)) continue;
+    if (!AllViewsNonEmpty(entry)) {
+      if (memo != nullptr) memo->Store(/*ran=*/false, std::move(window_key), nullptr);
+      continue;
+    }
     NoteFinalJoinPass();
 
     // One tagged full evaluation per (query, window): the per-update diffs
@@ -136,9 +163,12 @@ void InvEngine::FinalizeWindow(WindowContext& ctx, UpdateResult* window_results)
     size_t transient_bytes = 0;
     std::vector<std::unique_ptr<Relation>> path_views;
     bool died = false;
+    // This pass's view probes stand in for one per group member (window-
+    // cache build decisions stay identical to the per-query pipeline's).
+    const uint32_t probe_weight = SharedGroupSize(qid);
     for (size_t pi = 0; pi < entry.paths.size(); ++pi) {
       auto view = MaterializeFullPathTagged(entry, pi, IndexSource(), wctx.prov,
-                                            transient_bytes);
+                                            transient_bytes, probe_weight);
       if (view == nullptr) {
         died = true;
         break;
@@ -148,7 +178,9 @@ void InvEngine::FinalizeWindow(WindowContext& ctx, UpdateResult* window_results)
     NotePeakTransient(transient_bytes);
     if (died) {
       if (BudgetExceededNow()) return;
-      continue;  // a path chain died: total is 0 at every position
+      // A path chain died: total is 0 at every position (for every member).
+      if (memo != nullptr) memo->Store(/*ran=*/true, std::move(window_key), nullptr);
+      continue;
     }
 
     OwnedBindings acc = PathRowsToBindingsTagged(
@@ -161,7 +193,10 @@ void InvEngine::FinalizeWindow(WindowContext& ctx, UpdateResult* window_results)
                                     other.All(), TagsOfProvenance(*other.rows));
       if (BudgetExceededNow()) return;
     }
-    if (acc.Empty()) continue;
+    if (acc.Empty()) {
+      if (memo != nullptr) memo->Store(/*ran=*/true, std::move(window_key), nullptr);
+      continue;
+    }
 
     // Count assignments passing the §4.3 property constraints, split by tag.
     const uint32_t num_vertices = static_cast<uint32_t>(entry.pattern.NumVertices());
@@ -184,11 +219,15 @@ void InvEngine::FinalizeWindow(WindowContext& ctx, UpdateResult* window_results)
       else
         tags.push_back(tag);
     }
-    if (total == 0) continue;
+    if (total == 0) {
+      if (memo != nullptr) memo->Store(/*ran=*/true, std::move(window_key), nullptr);
+      continue;
+    }
     // Assignments predating the window are exactly the ones the previous
     // evaluations already counted.
     GS_DCHECK(pre_window == entry.last_count);
     (void)pre_window;
+    if (memo != nullptr) memo->Store(/*ran=*/true, std::move(window_key), &tags, total);
     ScatterTagCounts(tags, qid, window_results);
     entry.last_count = total;
   }

@@ -192,6 +192,25 @@ std::unique_ptr<Relation> InvertedIndexEngineBase::MaterializePathDelta(
   return delta;
 }
 
+bool InvertedIndexEngineBase::EncodeFinalizeSignature(QueryId qid,
+                                                      std::vector<uint64_t>& out) {
+  const QueryEntry& entry = queries_.at(qid);
+  for (size_t pi = 0; pi < entry.paths.size(); ++pi) {
+    out.push_back(~1ull);  // path delimiter: (a)(b,c) and (a,b)(c) differ
+    for (const GenericEdgePattern& p : entry.signatures[pi])
+      out.push_back(PatternElem(PatternId(p)));
+    out.push_back(~2ull);  // view ids above, binding spec below
+    for (uint32_t v : entry.paths[pi].vertices) out.push_back(v);
+  }
+  AppendFilterSignature(entry.pattern, out);
+  return true;
+}
+
+void InvertedIndexEngineBase::ListQueryIds(std::vector<QueryId>& out) const {
+  out.reserve(out.size() + queries_.size());
+  for (const auto& [qid, entry] : queries_) out.push_back(qid);
+}
+
 void InvertedIndexEngineBase::ProcessInsertDelta(const EdgeUpdate& u,
                                                  WindowContext& ctx,
                                                  UpdateResult& result) {
@@ -203,7 +222,7 @@ void InvertedIndexEngineBase::ProcessInsertDelta(const EdgeUpdate& u,
 
 std::unique_ptr<Relation> InvertedIndexEngineBase::MaterializeFullPathTagged(
     const QueryEntry& entry, size_t pi, JoinIndexSource* cache,
-    const WindowProvenance& prov, size_t& transient_bytes) {
+    const WindowProvenance& prov, size_t& transient_bytes, uint32_t touch_weight) {
   const auto& sig = entry.signatures[pi];
   const Relation* first = FindBaseView(sig[0]);
   GS_DCHECK(first != nullptr);
@@ -224,7 +243,7 @@ std::unique_ptr<Relation> InvertedIndexEngineBase::MaterializeFullPathTagged(
     auto next = std::make_unique<Relation>(current->arity() + 1);
     next->EnableProvenance();
     ExtendRightDelta(DeltaBatch{AllRows(*current), TagsOfProvenance(*current)},
-                     *base, cache ? cache->Get(base, 0) : nullptr,
+                     *base, cache ? cache->Get(base, 0, touch_weight) : nullptr,
                      prov.TagsFor(base), *next);
     transient_bytes += next->MemoryBytes();
     current = std::move(next);
@@ -239,7 +258,8 @@ std::unique_ptr<Relation> InvertedIndexEngineBase::MaterializeFullPathTagged(
 std::unique_ptr<Relation> InvertedIndexEngineBase::MaterializePathDeltaBatch(
     const QueryEntry& entry, size_t pi,
     const std::vector<std::pair<uint32_t, const EdgeUpdate*>>& seeds,
-    JoinIndexSource* cache, const WindowProvenance& prov, size_t& transient_bytes) {
+    JoinIndexSource* cache, const WindowProvenance& prov, size_t& transient_bytes,
+    uint32_t touch_weight) {
   const auto& sig = entry.signatures[pi];
   const uint32_t arity = static_cast<uint32_t>(sig.size()) + 1;
   auto delta = std::make_unique<Relation>(arity);
@@ -264,8 +284,8 @@ std::unique_ptr<Relation> InvertedIndexEngineBase::MaterializePathDeltaBatch(
       auto next = std::make_unique<Relation>(cur->arity() + 1);
       next->EnableProvenance();
       ExtendLeftDelta(DeltaBatch{AllRows(*cur), TagsOfProvenance(*cur)}, *base,
-                      cache ? cache->Get(base, 1) : nullptr, prov.TagsFor(base),
-                      *next);
+                      cache ? cache->Get(base, 1, touch_weight) : nullptr,
+                      prov.TagsFor(base), *next);
       transient_bytes += next->MemoryBytes();
       cur = std::move(next);
       dead = cur->Empty();
@@ -275,8 +295,8 @@ std::unique_ptr<Relation> InvertedIndexEngineBase::MaterializePathDeltaBatch(
       auto next = std::make_unique<Relation>(cur->arity() + 1);
       next->EnableProvenance();
       ExtendRightDelta(DeltaBatch{AllRows(*cur), TagsOfProvenance(*cur)}, *base,
-                       cache ? cache->Get(base, 0) : nullptr, prov.TagsFor(base),
-                       *next);
+                       cache ? cache->Get(base, 0, touch_weight) : nullptr,
+                       prov.TagsFor(base), *next);
       transient_bytes += next->MemoryBytes();
       cur = std::move(next);
       dead = cur->Empty();

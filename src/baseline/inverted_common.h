@@ -78,6 +78,15 @@ class InvertedIndexEngineBase : public ViewEngineBase {
   void ProcessInsertDelta(const EdgeUpdate& u, WindowContext& ctx,
                           UpdateResult& result) override;
 
+  /// Shared-finalize signature (DESIGN.md §9): per covering path the ordered
+  /// shared base-view ids (from the refcounted view registry's pattern ids)
+  /// and the path's vertex map (the binding spec), plus the filter spec.
+  /// Equal encodings mean identical MaterializeFullPathTagged /
+  /// MaterializePathDeltaBatch chains and identical final joins — INV and
+  /// INC both qualify, so the hook lives here.
+  bool EncodeFinalizeSignature(QueryId qid, std::vector<uint64_t>& out) override;
+  void ListQueryIds(std::vector<QueryId>& out) const override;
+
   struct QueryEntry {
     QueryPattern pattern;
     std::vector<CoveringPath> paths;
@@ -115,10 +124,13 @@ class InvertedIndexEngineBase : public ViewEngineBase {
   /// relation carries a provenance column — each row's tag is the max
   /// window position over its contributing base-view rows (0 = the row
   /// existed before the window), derived from `prov`'s checkpoints.
+  /// `touch_weight` > 1 marks a shared finalize chain standing in for that
+  /// many per-query chains (§9; window-cache build decisions stay put).
   std::unique_ptr<Relation> MaterializeFullPathTagged(const QueryEntry& entry,
                                                       size_t pi, JoinIndexSource* cache,
                                                       const WindowProvenance& prov,
-                                                      size_t& transient_bytes);
+                                                      size_t& transient_bytes,
+                                                      uint32_t touch_weight = 1);
 
   /// Window-batched MaterializePathDelta: seeds *every* window update in
   /// `seeds` ((window position, update) pairs, ascending) that matches each
@@ -129,7 +141,8 @@ class InvertedIndexEngineBase : public ViewEngineBase {
   std::unique_ptr<Relation> MaterializePathDeltaBatch(
       const QueryEntry& entry, size_t pi,
       const std::vector<std::pair<uint32_t, const EdgeUpdate*>>& seeds,
-      JoinIndexSource* cache, const WindowProvenance& prov, size_t& transient_bytes);
+      JoinIndexSource* cache, const WindowProvenance& prov, size_t& transient_bytes,
+      uint32_t touch_weight = 1);
 
   std::unique_ptr<JoinCache> cache_;  ///< Non-null for INV+/INC+.
   std::unordered_map<QueryId, QueryEntry> queries_;

@@ -76,13 +76,30 @@ class ContinuousEngine {
   /// Number of registered queries.
   virtual size_t NumQueries() const = 0;
 
-  /// Diagnostic counter: per-query final-join passes executed so far (one
-  /// pass = joining one query's covering-path views to produce matches).
-  /// The window-delta batch pipeline runs exactly one pass per (query,
-  /// window) where per-update execution runs one per (query, update) —
-  /// tests and the bench harness read this to verify the batching actually
-  /// batched. Engines without a final-join stage report 0.
+  /// Diagnostic counter: final-join passes executed so far (one pass =
+  /// joining one covering-path view set to produce matches). Per-update
+  /// execution runs one pass per (query, update); the window-delta batch
+  /// pipeline runs one per (query, window); with shared finalization
+  /// (SetSharedFinalize, the default for the view engines) one per
+  /// (covering-path signature group, window) — N queries joining the same
+  /// shared views collapse into a single pass. Tests and the bench harness
+  /// read this to verify the batching/sharing actually happened. Engines
+  /// without a final-join stage report 0.
   virtual uint64_t final_join_passes() const { return 0; }
+
+  /// Diagnostic counter companion to final_join_passes: window-finalize
+  /// passes whose result was fanned out to two or more queries (each such
+  /// pass replaced ≥ 2 per-query passes). 0 when sharing is off, when no
+  /// two live queries share a covering-path signature, or for engines
+  /// without a final-join stage.
+  virtual uint64_t shared_finalize_groups() const { return 0; }
+
+  /// Toggles cross-query shared window finalization (on by default for the
+  /// view engines). With sharing off every window finalize runs one pass
+  /// per (query, window) — the PR 3 behavior; results are byte-identical
+  /// either way (the agreement suite holds the two modes against each
+  /// other). Must not be called while a batch is in flight.
+  virtual void SetSharedFinalize(bool enabled) { (void)enabled; }
 
   /// Approximate bytes of all retained structures, including the peak
   /// transient join scratch observed so far (Fig. 13(c) accounting).

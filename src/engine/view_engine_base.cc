@@ -1,6 +1,7 @@
 #include "engine/view_engine_base.h"
 
 #include <algorithm>
+#include <map>
 #include <numeric>
 
 #include "common/logging.h"
@@ -167,6 +168,57 @@ void ViewEngineBase::FinalizeWindow(WindowContext& ctx, UpdateResult* window_res
   (void)window_results;
 }
 
+void ViewEngineBase::EnsureFinalizeGroups() {
+  if (!finalize_groups_dirty_) return;
+  finalize_groups_dirty_ = false;
+  finalize_groups_.clear();
+  group_of_query_.clear();
+  if (!shared_finalize_enabled_) return;
+
+  std::vector<QueryId> qids;
+  ListQueryIds(qids);
+  std::sort(qids.begin(), qids.end());
+
+  // Full-key grouping (no hashing shortcut): a spurious collision would fan
+  // one query's results out to an unrelated query, so keys compare by value.
+  // Rebuilds are query-lifecycle-rate, not update-rate — an ordered map over
+  // the encoded keys is plenty.
+  std::map<std::vector<uint64_t>, std::vector<QueryId>> by_key;
+  std::vector<uint64_t> key;
+  for (QueryId qid : qids) {
+    key.clear();
+    if (!EncodeFinalizeSignature(qid, key)) continue;
+    by_key[key].push_back(qid);  // members stay ascending (qids are sorted)
+  }
+  for (auto& [k, members] : by_key) {
+    if (members.size() < 2) continue;  // singletons take the per-query path
+    auto group = std::make_unique<FinalizeGroup>();
+    group->members = std::move(members);
+    for (QueryId qid : group->members) group_of_query_[qid] = group.get();
+    finalize_groups_.push_back(std::move(group));
+  }
+}
+
+ViewEngineBase::SharedFinalizeMemo* ViewEngineBase::SharedMemoFor(
+    QueryId qid, WindowContext& ctx) const {
+  if (group_of_query_.empty()) return nullptr;
+  auto it = group_of_query_.find(qid);
+  if (it == group_of_query_.end()) return nullptr;
+  return &ctx.shared[it->second];
+}
+
+void ViewEngineBase::AppendFilterSignature(const QueryPattern& q,
+                                           std::vector<uint64_t>& out) {
+  out.push_back(~0ull);  // section marker: filter spec follows
+  out.push_back(q.NumVertices());
+  for (const auto& c : q.constraints()) {
+    out.push_back(c.vertex);
+    out.push_back(c.key);
+    out.push_back(static_cast<uint64_t>(c.op));
+    out.push_back(static_cast<uint64_t>(c.value));
+  }
+}
+
 void ViewEngineBase::ScatterTagCounts(std::vector<uint32_t>& tags, QueryId qid,
                                       UpdateResult* window_results) {
   std::sort(tags.begin(), tags.end());
@@ -193,6 +245,10 @@ bool ViewEngineBase::RunInsertWindowImpl(const EdgeUpdate* updates, size_t lo,
   // Window-delta execution needs ≥ 2 updates to amortize anything; single-
   // insert windows take the per-update path unchanged.
   const bool delta = count > 1 && SupportsWindowDelta();
+
+  // Shared finalization groups are read (immutably) by FinalizeWindow, which
+  // may run on shard threads — rebuild on the coordinator, like the reaches.
+  if (delta) EnsureFinalizeGroups();
 
   // On a mid-window timeout the pre-pass marked edges we never applied;
   // un-mark the suffix so it leaves no trace (ApplyBatch contract).

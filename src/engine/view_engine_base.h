@@ -46,6 +46,19 @@ namespace gstream {
 ///    been produced at by sequential execution, so grouping them by tag
 ///    reconstructs byte-identical per-update results. The per-update path
 ///    remains the `--batch 1` / single-insert degenerate case.
+///  * shared window finalization (DESIGN.md §9): live queries are grouped by
+///    their covering-path join signature — the ordered shared-view ids plus
+///    the join/filter spec of the final join (`EncodeFinalizeSignature`).
+///    Queries with equal signatures run *identical* finalize computations,
+///    so each engine's FinalizeWindow evaluates one member per group per
+///    window, memoizes the tagged result in the window context, and fans the
+///    per-position counts out to every other member — collapsing N
+///    per-query passes into one per distinct signature. The grouping is
+///    rebuilt lazily after AddQuery/RemoveQuery (MarkReachDirty doubles as
+///    the invalidation hook) and computed on the coordinator before shards
+///    fan out; signature-equal queries always share a shard (their
+///    footprints overlap on the very views the signature names), so the
+///    shard-local memo sees every member.
 class ViewEngineBase : public ContinuousEngine {
  public:
   std::vector<UpdateResult> ApplyBatch(const EdgeUpdate* updates, size_t n) override;
@@ -58,7 +71,55 @@ class ViewEngineBase : public ContinuousEngine {
     return final_join_passes_.load(std::memory_order_relaxed);
   }
 
+  uint64_t shared_finalize_groups() const override {
+    return shared_finalize_groups_.load(std::memory_order_relaxed);
+  }
+
+  void SetSharedFinalize(bool enabled) override {
+    shared_finalize_enabled_ = enabled;
+    finalize_groups_dirty_ = true;
+  }
+
  protected:
+  /// One shared-finalize group: the live queries (ascending) whose finalize
+  /// signatures are equal. Only multi-member groups are materialized —
+  /// singletons take the plain per-query path.
+  struct FinalizeGroup {
+    std::vector<QueryId> members;
+  };
+
+  /// Window-local memo of one group's finalize evaluation, held in the
+  /// shard's WindowContext: the first member processed evaluates and stores
+  /// the tagged outcome, every later member replays it. `runtime_key` pins
+  /// the window-specific inputs (affected covering paths / seed positions) —
+  /// signature-equal queries always agree on it, but a mismatch falls back
+  /// to an independent evaluation rather than trusting the memo.
+  struct SharedFinalizeMemo {
+    bool evaluated = false;
+    bool pass_ran = false;       ///< The evaluation counted a final-join pass.
+    bool shared_counted = false; ///< Already counted in shared_finalize_groups.
+    std::vector<uint64_t> runtime_key;
+    /// Window position per new assignment (ScatterTagCounts input).
+    std::vector<uint32_t> tags;
+    /// Engine-specific scalar rider (INV: end-of-window embedding total).
+    uint64_t total = 0;
+
+    /// Records one evaluation outcome (the single writer path — every
+    /// engine's FinalizeWindow stores through here so the fields cannot be
+    /// half-updated): `t == nullptr` means a no-op outcome (no tags).
+    void Store(bool ran, std::vector<uint64_t>&& key,
+               const std::vector<uint32_t>* t, uint64_t tot = 0) {
+      evaluated = true;
+      pass_ran = ran;
+      runtime_key = std::move(key);
+      total = tot;
+      if (t != nullptr)
+        tags = *t;
+      else
+        tags.clear();
+    }
+  };
+
   /// Per-shard context of one delta window: the provenance checkpoints of
   /// every relation the shard's updates touch, plus the engine's deferred-
   /// finalize state (subclasses extend it). One instance per shard, so no
@@ -70,6 +131,8 @@ class ViewEngineBase : public ContinuousEngine {
     /// coordinator before the first ProcessInsertDelta).
     const EdgeUpdate* window_updates = nullptr;
     WindowProvenance prov;
+    /// Shared-finalize memos of the groups this shard finalizes.
+    std::unordered_map<const FinalizeGroup*, SharedFinalizeMemo> shared;
   };
 
   /// True when the engine implements the window-delta protocol below;
@@ -99,6 +162,65 @@ class ViewEngineBase : public ContinuousEngine {
   void NoteFinalJoinPass() {
     final_join_passes_.fetch_add(1, std::memory_order_relaxed);
   }
+
+  // ----- shared-finalize planner (DESIGN.md §9) -----
+
+  /// Engine hook: append a canonical encoding of `qid`'s window-finalize
+  /// computation — the ordered ids of the shared views its final join reads
+  /// plus the join/filter spec (binding schemas, property constraints).
+  /// Two queries with equal encodings MUST produce identical FinalizeWindow
+  /// outcomes for any window. Return false to opt the query out of sharing.
+  /// Coordinator-thread only (may intern pattern ids).
+  virtual bool EncodeFinalizeSignature(QueryId qid, std::vector<uint64_t>& out) {
+    (void)qid;
+    (void)out;
+    return false;
+  }
+
+  /// Appends the registered query ids (any order).
+  virtual void ListQueryIds(std::vector<QueryId>& out) const = 0;
+
+  /// Rebuilds the signature grouping when dirty (after AddQuery/RemoveQuery
+  /// or a SetSharedFinalize flip). Coordinator-thread only — runs before a
+  /// delta window fans out so shard threads read the groups immutably.
+  void EnsureFinalizeGroups();
+
+  /// The memo slot of `qid`'s group in this window, or nullptr when sharing
+  /// does not apply (disabled, unshareable signature, or singleton group).
+  SharedFinalizeMemo* SharedMemoFor(QueryId qid, WindowContext& ctx) const;
+
+  /// Member count of `qid`'s signature group, 1 when sharing does not apply:
+  /// the touch weight a shared finalize pass carries into the window join
+  /// cache (see JoinIndexSource::Get's weighted overload).
+  uint32_t SharedGroupSize(QueryId qid) const {
+    auto it = group_of_query_.find(qid);
+    return it == group_of_query_.end()
+               ? 1u
+               : static_cast<uint32_t>(it->second->members.size());
+  }
+
+  /// Counts `memo`'s pass as shared (first fan-out only): the memoized
+  /// evaluation just served a second query.
+  void NoteSharedServed(SharedFinalizeMemo& memo) {
+    if (memo.shared_counted) return;
+    memo.shared_counted = true;
+    shared_finalize_groups_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Replays a memoized group evaluation for `qid`: counts the fan-out and
+  /// scatters a copy of the memo's tags onto the window results. Call only
+  /// after matching `memo.runtime_key`.
+  void ReplaySharedTags(SharedFinalizeMemo& memo, QueryId qid,
+                        UpdateResult* window_results) {
+    if (memo.pass_ran) NoteSharedServed(memo);
+    std::vector<uint32_t> tags = memo.tags;
+    ScatterTagCounts(tags, qid, window_results);
+  }
+
+  /// Canonical encoding of the filter half of a finalize signature: the
+  /// assignment arity and the §4.3 property constraints. Shared by every
+  /// engine's EncodeFinalizeSignature so the filter spec cannot diverge.
+  static void AppendFilterSignature(const QueryPattern& q, std::vector<uint64_t>& out);
 
   /// Scatters one query's finalize output back onto the per-update results:
   /// sorts `tags` (1-based window positions, one per new assignment) and
@@ -135,10 +257,14 @@ class ViewEngineBase : public ContinuousEngine {
   virtual void BuildPatternReach() = 0;
 
   /// Invalidate (and release) the per-pattern reaches — call from
-  /// AddQueryImpl/RemoveQueryImpl; CollectFootprint rebuilds lazily.
+  /// AddQueryImpl/RemoveQueryImpl; CollectFootprint rebuilds lazily. Doubles
+  /// as the shared-finalize invalidation hook: the signature grouping is
+  /// exactly as stale as the reaches (both are pure functions of the live
+  /// query set), so one dirty mark covers both.
   void MarkReachDirty() {
     reach_dirty_ = true;
     pattern_reach_.clear();
+    finalize_groups_dirty_ = true;
   }
 
   /// The insert path of `ApplyUpdate` *after* the duplicate check. Must be
@@ -244,6 +370,15 @@ class ViewEngineBase : public ContinuousEngine {
   bool window_cache_enabled_ = false;
   std::unique_ptr<WindowJoinCache> window_cache_;
   std::atomic<uint64_t> final_join_passes_{0};
+  std::atomic<uint64_t> shared_finalize_groups_{0};
+
+  /// Shared-finalize planner state: multi-member signature groups and the
+  /// qid -> group index. Rebuilt by EnsureFinalizeGroups on the coordinator;
+  /// immutable while a window is in flight.
+  bool shared_finalize_enabled_ = true;
+  bool finalize_groups_dirty_ = true;
+  std::vector<std::unique_ptr<FinalizeGroup>> finalize_groups_;
+  std::unordered_map<QueryId, const FinalizeGroup*> group_of_query_;
 };
 
 }  // namespace gstream

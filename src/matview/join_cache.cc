@@ -38,12 +38,17 @@ size_t JoinCache::MemoryBytes() const {
   return bytes;
 }
 
-HashIndex* WindowJoinCache::Get(const Relation* rel, uint32_t col) {
+HashIndex* WindowJoinCache::Get(const Relation* rel, uint32_t col,
+                                uint32_t touch_weight) {
   HashIndex* index;
   {
     std::lock_guard<std::mutex> lock(mu_);
     Entry& entry = cache_.GetOrCreate(Key{rel, col});
-    if (++entry.touches < 2) return nullptr;  // first touch: caller scans
+    // A weighted touch stands for `touch_weight` per-query probes (shared
+    // finalization collapses them into one call); crediting them all keeps
+    // the build decision identical to the per-query pipeline's.
+    entry.touches += touch_weight;
+    if (entry.touches < 2) return nullptr;  // first touch: caller scans
     // Tiny views: a handful-of-rows scan beats paying the index build and
     // its CatchUp bookkeeping on every touch (ROADMAP §7.5 — plain TRIC's
     // batch overhead at small scales). Declining is result-neutral (an

@@ -25,6 +25,17 @@ class JoinIndexSource {
   /// A maintained index over `rel` column `col`, or nullptr when the source
   /// declines (callers fall back to the scan join).
   virtual HashIndex* Get(const Relation* rel, uint32_t col) = 0;
+
+  /// Weighted variant for shared window finalization (DESIGN.md §9): one
+  /// signature-group pass probes `rel` once where the per-query pipeline
+  /// would have probed it `touch_weight` times (once per member), so
+  /// touch-amortizing sources credit the full weight to keep their
+  /// build-vs-scan decisions identical to the unshared pipeline. Sources
+  /// that do not count touches ignore the weight.
+  virtual HashIndex* Get(const Relation* rel, uint32_t col, uint32_t touch_weight) {
+    (void)touch_weight;
+    return Get(rel, col);
+  }
 };
 
 /// The "+" extension (paper §4.2 "Caching"): instead of discarding the hash
@@ -97,7 +108,14 @@ class WindowJoinCache : public JoinIndexSource {
   /// many sits around a few dozen rows (micro_join's Window A/B pairs).
   static constexpr size_t kMinIndexRows = 16;
 
-  HashIndex* Get(const Relation* rel, uint32_t col) override;
+  HashIndex* Get(const Relation* rel, uint32_t col) override {
+    return Get(rel, col, 1);
+  }
+
+  /// Touch-counted Get: a shared-finalize pass serving a whole signature
+  /// group passes the group size, so the entry reaches the build threshold
+  /// exactly when the equivalent per-query passes would have.
+  HashIndex* Get(const Relation* rel, uint32_t col, uint32_t touch_weight) override;
 
   /// Approximate bytes of all indexes built this window (peak-transient
   /// accounting). Call from the coordinator only.

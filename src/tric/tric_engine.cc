@@ -431,6 +431,22 @@ std::pair<RowRange, RowTags> TricEngine::FullPathRangeTagged(
   return {AllRows(*info.filtered), wctx.prov.TagsFor(info.filtered.get())};
 }
 
+bool TricEngine::EncodeFinalizeSignature(QueryId qid, std::vector<uint64_t>& out) {
+  const QueryEntry& entry = queries_.at(qid);
+  for (const PathInfo& info : entry.paths) {
+    out.push_back(~1ull);  // path delimiter: (a)(b,c) and (a,b)(c) differ
+    out.push_back(info.terminal->seq);
+    for (uint32_t v : info.pos_to_vertex) out.push_back(v);
+  }
+  AppendFilterSignature(entry.pattern, out);
+  return true;
+}
+
+void TricEngine::ListQueryIds(std::vector<QueryId>& out) const {
+  out.reserve(out.size() + queries_.size());
+  for (const auto& [qid, entry] : queries_) out.push_back(qid);
+}
+
 void TricEngine::FinalizeWindow(WindowContext& ctx, UpdateResult* window_results) {
   TricWindowContext& wctx = static_cast<TricWindowContext&>(ctx);
   if (wctx.affected_terminals.empty()) return;
@@ -450,7 +466,26 @@ void TricEngine::FinalizeWindow(WindowContext& ctx, UpdateResult* window_results
 
     if (BudgetExceededNow()) return;  // timeout: partial, flagged by the caller
 
+    // Shared finalization (§9): signature-equal queries are affected through
+    // the same terminals, so the first member of a group evaluates and every
+    // later member replays the memoized tags — the window key (affected path
+    // set) double-checks that assumption at runtime.
+    SharedFinalizeMemo* memo = SharedMemoFor(qid, wctx);
+    std::vector<uint64_t> window_key;
+    if (memo != nullptr) {
+      window_key.reserve(j - i);
+      for (size_t k = i; k < j; ++k) window_key.push_back(affected_paths[k].second);
+      if (memo->evaluated && memo->runtime_key == window_key) {
+        ReplaySharedTags(*memo, qid, window_results);
+        i = j;
+        continue;
+      }
+    }
+
     QueryEntry& entry = queries_.at(qid);
+    // This pass's probes stand in for one per group member (window-cache
+    // build decisions stay identical to the per-query pipeline's).
+    const uint32_t probe_weight = SharedGroupSize(qid);
 
     // End-of-window feasibility: views only grow inside an insert window,
     // so a path empty here was empty at every member position.
@@ -462,6 +497,8 @@ void TricEngine::FinalizeWindow(WindowContext& ctx, UpdateResult* window_results
       }
     }
     if (!feasible) {
+      // The whole group is infeasible: memoize the no-op.
+      if (memo != nullptr) memo->Store(/*ran=*/false, std::move(window_key), nullptr);
       i = j;
       continue;
     }
@@ -508,7 +545,8 @@ void TricEngine::FinalizeWindow(WindowContext& ctx, UpdateResult* window_results
         auto [b, b_tags] = FullPathRangeTagged(other, wctx);
         const HashIndex* idx = nullptr;
         int col = FirstSharedColumn(acc.schema, sb);
-        if (col >= 0) idx = JoinIndexFor(b.rel, static_cast<uint32_t>(col));
+        if (col >= 0)
+          idx = JoinIndexFor(b.rel, static_cast<uint32_t>(col), probe_weight);
         acc = JoinBindingRangesTagged(acc.schema, acc.All(), sb, b, b_tags, idx);
         dead = acc.Empty();
         remaining.erase(remaining.begin() + pick);
@@ -536,6 +574,7 @@ void TricEngine::FinalizeWindow(WindowContext& ctx, UpdateResult* window_results
       GS_DCHECK(tag > 0);  // a new match always uses a window row
       tags.push_back(tag);
     }
+    if (memo != nullptr) memo->Store(/*ran=*/true, std::move(window_key), &tags);
     ScatterTagCounts(tags, qid, window_results);
 
     NotePeakTransient(assignments.MemoryBytes());

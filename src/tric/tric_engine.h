@@ -92,12 +92,22 @@ class TricEngine : public ViewEngineBase {
   /// Window-delta pipeline (DESIGN.md §7): maintenance routes + cascades per
   /// update (checkpointing touched node views), FinalizeWindow runs one
   /// tagged final-join pass per (query, window) over the accumulated
-  /// terminal deltas.
+  /// terminal deltas — one per (signature group, window) under shared
+  /// finalization (§9).
   bool SupportsWindowDelta() const override { return true; }
   std::unique_ptr<WindowContext> NewWindowContext() override;
   void ProcessInsertDelta(const EdgeUpdate& u, WindowContext& ctx,
                           UpdateResult& result) override;
   void FinalizeWindow(WindowContext& ctx, UpdateResult* window_results) override;
+
+  /// Shared-finalize signature (DESIGN.md §9): per covering path the shared
+  /// terminal node (clustering maps signature-equal paths to one node, so
+  /// the node id names the ordered prefix-view chain) and the path-position
+  /// -> query-vertex map (the binding spec), plus the filter spec. Queries
+  /// with equal encodings join the same terminal views with the same
+  /// schemas and constraints.
+  bool EncodeFinalizeSignature(QueryId qid, std::vector<uint64_t>& out) override;
+  void ListQueryIds(std::vector<QueryId>& out) const override;
 
  private:
   struct PathInfo {
@@ -188,11 +198,13 @@ class TricEngine : public ViewEngineBase {
   /// Maintained index over `rel` column `col`: TRIC+'s persistent JoinCache,
   /// or — inside a batch window for plain TRIC — the transient window cache
   /// (null on its first touch of a view, so single-touch joins keep the
-  /// paper's scan plan). Null otherwise.
-  HashIndex* JoinIndexFor(const Relation* rel, uint32_t col) {
+  /// paper's scan plan). Null otherwise. `touch_weight` > 1 marks a shared
+  /// finalize probe standing in for that many per-query probes (§9).
+  HashIndex* JoinIndexFor(const Relation* rel, uint32_t col,
+                          uint32_t touch_weight = 1) {
     if (cache_ != nullptr) return cache_->Get(rel, col);
     WindowJoinCache* wc = window_cache();
-    return wc != nullptr ? wc->Get(rel, col) : nullptr;
+    return wc != nullptr ? wc->Get(rel, col, touch_weight) : nullptr;
   }
 
   Options options_;

@@ -405,9 +405,12 @@ TEST(ChurnDirected, MixedEventBatchWindowsMatchSequentialByteForByte) {
 }
 
 TEST(ChurnDirected, FinalJoinPassesTrackTheLiveQdb) {
-  // One pass per (affected query, window): after removing one of two
-  // affected queries, a window costs one pass instead of two — the removed
-  // query must not leave finalize work behind.
+  // One pass per (affected query, window) with shared finalization off:
+  // after removing one of two affected queries, a window costs one pass
+  // instead of two — the removed query must not leave finalize work behind.
+  // (q0 and q1 are signature-equal, so the default shared mode collapses
+  // them into one pass per window from the start; that mode is asserted
+  // separately below and in shared_finalize_test.)
   StringInterner in;
   QueryPattern q0 = Parse("(?a)-[r]->(?b)", in);
   QueryPattern q1 = Parse("(?x)-[r]->(?y)", in);
@@ -419,8 +422,12 @@ TEST(ChurnDirected, FinalJoinPassesTrackTheLiveQdb) {
                                    EngineKind::kInc,  EngineKind::kIncPlus};
   for (EngineKind kind : view_kinds) {
     auto engine = CreateEngine(kind);
+    engine->SetSharedFinalize(false);
+    auto shared = CreateEngine(kind);
     engine->AddQuery(0, q0);
     engine->AddQuery(1, q1);
+    shared->AddQuery(0, q0);
+    shared->AddQuery(1, q1);
 
     std::vector<EdgeUpdate> window1, window2;
     for (int i = 0; i < 8; ++i)
@@ -429,13 +436,22 @@ TEST(ChurnDirected, FinalJoinPassesTrackTheLiveQdb) {
       window2.push_back({v(i), rl, v(i + 1), UpdateOp::kAdd});
 
     engine->ApplyBatch(window1.data(), window1.size());
+    shared->ApplyBatch(window1.data(), window1.size());
     const uint64_t after_first = engine->final_join_passes();
     EXPECT_EQ(after_first, 2u) << engine->name() << " (two live queries)";
+    EXPECT_EQ(shared->final_join_passes(), 1u)
+        << shared->name() << " (signature-equal pair shares one pass)";
 
     ASSERT_TRUE(engine->RemoveQuery(1));
+    ASSERT_TRUE(shared->RemoveQuery(1));
     engine->ApplyBatch(window2.data(), window2.size());
+    shared->ApplyBatch(window2.data(), window2.size());
     EXPECT_EQ(engine->final_join_passes(), after_first + 1)
         << engine->name() << " (one survivor)";
+    EXPECT_EQ(shared->final_join_passes(), 2u)
+        << shared->name() << " (survivor runs its own pass)";
+    EXPECT_EQ(shared->shared_finalize_groups(), 1u)
+        << shared->name() << " (only window 1 fanned out)";
   }
 }
 

@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: diff two BENCH_*.json trajectory snapshots.
+
+Usage:
+  tools/bench_compare.py BASELINE.json FRESH.json [--threshold 0.25]
+  tools/bench_compare.py --self-test BASELINE.json [--threshold 0.25]
+
+Trajectory files are the {"generated_by": ..., "lines": [...]} documents
+written by tools/bench_smoke.sh (one dict per BENCH_JSON line). Lines are
+paired across the two files by their identity fields — every string-valued
+field (bench, dataset, engine, name, ...) plus the numeric sweep coordinate
+"overlap" when present. For each pair the first throughput metric present in
+METRICS is compared; the gate fails when the fresh value drops more than
+--threshold below the baseline.
+
+Completed cells only: a cell that hit its time budget measures an arbitrary
+stream prefix, and for engines whose per-update cost grows with the graph a
+partial cell's updates/s is not comparable across runs (a *faster* build
+processes a longer, more expensive prefix and can report a lower average).
+Any line flagged "partial" on either side is therefore skipped, as are lines
+present on only one side (new or retired benches).
+
+--self-test verifies the gate end-to-end against a single snapshot: the
+snapshot must pass against itself, and an injected synthetic regression
+(one comparable metric scaled below the threshold) must make it fail.
+
+Exit status: 0 ok, 1 regression detected, 2 usage or parse error.
+"""
+
+import argparse
+import copy
+import json
+import sys
+
+# Throughput metrics, in priority order; higher is better.
+METRICS = ("updates_per_sec", "items_per_sec", "max_items_per_sec")
+
+
+def load_lines(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_compare: cannot load {path}: {e}")
+    lines = doc.get("lines")
+    if not isinstance(lines, list):
+        sys.exit(f"bench_compare: {path} has no 'lines' array "
+                 "(expected a tools/bench_smoke.sh trajectory snapshot)")
+    return lines
+
+
+def identity(line):
+    """Stable pairing key: the string-valued fields + sweep coordinates."""
+    key = [(k, v) for k, v in line.items() if isinstance(v, str)]
+    if "overlap" in line:
+        key.append(("overlap", line["overlap"]))
+    return tuple(sorted(key))
+
+
+def metric_of(line):
+    for m in METRICS:
+        v = line.get(m)
+        if isinstance(v, (int, float)) and v > 0:
+            return m, float(v)
+    return None, None
+
+
+def index_by_identity(lines, path):
+    out = {}
+    for line in lines:
+        key = identity(line)
+        if key in out:
+            print(f"bench_compare: warning: duplicate line identity in {path}: "
+                  f"{dict(key)} (keeping the first)", file=sys.stderr)
+            continue
+        out[key] = line
+    return out
+
+
+def compare(base_lines, fresh_lines, threshold, quiet=False):
+    """Returns (regressions, compared): lists of result-row dicts."""
+    base = index_by_identity(base_lines, "baseline")
+    fresh = index_by_identity(fresh_lines, "fresh")
+    regressions, compared, skipped = [], [], []
+
+    for key, bline in base.items():
+        fline = fresh.get(key)
+        name = " ".join(f"{k}={v}" for k, v in key)
+        if fline is None:
+            skipped.append((name, "missing from fresh run"))
+            continue
+        if bline.get("partial") or fline.get("partial"):
+            skipped.append((name, "partial (budget-clipped) cell"))
+            continue
+        metric, bval = metric_of(bline)
+        if metric is None:
+            continue  # no throughput metric on this line (e.g. counters only)
+        fval = fline.get(metric)
+        if not isinstance(fval, (int, float)) or fval <= 0:
+            skipped.append((name, f"fresh run lacks {metric}"))
+            continue
+        ratio = fval / bval
+        row = {"name": name, "metric": metric, "base": bval, "fresh": fval,
+               "ratio": ratio}
+        compared.append(row)
+        if ratio < 1.0 - threshold:
+            regressions.append(row)
+
+    if not quiet:
+        for name, why in skipped:
+            print(f"  skip  {name}  [{why}]")
+        for row in compared:
+            flag = "REGRESSION" if row in regressions else "ok"
+            print(f"  {flag:>10}  {row['name']}  {row['metric']}: "
+                  f"{row['base']:.1f} -> {row['fresh']:.1f} "
+                  f"({row['ratio'] * 100.0:.1f}%)")
+    return regressions, compared
+
+
+def self_test(baseline_path, threshold):
+    base = load_lines(baseline_path)
+    clean_reg, compared = compare(base, copy.deepcopy(base), threshold, quiet=True)
+    if not compared:
+        sys.exit(f"bench_compare: --self-test: {baseline_path} has no "
+                 "comparable (non-partial, throughput-bearing) lines")
+    if clean_reg:
+        print("bench_compare: self-test FAILED: identical snapshots reported "
+              "a regression", file=sys.stderr)
+        return 1
+
+    # Inject a synthetic regression just past the threshold into the first
+    # comparable line and require the gate to trip on exactly that line.
+    injected = copy.deepcopy(base)
+    victim = None
+    for line in injected:
+        metric, val = metric_of(line)
+        if metric is not None and not line.get("partial"):
+            line[metric] = val * (1.0 - threshold) * 0.9
+            victim = identity(line)
+            break
+    inj_reg, _ = compare(base, injected, threshold, quiet=True)
+    if len(inj_reg) != 1:
+        print(f"bench_compare: self-test FAILED: injected regression tripped "
+              f"{len(inj_reg)} findings (expected 1)", file=sys.stderr)
+        return 1
+    print(f"bench_compare: self-test OK: {len(compared)} comparable cells; "
+          f"injected regression on [{' '.join(f'{k}={v}' for k, v in victim)}] "
+          "was detected")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline", help="committed BENCH_PR*.json snapshot")
+    parser.add_argument("fresh", nargs="?", help="fresh bench_smoke.sh snapshot")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="max tolerated fractional drop (default 0.25)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the gate trips on an injected regression")
+    args = parser.parse_args()
+    if not 0.0 < args.threshold < 1.0:
+        parser.error("--threshold must be in (0, 1)")
+
+    if args.self_test:
+        sys.exit(self_test(args.baseline, args.threshold))
+    if args.fresh is None:
+        parser.error("FRESH.json is required unless --self-test is given")
+
+    print(f"bench_compare: {args.baseline} vs {args.fresh} "
+          f"(threshold {args.threshold * 100.0:.0f}%)")
+    regressions, compared = compare(load_lines(args.baseline),
+                                    load_lines(args.fresh), args.threshold)
+    if not compared:
+        print("bench_compare: warning: no comparable cells (disjoint bench "
+              "sets or all partial) — gate passes vacuously", file=sys.stderr)
+    if regressions:
+        print(f"bench_compare: FAIL: {len(regressions)}/{len(compared)} "
+              f"completed cells regressed more than "
+              f"{args.threshold * 100.0:.0f}%")
+        sys.exit(1)
+    print(f"bench_compare: OK: {len(compared)} completed cells within budget")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

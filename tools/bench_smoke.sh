@@ -11,9 +11,14 @@
 # indexing / removal / answering split out.
 #
 # The BENCH_JSON lines are also collected into `trajectory_out` (default:
-# BENCH_PR4.json next to this script's repo root) — a committed snapshot so
-# the per-PR perf trajectory accumulates in-repo. Refresh it by re-running
-# this script after perf-relevant changes.
+# BENCH_TRAJECTORY.json inside the build dir, so plain runs never clobber the
+# committed BENCH_PR*.json baselines). To refresh the committed per-PR
+# snapshot after perf-relevant changes, pass the target explicitly:
+#
+#   tools/bench_smoke.sh build BENCH_PR5.json
+#
+# CI's bench-regression gate diffs a fresh trajectory against the newest
+# committed baseline via tools/bench_compare.py (completed cells only).
 #
 # On 1-CPU containers, measure A/B pairs by alternating runs and taking the
 # min per configuration (see DESIGN.md §7 for the protocol); this script is
@@ -23,7 +28,7 @@ set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-TRAJECTORY_OUT="${2:-$REPO_ROOT/BENCH_PR4.json}"
+TRAJECTORY_OUT="${2:-$BUILD_DIR/BENCH_TRAJECTORY.json}"
 BENCH_LINES_TMP="$(mktemp)"
 trap 'rm -f "$BENCH_LINES_TMP"' EXIT
 
@@ -94,6 +99,20 @@ if [[ -x "$BUILD_DIR/fig15_churn" ]]; then
     || { echo "bench_smoke: fig15_churn failed" >&2; exit 1; }
 else
   echo "bench_smoke: fig15_churn not built; skipping churn line" >&2
+fi
+
+# High-overlap smoke: the fig12e sweep under batched execution, where the
+# shared window finalization (DESIGN.md §9) collapses per-query final-join
+# passes into per-signature passes. One line per (overlap, engine) with
+# updates/s + the final_join_passes / shared_finalize_groups split; cells
+# that blow the tiny budget are flagged partial and excluded from the CI
+# regression gate (a partial cell's updates/s measures an arbitrary prefix).
+if [[ -x "$BUILD_DIR/fig12e_snb_overlap" ]]; then
+  "$BUILD_DIR/fig12e_snb_overlap" --cell-budget-sec=2 --batch=64 \
+    | grep '^BENCH_JSON ' | tee -a "$BENCH_LINES_TMP" \
+    || { echo "bench_smoke: fig12e_snb_overlap failed" >&2; exit 1; }
+else
+  echo "bench_smoke: fig12e_snb_overlap not built; skipping overlap lines" >&2
 fi
 
 # Aggregate the per-suite reports into one *valid* JSON document (an array

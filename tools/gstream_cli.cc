@@ -7,11 +7,15 @@
 //               [--stream=FILE.csv] [--events=FILE.gse]
 //               [--engine=tric+|tric|inv|inv+|inc|inc+|graphdb]
 //               [--seed=N] [--verbose]
-//               [--batch=N] [--threads=N]
+//               [--batch=N] [--threads=N] [--no-shared-finalize]
 //
 // --batch=N feeds the engine windows of N updates through ApplyBatch (the
 // sharded batch path; results are identical to per-update execution), and
 // --threads=N fans footprint-independent shards across N threads.
+// --no-shared-finalize turns off cross-query shared window finalization
+// (DESIGN.md §9) so batched windows run one final-join pass per (query,
+// window) instead of one per signature group — results are identical; the
+// flag exists for A/B-ing the final-join pass counters below.
 //
 // The query file holds one pattern per line (see query/parser.h for the
 // grammar); blank lines and lines starting with '#' are skipped. Example:
@@ -232,6 +236,7 @@ int main(int argc, char** argv) {
   // Rejects 0/negative/non-numeric values with a clear error (exit 2).
   const size_t batch = static_cast<size_t>(flags.GetPositiveInt("batch", 1));
   const int threads = static_cast<int>(flags.GetPositiveInt("threads", 1));
+  const bool shared_finalize = !flags.GetBool("no-shared-finalize", false);
   const EngineKind kind = ParseEngine(flags.GetString("engine", "tric+"));
 
   workload::Workload w;
@@ -251,6 +256,7 @@ int main(int argc, char** argv) {
   }
 
   auto engine = CreateEngine(kind);
+  engine->SetSharedFinalize(shared_finalize);
   QueryId next_qid = 0;
   if (!query_file.empty()) {
     std::ifstream file(query_file);
@@ -337,10 +343,12 @@ int main(int argc, char** argv) {
         stats.queries_removed, stats.remove_millis, stats.MsecPerRemove());
     std::printf(
         "%llu notifications across %zu satisfied queries; %llu final-join "
-        "passes; %.1f MB engine state (%zu live queries)%s\n",
+        "passes (%llu shared across queries); %.1f MB engine state "
+        "(%zu live queries)%s\n",
         static_cast<unsigned long long>(stats.new_embeddings),
         stats.queries_satisfied,
         static_cast<unsigned long long>(engine->final_join_passes()),
+        static_cast<unsigned long long>(engine->shared_finalize_groups()),
         static_cast<double>(stats.memory_bytes) / (1024.0 * 1024.0),
         engine->NumQueries(), stats.timed_out ? " [timed out]" : "");
     return 0;
@@ -352,10 +360,12 @@ int main(int argc, char** argv) {
               engine->name().c_str(), engine->NumQueries());
 
   // Effective execution configuration, always reported: per-update vs the
-  // window-delta batch pipeline, and the shard worker count.
+  // window-delta batch pipeline, the shard worker count, and whether window
+  // finalization is shared across signature-equal queries.
   if (batch > 1) {
-    std::printf("execution: window-delta batch (window=%zu threads=%d)\n", batch,
-                threads);
+    std::printf("execution: window-delta batch (window=%zu threads=%d%s)\n",
+                batch, threads,
+                shared_finalize ? "" : ", shared finalize OFF");
     engine->SetBatchThreads(threads);
   } else {
     std::printf("execution: per-update (batch=1 threads=1)\n");
@@ -393,10 +403,12 @@ int main(int argc, char** argv) {
   const double ms = timer.ElapsedMillis();
   std::printf(
       "%zu updates in %.1f ms (%.4f ms/update); %zu updates triggered, "
-      "%llu notifications; %llu final-join passes; %.1f MB engine state\n",
+      "%llu notifications; %llu final-join passes (%llu shared across "
+      "queries); %.1f MB engine state\n",
       w.stream.size(), ms, ms / w.stream.size(), triggering_updates,
       static_cast<unsigned long long>(notifications),
       static_cast<unsigned long long>(engine->final_join_passes()),
+      static_cast<unsigned long long>(engine->shared_finalize_groups()),
       static_cast<double>(engine->MemoryBytes()) / (1024.0 * 1024.0));
   return 0;
 }
