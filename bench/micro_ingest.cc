@@ -1,0 +1,196 @@
+// Micro-benchmarks of the fault-tolerant ingest path (DESIGN.md §10): raw
+// `.gsb` decode throughput as a function of record-block size (the CRC +
+// deframe cost per record), encode throughput, the bounded ring's
+// hand-off rate between decode and apply threads, and the full replay
+// pipeline's overhead — including the shed rate when the consumer is
+// artificially stalled into overload.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/interning.h"
+#include "common/rng.h"
+#include "engine/engine.h"
+#include "graph/update.h"
+#include "ingest/gsb_reader.h"
+#include "ingest/gsb_writer.h"
+#include "ingest/pipeline.h"
+#include "ingest/ring_buffer.h"
+
+namespace {
+
+using namespace gstream;
+using namespace gstream::ingest;
+
+constexpr size_t kRecords = 50'000;
+
+// A synthetic stream: enough label/vertex variety for a realistic dictionary
+// without paying workload-generator cost at bench startup.
+struct SyntheticStream {
+  StringInterner interner;
+  std::vector<EdgeUpdate> updates;
+};
+
+const SyntheticStream& TestStream() {
+  static const SyntheticStream* stream = [] {
+    auto* s = new SyntheticStream();
+    std::vector<LabelId> labels;
+    for (int i = 0; i < 16; ++i)
+      labels.push_back(s->interner.Intern("label_" + std::to_string(i)));
+    std::vector<VertexId> verts;
+    for (int i = 0; i < 4096; ++i)
+      verts.push_back(s->interner.Intern("v" + std::to_string(i)));
+    Rng rng(99);
+    s->updates.reserve(kRecords);
+    for (size_t i = 0; i < kRecords; ++i) {
+      EdgeUpdate u;
+      u.src = verts[rng.Next(verts.size())];
+      u.label = labels[rng.Next(labels.size())];
+      u.dst = verts[rng.Next(verts.size())];
+      u.op = UpdateOp::kAdd;
+      s->updates.push_back(u);
+    }
+    return s;
+  }();
+  return *stream;
+}
+
+std::vector<uint8_t> EncodeWithBlockSize(size_t records_per_block) {
+  GsbWriterOptions opt;
+  opt.records_per_block = records_per_block;
+  return EncodeGsb(TestStream().interner, TestStream().updates, opt);
+}
+
+// Decode throughput vs block size: scan once per iteration, CRC-check and
+// deframe every record block.
+void BM_GsbDecode(benchmark::State& state) {
+  const auto image = EncodeWithBlockSize(static_cast<size_t>(state.range(0)));
+  MemorySource src(image);
+  for (auto _ : state) {
+    GsbReader reader(src);
+    if (!reader.Open()) state.SkipWithError("open failed");
+    std::vector<GsbBlockRef> blocks;
+    if (!reader.ScanBlocks(CorruptPolicy::kFail, blocks))
+      state.SkipWithError("scan failed");
+    std::vector<EdgeUpdate> out;
+    out.reserve(kRecords);
+    for (const GsbBlockRef& b : blocks) {
+      if (b.kind != GsbBlockKind::kRecords) continue;
+      if (reader.DecodeRecords(b, out, nullptr) != DecodeStatus::kOk)
+        state.SkipWithError("decode failed");
+    }
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(state.iterations() * kRecords);
+  state.SetBytesProcessed(state.iterations() * image.size());
+}
+BENCHMARK(BM_GsbDecode)->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_GsbEncode(benchmark::State& state) {
+  for (auto _ : state) {
+    auto image = EncodeWithBlockSize(4096);
+    benchmark::DoNotOptimize(image.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kRecords);
+}
+BENCHMARK(BM_GsbEncode);
+
+// Ring hand-off rate: two producers push pre-built batches through a bounded
+// ring to one consumer (block policy — the lossless backpressure path).
+void BM_RingThroughput(benchmark::State& state) {
+  const size_t capacity = static_cast<size_t>(state.range(0));
+  constexpr size_t kBatch = 1024;
+  const size_t num_batches = kRecords / kBatch;
+  std::vector<EdgeUpdate> batch(TestStream().updates.begin(),
+                                TestStream().updates.begin() + kBatch);
+  uint64_t max_occupancy = 0;
+  for (auto _ : state) {
+    BoundedBatchRing ring(capacity);
+    ring.AddProducer();
+    ring.AddProducer();
+    auto produce = [&](size_t first) {
+      for (size_t seq = first; seq < num_batches; seq += 2) {
+        RecordBatch b;
+        b.seq = seq;
+        b.records = batch;
+        ring.Push(std::move(b), OverloadPolicy::kBlock);
+      }
+      ring.ProducerDone();
+    };
+    std::thread p0(produce, 0), p1(produce, 1);
+    size_t popped = 0;
+    RecordBatch out;
+    while (ring.Pop(out)) popped += out.records.size();
+    p0.join();
+    p1.join();
+    max_occupancy = ring.stats().max_occupancy;
+    benchmark::DoNotOptimize(popped);
+  }
+  state.SetItemsProcessed(state.iterations() * (kRecords / kBatch) * kBatch);
+  state.counters["max_occupancy"] = static_cast<double>(max_occupancy);
+}
+BENCHMARK(BM_RingThroughput)->Arg(2)->Arg(8)->Arg(64);
+
+// Full replay pipeline overhead (decode + ring + reassembly + apply) against
+// a no-query engine, so the measured cost is the ingest machinery itself.
+void BM_PipelineReplay(benchmark::State& state) {
+  static const auto* image = new std::vector<uint8_t>(EncodeWithBlockSize(4096));
+  MemorySource src(*image);
+  uint64_t max_occupancy = 0;
+  for (auto _ : state) {
+    IngestSession session;
+    if (!session.Open(src, CorruptPolicy::kFail))
+      state.SkipWithError("open failed");
+    auto engine = CreateEngine(EngineKind::kNaive);
+    IngestOptions opts;
+    opts.batch_window = 256;
+    opts.reader_threads = static_cast<int>(state.range(0));
+    opts.ring_capacity = 8;
+    IngestStats stats = session.Replay(*engine, opts);
+    if (stats.failed) state.SkipWithError(stats.error.c_str());
+    max_occupancy = stats.ring.max_occupancy;
+    benchmark::DoNotOptimize(stats.run.updates_applied);
+  }
+  state.SetItemsProcessed(state.iterations() * kRecords);
+  state.counters["ring_occupancy"] = static_cast<double>(max_occupancy);
+}
+BENCHMARK(BM_PipelineReplay)->Arg(1)->Arg(2)->Arg(4);
+
+// Overload behavior: a stalled consumer with a tiny ring under the shed
+// policy. Items/s here is the *applied* rate; the shed_rate counter is the
+// fraction of the stream dropped (the quantity the policy trades for
+// liveness).
+void BM_ShedRateUnderStall(benchmark::State& state) {
+  static const auto* image = new std::vector<uint8_t>(EncodeWithBlockSize(1024));
+  MemorySource src(*image);
+  double shed_rate = 0.0;
+  uint64_t applied = 0;
+  for (auto _ : state) {
+    IngestSession session;
+    if (!session.Open(src, CorruptPolicy::kFail))
+      state.SkipWithError("open failed");
+    auto engine = CreateEngine(EngineKind::kNaive);
+    IngestOptions opts;
+    opts.batch_window = 1024;
+    opts.reader_threads = 2;
+    opts.ring_capacity = 2;
+    opts.overload = OverloadPolicy::kShed;
+    opts.consumer_stall_micros = static_cast<int>(state.range(0));
+    IngestStats stats = session.Replay(*engine, opts);
+    if (stats.failed) state.SkipWithError(stats.error.c_str());
+    applied = stats.run.updates_applied;
+    shed_rate = static_cast<double>(stats.ring.records_shed) /
+                static_cast<double>(kRecords);
+    benchmark::DoNotOptimize(applied);
+  }
+  state.SetItemsProcessed(state.iterations() * applied);
+  state.counters["shed_rate"] = shed_rate;
+}
+BENCHMARK(BM_ShedRateUnderStall)->Arg(0)->Arg(200)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

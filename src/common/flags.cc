@@ -16,10 +16,13 @@ Flags Flags::Parse(int argc, char** argv) {
     }
     arg = arg.substr(2);
     auto eq = arg.find('=');
-    if (eq == std::string::npos) {
-      flags.values_[arg] = "true";
-    } else {
-      flags.values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    const std::string name = eq == std::string::npos ? arg : arg.substr(0, eq);
+    const std::string value = eq == std::string::npos ? "true" : arg.substr(eq + 1);
+    // A repeated flag is always a command-line typo (the second occurrence
+    // used to silently win); name the offender instead of guessing intent.
+    if (!flags.values_.emplace(name, value).second) {
+      std::fprintf(stderr, "--%s given more than once\n", name.c_str());
+      std::exit(2);
     }
   }
   return flags;

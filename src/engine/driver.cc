@@ -23,25 +23,19 @@ RunStats RunStream(ContinuousEngine& engine, const UpdateStream& stream,
                    const RunConfig& config) {
   GS_CHECK_MSG(config.batch_window >= 1, "batch_window must be >= 1");
   GS_CHECK_MSG(config.batch_threads >= 1, "batch_threads must be >= 1");
-  RunStats stats;
   Budget budget;
   if (std::isfinite(config.budget_seconds))
     budget.SetDeadlineAfter(config.budget_seconds);
   engine.set_budget(&budget);
 
-  std::unordered_set<QueryId> satisfied;
-  const auto absorb = [&](const UpdateResult& result) {
-    ++stats.updates_applied;
-    stats.new_embeddings += result.new_embeddings;
-    for (QueryId qid : result.triggered) satisfied.insert(qid);
-    return result.timed_out;
-  };
+  ResultAccumulator acc;
+  RunStats& stats = acc.stats;
 
   WallTimer total;
   const size_t window = config.batch_window > 1 ? config.batch_window : 1;
   if (window == 1) {
     for (const auto& u : stream.updates()) {
-      if (absorb(engine.ApplyUpdate(u)) || budget.ExceededNow()) {
+      if (acc.Absorb(engine.ApplyUpdate(u)) || budget.ExceededNow()) {
         stats.timed_out = true;
         break;
       }
@@ -53,7 +47,7 @@ RunStats RunStream(ContinuousEngine& engine, const UpdateStream& stream,
       const size_t n = std::min(window, updates.size() - pos);
       std::vector<UpdateResult> results = engine.ApplyBatch(&updates[pos], n);
       for (const UpdateResult& r : results)
-        if (absorb(r)) stats.timed_out = true;
+        if (acc.Absorb(r)) stats.timed_out = true;
       // A short window means the engine dropped the suffix on timeout.
       if (results.size() < n || budget.ExceededNow()) stats.timed_out = true;
       pos += n;
@@ -61,8 +55,7 @@ RunStats RunStream(ContinuousEngine& engine, const UpdateStream& stream,
     engine.SetBatchThreads(1);
   }
   stats.answer_millis = total.ElapsedMillis();
-  stats.queries_satisfied = satisfied.size();
-  stats.memory_bytes = engine.MemoryBytes();
+  acc.Finish(engine);
   engine.set_budget(nullptr);
   return stats;
 }

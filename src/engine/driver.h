@@ -52,6 +52,29 @@ struct IndexStats {
   }
 };
 
+/// Incremental absorber of per-update results with the RunStats bookkeeping,
+/// shared by RunStream and the file-replay ingest pipeline
+/// (src/ingest/pipeline.h) so the two paths cannot diverge on what
+/// "updates_applied" or "queries_satisfied" mean.
+struct ResultAccumulator {
+  RunStats stats;
+  std::unordered_set<QueryId> satisfied;
+
+  /// Folds one update's result in; returns its timed_out flag.
+  bool Absorb(const UpdateResult& result) {
+    ++stats.updates_applied;
+    stats.new_embeddings += result.new_embeddings;
+    for (QueryId qid : result.triggered) satisfied.insert(qid);
+    return result.timed_out;
+  }
+
+  /// Final bookkeeping: distinct satisfied queries + engine memory.
+  void Finish(ContinuousEngine& engine) {
+    stats.queries_satisfied = satisfied.size();
+    stats.memory_bytes = engine.MemoryBytes();
+  }
+};
+
 /// Registers `queries` into `engine` with ids `first_qid..`, timing the
 /// indexing phase.
 IndexStats IndexQueries(ContinuousEngine& engine,

@@ -105,6 +105,16 @@ class ContinuousEngine {
   /// transient join scratch observed so far (Fig. 13(c) accounting).
   virtual size_t MemoryBytes() const = 0;
 
+  /// Order-insensitive digest of the engine's durable state: the applied
+  /// edge set, the shared materialized views, and the query registry. The
+  /// ingest snapshot/recovery protocol (src/ingest/snapshot.h) records it at
+  /// every snapshot and re-checks it after a crash-recovery fast-forward,
+  /// proving the recovered engine reconstructed the exact pre-crash state
+  /// before replay resumes. Deterministic across processes and batch
+  /// configurations. 0 = no fingerprint (engines without the hook); recovery
+  /// then relies on the counter cross-checks alone.
+  virtual uint64_t StateFingerprint() const { return 0; }
+
   /// Cooperative time budget; engines poll it inside expensive loops.
   void set_budget(Budget* budget) { budget_ = budget; }
 

@@ -373,6 +373,37 @@ bool ViewEngineBase::RunInsertWindowImpl(const EdgeUpdate* updates, size_t lo,
   return true;
 }
 
+uint64_t ViewEngineBase::StateFingerprint() const {
+  // Each section folds its elements with a commutative sum of per-element
+  // Mix64 digests (a multiset hash), so the unordered containers' iteration
+  // order cannot leak into the value; the section digests then chain
+  // order-sensitively. Base views contribute (pattern, row count) only —
+  // their row *contents* are a pure function of the seen-edge set already
+  // digested, and row order is batch-schedule-dependent by design.
+  uint64_t edges = 0;
+  for (const EdgeUpdate& e : seen_edges_)
+    edges += Mix64(Mix64((static_cast<uint64_t>(e.src) << 32) ^ e.dst) ^
+                   (static_cast<uint64_t>(e.label) * 0x9e3779b97f4a7c15ull));
+
+  uint64_t views = 0;
+  for (const auto& [p, rel] : base_views_) {
+    uint64_t h = Mix64((static_cast<uint64_t>(p.src) << 32) ^ p.dst);
+    h = Mix64(h ^ (static_cast<uint64_t>(p.label) * 0x9e3779b97f4a7c15ull));
+    views += Mix64(h ^ static_cast<uint64_t>(rel->NumRows()));
+  }
+
+  std::vector<QueryId> qids;
+  ListQueryIds(qids);
+  std::sort(qids.begin(), qids.end());
+
+  uint64_t fp = Mix64(0x67736220666470ull);  // section-chain salt
+  fp = Mix64(fp ^ edges);
+  fp = Mix64(fp ^ views);
+  fp = Mix64(fp ^ static_cast<uint64_t>(qids.size()));
+  for (QueryId qid : qids) fp = Mix64(fp ^ static_cast<uint64_t>(qid));
+  return fp;
+}
+
 size_t ViewEngineBase::SharedMemoryBytes() const {
   size_t bytes = sizeof(*this) + peak_transient_bytes_.load(std::memory_order_relaxed);
   for (const auto& [p, rel] : base_views_)

@@ -80,6 +80,15 @@ class ViewEngineBase : public ContinuousEngine {
     finalize_groups_dirty_ = true;
   }
 
+  /// Order-insensitive digest of the shared durable state (see engine.h):
+  /// the applied edge set, every base view's (pattern, row count), and the
+  /// sorted live query ids. Deterministic across processes and batch/thread
+  /// configurations — the ingest recovery protocol compares it against the
+  /// snapshot's value after a fast-forward replay. Engine-private structures
+  /// (tries, cached indexes) are pure functions of this state plus the
+  /// registration order, so the shared layer pins them down.
+  uint64_t StateFingerprint() const override;
+
  protected:
   /// One shared-finalize group: the live queries (ascending) whose finalize
   /// signatures are equal. Only multi-member groups are materialized —

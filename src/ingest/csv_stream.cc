@@ -1,0 +1,57 @@
+#include "ingest/csv_stream.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace gstream {
+namespace ingest {
+
+std::string TrimWs(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t");
+  size_t e = s.find_last_not_of(" \t\r");
+  return b == std::string::npos ? std::string() : s.substr(b, e - b + 1);
+}
+
+bool ParseEdgeBody(const std::string& line, size_t start, UpdateOp op,
+                   StringInterner& interner, EdgeUpdate* out) {
+  size_t c1 = line.find(',', start);
+  size_t c2 = c1 == std::string::npos ? std::string::npos : line.find(',', c1 + 1);
+  if (c2 == std::string::npos) return false;
+  std::string src = TrimWs(line.substr(start, c1 - start));
+  std::string label = TrimWs(line.substr(c1 + 1, c2 - c1 - 1));
+  std::string dst = TrimWs(line.substr(c2 + 1));
+  if (src.empty() || label.empty() || dst.empty()) return false;
+  *out = {interner.Intern(src), interner.Intern(label), interner.Intern(dst), op};
+  return true;
+}
+
+bool LoadCsvStream(const std::string& path, StringInterner& interner,
+                   UpdateStream& stream) {
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "cannot open stream file '%s'\n", path.c_str());
+    return false;
+  }
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(file, line)) {
+    ++lineno;
+    size_t start = line.find_first_not_of(" \t");
+    if (start == std::string::npos || line[start] == '#') continue;
+    UpdateOp op = UpdateOp::kAdd;
+    if (line[start] == '-') {
+      op = UpdateOp::kDelete;
+      ++start;
+    }
+    EdgeUpdate u;
+    if (!ParseEdgeBody(line, start, op, interner, &u)) {
+      std::fprintf(stderr, "%s:%zu: expected 'src,label,dst'\n", path.c_str(), lineno);
+      return false;
+    }
+    stream.Append(u);
+  }
+  return true;
+}
+
+}  // namespace ingest
+}  // namespace gstream

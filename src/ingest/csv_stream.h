@@ -1,0 +1,33 @@
+#ifndef GSTREAM_INGEST_CSV_STREAM_H_
+#define GSTREAM_INGEST_CSV_STREAM_H_
+
+#include <string>
+
+#include "common/interning.h"
+#include "graph/stream.h"
+#include "graph/update.h"
+
+namespace gstream {
+namespace ingest {
+
+/// Text edge-stream parsing shared by gstream_cli and gstream_encode: one
+/// "src,label,dst" triple per line, a leading '-' marks a deletion, '#'
+/// starts a comment line.
+
+/// `s` without leading/trailing spaces, tabs, and carriage returns.
+std::string TrimWs(const std::string& s);
+
+/// Parses one "src,label,dst" edge body at `line[start..]` (the leading '-'
+/// already consumed into `op`). Returns false on malformed input.
+bool ParseEdgeBody(const std::string& line, size_t start, UpdateOp op,
+                   StringInterner& interner, EdgeUpdate* out);
+
+/// Parses a whole CSV edge-stream file into `stream`. Returns false (with a
+/// message on stderr) on I/O failure or a malformed line.
+bool LoadCsvStream(const std::string& path, StringInterner& interner,
+                   UpdateStream& stream);
+
+}  // namespace ingest
+}  // namespace gstream
+
+#endif  // GSTREAM_INGEST_CSV_STREAM_H_

@@ -1,0 +1,77 @@
+#include "ingest/fault_injector.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace gstream {
+namespace ingest {
+
+void FaultInjector::FlipBytes(std::vector<uint8_t>& image, size_t n,
+                              bool anywhere) {
+  const size_t lo = anywhere ? 0 : std::min(image.size(), kGsbHeaderBytes);
+  if (lo >= image.size()) return;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t pos = lo + static_cast<size_t>(rng_.Next(image.size() - lo));
+    uint8_t mask = 0;
+    while (mask == 0) mask = static_cast<uint8_t>(rng_.Next(256));
+    image[pos] ^= mask;
+  }
+}
+
+void FaultInjector::FlipRecordBytes(std::vector<uint8_t>& image, size_t n) {
+  std::vector<std::pair<uint64_t, uint64_t>> payloads;
+  for (const auto& [off, len] : BlockSpans(image)) {
+    if (image[off + 2] != static_cast<uint8_t>(GsbBlockKind::kRecords)) continue;
+    if (len <= kGsbBlockHeaderBytes) continue;
+    payloads.emplace_back(off + kGsbBlockHeaderBytes, len - kGsbBlockHeaderBytes);
+  }
+  if (payloads.empty()) return;
+  for (size_t i = 0; i < n; ++i) {
+    const auto [off, len] = payloads[rng_.Next(payloads.size())];
+    uint8_t mask = 0;
+    while (mask == 0) mask = static_cast<uint8_t>(rng_.Next(256));
+    image[off + rng_.Next(len)] ^= mask;
+  }
+}
+
+void FaultInjector::Truncate(std::vector<uint8_t>& image, size_t n) const {
+  image.resize(image.size() - std::min(n, image.size()));
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> FaultInjector::BlockSpans(
+    const std::vector<uint8_t>& image) {
+  std::vector<std::pair<uint64_t, uint64_t>> spans;
+  uint64_t pos = kGsbHeaderBytes;
+  while (pos + kGsbBlockHeaderBytes <= image.size()) {
+    if (GetU16(image.data() + pos) != kGsbBlockMagic) break;
+    const uint64_t len =
+        kGsbBlockHeaderBytes + GetU32(image.data() + pos + 8);
+    if (pos + len > image.size()) break;
+    spans.emplace_back(pos, len);
+    pos += len;
+  }
+  return spans;
+}
+
+void FaultInjector::DuplicateRandomBlock(std::vector<uint8_t>& image) {
+  const auto spans = BlockSpans(image);
+  if (spans.empty()) return;
+  const auto [off, len] = spans[rng_.Next(spans.size())];
+  std::vector<uint8_t> copy(image.begin() + off, image.begin() + off + len);
+  image.insert(image.begin() + off + len, copy.begin(), copy.end());
+}
+
+void FaultInjector::SwapAdjacentBlocks(std::vector<uint8_t>& image) {
+  const auto spans = BlockSpans(image);
+  if (spans.size() < 2) return;
+  const size_t i = rng_.Next(spans.size() - 1);
+  const auto [off_a, len_a] = spans[i];
+  const auto [off_b, len_b] = spans[i + 1];
+  std::vector<uint8_t> a(image.begin() + off_a, image.begin() + off_a + len_a);
+  std::vector<uint8_t> b(image.begin() + off_b, image.begin() + off_b + len_b);
+  std::copy(b.begin(), b.end(), image.begin() + off_a);
+  std::copy(a.begin(), a.end(), image.begin() + off_a + len_b);
+}
+
+}  // namespace ingest
+}  // namespace gstream

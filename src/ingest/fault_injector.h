@@ -1,0 +1,58 @@
+#ifndef GSTREAM_INGEST_FAULT_INJECTOR_H_
+#define GSTREAM_INGEST_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "ingest/gsb_format.h"
+
+namespace gstream {
+namespace ingest {
+
+/// Deterministic corruption of a `.gsb` byte image (tests, the CI fault
+/// smoke leg, and the CLI's `--fault-*` flags). Seeded: one seed -> one
+/// corrupted image, so every failure is replayable. The injector mutates a
+/// copy of the bytes before they reach the reader — it models storage and
+/// transport faults (bit rot, torn writes, duplicated / reordered chunks),
+/// not reader bugs.
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed) : rng_(seed) {}
+
+  /// XORs `n` random bytes (strictly after the file header, so the stream
+  /// still opens and the per-block integrity machinery is what gets tested;
+  /// pass `anywhere = true` to also target the header).
+  void FlipBytes(std::vector<uint8_t>& image, size_t n, bool anywhere = false);
+
+  /// XORs `n` random bytes inside *record*-block payloads only. Dictionary
+  /// corruption is fatal by design (an id shift would silently remap every
+  /// subsequent record), so tests of the skip-with-quarantine path corrupt
+  /// records specifically. No-op when the image has no record blocks.
+  void FlipRecordBytes(std::vector<uint8_t>& image, size_t n);
+
+  /// Truncates `n` bytes off the tail (torn final write).
+  void Truncate(std::vector<uint8_t>& image, size_t n) const;
+
+  /// Duplicates one whole block (header + payload) in place, immediately
+  /// after itself — the classic at-least-once transport fault. The reader
+  /// must not double-count its records. No-op when the image has no blocks.
+  void DuplicateRandomBlock(std::vector<uint8_t>& image);
+
+  /// Swaps two adjacent blocks (reordered transport). No-op when the image
+  /// has fewer than two blocks.
+  void SwapAdjacentBlocks(std::vector<uint8_t>& image);
+
+ private:
+  /// Walks the (uncorrupted) block framing; returns {offset, total_len}
+  /// per block, empty on malformed input.
+  static std::vector<std::pair<uint64_t, uint64_t>> BlockSpans(
+      const std::vector<uint8_t>& image);
+
+  Rng rng_;
+};
+
+}  // namespace ingest
+}  // namespace gstream
+
+#endif  // GSTREAM_INGEST_FAULT_INJECTOR_H_

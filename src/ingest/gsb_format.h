@@ -1,0 +1,129 @@
+#ifndef GSTREAM_INGEST_GSB_FORMAT_H_
+#define GSTREAM_INGEST_GSB_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace gstream {
+namespace ingest {
+
+/// The versioned binary graph-stream format `.gsb` (DESIGN.md §10).
+///
+/// Layout (all integers little-endian, fixed width):
+///
+///   file header (28 B)
+///     magic      4 B   "GSB1"
+///     version    u32   1
+///     flags      u32   reserved, 0
+///     dict_count u32   total dictionary strings (interner size)
+///     rec_count  u64   total record frames in the file
+///     header_crc u32   CRC32C over the preceding 24 bytes
+///
+///   blocks, back to back until EOF; block header (16 B):
+///     magic       u16  0xB10C
+///     kind        u8   1 = dictionary, 2 = records
+///     reserved    u8   0
+///     seq         u32  block index within the file, dense from 0
+///     payload_len u32  payload bytes (<= kGsbMaxPayload)
+///     payload_crc u32  CRC32C over the payload bytes
+///
+///   dictionary payload: u32 first_id, u32 count, then count strings of
+///     {u32 len, bytes}, interner-id order. Replaying the dictionary blocks
+///     in order reconstructs the writer's interner with identical ids, which
+///     is what makes record frames (32-bit interned ids) and snapshots
+///     position-independent of the reading process.
+///
+///   record payload: u32 count, then count frames of 13 bytes each:
+///     {u8 op (0 = add, 1 = delete), u32 src, u32 label, u32 dst}.
+///
+/// Integrity model: the file header is self-checksummed; every payload is
+/// checksummed; block headers are validated structurally (magic, kind, seq
+/// monotonicity, bounded payload_len that fits the file). A corrupt block
+/// header loses framing, and the reader resynchronizes by scanning for the
+/// next structurally valid header with a plausible seq — the skipped range
+/// is quarantined, never silently consumed.
+
+inline constexpr uint8_t kGsbMagic[4] = {'G', 'S', 'B', '1'};
+inline constexpr uint32_t kGsbVersion = 1;
+inline constexpr size_t kGsbHeaderBytes = 28;
+inline constexpr uint16_t kGsbBlockMagic = 0xB10C;
+inline constexpr size_t kGsbBlockHeaderBytes = 16;
+inline constexpr uint32_t kGsbMaxPayload = 16u << 20;
+inline constexpr size_t kGsbRecordBytes = 13;  // op + src + label + dst
+inline constexpr uint32_t kGsbMaxStringLen = 1u << 20;
+
+enum class GsbBlockKind : uint8_t { kDict = 1, kRecords = 2 };
+
+// ---------------------------------------------------------------- LE codecs
+
+inline void PutU16(std::vector<uint8_t>& out, uint16_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+}
+inline void PutU32(std::vector<uint8_t>& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+inline void PutU64(std::vector<uint8_t>& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+inline uint16_t GetU16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+inline uint32_t GetU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
+}
+inline uint64_t GetU64(const uint8_t* p) {
+  return static_cast<uint64_t>(GetU32(p)) |
+         (static_cast<uint64_t>(GetU32(p + 4)) << 32);
+}
+
+// ------------------------------------------------------------------ headers
+
+struct GsbHeader {
+  uint32_t version = kGsbVersion;
+  uint32_t flags = 0;
+  uint32_t dict_count = 0;
+  uint64_t record_count = 0;
+};
+
+struct GsbBlockHeader {
+  GsbBlockKind kind = GsbBlockKind::kRecords;
+  uint32_t seq = 0;
+  uint32_t payload_len = 0;
+  uint32_t payload_crc = 0;
+};
+
+/// Compact identity of one `.gsb` file: enough to reject replaying a
+/// snapshot against a different (or regenerated) stream file. The header CRC
+/// covers dict/record counts, so matching identities mean matching metadata.
+struct GsbIdentity {
+  uint32_t header_crc = 0;
+  uint32_t dict_count = 0;
+  uint64_t record_count = 0;
+
+  friend bool operator==(const GsbIdentity& a, const GsbIdentity& b) {
+    return a.header_crc == b.header_crc && a.dict_count == b.dict_count &&
+           a.record_count == b.record_count;
+  }
+  friend bool operator!=(const GsbIdentity& a, const GsbIdentity& b) {
+    return !(a == b);
+  }
+};
+
+/// Location of one structurally valid block within the file (from the
+/// reader's framing scan). Payload integrity is checked later, at decode.
+struct GsbBlockRef {
+  GsbBlockKind kind = GsbBlockKind::kRecords;
+  uint32_t seq = 0;
+  uint64_t payload_offset = 0;
+  uint32_t payload_len = 0;
+  uint32_t payload_crc = 0;
+};
+
+}  // namespace ingest
+}  // namespace gstream
+
+#endif  // GSTREAM_INGEST_GSB_FORMAT_H_

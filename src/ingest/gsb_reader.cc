@@ -1,0 +1,289 @@
+#include "ingest/gsb_reader.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "ingest/crc32c.h"
+
+namespace gstream {
+namespace ingest {
+
+namespace {
+
+/// Blocks lost to one framing-corruption event are bounded: a resync
+/// candidate whose seq jumps further than this is itself treated as corrupt.
+constexpr uint32_t kMaxSeqJump = 4096;
+
+/// Parses the 16 block-header bytes at `p`. Returns false when the header is
+/// structurally implausible (wrong magic/kind/reserved, oversized payload).
+bool ParseBlockHeader(const uint8_t* p, GsbBlockHeader* out) {
+  if (GetU16(p) != kGsbBlockMagic) return false;
+  const uint8_t kind = p[2];
+  if (kind != static_cast<uint8_t>(GsbBlockKind::kDict) &&
+      kind != static_cast<uint8_t>(GsbBlockKind::kRecords))
+    return false;
+  if (p[3] != 0) return false;  // reserved
+  out->kind = static_cast<GsbBlockKind>(kind);
+  out->seq = GetU32(p + 4);
+  out->payload_len = GetU32(p + 8);
+  out->payload_crc = GetU32(p + 12);
+  return out->payload_len <= kGsbMaxPayload;
+}
+
+}  // namespace
+
+bool MemorySource::ReadAt(uint64_t offset, void* buf, size_t n) const {
+  if (offset > bytes_.size() || n > bytes_.size() - offset) return false;
+  std::memcpy(buf, bytes_.data() + offset, n);
+  return true;
+}
+
+FileSource::~FileSource() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::unique_ptr<FileSource> FileSource::Open(const std::string& path,
+                                             std::string* error) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (error != nullptr) *error = path + ": " + std::strerror(errno);
+    return nullptr;
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    if (error != nullptr) *error = path + ": fstat: " + std::strerror(errno);
+    ::close(fd);
+    return nullptr;
+  }
+  return std::unique_ptr<FileSource>(
+      new FileSource(fd, static_cast<uint64_t>(st.st_size)));
+}
+
+bool FileSource::ReadAt(uint64_t offset, void* buf, size_t n) const {
+  uint8_t* p = static_cast<uint8_t*>(buf);
+  while (n > 0) {
+    ssize_t r = ::pread(fd_, p, n, static_cast<off_t>(offset));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (r == 0) return false;  // EOF before n bytes
+    p += r;
+    offset += static_cast<uint64_t>(r);
+    n -= static_cast<size_t>(r);
+  }
+  return true;
+}
+
+bool GsbReader::Open() {
+  uint8_t buf[kGsbHeaderBytes];
+  if (src_->size() < kGsbHeaderBytes ||
+      !src_->ReadAt(0, buf, kGsbHeaderBytes)) {
+    error_ = "gsb: file shorter than the 28-byte header";
+    return false;
+  }
+  if (std::memcmp(buf, kGsbMagic, 4) != 0) {
+    error_ = "gsb: bad magic (not a .gsb file)";
+    return false;
+  }
+  const uint32_t stored_crc = GetU32(buf + 24);
+  if (Crc32c(buf, 24) != stored_crc) {
+    error_ = "gsb: header CRC mismatch (corrupt header)";
+    return false;
+  }
+  header_.version = GetU32(buf + 4);
+  if (header_.version != kGsbVersion) {
+    error_ = "gsb: unsupported version " + std::to_string(header_.version);
+    return false;
+  }
+  header_.flags = GetU32(buf + 8);
+  header_.dict_count = GetU32(buf + 12);
+  header_.record_count = GetU64(buf + 16);
+  identity_ = GsbIdentity{stored_crc, header_.dict_count, header_.record_count};
+  return true;
+}
+
+bool GsbReader::ScanBlocks(CorruptPolicy policy, std::vector<GsbBlockRef>& out) {
+  const uint64_t file_size = src_->size();
+  uint64_t pos = kGsbHeaderBytes;
+  uint32_t next_seq = 0;
+  uint8_t buf[kGsbBlockHeaderBytes];
+
+  const auto corrupt = [&](const std::string& reason) -> bool {
+    if (policy == CorruptPolicy::kFail) {
+      error_ = "gsb: block " + std::to_string(next_seq) + " at offset " +
+               std::to_string(pos) + ": " + reason;
+      return false;
+    }
+    // Resynchronize: the next structurally valid header whose seq continues
+    // (or jumps boundedly past) the expected sequence. Everything between is
+    // quarantined; blocks whose seqs were jumped over are lost with it.
+    for (uint64_t cand = pos; cand + kGsbBlockHeaderBytes <= file_size; ++cand) {
+      if (!src_->ReadAt(cand, buf, kGsbBlockHeaderBytes)) break;
+      GsbBlockHeader h;
+      if (!ParseBlockHeader(buf, &h)) continue;
+      if (cand + kGsbBlockHeaderBytes + h.payload_len > file_size) continue;
+      if (h.seq < next_seq || h.seq - next_seq > kMaxSeqJump) continue;
+      if (cand == pos && h.seq == next_seq) continue;  // the failed header itself
+      scan_quarantine_.push_back(QuarantineEntry{
+          pos, next_seq,
+          reason + (cand > pos ? " (resynced after " + std::to_string(cand - pos) +
+                                     " bytes)"
+                               : " (missing blocks " + std::to_string(next_seq) +
+                                     ".." + std::to_string(h.seq - 1) + ")")});
+      pos = cand;
+      next_seq = h.seq;
+      return true;
+    }
+    scan_quarantine_.push_back(
+        QuarantineEntry{pos, next_seq, reason + " (tail quarantined)"});
+    pos = file_size;
+    return true;
+  };
+
+  while (pos < file_size) {
+    if (pos + kGsbBlockHeaderBytes > file_size) {
+      if (!corrupt("truncated block header")) return false;
+      continue;
+    }
+    if (!src_->ReadAt(pos, buf, kGsbBlockHeaderBytes)) {
+      if (!corrupt("short read on block header")) return false;
+      continue;
+    }
+    GsbBlockHeader h;
+    if (!ParseBlockHeader(buf, &h)) {
+      if (!corrupt("invalid block header")) return false;
+      continue;
+    }
+    if (h.seq != next_seq) {
+      if (!corrupt("block seq " + std::to_string(h.seq) + " != expected " +
+                   std::to_string(next_seq)))
+        return false;
+      continue;
+    }
+    if (pos + kGsbBlockHeaderBytes + h.payload_len > file_size) {
+      if (!corrupt("payload extends past EOF (truncated file)")) return false;
+      continue;
+    }
+    out.push_back(GsbBlockRef{h.kind, h.seq, pos + kGsbBlockHeaderBytes,
+                              h.payload_len, h.payload_crc});
+    pos += kGsbBlockHeaderBytes + h.payload_len;
+    ++next_seq;
+  }
+  return true;
+}
+
+bool GsbReader::DecodeDict(const std::vector<GsbBlockRef>& blocks,
+                           StringInterner& interner) {
+  // Dictionary corruption is fatal under every policy: a lost dictionary
+  // block would shift every later id, silently remapping the whole stream.
+  for (const GsbBlockRef& b : blocks) {
+    if (b.kind != GsbBlockKind::kDict) continue;
+    std::vector<uint8_t> payload(b.payload_len);
+    if (!src_->ReadAt(b.payload_offset, payload.data(), payload.size())) {
+      error_ = "gsb: dictionary block " + std::to_string(b.seq) + ": short read";
+      return false;
+    }
+    if (Crc32c(payload.data(), payload.size()) != b.payload_crc) {
+      error_ = "gsb: dictionary block " + std::to_string(b.seq) +
+               ": payload CRC mismatch";
+      return false;
+    }
+    if (payload.size() < 8) {
+      error_ = "gsb: dictionary block " + std::to_string(b.seq) + ": truncated";
+      return false;
+    }
+    const uint32_t first_id = GetU32(payload.data());
+    const uint32_t count = GetU32(payload.data() + 4);
+    if (first_id != interner.size()) {
+      error_ = "gsb: dictionary block " + std::to_string(b.seq) +
+               ": id discontinuity (missing dictionary block?)";
+      return false;
+    }
+    size_t off = 8;
+    for (uint32_t i = 0; i < count; ++i) {
+      if (off + 4 > payload.size()) {
+        error_ = "gsb: dictionary block " + std::to_string(b.seq) + ": truncated";
+        return false;
+      }
+      const uint32_t len = GetU32(payload.data() + off);
+      off += 4;
+      if (len > kGsbMaxStringLen || off + len > payload.size()) {
+        error_ = "gsb: dictionary block " + std::to_string(b.seq) +
+                 ": bad string length";
+        return false;
+      }
+      const uint32_t id = interner.Intern(std::string_view(
+          reinterpret_cast<const char*>(payload.data() + off), len));
+      if (id != first_id + i) {
+        error_ = "gsb: dictionary block " + std::to_string(b.seq) +
+                 ": duplicate string breaks id order";
+        return false;
+      }
+      off += len;
+    }
+    if (off != payload.size()) {
+      error_ = "gsb: dictionary block " + std::to_string(b.seq) +
+               ": trailing bytes after last string";
+      return false;
+    }
+  }
+  if (interner.size() != header_.dict_count) {
+    error_ = "gsb: dictionary incomplete: " + std::to_string(interner.size()) +
+             " of " + std::to_string(header_.dict_count) +
+             " strings (corrupt or missing dictionary blocks)";
+    return false;
+  }
+  return true;
+}
+
+DecodeStatus GsbReader::DecodeRecords(const GsbBlockRef& block,
+                                      std::vector<EdgeUpdate>& out,
+                                      std::string* reason) const {
+  std::vector<uint8_t> payload(block.payload_len);
+  if (!src_->ReadAt(block.payload_offset, payload.data(), payload.size())) {
+    *reason = "short read";
+    return DecodeStatus::kCorrupt;
+  }
+  if (Crc32c(payload.data(), payload.size()) != block.payload_crc) {
+    *reason = "payload CRC mismatch";
+    return DecodeStatus::kCorrupt;
+  }
+  if (payload.size() < 4) {
+    *reason = "truncated payload";
+    return DecodeStatus::kCorrupt;
+  }
+  const uint32_t count = GetU32(payload.data());
+  if (payload.size() != 4 + static_cast<size_t>(count) * kGsbRecordBytes) {
+    *reason = "frame count does not match payload length";
+    return DecodeStatus::kCorrupt;
+  }
+  out.reserve(out.size() + count);
+  const uint8_t* p = payload.data() + 4;
+  for (uint32_t i = 0; i < count; ++i, p += kGsbRecordBytes) {
+    const uint8_t op = p[0];
+    if (op > static_cast<uint8_t>(UpdateOp::kDelete)) {
+      *reason = "invalid op byte in frame " + std::to_string(i);
+      return DecodeStatus::kCorrupt;
+    }
+    EdgeUpdate u;
+    u.op = static_cast<UpdateOp>(op);
+    u.src = GetU32(p + 1);
+    u.label = GetU32(p + 5);
+    u.dst = GetU32(p + 9);
+    if (u.src >= header_.dict_count || u.label >= header_.dict_count ||
+        u.dst >= header_.dict_count) {
+      *reason = "frame " + std::to_string(i) + " references an id outside the dictionary";
+      return DecodeStatus::kCorrupt;
+    }
+    out.push_back(u);
+  }
+  return DecodeStatus::kOk;
+}
+
+}  // namespace ingest
+}  // namespace gstream

@@ -1,0 +1,122 @@
+#ifndef GSTREAM_INGEST_GSB_READER_H_
+#define GSTREAM_INGEST_GSB_READER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/interning.h"
+#include "graph/update.h"
+#include "ingest/gsb_format.h"
+
+namespace gstream {
+namespace ingest {
+
+/// What to do with a block that fails integrity or framing checks
+/// (`--on-corrupt` in the CLI): quarantine-and-skip, or fail the replay.
+enum class CorruptPolicy : uint8_t { kSkip = 0, kFail = 1 };
+
+/// One quarantined region: where it was, why it was skipped.
+struct QuarantineEntry {
+  uint64_t offset = 0;  ///< File offset of the bad block / region.
+  uint32_t seq = 0;     ///< Expected block seq at that point.
+  std::string reason;
+};
+
+/// Random-access byte source: a `.gsb` file on disk or an in-memory image
+/// (tests, fault injection). `ReadAt` is thread-safe — the pipeline's reader
+/// threads decode disjoint blocks concurrently.
+class ByteSource {
+ public:
+  virtual ~ByteSource() = default;
+  /// Copies exactly `n` bytes at `offset` into `buf`; false on short read.
+  virtual bool ReadAt(uint64_t offset, void* buf, size_t n) const = 0;
+  virtual uint64_t size() const = 0;
+};
+
+class MemorySource : public ByteSource {
+ public:
+  explicit MemorySource(std::vector<uint8_t> bytes) : bytes_(std::move(bytes)) {}
+  bool ReadAt(uint64_t offset, void* buf, size_t n) const override;
+  uint64_t size() const override { return bytes_.size(); }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+/// pread(2)-based file source; one shared descriptor, no seek state.
+class FileSource : public ByteSource {
+ public:
+  ~FileSource() override;
+  /// Opens `path`; null (with `*error` set) on failure.
+  static std::unique_ptr<FileSource> Open(const std::string& path,
+                                          std::string* error);
+  bool ReadAt(uint64_t offset, void* buf, size_t n) const override;
+  uint64_t size() const override { return size_; }
+
+ private:
+  FileSource(int fd, uint64_t size) : fd_(fd), size_(size) {}
+  int fd_;
+  uint64_t size_;
+};
+
+/// Decode outcome of one record block.
+enum class DecodeStatus : uint8_t { kOk = 0, kCorrupt = 1 };
+
+/// Framing-scan + decode layer over one `.gsb` source (DESIGN.md §10).
+///
+/// `Open` validates the self-checksummed file header; `ScanBlocks` walks the
+/// block headers, resynchronizing after corrupt framing by searching for the
+/// next structurally valid header with a plausible seq (the skipped range is
+/// quarantined); `DecodeDict` replays the dictionary blocks into an interner
+/// (dictionary corruption is always fatal — losing dictionary entries would
+/// silently remap every subsequent id); `DecodeRecords` CRC-checks and
+/// deframes one record block and is safe to call from multiple threads.
+class GsbReader {
+ public:
+  explicit GsbReader(const ByteSource& src) : src_(&src) {}
+
+  /// Reads and validates the file header. False (with `error()` set) on a
+  /// short, foreign, corrupt, or version-incompatible header.
+  bool Open();
+
+  const GsbHeader& header() const { return header_; }
+  GsbIdentity identity() const { return identity_; }
+  const std::string& error() const { return error_; }
+
+  /// Scans block framing from the header to EOF. Structurally invalid
+  /// headers (bad magic/kind/len, implausible seq, payload past EOF)
+  /// quarantine the region up to the next resync point under kSkip, or fail
+  /// under kFail. Returns false only on failure (kFail policy).
+  bool ScanBlocks(CorruptPolicy policy, std::vector<GsbBlockRef>& out);
+
+  /// Replays the scanned dictionary blocks into `interner`. Any dictionary
+  /// corruption (CRC mismatch, bad framing, id discontinuity) fails
+  /// regardless of policy. `interner` must be empty.
+  bool DecodeDict(const std::vector<GsbBlockRef>& blocks, StringInterner& interner);
+
+  /// CRC-checks and deframes one record block into `out` (appended).
+  /// Thread-safe; `*reason` is set on kCorrupt.
+  DecodeStatus DecodeRecords(const GsbBlockRef& block,
+                             std::vector<EdgeUpdate>& out,
+                             std::string* reason) const;
+
+  /// Quarantined regions recorded by ScanBlocks (decode-time quarantine is
+  /// accounted by the pipeline, which owns the threads).
+  const std::vector<QuarantineEntry>& scan_quarantine() const {
+    return scan_quarantine_;
+  }
+
+ private:
+  const ByteSource* src_;
+  GsbHeader header_;
+  GsbIdentity identity_;
+  std::string error_;
+  std::vector<QuarantineEntry> scan_quarantine_;
+};
+
+}  // namespace ingest
+}  // namespace gstream
+
+#endif  // GSTREAM_INGEST_GSB_READER_H_

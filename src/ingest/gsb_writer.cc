@@ -1,0 +1,128 @@
+#include "ingest/gsb_writer.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.h"
+#include "ingest/crc32c.h"
+
+namespace gstream {
+namespace ingest {
+
+namespace {
+
+void AppendBlock(std::vector<uint8_t>& out, GsbBlockKind kind, uint32_t seq,
+                 const std::vector<uint8_t>& payload) {
+  GS_CHECK_MSG(payload.size() <= kGsbMaxPayload, "gsb block payload too large");
+  PutU16(out, kGsbBlockMagic);
+  out.push_back(static_cast<uint8_t>(kind));
+  out.push_back(0);  // reserved
+  PutU32(out, seq);
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  PutU32(out, Crc32c(payload.data(), payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeGsb(const StringInterner& interner,
+                               const std::vector<EdgeUpdate>& updates,
+                               const GsbWriterOptions& options) {
+  GS_CHECK_MSG(options.records_per_block >= 1 && options.strings_per_block >= 1,
+               "gsb block sizes must be >= 1");
+  std::vector<uint8_t> out;
+
+  // File header; header_crc covers the 24 bytes before it.
+  out.reserve(kGsbHeaderBytes);
+  for (uint8_t c : kGsbMagic) out.push_back(c);
+  PutU32(out, kGsbVersion);
+  PutU32(out, 0);  // flags
+  PutU32(out, static_cast<uint32_t>(interner.size()));
+  PutU64(out, updates.size());
+  PutU32(out, Crc32c(out.data(), out.size()));
+
+  uint32_t seq = 0;
+  std::vector<uint8_t> payload;
+
+  // Dictionary blocks: interner contents in id order, so replaying them
+  // re-interns every string under its original id.
+  for (size_t first = 0; first < interner.size();
+       first += options.strings_per_block) {
+    const size_t count =
+        std::min(options.strings_per_block, interner.size() - first);
+    payload.clear();
+    PutU32(payload, static_cast<uint32_t>(first));
+    PutU32(payload, static_cast<uint32_t>(count));
+    for (size_t i = first; i < first + count; ++i) {
+      const std::string& s = interner.Lookup(static_cast<uint32_t>(i));
+      GS_CHECK_MSG(s.size() <= kGsbMaxStringLen, "gsb dictionary string too long");
+      PutU32(payload, static_cast<uint32_t>(s.size()));
+      payload.insert(payload.end(), s.begin(), s.end());
+    }
+    AppendBlock(out, GsbBlockKind::kDict, seq++, payload);
+  }
+
+  // Record blocks: explicit frame count + fixed 13-byte frames.
+  for (size_t first = 0; first < updates.size();
+       first += options.records_per_block) {
+    const size_t count =
+        std::min(options.records_per_block, updates.size() - first);
+    payload.clear();
+    PutU32(payload, static_cast<uint32_t>(count));
+    for (size_t i = first; i < first + count; ++i) {
+      const EdgeUpdate& u = updates[i];
+      payload.push_back(static_cast<uint8_t>(u.op));
+      PutU32(payload, u.src);
+      PutU32(payload, u.label);
+      PutU32(payload, u.dst);
+    }
+    AppendBlock(out, GsbBlockKind::kRecords, seq++, payload);
+  }
+  return out;
+}
+
+bool AtomicWriteFile(const std::string& path, const void* data, size_t n,
+                     std::string* error) {
+  const std::string tmp = path + ".tmp";
+  const auto fail = [&](const char* what) {
+    if (error != nullptr)
+      *error = tmp + ": " + what + ": " + std::strerror(errno);
+    ::unlink(tmp.c_str());
+    return false;
+  };
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return fail("open");
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  size_t left = n;
+  while (left > 0) {
+    ssize_t w = ::write(fd, p, left);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return fail("write");
+    }
+    p += w;
+    left -= static_cast<size_t>(w);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    return fail("fsync");
+  }
+  if (::close(fd) != 0) return fail("close");
+  if (::rename(tmp.c_str(), path.c_str()) != 0) return fail("rename");
+  return true;
+}
+
+bool WriteGsbFile(const std::string& path, const StringInterner& interner,
+                  const std::vector<EdgeUpdate>& updates, std::string* error,
+                  const GsbWriterOptions& options) {
+  const std::vector<uint8_t> image = EncodeGsb(interner, updates, options);
+  return AtomicWriteFile(path, image.data(), image.size(), error);
+}
+
+}  // namespace ingest
+}  // namespace gstream

@@ -1,0 +1,46 @@
+#ifndef GSTREAM_INGEST_GSB_WRITER_H_
+#define GSTREAM_INGEST_GSB_WRITER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/interning.h"
+#include "graph/update.h"
+#include "ingest/gsb_format.h"
+
+namespace gstream {
+namespace ingest {
+
+struct GsbWriterOptions {
+  /// Record frames per record block. Smaller blocks bound the blast radius
+  /// of one corrupt payload (one block = one quarantine unit) at the cost of
+  /// per-block header+CRC overhead; micro_ingest sweeps this.
+  size_t records_per_block = 4096;
+  /// Dictionary strings per dictionary block.
+  size_t strings_per_block = 8192;
+};
+
+/// Encodes a `.gsb` byte image: file header, the full dictionary (interner
+/// contents in id order), then the record frames. The image is self-contained
+/// — a reader reconstructs the interner with identical ids, so the 32-bit ids
+/// inside record frames and snapshots survive process restarts.
+std::vector<uint8_t> EncodeGsb(const StringInterner& interner,
+                               const std::vector<EdgeUpdate>& updates,
+                               const GsbWriterOptions& options = {});
+
+/// Encodes and atomically writes `path` (tmp + rename, fsynced). Returns
+/// false with `*error` set on I/O failure.
+bool WriteGsbFile(const std::string& path, const StringInterner& interner,
+                  const std::vector<EdgeUpdate>& updates, std::string* error,
+                  const GsbWriterOptions& options = {});
+
+/// Writes `data` to `path` atomically (tmp + fsync + rename): readers and
+/// crash recovery never observe a half-written file. Shared by the `.gsb`
+/// writer and the snapshot writer.
+bool AtomicWriteFile(const std::string& path, const void* data, size_t n,
+                     std::string* error);
+
+}  // namespace ingest
+}  // namespace gstream
+
+#endif  // GSTREAM_INGEST_GSB_WRITER_H_

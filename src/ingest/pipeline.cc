@@ -1,0 +1,354 @@
+#include "ingest/pipeline.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "engine/budget.h"
+
+namespace gstream {
+namespace ingest {
+
+namespace {
+
+void AddQuarantine(IngestStats& stats, QuarantineEntry entry) {
+  ++stats.blocks_quarantined;
+  if (stats.quarantine.size() < IngestStats::kMaxQuarantineLog)
+    stats.quarantine.push_back(std::move(entry));
+}
+
+}  // namespace
+
+bool IngestSession::Open(const ByteSource& src, CorruptPolicy on_corrupt) {
+  src_ = &src;
+  reader_ = std::make_unique<GsbReader>(src);
+  record_blocks_.clear();
+  interner_ = StringInterner();
+  error_.clear();
+
+  if (!reader_->Open()) {
+    error_ = reader_->error();
+    return false;
+  }
+  std::vector<GsbBlockRef> blocks;
+  if (!reader_->ScanBlocks(on_corrupt, blocks)) {
+    error_ = reader_->error();
+    return false;
+  }
+  std::vector<GsbBlockRef> dict_blocks;
+  for (const GsbBlockRef& b : blocks)
+    (b.kind == GsbBlockKind::kDict ? dict_blocks : record_blocks_).push_back(b);
+  if (!reader_->DecodeDict(dict_blocks, interner_)) {
+    error_ = reader_->error();
+    return false;
+  }
+  return true;
+}
+
+IngestStats IngestSession::Replay(ContinuousEngine& engine,
+                                  const IngestOptions& opts,
+                                  const ResultCallback& cb) {
+  GS_CHECK_MSG(opts.batch_window >= 1, "batch_window must be >= 1");
+  GS_CHECK_MSG(opts.batch_threads >= 1, "batch_threads must be >= 1");
+
+  IngestStats stats;
+  const auto fail = [&](const std::string& why) {
+    stats.failed = true;
+    if (stats.error.empty()) stats.error = why;
+  };
+
+  if (reader_ == nullptr) {
+    fail("ingest session not opened");
+    return stats;
+  }
+  const uint64_t resume_offset =
+      opts.resume != nullptr ? opts.resume->record_offset : 0;
+  if (opts.resume != nullptr) {
+    // ResumeReplay validates these up front; re-check cheaply so a direct
+    // Replay call cannot silently mix streams or engines.
+    if (opts.resume->stream != identity()) {
+      fail("snapshot stream identity does not match the opened file");
+      return stats;
+    }
+    if (opts.resume->engine_name != engine.name()) {
+      fail("snapshot engine '" + opts.resume->engine_name +
+           "' does not match engine '" + engine.name() + "'");
+      return stats;
+    }
+    if (opts.overload != OverloadPolicy::kBlock) {
+      fail("recovery requires --overload=block (shedding is not replayable)");
+      return stats;
+    }
+  }
+  if (opts.snapshot_every_windows > 0) {
+    if (opts.snapshot_path.empty()) {
+      fail("snapshot cadence set but no snapshot path");
+      return stats;
+    }
+    if (opts.overload != OverloadPolicy::kBlock) {
+      fail("snapshots require --overload=block (a shedding run has no "
+           "deterministic replayable prefix)");
+      return stats;
+    }
+  }
+
+  stats.record_blocks = record_blocks_.size();
+  for (const QuarantineEntry& q : reader_->scan_quarantine())
+    AddQuarantine(stats, q);
+
+  Budget budget;
+  if (std::isfinite(opts.budget_seconds))
+    budget.SetDeadlineAfter(opts.budget_seconds);
+  engine.set_budget(&budget);
+  if (opts.batch_window > 1) engine.SetBatchThreads(opts.batch_threads);
+
+  BoundedBatchRing ring(opts.ring_capacity);
+  std::atomic<size_t> next_block{0};
+  std::mutex decode_mu;  // guards the decode-side aggregates below
+  uint64_t decode_records = 0;
+  uint64_t decode_crc_mismatches = 0;
+  std::vector<QuarantineEntry> decode_quarantine;
+  std::atomic<bool> decode_failed{false};
+  std::string decode_error;
+
+  const int readers = std::max(1, opts.reader_threads);
+  const size_t num_blocks = record_blocks_.size();
+  for (int t = 0; t < readers; ++t) ring.AddProducer();
+  std::vector<std::thread> threads;
+  threads.reserve(readers);
+  for (int t = 0; t < readers; ++t) {
+    threads.emplace_back([&] {
+      // Reader thread: claim record blocks by atomic index, decode, push.
+      // Batch seq is the block's dense index among *record* blocks — the
+      // consumer reassembles stream order from it, so threads may finish
+      // out of order.
+      while (!ring.aborted()) {
+        const size_t i = next_block.fetch_add(1, std::memory_order_relaxed);
+        if (i >= num_blocks) break;
+        const GsbBlockRef& block = record_blocks_[i];
+        RecordBatch batch;
+        batch.seq = i;
+        std::string reason;
+        if (reader_->DecodeRecords(block, batch.records, &reason) ==
+            DecodeStatus::kCorrupt) {
+          std::lock_guard<std::mutex> lock(decode_mu);
+          ++decode_crc_mismatches;
+          if (opts.on_corrupt == CorruptPolicy::kFail) {
+            if (decode_error.empty())
+              decode_error = "corrupt record block seq " +
+                             std::to_string(block.seq) + ": " + reason;
+            decode_failed.store(true, std::memory_order_relaxed);
+            ring.Abort();
+            break;
+          }
+          decode_quarantine.push_back(
+              {block.payload_offset - kGsbBlockHeaderBytes, block.seq,
+               std::move(reason)});
+          batch.records.clear();
+          batch.corrupt = true;  // placeholder keeps the reassembly moving
+        } else {
+          std::lock_guard<std::mutex> lock(decode_mu);
+          decode_records += batch.records.size();
+        }
+        const auto r = ring.Push(std::move(batch), opts.overload);
+        if (r == BoundedBatchRing::PushResult::kOverflow) {
+          std::lock_guard<std::mutex> lock(decode_mu);
+          if (decode_error.empty())
+            decode_error = "ring overflow under --overload=fail-fast";
+          decode_failed.store(true, std::memory_order_relaxed);
+          ring.Abort();
+          break;
+        }
+        if (r == BoundedBatchRing::PushResult::kAborted) break;
+      }
+      ring.ProducerDone();
+    });
+  }
+
+  // Apply side (this thread): reassemble block order, fill windows, apply.
+  ResultAccumulator acc;
+  std::map<uint64_t, RecordBatch> pending;  // out-of-order arrivals
+  std::vector<EdgeUpdate> window_buf;
+  uint64_t next_seq = 0;           // next record-block index to consume
+  uint64_t records_applied = 0;    // == the next record's global index
+  bool verified = resume_offset == 0;
+  bool stop = false;
+
+  // Counter + fingerprint cross-check at the resume boundary: the
+  // fast-forward just recomputed everything the snapshot recorded, so any
+  // divergence means wrong queries, wrong engine build, or a stream edit.
+  const auto verify_boundary = [&]() {
+    const SnapshotData& snap = *opts.resume;
+    if (acc.stats.updates_applied != snap.updates_applied ||
+        acc.stats.new_embeddings != snap.new_embeddings ||
+        stats.windows_finalized != snap.windows_finalized) {
+      fail("recovery cross-check failed at record " +
+           std::to_string(resume_offset) + ": replayed counters (applied=" +
+           std::to_string(acc.stats.updates_applied) + ", embeddings=" +
+           std::to_string(acc.stats.new_embeddings) + ", windows=" +
+           std::to_string(stats.windows_finalized) +
+           ") do not match the snapshot");
+      return false;
+    }
+    std::vector<QueryId> sat(acc.satisfied.begin(), acc.satisfied.end());
+    std::sort(sat.begin(), sat.end());
+    if (sat != snap.satisfied) {
+      fail("recovery cross-check failed: satisfied-query set diverged");
+      return false;
+    }
+    const uint64_t fp = engine.StateFingerprint();
+    if (snap.fingerprint != 0 && fp != snap.fingerprint) {
+      fail("recovery fingerprint mismatch at record " +
+           std::to_string(resume_offset) +
+           ": the fast-forwarded engine state differs from the snapshot");
+      return false;
+    }
+    return true;
+  };
+
+  // Applies window_buf[0..n). Returns false when the replay must stop
+  // (timeout, failed verification, failed snapshot write).
+  const auto apply_window = [&](size_t n) {
+    WallTimer timer;
+    std::vector<UpdateResult> results = engine.ApplyBatch(window_buf.data(), n);
+    acc.stats.answer_millis += timer.ElapsedMillis();
+    for (const UpdateResult& r : results) {
+      const uint64_t idx = records_applied++;
+      if (acc.Absorb(r)) acc.stats.timed_out = true;
+      // Emission is suppressed over the fast-forward prefix; a resumed run
+      // emits exactly the uninterrupted run's tail.
+      if (cb && idx >= resume_offset) cb(idx, r);
+    }
+    if (results.size() < n || budget.ExceededNow()) acc.stats.timed_out = true;
+    window_buf.erase(window_buf.begin(), window_buf.begin() + n);
+    ++stats.windows_finalized;
+
+    if (!verified && !acc.stats.timed_out) {
+      if (records_applied == resume_offset) {
+        if (!verify_boundary()) return false;
+        verified = true;
+      } else if (records_applied > resume_offset) {
+        fail("resume offset " + std::to_string(resume_offset) +
+             " is not a window boundary of this run (different batch window "
+             "or stream than the snapshotted run)");
+        return false;
+      }
+    }
+
+    if (!acc.stats.timed_out && opts.snapshot_every_windows > 0 &&
+        stats.windows_finalized % opts.snapshot_every_windows == 0 &&
+        records_applied > resume_offset) {
+      SnapshotData snap;
+      snap.stream = identity();
+      snap.engine_name = engine.name();
+      snap.record_offset = records_applied;
+      snap.windows_finalized = stats.windows_finalized;
+      snap.updates_applied = acc.stats.updates_applied;
+      snap.new_embeddings = acc.stats.new_embeddings;
+      snap.fingerprint = engine.StateFingerprint();
+      snap.satisfied.assign(acc.satisfied.begin(), acc.satisfied.end());
+      std::sort(snap.satisfied.begin(), snap.satisfied.end());
+      std::string werr;
+      if (!WriteSnapshot(opts.snapshot_path, snap, &werr)) {
+        fail("snapshot write failed: " + werr);
+        return false;
+      }
+      ++stats.snapshots_written;
+    }
+
+    if (opts.consumer_stall_micros > 0)
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(opts.consumer_stall_micros));
+    return !acc.stats.timed_out;
+  };
+
+  const auto consume_batch = [&](RecordBatch&& batch) {
+    window_buf.insert(window_buf.end(), batch.records.begin(),
+                      batch.records.end());
+    while (window_buf.size() >= opts.batch_window)
+      if (!apply_window(opts.batch_window)) return false;
+    return true;
+  };
+
+  // Advances next_seq over pending arrivals and shed blocks; false when the
+  // next block is neither (still in flight — Pop for more).
+  const auto advance = [&]() {
+    for (;;) {
+      auto it = pending.find(next_seq);
+      if (it != pending.end()) {
+        RecordBatch batch = std::move(it->second);
+        pending.erase(it);
+        ++next_seq;
+        if (!consume_batch(std::move(batch))) stop = true;
+        if (stop) return false;
+        continue;
+      }
+      if (ring.TakeShed(next_seq) >= 0) {
+        ++next_seq;  // shed records counted via ring stats
+        continue;
+      }
+      return true;
+    }
+  };
+
+  RecordBatch popped;
+  while (!stop && advance() && ring.Pop(popped))
+    pending.emplace(popped.seq, std::move(popped));
+
+  // Producers are done (or the run aborted): drain the remaining pending /
+  // shed blocks, then apply the final partial window.
+  if (!stop) advance();
+  if (!stop && !window_buf.empty() && !apply_window(window_buf.size()))
+    stop = true;
+  ring.Abort();  // releases any producer still blocked on a full ring
+  for (std::thread& t : threads) t.join();
+
+  engine.set_budget(nullptr);
+  if (opts.batch_window > 1) engine.SetBatchThreads(1);
+
+  acc.Finish(engine);
+  stats.run = acc.stats;
+  stats.records_decoded = decode_records;
+  stats.crc_mismatches = decode_crc_mismatches;
+  for (QuarantineEntry& q : decode_quarantine) AddQuarantine(stats, std::move(q));
+  stats.ring = ring.stats();
+  const uint64_t accounted =
+      stats.run.updates_applied + stats.ring.records_shed;
+  stats.records_missing =
+      header().record_count > accounted ? header().record_count - accounted : 0;
+
+  if (decode_failed.load(std::memory_order_relaxed)) fail(decode_error);
+  if (!verified && !stats.failed && !stats.run.timed_out)
+    fail("stream ended before the snapshot's resume offset " +
+         std::to_string(resume_offset) + " — truncated or wrong file");
+  return stats;
+}
+
+IngestStats ResumeReplay(ContinuousEngine& engine, IngestSession& session,
+                         const SnapshotData& snap, IngestOptions opts,
+                         const ResultCallback& cb) {
+  IngestStats stats;
+  if (snap.stream != session.identity()) {
+    stats.failed = true;
+    stats.error = "snapshot was taken against a different stream file";
+    return stats;
+  }
+  if (snap.engine_name != engine.name()) {
+    stats.failed = true;
+    stats.error = "snapshot engine '" + snap.engine_name +
+                  "' does not match engine '" + engine.name() + "'";
+    return stats;
+  }
+  opts.overload = OverloadPolicy::kBlock;  // the recovery contract
+  opts.resume = &snap;
+  return session.Replay(engine, opts, cb);
+}
+
+}  // namespace ingest
+}  // namespace gstream

@@ -1,0 +1,125 @@
+#include "ingest/snapshot.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "ingest/crc32c.h"
+#include "ingest/gsb_writer.h"
+
+namespace gstream {
+namespace ingest {
+
+namespace {
+
+constexpr uint8_t kSnapMagic[4] = {'G', 'S', 'N', 'P'};
+constexpr uint32_t kSnapVersion = 1;
+constexpr size_t kSnapHeaderBytes = 16;  // magic + version + len + crc
+constexpr uint32_t kSnapMaxPayload = 64u << 20;
+
+}  // namespace
+
+bool WriteSnapshot(const std::string& path, const SnapshotData& snap,
+                   std::string* error) {
+  std::vector<uint8_t> payload;
+  PutU32(payload, snap.stream.header_crc);
+  PutU32(payload, snap.stream.dict_count);
+  PutU64(payload, snap.stream.record_count);
+  PutU32(payload, static_cast<uint32_t>(snap.engine_name.size()));
+  payload.insert(payload.end(), snap.engine_name.begin(), snap.engine_name.end());
+  PutU64(payload, snap.record_offset);
+  PutU64(payload, snap.windows_finalized);
+  PutU64(payload, snap.updates_applied);
+  PutU64(payload, snap.new_embeddings);
+  PutU64(payload, snap.fingerprint);
+  PutU32(payload, static_cast<uint32_t>(snap.satisfied.size()));
+  // Stored ascending so snapshot bytes are deterministic for a given state.
+  std::vector<QueryId> qids = snap.satisfied;
+  std::sort(qids.begin(), qids.end());
+  for (QueryId qid : qids) PutU32(payload, qid);
+
+  std::vector<uint8_t> image;
+  image.reserve(kSnapHeaderBytes + payload.size());
+  for (uint8_t c : kSnapMagic) image.push_back(c);
+  PutU32(image, kSnapVersion);
+  PutU32(image, static_cast<uint32_t>(payload.size()));
+  PutU32(image, Crc32c(payload.data(), payload.size()));
+  image.insert(image.end(), payload.begin(), payload.end());
+  return AtomicWriteFile(path, image.data(), image.size(), error);
+}
+
+bool ReadSnapshot(const std::string& path, SnapshotData& snap,
+                  std::string* error) {
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = "snapshot " + path + ": " + why;
+    return false;
+  };
+
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return fail("cannot open");
+  std::vector<uint8_t> image;
+  uint8_t buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+    image.insert(image.end(), buf, buf + n);
+  const bool read_err = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_err) return fail("read error");
+
+  if (image.size() < kSnapHeaderBytes) return fail("short header");
+  if (!std::equal(kSnapMagic, kSnapMagic + 4, image.data()))
+    return fail("bad magic (not a snapshot file)");
+  const uint32_t version = GetU32(image.data() + 4);
+  if (version != kSnapVersion)
+    return fail("unsupported version " + std::to_string(version));
+  const uint32_t payload_len = GetU32(image.data() + 8);
+  const uint32_t payload_crc = GetU32(image.data() + 12);
+  if (payload_len > kSnapMaxPayload) return fail("implausible payload length");
+  if (image.size() != kSnapHeaderBytes + payload_len)
+    return fail("payload length mismatch (torn write?)");
+  const uint8_t* p = image.data() + kSnapHeaderBytes;
+  if (Crc32c(p, payload_len) != payload_crc) return fail("payload CRC mismatch");
+
+  // Exact framing: every read below is bounds-checked, and the payload must
+  // be consumed completely — trailing bytes mean a foreign layout.
+  const uint8_t* end = p + payload_len;
+  const auto need = [&](size_t k) { return static_cast<size_t>(end - p) >= k; };
+
+  if (!need(16)) return fail("truncated stream identity");
+  snap.stream.header_crc = GetU32(p);
+  snap.stream.dict_count = GetU32(p + 4);
+  snap.stream.record_count = GetU64(p + 8);
+  p += 16;
+
+  if (!need(4)) return fail("truncated engine name");
+  const uint32_t name_len = GetU32(p);
+  p += 4;
+  if (name_len > 256 || !need(name_len)) return fail("bad engine name length");
+  snap.engine_name.assign(reinterpret_cast<const char*>(p), name_len);
+  p += name_len;
+
+  if (!need(40)) return fail("truncated counters");
+  snap.record_offset = GetU64(p);
+  snap.windows_finalized = GetU64(p + 8);
+  snap.updates_applied = GetU64(p + 16);
+  snap.new_embeddings = GetU64(p + 24);
+  snap.fingerprint = GetU64(p + 32);
+  p += 40;
+
+  if (!need(4)) return fail("truncated satisfied-query count");
+  const uint32_t sat_count = GetU32(p);
+  p += 4;
+  if (!need(static_cast<size_t>(sat_count) * 4))
+    return fail("truncated satisfied-query list");
+  snap.satisfied.clear();
+  snap.satisfied.reserve(sat_count);
+  for (uint32_t i = 0; i < sat_count; ++i, p += 4)
+    snap.satisfied.push_back(GetU32(p));
+
+  if (p != end) return fail("trailing bytes after payload");
+  if (snap.record_offset > snap.stream.record_count)
+    return fail("record offset past stream end");
+  return true;
+}
+
+}  // namespace ingest
+}  // namespace gstream

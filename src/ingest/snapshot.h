@@ -1,0 +1,61 @@
+#ifndef GSTREAM_INGEST_SNAPSHOT_H_
+#define GSTREAM_INGEST_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "ingest/gsb_format.h"
+
+namespace gstream {
+namespace ingest {
+
+/// Crash-consistency snapshot (DESIGN.md §10): the durable record of "engine
+/// E had applied exactly the first `record_offset` records of stream S when
+/// window W finalized". The engines are deterministic (ApplyBatch is
+/// byte-identical to sequential execution), so the snapshot does NOT
+/// serialize engine internals — recovery rebuilds the engine by replaying
+/// `[0, record_offset)` from the `.gsb` file with emission suppressed, then
+/// verifies the rebuild against the recorded fingerprint and counters before
+/// resuming live emission at `record_offset`.
+///
+/// Snapshots are only taken at finalized-window boundaries under
+/// OverloadPolicy::kBlock — shedding is timing-dependent, so a shed run has
+/// no replayable prefix.
+struct SnapshotData {
+  /// Identity of the stream file the offsets refer to; recovery refuses a
+  /// different (or regenerated) file.
+  GsbIdentity stream;
+  std::string engine_name;
+
+  /// Records applied when the snapshot was taken — the global index among
+  /// *applied* records (quarantined blocks never consume indexes), always at
+  /// a finalized-window boundary.
+  uint64_t record_offset = 0;
+  uint64_t windows_finalized = 0;
+
+  // Cross-checks: the fast-forward replay recomputes all of these; any
+  // mismatch at the resume boundary aborts recovery.
+  uint64_t updates_applied = 0;
+  uint64_t new_embeddings = 0;
+  uint64_t fingerprint = 0;             ///< Engine StateFingerprint(); 0 = none.
+  std::vector<QueryId> satisfied;       ///< Distinct triggered qids, ascending.
+};
+
+/// Serializes and atomically writes `snap` to `path` (tmp + fsync + rename —
+/// a crash mid-snapshot leaves the previous snapshot intact). False with
+/// `*error` set on I/O failure.
+bool WriteSnapshot(const std::string& path, const SnapshotData& snap,
+                   std::string* error);
+
+/// Reads and validates a snapshot file (magic, version, payload CRC, exact
+/// framing). False with `*error` set on any mismatch — a torn or corrupt
+/// snapshot is reported, never half-trusted.
+bool ReadSnapshot(const std::string& path, SnapshotData& snap,
+                  std::string* error);
+
+}  // namespace ingest
+}  // namespace gstream
+
+#endif  // GSTREAM_INGEST_SNAPSHOT_H_

@@ -165,6 +165,17 @@ TEST(FlagsDeathTest, GetPositiveIntRejectsZeroNegativeAndJunk) {
               "expected an integer");
 }
 
+TEST(FlagsDeathTest, RejectsDuplicateFlags) {
+  // A repeated flag used to let the last occurrence silently win; it is now
+  // an error naming the offending flag.
+  const char* argv[] = {"bin", "--batch=4", "--batch=8"};
+  EXPECT_EXIT(Flags::Parse(3, const_cast<char**>(argv)),
+              ::testing::ExitedWithCode(2), "--batch given more than once");
+  const char* argv2[] = {"bin", "--verbose", "--verbose"};
+  EXPECT_EXIT(Flags::Parse(3, const_cast<char**>(argv2)),
+              ::testing::ExitedWithCode(2), "--verbose given more than once");
+}
+
 TEST(TextTable, AlignsColumnsAndMarksTimeouts) {
   TextTable table({"x", "alg"});
   table.AddRow({"10", TextTable::Num(1.5, 2)});

@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/interning.h"
+#include "engine/engine.h"
+#include "graph/update.h"
+#include "ingest/fault_injector.h"
+#include "ingest/gsb_writer.h"
+#include "ingest/pipeline.h"
+#include "query/parser.h"
+
+namespace gstream {
+namespace ingest {
+namespace {
+
+/// Fault-injection suite for the `.gsb` replay path. The central property is
+/// the never-crash / never-double-count contract: for EVERY corrupted image
+/// the pipeline must either (a) refuse to open with a clean error, (b) fail
+/// the replay with a clean error (CorruptPolicy::kFail), or (c) quarantine
+/// the damage and finish (kSkip) — and in every case the records it applies
+/// are a subset of the originals, so counters never exceed the clean run's.
+///
+/// The exhaustive leg flips every single byte of a small image under both
+/// policies; CI runs this file under ASan/UBSan and TSan, so "no crash" also
+/// means no UB and no silent memory corruption.
+
+// A small adds-only stream (monotone: any applied subset of the records
+// yields new_embeddings <= the clean run's total, which is the quantitative
+// no-double-count check).
+struct TestStream {
+  StringInterner interner;
+  std::vector<EdgeUpdate> updates;
+};
+
+TestStream MakeAddsOnlyStream() {
+  TestStream s;
+  const LabelId knows = s.interner.Intern("knows");
+  const LabelId likes = s.interner.Intern("likes");
+  std::vector<VertexId> verts;
+  for (int i = 0; i < 10; ++i)
+    verts.push_back(s.interner.Intern("p" + std::to_string(i)));
+  for (size_t i = 0; i < 40; ++i) {
+    EdgeUpdate u;
+    u.src = verts[i % verts.size()];
+    u.label = (i % 3 == 0) ? likes : knows;
+    u.dst = verts[(i * 7 + 3) % verts.size()];
+    u.op = UpdateOp::kAdd;
+    s.updates.push_back(u);
+  }
+  return s;
+}
+
+std::vector<uint8_t> EncodeTestStream(const TestStream& s) {
+  GsbWriterOptions opt;
+  opt.records_per_block = 8;
+  opt.strings_per_block = 4;
+  return EncodeGsb(s.interner, s.updates, opt);
+}
+
+struct ReplayOutcome {
+  bool open_ok = false;
+  std::string open_error;
+  IngestStats stats;
+};
+
+// Opens `image` and replays it through a fresh TRIC+ engine with two fixed
+// queries parsed against the stream's reconstructed dictionary.
+ReplayOutcome RunImage(std::vector<uint8_t> image, CorruptPolicy policy) {
+  ReplayOutcome out;
+  MemorySource src(std::move(image));
+  IngestSession session;
+  out.open_ok = session.Open(src, policy);
+  if (!out.open_ok) {
+    out.open_error = session.error();
+    return out;
+  }
+  auto engine = CreateEngine(EngineKind::kTricPlus);
+  QueryId qid = 0;
+  for (const char* text : {"(?a)-[knows]->(?b); (?b)-[knows]->(?c)",
+                           "(?a)-[likes]->(?b); (?b)-[knows]->(?a)"}) {
+    ParseResult pr = ParsePattern(text, session.mutable_interner());
+    EXPECT_TRUE(pr.ok) << pr.error;
+    engine->AddQuery(qid++, pr.pattern);
+  }
+  IngestOptions opts;
+  opts.batch_window = 4;
+  opts.on_corrupt = policy;
+  out.stats = session.Replay(*engine, opts);
+  return out;
+}
+
+// Invariants every completed kSkip replay must satisfy relative to the
+// clean baseline.
+void ExpectSkipInvariants(const ReplayOutcome& r, const IngestStats& base,
+                          const std::string& what) {
+  ASSERT_FALSE(r.stats.failed) << what << ": " << r.stats.error;
+  const uint64_t total = base.run.updates_applied;
+  EXPECT_LE(r.stats.run.updates_applied, total) << what;
+  // Accounting closes: applied + shed + missing == header record count.
+  EXPECT_EQ(r.stats.run.updates_applied + r.stats.ring.records_shed +
+                r.stats.records_missing,
+            total)
+      << what;
+  // Monotone adds-only stream: a subset of the records can never produce
+  // more embeddings than the clean run (double-count detector).
+  EXPECT_LE(r.stats.run.new_embeddings, base.run.new_embeddings) << what;
+  // Undetected damage doesn't exist: either the integrity machinery saw
+  // something (CRC, quarantine, or the header record-count cross-check —
+  // which is what catches block-boundary-aligned truncation), or the replay
+  // is byte-identical to the clean one.
+  if (r.stats.crc_mismatches == 0 && r.stats.blocks_quarantined == 0 &&
+      r.stats.records_missing == 0) {
+    EXPECT_EQ(r.stats.run.updates_applied, total) << what;
+    EXPECT_EQ(r.stats.run.new_embeddings, base.run.new_embeddings) << what;
+  }
+}
+
+class IngestFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    stream_ = MakeAddsOnlyStream();
+    image_ = EncodeTestStream(stream_);
+    ReplayOutcome clean = RunImage(image_, CorruptPolicy::kFail);
+    ASSERT_TRUE(clean.open_ok) << clean.open_error;
+    ASSERT_FALSE(clean.stats.failed) << clean.stats.error;
+    ASSERT_EQ(clean.stats.run.updates_applied, stream_.updates.size());
+    baseline_ = clean.stats;
+  }
+
+  TestStream stream_;
+  std::vector<uint8_t> image_;
+  IngestStats baseline_;
+};
+
+TEST_F(IngestFaultTest, EveryByteFlipIsHandledUnderSkip) {
+  for (size_t pos = 0; pos < image_.size(); ++pos) {
+    auto corrupted = image_;
+    corrupted[pos] ^= 0xFF;
+    ReplayOutcome r = RunImage(std::move(corrupted), CorruptPolicy::kSkip);
+    const std::string what = "skip flip @" + std::to_string(pos);
+    if (!r.open_ok) {
+      // Header or dictionary damage: clean refusal, never a crash.
+      EXPECT_FALSE(r.open_error.empty()) << what;
+      continue;
+    }
+    ExpectSkipInvariants(r, baseline_, what);
+  }
+}
+
+TEST_F(IngestFaultTest, EveryByteFlipIsHandledUnderFail) {
+  for (size_t pos = 0; pos < image_.size(); ++pos) {
+    auto corrupted = image_;
+    corrupted[pos] ^= 0xFF;
+    ReplayOutcome r = RunImage(std::move(corrupted), CorruptPolicy::kFail);
+    const std::string what = "fail flip @" + std::to_string(pos);
+    if (!r.open_ok) {
+      EXPECT_FALSE(r.open_error.empty()) << what;
+      continue;
+    }
+    if (r.stats.failed) {
+      EXPECT_FALSE(r.stats.error.empty()) << what;
+      continue;
+    }
+    // A flip the integrity machinery legitimately cannot see (e.g. the
+    // reserved block-header byte) must leave the results untouched.
+    EXPECT_EQ(r.stats.run.updates_applied, baseline_.run.updates_applied)
+        << what;
+    EXPECT_EQ(r.stats.run.new_embeddings, baseline_.run.new_embeddings) << what;
+  }
+}
+
+TEST_F(IngestFaultTest, TruncationSweepNeverCrashes) {
+  for (size_t cut = 1; cut <= image_.size(); cut += 5) {
+    FaultInjector fi(1);
+    auto corrupted = image_;
+    fi.Truncate(corrupted, cut);
+    for (CorruptPolicy policy : {CorruptPolicy::kSkip, CorruptPolicy::kFail}) {
+      ReplayOutcome r = RunImage(corrupted, policy);
+      const std::string what = "truncate " + std::to_string(cut) + " policy " +
+                               std::to_string(static_cast<int>(policy));
+      if (!r.open_ok) {
+        EXPECT_FALSE(r.open_error.empty()) << what;
+        continue;
+      }
+      if (policy == CorruptPolicy::kSkip) {
+        ExpectSkipInvariants(r, baseline_, what);
+        // A truncated tail loses records; the loss is visible, not silent.
+        EXPECT_GT(r.stats.records_missing, 0u) << what;
+      } else if (r.stats.failed) {
+        EXPECT_FALSE(r.stats.error.empty()) << what;
+      } else {
+        EXPECT_EQ(r.stats.run.updates_applied + r.stats.records_missing,
+                  baseline_.run.updates_applied)
+            << what;
+      }
+    }
+  }
+}
+
+TEST_F(IngestFaultTest, DuplicatedBlocksAreNeverDoubleCounted) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    FaultInjector fi(seed);
+    auto corrupted = image_;
+    fi.DuplicateRandomBlock(corrupted);
+    ASSERT_GT(corrupted.size(), image_.size());
+    ReplayOutcome r = RunImage(std::move(corrupted), CorruptPolicy::kSkip);
+    const std::string what = "dup seed " + std::to_string(seed);
+    ASSERT_TRUE(r.open_ok) << what << ": " << r.open_error;
+    ASSERT_FALSE(r.stats.failed) << what << ": " << r.stats.error;
+    // At-least-once delivery: results identical to exactly-once.
+    EXPECT_EQ(r.stats.run.updates_applied, baseline_.run.updates_applied)
+        << what;
+    EXPECT_EQ(r.stats.run.new_embeddings, baseline_.run.new_embeddings) << what;
+    EXPECT_EQ(r.stats.records_missing, 0u) << what;
+  }
+}
+
+TEST_F(IngestFaultTest, SwappedBlocksLoseDeterministically) {
+  uint64_t total_quarantined = 0;
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    FaultInjector fi(seed);
+    auto corrupted = image_;
+    fi.SwapAdjacentBlocks(corrupted);
+    ReplayOutcome r = RunImage(std::move(corrupted), CorruptPolicy::kSkip);
+    const std::string what = "swap seed " + std::to_string(seed);
+    if (!r.open_ok) {
+      // Swapping dictionary blocks shifts ids — always fatal, by design.
+      EXPECT_FALSE(r.open_error.empty()) << what;
+      continue;
+    }
+    ExpectSkipInvariants(r, baseline_, what);
+    total_quarantined += r.stats.blocks_quarantined;
+
+    // Determinism: the same corrupted image replays to the same outcome.
+    ReplayOutcome again = RunImage([&] {
+      auto copy = image_;
+      FaultInjector fi2(seed);
+      fi2.SwapAdjacentBlocks(copy);
+      return copy;
+    }(), CorruptPolicy::kSkip);
+    ASSERT_TRUE(again.open_ok) << what;
+    EXPECT_EQ(again.stats.run.updates_applied, r.stats.run.updates_applied)
+        << what;
+    EXPECT_EQ(again.stats.run.new_embeddings, r.stats.run.new_embeddings)
+        << what;
+    EXPECT_EQ(again.stats.blocks_quarantined, r.stats.blocks_quarantined)
+        << what;
+  }
+  // Across the seed sweep at least one record-block swap must have been
+  // caught by the framing scan.
+  EXPECT_GT(total_quarantined, 0u);
+}
+
+TEST_F(IngestFaultTest, RecordPayloadFlipsQuarantineUnderSkip) {
+  FaultInjector fi(7);
+  auto corrupted = image_;
+  fi.FlipRecordBytes(corrupted, 3);
+  ReplayOutcome r = RunImage(std::move(corrupted), CorruptPolicy::kSkip);
+  ASSERT_TRUE(r.open_ok) << r.open_error;
+  ExpectSkipInvariants(r, baseline_, "record flips");
+  EXPECT_GT(r.stats.crc_mismatches, 0u);
+  EXPECT_GT(r.stats.blocks_quarantined, 0u);
+  EXPECT_FALSE(r.stats.quarantine.empty());
+  EXPECT_LT(r.stats.run.updates_applied, baseline_.run.updates_applied);
+}
+
+TEST_F(IngestFaultTest, RecordPayloadFlipsFailCleanlyUnderFailPolicy) {
+  FaultInjector fi(7);
+  auto corrupted = image_;
+  fi.FlipRecordBytes(corrupted, 3);
+  ReplayOutcome r = RunImage(std::move(corrupted), CorruptPolicy::kFail);
+  ASSERT_TRUE(r.open_ok) << r.open_error;
+  EXPECT_TRUE(r.stats.failed);
+  EXPECT_NE(r.stats.error.find("corrupt"), std::string::npos) << r.stats.error;
+}
+
+}  // namespace
+}  // namespace ingest
+}  // namespace gstream

@@ -1,0 +1,292 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/interning.h"
+#include "graph/update.h"
+#include "ingest/crc32c.h"
+#include "ingest/gsb_format.h"
+#include "ingest/gsb_reader.h"
+#include "ingest/gsb_writer.h"
+#include "ingest/snapshot.h"
+
+namespace gstream {
+namespace ingest {
+namespace {
+
+/// Format-layer tests of the `.gsb` binary stream container and the recovery
+/// snapshot file: checksum vectors, encode/decode roundtrips (multi-block,
+/// deletes, file I/O), header validation, stream identity, and snapshot
+/// framing — every byte written must read back exactly, and every corrupted
+/// byte must be detected.
+
+// A small stream with interned labels, multiple dict + record blocks, and a
+// delete mixed in.
+struct SmallStream {
+  StringInterner interner;
+  std::vector<EdgeUpdate> updates;
+};
+
+SmallStream MakeSmallStream(size_t num_updates = 50) {
+  SmallStream s;
+  std::vector<LabelId> labels;
+  for (int i = 0; i < 4; ++i)
+    labels.push_back(s.interner.Intern("label_" + std::to_string(i)));
+  std::vector<VertexId> verts;
+  for (int i = 0; i < 8; ++i)
+    verts.push_back(s.interner.Intern("v" + std::to_string(i)));
+  for (size_t i = 0; i < num_updates; ++i) {
+    EdgeUpdate u;
+    u.src = verts[i % verts.size()];
+    u.label = labels[i % labels.size()];
+    u.dst = verts[(i * 3 + 1) % verts.size()];
+    u.op = (i % 11 == 10) ? UpdateOp::kDelete : UpdateOp::kAdd;
+    s.updates.push_back(u);
+  }
+  return s;
+}
+
+GsbWriterOptions SmallBlocks() {
+  GsbWriterOptions opt;
+  opt.records_per_block = 7;
+  opt.strings_per_block = 3;
+  return opt;
+}
+
+// Decodes every record block of `image` back into a flat update vector,
+// asserting the scan found clean framing.
+std::vector<EdgeUpdate> DecodeAll(const std::vector<uint8_t>& image,
+                                  StringInterner* interner_out = nullptr) {
+  MemorySource src(image);
+  GsbReader reader(src);
+  EXPECT_TRUE(reader.Open()) << reader.error();
+  std::vector<GsbBlockRef> blocks;
+  EXPECT_TRUE(reader.ScanBlocks(CorruptPolicy::kFail, blocks)) << reader.error();
+  EXPECT_TRUE(reader.scan_quarantine().empty());
+  StringInterner interner;
+  std::vector<GsbBlockRef> dict;
+  std::vector<EdgeUpdate> updates;
+  for (const GsbBlockRef& b : blocks)
+    if (b.kind == GsbBlockKind::kDict) dict.push_back(b);
+  EXPECT_TRUE(reader.DecodeDict(dict, interner)) << reader.error();
+  for (const GsbBlockRef& b : blocks) {
+    if (b.kind != GsbBlockKind::kRecords) continue;
+    std::string reason;
+    EXPECT_EQ(reader.DecodeRecords(b, updates, &reason), DecodeStatus::kOk)
+        << reason;
+  }
+  if (interner_out != nullptr) *interner_out = std::move(interner);
+  return updates;
+}
+
+TEST(Crc32cTest, KnownVectorAndChaining) {
+  // The canonical CRC32C check vector.
+  const char* check = "123456789";
+  EXPECT_EQ(Crc32c(check, 9), 0xE3069283u);
+  EXPECT_EQ(Crc32c(nullptr, 0), 0u);
+
+  // Seed-chaining: crc(a||b) == crc(b, seed = crc(a)).
+  const std::string a = "hello, ";
+  const std::string b = "gsb world";
+  const std::string ab = a + b;
+  EXPECT_EQ(Crc32c(ab.data(), ab.size()),
+            Crc32c(b.data(), b.size(), Crc32c(a.data(), a.size())));
+}
+
+TEST(GsbFormatTest, HeaderRoundtrip) {
+  SmallStream s = MakeSmallStream();
+  const auto image = EncodeGsb(s.interner, s.updates, SmallBlocks());
+
+  MemorySource src(image);
+  GsbReader reader(src);
+  ASSERT_TRUE(reader.Open()) << reader.error();
+  EXPECT_EQ(reader.header().version, kGsbVersion);
+  EXPECT_EQ(reader.header().dict_count, s.interner.size());
+  EXPECT_EQ(reader.header().record_count, s.updates.size());
+}
+
+TEST(GsbFormatTest, MultiBlockRoundtripWithDeletes) {
+  SmallStream s = MakeSmallStream();
+  const auto image = EncodeGsb(s.interner, s.updates, SmallBlocks());
+
+  StringInterner decoded_interner;
+  const auto decoded = DecodeAll(image, &decoded_interner);
+  ASSERT_EQ(decoded.size(), s.updates.size());
+  EXPECT_EQ(decoded, s.updates);
+
+  // The dictionary reconstructs with identical dense ids.
+  ASSERT_EQ(decoded_interner.size(), s.interner.size());
+  for (uint32_t id = 0; id < s.interner.size(); ++id)
+    EXPECT_EQ(decoded_interner.Lookup(id), s.interner.Lookup(id));
+}
+
+TEST(GsbFormatTest, SingleBlockAndEmptyStreamRoundtrip) {
+  SmallStream s = MakeSmallStream(3);
+  // Default (large) blocks: everything in one dict + one record block.
+  EXPECT_EQ(DecodeAll(EncodeGsb(s.interner, s.updates, {})), s.updates);
+
+  StringInterner empty;
+  EXPECT_TRUE(DecodeAll(EncodeGsb(empty, {}, {})).empty());
+}
+
+TEST(GsbFormatTest, FileRoundtrip) {
+  SmallStream s = MakeSmallStream();
+  const std::string path = testing::TempDir() + "/gsb_format_roundtrip.gsb";
+  std::string error;
+  ASSERT_TRUE(WriteGsbFile(path, s.interner, s.updates, &error, SmallBlocks()))
+      << error;
+
+  auto src = FileSource::Open(path, &error);
+  ASSERT_NE(src, nullptr) << error;
+  GsbReader reader(*src);
+  ASSERT_TRUE(reader.Open()) << reader.error();
+  std::vector<GsbBlockRef> blocks;
+  ASSERT_TRUE(reader.ScanBlocks(CorruptPolicy::kFail, blocks)) << reader.error();
+  std::vector<EdgeUpdate> decoded;
+  for (const GsbBlockRef& b : blocks) {
+    if (b.kind != GsbBlockKind::kRecords) continue;
+    std::string reason;
+    ASSERT_EQ(reader.DecodeRecords(b, decoded, &reason), DecodeStatus::kOk)
+        << reason;
+  }
+  EXPECT_EQ(decoded, s.updates);
+  std::remove(path.c_str());
+}
+
+TEST(GsbFormatTest, OpenRejectsCorruptHeaders) {
+  SmallStream s = MakeSmallStream();
+  const auto image = EncodeGsb(s.interner, s.updates, SmallBlocks());
+
+  const auto expect_open_fails = [](std::vector<uint8_t> bytes,
+                                    const char* what) {
+    MemorySource src(std::move(bytes));
+    GsbReader reader(src);
+    EXPECT_FALSE(reader.Open()) << what;
+    EXPECT_FALSE(reader.error().empty()) << what;
+  };
+
+  expect_open_fails({}, "empty file");
+  expect_open_fails({image.begin(), image.begin() + kGsbHeaderBytes / 2},
+                    "short header");
+
+  // Every single-byte flip inside the self-checksummed header is detected.
+  for (size_t pos = 0; pos < kGsbHeaderBytes; ++pos) {
+    auto bytes = image;
+    bytes[pos] ^= 0xFF;
+    expect_open_fails(std::move(bytes),
+                      ("header flip @" + std::to_string(pos)).c_str());
+  }
+}
+
+TEST(GsbFormatTest, IdentityMatchesReencodeAndRejectsDifferentStream) {
+  SmallStream s = MakeSmallStream();
+  const auto image_a = EncodeGsb(s.interner, s.updates, SmallBlocks());
+  const auto image_b = EncodeGsb(s.interner, s.updates, SmallBlocks());
+
+  const auto identity_of = [](const std::vector<uint8_t>& image) {
+    MemorySource src(image);
+    GsbReader reader(src);
+    EXPECT_TRUE(reader.Open()) << reader.error();
+    return reader.identity();
+  };
+
+  EXPECT_EQ(identity_of(image_a), identity_of(image_b));
+
+  auto longer = s.updates;
+  longer.push_back(s.updates.front());
+  EXPECT_NE(identity_of(EncodeGsb(s.interner, longer, SmallBlocks())),
+            identity_of(image_a));
+}
+
+SnapshotData MakeSnapshot() {
+  SnapshotData snap;
+  snap.stream.header_crc = 0xDEADBEEFu;
+  snap.stream.dict_count = 123;
+  snap.stream.record_count = 456789;
+  snap.engine_name = "TRIC+";
+  snap.record_offset = 4480;
+  snap.windows_finalized = 70;
+  snap.updates_applied = 4480;
+  snap.new_embeddings = 991;
+  snap.fingerprint = 0x0123456789ABCDEFull;
+  snap.satisfied = {9, 3, 7};  // Unsorted on purpose; stored ascending.
+  return snap;
+}
+
+TEST(SnapshotTest, Roundtrip) {
+  const std::string path = testing::TempDir() + "/gsb_snapshot_roundtrip.snap";
+  const SnapshotData snap = MakeSnapshot();
+  std::string error;
+  ASSERT_TRUE(WriteSnapshot(path, snap, &error)) << error;
+
+  SnapshotData got;
+  ASSERT_TRUE(ReadSnapshot(path, got, &error)) << error;
+  EXPECT_EQ(got.stream, snap.stream);
+  EXPECT_EQ(got.engine_name, snap.engine_name);
+  EXPECT_EQ(got.record_offset, snap.record_offset);
+  EXPECT_EQ(got.windows_finalized, snap.windows_finalized);
+  EXPECT_EQ(got.updates_applied, snap.updates_applied);
+  EXPECT_EQ(got.new_embeddings, snap.new_embeddings);
+  EXPECT_EQ(got.fingerprint, snap.fingerprint);
+  EXPECT_EQ(got.satisfied, (std::vector<QueryId>{3, 7, 9}));
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, DetectsEveryByteFlipAndTruncation) {
+  const std::string path = testing::TempDir() + "/gsb_snapshot_corrupt.snap";
+  std::string error;
+  ASSERT_TRUE(WriteSnapshot(path, MakeSnapshot(), &error)) << error;
+
+  // Slurp the written bytes back so we can corrupt copies.
+  FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::vector<uint8_t> image;
+  uint8_t buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+    image.insert(image.end(), buf, buf + n);
+  std::fclose(f);
+  ASSERT_GT(image.size(), 16u);
+
+  const auto expect_read_fails = [&](const std::vector<uint8_t>& bytes,
+                                     const std::string& what) {
+    FILE* out = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(out, nullptr);
+    if (!bytes.empty()) {
+      ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), out), bytes.size());
+    }
+    std::fclose(out);
+    SnapshotData got;
+    std::string err;
+    EXPECT_FALSE(ReadSnapshot(path, got, &err)) << what;
+    EXPECT_FALSE(err.empty()) << what;
+  };
+
+  // The header is structurally validated and the payload is checksummed, so
+  // no single-byte flip anywhere in the file can go unnoticed.
+  for (size_t pos = 0; pos < image.size(); ++pos) {
+    auto bytes = image;
+    bytes[pos] ^= 0xFF;
+    expect_read_fails(bytes, "flip @" + std::to_string(pos));
+  }
+  // Torn writes: every truncation length is rejected.
+  for (size_t keep = 0; keep < image.size(); keep += 3)
+    expect_read_fails({image.begin(), image.begin() + keep},
+                      "truncate to " + std::to_string(keep));
+
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, MissingFileIsAnError) {
+  SnapshotData got;
+  std::string error;
+  EXPECT_FALSE(ReadSnapshot(testing::TempDir() + "/no_such_snapshot.snap", got,
+                            &error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace ingest
+}  // namespace gstream

@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/driver.h"
+#include "engine/engine.h"
+#include "ingest/gsb_writer.h"
+#include "ingest/pipeline.h"
+#include "workload/query_gen.h"
+#include "workload/snb.h"
+
+namespace gstream {
+namespace ingest {
+namespace {
+
+/// Pipeline-layer tests: the threaded decode->ring->apply path must be
+/// observationally identical to RunStream over the same updates (same
+/// per-update results in stream order, same aggregate counters), and the
+/// three overload policies must do exactly what they advertise — block
+/// (lossless backpressure), shed (counted loss, accounting closes), and
+/// fail-fast (clean abort). Reader threads decode blocks out of order by
+/// design; the consumer's reassembly puts them back — TSan runs this file.
+
+struct Fixture {
+  workload::Workload w;
+  std::vector<QueryPattern> queries;
+  std::vector<uint8_t> image;
+};
+
+Fixture MakeFixture(size_t num_updates = 600, size_t records_per_block = 16) {
+  Fixture f;
+  workload::SnbConfig cfg;
+  cfg.num_updates = num_updates;
+  cfg.seed = 11;
+  cfg.num_places = 10;
+  cfg.num_tags = 10;
+  f.w = workload::GenerateSnb(cfg);
+
+  workload::QueryGenConfig qcfg;
+  qcfg.num_queries = 6;
+  qcfg.avg_size = 4.0;
+  qcfg.selectivity = 0.5;
+  qcfg.overlap = 0.5;
+  qcfg.seed = 5;
+  f.queries = workload::GenerateQueries(f.w, qcfg).queries;
+
+  GsbWriterOptions opt;
+  opt.records_per_block = records_per_block;
+  f.image = EncodeGsb(*f.w.interner, f.w.stream.updates(), opt);
+  return f;
+}
+
+// The encoded dictionary reconstructs the workload interner with identical
+// ids, so patterns generated against the workload register unchanged on the
+// replay engine.
+std::unique_ptr<ContinuousEngine> MakeEngine(EngineKind kind,
+                                             const Fixture& f) {
+  auto engine = CreateEngine(kind);
+  for (QueryId qid = 0; qid < f.queries.size(); ++qid)
+    engine->AddQuery(qid, f.queries[qid]);
+  return engine;
+}
+
+struct Emission {
+  uint64_t index;
+  UpdateResult result;
+};
+
+IngestStats ReplayCollecting(const Fixture& f, ContinuousEngine& engine,
+                             const IngestOptions& opts,
+                             std::vector<Emission>& out) {
+  MemorySource src(f.image);
+  IngestSession session;
+  EXPECT_TRUE(session.Open(src, opts.on_corrupt)) << session.error();
+  return session.Replay(engine, opts, [&](uint64_t idx, const UpdateResult& r) {
+    out.push_back({idx, r});
+  });
+}
+
+TEST(IngestPipelineTest, ThreadedReplayMatchesSequentialRunStream) {
+  const Fixture f = MakeFixture();
+  for (EngineKind kind : {EngineKind::kTricPlus, EngineKind::kInvPlus,
+                          EngineKind::kIncPlus, EngineKind::kNaive}) {
+    // Sequential ground truth, one ApplyUpdate at a time.
+    auto sequential = MakeEngine(kind, f);
+    std::vector<UpdateResult> expected;
+    ResultAccumulator acc;
+    for (const EdgeUpdate& u : f.w.stream.updates()) {
+      expected.push_back(sequential->ApplyUpdate(u));
+      acc.Absorb(expected.back());
+    }
+    acc.Finish(*sequential);
+
+    // Threaded replay: 4 decode threads, small ring, batched windows.
+    auto replayed = MakeEngine(kind, f);
+    IngestOptions opts;
+    opts.batch_window = 8;
+    opts.reader_threads = 4;
+    opts.ring_capacity = 3;
+    std::vector<Emission> emissions;
+    IngestStats stats = ReplayCollecting(f, *replayed, opts, emissions);
+    const std::string what = replayed->name();
+
+    ASSERT_FALSE(stats.failed) << what << ": " << stats.error;
+    EXPECT_EQ(stats.crc_mismatches, 0u) << what;
+    EXPECT_EQ(stats.blocks_quarantined, 0u) << what;
+    EXPECT_EQ(stats.records_missing, 0u) << what;
+
+    // Aggregates agree with the driver's accounting.
+    EXPECT_EQ(stats.run.updates_applied, acc.stats.updates_applied) << what;
+    EXPECT_EQ(stats.run.new_embeddings, acc.stats.new_embeddings) << what;
+    EXPECT_EQ(stats.run.queries_satisfied, acc.stats.queries_satisfied) << what;
+
+    // Per-update results agree, in stream order.
+    ASSERT_EQ(emissions.size(), expected.size()) << what;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(emissions[i].index, i) << what;
+      EXPECT_EQ(emissions[i].result.changed, expected[i].changed)
+          << what << " @" << i;
+      EXPECT_EQ(emissions[i].result.triggered, expected[i].triggered)
+          << what << " @" << i;
+      EXPECT_EQ(emissions[i].result.per_query, expected[i].per_query)
+          << what << " @" << i;
+    }
+  }
+}
+
+TEST(IngestPipelineTest, BlockPolicyIsLosslessUnderSlowConsumer) {
+  const Fixture f = MakeFixture(600, 4);  // 150 record blocks.
+  auto engine = MakeEngine(EngineKind::kTricPlus, f);
+  IngestOptions opts;
+  opts.batch_window = 4;
+  opts.reader_threads = 2;
+  opts.ring_capacity = 2;
+  opts.overload = OverloadPolicy::kBlock;
+  opts.consumer_stall_micros = 300;  // Force the ring full.
+  std::vector<Emission> emissions;
+  IngestStats stats = ReplayCollecting(f, *engine, opts, emissions);
+
+  ASSERT_FALSE(stats.failed) << stats.error;
+  EXPECT_EQ(stats.run.updates_applied, f.w.stream.size());
+  EXPECT_EQ(emissions.size(), f.w.stream.size());
+  EXPECT_EQ(stats.ring.batches_shed, 0u);
+  EXPECT_EQ(stats.records_missing, 0u);
+  // The producers actually hit backpressure (the point of the stall).
+  EXPECT_GT(stats.ring.blocked_pushes, 0u);
+  EXPECT_GE(stats.ring.max_occupancy, opts.ring_capacity);
+}
+
+TEST(IngestPipelineTest, ShedPolicyCountsEveryLostRecord) {
+  const Fixture f = MakeFixture(600, 4);
+  auto engine = MakeEngine(EngineKind::kTricPlus, f);
+  IngestOptions opts;
+  opts.batch_window = 4;
+  opts.reader_threads = 2;
+  opts.ring_capacity = 2;
+  opts.overload = OverloadPolicy::kShed;
+  opts.consumer_stall_micros = 1000;
+  std::vector<Emission> emissions;
+  IngestStats stats = ReplayCollecting(f, *engine, opts, emissions);
+
+  ASSERT_FALSE(stats.failed) << stats.error;
+  EXPECT_GT(stats.ring.batches_shed, 0u);
+  EXPECT_GT(stats.ring.records_shed, 0u);
+  // Nothing lost silently: applied + shed + missing == header record count.
+  EXPECT_EQ(stats.run.updates_applied + stats.ring.records_shed +
+                stats.records_missing,
+            f.w.stream.size());
+  EXPECT_EQ(emissions.size(), stats.run.updates_applied);
+  // Emission indexes stay dense over the applied records.
+  for (size_t i = 0; i < emissions.size(); ++i)
+    EXPECT_EQ(emissions[i].index, i);
+}
+
+TEST(IngestPipelineTest, FailFastAbortsOnOverflow) {
+  const Fixture f = MakeFixture(600, 4);
+  auto engine = MakeEngine(EngineKind::kTricPlus, f);
+  IngestOptions opts;
+  opts.batch_window = 4;
+  opts.reader_threads = 2;
+  opts.ring_capacity = 1;
+  opts.overload = OverloadPolicy::kFailFast;
+  opts.consumer_stall_micros = 2000;
+  std::vector<Emission> emissions;
+  IngestStats stats = ReplayCollecting(f, *engine, opts, emissions);
+
+  EXPECT_TRUE(stats.failed);
+  EXPECT_NE(stats.error.find("overflow"), std::string::npos) << stats.error;
+}
+
+TEST(IngestPipelineTest, ReaderThreadCountDoesNotChangeResults) {
+  const Fixture f = MakeFixture(400, 8);
+  std::vector<Emission> base;
+  {
+    auto engine = MakeEngine(EngineKind::kIncPlus, f);
+    IngestOptions opts;
+    opts.batch_window = 16;
+    opts.reader_threads = 1;
+    ASSERT_FALSE(ReplayCollecting(f, *engine, opts, base).failed);
+  }
+  for (int readers : {2, 4, 8}) {
+    auto engine = MakeEngine(EngineKind::kIncPlus, f);
+    IngestOptions opts;
+    opts.batch_window = 16;
+    opts.reader_threads = readers;
+    opts.ring_capacity = 2;
+    std::vector<Emission> got;
+    IngestStats stats = ReplayCollecting(f, *engine, opts, got);
+    ASSERT_FALSE(stats.failed) << stats.error;
+    ASSERT_EQ(got.size(), base.size()) << readers << " readers";
+    for (size_t i = 0; i < base.size(); ++i) {
+      EXPECT_EQ(got[i].index, base[i].index) << readers << " readers @" << i;
+      EXPECT_EQ(got[i].result.per_query, base[i].result.per_query)
+          << readers << " readers @" << i;
+    }
+  }
+}
+
+TEST(IngestPipelineTest, ReplayIsRepeatableOnOneSession) {
+  const Fixture f = MakeFixture(300, 8);
+  MemorySource src(f.image);
+  IngestSession session;
+  ASSERT_TRUE(session.Open(src, CorruptPolicy::kFail)) << session.error();
+
+  uint64_t first_embeddings = 0;
+  for (int round = 0; round < 2; ++round) {
+    auto engine = MakeEngine(EngineKind::kTric, f);
+    IngestOptions opts;
+    opts.batch_window = 8;
+    opts.reader_threads = 2;
+    IngestStats stats = session.Replay(*engine, opts);
+    ASSERT_FALSE(stats.failed) << stats.error;
+    EXPECT_EQ(stats.run.updates_applied, f.w.stream.size());
+    if (round == 0)
+      first_embeddings = stats.run.new_embeddings;
+    else
+      EXPECT_EQ(stats.run.new_embeddings, first_embeddings);
+  }
+}
+
+}  // namespace
+}  // namespace ingest
+}  // namespace gstream

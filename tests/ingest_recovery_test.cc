@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "ingest/gsb_writer.h"
+#include "ingest/pipeline.h"
+#include "ingest/snapshot.h"
+#include "workload/query_gen.h"
+#include "workload/snb.h"
+
+namespace gstream {
+namespace ingest {
+namespace {
+
+/// Crash-consistency suite for snapshot/replay recovery (DESIGN.md §10): an
+/// uninterrupted replay writes snapshots at finalized-window boundaries; we
+/// model a crash by grabbing the snapshot file mid-run (atomic writes
+/// guarantee it is a complete boundary snapshot), then recover into a FRESH
+/// engine and require the resumed run to emit the uninterrupted run's tail
+/// byte-identically and land on the same final counters — for every view
+/// engine. Tampered snapshots (fingerprint, counters, engine, stream
+/// identity, offset) must be rejected with a clean error, never applied.
+
+constexpr size_t kWindow = 25;
+constexpr uint64_t kKillIndex = 800;  // Simulated crash point (record index).
+
+bool ReadFileBytes(const std::string& path, std::vector<uint8_t>& out) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  out.clear();
+  uint8_t buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+    out.insert(out.end(), buf, buf + n);
+  std::fclose(f);
+  return true;
+}
+
+bool WriteFileBytes(const std::string& path, const std::vector<uint8_t>& bytes) {
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok =
+      bytes.empty() || std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+struct Emission {
+  uint64_t index;
+  UpdateResult result;
+};
+
+bool operator==(const Emission& a, const Emission& b) {
+  return a.index == b.index && a.result.changed == b.result.changed &&
+         a.result.triggered == b.result.triggered &&
+         a.result.per_query == b.result.per_query;
+}
+
+class IngestRecoveryTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    workload::SnbConfig cfg;
+    cfg.num_updates = 1500;
+    cfg.seed = 13;
+    cfg.num_places = 10;
+    cfg.num_tags = 10;
+    w_ = new workload::Workload(workload::GenerateSnb(cfg));
+
+    workload::QueryGenConfig qcfg;
+    qcfg.num_queries = 8;
+    qcfg.avg_size = 4.0;
+    qcfg.selectivity = 0.5;
+    qcfg.overlap = 0.5;
+    qcfg.seed = 3;
+    queries_ = new std::vector<QueryPattern>(
+        workload::GenerateQueries(*w_, qcfg).queries);
+
+    image_ = new std::vector<uint8_t>(
+        EncodeGsb(*w_->interner, w_->stream.updates(), {}));
+  }
+
+  static void TearDownTestSuite() {
+    delete w_;
+    delete queries_;
+    delete image_;
+    w_ = nullptr;
+    queries_ = nullptr;
+    image_ = nullptr;
+  }
+
+  static std::unique_ptr<ContinuousEngine> MakeEngine(EngineKind kind) {
+    auto engine = CreateEngine(kind);
+    for (QueryId qid = 0; qid < queries_->size(); ++qid)
+      engine->AddQuery(qid, (*queries_)[qid]);
+    return engine;
+  }
+
+  struct FullRun {
+    IngestStats stats;
+    std::vector<Emission> emissions;
+    std::vector<uint8_t> killed_snapshot;  ///< Bytes grabbed at the crash.
+  };
+
+  // Uninterrupted run with snapshot cadence; grabs the snapshot file's bytes
+  // the moment the emission index crosses kKillIndex (the simulated crash).
+  static FullRun RunFull(EngineKind kind, const std::string& snapshot_path) {
+    FullRun out;
+    MemorySource src(*image_);
+    IngestSession session;
+    EXPECT_TRUE(session.Open(src, CorruptPolicy::kFail)) << session.error();
+    auto engine = MakeEngine(kind);
+    IngestOptions opts;
+    opts.batch_window = kWindow;
+    opts.reader_threads = 2;
+    opts.ring_capacity = 4;
+    opts.snapshot_every_windows = 2;
+    opts.snapshot_path = snapshot_path;
+    out.stats = session.Replay(
+        *engine, opts, [&](uint64_t idx, const UpdateResult& r) {
+          out.emissions.push_back({idx, r});
+          if (idx >= kKillIndex && out.killed_snapshot.empty())
+            ReadFileBytes(snapshot_path, out.killed_snapshot);
+        });
+    return out;
+  }
+
+  static workload::Workload* w_;
+  static std::vector<QueryPattern>* queries_;
+  static std::vector<uint8_t>* image_;
+};
+
+workload::Workload* IngestRecoveryTest::w_ = nullptr;
+std::vector<QueryPattern>* IngestRecoveryTest::queries_ = nullptr;
+std::vector<uint8_t>* IngestRecoveryTest::image_ = nullptr;
+
+TEST_F(IngestRecoveryTest, KillAndResumeIsExactForEveryViewEngine) {
+  for (EngineKind kind : PaperEngineKinds()) {
+    if (kind == EngineKind::kGraphDb) continue;  // No snapshot fingerprint.
+    const std::string name = EngineKindName(kind);
+    const std::string snap_path =
+        testing::TempDir() + "/recovery_" + name + ".snap";
+    const std::string killed_path =
+        testing::TempDir() + "/recovery_" + name + "_killed.snap";
+
+    FullRun full = RunFull(kind, snap_path);
+    ASSERT_FALSE(full.stats.failed) << name << ": " << full.stats.error;
+    ASSERT_EQ(full.stats.run.updates_applied, w_->stream.size()) << name;
+    ASSERT_GT(full.stats.snapshots_written, 0u) << name;
+    ASSERT_FALSE(full.killed_snapshot.empty()) << name;
+    ASSERT_TRUE(WriteFileBytes(killed_path, full.killed_snapshot)) << name;
+
+    SnapshotData snap;
+    std::string error;
+    ASSERT_TRUE(ReadSnapshot(killed_path, snap, &error)) << name << ": " << error;
+    EXPECT_EQ(snap.engine_name, name);
+    EXPECT_GT(snap.record_offset, 0u) << name;
+    EXPECT_LE(snap.record_offset, kKillIndex + kWindow) << name;
+    // Snapshots land on finalized-window boundaries only.
+    EXPECT_EQ(snap.record_offset % kWindow, 0u) << name;
+    // The view engines expose a real state fingerprint.
+    EXPECT_NE(snap.fingerprint, 0u) << name;
+
+    // Recover into a FRESH engine with the same queries.
+    MemorySource src(*image_);
+    IngestSession session;
+    ASSERT_TRUE(session.Open(src, CorruptPolicy::kFail)) << session.error();
+    IngestOptions opts;
+    opts.batch_window = kWindow;
+    opts.reader_threads = 2;
+    opts.ring_capacity = 4;
+    std::vector<Emission> tail;
+    auto resumed = MakeEngine(kind);
+    IngestStats stats = ResumeReplay(
+        *resumed, session, snap, opts,
+        [&](uint64_t idx, const UpdateResult& r) { tail.push_back({idx, r}); });
+    ASSERT_FALSE(stats.failed) << name << ": " << stats.error;
+
+    // Final counters match the uninterrupted run exactly.
+    EXPECT_EQ(stats.run.updates_applied, full.stats.run.updates_applied) << name;
+    EXPECT_EQ(stats.run.new_embeddings, full.stats.run.new_embeddings) << name;
+    EXPECT_EQ(stats.run.queries_satisfied, full.stats.run.queries_satisfied)
+        << name;
+    EXPECT_EQ(stats.windows_finalized, full.stats.windows_finalized) << name;
+
+    // The resumed run emits exactly the uninterrupted run's tail.
+    std::vector<Emission> expected_tail;
+    for (const Emission& e : full.emissions)
+      if (e.index >= snap.record_offset) expected_tail.push_back(e);
+    ASSERT_EQ(tail.size(), expected_tail.size()) << name;
+    for (size_t i = 0; i < tail.size(); ++i)
+      EXPECT_TRUE(tail[i] == expected_tail[i])
+          << name << " tail emission " << i << " (record " << tail[i].index
+          << ") diverged";
+
+    std::remove(snap_path.c_str());
+    std::remove(killed_path.c_str());
+  }
+}
+
+class IngestRecoveryTamperTest : public IngestRecoveryTest {
+ protected:
+  void SetUp() override {
+    snap_path_ = testing::TempDir() + "/tamper.snap";
+    FullRun full = RunFull(EngineKind::kTricPlus, snap_path_);
+    ASSERT_FALSE(full.stats.failed) << full.stats.error;
+    ASSERT_FALSE(full.killed_snapshot.empty());
+    ASSERT_TRUE(WriteFileBytes(snap_path_, full.killed_snapshot));
+    std::string error;
+    ASSERT_TRUE(ReadSnapshot(snap_path_, snap_, &error)) << error;
+  }
+
+  void TearDown() override { std::remove(snap_path_.c_str()); }
+
+  // Runs ResumeReplay with `snap` against a fresh engine of `kind`; returns
+  // the stats (expected to carry a failure).
+  IngestStats Resume(const SnapshotData& snap,
+                     EngineKind kind = EngineKind::kTricPlus) {
+    MemorySource src(*image_);
+    IngestSession session;
+    EXPECT_TRUE(session.Open(src, CorruptPolicy::kFail)) << session.error();
+    auto engine = MakeEngine(kind);
+    IngestOptions opts;
+    opts.batch_window = kWindow;
+    return ResumeReplay(*engine, session, snap, opts);
+  }
+
+  std::string snap_path_;
+  SnapshotData snap_;
+};
+
+TEST_F(IngestRecoveryTamperTest, TamperedFingerprintIsRejected) {
+  SnapshotData bad = snap_;
+  bad.fingerprint ^= 1;
+  IngestStats stats = Resume(bad);
+  EXPECT_TRUE(stats.failed);
+  EXPECT_NE(stats.error.find("fingerprint"), std::string::npos) << stats.error;
+}
+
+TEST_F(IngestRecoveryTamperTest, TamperedCountersAreRejected) {
+  SnapshotData bad = snap_;
+  bad.updates_applied += 1;
+  IngestStats stats = Resume(bad);
+  EXPECT_TRUE(stats.failed);
+  EXPECT_NE(stats.error.find("cross-check"), std::string::npos) << stats.error;
+}
+
+TEST_F(IngestRecoveryTamperTest, WrongEngineIsRejected) {
+  IngestStats stats = Resume(snap_, EngineKind::kInv);
+  EXPECT_TRUE(stats.failed);
+  EXPECT_NE(stats.error.find("engine"), std::string::npos) << stats.error;
+}
+
+TEST_F(IngestRecoveryTamperTest, WrongStreamIsRejected) {
+  SnapshotData bad = snap_;
+  bad.stream.record_count += 1;
+  IngestStats stats = Resume(bad);
+  EXPECT_TRUE(stats.failed);
+  EXPECT_NE(stats.error.find("different stream"), std::string::npos)
+      << stats.error;
+}
+
+TEST_F(IngestRecoveryTamperTest, MisalignedOffsetIsRejected) {
+  SnapshotData bad = snap_;
+  bad.record_offset += 1;  // No longer a finalized-window boundary.
+  IngestStats stats = Resume(bad);
+  EXPECT_TRUE(stats.failed);
+  EXPECT_NE(stats.error.find("window boundary"), std::string::npos)
+      << stats.error;
+}
+
+}  // namespace
+}  // namespace ingest
+}  // namespace gstream

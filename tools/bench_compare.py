@@ -3,7 +3,14 @@
 
 Usage:
   tools/bench_compare.py BASELINE.json FRESH.json [--threshold 0.25]
+  tools/bench_compare.py --newest-baseline DIR FRESH.json [--threshold 0.25]
   tools/bench_compare.py --self-test BASELINE.json [--threshold 0.25]
+
+--newest-baseline picks the committed BENCH_PR<N>.json with the highest N in
+DIR as the baseline. When DIR holds no baseline at all (the first PR of a
+repo, or a checkout without committed snapshots) the gate passes cleanly
+with an explanatory message instead of erroring — "no baseline yet" is not a
+regression.
 
 Trajectory files are the {"generated_by": ..., "lines": [...]} documents
 written by tools/bench_smoke.sh (one dict per BENCH_JSON line). Lines are
@@ -30,10 +37,18 @@ Exit status: 0 ok, 1 regression detected, 2 usage or parse error.
 import argparse
 import copy
 import json
+import re
 import sys
+from pathlib import Path
 
 # Throughput metrics, in priority order; higher is better.
 METRICS = ("updates_per_sec", "items_per_sec", "max_items_per_sec")
+
+
+def die(msg):
+    """Usage / parse error: the documented exit status 2, never a silent 1."""
+    print(f"bench_compare: {msg}", file=sys.stderr)
+    sys.exit(2)
 
 
 def load_lines(path):
@@ -41,12 +56,31 @@ def load_lines(path):
         with open(path) as f:
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
-        sys.exit(f"bench_compare: cannot load {path}: {e}")
+        die(f"cannot load {path}: {e}")
+    if not isinstance(doc, dict):
+        die(f"{path} is not a JSON object "
+            "(expected a tools/bench_smoke.sh trajectory snapshot)")
     lines = doc.get("lines")
     if not isinstance(lines, list):
-        sys.exit(f"bench_compare: {path} has no 'lines' array "
-                 "(expected a tools/bench_smoke.sh trajectory snapshot)")
+        die(f"{path} has no 'lines' array "
+            "(expected a tools/bench_smoke.sh trajectory snapshot)")
+    if not all(isinstance(line, dict) for line in lines):
+        die(f"{path}: every entry of 'lines' must be an object")
     return lines
+
+
+def newest_baseline(dir_path):
+    """Highest-numbered committed BENCH_PR<N>.json in `dir_path`, or None."""
+    try:
+        candidates = list(Path(dir_path).glob("BENCH_PR*.json"))
+    except OSError as e:
+        die(f"cannot scan {dir_path}: {e}")
+    best, best_n = None, -1
+    for path in candidates:
+        m = re.fullmatch(r"BENCH_PR(\d+)\.json", path.name)
+        if m and int(m.group(1)) > best_n:
+            best, best_n = path, int(m.group(1))
+    return best
 
 
 def identity(line):
@@ -121,8 +155,8 @@ def self_test(baseline_path, threshold):
     base = load_lines(baseline_path)
     clean_reg, compared = compare(base, copy.deepcopy(base), threshold, quiet=True)
     if not compared:
-        sys.exit(f"bench_compare: --self-test: {baseline_path} has no "
-                 "comparable (non-partial, throughput-bearing) lines")
+        die(f"--self-test: {baseline_path} has no comparable (non-partial, "
+            "throughput-bearing) lines")
     if clean_reg:
         print("bench_compare: self-test FAILED: identical snapshots reported "
               "a regression", file=sys.stderr)
@@ -152,18 +186,34 @@ def self_test(baseline_path, threshold):
 def main():
     parser = argparse.ArgumentParser(description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
-    parser.add_argument("baseline", help="committed BENCH_PR*.json snapshot")
+    parser.add_argument("baseline",
+                        help="committed BENCH_PR*.json snapshot (with "
+                             "--newest-baseline: the FRESH snapshot)")
     parser.add_argument("fresh", nargs="?", help="fresh bench_smoke.sh snapshot")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="max tolerated fractional drop (default 0.25)")
     parser.add_argument("--self-test", action="store_true",
                         help="verify the gate trips on an injected regression")
+    parser.add_argument("--newest-baseline", metavar="DIR",
+                        help="pick the highest-numbered BENCH_PR*.json in DIR "
+                             "as the baseline; pass cleanly when none exists")
     args = parser.parse_args()
     if not 0.0 < args.threshold < 1.0:
         parser.error("--threshold must be in (0, 1)")
 
     if args.self_test:
         sys.exit(self_test(args.baseline, args.threshold))
+
+    if args.newest_baseline is not None:
+        if args.fresh is not None:
+            parser.error("with --newest-baseline, pass only FRESH.json")
+        args.fresh = args.baseline
+        baseline = newest_baseline(args.newest_baseline)
+        if baseline is None:
+            print(f"bench_compare: no committed BENCH_PR*.json baseline in "
+                  f"{args.newest_baseline} — nothing to compare, gate passes")
+            sys.exit(0)
+        args.baseline = str(baseline)
     if args.fresh is None:
         parser.error("FRESH.json is required unless --self-test is given")
 

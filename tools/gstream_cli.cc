@@ -4,10 +4,34 @@
 //
 // Usage:
 //   gstream_cli --queries=FILE [--dataset=snb|taxi|bio] [--updates=N]
-//               [--stream=FILE.csv] [--events=FILE.gse]
+//               [--stream=FILE.csv] [--events=FILE.gse] [--gsb=FILE.gsb]
 //               [--engine=tric+|tric|inv|inv+|inc|inc+|graphdb]
 //               [--seed=N] [--verbose]
 //               [--batch=N] [--threads=N] [--no-shared-finalize]
+//
+// File replay (--gsb, see DESIGN.md §10): streams a checksummed binary
+// `.gsb` file (written by gstream_encode) through the fault-tolerant ingest
+// pipeline instead of an in-memory stream. Pipeline flags:
+//
+//   --readers=N           decode threads (default 1)
+//   --ring=N              ring capacity in batches (default 8)
+//   --overload=block|shed|fail-fast   full-ring policy (default block)
+//   --on-corrupt=skip|fail            corrupt-block policy (default skip)
+//   --stall-us=N          sleep N us per applied window (overload testing)
+//   --snapshot=FILE       snapshot path (with --snapshot-every / --recover)
+//   --snapshot-every=N    write a snapshot every N finalized windows
+//   --recover             resume from --snapshot instead of starting fresh
+//
+// Fault injection (deterministic, for the CI smoke leg and local testing;
+// loads the file into memory and corrupts the image before replay):
+//
+//   --fault-seed=N          RNG seed (default 1)
+//   --fault-flips=N         flip N random bytes after the header
+//   --fault-flip-records=N  flip N random bytes in record payloads only
+//                           (dictionary corruption is fatal by design)
+//   --fault-truncate=N      drop the trailing N bytes
+//   --fault-dup             duplicate a random block
+//   --fault-swap            swap two adjacent blocks
 //
 // --batch=N feeds the engine windows of N updates through ApplyBatch (the
 // sharded batch path; results are identical to per-update execution), and
@@ -46,6 +70,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iterator>
+#include <memory>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -54,6 +80,9 @@
 #include "common/timer.h"
 #include "engine/driver.h"
 #include "engine/engine.h"
+#include "ingest/csv_stream.h"
+#include "ingest/fault_injector.h"
+#include "ingest/pipeline.h"
 #include "query/parser.h"
 #include "workload/bio.h"
 #include "workload/snb.h"
@@ -95,56 +124,10 @@ workload::Workload MakeDataset(const std::string& name, size_t updates,
   return workload::GenerateSnb(c);
 }
 
-std::string Trim(const std::string& s) {
-  size_t b = s.find_first_not_of(" \t");
-  size_t e = s.find_last_not_of(" \t\r");
-  return b == std::string::npos ? std::string() : s.substr(b, e - b + 1);
-}
+using ingest::LoadCsvStream;
+using ingest::ParseEdgeBody;
 
-/// Parses one "src,label,dst" edge body at `line[start..]` (the leading '-'
-/// already consumed into `op`). Returns false on malformed input.
-bool ParseEdgeBody(const std::string& line, size_t start, UpdateOp op,
-                   StringInterner& interner, EdgeUpdate* out) {
-  size_t c1 = line.find(',', start);
-  size_t c2 = c1 == std::string::npos ? std::string::npos : line.find(',', c1 + 1);
-  if (c2 == std::string::npos) return false;
-  std::string src = Trim(line.substr(start, c1 - start));
-  std::string label = Trim(line.substr(c1 + 1, c2 - c1 - 1));
-  std::string dst = Trim(line.substr(c2 + 1));
-  if (src.empty() || label.empty() || dst.empty()) return false;
-  *out = {interner.Intern(src), interner.Intern(label), interner.Intern(dst), op};
-  return true;
-}
-
-/// Parses a "src,label,dst" CSV edge stream (leading '-' = deletion).
-/// Returns false (with a message) on malformed lines.
-bool LoadCsvStream(const std::string& path, StringInterner& interner,
-                   UpdateStream& stream) {
-  std::ifstream file(path);
-  if (!file) {
-    std::fprintf(stderr, "cannot open stream file '%s'\n", path.c_str());
-    return false;
-  }
-  std::string line;
-  size_t lineno = 0;
-  while (std::getline(file, line)) {
-    ++lineno;
-    size_t start = line.find_first_not_of(" \t");
-    if (start == std::string::npos || line[start] == '#') continue;
-    UpdateOp op = UpdateOp::kAdd;
-    if (line[start] == '-') {
-      op = UpdateOp::kDelete;
-      ++start;
-    }
-    EdgeUpdate u;
-    if (!ParseEdgeBody(line, start, op, interner, &u)) {
-      std::fprintf(stderr, "%s:%zu: expected 'src,label,dst'\n", path.c_str(), lineno);
-      return false;
-    }
-    stream.Append(u);
-  }
-  return true;
-}
+std::string Trim(const std::string& s) { return ingest::TrimWs(s); }
 
 /// Parses a mixed update/query-event file (see the header comment for the
 /// syntax). Query-id freshness/liveness is validated at run time by the
@@ -216,6 +199,235 @@ bool LoadEventFile(const std::string& path, StringInterner& interner,
   return true;
 }
 
+/// Registers the query file's patterns into `engine` (ids 0..N-1).
+/// Returns the count, -2 when the file cannot be opened, -1 on a parse
+/// error (message already printed).
+int LoadQueries(const std::string& query_file, StringInterner& interner,
+                ContinuousEngine& engine, bool verbose) {
+  std::ifstream file(query_file);
+  if (!file) {
+    std::fprintf(stderr, "cannot open query file '%s'\n", query_file.c_str());
+    return -2;
+  }
+  std::string line;
+  size_t lineno = 0;
+  QueryId next_qid = 0;
+  while (std::getline(file, line)) {
+    ++lineno;
+    size_t start = line.find_first_not_of(" \t");
+    if (start == std::string::npos || line[start] == '#') continue;
+    ParseResult parsed = ParsePattern(line, interner);
+    if (!parsed.ok) {
+      std::fprintf(stderr, "%s:%zu: %s\n", query_file.c_str(), lineno,
+                   parsed.error.c_str());
+      return -1;
+    }
+    if (verbose)
+      std::printf("query %u: %s\n", next_qid,
+                  parsed.pattern.ToString(interner).c_str());
+    engine.AddQuery(next_qid++, parsed.pattern);
+  }
+  return static_cast<int>(next_qid);
+}
+
+bool ParseOverload(const std::string& s, ingest::OverloadPolicy* out) {
+  if (s == "block") *out = ingest::OverloadPolicy::kBlock;
+  else if (s == "shed") *out = ingest::OverloadPolicy::kShed;
+  else if (s == "fail-fast") *out = ingest::OverloadPolicy::kFailFast;
+  else return false;
+  return true;
+}
+
+bool ParseCorrupt(const std::string& s, ingest::CorruptPolicy* out) {
+  if (s == "skip") *out = ingest::CorruptPolicy::kSkip;
+  else if (s == "fail") *out = ingest::CorruptPolicy::kFail;
+  else return false;
+  return true;
+}
+
+/// The `--gsb` file-replay mode: fault-tolerant binary ingest through the
+/// decode -> ring -> apply pipeline, with optional fault injection and
+/// snapshot/recovery (see the usage comment up top).
+int RunGsbMode(const Flags& flags, EngineKind kind, bool shared_finalize,
+               size_t batch, int threads, bool verbose) {
+  const std::string gsb_file = flags.GetString("gsb", "");
+  const std::string query_file = flags.GetString("queries", "");
+  if (query_file.empty()) {
+    std::fprintf(stderr, "--gsb needs --queries=FILE\n");
+    return 2;
+  }
+
+  ingest::OverloadPolicy overload = ingest::OverloadPolicy::kBlock;
+  if (!ParseOverload(flags.GetString("overload", "block"), &overload)) {
+    std::fprintf(stderr, "--overload must be block, shed, or fail-fast\n");
+    return 2;
+  }
+  ingest::CorruptPolicy on_corrupt = ingest::CorruptPolicy::kSkip;
+  if (!ParseCorrupt(flags.GetString("on-corrupt", "skip"), &on_corrupt)) {
+    std::fprintf(stderr, "--on-corrupt must be skip or fail\n");
+    return 2;
+  }
+
+  // Source: the file directly, or an in-memory image with injected faults.
+  const uint64_t fault_flips =
+      static_cast<uint64_t>(flags.GetIntAtLeast("fault-flips", 0, 0));
+  const uint64_t fault_flip_records =
+      static_cast<uint64_t>(flags.GetIntAtLeast("fault-flip-records", 0, 0));
+  const uint64_t fault_truncate =
+      static_cast<uint64_t>(flags.GetIntAtLeast("fault-truncate", 0, 0));
+  const bool fault_dup = flags.GetBool("fault-dup", false);
+  const bool fault_swap = flags.GetBool("fault-swap", false);
+  const bool faulted = fault_flips > 0 || fault_flip_records > 0 ||
+                       fault_truncate > 0 || fault_dup || fault_swap;
+
+  std::unique_ptr<ingest::ByteSource> src;
+  if (faulted) {
+    std::ifstream f(gsb_file, std::ios::binary);
+    if (!f) {
+      std::fprintf(stderr, "cannot open gsb file '%s'\n", gsb_file.c_str());
+      return 1;
+    }
+    std::vector<uint8_t> image((std::istreambuf_iterator<char>(f)),
+                               std::istreambuf_iterator<char>());
+    const uint64_t fault_seed =
+        static_cast<uint64_t>(flags.GetIntAtLeast("fault-seed", 1, 0));
+    ingest::FaultInjector injector(fault_seed);
+    if (fault_dup) injector.DuplicateRandomBlock(image);
+    if (fault_swap) injector.SwapAdjacentBlocks(image);
+    if (fault_flips > 0) injector.FlipBytes(image, fault_flips);
+    if (fault_flip_records > 0)
+      injector.FlipRecordBytes(image, fault_flip_records);
+    if (fault_truncate > 0) injector.Truncate(image, fault_truncate);
+    std::printf("fault injection: seed=%llu flips=%llu flip-records=%llu "
+                "truncate=%llu dup=%d swap=%d\n",
+                static_cast<unsigned long long>(fault_seed),
+                static_cast<unsigned long long>(fault_flips),
+                static_cast<unsigned long long>(fault_flip_records),
+                static_cast<unsigned long long>(fault_truncate), fault_dup,
+                fault_swap);
+    src = std::make_unique<ingest::MemorySource>(std::move(image));
+  } else {
+    std::string err;
+    auto file_src = ingest::FileSource::Open(gsb_file, &err);
+    if (file_src == nullptr) {
+      std::fprintf(stderr, "%s\n", err.c_str());
+      return 1;
+    }
+    src = std::move(file_src);
+  }
+
+  ingest::IngestSession session;
+  if (!session.Open(*src, on_corrupt)) {
+    std::fprintf(stderr, "gsb open failed: %s\n", session.error().c_str());
+    return 1;
+  }
+  std::printf("gsb %s: %llu records, %u dict strings, %zu record blocks\n",
+              gsb_file.c_str(),
+              static_cast<unsigned long long>(session.header().record_count),
+              session.header().dict_count, session.record_block_count());
+
+  auto engine = CreateEngine(kind);
+  engine->SetSharedFinalize(shared_finalize);
+  // Queries intern against the stream's reconstructed dictionary, so their
+  // label ids line up with the record frames'.
+  const int num_queries =
+      LoadQueries(query_file, session.mutable_interner(), *engine, verbose);
+  if (num_queries < 0) return num_queries == -2 ? 2 : 1;
+  if (num_queries == 0) {
+    std::fprintf(stderr, "no queries in '%s'\n", query_file.c_str());
+    return 1;
+  }
+  std::printf("engine %s: %d continuous queries registered\n",
+              engine->name().c_str(), num_queries);
+
+  ingest::IngestOptions opts;
+  opts.batch_window = batch;
+  opts.batch_threads = threads;
+  opts.reader_threads = static_cast<int>(flags.GetPositiveInt("readers", 1));
+  opts.ring_capacity = static_cast<size_t>(flags.GetPositiveInt("ring", 8));
+  opts.overload = overload;
+  opts.on_corrupt = on_corrupt;
+  opts.consumer_stall_micros =
+      static_cast<int>(flags.GetIntAtLeast("stall-us", 0, 0));
+  opts.snapshot_every_windows =
+      static_cast<uint64_t>(flags.GetIntAtLeast("snapshot-every", 0, 0));
+  opts.snapshot_path = flags.GetString("snapshot", "");
+
+  uint64_t notifications = 0;
+  size_t triggering_updates = 0;
+  const ingest::ResultCallback cb = [&](uint64_t idx, const UpdateResult& r) {
+    if (r.triggered.empty()) return;
+    ++triggering_updates;
+    notifications += r.new_embeddings;
+    if (verbose) {
+      std::printf("update %llu:", static_cast<unsigned long long>(idx));
+      for (auto [qid, n] : r.per_query)
+        std::printf(" q%u+%llu", qid, static_cast<unsigned long long>(n));
+      std::printf("\n");
+    }
+  };
+
+  ingest::IngestStats stats;
+  ingest::SnapshotData snap;
+  if (flags.GetBool("recover", false)) {
+    const std::string snap_path = flags.GetString("snapshot", "");
+    if (snap_path.empty()) {
+      std::fprintf(stderr, "--recover needs --snapshot=FILE\n");
+      return 2;
+    }
+    std::string err;
+    if (!ingest::ReadSnapshot(snap_path, snap, &err)) {
+      std::fprintf(stderr, "%s\n", err.c_str());
+      return 1;
+    }
+    std::printf("recovering from %s: engine=%s offset=%llu windows=%llu\n",
+                snap_path.c_str(), snap.engine_name.c_str(),
+                static_cast<unsigned long long>(snap.record_offset),
+                static_cast<unsigned long long>(snap.windows_finalized));
+    stats = ingest::ResumeReplay(*engine, session, snap, opts, cb);
+  } else {
+    stats = session.Replay(*engine, opts, cb);
+  }
+
+  // Machine-greppable counters (the CI fault-injection smoke leg asserts on
+  // these), then the human summary in the classic format.
+  std::printf("ingest blocks=%llu decoded=%llu crc_mismatches=%llu "
+              "blocks_quarantined=%llu records_missing=%llu "
+              "snapshots_written=%llu\n",
+              static_cast<unsigned long long>(stats.record_blocks),
+              static_cast<unsigned long long>(stats.records_decoded),
+              static_cast<unsigned long long>(stats.crc_mismatches),
+              static_cast<unsigned long long>(stats.blocks_quarantined),
+              static_cast<unsigned long long>(stats.records_missing),
+              static_cast<unsigned long long>(stats.snapshots_written));
+  std::printf("ring pushed=%llu blocked=%llu shed_batches=%llu "
+              "shed_records=%llu max_occupancy=%zu\n",
+              static_cast<unsigned long long>(stats.ring.batches_pushed),
+              static_cast<unsigned long long>(stats.ring.blocked_pushes),
+              static_cast<unsigned long long>(stats.ring.batches_shed),
+              static_cast<unsigned long long>(stats.ring.records_shed),
+              stats.ring.max_occupancy);
+  if (verbose) {
+    for (const auto& q : stats.quarantine)
+      std::printf("quarantined offset=%llu seq=%u: %s\n",
+                  static_cast<unsigned long long>(q.offset), q.seq,
+                  q.reason.c_str());
+  }
+  std::printf(
+      "%zu updates in %.1f ms (%.4f ms/update); %zu updates triggered, "
+      "%llu notifications; %.1f MB engine state%s\n",
+      stats.run.updates_applied, stats.run.answer_millis,
+      stats.run.MsecPerUpdate(), triggering_updates,
+      static_cast<unsigned long long>(notifications),
+      static_cast<double>(stats.run.memory_bytes) / (1024.0 * 1024.0),
+      stats.run.timed_out ? " [timed out]" : "");
+  if (stats.failed) {
+    std::fprintf(stderr, "ingest failed: %s\n", stats.error.c_str());
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -239,6 +451,10 @@ int main(int argc, char** argv) {
   const bool shared_finalize = !flags.GetBool("no-shared-finalize", false);
   const EngineKind kind = ParseEngine(flags.GetString("engine", "tric+"));
 
+  // Binary file replay through the fault-tolerant ingest pipeline.
+  if (flags.Has("gsb"))
+    return RunGsbMode(flags, kind, shared_finalize, batch, threads, verbose);
+
   workload::Workload w;
   const std::string stream_file = flags.GetString("stream", "");
   if (!events_file.empty()) {
@@ -259,32 +475,13 @@ int main(int argc, char** argv) {
   engine->SetSharedFinalize(shared_finalize);
   QueryId next_qid = 0;
   if (!query_file.empty()) {
-    std::ifstream file(query_file);
-    if (!file) {
-      std::fprintf(stderr, "cannot open query file '%s'\n", query_file.c_str());
-      return 2;
-    }
-    std::string line;
-    size_t lineno = 0;
-    while (std::getline(file, line)) {
-      ++lineno;
-      size_t start = line.find_first_not_of(" \t");
-      if (start == std::string::npos || line[start] == '#') continue;
-      ParseResult parsed = ParsePattern(line, *w.interner);
-      if (!parsed.ok) {
-        std::fprintf(stderr, "%s:%zu: %s\n", query_file.c_str(), lineno,
-                     parsed.error.c_str());
-        return 1;
-      }
-      if (verbose)
-        std::printf("query %u: %s\n", next_qid,
-                    parsed.pattern.ToString(*w.interner).c_str());
-      engine->AddQuery(next_qid++, parsed.pattern);
-    }
-    if (engine->NumQueries() == 0) {
+    const int loaded = LoadQueries(query_file, *w.interner, *engine, verbose);
+    if (loaded < 0) return loaded == -2 ? 2 : 1;
+    if (loaded == 0) {
       std::fprintf(stderr, "no queries in '%s'\n", query_file.c_str());
       return 1;
     }
+    next_qid = static_cast<QueryId>(loaded);
   }
 
   if (!events_file.empty()) {
