@@ -20,7 +20,7 @@ IndexStats IndexQueries(ContinuousEngine& engine,
 }
 
 RunStats RunStream(ContinuousEngine& engine, const UpdateStream& stream,
-                   const RunConfig& config) {
+                   const RunConfig& config, ResultAccumulator::Sink sink) {
   GS_CHECK_MSG(config.batch_window >= 1, "batch_window must be >= 1");
   GS_CHECK_MSG(config.batch_threads >= 1, "batch_threads must be >= 1");
   Budget budget;
@@ -29,6 +29,7 @@ RunStats RunStream(ContinuousEngine& engine, const UpdateStream& stream,
   engine.set_budget(&budget);
 
   ResultAccumulator acc;
+  acc.sink = std::move(sink);
   RunStats& stats = acc.stats;
 
   WallTimer total;

@@ -2,6 +2,7 @@
 #define GSTREAM_ENGINE_DRIVER_H_
 
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <unordered_set>
 #include <vector>
@@ -53,18 +54,29 @@ struct IndexStats {
 };
 
 /// Incremental absorber of per-update results with the RunStats bookkeeping,
-/// shared by RunStream and the file-replay ingest pipeline
-/// (src/ingest/pipeline.h) so the two paths cannot diverge on what
-/// "updates_applied" or "queries_satisfied" mean.
+/// shared by RunStream, the file-replay ingest pipeline
+/// (src/ingest/pipeline.h), and the socket server (src/server/) so the
+/// paths cannot diverge on what "updates_applied" or "queries_satisfied"
+/// mean.
 struct ResultAccumulator {
+  /// Notification sink: fires once per absorbed result with the update's
+  /// global index among applied updates (0-based; the value of
+  /// `stats.updates_applied` before this result). The socket server fans
+  /// match notifications out from here, and the oracle tests capture the
+  /// exact emission sequence of a RunStream run through the same hook.
+  using Sink = std::function<void(uint64_t index, const UpdateResult& result)>;
+  Sink sink;
+
   RunStats stats;
   std::unordered_set<QueryId> satisfied;
 
   /// Folds one update's result in; returns its timed_out flag.
   bool Absorb(const UpdateResult& result) {
+    const uint64_t index = stats.updates_applied;
     ++stats.updates_applied;
     stats.new_embeddings += result.new_embeddings;
     for (QueryId qid : result.triggered) satisfied.insert(qid);
+    if (sink) sink(index, result);
     return result.timed_out;
   }
 
@@ -82,9 +94,13 @@ IndexStats IndexQueries(ContinuousEngine& engine,
                         QueryId first_qid = 0);
 
 /// Streams `stream` through `engine` under `config`, timing every update.
-/// Stops early (marking `timed_out`) when the budget expires.
+/// Stops early (marking `timed_out`) when the budget expires. `sink`, when
+/// set, observes every per-update result in stream order (the accumulator's
+/// notification hook) — the server tests capture the oracle emission
+/// sequence through it.
 RunStats RunStream(ContinuousEngine& engine, const UpdateStream& stream,
-                   const RunConfig& config = {});
+                   const RunConfig& config = {},
+                   ResultAccumulator::Sink sink = nullptr);
 
 /// One event of a mixed stream (the paper's dynamic query database, §3.2):
 /// an edge update, a continuous-query registration, or a removal, arriving

@@ -73,5 +73,64 @@ void FaultInjector::SwapAdjacentBlocks(std::vector<uint8_t>& image) {
   std::copy(a.begin(), a.end(), image.begin() + off_a + len_b);
 }
 
+WireFaultInjector::Action WireFaultInjector::OnFrame(
+    std::vector<uint8_t> frame) {
+  Action out;
+  ++frame_index_;
+
+  if (holding_) {
+    // The previous frame was held back: this frame goes first (the swap),
+    // then the held one — a reordered transport.
+    holding_ = false;
+    ++frames_reordered_;
+    out.chunks.push_back(std::move(frame));
+    out.chunks.push_back(std::move(held_));
+    held_.clear();
+    return out;
+  }
+
+  if (cfg_.delay_every > 0 && frame_index_ % cfg_.delay_every == 0)
+    out.delay_micros = cfg_.delay_micros;
+
+  if (cfg_.tear_frame > 0 && frame_index_ == cfg_.tear_frame &&
+      frame.size() > 1) {
+    const size_t keep = 1 + static_cast<size_t>(rng_.Next(frame.size() - 1));
+    frame.resize(keep);
+    ++frames_torn_;
+    out.chunks.push_back(std::move(frame));
+    out.drop_connection = true;
+    return out;
+  }
+
+  if (cfg_.reorder_every > 0 && frame_index_ % cfg_.reorder_every == 0) {
+    held_ = std::move(frame);
+    holding_ = true;
+    return out;  // nothing written yet; released with the next frame
+  }
+
+  if (cfg_.dup_every > 0 && frame_index_ % cfg_.dup_every == 0) {
+    ++frames_duplicated_;
+    out.chunks.push_back(frame);
+  }
+  out.chunks.push_back(std::move(frame));
+  return out;
+}
+
+WireFaultInjector::Action WireFaultInjector::Flush() {
+  Action out;
+  if (holding_) {
+    holding_ = false;
+    out.chunks.push_back(std::move(held_));
+    held_.clear();
+  }
+  return out;
+}
+
+bool WireFaultInjector::TakeHandshakeReset() {
+  if (handshake_resets_fired_ >= cfg_.handshake_resets) return false;
+  ++handshake_resets_fired_;
+  return true;
+}
+
 }  // namespace ingest
 }  // namespace gstream

@@ -52,6 +52,89 @@ class FaultInjector {
   Rng rng_;
 };
 
+/// Network-side faults for the socket protocol: applied by the client
+/// library to its *outgoing* frame stream (tests, `gstream_client
+/// --fault-*`). Deterministic like FaultInjector — one seed + config -> one
+/// fault schedule — so every kill-and-resume failure is replayable. Counts
+/// are per logical frame across the connection's lifetime; reconnects keep
+/// counting (the schedule spans the whole session).
+struct WireFaultConfig {
+  /// Tear the Nth frame (1-based): write a random strict prefix of its
+  /// bytes, then hard-close the connection. 0 = never.
+  uint64_t tear_frame = 0;
+  /// Write every Nth frame twice (at-least-once transport). 0 = never.
+  uint64_t dup_every = 0;
+  /// Swap every Nth frame with its successor (reordered transport; the
+  /// server closes on the sequence gap and the client resumes). 0 = never.
+  uint64_t reorder_every = 0;
+  /// Sleep this long before every `delay_every`-th frame (stalled link —
+  /// drives heartbeat/idle machinery). 0 = never.
+  uint64_t delay_every = 0;
+  int delay_micros = 0;
+  /// Reset (hard-close) the first N connection attempts mid-handshake,
+  /// after the Hello frame is partially written.
+  uint32_t handshake_resets = 0;
+
+  bool any() const {
+    return tear_frame || dup_every || reorder_every || delay_every ||
+           handshake_resets;
+  }
+};
+
+class WireFaultInjector {
+ public:
+  WireFaultInjector(uint64_t seed, const WireFaultConfig& cfg)
+      : rng_(seed), cfg_(cfg) {}
+
+  /// What to do with the next outgoing frame: write `chunks` in order
+  /// (possibly a torn prefix, a duplicate, or this frame swapped behind the
+  /// next), sleeping `delay_micros` first, then hard-close the connection if
+  /// `drop_connection`.
+  struct Action {
+    std::vector<std::vector<uint8_t>> chunks;
+    int delay_micros = 0;
+    bool drop_connection = false;
+  };
+  Action OnFrame(std::vector<uint8_t> frame);
+
+  /// Releases a frame held back for reordering with no successor to swap
+  /// with (the stream ended on a reorder boundary). Reordering models a
+  /// transport that delays frames, never one that drops them — callers must
+  /// flush at end of stream or the tail would be silently lost.
+  Action Flush();
+
+  /// Drops a held frame outright: the connection it belonged to died, so the
+  /// frame never reached the wire and the caller's at-least-once resend will
+  /// cover its records. Releasing it onto the NEXT connection instead would
+  /// interleave stale bytes into a fresh stream (an impossible transport).
+  void DiscardHeld() {
+    holding_ = false;
+    held_.clear();
+  }
+
+  /// True when this connection attempt should be reset mid-handshake
+  /// (consumes one of the configured resets).
+  bool TakeHandshakeReset();
+
+  /// Frames whose injected faults dropped the connection / duplicated bytes;
+  /// tests assert the faults actually fired.
+  uint64_t frames_torn() const { return frames_torn_; }
+  uint64_t frames_duplicated() const { return frames_duplicated_; }
+  uint64_t frames_reordered() const { return frames_reordered_; }
+  uint64_t handshake_resets_fired() const { return handshake_resets_fired_; }
+
+ private:
+  Rng rng_;
+  WireFaultConfig cfg_;
+  uint64_t frame_index_ = 0;  ///< 1-based count of frames seen.
+  std::vector<uint8_t> held_;  ///< Frame held back for reordering.
+  bool holding_ = false;
+  uint64_t frames_torn_ = 0;
+  uint64_t frames_duplicated_ = 0;
+  uint64_t frames_reordered_ = 0;
+  uint64_t handshake_resets_fired_ = 0;
+};
+
 }  // namespace ingest
 }  // namespace gstream
 

@@ -47,6 +47,16 @@ namespace ingest {
 
 inline constexpr uint8_t kGsbMagic[4] = {'G', 'S', 'B', '1'};
 inline constexpr uint32_t kGsbVersion = 1;
+
+/// Header flag bit: the file is an append-only *streaming journal* (the
+/// socket server's write-ahead log). The header is written once at journal
+/// creation, so `dict_count` / `record_count` are 0 and not authoritative —
+/// readers take both from the scanned blocks instead of the header. The
+/// remaining flag bits above kGsbFlagSaltShift carry a per-journal random
+/// salt so two journals never share a `GsbIdentity` (the header CRC differs),
+/// which keeps snapshot identity checks meaningful for journals.
+inline constexpr uint32_t kGsbFlagStreaming = 1u << 0;
+inline constexpr uint32_t kGsbFlagSaltShift = 8;
 inline constexpr size_t kGsbHeaderBytes = 28;
 inline constexpr uint16_t kGsbBlockMagic = 0xB10C;
 inline constexpr size_t kGsbBlockHeaderBytes = 16;

@@ -232,7 +232,11 @@ bool GsbReader::DecodeDict(const std::vector<GsbBlockRef>& blocks,
       return false;
     }
   }
-  if (interner.size() != header_.dict_count) {
+  // Streaming journals write their header once, before any dictionary block
+  // exists, so the header count is 0 and not authoritative — the scanned
+  // blocks are the source of truth. Fixed files still get the full check.
+  if ((header_.flags & kGsbFlagStreaming) == 0 &&
+      interner.size() != header_.dict_count) {
     error_ = "gsb: dictionary incomplete: " + std::to_string(interner.size()) +
              " of " + std::to_string(header_.dict_count) +
              " strings (corrupt or missing dictionary blocks)";
@@ -275,8 +279,9 @@ DecodeStatus GsbReader::DecodeRecords(const GsbBlockRef& block,
     u.src = GetU32(p + 1);
     u.label = GetU32(p + 5);
     u.dst = GetU32(p + 9);
-    if (u.src >= header_.dict_count || u.label >= header_.dict_count ||
-        u.dst >= header_.dict_count) {
+    if ((header_.flags & kGsbFlagStreaming) == 0 &&
+        (u.src >= header_.dict_count || u.label >= header_.dict_count ||
+         u.dst >= header_.dict_count)) {
       *reason = "frame " + std::to_string(i) + " references an id outside the dictionary";
       return DecodeStatus::kCorrupt;
     }

@@ -13,10 +13,8 @@
 namespace gstream {
 namespace ingest {
 
-namespace {
-
-void AppendBlock(std::vector<uint8_t>& out, GsbBlockKind kind, uint32_t seq,
-                 const std::vector<uint8_t>& payload) {
+void AppendGsbBlock(std::vector<uint8_t>& out, GsbBlockKind kind, uint32_t seq,
+                    const std::vector<uint8_t>& payload) {
   GS_CHECK_MSG(payload.size() <= kGsbMaxPayload, "gsb block payload too large");
   PutU16(out, kGsbBlockMagic);
   out.push_back(static_cast<uint8_t>(kind));
@@ -26,8 +24,6 @@ void AppendBlock(std::vector<uint8_t>& out, GsbBlockKind kind, uint32_t seq,
   PutU32(out, Crc32c(payload.data(), payload.size()));
   out.insert(out.end(), payload.begin(), payload.end());
 }
-
-}  // namespace
 
 std::vector<uint8_t> EncodeGsb(const StringInterner& interner,
                                const std::vector<EdgeUpdate>& updates,
@@ -63,7 +59,7 @@ std::vector<uint8_t> EncodeGsb(const StringInterner& interner,
       PutU32(payload, static_cast<uint32_t>(s.size()));
       payload.insert(payload.end(), s.begin(), s.end());
     }
-    AppendBlock(out, GsbBlockKind::kDict, seq++, payload);
+    AppendGsbBlock(out, GsbBlockKind::kDict, seq++, payload);
   }
 
   // Record blocks: explicit frame count + fixed 13-byte frames.
@@ -80,7 +76,7 @@ std::vector<uint8_t> EncodeGsb(const StringInterner& interner,
       PutU32(payload, u.label);
       PutU32(payload, u.dst);
     }
-    AppendBlock(out, GsbBlockKind::kRecords, seq++, payload);
+    AppendGsbBlock(out, GsbBlockKind::kRecords, seq++, payload);
   }
   return out;
 }

@@ -40,6 +40,12 @@ bool WriteGsbFile(const std::string& path, const StringInterner& interner,
 bool AtomicWriteFile(const std::string& path, const void* data, size_t n,
                      std::string* error);
 
+/// Appends one framed block (header + CRC'd payload) to `out`. Shared by
+/// the file encoder above and the server's append-only streaming journal,
+/// which emits the same block format incrementally.
+void AppendGsbBlock(std::vector<uint8_t>& out, GsbBlockKind kind, uint32_t seq,
+                    const std::vector<uint8_t>& payload);
+
 }  // namespace ingest
 }  // namespace gstream
 

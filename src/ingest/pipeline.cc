@@ -51,18 +51,40 @@ bool IngestSession::Open(const ByteSource& src, CorruptPolicy on_corrupt) {
   return true;
 }
 
+std::string ValidateIngestOptions(const IngestOptions& opts) {
+  if (opts.batch_window < 1) return "batch_window must be >= 1";
+  if (opts.batch_threads < 1) return "batch_threads must be >= 1";
+  if (opts.reader_threads < 1) return "reader_threads must be >= 1";
+  if (opts.ring_capacity < 1) return "ring_capacity must be >= 1";
+  if (opts.consumer_stall_micros < 0)
+    return "consumer_stall_micros must be >= 0";
+  if (!(opts.budget_seconds > 0)) return "budget_seconds must be positive";
+  if (opts.snapshot_every_windows > 0) {
+    if (opts.snapshot_path.empty())
+      return "snapshot cadence set but no snapshot path";
+    if (opts.overload != OverloadPolicy::kBlock)
+      return "snapshots require --overload=block (a shedding run has no "
+             "deterministic replayable prefix)";
+  }
+  if (opts.resume != nullptr && opts.overload != OverloadPolicy::kBlock)
+    return "recovery requires --overload=block (shedding is not replayable)";
+  return "";
+}
+
 IngestStats IngestSession::Replay(ContinuousEngine& engine,
                                   const IngestOptions& opts,
                                   const ResultCallback& cb) {
-  GS_CHECK_MSG(opts.batch_window >= 1, "batch_window must be >= 1");
-  GS_CHECK_MSG(opts.batch_threads >= 1, "batch_threads must be >= 1");
-
   IngestStats stats;
   const auto fail = [&](const std::string& why) {
     stats.failed = true;
     if (stats.error.empty()) stats.error = why;
   };
 
+  const std::string verr = ValidateIngestOptions(opts);
+  if (!verr.empty()) {
+    fail(verr);
+    return stats;
+  }
   if (reader_ == nullptr) {
     fail("ingest session not opened");
     return stats;
@@ -81,21 +103,6 @@ IngestStats IngestSession::Replay(ContinuousEngine& engine,
            "' does not match engine '" + engine.name() + "'");
       return stats;
     }
-    if (opts.overload != OverloadPolicy::kBlock) {
-      fail("recovery requires --overload=block (shedding is not replayable)");
-      return stats;
-    }
-  }
-  if (opts.snapshot_every_windows > 0) {
-    if (opts.snapshot_path.empty()) {
-      fail("snapshot cadence set but no snapshot path");
-      return stats;
-    }
-    if (opts.overload != OverloadPolicy::kBlock) {
-      fail("snapshots require --overload=block (a shedding run has no "
-           "deterministic replayable prefix)");
-      return stats;
-    }
   }
 
   stats.record_blocks = record_blocks_.size();
@@ -106,7 +113,8 @@ IngestStats IngestSession::Replay(ContinuousEngine& engine,
   if (std::isfinite(opts.budget_seconds))
     budget.SetDeadlineAfter(opts.budget_seconds);
   engine.set_budget(&budget);
-  if (opts.batch_window > 1) engine.SetBatchThreads(opts.batch_threads);
+  const bool batched = opts.batch_window > 1 || opts.window_per_block;
+  if (batched) engine.SetBatchThreads(opts.batch_threads);
 
   BoundedBatchRing ring(opts.ring_capacity);
   std::atomic<size_t> next_block{0};
@@ -271,6 +279,12 @@ IngestStats IngestSession::Replay(ContinuousEngine& engine,
   const auto consume_batch = [&](RecordBatch&& batch) {
     window_buf.insert(window_buf.end(), batch.records.begin(),
                       batch.records.end());
+    if (opts.window_per_block) {
+      // Journal mode: one record block = one applied window, reproducing the
+      // writing server's window boundaries (including drain-time partials).
+      if (!window_buf.empty() && !apply_window(window_buf.size())) return false;
+      return true;
+    }
     while (window_buf.size() >= opts.batch_window)
       if (!apply_window(opts.batch_window)) return false;
     return true;
@@ -310,7 +324,7 @@ IngestStats IngestSession::Replay(ContinuousEngine& engine,
   for (std::thread& t : threads) t.join();
 
   engine.set_budget(nullptr);
-  if (opts.batch_window > 1) engine.SetBatchThreads(1);
+  if (batched) engine.SetBatchThreads(1);
 
   acc.Finish(engine);
   stats.run = acc.stats;

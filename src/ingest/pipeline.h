@@ -41,6 +41,14 @@ struct IngestOptions {
   uint64_t snapshot_every_windows = 0;
   std::string snapshot_path;
 
+  /// Journal replay mode (the socket server's recovery path): every record
+  /// block applies as its own window, so replaying a streaming journal —
+  /// where the server appended exactly one block per applied window —
+  /// reproduces the original run's window boundaries exactly, including
+  /// drain-time partial windows. `batch_window` is ignored for windowing;
+  /// `batch_threads` still applies.
+  bool window_per_block = false;
+
   /// Crash recovery: fast-forward `[0, resume->record_offset)` with emission
   /// suppressed, verify counters + fingerprint at the boundary, then emit
   /// the tail. Use ResumeReplay, which validates the snapshot first.
@@ -117,6 +125,14 @@ class IngestSession {
   std::string error_;
   GsbHeader empty_header_;
 };
+
+/// Validates an IngestOptions combination up front. Returns "" when valid,
+/// otherwise a one-line description of the first problem (bad thread/window
+/// counts, snapshot cadence without a path or under a shedding policy,
+/// resume under a shedding policy). `Replay` runs this first and fails the
+/// stats cleanly — it never GS_CHECK-aborts on a caller-supplied config —
+/// and the socket server reuses it to reject bad configs at startup.
+std::string ValidateIngestOptions(const IngestOptions& opts);
 
 /// Crash-recovery entry point: validates `snap` against the session's stream
 /// identity and `engine`'s name, pins `opts` to the recovery contract

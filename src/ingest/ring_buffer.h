@@ -2,6 +2,7 @@
 #define GSTREAM_INGEST_RING_BUFFER_H_
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -94,6 +95,27 @@ class BoundedBatchRing {
     queue_.pop_front();
     not_full_.notify_one();
     return true;
+  }
+
+  enum class PopStatus : uint8_t { kGot = 0, kTimeout = 1, kDone = 2 };
+
+  /// Timed Pop for consumers with periodic duties (the socket server's apply
+  /// thread interleaves control ops and window-flush deadlines with popping):
+  /// kGot with a batch, kTimeout when the wait expired with producers still
+  /// active, kDone when drained-and-finished or aborted.
+  PopStatus PopFor(RecordBatch& out, int timeout_millis) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait_for(lock, std::chrono::milliseconds(timeout_millis), [&] {
+      return !queue_.empty() || producers_active_ == 0 || aborted_;
+    });
+    if (aborted_) return PopStatus::kDone;
+    if (!queue_.empty()) {
+      out = std::move(queue_.front());
+      queue_.pop_front();
+      not_full_.notify_one();
+      return PopStatus::kGot;
+    }
+    return producers_active_ == 0 ? PopStatus::kDone : PopStatus::kTimeout;
   }
 
   /// If record-block `seq` was shed, removes the note and returns its record

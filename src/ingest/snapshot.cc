@@ -18,8 +18,7 @@ constexpr uint32_t kSnapMaxPayload = 64u << 20;
 
 }  // namespace
 
-bool WriteSnapshot(const std::string& path, const SnapshotData& snap,
-                   std::string* error) {
+std::vector<uint8_t> EncodeSnapshot(const SnapshotData& snap) {
   std::vector<uint8_t> payload;
   PutU32(payload, snap.stream.header_crc);
   PutU32(payload, snap.stream.dict_count);
@@ -44,39 +43,34 @@ bool WriteSnapshot(const std::string& path, const SnapshotData& snap,
   PutU32(image, static_cast<uint32_t>(payload.size()));
   PutU32(image, Crc32c(payload.data(), payload.size()));
   image.insert(image.end(), payload.begin(), payload.end());
+  return image;
+}
+
+bool WriteSnapshot(const std::string& path, const SnapshotData& snap,
+                   std::string* error) {
+  const std::vector<uint8_t> image = EncodeSnapshot(snap);
   return AtomicWriteFile(path, image.data(), image.size(), error);
 }
 
-bool ReadSnapshot(const std::string& path, SnapshotData& snap,
-                  std::string* error) {
+bool DecodeSnapshot(const uint8_t* data, size_t n, SnapshotData& snap,
+                    std::string* error) {
   const auto fail = [&](const std::string& why) {
-    if (error != nullptr) *error = "snapshot " + path + ": " + why;
+    if (error != nullptr) *error = why;
     return false;
   };
 
-  FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return fail("cannot open");
-  std::vector<uint8_t> image;
-  uint8_t buf[1 << 16];
-  size_t n;
-  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
-    image.insert(image.end(), buf, buf + n);
-  const bool read_err = std::ferror(f) != 0;
-  std::fclose(f);
-  if (read_err) return fail("read error");
-
-  if (image.size() < kSnapHeaderBytes) return fail("short header");
-  if (!std::equal(kSnapMagic, kSnapMagic + 4, image.data()))
+  if (n < kSnapHeaderBytes) return fail("short header");
+  if (!std::equal(kSnapMagic, kSnapMagic + 4, data))
     return fail("bad magic (not a snapshot file)");
-  const uint32_t version = GetU32(image.data() + 4);
+  const uint32_t version = GetU32(data + 4);
   if (version != kSnapVersion)
     return fail("unsupported version " + std::to_string(version));
-  const uint32_t payload_len = GetU32(image.data() + 8);
-  const uint32_t payload_crc = GetU32(image.data() + 12);
+  const uint32_t payload_len = GetU32(data + 8);
+  const uint32_t payload_crc = GetU32(data + 12);
   if (payload_len > kSnapMaxPayload) return fail("implausible payload length");
-  if (image.size() != kSnapHeaderBytes + payload_len)
+  if (n != kSnapHeaderBytes + payload_len)
     return fail("payload length mismatch (torn write?)");
-  const uint8_t* p = image.data() + kSnapHeaderBytes;
+  const uint8_t* p = data + kSnapHeaderBytes;
   if (Crc32c(p, payload_len) != payload_crc) return fail("payload CRC mismatch");
 
   // Exact framing: every read below is bounds-checked, and the payload must
@@ -116,8 +110,35 @@ bool ReadSnapshot(const std::string& path, SnapshotData& snap,
     snap.satisfied.push_back(GetU32(p));
 
   if (p != end) return fail("trailing bytes after payload");
-  if (snap.record_offset > snap.stream.record_count)
+  // Streaming journals carry record_count 0 in the header (it is written
+  // once, up front), so the offset bound only applies to fixed files.
+  if (snap.stream.record_count > 0 &&
+      snap.record_offset > snap.stream.record_count)
     return fail("record offset past stream end");
+  return true;
+}
+
+bool ReadSnapshot(const std::string& path, SnapshotData& snap,
+                  std::string* error) {
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = "snapshot " + path + ": " + why;
+    return false;
+  };
+
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return fail("cannot open");
+  std::vector<uint8_t> image;
+  uint8_t buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+    image.insert(image.end(), buf, buf + n);
+  const bool read_err = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_err) return fail("read error");
+
+  std::string derr;
+  if (!DecodeSnapshot(image.data(), image.size(), snap, &derr))
+    return fail(derr);
   return true;
 }
 

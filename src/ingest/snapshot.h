@@ -43,6 +43,16 @@ struct SnapshotData {
   std::vector<QueryId> satisfied;       ///< Distinct triggered qids, ascending.
 };
 
+/// Serializes `snap` into the self-checksummed snapshot image (magic,
+/// version, payload CRC). The server embeds these bytes inside its own
+/// crash-state file so snapshot + subscriptions commit atomically together.
+std::vector<uint8_t> EncodeSnapshot(const SnapshotData& snap);
+
+/// Decodes a snapshot image produced by EncodeSnapshot. False with `*error`
+/// set on any framing or integrity mismatch.
+bool DecodeSnapshot(const uint8_t* data, size_t n, SnapshotData& snap,
+                    std::string* error);
+
 /// Serializes and atomically writes `snap` to `path` (tmp + fsync + rename —
 /// a crash mid-snapshot leaves the previous snapshot intact). False with
 /// `*error` set on I/O failure.

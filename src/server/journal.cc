@@ -1,0 +1,163 @@
+#include "server/journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <random>
+
+#include "ingest/crc32c.h"
+#include "ingest/gsb_writer.h"
+
+namespace gstream {
+namespace server {
+
+using namespace ingest;  // NOLINT: gsb codec symbols
+
+Journal::~Journal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::unique_ptr<Journal> Journal::Create(const std::string& path,
+                                         std::string* error) {
+  const auto fail = [&](const char* what) {
+    if (error != nullptr)
+      *error = "journal " + path + ": " + what + ": " + std::strerror(errno);
+    return nullptr;
+  };
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return fail("open");
+
+  // Streaming header: counts stay 0 (written once, before any data); the
+  // salt in the upper flag bits makes this journal's identity unique, so a
+  // snapshot can never be replayed against a different journal.
+  std::random_device rd;
+  const uint32_t salt = (static_cast<uint32_t>(rd()) << kGsbFlagSaltShift) |
+                        kGsbFlagStreaming;
+  std::vector<uint8_t> hdr;
+  hdr.reserve(kGsbHeaderBytes);
+  for (uint8_t c : kGsbMagic) hdr.push_back(c);
+  PutU32(hdr, kGsbVersion);
+  PutU32(hdr, salt);
+  PutU32(hdr, 0);  // dict_count
+  PutU64(hdr, 0);  // record_count
+  const uint32_t crc = Crc32c(hdr.data(), hdr.size());
+  PutU32(hdr, crc);
+
+  std::unique_ptr<Journal> j(new Journal(fd, path));
+  j->identity_ = GsbIdentity{crc, 0, 0};
+  if (!j->WriteBytes(hdr, error)) return nullptr;
+  if (!j->Fsync(error)) return nullptr;
+  return j;
+}
+
+std::unique_ptr<Journal> Journal::OpenForAppend(
+    const std::string& path, uint64_t valid_bytes, uint32_t next_seq,
+    uint64_t records, uint32_t dict_written, const GsbIdentity& identity,
+    std::string* error) {
+  const auto fail = [&](const char* what) {
+    if (error != nullptr)
+      *error = "journal " + path + ": " + what + ": " + std::strerror(errno);
+    return nullptr;
+  };
+  int fd = ::open(path.c_str(), O_WRONLY, 0644);
+  if (fd < 0) return fail("open");
+  // Drop any torn tail the recovery scan quarantined, then append after the
+  // last valid block.
+  if (::ftruncate(fd, static_cast<off_t>(valid_bytes)) != 0) {
+    ::close(fd);
+    return fail("ftruncate");
+  }
+  if (::lseek(fd, 0, SEEK_END) < 0) {
+    ::close(fd);
+    return fail("lseek");
+  }
+  std::unique_ptr<Journal> j(new Journal(fd, path));
+  j->identity_ = identity;
+  j->next_seq_ = next_seq;
+  j->records_ = records;
+  j->dict_written_ = dict_written;
+  if (!j->Fsync(error)) return nullptr;
+  return j;
+}
+
+bool Journal::WriteBytes(const std::vector<uint8_t>& bytes,
+                         std::string* error) {
+  const uint8_t* p = bytes.data();
+  size_t left = bytes.size();
+  while (left > 0) {
+    ssize_t w = ::write(fd_, p, left);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      if (error != nullptr)
+        *error = "journal " + path_ + ": write: " + std::strerror(errno);
+      return false;
+    }
+    p += w;
+    left -= static_cast<size_t>(w);
+  }
+  return true;
+}
+
+bool Journal::AppendWindow(const std::vector<std::string>& new_dict_strings,
+                           const EdgeUpdate* records, size_t n,
+                           std::string* error) {
+  std::vector<uint8_t> out;
+  std::vector<uint8_t> payload;
+  if (!new_dict_strings.empty()) {
+    // The delta's first id is the interner size before these strings —
+    // which equals the total dict strings journaled so far, tracked by the
+    // caller via the delta slices it hands us; the block is self-describing
+    // through first_id, so we recompute it from the running count.
+    PutU32(payload, dict_written_);
+    PutU32(payload, static_cast<uint32_t>(new_dict_strings.size()));
+    for (const std::string& s : new_dict_strings) {
+      PutU32(payload, static_cast<uint32_t>(s.size()));
+      payload.insert(payload.end(), s.begin(), s.end());
+    }
+    AppendGsbBlock(out, GsbBlockKind::kDict, next_seq_++, payload);
+    dict_written_ += static_cast<uint32_t>(new_dict_strings.size());
+  }
+  payload.clear();
+  PutU32(payload, static_cast<uint32_t>(n));
+  for (size_t i = 0; i < n; ++i) {
+    const EdgeUpdate& u = records[i];
+    payload.push_back(static_cast<uint8_t>(u.op));
+    PutU32(payload, u.src);
+    PutU32(payload, u.label);
+    PutU32(payload, u.dst);
+  }
+  AppendGsbBlock(out, GsbBlockKind::kRecords, next_seq_++, payload);
+  if (!WriteBytes(out, error)) return false;
+  records_ += n;
+  return true;
+}
+
+bool Journal::SyncDict(const std::vector<std::string>& new_dict_strings,
+                       std::string* error) {
+  if (new_dict_strings.empty()) return true;
+  std::vector<uint8_t> out;
+  std::vector<uint8_t> payload;
+  PutU32(payload, dict_written_);
+  PutU32(payload, static_cast<uint32_t>(new_dict_strings.size()));
+  for (const std::string& s : new_dict_strings) {
+    PutU32(payload, static_cast<uint32_t>(s.size()));
+    payload.insert(payload.end(), s.begin(), s.end());
+  }
+  AppendGsbBlock(out, GsbBlockKind::kDict, next_seq_++, payload);
+  dict_written_ += static_cast<uint32_t>(new_dict_strings.size());
+  return WriteBytes(out, error);
+}
+
+bool Journal::Fsync(std::string* error) {
+  if (::fsync(fd_) != 0) {
+    if (error != nullptr)
+      *error = "journal " + path_ + ": fsync: " + std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace server
+}  // namespace gstream

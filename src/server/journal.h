@@ -1,0 +1,87 @@
+#ifndef GSTREAM_SERVER_JOURNAL_H_
+#define GSTREAM_SERVER_JOURNAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/update.h"
+#include "ingest/gsb_format.h"
+
+namespace gstream {
+namespace server {
+
+/// Append-only streaming `.gsb` journal — the socket server's write-ahead
+/// log (DESIGN.md §11). The file is a regular `.gsb` stream with the
+/// kGsbFlagStreaming header flag (header written once, counts 0, a random
+/// salt making the GsbIdentity unique per journal), so the PR 6
+/// `IngestSession` / `ResumeReplay` machinery replays it unchanged.
+///
+/// Invariants that make recovery exact:
+///  - one record block per applied window, appended BEFORE the engine
+///    applies it (WAL ordering), so replay with window_per_block reproduces
+///    the original window boundaries including drain-time partials;
+///  - every window's new interner strings precede it as a dict-delta block,
+///    so the replayed dictionary reconstructs the server interner with
+///    identical ids;
+///  - Fsync before every snapshot: the snapshot's record_offset is always
+///    covered by durable journal bytes. A crash mid-append leaves a torn
+///    tail that the scan quarantines; reopening truncates it and continues
+///    with the next block seq.
+class Journal {
+ public:
+  ~Journal();
+
+  /// Creates a fresh journal at `path` (truncating any existing file) and
+  /// writes the streaming header. Null with `*error` set on I/O failure.
+  static std::unique_ptr<Journal> Create(const std::string& path,
+                                         std::string* error);
+
+  /// Reopens an existing journal for append after recovery: truncates the
+  /// file to `valid_bytes` (dropping a torn tail), and continues from block
+  /// seq `next_seq`. `identity` and `records`/`dict_strings` counts come
+  /// from the recovery scan. Null with `*error` set on failure.
+  /// `dict_written` is the dictionary-string count already journaled (the
+  /// replayed interner's size) — the first_id base for future dict deltas.
+  static std::unique_ptr<Journal> OpenForAppend(
+      const std::string& path, uint64_t valid_bytes, uint32_t next_seq,
+      uint64_t records, uint32_t dict_written,
+      const ingest::GsbIdentity& identity, std::string* error);
+
+  /// Appends one applied window: an optional dict-delta block carrying
+  /// `new_dict_strings` (the interner's growth since the last append),
+  /// then one record block with `records[0..n)`. Not fsynced — call Fsync
+  /// at snapshot boundaries. False with `*error` set on I/O failure.
+  bool AppendWindow(const std::vector<std::string>& new_dict_strings,
+                    const EdgeUpdate* records, size_t n, std::string* error);
+
+  /// Appends a dict-delta block alone (flushes interner growth that has no
+  /// window yet — e.g. query labels interned at Subscribe — so a snapshot's
+  /// replay sees the full dictionary). No-op for an empty delta.
+  bool SyncDict(const std::vector<std::string>& new_dict_strings,
+                std::string* error);
+
+  bool Fsync(std::string* error);
+
+  const ingest::GsbIdentity& identity() const { return identity_; }
+  uint64_t records_appended() const { return records_; }
+  uint32_t next_seq() const { return next_seq_; }
+  uint32_t dict_written() const { return dict_written_; }
+
+ private:
+  Journal(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+  bool WriteBytes(const std::vector<uint8_t>& bytes, std::string* error);
+
+  int fd_;
+  std::string path_;
+  ingest::GsbIdentity identity_;
+  uint32_t next_seq_ = 0;
+  uint64_t records_ = 0;
+  uint32_t dict_written_ = 0;
+};
+
+}  // namespace server
+}  // namespace gstream
+
+#endif  // GSTREAM_SERVER_JOURNAL_H_

@@ -1,0 +1,184 @@
+#include "server/net.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace gstream {
+namespace server {
+
+namespace {
+
+bool FillAddr(const std::string& host, int port, sockaddr_in* addr,
+              std::string* error) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(static_cast<uint16_t>(port));
+  const char* h = host.empty() ? "127.0.0.1" : host.c_str();
+  if (::inet_pton(AF_INET, h, &addr->sin_addr) != 1) {
+    if (error != nullptr) *error = std::string("bad IPv4 address: ") + h;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int ListenTcp(const std::string& host, int port, int* bound_port,
+              std::string* error) {
+  const auto fail = [&](const char* what) {
+    if (error != nullptr)
+      *error = std::string(what) + ": " + std::strerror(errno);
+    return -1;
+  };
+  sockaddr_in addr;
+  if (!FillAddr(host, port, &addr, error)) return -1;
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return fail("socket");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return fail("bind");
+  }
+  if (::listen(fd, 64) != 0) {
+    ::close(fd);
+    return fail("listen");
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in got;
+    socklen_t len = sizeof(got);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&got), &len) != 0) {
+      ::close(fd);
+      return fail("getsockname");
+    }
+    *bound_port = ntohs(got.sin_port);
+  }
+  return fd;
+}
+
+int ConnectTcp(const std::string& host, int port, int timeout_millis,
+               std::string* error, int rcvbuf_bytes) {
+  const auto fail = [&](const char* what, int fd) {
+    if (error != nullptr)
+      *error = std::string(what) + ": " + std::strerror(errno);
+    if (fd >= 0) ::close(fd);
+    return -1;
+  };
+  sockaddr_in addr;
+  if (!FillAddr(host, port, &addr, error)) return -1;
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return fail("socket", -1);
+  if (rcvbuf_bytes > 0)
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf_bytes,
+                 sizeof(rcvbuf_bytes));
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) return fail("connect", fd);
+  if (rc != 0) {
+    pollfd p{fd, POLLOUT, 0};
+    do {
+      rc = ::poll(&p, 1, timeout_millis);
+    } while (rc < 0 && errno == EINTR);
+    if (rc == 0) {
+      errno = ETIMEDOUT;
+      return fail("connect", fd);
+    }
+    if (rc < 0) return fail("poll", fd);
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      errno = err != 0 ? err : errno;
+      return fail("connect", fd);
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+int AcceptTcp(int listen_fd, int timeout_millis) {
+  pollfd p{listen_fd, POLLIN, 0};
+  int rc;
+  do {
+    rc = ::poll(&p, 1, timeout_millis);
+  } while (rc < 0 && errno == EINTR);
+  if (rc == 0) return -2;
+  if (rc < 0 || (p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0) {
+    // The listen fd may have been shut down to stop accepting; one accept
+    // attempt distinguishes "closed" from a racing connection.
+  }
+  int fd;
+  do {
+    fd = ::accept(listen_fd, nullptr, nullptr);
+  } while (fd < 0 && errno == EINTR);
+  if (fd >= 0) {
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  return fd < 0 ? -1 : fd;
+}
+
+bool SendAll(int fd, const void* data, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  while (n > 0) {
+    ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += w;
+    n -= static_cast<size_t>(w);
+  }
+  return true;
+}
+
+int PollReadable(int fd, int timeout_millis) {
+  pollfd p{fd, POLLIN, 0};
+  int rc;
+  do {
+    rc = ::poll(&p, 1, timeout_millis);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return -1;
+  if (rc == 0) return 0;
+  return 1;  // readable, or EOF/err pending — read() will tell
+}
+
+int RecvAll(int fd, void* buf, size_t n, int timeout_millis) {
+  uint8_t* p = static_cast<uint8_t*>(buf);
+  bool first = true;
+  while (n > 0) {
+    const int r = PollReadable(fd, timeout_millis);
+    if (r <= 0) return -1;  // timeout mid-message is torn, not idle
+    ssize_t got = ::read(fd, p, n);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (got == 0) return first ? 0 : -1;  // EOF
+    first = false;
+    p += got;
+    n -= static_cast<size_t>(got);
+  }
+  return 1;
+}
+
+void ShutdownFd(int fd) {
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+void CloseFd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace server
+}  // namespace gstream

@@ -1,0 +1,55 @@
+#ifndef GSTREAM_SERVER_NET_H_
+#define GSTREAM_SERVER_NET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace gstream {
+namespace server {
+
+/// Thin, dependency-free POSIX TCP helpers shared by the server and the
+/// client library. All functions are EINTR-safe; writes use MSG_NOSIGNAL so
+/// a peer closing mid-write surfaces as an error, never SIGPIPE.
+
+/// Binds + listens on `host:port` (port 0 = ephemeral). Returns the listen
+/// fd and stores the actually bound port in `*bound_port`; -1 with `*error`
+/// set on failure.
+int ListenTcp(const std::string& host, int port, int* bound_port,
+              std::string* error);
+
+/// Connects to `host:port` with a bounded connect timeout. Returns the fd,
+/// or -1 with `*error` set. `rcvbuf_bytes > 0` sets SO_RCVBUF before the
+/// connect (so the negotiated TCP window honors it) — a deliberately tiny
+/// receive buffer turns a non-reading peer into a zero-window stall fast,
+/// which is how the slow-client tests force kernel buffering out of the
+/// picture.
+int ConnectTcp(const std::string& host, int port, int timeout_millis,
+               std::string* error, int rcvbuf_bytes = 0);
+
+/// Accepts one connection, waiting at most `timeout_millis`. Returns the
+/// accepted fd, -2 on timeout, -1 on error / closed listen socket.
+int AcceptTcp(int listen_fd, int timeout_millis);
+
+/// Writes exactly `n` bytes; false on any error (peer gone).
+bool SendAll(int fd, const void* data, size_t n);
+
+/// Poll for readability: 1 = readable (or EOF pending), 0 = timeout,
+/// -1 = error.
+int PollReadable(int fd, int timeout_millis);
+
+/// Reads exactly `n` bytes, polling with `timeout_millis` per chunk so a
+/// stalled peer cannot wedge the caller forever. Returns 1 on success, 0 on
+/// clean EOF before any byte, -1 on error / timeout / torn read.
+int RecvAll(int fd, void* buf, size_t n, int timeout_millis);
+
+/// shutdown(2) both directions — wakes any thread blocked in poll/read on
+/// the fd (the cross-thread "close please" signal; the owner still closes).
+void ShutdownFd(int fd);
+
+void CloseFd(int fd);
+
+}  // namespace server
+}  // namespace gstream
+
+#endif  // GSTREAM_SERVER_NET_H_

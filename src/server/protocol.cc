@@ -1,0 +1,340 @@
+#include "server/protocol.h"
+
+#include "ingest/crc32c.h"
+#include "server/net.h"
+
+namespace gstream {
+namespace server {
+
+using ingest::Crc32c;
+using ingest::GetU16;
+using ingest::GetU32;
+using ingest::GetU64;
+using ingest::PutU16;
+using ingest::PutU32;
+using ingest::PutU64;
+
+namespace {
+
+constexpr uint32_t kMaxNameLen = 1024;
+constexpr uint32_t kMaxPatternLen = 64 * 1024;
+constexpr uint32_t kMaxMessageLen = 64 * 1024;
+
+/// Bounds-checked payload cursor: every Decode* walks the payload with it
+/// and requires exact consumption, so a truncated or padded payload is a
+/// protocol error, never a partial parse.
+struct Cursor {
+  const uint8_t* p;
+  const uint8_t* end;
+  bool ok = true;
+
+  explicit Cursor(const std::vector<uint8_t>& v)
+      : p(v.data()), end(v.data() + v.size()) {}
+
+  bool Need(size_t n) {
+    if (!ok || static_cast<size_t>(end - p) < n) ok = false;
+    return ok;
+  }
+  uint8_t U8() {
+    if (!Need(1)) return 0;
+    return *p++;
+  }
+  uint16_t U16() {
+    if (!Need(2)) return 0;
+    const uint16_t v = GetU16(p);
+    p += 2;
+    return v;
+  }
+  uint32_t U32() {
+    if (!Need(4)) return 0;
+    const uint32_t v = GetU32(p);
+    p += 4;
+    return v;
+  }
+  uint64_t U64() {
+    if (!Need(8)) return 0;
+    const uint64_t v = GetU64(p);
+    p += 8;
+    return v;
+  }
+  std::string Str(uint32_t len, uint32_t max) {
+    if (len > max || !Need(len)) {
+      ok = false;
+      return {};
+    }
+    std::string s(reinterpret_cast<const char*>(p), len);
+    p += len;
+    return s;
+  }
+  bool Done() const { return ok && p == end; }
+};
+
+void PutStr16(std::vector<uint8_t>& out, const std::string& s) {
+  PutU16(out, static_cast<uint16_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeFrame(FrameType type,
+                                 const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  PutU16(out, kFrameMagic);
+  out.push_back(static_cast<uint8_t>(type));
+  out.push_back(0);  // reserved
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  PutU32(out, Crc32c(payload.data(), payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::vector<uint8_t> EncodeHello(const HelloMsg& m) {
+  std::vector<uint8_t> p;
+  PutU32(p, m.version);
+  PutU64(p, m.resume_notify);
+  PutStr16(p, m.name);
+  return EncodeFrame(FrameType::kHello, p);
+}
+
+bool DecodeHello(const std::vector<uint8_t>& p, HelloMsg& m) {
+  Cursor c(p);
+  m.version = c.U32();
+  m.resume_notify = c.U64();
+  m.name = c.Str(c.U16(), kMaxNameLen);
+  return c.Done();
+}
+
+std::vector<uint8_t> EncodeHelloAck(const HelloAckMsg& m) {
+  std::vector<uint8_t> p;
+  PutU32(p, m.version);
+  p.push_back(m.resume_status);
+  PutU64(p, m.applied_records);
+  PutU64(p, m.notify_log_start);
+  PutU64(p, m.producer_acked);
+  return EncodeFrame(FrameType::kHelloAck, p);
+}
+
+bool DecodeHelloAck(const std::vector<uint8_t>& p, HelloAckMsg& m) {
+  Cursor c(p);
+  m.version = c.U32();
+  m.resume_status = c.U8();
+  m.applied_records = c.U64();
+  m.notify_log_start = c.U64();
+  m.producer_acked = c.U64();
+  return c.Done();
+}
+
+std::vector<uint8_t> EncodeDict(const DictMsg& m) {
+  // Identical layout to a gsb dictionary-block payload.
+  std::vector<uint8_t> p;
+  PutU32(p, m.first_id);
+  PutU32(p, static_cast<uint32_t>(m.strings.size()));
+  for (const std::string& s : m.strings) {
+    PutU32(p, static_cast<uint32_t>(s.size()));
+    p.insert(p.end(), s.begin(), s.end());
+  }
+  return EncodeFrame(FrameType::kDict, p);
+}
+
+bool DecodeDict(const std::vector<uint8_t>& p, DictMsg& m) {
+  Cursor c(p);
+  m.first_id = c.U32();
+  const uint32_t count = c.U32();
+  m.strings.clear();
+  for (uint32_t i = 0; i < count && c.ok; ++i)
+    m.strings.push_back(c.Str(c.U32(), ingest::kGsbMaxStringLen));
+  return c.Done();
+}
+
+std::vector<uint8_t> EncodeEdges(const EdgesMsg& m) {
+  std::vector<uint8_t> p;
+  PutU64(p, m.base);
+  PutU32(p, static_cast<uint32_t>(m.records.size()));
+  for (const EdgeUpdate& u : m.records) {
+    // The gsb 13-byte record frame, verbatim.
+    p.push_back(static_cast<uint8_t>(u.op));
+    PutU32(p, u.src);
+    PutU32(p, u.label);
+    PutU32(p, u.dst);
+  }
+  return EncodeFrame(FrameType::kEdges, p);
+}
+
+bool DecodeEdges(const std::vector<uint8_t>& p, EdgesMsg& m) {
+  Cursor c(p);
+  m.base = c.U64();
+  const uint32_t count = c.U32();
+  if (!c.Need(static_cast<size_t>(count) * ingest::kGsbRecordBytes))
+    return false;
+  m.records.clear();
+  m.records.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    EdgeUpdate u;
+    const uint8_t op = c.U8();
+    if (op > static_cast<uint8_t>(UpdateOp::kDelete)) return false;
+    u.op = static_cast<UpdateOp>(op);
+    u.src = c.U32();
+    u.label = c.U32();
+    u.dst = c.U32();
+    m.records.push_back(u);
+  }
+  return c.Done();
+}
+
+std::vector<uint8_t> EncodeSubscribe(const SubscribeMsg& m) {
+  std::vector<uint8_t> p;
+  PutU32(p, m.sub_id);
+  PutStr16(p, m.pattern);
+  return EncodeFrame(FrameType::kSubscribe, p);
+}
+
+bool DecodeSubscribe(const std::vector<uint8_t>& p, SubscribeMsg& m) {
+  Cursor c(p);
+  m.sub_id = c.U32();
+  m.pattern = c.Str(c.U16(), kMaxPatternLen);
+  return c.Done();
+}
+
+std::vector<uint8_t> EncodeSubAck(const SubAckMsg& m) {
+  std::vector<uint8_t> p;
+  PutU32(p, m.sub_id);
+  PutU32(p, m.qid);
+  p.push_back(m.status);
+  PutStr16(p, m.message);
+  return EncodeFrame(FrameType::kSubAck, p);
+}
+
+bool DecodeSubAck(const std::vector<uint8_t>& p, SubAckMsg& m) {
+  Cursor c(p);
+  m.sub_id = c.U32();
+  m.qid = c.U32();
+  m.status = c.U8();
+  m.message = c.Str(c.U16(), kMaxMessageLen);
+  return c.Done();
+}
+
+std::vector<uint8_t> EncodeUnsubscribe(const UnsubscribeMsg& m) {
+  std::vector<uint8_t> p;
+  PutU32(p, m.sub_id);
+  return EncodeFrame(FrameType::kUnsubscribe, p);
+}
+
+bool DecodeUnsubscribe(const std::vector<uint8_t>& p, UnsubscribeMsg& m) {
+  Cursor c(p);
+  m.sub_id = c.U32();
+  return c.Done();
+}
+
+std::vector<uint8_t> EncodeNotify(const NotifyMsg& m) {
+  std::vector<uint8_t> p;
+  PutU64(p, m.record_index);
+  PutU32(p, static_cast<uint32_t>(m.counts.size()));
+  for (const auto& [sub_id, count] : m.counts) {
+    PutU32(p, sub_id);
+    PutU64(p, count);
+  }
+  return EncodeFrame(FrameType::kNotify, p);
+}
+
+bool DecodeNotify(const std::vector<uint8_t>& p, NotifyMsg& m) {
+  Cursor c(p);
+  m.record_index = c.U64();
+  const uint32_t count = c.U32();
+  if (!c.Need(static_cast<size_t>(count) * 12)) return false;
+  m.counts.clear();
+  m.counts.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint32_t sub_id = c.U32();
+    const uint64_t n = c.U64();
+    m.counts.emplace_back(sub_id, n);
+  }
+  return c.Done();
+}
+
+std::vector<uint8_t> EncodeProgress(const ProgressMsg& m) {
+  std::vector<uint8_t> p;
+  PutU64(p, m.applied_records);
+  PutU64(p, m.producer_acked);
+  PutU64(p, m.notify_shed);
+  return EncodeFrame(FrameType::kProgress, p);
+}
+
+bool DecodeProgress(const std::vector<uint8_t>& p, ProgressMsg& m) {
+  Cursor c(p);
+  m.applied_records = c.U64();
+  m.producer_acked = c.U64();
+  m.notify_shed = c.U64();
+  return c.Done();
+}
+
+std::vector<uint8_t> EncodeDrain(const DrainMsg& m) {
+  std::vector<uint8_t> p;
+  PutU64(p, m.applied_records);
+  p.push_back(m.snapshot_written);
+  return EncodeFrame(FrameType::kDrain, p);
+}
+
+bool DecodeDrain(const std::vector<uint8_t>& p, DrainMsg& m) {
+  Cursor c(p);
+  m.applied_records = c.U64();
+  m.snapshot_written = c.U8();
+  return c.Done();
+}
+
+std::vector<uint8_t> EncodeError(const ErrorMsg& m) {
+  std::vector<uint8_t> p;
+  PutU16(p, m.code);
+  PutStr16(p, m.message);
+  return EncodeFrame(FrameType::kError, p);
+}
+
+bool DecodeError(const std::vector<uint8_t>& p, ErrorMsg& m) {
+  Cursor c(p);
+  m.code = c.U16();
+  m.message = c.Str(c.U16(), kMaxMessageLen);
+  return c.Done();
+}
+
+std::vector<uint8_t> EncodeHeartbeat() {
+  return EncodeFrame(FrameType::kHeartbeat, {});
+}
+
+std::vector<uint8_t> EncodeBye() { return EncodeFrame(FrameType::kBye, {}); }
+
+ReadStatus ReadFrame(int fd, int idle_timeout_millis, Frame& out,
+                     std::string* error) {
+  const auto fail = [&](const char* why) {
+    if (error != nullptr) *error = why;
+    return ReadStatus::kError;
+  };
+  const int readable = PollReadable(fd, idle_timeout_millis);
+  if (readable == 0) return ReadStatus::kTimeout;
+  if (readable < 0) return fail("poll error");
+
+  uint8_t hdr[kFrameHeaderBytes];
+  const int r = RecvAll(fd, hdr, kFrameHeaderBytes, idle_timeout_millis);
+  if (r == 0) return ReadStatus::kClosed;
+  if (r < 0) return fail("torn frame header");
+  if (GetU16(hdr) != kFrameMagic) return fail("bad frame magic");
+  const uint8_t type = hdr[2];
+  if (type < static_cast<uint8_t>(FrameType::kHello) ||
+      type > static_cast<uint8_t>(FrameType::kBye))
+    return fail("unknown frame type");
+  if (hdr[3] != 0) return fail("nonzero reserved byte");
+  const uint32_t len = GetU32(hdr + 4);
+  const uint32_t crc = GetU32(hdr + 8);
+  if (len > kMaxFramePayload) return fail("oversized frame payload");
+
+  out.type = static_cast<FrameType>(type);
+  out.payload.resize(len);
+  if (len > 0 &&
+      RecvAll(fd, out.payload.data(), len, idle_timeout_millis) != 1)
+    return fail("torn frame payload");
+  if (Crc32c(out.payload.data(), out.payload.size()) != crc)
+    return fail("frame payload CRC mismatch");
+  return ReadStatus::kOk;
+}
+
+}  // namespace server
+}  // namespace gstream

@@ -1,0 +1,196 @@
+#ifndef GSTREAM_SERVER_PROTOCOL_H_
+#define GSTREAM_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/update.h"
+#include "ingest/gsb_format.h"
+
+namespace gstream {
+namespace server {
+
+/// Length-framed wire protocol (DESIGN.md §11). Every frame is
+///
+///   magic       u16  0xF4A3
+///   type        u8   FrameType
+///   reserved    u8   0
+///   payload_len u32  <= kMaxFramePayload
+///   payload_crc u32  CRC32C over the payload
+///   payload     payload_len bytes
+///
+/// Payload encodings reuse the `.gsb` codecs (ingest/gsb_format.h): the
+/// Dict payload *is* a gsb dictionary-block payload, and Edges carries gsb
+/// 13-byte record frames — CRC32C-checked end to end with the same integrity
+/// model as the file format. A frame that fails magic/CRC/framing is a
+/// protocol error: the connection closes and the client resumes by
+/// reconnecting (DESIGN.md §11's resume state machine), so a torn frame can
+/// corrupt nothing.
+
+inline constexpr uint16_t kFrameMagic = 0xF4A3;
+inline constexpr uint32_t kProtocolVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 12;
+inline constexpr uint32_t kMaxFramePayload = 16u << 20;
+
+/// "No offset": a subscriber that wants notifications from now on only, or
+/// an unknown per-producer resume position.
+inline constexpr uint64_t kNoOffset = ~0ull;
+
+enum class FrameType : uint8_t {
+  kHello = 1,        ///< client -> server: name + notify resume offset
+  kHelloAck = 2,     ///< server -> client: applied/log-start/producer offsets
+  kDict = 3,         ///< client -> server: dictionary delta (client id space)
+  kEdges = 4,        ///< client -> server: record frames (client id space)
+  kSubscribe = 5,    ///< client -> server: sub_id + pattern text
+  kSubAck = 6,       ///< server -> client: sub_id -> qid (or error)
+  kUnsubscribe = 7,  ///< client -> server: drop a subscription
+  kNotify = 8,       ///< server -> client: one update's per-sub match counts
+  kProgress = 9,     ///< server -> client: applied/acked/shed counters
+  kHeartbeat = 10,   ///< either direction: liveness only
+  kDrain = 11,       ///< server -> client: graceful shutdown boundary
+  kError = 12,       ///< server -> client: terminal error, then close
+  kBye = 13,         ///< client -> server: clean close
+};
+
+enum class ErrorCode : uint16_t {
+  kProtocol = 1,     ///< malformed frame / unexpected type
+  kSequenceGap = 2,  ///< Edges base jumped past the accepted offset
+  kOverload = 3,     ///< slow-client disconnect policy fired
+  kIdleTimeout = 4,  ///< no frames (not even heartbeats) within the timeout
+  kDraining = 5,     ///< server is draining; no new work accepted
+  kBadPattern = 6,   ///< subscription pattern failed to parse
+};
+
+struct HelloMsg {
+  uint32_t version = kProtocolVersion;
+  /// First notification record index wanted (kNoOffset = live only).
+  uint64_t resume_notify = kNoOffset;
+  std::string name;  ///< Stable client identity (producer + sub registry key).
+};
+
+/// HelloAck resume_status values.
+enum class ResumeStatus : uint8_t {
+  kLive = 0,       ///< no replay requested
+  kReplayed = 1,   ///< requested offset served from the notification log
+  kGap = 2,        ///< requested offset predates the log; served from log start
+};
+
+struct HelloAckMsg {
+  uint32_t version = kProtocolVersion;
+  uint8_t resume_status = 0;
+  uint64_t applied_records = 0;    ///< Global applied-record count.
+  uint64_t notify_log_start = 0;   ///< Earliest replayable notification index.
+  uint64_t producer_acked = kNoOffset;  ///< This producer's acked offset.
+};
+
+struct DictMsg {
+  uint32_t first_id = 0;  ///< Client-space id of strings[0]; dense onward.
+  std::vector<std::string> strings;
+};
+
+struct EdgesMsg {
+  /// Producer-stream index of records[0] (dense per client name). The server
+  /// deduplicates overlap (base < acked: at-least-once resend) and closes on
+  /// a gap (base > acked).
+  uint64_t base = 0;
+  std::vector<EdgeUpdate> records;  ///< Ids in the *client's* dict space.
+};
+
+struct SubscribeMsg {
+  uint32_t sub_id = 0;  ///< Client-chosen; stable across reconnects.
+  std::string pattern;  ///< Parser grammar (src/query/parser.h).
+};
+
+enum class SubStatus : uint8_t { kNew = 0, kReattached = 1, kError = 2 };
+
+struct SubAckMsg {
+  uint32_t sub_id = 0;
+  uint32_t qid = 0;  ///< Server-side query id (meaningless on kError).
+  uint8_t status = 0;
+  std::string message;
+};
+
+struct UnsubscribeMsg {
+  uint32_t sub_id = 0;
+};
+
+struct NotifyMsg {
+  uint64_t record_index = 0;
+  /// (sub_id, new-embedding count), ascending by sub_id; non-zero only.
+  std::vector<std::pair<uint32_t, uint64_t>> counts;
+};
+
+struct ProgressMsg {
+  uint64_t applied_records = 0;         ///< Global applied-record count.
+  uint64_t producer_acked = kNoOffset;  ///< This client's producer offset.
+  uint64_t notify_shed = 0;             ///< Notifications shed to this client.
+};
+
+struct DrainMsg {
+  uint64_t applied_records = 0;
+  uint8_t snapshot_written = 0;
+};
+
+struct ErrorMsg {
+  uint16_t code = 0;
+  std::string message;
+};
+
+struct Frame {
+  FrameType type = FrameType::kHeartbeat;
+  std::vector<uint8_t> payload;
+};
+
+/// Encodes a complete frame (header + CRC'd payload).
+std::vector<uint8_t> EncodeFrame(FrameType type,
+                                 const std::vector<uint8_t>& payload);
+
+// Per-message payload codecs. Encoders return the full frame bytes;
+// decoders parse a received payload with exact bounds checks and return
+// false on any framing violation (the caller treats that as a protocol
+// error and closes).
+std::vector<uint8_t> EncodeHello(const HelloMsg& m);
+bool DecodeHello(const std::vector<uint8_t>& p, HelloMsg& m);
+std::vector<uint8_t> EncodeHelloAck(const HelloAckMsg& m);
+bool DecodeHelloAck(const std::vector<uint8_t>& p, HelloAckMsg& m);
+std::vector<uint8_t> EncodeDict(const DictMsg& m);
+bool DecodeDict(const std::vector<uint8_t>& p, DictMsg& m);
+std::vector<uint8_t> EncodeEdges(const EdgesMsg& m);
+bool DecodeEdges(const std::vector<uint8_t>& p, EdgesMsg& m);
+std::vector<uint8_t> EncodeSubscribe(const SubscribeMsg& m);
+bool DecodeSubscribe(const std::vector<uint8_t>& p, SubscribeMsg& m);
+std::vector<uint8_t> EncodeSubAck(const SubAckMsg& m);
+bool DecodeSubAck(const std::vector<uint8_t>& p, SubAckMsg& m);
+std::vector<uint8_t> EncodeUnsubscribe(const UnsubscribeMsg& m);
+bool DecodeUnsubscribe(const std::vector<uint8_t>& p, UnsubscribeMsg& m);
+std::vector<uint8_t> EncodeNotify(const NotifyMsg& m);
+bool DecodeNotify(const std::vector<uint8_t>& p, NotifyMsg& m);
+std::vector<uint8_t> EncodeProgress(const ProgressMsg& m);
+bool DecodeProgress(const std::vector<uint8_t>& p, ProgressMsg& m);
+std::vector<uint8_t> EncodeDrain(const DrainMsg& m);
+bool DecodeDrain(const std::vector<uint8_t>& p, DrainMsg& m);
+std::vector<uint8_t> EncodeError(const ErrorMsg& m);
+bool DecodeError(const std::vector<uint8_t>& p, ErrorMsg& m);
+std::vector<uint8_t> EncodeHeartbeat();
+std::vector<uint8_t> EncodeBye();
+
+enum class ReadStatus : uint8_t {
+  kOk = 0,
+  kTimeout = 1,  ///< idle: no frame started within the timeout
+  kClosed = 2,   ///< clean EOF at a frame boundary
+  kError = 3,    ///< torn frame, bad magic/CRC, or socket error
+};
+
+/// Reads one frame from `fd`. `idle_timeout_millis` bounds the wait for the
+/// frame's first byte (kTimeout drives heartbeat/idle-disconnect machinery);
+/// once a frame starts, the same bound applies per chunk, and a stall
+/// mid-frame is kError (torn), never kTimeout.
+ReadStatus ReadFrame(int fd, int idle_timeout_millis, Frame& out,
+                     std::string* error);
+
+}  // namespace server
+}  // namespace gstream
+
+#endif  // GSTREAM_SERVER_PROTOCOL_H_

@@ -1,0 +1,161 @@
+#include "server/server_state.h"
+
+#include <cstdio>
+
+#include "ingest/crc32c.h"
+#include "ingest/gsb_format.h"
+#include "ingest/gsb_writer.h"
+
+namespace gstream {
+namespace server {
+
+using ingest::Crc32c;
+using ingest::GetU32;
+using ingest::GetU64;
+using ingest::PutU32;
+using ingest::PutU64;
+
+namespace {
+
+// "GSRV" little-endian.
+constexpr uint32_t kStateMagic = 0x56525347;
+constexpr uint32_t kStateVersion = 1;
+constexpr size_t kStateHeaderBytes = 16;  // magic, version, len, crc
+constexpr uint32_t kMaxStateString = 64 * 1024;
+
+void PutStr(std::vector<uint8_t>& out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+struct Cursor {
+  const uint8_t* p;
+  const uint8_t* end;
+  bool ok = true;
+
+  bool Need(size_t n) {
+    if (!ok || static_cast<size_t>(end - p) < n) ok = false;
+    return ok;
+  }
+  uint32_t U32() {
+    if (!Need(4)) return 0;
+    const uint32_t v = GetU32(p);
+    p += 4;
+    return v;
+  }
+  uint64_t U64() {
+    if (!Need(8)) return 0;
+    const uint64_t v = GetU64(p);
+    p += 8;
+    return v;
+  }
+  std::string Str() {
+    const uint32_t len = U32();
+    if (len > kMaxStateString || !Need(len)) {
+      ok = false;
+      return {};
+    }
+    std::string s(reinterpret_cast<const char*>(p), len);
+    p += len;
+    return s;
+  }
+};
+
+}  // namespace
+
+bool WriteServerState(const std::string& path, const ServerState& state,
+                      std::string* error) {
+  std::vector<uint8_t> payload;
+  const std::vector<uint8_t> snap_image = ingest::EncodeSnapshot(state.snap);
+  PutU32(payload, static_cast<uint32_t>(snap_image.size()));
+  payload.insert(payload.end(), snap_image.begin(), snap_image.end());
+
+  PutU32(payload, static_cast<uint32_t>(state.subscriptions.size()));
+  for (const SubscriptionRecord& s : state.subscriptions) {
+    PutStr(payload, s.client_name);
+    PutU32(payload, s.sub_id);
+    PutU32(payload, s.qid);
+    PutU64(payload, s.registered_offset);
+    PutStr(payload, s.pattern);
+  }
+  PutU32(payload, static_cast<uint32_t>(state.producers.size()));
+  for (const ProducerRecord& p : state.producers) {
+    PutStr(payload, p.client_name);
+    PutU64(payload, p.acked);
+  }
+
+  std::vector<uint8_t> image;
+  image.reserve(kStateHeaderBytes + payload.size());
+  PutU32(image, kStateMagic);
+  PutU32(image, kStateVersion);
+  PutU32(image, static_cast<uint32_t>(payload.size()));
+  PutU32(image, Crc32c(payload.data(), payload.size()));
+  image.insert(image.end(), payload.begin(), payload.end());
+  return ingest::AtomicWriteFile(path, image.data(), image.size(), error);
+}
+
+bool ReadServerState(const std::string& path, ServerState& state,
+                     std::string* error) {
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = "server state " + path + ": " + why;
+    return false;
+  };
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return fail("cannot open");
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size < static_cast<long>(kStateHeaderBytes)) {
+    std::fclose(f);
+    return fail("truncated header");
+  }
+  std::vector<uint8_t> image(static_cast<size_t>(size));
+  const size_t got = std::fread(image.data(), 1, image.size(), f);
+  std::fclose(f);
+  if (got != image.size()) return fail("short read");
+
+  if (GetU32(image.data()) != kStateMagic)
+    return fail("bad magic (not a server-state file)");
+  if (GetU32(image.data() + 4) != kStateVersion)
+    return fail("unsupported version");
+  const uint32_t len = GetU32(image.data() + 8);
+  const uint32_t crc = GetU32(image.data() + 12);
+  if (image.size() != kStateHeaderBytes + len)
+    return fail("payload length mismatch");
+  const uint8_t* payload = image.data() + kStateHeaderBytes;
+  if (Crc32c(payload, len) != crc) return fail("payload CRC mismatch");
+
+  Cursor c{payload, payload + len};
+  const uint32_t snap_len = c.U32();
+  if (!c.Need(snap_len)) return fail("truncated snapshot image");
+  std::string snap_err;
+  if (!ingest::DecodeSnapshot(c.p, snap_len, state.snap, &snap_err))
+    return fail("embedded snapshot: " + snap_err);
+  c.p += snap_len;
+
+  const uint32_t sub_count = c.U32();
+  state.subscriptions.clear();
+  for (uint32_t i = 0; i < sub_count && c.ok; ++i) {
+    SubscriptionRecord s;
+    s.client_name = c.Str();
+    s.sub_id = c.U32();
+    s.qid = c.U32();
+    s.registered_offset = c.U64();
+    s.pattern = c.Str();
+    state.subscriptions.push_back(std::move(s));
+  }
+  const uint32_t producer_count = c.U32();
+  state.producers.clear();
+  for (uint32_t i = 0; i < producer_count && c.ok; ++i) {
+    ProducerRecord p;
+    p.client_name = c.Str();
+    p.acked = c.U64();
+    state.producers.push_back(std::move(p));
+  }
+  if (!c.ok || c.p != c.end) return fail("payload framing mismatch");
+  return true;
+}
+
+}  // namespace server
+}  // namespace gstream

@@ -1,0 +1,60 @@
+#ifndef GSTREAM_SERVER_SERVER_STATE_H_
+#define GSTREAM_SERVER_SERVER_STATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "ingest/snapshot.h"
+
+namespace gstream {
+namespace server {
+
+/// One durable subscription record, in registration order. Registration
+/// order matters: recovery re-registers queries in exactly this order so the
+/// replayed engine assigns identical qids and the boundary fingerprint
+/// cross-check holds.
+struct SubscriptionRecord {
+  std::string client_name;
+  uint32_t sub_id = 0;
+  QueryId qid = 0;
+  /// Applied-record count when the subscription registered. A query that
+  /// joined mid-stream has no backfill; recovery replays it from record 0,
+  /// and the snapshot's fingerprint/counter cross-check catches any
+  /// divergence that causes (the documented §11 limitation).
+  uint64_t registered_offset = 0;
+  /// The pattern text as received (QueryPattern::ToString drops constraints,
+  /// so we persist the client's original text and re-parse on recovery).
+  std::string pattern;
+};
+
+struct ProducerRecord {
+  std::string client_name;
+  uint64_t acked = 0;  ///< Producer-stream records durably applied.
+};
+
+/// The server's crash-state image: the engine snapshot plus everything the
+/// snapshot's replay contract needs that lives outside the journal — the
+/// subscription registry and per-producer offsets. Written as ONE atomic
+/// file at snapshot boundaries so they can never disagree.
+struct ServerState {
+  ingest::SnapshotData snap;
+  std::vector<SubscriptionRecord> subscriptions;
+  std::vector<ProducerRecord> producers;
+};
+
+/// Atomically writes `state` to `path` (tmp + fsync + rename). False with
+/// `*error` set on I/O failure.
+bool WriteServerState(const std::string& path, const ServerState& state,
+                      std::string* error);
+
+/// Reads and validates a server-state file (magic, version, CRC, exact
+/// framing, embedded snapshot integrity). False with `*error` set.
+bool ReadServerState(const std::string& path, ServerState& state,
+                     std::string* error);
+
+}  // namespace server
+}  // namespace gstream
+
+#endif  // GSTREAM_SERVER_SERVER_STATE_H_

@@ -37,7 +37,7 @@ if [[ ! -d "$BUILD_DIR" ]]; then
   exit 1
 fi
 
-SUITES=(micro_flatmap micro_join micro_trie micro_ingest)
+SUITES=(micro_flatmap micro_join micro_trie micro_ingest micro_server)
 OUT="$BUILD_DIR/BENCH_SMOKE.json"
 REPORTS=()
 
