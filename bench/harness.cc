@@ -17,7 +17,8 @@ BenchOptions BenchOptions::FromArgs(int argc, char** argv) {
   Flags flags = Flags::Parse(argc, argv);
   static const char* kKnown[] = {"full",    "budget-sec", "cell-budget-sec",
                                  "seed",    "csv",        "batch",
-                                 "threads", "no-shared-finalize", "help"};
+                                 "threads", "no-shared-finalize",
+                                 "no-route-index", "tenants", "help"};
   bool usage_error = false;
   for (const std::string& name : flags.Names()) {
     if (std::find_if(std::begin(kKnown), std::end(kKnown),
@@ -29,12 +30,14 @@ BenchOptions BenchOptions::FromArgs(int argc, char** argv) {
   if (usage_error || flags.Has("help")) {
     std::fprintf(stderr,
                  "bench flags: --full --budget-sec=S --cell-budget-sec=S "
-                 "--seed=N --csv --batch=N --threads=N --no-shared-finalize\n");
+                 "--seed=N --csv --batch=N --threads=N --no-shared-finalize "
+                 "--no-route-index --tenants=N\n");
     std::exit(usage_error ? 2 : 0);
   }
   BenchOptions opts;
   opts.full = flags.GetBool("full", false);
   opts.shared_finalize = !flags.GetBool("no-shared-finalize", false);
+  opts.route_index = !flags.GetBool("no-route-index", false);
   opts.budget_seconds =
       flags.GetDouble("budget-sec", opts.full ? 86400.0 : 8.0);
   opts.cell_budget_seconds =
@@ -44,6 +47,7 @@ BenchOptions BenchOptions::FromArgs(int argc, char** argv) {
   // Rejects 0/negative/non-numeric values with a clear error (exit 2).
   opts.batch = static_cast<size_t>(flags.GetPositiveInt("batch", 1));
   opts.threads = static_cast<int>(flags.GetPositiveInt("threads", 1));
+  opts.tenants = static_cast<size_t>(flags.GetPositiveInt("tenants", 1));
   return opts;
 }
 
@@ -52,7 +56,7 @@ GrowthSeries RunGrowthSeries(EngineKind kind,
                              const UpdateStream& stream,
                              const std::vector<size_t>& checkpoints,
                              double budget_seconds, size_t batch, int threads,
-                             bool shared_finalize) {
+                             bool shared_finalize, bool route_index) {
   GrowthSeries series;
   series.kind = kind;
   series.segment_ms.assign(checkpoints.size(), std::nan(""));
@@ -60,6 +64,7 @@ GrowthSeries RunGrowthSeries(EngineKind kind,
 
   auto engine = CreateEngine(kind);
   engine->SetSharedFinalize(shared_finalize);
+  engine->SetRouteIndex(route_index);
   series.index_stats = IndexQueries(*engine, queries);
 
   Budget budget;
@@ -104,15 +109,19 @@ GrowthSeries RunGrowthSeries(EngineKind kind,
   series.memory_bytes = engine->MemoryBytes();
   series.final_join_passes = engine->final_join_passes();
   series.shared_finalize_groups = engine->shared_finalize_groups();
+  series.routed_candidates = engine->routed_candidates();
+  series.prefilter_rejects = engine->prefilter_rejects();
   return series;
 }
 
 CellResult RunCell(EngineKind kind, const std::vector<QueryPattern>& queries,
                    const UpdateStream& stream, double budget_seconds,
-                   size_t batch, int threads, bool shared_finalize) {
+                   size_t batch, int threads, bool shared_finalize,
+                   bool route_index) {
   CellResult cell;
   auto engine = CreateEngine(kind);
   engine->SetSharedFinalize(shared_finalize);
+  engine->SetRouteIndex(route_index);
   cell.index_stats = IndexQueries(*engine, queries);
   RunConfig config;
   config.budget_seconds = budget_seconds;
@@ -126,6 +135,8 @@ CellResult RunCell(EngineKind kind, const std::vector<QueryPattern>& queries,
   cell.new_embeddings = stats.new_embeddings;
   cell.final_join_passes = engine->final_join_passes();
   cell.shared_finalize_groups = engine->shared_finalize_groups();
+  cell.routed_candidates = engine->routed_candidates();
+  cell.prefilter_rejects = engine->prefilter_rejects();
   cell.queries_satisfied = stats.queries_satisfied;
   return cell;
 }
@@ -226,6 +237,11 @@ void PrintHeader(const std::string& figure, const std::string& caption,
                 opts.batch, opts.threads);
   if (!opts.shared_finalize)
     std::printf("shared window finalization DISABLED (per-query passes)\n");
+  if (!opts.route_index)
+    std::printf("query routing index DISABLED (legacy linear dispatch)\n");
+  if (opts.tenants > 1)
+    std::printf("tenant duplication: %zux (|QDB| scales accordingly)\n",
+                opts.tenants);
   std::printf("cells marked '*' exceeded the time budget (paper's timeout marker);\n");
   std::printf("a value with '*' is the average over the prefix processed.\n");
   std::printf("==============================================================\n");
@@ -265,6 +281,7 @@ workload::QueryGenConfig BaselineQueryConfig(const BenchOptions& opts,
   qc.selectivity = 0.25;    // σ = 25%
   qc.overlap = 0.35;        // o = 35%
   qc.seed = opts.seed * 1315423911ull + 17;
+  qc.tenants = opts.tenants;
   return qc;
 }
 
@@ -288,7 +305,7 @@ void RunGrowthFigure(const std::string& figure, const std::string& caption,
     GrowthSeries s =
         RunGrowthSeries(kind, qs.queries, w.stream, checkpoints,
                         opts.budget_seconds, opts.batch, opts.threads,
-                        opts.shared_finalize);
+                        opts.shared_finalize, opts.route_index);
     std::printf(" %zu/%zu updates, %.0f updates/s, %.1f MB, %llu new embeddings\n",
                 s.updates_applied, total_updates, s.UpdatesPerSec(),
                 static_cast<double>(s.memory_bytes) / (1024.0 * 1024.0),
@@ -302,6 +319,9 @@ void RunGrowthFigure(const std::string& figure, const std::string& caption,
         .Add("memory_bytes", static_cast<uint64_t>(s.memory_bytes))
         .Add("final_join_passes", s.final_join_passes)
         .Add("shared_finalize_groups", s.shared_finalize_groups)
+        .Add("routed_candidates", s.routed_candidates)
+        .Add("candidates_per_update", s.CandidatesPerUpdate())
+        .Add("prefilter_rejects", s.prefilter_rejects)
         .Emit();
     all.push_back(std::move(s));
   }

@@ -36,6 +36,13 @@ struct BenchOptions {
   /// default. `--no-shared-finalize` selects the per-(query, window) passes
   /// for A/B measurement.
   bool shared_finalize = true;
+  /// Query routing index (DESIGN.md §12); the engines' default.
+  /// `--no-route-index` selects the legacy linear dispatch for A/B
+  /// measurement.
+  bool route_index = true;
+  /// Tenant duplication factor for the query generator (`--tenants=N`,
+  /// validated positive): |QDB| = num_queries * tenants.
+  size_t tenants = 1;
 
   /// Strict parse: an unknown `--flag` prints the flag set and exits with
   /// status 2 (a typo like `--ful` must not silently run quick mode).
@@ -58,11 +65,20 @@ struct GrowthSeries {
   uint64_t new_embeddings = 0;
   uint64_t final_join_passes = 0;      ///< Final-join passes (see engine.h).
   uint64_t shared_finalize_groups = 0; ///< Passes fanned out to ≥ 2 queries.
+  uint64_t routed_candidates = 0;      ///< Candidate work items (see engine.h).
+  uint64_t prefilter_rejects = 0;      ///< Updates rejected by the prefilter.
   double answer_millis = 0.0;          ///< Total answering wall clock.
 
   /// Throughput counter: processed updates per second of answering time.
   double UpdatesPerSec() const {
     return answer_millis <= 0.0 ? 0.0 : updates_applied * 1000.0 / answer_millis;
+  }
+
+  /// Routing-selectivity counter: candidate work items per processed update.
+  double CandidatesPerUpdate() const {
+    return updates_applied == 0
+               ? 0.0
+               : static_cast<double>(routed_candidates) / updates_applied;
   }
 };
 
@@ -75,7 +91,8 @@ GrowthSeries RunGrowthSeries(EngineKind kind,
                              const UpdateStream& stream,
                              const std::vector<size_t>& checkpoints,
                              double budget_seconds, size_t batch = 1,
-                             int threads = 1, bool shared_finalize = true);
+                             int threads = 1, bool shared_finalize = true,
+                             bool route_index = true);
 
 /// One independent cell: average ms/update over the whole stream (or the
 /// prefix processed within budget — flagged `partial`).
@@ -87,6 +104,8 @@ struct CellResult {
   uint64_t new_embeddings = 0;
   uint64_t final_join_passes = 0;      ///< Final-join passes (see engine.h).
   uint64_t shared_finalize_groups = 0; ///< Passes fanned out to ≥ 2 queries.
+  uint64_t routed_candidates = 0;      ///< Candidate work items (see engine.h).
+  uint64_t prefilter_rejects = 0;      ///< Updates rejected by the prefilter.
   size_t queries_satisfied = 0;
   IndexStats index_stats;
 
@@ -94,12 +113,19 @@ struct CellResult {
   double UpdatesPerSec() const {
     return ms_per_update <= 0.0 ? 0.0 : 1000.0 / ms_per_update;
   }
+
+  /// Routing-selectivity counter: candidate work items per processed update.
+  double CandidatesPerUpdate() const {
+    return updates_applied == 0
+               ? 0.0
+               : static_cast<double>(routed_candidates) / updates_applied;
+  }
 };
 
 CellResult RunCell(EngineKind kind, const std::vector<QueryPattern>& queries,
                    const UpdateStream& stream, double budget_seconds,
                    size_t batch = 1, int threads = 1,
-                   bool shared_finalize = true);
+                   bool shared_finalize = true, bool route_index = true);
 
 /// One query-churn cell (the dynamic-QDB scenario): `base` queries are
 /// registered up front (timed as the indexing phase, Fig. 13(b) style),

@@ -23,9 +23,19 @@ UpdateResult IncEngine::ProcessInsert(const EdgeUpdate& u) {
   UpdateResult result;
   result.changed = true;
 
+  if (route_enabled() && !prefilter_.MayMatch(u)) {
+    // No registered pattern carries this label, so there is no base view to
+    // append to and no affected query — an O(words) reject on the
+    // sequential path too.
+    NotePrefilterReject();
+    return result;
+  }
+
   AppendToBaseViews(u);
 
-  for (QueryId qid : AffectedQueries(u)) {
+  const std::vector<QueryId> affected = AffectedQueries(u);
+  NoteRoutedCandidates(affected.size());
+  for (QueryId qid : affected) {
     if (BudgetExceeded()) {
       result.timed_out = true;
       return result;
@@ -107,8 +117,114 @@ UpdateResult IncEngine::ProcessInsert(const EdgeUpdate& u) {
   return result;
 }
 
+bool IncEngine::EvaluateWindowSeeded(
+    QueryEntry& entry, InvWindowContext& wctx,
+    const std::vector<std::pair<uint32_t, const EdgeUpdate*>>& seeds,
+    uint32_t probe_weight, bool& pass_ran, std::vector<uint32_t>& tags) {
+  pass_ran = false;
+  tags.clear();
+
+  const QueryPattern& q = entry.pattern;
+  if (!AllViewsNonEmpty(entry)) return true;
+
+  const size_t num_paths = entry.paths.size();
+  size_t transient_bytes = 0;
+
+  // Which covering paths does *any* window update touch?
+  std::vector<bool> touched(num_paths, false);
+  bool any_touched = false;
+  for (size_t pi = 0; pi < num_paths; ++pi) {
+    for (const auto& pattern : entry.signatures[pi]) {
+      for (const auto& [position, u] : seeds) {
+        if (pattern.Matches(*u)) {
+          touched[pi] = true;
+          any_touched = true;
+          break;
+        }
+      }
+      if (touched[pi]) break;
+    }
+  }
+  if (!any_touched) return true;
+  NoteFinalJoinPass();
+  pass_ran = true;
+
+  // One tagged seeded evaluation per (query, window): batched deltas for
+  // the touched paths, each other path re-materialized at most once.
+  // `probe_weight` > 1 marks a pass standing in for that many per-query
+  // chains (window-cache build decisions stay identical to the per-query
+  // pipeline's).
+  std::vector<std::unique_ptr<Relation>> deltas(num_paths);
+  std::vector<std::unique_ptr<Relation>> fulls(num_paths);
+  bool infeasible = false;
+  for (size_t pi = 0; pi < num_paths; ++pi) {
+    if (!touched[pi]) continue;
+    deltas[pi] =
+        MaterializePathDeltaBatch(entry, pi, seeds, IndexSource(), wctx.prov,
+                                  transient_bytes, probe_weight);
+  }
+  auto full_of = [&](size_t pi) -> Relation* {
+    if (fulls[pi] == nullptr)
+      fulls[pi] = MaterializeFullPathTagged(entry, pi, IndexSource(), wctx.prov,
+                                            transient_bytes, probe_weight);
+    return fulls[pi].get();
+  };
+
+  // Assignments over all query vertices, deduped across seed paths, each
+  // tagged with the window position sequential execution reports it at.
+  Relation assignments(static_cast<uint32_t>(q.NumVertices()));
+  assignments.EnableProvenance();
+  for (size_t pi = 0; pi < num_paths && !infeasible; ++pi) {
+    if (!touched[pi] || deltas[pi] == nullptr || deltas[pi]->Empty()) continue;
+    OwnedBindings acc = PathRowsToBindingsTagged(
+        AllRows(*deltas[pi]), entry.specs[pi], TagsOfProvenance(*deltas[pi]));
+    for (size_t pj = 0; pj < num_paths && !acc.Empty(); ++pj) {
+      if (pj == pi) continue;
+      Relation* other = full_of(pj);
+      if (other == nullptr) {
+        // A dead path chain means the query is unsatisfiable now — unless
+        // the materialization aborted on the budget, which must end the
+        // whole finalize (results are partial either way under timeout).
+        if (BudgetExceededNow()) return false;
+        infeasible = true;
+        break;
+      }
+      OwnedBindings ob = PathRowsToBindingsTagged(AllRows(*other), entry.specs[pj],
+                                                  TagsOfProvenance(*other));
+      acc = JoinBindingRangesTagged(acc.schema, acc.All(), ob.schema, ob.All(),
+                                    TagsOfProvenance(*ob.rows));
+      if (BudgetExceededNow()) return false;
+    }
+    if (infeasible || acc.Empty()) continue;
+
+    std::vector<uint32_t> perm(q.NumVertices());
+    for (uint32_t c = 0; c < acc.schema.size(); ++c) perm[acc.schema[c]] = c;
+    std::vector<VertexId> row(q.NumVertices());
+    for (size_t r = 0; r < acc.rows->NumRows(); ++r) {
+      const VertexId* src = acc.rows->Row(r);
+      for (uint32_t v = 0; v < q.NumVertices(); ++v) row[v] = src[perm[v]];
+      if (!SatisfiesConstraints(q, row.data())) continue;
+      assignments.AppendTagged(row.data(), acc.rows->ProvOf(r));
+    }
+  }
+
+  // The per-position counts the caller scatters back onto the window results.
+  tags.reserve(assignments.NumRows());
+  for (size_t r = 0; r < assignments.NumRows(); ++r) {
+    const uint32_t tag = assignments.ProvOf(r);
+    GS_DCHECK(tag > 0);
+    tags.push_back(tag);
+  }
+  NotePeakTransient(transient_bytes + assignments.MemoryBytes());
+  return true;
+}
+
 void IncEngine::FinalizeWindow(WindowContext& ctx, UpdateResult* window_results) {
   InvWindowContext& wctx = static_cast<InvWindowContext&>(ctx);
+  if (route_enabled()) {
+    FinalizeWindowRouted(wctx, window_results);
+    return;
+  }
   if (wctx.affected.empty()) return;
   std::sort(wctx.affected.begin(), wctx.affected.end());
 
@@ -135,118 +251,78 @@ void IncEngine::FinalizeWindow(WindowContext& ctx, UpdateResult* window_results)
       }
     }
 
-    QueryEntry& entry = queries_.at(qid);
-    const QueryPattern& q = entry.pattern;
-    if (!AllViewsNonEmpty(entry)) {
-      if (memo != nullptr) memo->Store(/*ran=*/false, std::move(window_key), nullptr);
-      i = j;
-      continue;
-    }
-
     // The query's window updates, ascending by position.
     std::vector<std::pair<uint32_t, const EdgeUpdate*>> seeds;
     seeds.reserve(j - i);
     for (size_t k = i; k < j; ++k)
       seeds.emplace_back(wctx.affected[k].second,
                          &wctx.window_updates[wctx.affected[k].second - 1]);
-
-    const size_t num_paths = entry.paths.size();
-    size_t transient_bytes = 0;
-
-    // Which covering paths does *any* window update touch?
-    std::vector<bool> touched(num_paths, false);
-    bool any_touched = false;
-    for (size_t pi = 0; pi < num_paths; ++pi) {
-      for (const auto& pattern : entry.signatures[pi]) {
-        for (const auto& [position, u] : seeds) {
-          if (pattern.Matches(*u)) {
-            touched[pi] = true;
-            any_touched = true;
-            break;
-          }
-        }
-        if (touched[pi]) break;
-      }
-    }
-    if (!any_touched) {
-      if (memo != nullptr) memo->Store(/*ran=*/false, std::move(window_key), nullptr);
-      i = j;
-      continue;
-    }
-    NoteFinalJoinPass();
-
-    // One tagged seeded evaluation per (query, window): batched deltas for
-    // the touched paths, each other path re-materialized at most once. The
-    // probes stand in for one per group member (window-cache build decisions
-    // stay identical to the per-query pipeline's).
-    const uint32_t probe_weight = SharedGroupSize(qid);
-    std::vector<std::unique_ptr<Relation>> deltas(num_paths);
-    std::vector<std::unique_ptr<Relation>> fulls(num_paths);
-    bool infeasible = false;
-    for (size_t pi = 0; pi < num_paths; ++pi) {
-      if (!touched[pi]) continue;
-      deltas[pi] =
-          MaterializePathDeltaBatch(entry, pi, seeds, IndexSource(), wctx.prov,
-                                    transient_bytes, probe_weight);
-    }
-    auto full_of = [&](size_t pi) -> Relation* {
-      if (fulls[pi] == nullptr)
-        fulls[pi] = MaterializeFullPathTagged(entry, pi, IndexSource(), wctx.prov,
-                                              transient_bytes, probe_weight);
-      return fulls[pi].get();
-    };
-
-    // Assignments over all query vertices, deduped across seed paths, each
-    // tagged with the window position sequential execution reports it at.
-    Relation assignments(static_cast<uint32_t>(q.NumVertices()));
-    assignments.EnableProvenance();
-    for (size_t pi = 0; pi < num_paths && !infeasible; ++pi) {
-      if (!touched[pi] || deltas[pi] == nullptr || deltas[pi]->Empty()) continue;
-      OwnedBindings acc = PathRowsToBindingsTagged(
-          AllRows(*deltas[pi]), entry.specs[pi], TagsOfProvenance(*deltas[pi]));
-      for (size_t pj = 0; pj < num_paths && !acc.Empty(); ++pj) {
-        if (pj == pi) continue;
-        Relation* other = full_of(pj);
-        if (other == nullptr) {
-          // A dead path chain means the query is unsatisfiable now — unless
-          // the materialization aborted on the budget, which must end the
-          // whole finalize (results are partial either way under timeout).
-          if (BudgetExceededNow()) return;
-          infeasible = true;
-          break;
-        }
-        OwnedBindings ob = PathRowsToBindingsTagged(AllRows(*other), entry.specs[pj],
-                                                    TagsOfProvenance(*other));
-        acc = JoinBindingRangesTagged(acc.schema, acc.All(), ob.schema, ob.All(),
-                                      TagsOfProvenance(*ob.rows));
-        if (BudgetExceededNow()) return;
-      }
-      if (infeasible || acc.Empty()) continue;
-
-      std::vector<uint32_t> perm(q.NumVertices());
-      for (uint32_t c = 0; c < acc.schema.size(); ++c) perm[acc.schema[c]] = c;
-      std::vector<VertexId> row(q.NumVertices());
-      for (size_t r = 0; r < acc.rows->NumRows(); ++r) {
-        const VertexId* src = acc.rows->Row(r);
-        for (uint32_t v = 0; v < q.NumVertices(); ++v) row[v] = src[perm[v]];
-        if (!SatisfiesConstraints(q, row.data())) continue;
-        assignments.AppendTagged(row.data(), acc.rows->ProvOf(r));
-      }
-    }
-
-    // Scatter the per-position counts back onto the window results.
-    std::vector<uint32_t> tags;
-    tags.reserve(assignments.NumRows());
-    for (size_t r = 0; r < assignments.NumRows(); ++r) {
-      const uint32_t tag = assignments.ProvOf(r);
-      GS_DCHECK(tag > 0);
-      tags.push_back(tag);
-    }
-    if (memo != nullptr) memo->Store(/*ran=*/true, std::move(window_key), &tags);
-    ScatterTagCounts(tags, qid, window_results);
-
-    NotePeakTransient(transient_bytes + assignments.MemoryBytes());
     i = j;
+
+    QueryEntry& entry = queries_.at(qid);
+    bool pass_ran = false;
+    std::vector<uint32_t> tags;
+    if (!EvaluateWindowSeeded(entry, wctx, seeds, SharedGroupSize(qid), pass_ran,
+                              tags))
+      return;
+    if (memo != nullptr) memo->Store(pass_ran, std::move(window_key), &tags);
+    ScatterTagCounts(tags, qid, window_results);
+  }
+}
+
+void IncEngine::FinalizeWindowRouted(InvWindowContext& wctx,
+                                     UpdateResult* window_results) {
+  if (wctx.affected_groups.empty()) return;
+  std::sort(wctx.affected_groups.begin(), wctx.affected_groups.end());
+  const auto& groups = finalize_groups();
+
+  size_t i = 0;
+  while (i < wctx.affected_groups.size()) {
+    const uint32_t gid = wctx.affected_groups[i].first;
+    size_t j = i;
+    while (j < wctx.affected_groups.size() && wctx.affected_groups[j].first == gid)
+      ++j;
+
+    if (BudgetExceededNow()) return;  // timeout: partial, flagged by the caller
+
+    // The group's window updates, ascending by position. Signature-equal
+    // members are affected at identical positions, so the group's seed list
+    // is every member's seed list.
+    std::vector<std::pair<uint32_t, const EdgeUpdate*>> seeds;
+    seeds.reserve(j - i);
+    for (size_t k = i; k < j; ++k) {
+      const uint32_t position = wctx.affected_groups[k].second;
+      seeds.emplace_back(position, &wctx.window_updates[position - 1]);
+    }
+    i = j;
+
+    const FinalizeGroup& group = *groups[gid];
+    if (GroupSharingApplies(group)) {
+      // One seeded evaluation of the representative serves every member.
+      QueryEntry& rep = queries_.at(group.members[0]);
+      bool pass_ran = false;
+      std::vector<uint32_t> tags;
+      if (!EvaluateWindowSeeded(rep, wctx, seeds,
+                                static_cast<uint32_t>(group.members.size()),
+                                pass_ran, tags))
+        return;
+      if (pass_ran) NoteSharedGroupPass();
+      if (tags.empty()) continue;
+      for (QueryId qid : group.members) {
+        std::vector<uint32_t> member_tags = tags;
+        ScatterTagCounts(member_tags, qid, window_results);
+      }
+    } else {
+      for (QueryId qid : group.members) {
+        if (BudgetExceededNow()) return;
+        bool pass_ran = false;
+        std::vector<uint32_t> tags;
+        if (!EvaluateWindowSeeded(queries_.at(qid), wctx, seeds,
+                                  /*probe_weight=*/1, pass_ran, tags))
+          return;
+        ScatterTagCounts(tags, qid, window_results);
+      }
+    }
   }
 }
 

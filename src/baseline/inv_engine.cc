@@ -86,9 +86,19 @@ UpdateResult InvEngine::ProcessInsert(const EdgeUpdate& u) {
   UpdateResult result;
   result.changed = true;
 
+  if (route_enabled() && !prefilter_.MayMatch(u)) {
+    // No registered pattern carries this label, so there is no base view to
+    // append to and no affected query — an O(words) reject on the
+    // sequential path too.
+    NotePrefilterReject();
+    return result;
+  }
+
   AppendToBaseViews(u);
 
-  for (QueryId qid : AffectedQueries(u)) {
+  const std::vector<QueryId> affected = AffectedQueries(u);
+  NoteRoutedCandidates(affected.size());
+  for (QueryId qid : affected) {
     if (BudgetExceeded()) {
       result.timed_out = true;
       return result;
@@ -107,8 +117,85 @@ UpdateResult InvEngine::ProcessInsert(const EdgeUpdate& u) {
   return result;
 }
 
+bool InvEngine::EvaluateWindowTagged(QueryEntry& entry, InvWindowContext& wctx,
+                                     uint32_t probe_weight, bool& pass_ran,
+                                     std::vector<uint32_t>& tags, uint64_t& total) {
+  pass_ran = false;
+  tags.clear();
+  total = 0;
+
+  // End-of-window candidate filter: views only grow inside an insert window,
+  // so an empty view here means zero embeddings at every member position
+  // (sequential evaluation would have found total == 0 each time).
+  if (!AllViewsNonEmpty(entry)) return true;
+  NoteFinalJoinPass();
+  pass_ran = true;
+
+  // One tagged full evaluation per (query, window): the per-update diffs INV
+  // recomputes from scratch each time fall out of the histogram of
+  // assignment tags (an assignment's tag is the window position its last
+  // contributing edge arrived at — exactly when the sequential diff first
+  // counts it; tag 0 = already counted in last_count). `probe_weight` > 1
+  // marks a pass standing in for that many per-query chains (window-cache
+  // build decisions stay identical to the per-query pipeline's).
+  size_t transient_bytes = 0;
+  std::vector<std::unique_ptr<Relation>> path_views;
+  for (size_t pi = 0; pi < entry.paths.size(); ++pi) {
+    auto view = MaterializeFullPathTagged(entry, pi, IndexSource(), wctx.prov,
+                                          transient_bytes, probe_weight);
+    if (view == nullptr) {
+      NotePeakTransient(transient_bytes);
+      // A dead chain means total 0 at every position (for every member) —
+      // unless the budget killed it, which must end the whole finalize.
+      return !BudgetExceededNow();
+    }
+    path_views.push_back(std::move(view));
+  }
+  NotePeakTransient(transient_bytes);
+
+  OwnedBindings acc = PathRowsToBindingsTagged(
+      AllRows(*path_views[0]), entry.specs[0], TagsOfProvenance(*path_views[0]));
+  for (size_t pi = 1; pi < entry.paths.size() && !acc.Empty(); ++pi) {
+    OwnedBindings other = PathRowsToBindingsTagged(
+        AllRows(*path_views[pi]), entry.specs[pi], TagsOfProvenance(*path_views[pi]));
+    acc = JoinBindingRangesTagged(acc.schema, acc.All(), other.schema,
+                                  other.All(), TagsOfProvenance(*other.rows));
+    if (BudgetExceededNow()) return false;
+  }
+  if (acc.Empty()) return true;
+
+  // Count assignments passing the §4.3 property constraints, split by tag.
+  const uint32_t num_vertices = static_cast<uint32_t>(entry.pattern.NumVertices());
+  std::vector<uint32_t> perm(num_vertices);
+  for (uint32_t c = 0; c < acc.schema.size(); ++c) perm[acc.schema[c]] = c;
+  std::vector<VertexId> row(num_vertices);
+  uint64_t pre_window = 0;
+  for (size_t r = 0; r < acc.rows->NumRows(); ++r) {
+    if (entry.pattern.HasConstraints()) {
+      const VertexId* src = acc.rows->Row(r);
+      for (uint32_t v = 0; v < num_vertices; ++v) row[v] = src[perm[v]];
+      if (!SatisfiesConstraints(entry.pattern, row.data())) continue;
+    }
+    ++total;
+    const uint32_t tag = acc.rows->ProvOf(r);
+    if (tag == 0)
+      ++pre_window;
+    else
+      tags.push_back(tag);
+  }
+  // Assignments predating the window are exactly the ones the evaluated
+  // entry's previous evaluations already counted.
+  if (total > 0) GS_DCHECK(pre_window == entry.last_count);
+  (void)pre_window;
+  return true;
+}
+
 void InvEngine::FinalizeWindow(WindowContext& ctx, UpdateResult* window_results) {
   InvWindowContext& wctx = static_cast<InvWindowContext&>(ctx);
+  if (route_enabled()) {
+    FinalizeWindowRouted(wctx, window_results);
+    return;
+  }
   if (wctx.affected.empty()) return;
   std::sort(wctx.affected.begin(), wctx.affected.end());
 
@@ -146,90 +233,72 @@ void InvEngine::FinalizeWindow(WindowContext& ctx, UpdateResult* window_results)
     }
 
     QueryEntry& entry = queries_.at(qid);
-    // End-of-window candidate filter: views only grow inside an insert
-    // window, so an empty view here means zero embeddings at every member
-    // position (sequential evaluation would have found total == 0 each time).
-    if (!AllViewsNonEmpty(entry)) {
-      if (memo != nullptr) memo->Store(/*ran=*/false, std::move(window_key), nullptr);
-      continue;
-    }
-    NoteFinalJoinPass();
-
-    // One tagged full evaluation per (query, window): the per-update diffs
-    // INV recomputes from scratch each time fall out of the histogram of
-    // assignment tags (an assignment's tag is the window position its last
-    // contributing edge arrived at — exactly when the sequential diff first
-    // counts it; tag 0 = already counted in last_count).
-    size_t transient_bytes = 0;
-    std::vector<std::unique_ptr<Relation>> path_views;
-    bool died = false;
-    // This pass's view probes stand in for one per group member (window-
-    // cache build decisions stay identical to the per-query pipeline's).
-    const uint32_t probe_weight = SharedGroupSize(qid);
-    for (size_t pi = 0; pi < entry.paths.size(); ++pi) {
-      auto view = MaterializeFullPathTagged(entry, pi, IndexSource(), wctx.prov,
-                                            transient_bytes, probe_weight);
-      if (view == nullptr) {
-        died = true;
-        break;
-      }
-      path_views.push_back(std::move(view));
-    }
-    NotePeakTransient(transient_bytes);
-    if (died) {
-      if (BudgetExceededNow()) return;
-      // A path chain died: total is 0 at every position (for every member).
-      if (memo != nullptr) memo->Store(/*ran=*/true, std::move(window_key), nullptr);
-      continue;
-    }
-
-    OwnedBindings acc = PathRowsToBindingsTagged(
-        AllRows(*path_views[0]), entry.specs[0], TagsOfProvenance(*path_views[0]));
-    for (size_t pi = 1; pi < entry.paths.size() && !acc.Empty(); ++pi) {
-      OwnedBindings other = PathRowsToBindingsTagged(
-          AllRows(*path_views[pi]), entry.specs[pi],
-          TagsOfProvenance(*path_views[pi]));
-      acc = JoinBindingRangesTagged(acc.schema, acc.All(), other.schema,
-                                    other.All(), TagsOfProvenance(*other.rows));
-      if (BudgetExceededNow()) return;
-    }
-    if (acc.Empty()) {
-      if (memo != nullptr) memo->Store(/*ran=*/true, std::move(window_key), nullptr);
-      continue;
-    }
-
-    // Count assignments passing the §4.3 property constraints, split by tag.
-    const uint32_t num_vertices = static_cast<uint32_t>(entry.pattern.NumVertices());
-    std::vector<uint32_t> perm(num_vertices);
-    for (uint32_t c = 0; c < acc.schema.size(); ++c) perm[acc.schema[c]] = c;
-    std::vector<VertexId> row(num_vertices);
-    uint64_t total = 0;
-    uint64_t pre_window = 0;
+    bool pass_ran = false;
     std::vector<uint32_t> tags;
-    for (size_t r = 0; r < acc.rows->NumRows(); ++r) {
-      if (entry.pattern.HasConstraints()) {
-        const VertexId* src = acc.rows->Row(r);
-        for (uint32_t v = 0; v < num_vertices; ++v) row[v] = src[perm[v]];
-        if (!SatisfiesConstraints(entry.pattern, row.data())) continue;
-      }
-      ++total;
-      const uint32_t tag = acc.rows->ProvOf(r);
-      if (tag == 0)
-        ++pre_window;
-      else
-        tags.push_back(tag);
-    }
-    if (total == 0) {
-      if (memo != nullptr) memo->Store(/*ran=*/true, std::move(window_key), nullptr);
-      continue;
-    }
-    // Assignments predating the window are exactly the ones the previous
-    // evaluations already counted.
-    GS_DCHECK(pre_window == entry.last_count);
-    (void)pre_window;
-    if (memo != nullptr) memo->Store(/*ran=*/true, std::move(window_key), &tags, total);
+    uint64_t total = 0;
+    if (!EvaluateWindowTagged(entry, wctx, SharedGroupSize(qid), pass_ran, tags,
+                              total))
+      return;
+    if (memo != nullptr) memo->Store(pass_ran, std::move(window_key), &tags, total);
+    if (total == 0) continue;
     ScatterTagCounts(tags, qid, window_results);
     entry.last_count = total;
+  }
+}
+
+void InvEngine::FinalizeWindowRouted(InvWindowContext& wctx,
+                                     UpdateResult* window_results) {
+  if (wctx.affected_groups.empty()) return;
+  std::sort(wctx.affected_groups.begin(), wctx.affected_groups.end());
+  const auto& groups = finalize_groups();
+
+  size_t i = 0;
+  while (i < wctx.affected_groups.size()) {
+    const uint32_t gid = wctx.affected_groups[i].first;
+    size_t j = i;
+    while (j < wctx.affected_groups.size() && wctx.affected_groups[j].first == gid)
+      ++j;
+    i = j;  // positions are implied by the provenance histogram
+
+    if (BudgetExceededNow()) return;  // timeout: partial, flagged by the caller
+
+    const FinalizeGroup& group = *groups[gid];
+    if (GroupSharingApplies(group)) {
+      // Evaluate the group's representative once; the tagged histogram (and
+      // end-of-window total) serves every member — the same invariant as the
+      // legacy memo path, without materializing per-member work items.
+      QueryEntry& rep = queries_.at(group.members[0]);
+      bool pass_ran = false;
+      std::vector<uint32_t> tags;
+      uint64_t total = 0;
+      if (!EvaluateWindowTagged(rep, wctx,
+                                static_cast<uint32_t>(group.members.size()),
+                                pass_ran, tags, total))
+        return;
+      if (pass_ran) NoteSharedGroupPass();
+      if (total == 0) continue;
+      for (QueryId qid : group.members) {
+        QueryEntry& entry = queries_.at(qid);
+        GS_DCHECK(entry.last_count == total - tags.size());
+        std::vector<uint32_t> member_tags = tags;
+        ScatterTagCounts(member_tags, qid, window_results);
+        entry.last_count = total;
+      }
+    } else {
+      for (QueryId qid : group.members) {
+        if (BudgetExceededNow()) return;
+        QueryEntry& entry = queries_.at(qid);
+        bool pass_ran = false;
+        std::vector<uint32_t> tags;
+        uint64_t total = 0;
+        if (!EvaluateWindowTagged(entry, wctx, /*probe_weight=*/1, pass_ran,
+                                  tags, total))
+          return;
+        if (total == 0) continue;
+        ScatterTagCounts(tags, qid, window_results);
+        entry.last_count = total;
+      }
+    }
   }
 }
 

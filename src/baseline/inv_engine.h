@@ -43,7 +43,10 @@ class InvEngine : public InvertedIndexEngineBase {
 
   /// Window-delta pipeline: one tagged full evaluation per (query, window);
   /// the per-position diffs fall out of the provenance histogram instead of
-  /// re-evaluating the query once per update.
+  /// re-evaluating the query once per update. Routed mode (DESIGN.md §12)
+  /// iterates the window's affected signature *groups*, evaluates each
+  /// group's representative once, and fans the memoized histogram out to
+  /// every member.
   void FinalizeWindow(WindowContext& ctx, UpdateResult* window_results) override;
 
  private:
@@ -51,6 +54,18 @@ class InvEngine : public InvertedIndexEngineBase {
   /// from the base views. Returns false when the time budget expired
   /// mid-evaluation (total is then unusable).
   bool EvaluateQueryTotal(QueryEntry& entry, uint64_t& total);
+
+  /// One tagged whole-window evaluation of `entry` (the shared body of the
+  /// legacy and routed FinalizeWindow paths): recomputes the end-of-window
+  /// total and the window-position tag per new assignment. `pass_ran` is
+  /// false when the candidate filter skipped the evaluation. Returns false
+  /// on a budget abort (outputs are then unusable and the caller must end
+  /// the finalize).
+  bool EvaluateWindowTagged(QueryEntry& entry, InvWindowContext& wctx,
+                            uint32_t probe_weight, bool& pass_ran,
+                            std::vector<uint32_t>& tags, uint64_t& total);
+
+  void FinalizeWindowRouted(InvWindowContext& wctx, UpdateResult* window_results);
 };
 
 }  // namespace baseline

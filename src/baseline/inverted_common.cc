@@ -37,6 +37,7 @@ void InvertedIndexEngineBase::AddQueryImpl(QueryId qid, const QueryPattern& q) {
     edge_ind_.GetOrCreate(p).push_back(qid);
     source_ind_.GetOrCreate(p.src).push_back(p);
     target_ind_.GetOrCreate(p.dst).push_back(p);
+    prefilter_.Add(p);
   }
   queries_.emplace(qid, std::move(entry));
 }
@@ -71,15 +72,20 @@ void InvertedIndexEngineBase::RemoveQueryImpl(QueryId qid) {
     };
     drop_vertex_posting(source_ind_, p.src);
     drop_vertex_posting(target_ind_, p.dst);
+    prefilter_.Remove(p);
 
     UnrefBaseView(p);
   }
 
   // One compaction per removal: release the erased postings' slots and the
-  // "+" cache's evicted entries so the GC shows up in MemoryBytes.
+  // "+" cache's evicted entries so the GC shows up in MemoryBytes. The group
+  // routing postings are rebuilt (and compacted) wholesale with the next
+  // EnsureFinalizeGroups, so churn waves pay one deferred rebuild, not one
+  // per removal.
   edge_ind_.Compact();
   source_ind_.Compact();
   target_ind_.Compact();
+  prefilter_.Compact();
   if (cache_ != nullptr) cache_->Compact();
   CompactSharedState();
 }
@@ -216,8 +222,42 @@ void InvertedIndexEngineBase::ProcessInsertDelta(const EdgeUpdate& u,
                                                  UpdateResult& result) {
   InvWindowContext& wctx = static_cast<InvWindowContext&>(ctx);
   result.changed = true;
+
+  if (route_enabled()) {
+    // Routed dispatch (DESIGN.md §12): one O(words) label test rejects
+    // updates no registered pattern can match — no pattern means no base
+    // view either, so skipping the append is exact. Routed updates probe
+    // only the live endpoint classes and record *group* ids; the per-member
+    // fan-out happens once per group in FinalizeWindow.
+    if (!prefilter_.MayMatch(u)) {
+      NotePrefilterReject();
+      return;
+    }
+    AppendToBaseViews(u, &ctx);
+    wctx.route_scratch.clear();
+    NoteRoutedCandidates(group_routes_.Route(u, wctx.route_scratch));
+    for (uint32_t gid : wctx.route_scratch)
+      wctx.affected_groups.emplace_back(gid, ctx.position);
+    return;
+  }
+
   AppendToBaseViews(u, &ctx);
-  for (QueryId qid : AffectedQueries(u)) wctx.affected.emplace_back(qid, ctx.position);
+  const std::vector<QueryId> qids = AffectedQueries(u);
+  NoteRoutedCandidates(qids.size());
+  for (QueryId qid : qids) wctx.affected.emplace_back(qid, ctx.position);
+}
+
+void InvertedIndexEngineBase::OnRouteGroupsRebuilt() {
+  group_routes_.Clear();
+  if (!route_enabled()) return;
+  for (const auto& group : finalize_groups()) {
+    const QueryEntry& rep = queries_.at(group->members[0]);
+    std::unordered_set<GenericEdgePattern, GenericEdgePatternHash> distinct;
+    for (uint32_t e = 0; e < rep.pattern.NumEdges(); ++e) {
+      GenericEdgePattern p = rep.pattern.Genericized(e);
+      if (distinct.insert(p).second) group_routes_.Add(p, group->id);
+    }
+  }
 }
 
 std::unique_ptr<Relation> InvertedIndexEngineBase::MaterializeFullPathTagged(
@@ -318,7 +358,8 @@ size_t InvertedIndexEngineBase::MemoryBytes() const {
       bytes += sig.capacity() * sizeof(GenericEdgePattern);
   }
   bytes += edge_ind_.MemoryBytes() + source_ind_.MemoryBytes() +
-           target_ind_.MemoryBytes();
+           target_ind_.MemoryBytes() + prefilter_.MemoryBytes() +
+           group_routes_.MemoryBytes();
   edge_ind_.ForEach([&](const GenericEdgePattern&, const std::vector<QueryId>& qids) {
     bytes += qids.capacity() * sizeof(QueryId);
   });

@@ -10,6 +10,7 @@
 #include "matview/binding.h"
 #include "matview/join_cache.h"
 #include "query/path_cover.h"
+#include "query/route_index.h"
 
 namespace gstream {
 namespace baseline {
@@ -61,11 +62,15 @@ class InvertedIndexEngineBase : public ViewEngineBase {
   void BuildPatternReach() override;
 
   /// Shard-local delta-window context (window-delta pipeline, DESIGN.md §7):
-  /// the (affected query, window position) pairs accumulated across the
-  /// window. The engine-specific FinalizeWindow overrides consume them to
-  /// run one tagged evaluation per (query, window).
+  /// the affected (query | signature group, window position) pairs
+  /// accumulated across the window. The engine-specific FinalizeWindow
+  /// overrides consume them to run one tagged evaluation per (query, window)
+  /// — per (group, window) on the routed path.
   struct InvWindowContext : WindowContext {
-    std::vector<std::pair<QueryId, uint32_t>> affected;
+    std::vector<std::pair<QueryId, uint32_t>> affected;  ///< Legacy path.
+    /// Routed path (DESIGN.md §12): (group id, window position) pairs.
+    std::vector<std::pair<uint32_t, uint32_t>> affected_groups;
+    std::vector<uint32_t> route_scratch;  ///< Route() output, reused.
   };
 
   /// Maintenance is identical for INV and INC: append to the base views
@@ -86,6 +91,12 @@ class InvertedIndexEngineBase : public ViewEngineBase {
   /// INC both qualify, so the hook lives here.
   bool EncodeFinalizeSignature(QueryId qid, std::vector<uint64_t>& out) override;
   void ListQueryIds(std::vector<QueryId>& out) const override;
+
+  /// Rebuilds the group routing postings (DESIGN.md §12): one posting per
+  /// (distinct pattern of the group's representative member, group id).
+  /// Signature-equal members have identical distinct-pattern sets, so the
+  /// representative's set routes the whole group.
+  void OnRouteGroupsRebuilt() override;
 
   struct QueryEntry {
     QueryPattern pattern;
@@ -155,6 +166,15 @@ class InvertedIndexEngineBase : public ViewEngineBase {
   /// visits the same edges the index navigation would.
   FlatMap<VertexId, std::vector<GenericEdgePattern>, VertexIdHash> source_ind_;
   FlatMap<VertexId, std::vector<GenericEdgePattern>, VertexIdHash> target_ind_;
+  /// Always-current label/class prefilter over the registered patterns,
+  /// maintained incrementally per distinct pattern in Add/RemoveQueryImpl —
+  /// valid on the sequential per-update path too, unlike the group routing
+  /// postings below (which are only rebuilt with the signature grouping).
+  RoutePrefilter prefilter_;
+  /// Routed dispatch (DESIGN.md §12): genericized pattern -> affected
+  /// signature-group ids. Posting lengths track distinct query structure,
+  /// not tenant count. Rebuilt in OnRouteGroupsRebuilt.
+  RouteIndex<uint32_t> group_routes_;
 };
 
 /// Greedy extension order over query edges starting from `seed` (most-bound,

@@ -101,6 +101,26 @@ class ContinuousEngine {
   /// other). Must not be called while a batch is in flight.
   virtual void SetSharedFinalize(bool enabled) { (void)enabled; }
 
+  /// Diagnostic counter: candidate work items the routing layer handed to
+  /// evaluation. On the legacy (linear) path this counts per-query/per-path
+  /// candidates — linear in tenant count; on the routed path (DESIGN.md §12)
+  /// it counts signature groups / trie-node paths — tracking distinct query
+  /// structure instead. The fig_scale bench divides this by updates applied
+  /// to show sublinear routing. Engines without a routing layer report 0.
+  virtual uint64_t routed_candidates() const { return 0; }
+
+  /// Diagnostic counter companion: streamed updates rejected by the O(words)
+  /// routing prefilter before touching any posting list or base view.
+  virtual uint64_t prefilter_rejects() const { return 0; }
+
+  /// Toggles the sublinear query routing index (on by default for the view
+  /// engines). With routing off the per-update dispatch takes the legacy
+  /// linear path — full posting-probe fan-out plus per-query finalize
+  /// candidacy; results are byte-identical either way (the routing oracle
+  /// suite holds the modes against each other). Must not be called while a
+  /// batch is in flight.
+  virtual void SetRouteIndex(bool enabled) { (void)enabled; }
+
   /// Approximate bytes of all retained structures, including the peak
   /// transient join scratch observed so far (Fig. 13(c) accounting).
   virtual size_t MemoryBytes() const = 0;

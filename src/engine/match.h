@@ -1,6 +1,7 @@
 #ifndef GSTREAM_ENGINE_MATCH_H_
 #define GSTREAM_ENGINE_MATCH_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -42,6 +43,16 @@ struct UpdateResult {
     triggered.push_back(qid);
     per_query.emplace_back(qid, count);
     new_embeddings += count;
+  }
+
+  /// Restores the ascending-qid invariant after out-of-order AddQueryCount
+  /// calls: the routed window finalize emits per signature group, so counts
+  /// for different queries interleave across groups. Each qid still appears
+  /// at most once per result.
+  void SortByQuery() {
+    std::sort(per_query.begin(), per_query.end());
+    triggered.clear();
+    for (const auto& [qid, count] : per_query) triggered.push_back(qid);
   }
 };
 

@@ -173,7 +173,7 @@ void ViewEngineBase::EnsureFinalizeGroups() {
   finalize_groups_dirty_ = false;
   finalize_groups_.clear();
   group_of_query_.clear();
-  if (!shared_finalize_enabled_) return;
+  if (!shared_finalize_enabled_ && !route_enabled_) return;
 
   std::vector<QueryId> qids;
   ListQueryIds(qids);
@@ -184,26 +184,46 @@ void ViewEngineBase::EnsureFinalizeGroups() {
   // Rebuilds are query-lifecycle-rate, not update-rate — an ordered map over
   // the encoded keys is plenty.
   std::map<std::vector<uint64_t>, std::vector<QueryId>> by_key;
+  std::vector<QueryId> privates;  ///< Signatures that opted out of sharing.
   std::vector<uint64_t> key;
   for (QueryId qid : qids) {
     key.clear();
-    if (!EncodeFinalizeSignature(qid, key)) continue;
-    by_key[key].push_back(qid);  // members stay ascending (qids are sorted)
+    if (EncodeFinalizeSignature(qid, key))
+      by_key[key].push_back(qid);  // members stay ascending (qids are sorted)
+    else
+      privates.push_back(qid);
   }
-  for (auto& [k, members] : by_key) {
-    if (members.size() < 2) continue;  // singletons take the per-query path
+
+  const auto add_group = [&](std::vector<QueryId>&& members, bool shareable) {
     auto group = std::make_unique<FinalizeGroup>();
+    group->id = static_cast<uint32_t>(finalize_groups_.size());
+    group->shareable = shareable;
     group->members = std::move(members);
     for (QueryId qid : group->members) group_of_query_[qid] = group.get();
     finalize_groups_.push_back(std::move(group));
+  };
+
+  for (auto& [k, members] : by_key) {
+    // With routing off, groups exist only for fan-out sharing — singletons
+    // take the per-query path. With routing on every query needs a group
+    // (groups are the routing targets).
+    if (!route_enabled_ && members.size() < 2) continue;
+    add_group(std::move(members), /*shareable=*/true);
   }
+  if (route_enabled_)
+    for (QueryId qid : privates)
+      add_group(std::vector<QueryId>{qid}, /*shareable=*/false);
+
+  OnRouteGroupsRebuilt();
 }
 
 ViewEngineBase::SharedFinalizeMemo* ViewEngineBase::SharedMemoFor(
     QueryId qid, WindowContext& ctx) const {
-  if (group_of_query_.empty()) return nullptr;
   auto it = group_of_query_.find(qid);
   if (it == group_of_query_.end()) return nullptr;
+  // Routed grouping materializes singleton and opted-out groups too; those
+  // never share a memo.
+  if (!GroupSharingApplies(*it->second)) return nullptr;
   return &ctx.shared[it->second];
 }
 
@@ -257,6 +277,14 @@ bool ViewEngineBase::RunInsertWindowImpl(const EdgeUpdate* updates, size_t lo,
       if (!dup[j]) seen_edges_.erase(updates[lo + j]);
   };
 
+  // The routed finalize emits counts per signature group, interleaving query
+  // ids across groups; restore each slot's ascending-qid invariant. The
+  // legacy paths emit in ascending qid order already.
+  const auto normalize_order = [&](std::vector<UpdateResult>& window) {
+    if (!route_enabled_) return;
+    for (UpdateResult& r : window) r.SortByQuery();
+  };
+
   const auto run_sequential = [&]() {
     for (size_t k = 0; k < count; ++k) {
       results.push_back(dup[k] ? UpdateResult{} : ProcessInsert(updates[lo + k]));
@@ -287,6 +315,7 @@ bool ViewEngineBase::RunInsertWindowImpl(const EdgeUpdate* updates, size_t lo,
       }
     }
     FinalizeWindow(*ctx, window.data());
+    normalize_order(window);
     for (size_t k = 0; k < count; ++k) results.push_back(std::move(window[k]));
     if (budget_ != nullptr && budget_->ExceededNow()) {
       results.back().timed_out = true;
@@ -365,6 +394,7 @@ bool ViewEngineBase::RunInsertWindowImpl(const EdgeUpdate* updates, size_t lo,
   pool_->Wait();
   budget_ = saved_budget;
 
+  normalize_order(window);
   for (size_t k = 0; k < count; ++k) results.push_back(std::move(window[k]));
   if (budget_ != nullptr && budget_->ExceededNow()) {
     results.back().timed_out = true;

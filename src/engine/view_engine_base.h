@@ -80,6 +80,19 @@ class ViewEngineBase : public ContinuousEngine {
     finalize_groups_dirty_ = true;
   }
 
+  uint64_t routed_candidates() const override {
+    return routed_candidates_.load(std::memory_order_relaxed);
+  }
+
+  uint64_t prefilter_rejects() const override {
+    return prefilter_rejects_.load(std::memory_order_relaxed);
+  }
+
+  void SetRouteIndex(bool enabled) override {
+    route_enabled_ = enabled;
+    finalize_groups_dirty_ = true;
+  }
+
   /// Order-insensitive digest of the shared durable state (see engine.h):
   /// the applied edge set, every base view's (pattern, row count), and the
   /// sorted live query ids. Deterministic across processes and batch/thread
@@ -90,10 +103,16 @@ class ViewEngineBase : public ContinuousEngine {
   uint64_t StateFingerprint() const override;
 
  protected:
-  /// One shared-finalize group: the live queries (ascending) whose finalize
-  /// signatures are equal. Only multi-member groups are materialized —
-  /// singletons take the plain per-query path.
+  /// One signature group: the live queries (ascending) whose finalize
+  /// signatures are equal. With the routing index off only multi-member
+  /// shareable groups are materialized (singletons take the plain per-query
+  /// path); with routing on *every* live query belongs to exactly one group —
+  /// groups double as the routing targets (DESIGN.md §12), and queries whose
+  /// signature opted out of sharing get private singleton groups
+  /// (`shareable == false`).
   struct FinalizeGroup {
+    uint32_t id = 0;  ///< Dense index into finalize_groups() (routing target).
+    bool shareable = true;  ///< False: signature opted out of fan-out sharing.
     std::vector<QueryId> members;
   };
 
@@ -190,9 +209,39 @@ class ViewEngineBase : public ContinuousEngine {
   virtual void ListQueryIds(std::vector<QueryId>& out) const = 0;
 
   /// Rebuilds the signature grouping when dirty (after AddQuery/RemoveQuery
-  /// or a SetSharedFinalize flip). Coordinator-thread only — runs before a
-  /// delta window fans out so shard threads read the groups immutably.
+  /// or a SetSharedFinalize/SetRouteIndex flip). Coordinator-thread only —
+  /// runs before a delta window fans out so shard threads read the groups
+  /// immutably. Fires OnRouteGroupsRebuilt after a rebuild.
   void EnsureFinalizeGroups();
+
+  /// Hook fired after EnsureFinalizeGroups rebuilt the grouping: engines
+  /// rebuild their group-granular routing postings here (they are exactly as
+  /// stale as the groups). Coordinator-thread only. Default: nothing.
+  virtual void OnRouteGroupsRebuilt() {}
+
+  /// The signature groups, dense by FinalizeGroup::id (routing targets).
+  /// Valid after EnsureFinalizeGroups until the next query-set change.
+  const std::vector<std::unique_ptr<FinalizeGroup>>& finalize_groups() const {
+    return finalize_groups_;
+  }
+
+  /// `qid`'s signature group, or nullptr (never null once routing
+  /// materializes all-query groups and the grouping is clean).
+  const FinalizeGroup* GroupOf(QueryId qid) const {
+    auto it = group_of_query_.find(qid);
+    return it == group_of_query_.end() ? nullptr : it->second;
+  }
+
+  bool route_enabled() const { return route_enabled_; }
+  bool shared_finalize_enabled() const { return shared_finalize_enabled_; }
+
+  /// True when `g`'s finalize evaluation may be fanned out across members:
+  /// sharing is on, the signature did not opt out, and there is someone to
+  /// share with. Routed finalize paths branch on this; the memo path below
+  /// applies the same test.
+  bool GroupSharingApplies(const FinalizeGroup& g) const {
+    return shared_finalize_enabled_ && g.shareable && g.members.size() >= 2;
+  }
 
   /// The memo slot of `qid`'s group in this window, or nullptr when sharing
   /// does not apply (disabled, unshareable signature, or singleton group).
@@ -203,9 +252,28 @@ class ViewEngineBase : public ContinuousEngine {
   /// cache (see JoinIndexSource::Get's weighted overload).
   uint32_t SharedGroupSize(QueryId qid) const {
     auto it = group_of_query_.find(qid);
-    return it == group_of_query_.end()
+    return it == group_of_query_.end() || !GroupSharingApplies(*it->second)
                ? 1u
                : static_cast<uint32_t>(it->second->members.size());
+  }
+
+  /// Counts one group-level finalize pass that served >= 2 members (the
+  /// routed fan-out's equivalent of NoteSharedServed's first-replay count).
+  void NoteSharedGroupPass() {
+    shared_finalize_groups_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Counts `n` candidate work items the routing layer handed to evaluation
+  /// (per-query/per-path candidates on the legacy path, group/node-path
+  /// candidates on the routed path). Thread-safe (shards report
+  /// concurrently).
+  void NoteRoutedCandidates(uint64_t n) {
+    if (n != 0) routed_candidates_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Counts one streamed update rejected by the O(words) routing prefilter.
+  void NotePrefilterReject() {
+    prefilter_rejects_.fetch_add(1, std::memory_order_relaxed);
   }
 
   /// Counts `memo`'s pass as shared (first fan-out only): the memoized
@@ -380,11 +448,14 @@ class ViewEngineBase : public ContinuousEngine {
   std::unique_ptr<WindowJoinCache> window_cache_;
   std::atomic<uint64_t> final_join_passes_{0};
   std::atomic<uint64_t> shared_finalize_groups_{0};
+  std::atomic<uint64_t> routed_candidates_{0};
+  std::atomic<uint64_t> prefilter_rejects_{0};
 
-  /// Shared-finalize planner state: multi-member signature groups and the
-  /// qid -> group index. Rebuilt by EnsureFinalizeGroups on the coordinator;
-  /// immutable while a window is in flight.
+  /// Signature-group planner state (shared finalization + routing targets):
+  /// the groups and the qid -> group index. Rebuilt by EnsureFinalizeGroups
+  /// on the coordinator; immutable while a window is in flight.
   bool shared_finalize_enabled_ = true;
+  bool route_enabled_ = true;
   bool finalize_groups_dirty_ = true;
   std::vector<std::unique_ptr<FinalizeGroup>> finalize_groups_;
   std::unordered_map<QueryId, const FinalizeGroup*> group_of_query_;

@@ -223,6 +223,7 @@ IngestStats IngestSession::Replay(ContinuousEngine& engine,
   // Applies window_buf[0..n). Returns false when the replay must stop
   // (timeout, failed verification, failed snapshot write).
   const auto apply_window = [&](size_t n) {
+    if (opts.window_begin) opts.window_begin(records_applied);
     WallTimer timer;
     std::vector<UpdateResult> results = engine.ApplyBatch(window_buf.data(), n);
     acc.stats.answer_millis += timer.ElapsedMillis();

@@ -53,6 +53,15 @@ struct IngestOptions {
   /// suppressed, verify counters + fingerprint at the boundary, then emit
   /// the tail. Use ResumeReplay, which validates the snapshot first.
   const SnapshotData* resume = nullptr;
+
+  /// Called (when set) immediately before each window applies, with the
+  /// next record's global index. The socket server's recovery uses it to
+  /// re-register mid-stream subscriptions at their original registration
+  /// offsets — the original run processed query registrations at window
+  /// boundaries, so replaying them at the same boundaries reproduces the
+  /// original engine timeline (a query never sees records older than its
+  /// registration, and the boundary counter/fingerprint cross-checks hold).
+  std::function<void(uint64_t next_record_index)> window_begin;
 };
 
 /// Everything one replay run observed, decode side and apply side.

@@ -1,0 +1,29 @@
+#include "query/route_index.h"
+
+#include "common/logging.h"
+
+namespace gstream {
+
+void RoutePrefilter::Add(const GenericEdgePattern& p) {
+  const size_t word = static_cast<size_t>(p.label) >> 6;
+  if (word >= label_bits_.size()) label_bits_.resize(word + 1, 0);
+  label_bits_[word] |= 1ull << (p.label & 63u);
+  class_counts_.GetOrCreate(p.label).count[RouteClassOf(p)] += 1;
+}
+
+void RoutePrefilter::Remove(const GenericEdgePattern& p) {
+  LabelClasses* c = class_counts_.Find(p.label);
+  GS_DCHECK(c != nullptr && c->count[RouteClassOf(p)] > 0);
+  if (c == nullptr) return;
+  c->count[RouteClassOf(p)] -= 1;
+  for (uint32_t cls = 0; cls < 4; ++cls)
+    if (c->count[cls] > 0) return;
+  class_counts_.Erase(p.label);
+  label_bits_[static_cast<size_t>(p.label) >> 6] &= ~(1ull << (p.label & 63u));
+}
+
+size_t RoutePrefilter::MemoryBytes() const {
+  return label_bits_.capacity() * sizeof(uint64_t) + class_counts_.MemoryBytes();
+}
+
+}  // namespace gstream

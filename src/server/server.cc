@@ -225,15 +225,23 @@ bool Server::Recover(std::string* error) {
     return fail("state file was written by engine " + st.snap.engine_name +
                 ", this server runs " + engine_->name());
 
-  // Re-register the persisted subscriptions in original registration order:
+  // Rebuild the subscription registry in original registration order:
   // re-parsing against the replayed dictionary re-interns every literal
   // under its original id, and the explicit qids reproduce the engine's
-  // query registry exactly.
+  // query registry exactly. Patterns are parsed (and validated) up front,
+  // but each query is registered with the engine only when the replay
+  // reaches its registration offset (the window_begin hook below): the
+  // original run registered it at that window boundary, and registering it
+  // earlier would let the fast-forward match records the live engine never
+  // saw — diverging the boundary counter/fingerprint cross-check and
+  // planting pre-registration entries in the rebuilt notification log.
+  std::vector<QueryPattern> recovered_patterns;
+  recovered_patterns.reserve(st.subscriptions.size());
   for (const SubscriptionRecord& rec : st.subscriptions) {
     ParseResult pr = ParsePattern(rec.pattern, session.mutable_interner());
     if (!pr.ok)
       return fail("subscription '" + rec.pattern + "': " + pr.error);
-    engine_->AddQuery(rec.qid, pr.pattern);
+    recovered_patterns.push_back(std::move(pr.pattern));
     SubSlot slot;
     slot.client_name = rec.client_name;
     slot.sub_id = rec.sub_id;
@@ -244,6 +252,17 @@ bool Server::Recover(std::string* error) {
     qid_to_slot_[rec.qid] = subs_.size() - 1;
     next_qid_ = std::max(next_qid_, rec.qid + 1);
   }
+  // Registration offsets are nondecreasing (applied-record counts at
+  // subscribe time), so a cursor suffices.
+  size_t next_recovered_sub = 0;
+  const auto register_reached = [&](uint64_t next_record_index) {
+    while (next_recovered_sub < subs_.size() &&
+           subs_[next_recovered_sub].registered_offset <= next_record_index) {
+      engine_->AddQuery(subs_[next_recovered_sub].qid,
+                        recovered_patterns[next_recovered_sub]);
+      ++next_recovered_sub;
+    }
+  };
 
   // Replay the journal. Every record block was appended as exactly one
   // applied window, so window_per_block walks the original boundaries —
@@ -257,6 +276,7 @@ bool Server::Recover(std::string* error) {
   io.batch_threads = opts_.batch_threads;
   io.overload = ingest::OverloadPolicy::kBlock;
   io.on_corrupt = ingest::CorruptPolicy::kSkip;
+  io.window_begin = register_reached;
   const auto cb = [this](uint64_t index, const UpdateResult& result) {
     for (QueryId qid : result.triggered) recovered_satisfied_.insert(qid);
     if (result.per_query.empty()) return;
@@ -264,7 +284,14 @@ bool Server::Recover(std::string* error) {
     e.record_index = index;
     for (const auto& [qid, count] : result.per_query) {
       auto it = qid_to_slot_.find(qid);
-      if (it != qid_to_slot_.end()) e.counts.emplace_back(it->second, count);
+      if (it == qid_to_slot_.end()) continue;
+      // Replay re-registers every subscription before record 0, so a query
+      // that joined mid-stream also matches records older than its
+      // registration. The live run never delivered those; the rebuilt log
+      // must not either, or a resuming client would replay notifications
+      // from before it subscribed.
+      if (index < subs_[it->second].registered_offset) continue;
+      e.counts.emplace_back(it->second, count);
     }
     if (e.counts.empty()) return;
     notify_log_.push_back(std::move(e));
@@ -277,6 +304,9 @@ bool Server::Recover(std::string* error) {
       have_state ? ingest::ResumeReplay(*engine_, session, st.snap, io, cb)
                  : session.Replay(*engine_, io, cb);
   if (stats.failed) return fail(stats.error);
+  // Subscriptions registered after the last journaled record (or an empty
+  // journal) were never reached by a window boundary.
+  register_reached(stats.run.updates_applied);
 
   acc_.stats = stats.run;
   for (QueryId qid : st.snap.satisfied) recovered_satisfied_.insert(qid);

@@ -232,14 +232,30 @@ UpdateResult TricEngine::ApplyUpdate(const EdgeUpdate& u) {
 
 bool TricEngine::RouteUpdate(const EdgeUpdate& u, DeltaScratch& ds,
                              UpdateResult& result) {
+  // Routing prefilter (DESIGN.md §12): no trie node's pattern carries this
+  // label. Base-view patterns are a subset of the node patterns (every
+  // signature element becomes a node), so there is nothing to maintain at
+  // all — the whole update is an O(words) reject.
+  if (route_enabled() && !forest_.MayMatch(u)) {
+    NotePrefilterReject();
+    return true;
+  }
+
   // Record the update in every shared edge-level view it satisfies, then
   // route it to the matching trie nodes via the node-granular edgeInd.
   AppendToBaseViews(u);
 
   std::vector<TrieNode*> matching;
-  for (const auto& g : Generalizations(u)) {
-    const std::vector<TrieNode*>* nodes = forest_.NodesFor(g);
-    if (nodes != nullptr) matching.insert(matching.end(), nodes->begin(), nodes->end());
+  if (route_enabled()) {
+    // Class-mask-gated probing: only the endpoint generalizations some
+    // registered pattern actually uses are looked up (deduplicated).
+    forest_.RouteNodes(u, matching);
+  } else {
+    for (const auto& g : Generalizations(u)) {
+      const std::vector<TrieNode*>* nodes = forest_.NodesFor(g);
+      if (nodes != nullptr)
+        matching.insert(matching.end(), nodes->begin(), nodes->end());
+    }
   }
   std::sort(matching.begin(), matching.end(), [](const TrieNode* a, const TrieNode* b) {
     return a->depth != b->depth ? a->depth < b->depth : a->seq < b->seq;
@@ -305,6 +321,7 @@ void TricEngine::FinalizeQueries(UpdateResult& result, DeltaScratch& ds) {
   for (TrieNode* node : ds.affected_terminals)
     for (const PathRef& ref : node->paths) affected_paths.emplace_back(ref.qid, ref.path_idx);
   std::sort(affected_paths.begin(), affected_paths.end());
+  NoteRoutedCandidates(affected_paths.size());
 
   size_t i = 0;
   while (i < affected_paths.size()) {
@@ -447,8 +464,101 @@ void TricEngine::ListQueryIds(std::vector<QueryId>& out) const {
   for (const auto& [qid, entry] : queries_) out.push_back(qid);
 }
 
+bool TricEngine::EvaluateWindowTagged(QueryEntry& entry,
+                                      const std::vector<uint32_t>& path_idxs,
+                                      TricWindowContext& wctx,
+                                      uint32_t probe_weight, bool& pass_ran,
+                                      std::vector<uint32_t>& tags) {
+  pass_ran = false;
+  tags.clear();
+
+  // End-of-window feasibility: views only grow inside an insert window, so
+  // a path empty here was empty at every member position.
+  for (const PathInfo& info : entry.paths)
+    if (info.terminal->view->Empty()) return true;
+  NoteFinalJoinPass();
+  pass_ran = true;
+
+  // Per-(query, window) assignment set: dedup on the vertex columns, each
+  // row tagged with the window position sequential execution would have
+  // reported it at (= the max tag over its contributing view rows; every
+  // derivation of a row carries the same tag). `probe_weight` > 1 marks a
+  // pass standing in for that many per-query chains (window-cache build
+  // decisions stay identical to the per-query pipeline's).
+  const uint32_t num_vertices = static_cast<uint32_t>(entry.pattern.NumVertices());
+  Relation assignments(num_vertices);
+  assignments.EnableProvenance();
+
+  for (uint32_t path_idx : path_idxs) {
+    PathInfo& seed = entry.paths[path_idx];
+    Relation* seed_view = seed.terminal->view.get();
+    const size_t delta_begin = wctx.prov.WindowDeltaBegin(seed_view);
+    if (delta_begin >= seed_view->NumRows()) continue;  // no delta after all
+
+    OwnedBindings acc = PathRowsToBindingsTagged(
+        RowRange{seed_view, delta_begin, seed_view->NumRows()}, seed.spec,
+        wctx.prov.TagsFor(seed_view));
+    if (acc.Empty()) continue;
+
+    // One tagged join pass against the other covering paths' end-of-window
+    // views serves every update in the window; the tags reconstruct the
+    // per-update attribution below.
+    std::vector<uint32_t> remaining;
+    for (uint32_t p = 0; p < entry.paths.size(); ++p)
+      if (p != path_idx) remaining.push_back(p);
+
+    bool dead = false;
+    while (!remaining.empty() && !dead) {
+      size_t pick = 0;
+      for (size_t r = 0; r < remaining.size(); ++r) {
+        if (FirstSharedColumn(acc.schema, PathSchema(entry.paths[remaining[r]])) >= 0) {
+          pick = r;
+          break;
+        }
+      }
+      PathInfo& other = entry.paths[remaining[pick]];
+      const std::vector<uint32_t>& sb = PathSchema(other);
+      auto [b, b_tags] = FullPathRangeTagged(other, wctx);
+      const HashIndex* idx = nullptr;
+      int col = FirstSharedColumn(acc.schema, sb);
+      if (col >= 0)
+        idx = JoinIndexFor(b.rel, static_cast<uint32_t>(col), probe_weight);
+      acc = JoinBindingRangesTagged(acc.schema, acc.All(), sb, b, b_tags, idx);
+      dead = acc.Empty();
+      remaining.erase(remaining.begin() + pick);
+      if (BudgetExceeded()) return false;
+    }
+    if (dead) continue;
+
+    std::vector<uint32_t> perm(num_vertices);
+    for (uint32_t c = 0; c < acc.schema.size(); ++c) perm[acc.schema[c]] = c;
+    std::vector<VertexId> row(num_vertices);
+    for (size_t r = 0; r < acc.rows->NumRows(); ++r) {
+      const VertexId* src = acc.rows->Row(r);
+      for (uint32_t v = 0; v < num_vertices; ++v) row[v] = src[perm[v]];
+      // §4.3 extra phase: property constraints on the full assignment.
+      if (!SatisfiesConstraints(entry.pattern, row.data())) continue;
+      assignments.AppendTagged(row.data(), acc.rows->ProvOf(r));
+    }
+  }
+
+  // The deduplicated assignments' window positions (ScatterTagCounts input).
+  tags.reserve(assignments.NumRows());
+  for (size_t r = 0; r < assignments.NumRows(); ++r) {
+    const uint32_t tag = assignments.ProvOf(r);
+    GS_DCHECK(tag > 0);  // a new match always uses a window row
+    tags.push_back(tag);
+  }
+  NotePeakTransient(assignments.MemoryBytes());
+  return true;
+}
+
 void TricEngine::FinalizeWindow(WindowContext& ctx, UpdateResult* window_results) {
   TricWindowContext& wctx = static_cast<TricWindowContext&>(ctx);
+  if (route_enabled()) {
+    FinalizeWindowRouted(wctx, window_results);
+    return;
+  }
   if (wctx.affected_terminals.empty()) return;
 
   // Group the window's affected covering paths per query, ascending qid, so
@@ -457,6 +567,7 @@ void TricEngine::FinalizeWindow(WindowContext& ctx, UpdateResult* window_results
   for (TrieNode* node : wctx.affected_terminals)
     for (const PathRef& ref : node->paths) affected_paths.emplace_back(ref.qid, ref.path_idx);
   std::sort(affected_paths.begin(), affected_paths.end());
+  NoteRoutedCandidates(affected_paths.size());
 
   size_t i = 0;
   while (i < affected_paths.size()) {
@@ -482,103 +593,108 @@ void TricEngine::FinalizeWindow(WindowContext& ctx, UpdateResult* window_results
       }
     }
 
-    QueryEntry& entry = queries_.at(qid);
-    // This pass's probes stand in for one per group member (window-cache
-    // build decisions stay identical to the per-query pipeline's).
-    const uint32_t probe_weight = SharedGroupSize(qid);
-
-    // End-of-window feasibility: views only grow inside an insert window,
-    // so a path empty here was empty at every member position.
-    bool feasible = true;
-    for (const PathInfo& info : entry.paths) {
-      if (info.terminal->view->Empty()) {
-        feasible = false;
-        break;
-      }
-    }
-    if (!feasible) {
-      // The whole group is infeasible: memoize the no-op.
-      if (memo != nullptr) memo->Store(/*ran=*/false, std::move(window_key), nullptr);
-      i = j;
-      continue;
-    }
-    NoteFinalJoinPass();
-
-    // Per-(query, window) assignment set: dedup on the vertex columns, each
-    // row tagged with the window position sequential execution would have
-    // reported it at (= the max tag over its contributing view rows; every
-    // derivation of a row carries the same tag).
-    const uint32_t num_vertices = static_cast<uint32_t>(entry.pattern.NumVertices());
-    Relation assignments(num_vertices);
-    assignments.EnableProvenance();
-
-    for (size_t k = i; k < j; ++k) {
-      const uint32_t path_idx = affected_paths[k].second;
-      PathInfo& seed = entry.paths[path_idx];
-      Relation* seed_view = seed.terminal->view.get();
-      const size_t delta_begin = wctx.prov.WindowDeltaBegin(seed_view);
-      if (delta_begin >= seed_view->NumRows()) continue;  // no delta after all
-
-      OwnedBindings acc = PathRowsToBindingsTagged(
-          RowRange{seed_view, delta_begin, seed_view->NumRows()}, seed.spec,
-          wctx.prov.TagsFor(seed_view));
-      if (acc.Empty()) continue;
-
-      // One tagged join pass against the other covering paths' end-of-window
-      // views serves every update in the window; the tags reconstruct the
-      // per-update attribution below.
-      std::vector<uint32_t> remaining;
-      for (uint32_t p = 0; p < entry.paths.size(); ++p)
-        if (p != path_idx) remaining.push_back(p);
-
-      bool dead = false;
-      while (!remaining.empty() && !dead) {
-        size_t pick = 0;
-        for (size_t r = 0; r < remaining.size(); ++r) {
-          if (FirstSharedColumn(acc.schema, PathSchema(entry.paths[remaining[r]])) >= 0) {
-            pick = r;
-            break;
-          }
-        }
-        PathInfo& other = entry.paths[remaining[pick]];
-        const std::vector<uint32_t>& sb = PathSchema(other);
-        auto [b, b_tags] = FullPathRangeTagged(other, wctx);
-        const HashIndex* idx = nullptr;
-        int col = FirstSharedColumn(acc.schema, sb);
-        if (col >= 0)
-          idx = JoinIndexFor(b.rel, static_cast<uint32_t>(col), probe_weight);
-        acc = JoinBindingRangesTagged(acc.schema, acc.All(), sb, b, b_tags, idx);
-        dead = acc.Empty();
-        remaining.erase(remaining.begin() + pick);
-        if (BudgetExceeded()) return;
-      }
-      if (dead) continue;
-
-      std::vector<uint32_t> perm(num_vertices);
-      for (uint32_t c = 0; c < acc.schema.size(); ++c) perm[acc.schema[c]] = c;
-      std::vector<VertexId> row(num_vertices);
-      for (size_t r = 0; r < acc.rows->NumRows(); ++r) {
-        const VertexId* src = acc.rows->Row(r);
-        for (uint32_t v = 0; v < num_vertices; ++v) row[v] = src[perm[v]];
-        // §4.3 extra phase: property constraints on the full assignment.
-        if (!SatisfiesConstraints(entry.pattern, row.data())) continue;
-        assignments.AppendTagged(row.data(), acc.rows->ProvOf(r));
-      }
-    }
-
-    // Scatter the deduplicated assignments back onto their window positions.
-    std::vector<uint32_t> tags;
-    tags.reserve(assignments.NumRows());
-    for (size_t r = 0; r < assignments.NumRows(); ++r) {
-      const uint32_t tag = assignments.ProvOf(r);
-      GS_DCHECK(tag > 0);  // a new match always uses a window row
-      tags.push_back(tag);
-    }
-    if (memo != nullptr) memo->Store(/*ran=*/true, std::move(window_key), &tags);
-    ScatterTagCounts(tags, qid, window_results);
-
-    NotePeakTransient(assignments.MemoryBytes());
+    std::vector<uint32_t> path_idxs;
+    path_idxs.reserve(j - i);
+    for (size_t k = i; k < j; ++k) path_idxs.push_back(affected_paths[k].second);
     i = j;
+
+    QueryEntry& entry = queries_.at(qid);
+    bool pass_ran = false;
+    std::vector<uint32_t> tags;
+    if (!EvaluateWindowTagged(entry, path_idxs, wctx, SharedGroupSize(qid),
+                              pass_ran, tags))
+      return;
+    if (memo != nullptr) memo->Store(pass_ran, std::move(window_key), &tags);
+    ScatterTagCounts(tags, qid, window_results);
+  }
+}
+
+void TricEngine::OnRouteGroupsRebuilt() {
+  // One bump invalidates every node's annotations at once; the rebuild below
+  // re-stamps exactly the terminals the live groups route through.
+  ++route_stamp_;
+  if (!route_enabled()) return;
+  for (const auto& group : finalize_groups()) {
+    // Signature-equal members reference identical terminals at identical
+    // path indices (the signature pins terminal->seq per path in order), so
+    // the representative's annotations route the whole group.
+    const QueryEntry& rep = queries_.at(group->members[0]);
+    for (uint32_t pi = 0; pi < rep.paths.size(); ++pi) {
+      TrieNode* terminal = rep.paths[pi].terminal;
+      if (terminal->route_stamp != route_stamp_) {
+        terminal->route_groups.clear();
+        terminal->route_stamp = route_stamp_;
+      }
+      terminal->route_groups.emplace_back(group->id, pi);
+    }
+  }
+}
+
+void TricEngine::FinalizeWindowRouted(TricWindowContext& wctx,
+                                      UpdateResult* window_results) {
+  if (wctx.affected_terminals.empty()) return;
+  const auto& groups = finalize_groups();
+
+  // Expand the affected terminals through their group annotations into
+  // (group id, representative path idx) pairs — the routed counterpart of
+  // the legacy (qid, path idx) expansion, with fan-out per signature group
+  // instead of per query. Sorted so each group's paths form one run.
+  std::vector<std::pair<uint32_t, uint32_t>> affected;  // (group id, path idx)
+  for (TrieNode* node : wctx.affected_terminals) {
+    // Every path-holding terminal is some representative's terminal, and the
+    // grouping was rebuilt before this window fanned out.
+    GS_DCHECK(node->paths.empty() || node->route_stamp == route_stamp_);
+    for (const auto& [gid, pi] : node->route_groups)
+      affected.emplace_back(gid, pi);
+  }
+  std::sort(affected.begin(), affected.end());
+  NoteRoutedCandidates(affected.size());
+
+  size_t i = 0;
+  while (i < affected.size()) {
+    const uint32_t gid = affected[i].first;
+    size_t j = i;
+    while (j < affected.size() && affected[j].first == gid) ++j;
+
+    if (BudgetExceededNow()) return;  // timeout: partial, flagged by the caller
+
+    std::vector<uint32_t> path_idxs;
+    path_idxs.reserve(j - i);
+    for (size_t k = i; k < j; ++k) path_idxs.push_back(affected[k].second);
+    i = j;
+
+    const FinalizeGroup& group = *groups[gid];
+    if (GroupSharingApplies(group)) {
+      // Evaluate the group's representative once; the tagged assignment set
+      // serves every member — the same invariant as the legacy memo path,
+      // without materializing per-member work items.
+      QueryEntry& rep = queries_.at(group.members[0]);
+      bool pass_ran = false;
+      std::vector<uint32_t> tags;
+      if (!EvaluateWindowTagged(rep, path_idxs, wctx,
+                                static_cast<uint32_t>(group.members.size()),
+                                pass_ran, tags))
+        return;
+      if (pass_ran) NoteSharedGroupPass();
+      if (tags.empty()) continue;
+      for (QueryId qid : group.members) {
+        std::vector<uint32_t> member_tags = tags;
+        ScatterTagCounts(member_tags, qid, window_results);
+      }
+    } else {
+      // Sharing off (or the signature opted out): per-member evaluations,
+      // still routed group-at-a-time. Signature-equal members share the
+      // representative's path indices.
+      for (QueryId qid : group.members) {
+        if (BudgetExceededNow()) return;
+        bool pass_ran = false;
+        std::vector<uint32_t> tags;
+        if (!EvaluateWindowTagged(queries_.at(qid), path_idxs, wctx,
+                                  /*probe_weight=*/1, pass_ran, tags))
+          return;
+        ScatterTagCounts(tags, qid, window_results);
+      }
+    }
   }
 }
 

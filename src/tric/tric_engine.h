@@ -109,6 +109,12 @@ class TricEngine : public ViewEngineBase {
   bool EncodeFinalizeSignature(QueryId qid, std::vector<uint64_t>& out) override;
   void ListQueryIds(std::vector<QueryId>& out) const override;
 
+  /// Rebuilds the terminal-node routing annotations (DESIGN.md §12): each
+  /// group's representative stamps its terminals with (group id, path index)
+  /// pairs, so FinalizeWindow expands affected terminals straight into
+  /// affected groups. Stamp-validated — no per-node cleanup on rebuild.
+  void OnRouteGroupsRebuilt() override;
+
  private:
   struct PathInfo {
     TrieNode* terminal = nullptr;
@@ -185,6 +191,21 @@ class TricEngine : public ViewEngineBase {
   /// Per-query final join (paper Fig. 8 lines 8-13, delta-seeded).
   void FinalizeQueries(UpdateResult& result, DeltaScratch& ds);
 
+  /// One tagged whole-window final join of `entry` seeded from the covering
+  /// paths in `path_idxs` (the shared body of the legacy and routed
+  /// FinalizeWindow paths). `pass_ran` is false when the feasibility gate
+  /// skipped the evaluation. Returns false on a budget abort (the caller
+  /// must end the finalize).
+  bool EvaluateWindowTagged(QueryEntry& entry,
+                            const std::vector<uint32_t>& path_idxs,
+                            TricWindowContext& wctx, uint32_t probe_weight,
+                            bool& pass_ran, std::vector<uint32_t>& tags);
+
+  /// Routed finalize (DESIGN.md §12): expands the affected terminals into
+  /// (signature group, path idx) pairs via the stamped annotations and runs
+  /// one evaluation per group, fanning tags out to every member.
+  void FinalizeWindowRouted(TricWindowContext& wctx, UpdateResult* window_results);
+
   /// Edge deletion (paper §4.3): retracts the tuple from the base views,
   /// then walks the affected tries removing every prefix-view row that used
   /// the deleted edge at any matching depth. Exact because a view row's edge
@@ -214,6 +235,11 @@ class TricEngine : public ViewEngineBase {
 
   /// Epoch allocator; atomic so concurrent batch shards draw unique epochs.
   std::atomic<uint64_t> epoch_{0};
+
+  /// Validity stamp of the TrieNode::route_groups annotations: a node's list
+  /// is meaningful only when its route_stamp matches. Bumped on every
+  /// grouping rebuild, so stale annotations expire without a trie walk.
+  uint64_t route_stamp_ = 0;
 };
 
 }  // namespace tric

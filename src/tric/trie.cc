@@ -12,6 +12,7 @@ size_t TrieNode::MemoryBytes() const {
   size_t bytes = sizeof(*this);
   bytes += children.capacity() * sizeof(std::unique_ptr<TrieNode>);
   bytes += paths.capacity() * sizeof(PathRef);
+  bytes += route_groups.capacity() * sizeof(std::pair<uint32_t, uint32_t>);
   if (view != nullptr) bytes += view->MemoryBytes();
   return bytes;
 }
@@ -28,7 +29,7 @@ TrieNode* TrieForest::InsertPath(const std::vector<GenericEdgePattern>& sig,
     node->depth = parent == nullptr ? 0 : parent->depth + 1;
     node->seq = next_seq_++;
     TrieNode* raw = node.get();
-    node_ind_.GetOrCreate(p).push_back(raw);
+    node_ind_.Add(p, raw);
     ++num_nodes_;
     if (parent == nullptr) {
       roots_.GetOrCreate(p) = std::move(node);
@@ -55,7 +56,7 @@ TrieNode* TrieForest::InsertPath(const std::vector<GenericEdgePattern>& sig,
     root->pattern = sig[0];
     root->seq = next_seq_++;
     node = root.get();
-    node_ind_.GetOrCreate(sig[0]).push_back(node);
+    node_ind_.Add(sig[0], node);
     ++num_nodes_;
     extra_roots_.push_back(std::move(root));
     on_create(node);
@@ -97,10 +98,7 @@ void TrieForest::RemovePathRef(TrieNode* terminal, QueryId qid, uint32_t path_id
     on_destroy(node);
 
     // edgeInd: forget the node before its storage goes away.
-    std::vector<TrieNode*>* siblings = node_ind_.Find(node->pattern);
-    GS_CHECK(siblings != nullptr);
-    siblings->erase(std::find(siblings->begin(), siblings->end(), node));
-    if (siblings->empty()) node_ind_.Erase(node->pattern);
+    GS_CHECK(node_ind_.Remove(node->pattern, node));
     --num_nodes_;
 
     if (parent != nullptr) {
@@ -141,11 +139,9 @@ const std::vector<TrieNode*>* TrieForest::NodesFor(const GenericEdgePattern& p) 
 }
 
 size_t TrieForest::MemoryBytes() const {
+  // node_ind_.MemoryBytes() already includes its posting-list capacities.
   size_t bytes = sizeof(*this) + roots_.MemoryBytes() + node_ind_.MemoryBytes();
   ForEachNode([&](const TrieNode& n) { bytes += n.MemoryBytes(); });
-  node_ind_.ForEach([&](const GenericEdgePattern&, const std::vector<TrieNode*>& nodes) {
-    bytes += nodes.capacity() * sizeof(TrieNode*);
-  });
   return bytes;
 }
 

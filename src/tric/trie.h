@@ -10,6 +10,7 @@
 #include "common/ids.h"
 #include "matview/relation.h"
 #include "query/edge_pattern.h"
+#include "query/route_index.h"
 
 namespace gstream {
 namespace tric {
@@ -44,6 +45,14 @@ struct TrieNode {
   /// Last delta-window epoch this node entered the *window* affected set
   /// (window-delta pipeline; written only by the node's owning shard).
   uint64_t window_affected_epoch = 0;
+
+  /// Routed-finalize projection of `paths` (DESIGN.md §12): the signature
+  /// groups whose representative member has a covering path terminating here,
+  /// as (group id, representative's path index) pairs. Valid only while
+  /// `route_stamp` equals the engine's group-rebuild stamp — stale lists are
+  /// lazily rebuilt, so query churn never walks the forest.
+  uint64_t route_stamp = 0;
+  std::vector<std::pair<uint32_t, uint32_t>> route_groups;
 
   size_t MemoryBytes() const;
 };
@@ -92,6 +101,18 @@ class TrieForest {
   /// the forest.
   const std::vector<TrieNode*>* NodesFor(const GenericEdgePattern& p) const;
 
+  /// O(words) routing prefilter: false when no live trie node's pattern can
+  /// match `u` (no node stores `u`'s label at all).
+  bool MayMatch(const EdgeUpdate& u) const { return node_ind_.MayMatch(u); }
+
+  /// Appends every node whose stored pattern `u` satisfies (the union of
+  /// NodesFor over `u`'s live generalizations, deduplicated) and returns the
+  /// count. Probes only the endpoint classes the prefilter records for
+  /// `u`'s label — the routed replacement for the 4-way NodesFor fan-out.
+  size_t RouteNodes(const EdgeUpdate& u, std::vector<TrieNode*>& out) const {
+    return node_ind_.Route(u, out);
+  }
+
   size_t NumTries() const { return roots_.size(); }
   size_t NumNodes() const { return num_nodes_; }
 
@@ -102,14 +123,14 @@ class TrieForest {
   void ForEachNode(const std::function<void(const TrieNode&)>& fn) const;
 
  private:
-  /// rootInd / edgeInd live in flat open-addressing maps: both are probed on
-  /// every streamed update (root lookup, node routing), so they share the
-  /// data plane's container family (see flat_map.h).
+  /// rootInd lives in a flat open-addressing map; edgeInd is the shared
+  /// RouteIndex (same SIMD flat-map family plus the label/class prefilter).
+  /// Both are probed on every streamed update (root lookup, node routing),
+  /// so they share the data plane's container family (see flat_map.h).
   FlatMap<GenericEdgePattern, std::unique_ptr<TrieNode>, GenericEdgePatternHash>
       roots_;
   std::vector<std::unique_ptr<TrieNode>> extra_roots_;  ///< No-sharing chains.
-  FlatMap<GenericEdgePattern, std::vector<TrieNode*>, GenericEdgePatternHash>
-      node_ind_;
+  RouteIndex<TrieNode*> node_ind_;
   size_t num_nodes_ = 0;
   uint64_t next_seq_ = 0;
 };

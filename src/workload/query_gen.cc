@@ -630,8 +630,27 @@ class Generator {
 
 QuerySet GenerateQueries(const Workload& w, const QueryGenConfig& config) {
   GS_CHECK_MSG(w.stream.size() > 0, "workload stream is empty");
+  GS_CHECK_MSG(config.tenants >= 1, "tenants must be >= 1");
   Generator generator(w, config);
-  return generator.Run();
+  QuerySet out = generator.Run();
+
+  // Tenant duplication: replicate the distinct per-tenant set verbatim.
+  // Tenants' copies are intentionally byte-identical (no dedup across
+  // tenants) — signature grouping and routing must collapse them, not the
+  // generator.
+  if (config.tenants > 1) {
+    const size_t base = out.queries.size();
+    out.queries.reserve(base * config.tenants);
+    out.planted.reserve(base * config.tenants);
+    for (size_t t = 1; t < config.tenants; ++t) {
+      for (size_t i = 0; i < base; ++i) {
+        out.queries.push_back(out.queries[i]);
+        out.planted.push_back(out.planted[i]);
+      }
+    }
+    out.num_planted *= config.tenants;
+  }
+  return out;
 }
 
 }  // namespace workload

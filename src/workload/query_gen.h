@@ -39,6 +39,12 @@ struct QueryGenConfig {
   /// homomorphism counts — proportionate.
   double literal_prob = 0.4;
   uint64_t seed = 7;
+  /// Tenant duplication (query-DB scaling, DESIGN.md §12): the generated set
+  /// is replicated this many times verbatim, bypassing the uniqueness filter
+  /// that applies within one tenant — each "tenant" registers the same
+  /// subscriptions under fresh query ids, the realistic shape of a
+  /// million-query DB. Total queries = num_queries * tenants. Must be >= 1.
+  size_t tenants = 1;
 };
 
 /// A generated query set with its ground truth.

@@ -267,6 +267,142 @@ TEST(ServerResume, WireFaultsStillConvergeToOracle) {
       << "at-least-once resend overlap never exercised";
 }
 
+/// Mid-stream subscription + crash: recovery must re-register each
+/// subscription at its original registration offset, not at record 0. The
+/// stream is hand-built so the subscribed pattern matches at known indices:
+/// a late subscriber whose pattern matched records *before* it registered
+/// must recover cleanly (registering it early would diverge the boundary
+/// counter/fingerprint cross-check) and must never be sent notifications
+/// from before its registration — neither live nor from the rebuilt,
+/// registration-offset-filtered notification log it resumes against.
+TEST(ServerResume, MidStreamSubscriberRecoveryFiltersByRegistrationOffset) {
+  const char* kLikes = "(?a)-[likes]->(?m)";
+  std::vector<std::string> dict;
+  auto intern = [&dict](const std::string& s) {
+    for (uint32_t i = 0; i < dict.size(); ++i)
+      if (dict[i] == s) return i;
+    dict.push_back(s);
+    return static_cast<uint32_t>(dict.size() - 1);
+  };
+  const uint32_t likes = intern("likes");
+  const uint32_t knows = intern("knows");
+  // Fresh endpoints per edge: every 'likes' edge is exactly one new
+  // embedding of kLikes, and 'knows' filler matches nothing.
+  std::vector<EdgeUpdate> edges;
+  std::vector<uint64_t> like_indices;
+  auto add_like = [&]() {
+    const size_t n = edges.size();
+    like_indices.push_back(n);
+    edges.push_back({intern("a" + std::to_string(n)), likes,
+                     intern("m" + std::to_string(n))});
+  };
+  auto add_filler = [&]() {
+    const size_t n = edges.size();
+    edges.push_back({intern("x" + std::to_string(n)), knows,
+                     intern("y" + std::to_string(n))});
+  };
+  // Phase A [0, 32): pre-registration matches the late subscriber must
+  // never see.
+  for (size_t i = 0; i < 32; ++i)
+    (i % 8 == 5) ? add_like() : add_filler();
+  const size_t kRegisterAt = 32;
+  // Phase B [32, 96): match-free filler; spans several snapshot cadences so
+  // the late subscription is durably persisted before the crash.
+  while (edges.size() < 96) add_filler();
+  // Phase C [96, 112): post-restart matches both subscribers receive.
+  std::vector<EdgeUpdate> tail;
+  {
+    const size_t start = edges.size();
+    for (size_t i = 0; i < 16; ++i)
+      (i == 4 || i == 9) ? add_like() : add_filler();
+    tail.assign(edges.begin() + start, edges.end());
+    edges.resize(start);
+  }
+
+  Paths paths("mid_sub");
+  auto server =
+      std::make_unique<Server>(DurableOptions(paths, EngineKind::kTricPlus));
+  std::string err;
+  ASSERT_TRUE(server->Start(&err)) << err;
+
+  Client c1(FastClientOptions(server->port(), "c1"));
+  Collector col1;
+  col1.Bind(c1);
+  ASSERT_TRUE(c1.Connect(&err)) << err;
+  {
+    SubAckMsg ack;
+    ASSERT_TRUE(c1.Subscribe(0, kLikes, &ack, &err)) << err;
+    ASSERT_EQ(ack.status, static_cast<uint8_t>(SubStatus::kNew));
+  }
+  c1.SetDictionary(dict);
+  ASSERT_TRUE(c1.StreamEdges(
+      std::vector<EdgeUpdate>(edges.begin(), edges.begin() + kRegisterAt),
+      &err))
+      << err;
+  ASSERT_TRUE(c1.WaitApplied(kRegisterAt, &err)) << err;
+
+  // The late subscriber: same pattern, registered at offset 32.
+  Client c2(FastClientOptions(server->port(), "c2"));
+  Collector col2;
+  col2.Bind(c2);
+  ASSERT_TRUE(c2.Connect(&err)) << err;
+  {
+    SubAckMsg ack;
+    ASSERT_TRUE(c2.Subscribe(0, kLikes, &ack, &err)) << err;
+    ASSERT_EQ(ack.status, static_cast<uint8_t>(SubStatus::kNew));
+  }
+
+  ASSERT_TRUE(c1.StreamEdges(
+      std::vector<EdgeUpdate>(edges.begin() + kRegisterAt, edges.end()),
+      &err))
+      << err;
+  ASSERT_TRUE(c1.WaitApplied(edges.size(), &err)) << err;
+
+  // Crash. Recovery fast-forwards the journal; it must register c2's query
+  // at offset 32, or phase A's matches diverge the boundary cross-check and
+  // recovery itself fails here.
+  server->Kill();
+  server =
+      std::make_unique<Server>(DurableOptions(paths, EngineKind::kTricPlus));
+  ASSERT_TRUE(server->Start(&err)) << err;
+  EXPECT_EQ(server->applied_records(), edges.size());
+
+  // c2 reconnects having seen nothing: Hello.resume_notify = 0 asks for the
+  // whole rebuilt notification log. The registration-offset filter must
+  // leave nothing for it (phase A predates its registration; phases B on
+  // are match-free so far).
+  c2.set_port(server->port());
+  // Connect may no-op until the client's reader notices the dead socket;
+  // the restarted server's applied count in the hello ack proves a fresh
+  // handshake (and thus the notify-log replay) actually happened.
+  bool rehandshaked = false;
+  for (int i = 0; i < 200 && !rehandshaked; ++i) {
+    ASSERT_TRUE(c2.Connect(&err)) << err;
+    rehandshaked = c2.last_hello_ack().applied_records >= edges.size();
+    if (!rehandshaked) ::usleep(10 * 1000);
+  }
+  ASSERT_TRUE(rehandshaked);
+
+  c1.set_port(server->port());
+  ASSERT_TRUE(c1.StreamEdges(tail, &err)) << err;
+  ASSERT_TRUE(c1.WaitApplied(edges.size() + tail.size(), &err)) << err;
+
+  // c2's notifications arrive on a push channel it never synchronizes on;
+  // poll until the expected two phase-C entries land.
+  for (int i = 0; i < 200 && col2.Take().size() < 2; ++i) ::usleep(10 * 1000);
+  c1.Close();
+  c2.Close();
+  server->Drain();
+
+  NotifySeq expect_c1, expect_c2;
+  for (uint64_t idx : like_indices) {
+    expect_c1[idx] = {{0u, 1u}};
+    if (idx >= kRegisterAt) expect_c2[idx] = {{0u, 1u}};
+  }
+  EXPECT_EQ(col1.Take(), expect_c1);
+  EXPECT_EQ(col2.Take(), expect_c2);
+}
+
 /// Recovery sanity: a journal written by one engine kind must refuse to
 /// restart under another (replaying tric+ windows into inv would silently
 /// rebuild different view state).

@@ -44,6 +44,12 @@ from pathlib import Path
 # Throughput metrics, in priority order; higher is better.
 METRICS = ("updates_per_sec", "items_per_sec", "max_items_per_sec")
 
+# Routing-selectivity counters; *lower* is better. Gated independently of
+# throughput: a routed cell whose candidates/update starts scaling with
+# |QDB| again is a routing regression even when raw updates/s still passes
+# (e.g. a faster join masking a broken posting list).
+LOWER_IS_BETTER = ("candidates_per_update",)
+
 
 def die(msg):
     """Usage / parse error: the documented exit status 2, never a silent 1."""
@@ -127,18 +133,34 @@ def compare(base_lines, fresh_lines, threshold, quiet=False):
             skipped.append((name, "partial (budget-clipped) cell"))
             continue
         metric, bval = metric_of(bline)
-        if metric is None:
-            continue  # no throughput metric on this line (e.g. counters only)
-        fval = fline.get(metric)
-        if not isinstance(fval, (int, float)) or fval <= 0:
-            skipped.append((name, f"fresh run lacks {metric}"))
-            continue
-        ratio = fval / bval
-        row = {"name": name, "metric": metric, "base": bval, "fresh": fval,
-               "ratio": ratio}
-        compared.append(row)
-        if ratio < 1.0 - threshold:
-            regressions.append(row)
+        if metric is not None:
+            fval = fline.get(metric)
+            if not isinstance(fval, (int, float)) or fval <= 0:
+                skipped.append((name, f"fresh run lacks {metric}"))
+            else:
+                ratio = fval / bval
+                row = {"name": name, "metric": metric, "base": bval,
+                       "fresh": fval, "ratio": ratio}
+                compared.append(row)
+                if ratio < 1.0 - threshold:
+                    regressions.append(row)
+        for lmetric in LOWER_IS_BETTER:
+            lbase = bline.get(lmetric)
+            lfresh = fline.get(lmetric)
+            if not isinstance(lbase, (int, float)) or lbase <= 0:
+                continue
+            if not isinstance(lfresh, (int, float)) or lfresh <= 0:
+                skipped.append((name, f"fresh run lacks {lmetric}"))
+                continue
+            # Lower is better: the gate trips when the fresh value grew more
+            # than `threshold` above the baseline. `ratio` is inverted
+            # (base/fresh) so < 100% in the report still reads "got worse".
+            ratio = lbase / lfresh
+            row = {"name": name, "metric": lmetric, "base": lbase,
+                   "fresh": lfresh, "ratio": ratio}
+            compared.append(row)
+            if lfresh > lbase * (1.0 + threshold):
+                regressions.append(row)
 
     if not quiet:
         for name, why in skipped:
@@ -177,9 +199,33 @@ def self_test(baseline_path, threshold):
         print(f"bench_compare: self-test FAILED: injected regression tripped "
               f"{len(inj_reg)} findings (expected 1)", file=sys.stderr)
         return 1
+
+    # Same exercise for the lower-is-better routing counters, when the
+    # snapshot carries any: inflate one candidates/update value past the
+    # threshold and require the gate to trip on exactly that line.
+    counter_checked = False
+    injected = copy.deepcopy(base)
+    for line in injected:
+        for lmetric in LOWER_IS_BETTER:
+            val = line.get(lmetric)
+            if isinstance(val, (int, float)) and val > 0 and not line.get("partial"):
+                line[lmetric] = val * (1.0 + threshold) * 1.1
+                counter_checked = True
+                break
+        if counter_checked:
+            break
+    if counter_checked:
+        inj_reg, _ = compare(base, injected, threshold, quiet=True)
+        if len(inj_reg) != 1:
+            print(f"bench_compare: self-test FAILED: injected counter "
+                  f"regression tripped {len(inj_reg)} findings (expected 1)",
+                  file=sys.stderr)
+            return 1
+
     print(f"bench_compare: self-test OK: {len(compared)} comparable cells; "
           f"injected regression on [{' '.join(f'{k}={v}' for k, v in victim)}] "
-          "was detected")
+          "was detected"
+          + ("; counter-gate regression was detected" if counter_checked else ""))
     return 0
 
 

@@ -115,6 +115,20 @@ else
   echo "bench_smoke: fig12e_snb_overlap not built; skipping overlap lines" >&2
 fi
 
+# Query-DB scaling smoke: one tenant-duplication cell (routed vs legacy
+# linear dispatch A/B, DESIGN.md §12) small enough to complete inside the
+# tiny budget. Its BENCH_JSON lines carry updates/s for the throughput gate
+# and candidates_per_update for the routing-selectivity gate (a routed cell
+# whose candidate count starts scaling with |QDB| again fails the trajectory
+# diff even when throughput hides it).
+if [[ -x "$BUILD_DIR/fig_scale_qdb" ]]; then
+  "$BUILD_DIR/fig_scale_qdb" --tenants=20 --cell-budget-sec=2 --batch=64 \
+    | grep '^BENCH_JSON ' | tee -a "$BENCH_LINES_TMP" \
+    || { echo "bench_smoke: fig_scale_qdb failed" >&2; exit 1; }
+else
+  echo "bench_smoke: fig_scale_qdb not built; skipping scale lines" >&2
+fi
+
 # Aggregate the per-suite reports into one *valid* JSON document (an array
 # of google-benchmark reports), so consumers can json.load() the artifact.
 python3 - "$OUT" "${REPORTS[@]}" <<'EOF'

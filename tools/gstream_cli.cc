@@ -8,6 +8,7 @@
 //               [--engine=tric+|tric|inv|inv+|inc|inc+|graphdb]
 //               [--seed=N] [--verbose]
 //               [--batch=N] [--threads=N] [--no-shared-finalize]
+//               [--no-route-index]
 //
 // File replay (--gsb, see DESIGN.md §10): streams a checksummed binary
 // `.gsb` file (written by gstream_encode) through the fault-tolerant ingest
@@ -40,6 +41,10 @@
 // (DESIGN.md §9) so batched windows run one final-join pass per (query,
 // window) instead of one per signature group — results are identical; the
 // flag exists for A/B-ing the final-join pass counters below.
+// --no-route-index turns off the shared query routing index (DESIGN.md §12)
+// so each update is dispatched through the legacy linear scan over the
+// registered queries — results are identical; the flag exists for A/B-ing
+// the routed-candidate / prefilter-reject counters below.
 //
 // The query file holds one pattern per line (see query/parser.h for the
 // grammar); blank lines and lines starting with '#' are skipped. Example:
@@ -249,7 +254,7 @@ bool ParseCorrupt(const std::string& s, ingest::CorruptPolicy* out) {
 /// decode -> ring -> apply pipeline, with optional fault injection and
 /// snapshot/recovery (see the usage comment up top).
 int RunGsbMode(const Flags& flags, EngineKind kind, bool shared_finalize,
-               size_t batch, int threads, bool verbose) {
+               bool route_index, size_t batch, int threads, bool verbose) {
   const std::string gsb_file = flags.GetString("gsb", "");
   const std::string query_file = flags.GetString("queries", "");
   if (query_file.empty()) {
@@ -328,6 +333,7 @@ int RunGsbMode(const Flags& flags, EngineKind kind, bool shared_finalize,
 
   auto engine = CreateEngine(kind);
   engine->SetSharedFinalize(shared_finalize);
+  engine->SetRouteIndex(route_index);
   // Queries intern against the stream's reconstructed dictionary, so their
   // label ids line up with the record frames'.
   const int num_queries =
@@ -449,11 +455,13 @@ int main(int argc, char** argv) {
   const size_t batch = static_cast<size_t>(flags.GetPositiveInt("batch", 1));
   const int threads = static_cast<int>(flags.GetPositiveInt("threads", 1));
   const bool shared_finalize = !flags.GetBool("no-shared-finalize", false);
+  const bool route_index = !flags.GetBool("no-route-index", false);
   const EngineKind kind = ParseEngine(flags.GetString("engine", "tric+"));
 
   // Binary file replay through the fault-tolerant ingest pipeline.
   if (flags.Has("gsb"))
-    return RunGsbMode(flags, kind, shared_finalize, batch, threads, verbose);
+    return RunGsbMode(flags, kind, shared_finalize, route_index, batch,
+                      threads, verbose);
 
   workload::Workload w;
   const std::string stream_file = flags.GetString("stream", "");
@@ -473,6 +481,7 @@ int main(int argc, char** argv) {
 
   auto engine = CreateEngine(kind);
   engine->SetSharedFinalize(shared_finalize);
+  engine->SetRouteIndex(route_index);
   QueryId next_qid = 0;
   if (!query_file.empty()) {
     const int loaded = LoadQueries(query_file, *w.interner, *engine, verbose);
@@ -540,12 +549,15 @@ int main(int argc, char** argv) {
         stats.queries_removed, stats.remove_millis, stats.MsecPerRemove());
     std::printf(
         "%llu notifications across %zu satisfied queries; %llu final-join "
-        "passes (%llu shared across queries); %.1f MB engine state "
+        "passes (%llu shared across queries); %llu routed candidates, "
+        "%llu prefilter rejects; %.1f MB engine state "
         "(%zu live queries)%s\n",
         static_cast<unsigned long long>(stats.new_embeddings),
         stats.queries_satisfied,
         static_cast<unsigned long long>(engine->final_join_passes()),
         static_cast<unsigned long long>(engine->shared_finalize_groups()),
+        static_cast<unsigned long long>(engine->routed_candidates()),
+        static_cast<unsigned long long>(engine->prefilter_rejects()),
         static_cast<double>(stats.memory_bytes) / (1024.0 * 1024.0),
         engine->NumQueries(), stats.timed_out ? " [timed out]" : "");
     return 0;
@@ -560,9 +572,10 @@ int main(int argc, char** argv) {
   // window-delta batch pipeline, the shard worker count, and whether window
   // finalization is shared across signature-equal queries.
   if (batch > 1) {
-    std::printf("execution: window-delta batch (window=%zu threads=%d%s)\n",
+    std::printf("execution: window-delta batch (window=%zu threads=%d%s%s)\n",
                 batch, threads,
-                shared_finalize ? "" : ", shared finalize OFF");
+                shared_finalize ? "" : ", shared finalize OFF",
+                route_index ? "" : ", route index OFF");
     engine->SetBatchThreads(threads);
   } else {
     std::printf("execution: per-update (batch=1 threads=1)\n");
@@ -601,11 +614,14 @@ int main(int argc, char** argv) {
   std::printf(
       "%zu updates in %.1f ms (%.4f ms/update); %zu updates triggered, "
       "%llu notifications; %llu final-join passes (%llu shared across "
-      "queries); %.1f MB engine state\n",
+      "queries); %llu routed candidates, %llu prefilter rejects; "
+      "%.1f MB engine state\n",
       w.stream.size(), ms, ms / w.stream.size(), triggering_updates,
       static_cast<unsigned long long>(notifications),
       static_cast<unsigned long long>(engine->final_join_passes()),
       static_cast<unsigned long long>(engine->shared_finalize_groups()),
+      static_cast<unsigned long long>(engine->routed_candidates()),
+      static_cast<unsigned long long>(engine->prefilter_rejects()),
       static_cast<double>(engine->MemoryBytes()) / (1024.0 * 1024.0));
   return 0;
 }
