@@ -146,10 +146,11 @@ ChurnCellResult RunChurnCell(EngineKind kind,
                              const std::vector<QueryPattern>& pool,
                              const UpdateStream& stream, size_t churn_every,
                              double budget_seconds, size_t batch, int threads,
-                             bool shared_finalize) {
+                             bool shared_finalize, bool route_index) {
   ChurnCellResult cell;
   auto engine = CreateEngine(kind);
   engine->SetSharedFinalize(shared_finalize);
+  engine->SetRouteIndex(route_index);
   cell.initial_index = IndexQueries(*engine, base);
   cell.memory_after_index = engine->MemoryBytes();
 

@@ -148,7 +148,8 @@ ChurnCellResult RunChurnCell(EngineKind kind,
                              const std::vector<QueryPattern>& pool,
                              const UpdateStream& stream, size_t churn_every,
                              double budget_seconds, size_t batch = 1,
-                             int threads = 1, bool shared_finalize = true);
+                             int threads = 1, bool shared_finalize = true,
+                             bool route_index = true);
 
 /// Formats a cell/segment value with the paper's timeout marker.
 std::string FormatMs(double ms, bool partial);

@@ -204,12 +204,20 @@ bool InvertedIndexEngineBase::EncodeFinalizeSignature(QueryId qid,
   for (size_t pi = 0; pi < entry.paths.size(); ++pi) {
     out.push_back(~1ull);  // path delimiter: (a)(b,c) and (a,b)(c) differ
     for (const GenericEdgePattern& p : entry.signatures[pi])
-      out.push_back(PatternElem(PatternId(p)));
+      // Read-only lookup: PrepareFinalizeSignatures interned every id.
+      out.push_back(PatternElem(PatternIdIfKnown(p)));
     out.push_back(~2ull);  // view ids above, binding spec below
     for (uint32_t v : entry.paths[pi].vertices) out.push_back(v);
   }
   AppendFilterSignature(entry.pattern, out);
   return true;
+}
+
+void InvertedIndexEngineBase::PrepareFinalizeSignatures(
+    const std::vector<QueryId>& qids) {
+  for (QueryId qid : qids)
+    for (const auto& sig : queries_.at(qid).signatures)
+      for (const GenericEdgePattern& p : sig) PatternId(p);
 }
 
 void InvertedIndexEngineBase::ListQueryIds(std::vector<QueryId>& out) const {

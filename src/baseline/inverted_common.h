@@ -90,6 +90,9 @@ class InvertedIndexEngineBase : public ViewEngineBase {
   /// MaterializePathDeltaBatch chains and identical final joins — INV and
   /// INC both qualify, so the hook lives here.
   bool EncodeFinalizeSignature(QueryId qid, std::vector<uint64_t>& out) override;
+  /// Pre-interns every signature pattern id on the coordinator thread so the
+  /// (possibly pool-parallel) encodes above are pure lookups.
+  void PrepareFinalizeSignatures(const std::vector<QueryId>& qids) override;
   void ListQueryIds(std::vector<QueryId>& out) const override;
 
   /// Rebuilds the group routing postings (DESIGN.md §12): one posting per

@@ -113,17 +113,24 @@ struct StreamEvent {
   QueryId qid = 0;       ///< kAddQuery / kRemoveQuery.
   QueryPattern query{};  ///< kAddQuery only.
 
+  /// kAddQuery only: query lifetime in event-time units (0 = immortal).
+  /// Plain RunMixedStream ignores it; the temporal runner
+  /// (src/time/windowed_stream.h) auto-removes the query once the stream
+  /// watermark passes registration + ttl.
+  uint64_t query_ttl = 0;
+
   static StreamEvent Update(const EdgeUpdate& u) {
     StreamEvent e;
     e.kind = Kind::kUpdate;
     e.update = u;
     return e;
   }
-  static StreamEvent Add(QueryId qid, QueryPattern q) {
+  static StreamEvent Add(QueryId qid, QueryPattern q, uint64_t ttl = 0) {
     StreamEvent e;
     e.kind = Kind::kAddQuery;
     e.qid = qid;
     e.query = std::move(q);
+    e.query_ttl = ttl;
     return e;
   }
   static StreamEvent Remove(QueryId qid) {

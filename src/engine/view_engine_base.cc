@@ -178,6 +178,32 @@ void ViewEngineBase::EnsureFinalizeGroups() {
   std::vector<QueryId> qids;
   ListQueryIds(qids);
   std::sort(qids.begin(), qids.end());
+  PrepareFinalizeSignatures(qids);
+
+  // Signature encoding is per-query independent and read-only (after the
+  // prepare hook), so a registration wave big enough to matter fans out
+  // across the batch pool; the grouping below stays sequential either way,
+  // so the group order is identical to a single-threaded build.
+  std::vector<std::vector<uint64_t>> keys(qids.size());
+  std::vector<uint8_t> shareable(qids.size(), 0);
+  constexpr size_t kParallelSignatureMin = 64;
+  if (pool_ != nullptr && qids.size() >= kParallelSignatureMin) {
+    const size_t num_tasks = static_cast<size_t>(pool_->size());
+    const size_t chunk = (qids.size() + num_tasks - 1) / num_tasks;
+    for (size_t t = 0; t < num_tasks; ++t) {
+      const size_t lo = t * chunk;
+      const size_t hi = std::min(lo + chunk, qids.size());
+      if (lo >= hi) break;
+      pool_->Submit([this, &qids, &keys, &shareable, lo, hi] {
+        for (size_t i = lo; i < hi; ++i)
+          shareable[i] = EncodeFinalizeSignature(qids[i], keys[i]) ? 1 : 0;
+      });
+    }
+    pool_->Wait();
+  } else {
+    for (size_t i = 0; i < qids.size(); ++i)
+      shareable[i] = EncodeFinalizeSignature(qids[i], keys[i]) ? 1 : 0;
+  }
 
   // Full-key grouping (no hashing shortcut): a spurious collision would fan
   // one query's results out to an unrelated query, so keys compare by value.
@@ -185,13 +211,11 @@ void ViewEngineBase::EnsureFinalizeGroups() {
   // the encoded keys is plenty.
   std::map<std::vector<uint64_t>, std::vector<QueryId>> by_key;
   std::vector<QueryId> privates;  ///< Signatures that opted out of sharing.
-  std::vector<uint64_t> key;
-  for (QueryId qid : qids) {
-    key.clear();
-    if (EncodeFinalizeSignature(qid, key))
-      by_key[key].push_back(qid);  // members stay ascending (qids are sorted)
+  for (size_t i = 0; i < qids.size(); ++i) {
+    if (shareable[i])
+      by_key[std::move(keys[i])].push_back(qids[i]);  // members stay ascending
     else
-      privates.push_back(qid);
+      privates.push_back(qids[i]);
   }
 
   const auto add_group = [&](std::vector<QueryId>&& members, bool shareable) {

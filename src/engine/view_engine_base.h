@@ -198,11 +198,21 @@ class ViewEngineBase : public ContinuousEngine {
   /// plus the join/filter spec (binding schemas, property constraints).
   /// Two queries with equal encodings MUST produce identical FinalizeWindow
   /// outcomes for any window. Return false to opt the query out of sharing.
-  /// Coordinator-thread only (may intern pattern ids).
+  /// Must be read-only (EnsureFinalizeGroups fans the encode loop out across
+  /// the batch pool when a wave of queries registers at once); mutating
+  /// preparation belongs in PrepareFinalizeSignatures.
   virtual bool EncodeFinalizeSignature(QueryId qid, std::vector<uint64_t>& out) {
     (void)qid;
     (void)out;
     return false;
+  }
+
+  /// Engine hook fired once on the coordinator thread before the (possibly
+  /// parallel) EncodeFinalizeSignature loop: intern anything the encodes
+  /// would otherwise create lazily (INV pre-interns pattern ids here), so
+  /// the encodes themselves are pure reads. Default: nothing.
+  virtual void PrepareFinalizeSignatures(const std::vector<QueryId>& qids) {
+    (void)qids;
   }
 
   /// Appends the registered query ids (any order).
@@ -365,6 +375,14 @@ class ViewEngineBase : public ContinuousEngine {
     uint32_t& id = pattern_ids_.GetOrCreate(p);
     if (id == 0) id = ++next_pattern_id_;
     return id;
+  }
+
+  /// Read-only PatternId lookup (0 = never interned). Safe from pool
+  /// threads; pair with a PrepareFinalizeSignatures pre-intern so the id is
+  /// always present when it matters.
+  uint32_t PatternIdIfKnown(const GenericEdgePattern& p) const {
+    const uint32_t* id = pattern_ids_.Find(p);
+    return id == nullptr ? 0 : *id;
   }
 
   /// The base view for `p`, created empty on first use (at query indexing).

@@ -23,6 +23,11 @@ struct EdgeUpdate {
   VertexId dst = kNoVertex;
   UpdateOp op = UpdateOp::kAdd;
 
+  /// Event time (0 = untimestamped). Carried for the temporal subsystem
+  /// (src/time); excluded from equality — an edge's identity and effect on
+  /// engine state are time-independent, only window expiry reads `ts`.
+  uint64_t ts = 0;
+
   friend bool operator==(const EdgeUpdate& a, const EdgeUpdate& b) {
     return a.src == b.src && a.label == b.label && a.dst == b.dst && a.op == b.op;
   }

@@ -38,6 +38,12 @@ namespace ingest {
 ///   record payload: u32 count, then count frames of 13 bytes each:
 ///     {u8 op (0 = add, 1 = delete), u32 src, u32 label, u32 dst}.
 ///
+///   timestamped record payload (kind 3, format v2): u32 count, then count
+///     frames of 21 bytes each: {u8 op, u32 src, u32 label, u32 dst, u64 ts}.
+///     Files containing kind-3 blocks carry version 2 and the timestamps
+///     flag; an untimestamped v2 writer output stays byte-identical to v1,
+///     and v1 files decode under v2 readers with every `ts` zero.
+///
 /// Integrity model: the file header is self-checksummed; every payload is
 /// checksummed; block headers are validated structurally (magic, kind, seq
 /// monotonicity, bounded payload_len that fits the file). A corrupt block
@@ -47,6 +53,10 @@ namespace ingest {
 
 inline constexpr uint8_t kGsbMagic[4] = {'G', 'S', 'B', '1'};
 inline constexpr uint32_t kGsbVersion = 1;
+/// Format v2 = v1 plus the optional per-record timestamp column (kind-3
+/// blocks). Writers emit v2 only when some record is timestamped; readers
+/// accept both.
+inline constexpr uint32_t kGsbVersionTs = 2;
 
 /// Header flag bit: the file is an append-only *streaming journal* (the
 /// socket server's write-ahead log). The header is written once at journal
@@ -56,15 +66,18 @@ inline constexpr uint32_t kGsbVersion = 1;
 /// salt so two journals never share a `GsbIdentity` (the header CRC differs),
 /// which keeps snapshot identity checks meaningful for journals.
 inline constexpr uint32_t kGsbFlagStreaming = 1u << 0;
+/// Header flag bit: some record block carries the v2 timestamp column.
+inline constexpr uint32_t kGsbFlagTimestamps = 1u << 1;
 inline constexpr uint32_t kGsbFlagSaltShift = 8;
 inline constexpr size_t kGsbHeaderBytes = 28;
 inline constexpr uint16_t kGsbBlockMagic = 0xB10C;
 inline constexpr size_t kGsbBlockHeaderBytes = 16;
 inline constexpr uint32_t kGsbMaxPayload = 16u << 20;
-inline constexpr size_t kGsbRecordBytes = 13;  // op + src + label + dst
+inline constexpr size_t kGsbRecordBytes = 13;    // op + src + label + dst
+inline constexpr size_t kGsbRecordTsBytes = 21;  // ... + u64 ts
 inline constexpr uint32_t kGsbMaxStringLen = 1u << 20;
 
-enum class GsbBlockKind : uint8_t { kDict = 1, kRecords = 2 };
+enum class GsbBlockKind : uint8_t { kDict = 1, kRecords = 2, kRecordsTs = 3 };
 
 // ---------------------------------------------------------------- LE codecs
 

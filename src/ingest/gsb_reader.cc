@@ -24,7 +24,8 @@ bool ParseBlockHeader(const uint8_t* p, GsbBlockHeader* out) {
   if (GetU16(p) != kGsbBlockMagic) return false;
   const uint8_t kind = p[2];
   if (kind != static_cast<uint8_t>(GsbBlockKind::kDict) &&
-      kind != static_cast<uint8_t>(GsbBlockKind::kRecords))
+      kind != static_cast<uint8_t>(GsbBlockKind::kRecords) &&
+      kind != static_cast<uint8_t>(GsbBlockKind::kRecordsTs))
     return false;
   if (p[3] != 0) return false;  // reserved
   out->kind = static_cast<GsbBlockKind>(kind);
@@ -96,7 +97,7 @@ bool GsbReader::Open() {
     return false;
   }
   header_.version = GetU32(buf + 4);
-  if (header_.version != kGsbVersion) {
+  if (header_.version != kGsbVersion && header_.version != kGsbVersionTs) {
     error_ = "gsb: unsupported version " + std::to_string(header_.version);
     return false;
   }
@@ -261,14 +262,17 @@ DecodeStatus GsbReader::DecodeRecords(const GsbBlockRef& block,
     *reason = "truncated payload";
     return DecodeStatus::kCorrupt;
   }
+  // v1 frames are 13 bytes; kind-3 frames append the 8-byte timestamp.
+  const bool timestamped = block.kind == GsbBlockKind::kRecordsTs;
+  const size_t frame_bytes = timestamped ? kGsbRecordTsBytes : kGsbRecordBytes;
   const uint32_t count = GetU32(payload.data());
-  if (payload.size() != 4 + static_cast<size_t>(count) * kGsbRecordBytes) {
+  if (payload.size() != 4 + static_cast<size_t>(count) * frame_bytes) {
     *reason = "frame count does not match payload length";
     return DecodeStatus::kCorrupt;
   }
   out.reserve(out.size() + count);
   const uint8_t* p = payload.data() + 4;
-  for (uint32_t i = 0; i < count; ++i, p += kGsbRecordBytes) {
+  for (uint32_t i = 0; i < count; ++i, p += frame_bytes) {
     const uint8_t op = p[0];
     if (op > static_cast<uint8_t>(UpdateOp::kDelete)) {
       *reason = "invalid op byte in frame " + std::to_string(i);
@@ -279,6 +283,7 @@ DecodeStatus GsbReader::DecodeRecords(const GsbBlockRef& block,
     u.src = GetU32(p + 1);
     u.label = GetU32(p + 5);
     u.dst = GetU32(p + 9);
+    if (timestamped) u.ts = GetU64(p + 13);
     if ((header_.flags & kGsbFlagStreaming) == 0 &&
         (u.src >= header_.dict_count || u.label >= header_.dict_count ||
          u.dst >= header_.dict_count)) {

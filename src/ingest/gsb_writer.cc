@@ -32,11 +32,17 @@ std::vector<uint8_t> EncodeGsb(const StringInterner& interner,
                "gsb block sizes must be >= 1");
   std::vector<uint8_t> out;
 
+  // The timestamp column is opt-in per file: an all-zero-`ts` stream encodes
+  // as version 1 with 13-byte frames, byte-identical to a pre-v2 writer.
+  const bool timestamped =
+      std::any_of(updates.begin(), updates.end(),
+                  [](const EdgeUpdate& u) { return u.ts != 0; });
+
   // File header; header_crc covers the 24 bytes before it.
   out.reserve(kGsbHeaderBytes);
   for (uint8_t c : kGsbMagic) out.push_back(c);
-  PutU32(out, kGsbVersion);
-  PutU32(out, 0);  // flags
+  PutU32(out, timestamped ? kGsbVersionTs : kGsbVersion);
+  PutU32(out, timestamped ? kGsbFlagTimestamps : 0);  // flags
   PutU32(out, static_cast<uint32_t>(interner.size()));
   PutU64(out, updates.size());
   PutU32(out, Crc32c(out.data(), out.size()));
@@ -62,7 +68,8 @@ std::vector<uint8_t> EncodeGsb(const StringInterner& interner,
     AppendGsbBlock(out, GsbBlockKind::kDict, seq++, payload);
   }
 
-  // Record blocks: explicit frame count + fixed 13-byte frames.
+  // Record blocks: explicit frame count + fixed 13-byte (v1) or 21-byte
+  // (timestamped, kind 3) frames.
   for (size_t first = 0; first < updates.size();
        first += options.records_per_block) {
     const size_t count =
@@ -75,8 +82,11 @@ std::vector<uint8_t> EncodeGsb(const StringInterner& interner,
       PutU32(payload, u.src);
       PutU32(payload, u.label);
       PutU32(payload, u.dst);
+      if (timestamped) PutU64(payload, u.ts);
     }
-    AppendGsbBlock(out, GsbBlockKind::kRecords, seq++, payload);
+    AppendGsbBlock(
+        out, timestamped ? GsbBlockKind::kRecordsTs : GsbBlockKind::kRecords,
+        seq++, payload);
   }
   return out;
 }

@@ -68,6 +68,10 @@ std::string ValidateIngestOptions(const IngestOptions& opts) {
   }
   if (opts.resume != nullptr && opts.overload != OverloadPolicy::kBlock)
     return "recovery requires --overload=block (shedding is not replayable)";
+  const std::string werr = temporal::ValidateWindowConfig(opts.window);
+  if (!werr.empty()) return werr;
+  if (opts.window_manager != nullptr && !opts.window_manager->config().enabled())
+    return "window manager supplied without an expiry policy";
   return "";
 }
 
@@ -188,6 +192,15 @@ IngestStats IngestSession::Replay(ContinuousEngine& engine,
   bool verified = resume_offset == 0;
   bool stop = false;
 
+  // Sliding-window expiry: caller-owned manager (the server's, so recovery
+  // leaves the live horizon where live splicing continues) or a local one.
+  temporal::WindowManager local_wm(opts.window);
+  temporal::WindowManager* wm =
+      opts.window_manager != nullptr ? opts.window_manager : &local_wm;
+  const bool windowed = wm->config().enabled();
+  std::vector<EdgeUpdate> exec_buf;   // expiry deletions + records, spliced
+  std::vector<uint8_t> is_record;     // parallel to exec_buf
+
   // Counter + fingerprint cross-check at the resume boundary: the
   // fast-forward just recomputed everything the snapshot recorded, so any
   // divergence means wrong queries, wrong engine build, or a stream edit.
@@ -217,6 +230,21 @@ IngestStats IngestSession::Replay(ContinuousEngine& engine,
            ": the fast-forwarded engine state differs from the snapshot");
       return false;
     }
+    if (wm->ingested_edges() != snap.ingested_edges ||
+        wm->expired_edges() != snap.expired_edges ||
+        wm->removed_edges() != snap.removed_edges ||
+        wm->expiry_batches() != snap.expiry_batches ||
+        wm->live_edges() != snap.live_edges ||
+        wm->watermark() != snap.watermark) {
+      fail("recovery cross-check failed at record " +
+           std::to_string(resume_offset) +
+           ": the rebuilt window horizon (live=" +
+           std::to_string(wm->live_edges()) + ", expired=" +
+           std::to_string(wm->expired_edges()) + ", watermark=" +
+           std::to_string(wm->watermark()) +
+           ") does not match the snapshot (window config drift?)");
+      return false;
+    }
     return true;
   };
 
@@ -225,16 +253,43 @@ IngestStats IngestSession::Replay(ContinuousEngine& engine,
   const auto apply_window = [&](size_t n) {
     if (opts.window_begin) opts.window_begin(records_applied);
     WallTimer timer;
-    std::vector<UpdateResult> results = engine.ApplyBatch(window_buf.data(), n);
+    std::vector<UpdateResult> results;
+    size_t exec_n = n;
+    if (windowed) {
+      // Splice each record's due expiry deletions ahead of it, inside the
+      // same batch window (deletions are ApplyBatch barriers, so the result
+      // is byte-identical to an explicit-deletion stream at any window
+      // size). Internal deletions never absorb into the record accounting.
+      exec_buf.clear();
+      is_record.clear();
+      for (size_t i = 0; i < n; ++i) {
+        wm->Advance(window_buf[i], exec_buf);
+        is_record.resize(exec_buf.size(), 0);
+        exec_buf.push_back(window_buf[i]);
+        is_record.push_back(1);
+      }
+      exec_n = exec_buf.size();
+      results = engine.ApplyBatch(exec_buf.data(), exec_n);
+    } else {
+      results = engine.ApplyBatch(window_buf.data(), n);
+    }
     acc.stats.answer_millis += timer.ElapsedMillis();
-    for (const UpdateResult& r : results) {
+    for (size_t k = 0; k < results.size(); ++k) {
+      const UpdateResult& r = results[k];
+      if (windowed && is_record[k] == 0) {
+        // Internal expiry deletion: never triggers (deletions retract), so
+        // only its timeout flag matters for the run accounting.
+        if (r.timed_out) acc.stats.timed_out = true;
+        continue;
+      }
       const uint64_t idx = records_applied++;
       if (acc.Absorb(r)) acc.stats.timed_out = true;
       // Emission is suppressed over the fast-forward prefix; a resumed run
       // emits exactly the uninterrupted run's tail.
       if (cb && idx >= resume_offset) cb(idx, r);
     }
-    if (results.size() < n || budget.ExceededNow()) acc.stats.timed_out = true;
+    if (results.size() < exec_n || budget.ExceededNow())
+      acc.stats.timed_out = true;
     window_buf.erase(window_buf.begin(), window_buf.begin() + n);
     ++stats.windows_finalized;
 
@@ -263,6 +318,12 @@ IngestStats IngestSession::Replay(ContinuousEngine& engine,
       snap.fingerprint = engine.StateFingerprint();
       snap.satisfied.assign(acc.satisfied.begin(), acc.satisfied.end());
       std::sort(snap.satisfied.begin(), snap.satisfied.end());
+      snap.ingested_edges = wm->ingested_edges();
+      snap.expired_edges = wm->expired_edges();
+      snap.removed_edges = wm->removed_edges();
+      snap.expiry_batches = wm->expiry_batches();
+      snap.live_edges = wm->live_edges();
+      snap.watermark = wm->watermark();
       std::string werr;
       if (!WriteSnapshot(opts.snapshot_path, snap, &werr)) {
         fail("snapshot write failed: " + werr);
@@ -329,6 +390,12 @@ IngestStats IngestSession::Replay(ContinuousEngine& engine,
 
   acc.Finish(engine);
   stats.run = acc.stats;
+  stats.ingested_edges = wm->ingested_edges();
+  stats.expired_edges = wm->expired_edges();
+  stats.removed_edges = wm->removed_edges();
+  stats.expiry_batches = wm->expiry_batches();
+  stats.live_edges = wm->live_edges();
+  stats.watermark = wm->watermark();
   stats.records_decoded = decode_records;
   stats.crc_mismatches = decode_crc_mismatches;
   for (QuarantineEntry& q : decode_quarantine) AddQuarantine(stats, std::move(q));

@@ -12,6 +12,7 @@
 #include "ingest/gsb_reader.h"
 #include "ingest/ring_buffer.h"
 #include "ingest/snapshot.h"
+#include "time/window.h"
 
 namespace gstream {
 namespace ingest {
@@ -62,6 +63,20 @@ struct IngestOptions {
   /// original engine timeline (a query never sees records older than its
   /// registration, and the boundary counter/fingerprint cross-checks hold).
   std::function<void(uint64_t next_record_index)> window_begin;
+
+  /// Sliding-window expiry (src/time): each applied record is preceded by
+  /// the internal deletions its event time makes due, spliced into the same
+  /// ApplyBatch window. Internal deletions never consume record indexes —
+  /// the record accounting (applied + shed + missing == header count),
+  /// snapshot offsets, and the result callback all stay in file-record
+  /// terms; expiry flows through the `expired_*` stats instead.
+  temporal::WindowConfig window;
+
+  /// Caller-owned WindowManager to splice from instead of a fresh internal
+  /// one built from `window`. The socket server passes its own so a recovery
+  /// replay leaves the live-edge horizon in the manager the server keeps
+  /// splicing from afterwards.
+  temporal::WindowManager* window_manager = nullptr;
 };
 
 /// Everything one replay run observed, decode side and apply side.
@@ -77,6 +92,15 @@ struct IngestStats {
   RunStats run;
   uint64_t windows_finalized = 0;
   uint64_t snapshots_written = 0;
+
+  // Temporal horizon at end of replay (zero without a window config).
+  // Invariant: ingested_edges == live_edges + expired_edges + removed_edges.
+  uint64_t ingested_edges = 0;
+  uint64_t expired_edges = 0;
+  uint64_t removed_edges = 0;
+  uint64_t expiry_batches = 0;
+  uint64_t live_edges = 0;
+  uint64_t watermark = 0;
   /// Records the header promised but the engine never applied: quarantined
   /// blocks plus shed batches. applied + shed + missing == header count.
   uint64_t records_missing = 0;

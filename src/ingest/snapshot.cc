@@ -12,7 +12,10 @@ namespace ingest {
 namespace {
 
 constexpr uint8_t kSnapMagic[4] = {'G', 'S', 'N', 'P'};
-constexpr uint32_t kSnapVersion = 1;
+// v2 appends the temporal-horizon counters; v1 images still decode (the
+// temporal fields stay zero).
+constexpr uint32_t kSnapVersion = 2;
+constexpr uint32_t kSnapVersionMin = 1;
 constexpr size_t kSnapHeaderBytes = 16;  // magic + version + len + crc
 constexpr uint32_t kSnapMaxPayload = 64u << 20;
 
@@ -35,6 +38,14 @@ std::vector<uint8_t> EncodeSnapshot(const SnapshotData& snap) {
   std::vector<QueryId> qids = snap.satisfied;
   std::sort(qids.begin(), qids.end());
   for (QueryId qid : qids) PutU32(payload, qid);
+
+  // v2 temporal horizon.
+  PutU64(payload, snap.ingested_edges);
+  PutU64(payload, snap.expired_edges);
+  PutU64(payload, snap.removed_edges);
+  PutU64(payload, snap.expiry_batches);
+  PutU64(payload, snap.live_edges);
+  PutU64(payload, snap.watermark);
 
   std::vector<uint8_t> image;
   image.reserve(kSnapHeaderBytes + payload.size());
@@ -63,7 +74,7 @@ bool DecodeSnapshot(const uint8_t* data, size_t n, SnapshotData& snap,
   if (!std::equal(kSnapMagic, kSnapMagic + 4, data))
     return fail("bad magic (not a snapshot file)");
   const uint32_t version = GetU32(data + 4);
-  if (version != kSnapVersion)
+  if (version < kSnapVersionMin || version > kSnapVersion)
     return fail("unsupported version " + std::to_string(version));
   const uint32_t payload_len = GetU32(data + 8);
   const uint32_t payload_crc = GetU32(data + 12);
@@ -108,6 +119,19 @@ bool DecodeSnapshot(const uint8_t* data, size_t n, SnapshotData& snap,
   snap.satisfied.reserve(sat_count);
   for (uint32_t i = 0; i < sat_count; ++i, p += 4)
     snap.satisfied.push_back(GetU32(p));
+
+  snap.ingested_edges = snap.expired_edges = snap.removed_edges = 0;
+  snap.expiry_batches = snap.live_edges = snap.watermark = 0;
+  if (version >= 2) {
+    if (!need(48)) return fail("truncated temporal horizon");
+    snap.ingested_edges = GetU64(p);
+    snap.expired_edges = GetU64(p + 8);
+    snap.removed_edges = GetU64(p + 16);
+    snap.expiry_batches = GetU64(p + 24);
+    snap.live_edges = GetU64(p + 32);
+    snap.watermark = GetU64(p + 40);
+    p += 48;
+  }
 
   if (p != end) return fail("trailing bytes after payload");
   // Streaming journals carry record_count 0 in the header (it is written

@@ -41,6 +41,17 @@ struct SnapshotData {
   uint64_t new_embeddings = 0;
   uint64_t fingerprint = 0;             ///< Engine StateFingerprint(); 0 = none.
   std::vector<QueryId> satisfied;       ///< Distinct triggered qids, ascending.
+
+  // Temporal horizon (snapshot v2; zero for v1 images and untemporal runs).
+  // Expiry is event-time deterministic, so the WindowManager is never
+  // serialized — the fast-forward rebuilds it and these counters cross-check
+  // the rebuilt live-edge horizon exactly like the engine fingerprint.
+  uint64_t ingested_edges = 0;
+  uint64_t expired_edges = 0;
+  uint64_t removed_edges = 0;
+  uint64_t expiry_batches = 0;
+  uint64_t live_edges = 0;
+  uint64_t watermark = 0;
 };
 
 /// Serializes `snap` into the self-checksummed snapshot image (magic,

@@ -120,6 +120,15 @@ bool Journal::AppendWindow(const std::vector<std::string>& new_dict_strings,
     dict_written_ += static_cast<uint32_t>(new_dict_strings.size());
   }
   payload.clear();
+  // A window with any timestamped record journals as a kind-3 block (v2
+  // 21-byte frames); untimestamped windows keep the v1 framing, so a
+  // non-temporal server's journal bytes are unchanged.
+  bool timestamped = false;
+  for (size_t i = 0; i < n; ++i)
+    if (records[i].ts != 0) {
+      timestamped = true;
+      break;
+    }
   PutU32(payload, static_cast<uint32_t>(n));
   for (size_t i = 0; i < n; ++i) {
     const EdgeUpdate& u = records[i];
@@ -127,8 +136,11 @@ bool Journal::AppendWindow(const std::vector<std::string>& new_dict_strings,
     PutU32(payload, u.src);
     PutU32(payload, u.label);
     PutU32(payload, u.dst);
+    if (timestamped) PutU64(payload, u.ts);
   }
-  AppendGsbBlock(out, GsbBlockKind::kRecords, next_seq_++, payload);
+  AppendGsbBlock(
+      out, timestamped ? GsbBlockKind::kRecordsTs : GsbBlockKind::kRecords,
+      next_seq_++, payload);
   if (!WriteBytes(out, error)) return false;
   records_ += n;
   return true;

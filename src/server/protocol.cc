@@ -112,6 +112,8 @@ std::vector<uint8_t> EncodeHelloAck(const HelloAckMsg& m) {
   PutU64(p, m.applied_records);
   PutU64(p, m.notify_log_start);
   PutU64(p, m.producer_acked);
+  p.push_back(m.window_policy);
+  PutU64(p, m.window_width);
   return EncodeFrame(FrameType::kHelloAck, p);
 }
 
@@ -122,6 +124,8 @@ bool DecodeHelloAck(const std::vector<uint8_t>& p, HelloAckMsg& m) {
   m.applied_records = c.U64();
   m.notify_log_start = c.U64();
   m.producer_acked = c.U64();
+  m.window_policy = c.U8();
+  m.window_width = c.U64();
   return c.Done();
 }
 
@@ -148,15 +152,19 @@ bool DecodeDict(const std::vector<uint8_t>& p, DictMsg& m) {
 }
 
 std::vector<uint8_t> EncodeEdges(const EdgesMsg& m) {
+  bool timestamped = m.has_ts != 0;
+  for (const EdgeUpdate& u : m.records) timestamped = timestamped || u.ts != 0;
   std::vector<uint8_t> p;
   PutU64(p, m.base);
   PutU32(p, static_cast<uint32_t>(m.records.size()));
+  p.push_back(timestamped ? 1 : 0);
   for (const EdgeUpdate& u : m.records) {
-    // The gsb 13-byte record frame, verbatim.
+    // The gsb record frame (13-byte v1 / 21-byte timestamped), verbatim.
     p.push_back(static_cast<uint8_t>(u.op));
     PutU32(p, u.src);
     PutU32(p, u.label);
     PutU32(p, u.dst);
+    if (timestamped) PutU64(p, u.ts);
   }
   return EncodeFrame(FrameType::kEdges, p);
 }
@@ -165,8 +173,11 @@ bool DecodeEdges(const std::vector<uint8_t>& p, EdgesMsg& m) {
   Cursor c(p);
   m.base = c.U64();
   const uint32_t count = c.U32();
-  if (!c.Need(static_cast<size_t>(count) * ingest::kGsbRecordBytes))
-    return false;
+  m.has_ts = c.U8();
+  if (m.has_ts > 1) return false;
+  const size_t frame_bytes =
+      m.has_ts ? ingest::kGsbRecordTsBytes : ingest::kGsbRecordBytes;
+  if (!c.Need(static_cast<size_t>(count) * frame_bytes)) return false;
   m.records.clear();
   m.records.reserve(count);
   for (uint32_t i = 0; i < count; ++i) {
@@ -177,6 +188,7 @@ bool DecodeEdges(const std::vector<uint8_t>& p, EdgesMsg& m) {
     u.src = c.U32();
     u.label = c.U32();
     u.dst = c.U32();
+    if (m.has_ts) u.ts = c.U64();
     m.records.push_back(u);
   }
   return c.Done();

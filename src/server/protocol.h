@@ -83,6 +83,11 @@ struct HelloAckMsg {
   uint64_t applied_records = 0;    ///< Global applied-record count.
   uint64_t notify_log_start = 0;   ///< Earliest replayable notification index.
   uint64_t producer_acked = kNoOffset;  ///< This producer's acked offset.
+  /// Sliding-window advertisement (temporal::WindowPolicy numeric value +
+  /// width; 0/0 = no expiry): informational for clients, so a producer can
+  /// tell whether its edges will be expired server-side.
+  uint8_t window_policy = 0;
+  uint64_t window_width = 0;
 };
 
 struct DictMsg {
@@ -96,6 +101,11 @@ struct EdgesMsg {
   /// a gap (base > acked).
   uint64_t base = 0;
   std::vector<EdgeUpdate> records;  ///< Ids in the *client's* dict space.
+  /// Frame layout selector (mirrors gsb v2): 0 = 13-byte frames, 1 =
+  /// 21-byte timestamped frames. Encode sets it when any record carries a
+  /// nonzero `ts`, so untimestamped producers stay byte-identical on the
+  /// wire.
+  uint8_t has_ts = 0;
 };
 
 struct SubscribeMsg {

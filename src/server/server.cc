@@ -138,6 +138,7 @@ bool Server::Start(std::string* error) {
     io.overload = opts_.ingest_overload;
     io.snapshot_every_windows = opts_.snapshot_every_windows;
     io.snapshot_path = opts_.state_path;
+    io.window = opts_.window;
     const std::string verr = ingest::ValidateIngestOptions(io);
     if (!verr.empty()) return fail(verr);
   }
@@ -154,6 +155,9 @@ bool Server::Start(std::string* error) {
   engine_ = CreateEngine(opts_.engine);
   engine_->SetSharedFinalize(opts_.shared_finalize);
   engine_->SetBatchThreads(opts_.batch_threads);
+  // Created before recovery so the replay rebuilds the live-edge horizon in
+  // the exact manager live splicing continues from.
+  window_mgr_ = std::make_unique<temporal::WindowManager>(opts_.window);
 
   if (!opts_.journal_path.empty()) {
     struct stat st;
@@ -277,6 +281,11 @@ bool Server::Recover(std::string* error) {
   io.overload = ingest::OverloadPolicy::kBlock;
   io.on_corrupt = ingest::CorruptPolicy::kSkip;
   io.window_begin = register_reached;
+  // The journal holds original records only; replay re-derives every expiry
+  // deletion into the server's own manager, leaving the live-edge horizon
+  // exactly where the crashed process had it.
+  io.window = opts_.window;
+  if (opts_.window.enabled()) io.window_manager = window_mgr_.get();
   const auto cb = [this](uint64_t index, const UpdateResult& result) {
     for (QueryId qid : result.triggered) recovered_satisfied_.insert(qid);
     if (result.per_query.empty()) return;
@@ -314,6 +323,9 @@ bool Server::Recover(std::string* error) {
                         recovered_satisfied_.end());
   applied_records_.store(stats.run.updates_applied);
   windows_finalized_.store(stats.windows_finalized);
+  expired_edges_.store(window_mgr_->expired_edges());
+  expiry_batches_.store(window_mgr_->expiry_batches());
+  live_edges_.store(window_mgr_->live_edges());
 
   // Producer offsets. The journal does not attribute records to producers,
   // so the post-snapshot tail is attributable only when there was exactly
@@ -424,6 +436,9 @@ ServerStats Server::stats() const {
   s.idle_disconnects = counters_.idle_disconnects.load();
   s.slow_disconnects = counters_.slow_disconnects.load();
   s.snapshots_written = counters_.snapshots_written.load();
+  s.expired_edges = expired_edges_.load();
+  s.expiry_batches = expiry_batches_.load();
+  s.live_edges = live_edges_.load();
   return s;
 }
 
@@ -874,6 +889,8 @@ void Server::ProcessControlOps() {
         HelloAckMsg ack;
         ack.applied_records = acc_.stats.updates_applied;
         ack.notify_log_start = notify_log_start_;
+        ack.window_policy = static_cast<uint8_t>(opts_.window.policy);
+        ack.window_width = opts_.window.width;
         {
           std::lock_guard<std::mutex> lock(c.out_mu);
           if (c.producer != nullptr)
@@ -1020,8 +1037,34 @@ void Server::ApplyWindow(std::vector<EdgeUpdate>& window,
       journal_dict_synced_ += static_cast<uint32_t>(delta.size());
     }
   }
-  const std::vector<UpdateResult> results = engine_->ApplyBatch(window.data(), n);
-  for (const UpdateResult& r : results) acc_.Absorb(r);
+  if (window_mgr_->config().enabled()) {
+    // Splice each record's due expiry deletions ahead of it in the same
+    // engine window (the journal above stores original records only —
+    // expiry is event-time deterministic, so recovery re-derives it).
+    // Deletions never trigger notifications and never consume record
+    // indexes: the notification/resume index space stays in record terms.
+    exec_buf_.clear();
+    std::vector<uint8_t> is_record;
+    for (size_t i = 0; i < n; ++i) {
+      window_mgr_->Advance(window[i], exec_buf_);
+      is_record.resize(exec_buf_.size(), 0);
+      exec_buf_.push_back(window[i]);
+      is_record.push_back(1);
+    }
+    const std::vector<UpdateResult> results =
+        engine_->ApplyBatch(exec_buf_.data(), exec_buf_.size());
+    for (size_t k = 0; k < results.size(); ++k)
+      if (is_record[k] != 0) acc_.Absorb(results[k]);
+    expired_edges_.store(window_mgr_->expired_edges(),
+                         std::memory_order_relaxed);
+    expiry_batches_.store(window_mgr_->expiry_batches(),
+                          std::memory_order_relaxed);
+    live_edges_.store(window_mgr_->live_edges(), std::memory_order_relaxed);
+  } else {
+    const std::vector<UpdateResult> results =
+        engine_->ApplyBatch(window.data(), n);
+    for (const UpdateResult& r : results) acc_.Absorb(r);
+  }
   applied_records_.store(acc_.stats.updates_applied, std::memory_order_relaxed);
   windows_finalized_.fetch_add(1, std::memory_order_relaxed);
 
@@ -1071,6 +1114,12 @@ void Server::WriteSnapshotState() {
   st.snap.fingerprint = engine_->StateFingerprint();
   st.snap.satisfied.assign(acc_.satisfied.begin(), acc_.satisfied.end());
   std::sort(st.snap.satisfied.begin(), st.snap.satisfied.end());
+  st.snap.ingested_edges = window_mgr_->ingested_edges();
+  st.snap.expired_edges = window_mgr_->expired_edges();
+  st.snap.removed_edges = window_mgr_->removed_edges();
+  st.snap.expiry_batches = window_mgr_->expiry_batches();
+  st.snap.live_edges = window_mgr_->live_edges();
+  st.snap.watermark = window_mgr_->watermark();
   for (const SubSlot& slot : subs_) {
     if (!slot.active) continue;
     SubscriptionRecord rec;

@@ -21,6 +21,7 @@
 #include "server/journal.h"
 #include "server/protocol.h"
 #include "server/server_state.h"
+#include "time/window.h"
 
 namespace gstream {
 namespace server {
@@ -85,6 +86,13 @@ struct ServerOptions {
   std::string journal_path;
   std::string state_path;
   uint64_t snapshot_every_windows = 0;
+
+  /// Sliding-window expiry (src/time): the apply thread splices each
+  /// record's due internal deletions ahead of it in the same engine window.
+  /// The journal stores original records only — expiry is event-time
+  /// deterministic, so recovery replay re-derives it — and HelloAck
+  /// advertises (policy, width) to connecting clients.
+  temporal::WindowConfig window;
 };
 
 /// Monotonic counters, greppable from the CLI at exit and asserted by the
@@ -103,6 +111,9 @@ struct ServerStats {
   uint64_t idle_disconnects = 0;
   uint64_t slow_disconnects = 0;
   uint64_t snapshots_written = 0;
+  uint64_t expired_edges = 0;    ///< Internal window-expiry deletions applied.
+  uint64_t expiry_batches = 0;   ///< Advances that emitted >= 1 deletion.
+  uint64_t live_edges = 0;       ///< Current live-edge horizon.
 };
 
 /// The resilient streaming front-end (DESIGN.md §11): one engine behind a
@@ -175,6 +186,15 @@ class Server {
   ResultAccumulator acc_;
   std::unique_ptr<ingest::BoundedBatchRing> ring_;
   std::unique_ptr<Journal> journal_;
+
+  /// Apply-thread-only (recovery replay runs on the Start() thread before
+  /// the apply thread exists). Counters are mirrored into atomics for
+  /// stats() readers.
+  std::unique_ptr<temporal::WindowManager> window_mgr_;
+  std::vector<EdgeUpdate> exec_buf_;  ///< Expiry splice scratch.
+  std::atomic<uint64_t> expired_edges_{0};
+  std::atomic<uint64_t> expiry_batches_{0};
+  std::atomic<uint64_t> live_edges_{0};
 
   // Shared dictionary: every client id remaps into this interner; guarded by
   // interner_mu_ (readers intern dict frames, the apply thread parses

@@ -1,0 +1,137 @@
+#include "time/window.h"
+
+#include <algorithm>
+
+namespace gstream {
+namespace temporal {
+
+const char* WindowPolicyName(WindowPolicy policy) {
+  switch (policy) {
+    case WindowPolicy::kNone: return "none";
+    case WindowPolicy::kTime: return "time";
+    case WindowPolicy::kCount: return "count";
+    case WindowPolicy::kLabelTtl: return "label-ttl";
+  }
+  return "?";
+}
+
+bool ParseWindowPolicy(const std::string& name, WindowPolicy* out) {
+  if (name == "none") *out = WindowPolicy::kNone;
+  else if (name == "time") *out = WindowPolicy::kTime;
+  else if (name == "count") *out = WindowPolicy::kCount;
+  else if (name == "label-ttl") *out = WindowPolicy::kLabelTtl;
+  else return false;
+  return true;
+}
+
+std::string ValidateWindowConfig(const WindowConfig& config) {
+  if (!config.enabled()) {
+    if (!config.label_ttls.empty())
+      return "window: label TTLs given without a policy";
+    return "";
+  }
+  if (config.width == 0) return "window: width must be >= 1";
+  if (config.policy != WindowPolicy::kLabelTtl && !config.label_ttls.empty())
+    return "window: label TTLs only apply to the label-ttl policy";
+  for (const auto& [label, ttl] : config.label_ttls) {
+    (void)label;
+    if (ttl == 0) return "window: per-label TTL must be >= 1";
+  }
+  return "";
+}
+
+WindowManager::WindowManager(const WindowConfig& config) : config_(config) {
+  for (const auto& [label, ttl] : config_.label_ttls) label_ttl_[label] = ttl;
+}
+
+uint64_t WindowManager::TtlFor(LabelId label) const {
+  if (config_.policy == WindowPolicy::kLabelTtl) {
+    auto it = label_ttl_.find(label);
+    if (it != label_ttl_.end()) return it->second;
+  }
+  return config_.width;
+}
+
+bool WindowManager::PopStale() {
+  bool popped = false;
+  while (!heap_.empty()) {
+    const HeapEntry& top = heap_.top();
+    auto it = live_.find(top.edge);
+    if (it != live_.end() && it->second.seq == top.seq) break;
+    heap_.pop();
+    popped = true;
+  }
+  return popped;
+}
+
+void WindowManager::EmitExpiry(const HeapEntry& top,
+                               std::vector<EdgeUpdate>& out) {
+  EdgeUpdate del = top.edge;
+  del.op = UpdateOp::kDelete;
+  // Informational: the event time at which the edge left the window.
+  del.ts = config_.policy == WindowPolicy::kCount ? watermark_ : top.key;
+  out.push_back(del);
+  live_.erase(top.edge);
+  ++expired_edges_;
+}
+
+size_t WindowManager::Advance(const EdgeUpdate& u, std::vector<EdgeUpdate>& out) {
+  if (!config_.enabled()) return 0;
+  size_t emitted = 0;
+
+  if (config_.policy != WindowPolicy::kCount) {
+    // Event-time policies: the watermark only moves forward, so a straggler
+    // carrying an old `ts` still lands inside a deterministic horizon.
+    watermark_ = std::max(watermark_, u.ts);
+    PopStale();
+    while (!heap_.empty() && heap_.top().key <= watermark_) {
+      EmitExpiry(heap_.top(), out);
+      heap_.pop();
+      ++emitted;
+      PopStale();
+    }
+  }
+
+  if (u.op == UpdateOp::kAdd) {
+    auto it = live_.find(u);
+    const bool fresh = it == live_.end();
+    if (config_.policy == WindowPolicy::kCount && fresh) {
+      // FIFO eviction *before* the insert keeps the live count at `width`.
+      while (live_.size() >= config_.width) {
+        PopStale();
+        if (heap_.empty()) break;
+        EmitExpiry(heap_.top(), out);
+        heap_.pop();
+        ++emitted;
+      }
+    }
+    const uint64_t key = config_.policy == WindowPolicy::kCount
+                             ? next_seq_
+                             : u.ts + TtlFor(u.label);
+    if (fresh) {
+      live_.emplace(u, LiveEntry{key, next_seq_});
+      ++ingested_edges_;
+    } else {
+      // Re-adding a live edge refreshes its horizon (the stale heap entry is
+      // skipped lazily); the live set and `ingested` are unchanged, so the
+      // accounting invariant ingested == live + expired + removed holds.
+      it->second = LiveEntry{key, next_seq_};
+    }
+    heap_.push(HeapEntry{key, next_seq_, u});
+    ++next_seq_;
+  } else {
+    // An explicit stream delete retires the edge from the window; its heap
+    // entry goes stale and is skipped when it surfaces.
+    auto it = live_.find(u);
+    if (it != live_.end()) {
+      live_.erase(it);
+      ++removed_edges_;
+    }
+  }
+
+  if (emitted > 0) ++expiry_batches_;
+  return emitted;
+}
+
+}  // namespace temporal
+}  // namespace gstream

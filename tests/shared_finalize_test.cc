@@ -352,5 +352,56 @@ TEST(SharedFinalizeAgreement, HighOverlapWithMidStreamRemovals) {
   }
 }
 
+TEST(SharedFinalizeAgreement, ParallelSignatureBuildMatchesSingleThread) {
+  // EnsureFinalizeGroups fans the signature *encode* loop over the batch
+  // pool once the rebuild covers >= 64 queries (view_engine_base.cc's
+  // kParallelSignatureMin); the grouping itself stays sequential, so a
+  // threaded build must produce exactly the single-threaded build's groups
+  // — same group count, same pass collapse, same per-update results.
+  workload::SnbConfig config;
+  config.num_updates = 240;
+  config.seed = 29;
+  config.num_places = 8;
+  config.num_tags = 8;
+  workload::Workload w = workload::GenerateSnb(config);
+
+  workload::QueryGenConfig qcfg;
+  qcfg.num_queries = 96;  // Above the parallel-encode threshold.
+  qcfg.avg_size = 4.0;
+  qcfg.selectivity = 0.25;
+  qcfg.overlap = 0.65;
+  qcfg.seed = 2027;
+  workload::QuerySet qs = workload::GenerateQueries(w, qcfg);
+
+  for (EngineKind kind : kViewKinds) {
+    // Full three-way agreement (threaded shared vs unshared vs sequential).
+    ExpectSharedAgrees(kind, qs.queries, w.stream.updates(), /*window=*/32,
+                       /*threads=*/4, {}, "parallel-signatures");
+
+    // Grouping determinism: the pool-parallel build lands on the identical
+    // group structure and pass counts as the single-threaded build.
+    auto threaded = CreateEngine(kind);
+    auto single = CreateEngine(kind);
+    for (QueryId qid = 0; qid < qs.queries.size(); ++qid) {
+      threaded->AddQuery(qid, qs.queries[qid]);
+      single->AddQuery(qid, qs.queries[qid]);
+    }
+    threaded->SetBatchThreads(4);
+    const auto& updates = w.stream.updates();
+    constexpr size_t kWindow = 32;
+    for (size_t pos = 0; pos < updates.size(); pos += kWindow) {
+      const size_t n = std::min(kWindow, updates.size() - pos);
+      threaded->ApplyBatch(&updates[pos], n);
+      single->ApplyBatch(&updates[pos], n);
+    }
+    EXPECT_EQ(threaded->shared_finalize_groups(), single->shared_finalize_groups())
+        << threaded->name();
+    EXPECT_EQ(threaded->final_join_passes(), single->final_join_passes())
+        << threaded->name();
+    EXPECT_EQ(threaded->StateFingerprint(), single->StateFingerprint())
+        << threaded->name();
+  }
+}
+
 }  // namespace
 }  // namespace gstream

@@ -1,0 +1,358 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/interning.h"
+#include "ingest/crc32c.h"
+#include "ingest/gsb_format.h"
+#include "ingest/gsb_reader.h"
+#include "ingest/gsb_writer.h"
+#include "ingest/snapshot.h"
+#include "time/window.h"
+
+namespace gstream {
+namespace temporal {
+namespace {
+
+/// Unit suite for the temporal subsystem's building blocks: the
+/// WindowManager policies (time / count / label-TTL), the config validator,
+/// and the timestamped `.gsb` v2 + snapshot v2 encodings with their v1
+/// back-compat guarantees.
+
+EdgeUpdate Edge(uint32_t src, uint32_t label, uint32_t dst, uint64_t ts,
+                UpdateOp op = UpdateOp::kAdd) {
+  EdgeUpdate u;
+  u.src = src;
+  u.label = label;
+  u.dst = dst;
+  u.ts = ts;
+  u.op = op;
+  return u;
+}
+
+/// Feeds `u` through `wm` and returns the expiry deletions it emitted.
+std::vector<EdgeUpdate> Feed(WindowManager& wm, const EdgeUpdate& u) {
+  std::vector<EdgeUpdate> out;
+  wm.Advance(u, out);
+  return out;
+}
+
+void ExpectInvariant(const WindowManager& wm) {
+  EXPECT_EQ(wm.ingested_edges(),
+            wm.live_edges() + wm.expired_edges() + wm.removed_edges());
+}
+
+TEST(WindowConfigTest, ValidateRejectsBadShapes) {
+  WindowConfig ok;
+  EXPECT_EQ(ValidateWindowConfig(ok), "");  // disabled default is valid
+
+  WindowConfig no_width;
+  no_width.policy = WindowPolicy::kTime;
+  EXPECT_NE(ValidateWindowConfig(no_width), "");
+
+  WindowConfig stray_ttls;
+  stray_ttls.label_ttls.push_back({0, 5});
+  EXPECT_NE(ValidateWindowConfig(stray_ttls), "");
+
+  WindowConfig ttls_on_time;
+  ttls_on_time.policy = WindowPolicy::kTime;
+  ttls_on_time.width = 10;
+  ttls_on_time.label_ttls.push_back({0, 5});
+  EXPECT_NE(ValidateWindowConfig(ttls_on_time), "");
+
+  WindowConfig zero_ttl;
+  zero_ttl.policy = WindowPolicy::kLabelTtl;
+  zero_ttl.width = 10;
+  zero_ttl.label_ttls.push_back({0, 0});
+  EXPECT_NE(ValidateWindowConfig(zero_ttl), "");
+
+  WindowConfig label_ttl;
+  label_ttl.policy = WindowPolicy::kLabelTtl;
+  label_ttl.width = 10;
+  label_ttl.label_ttls.push_back({0, 5});
+  EXPECT_EQ(ValidateWindowConfig(label_ttl), "");
+}
+
+TEST(WindowConfigTest, ParsePolicyNamesRoundTrip) {
+  for (WindowPolicy p : {WindowPolicy::kNone, WindowPolicy::kTime,
+                         WindowPolicy::kCount, WindowPolicy::kLabelTtl}) {
+    WindowPolicy parsed = WindowPolicy::kNone;
+    ASSERT_TRUE(ParseWindowPolicy(WindowPolicyName(p), &parsed));
+    EXPECT_EQ(parsed, p);
+  }
+  WindowPolicy out;
+  EXPECT_FALSE(ParseWindowPolicy("bogus", &out));
+}
+
+TEST(WindowManagerTest, DisabledPolicyIsPassThrough) {
+  WindowManager wm(WindowConfig{});
+  EXPECT_TRUE(Feed(wm, Edge(1, 0, 2, 100)).empty());
+  EXPECT_EQ(wm.ingested_edges(), 0u);
+  EXPECT_EQ(wm.live_edges(), 0u);
+}
+
+TEST(WindowManagerTest, TimeWindowExpiresAtWatermark) {
+  WindowConfig cfg;
+  cfg.policy = WindowPolicy::kTime;
+  cfg.width = 10;
+  WindowManager wm(cfg);
+
+  EXPECT_TRUE(Feed(wm, Edge(1, 0, 2, 0)).empty());
+  EXPECT_TRUE(Feed(wm, Edge(2, 0, 3, 5)).empty());
+  EXPECT_EQ(wm.live_edges(), 2u);
+
+  // Watermark 10 reaches edge@0's expiry (0 + 10); edge@5 survives.
+  std::vector<EdgeUpdate> dels = Feed(wm, Edge(3, 0, 4, 10));
+  ASSERT_EQ(dels.size(), 1u);
+  EXPECT_EQ(dels[0].src, 1u);
+  EXPECT_EQ(dels[0].op, UpdateOp::kDelete);
+  EXPECT_EQ(dels[0].ts, 10u);  // the event time it left the window
+  EXPECT_EQ(wm.live_edges(), 2u);
+  EXPECT_EQ(wm.expired_edges(), 1u);
+  EXPECT_EQ(wm.expiry_batches(), 1u);
+  ExpectInvariant(wm);
+
+  // A far jump expires everything still live, oldest first.
+  dels = Feed(wm, Edge(4, 0, 5, 1000));
+  ASSERT_EQ(dels.size(), 2u);
+  EXPECT_EQ(dels[0].src, 2u);
+  EXPECT_EQ(dels[1].src, 3u);
+  EXPECT_EQ(wm.expiry_batches(), 2u);
+  ExpectInvariant(wm);
+}
+
+TEST(WindowManagerTest, WatermarkIsMonotonicUnderStragglers) {
+  WindowConfig cfg;
+  cfg.policy = WindowPolicy::kTime;
+  cfg.width = 10;
+  WindowManager wm(cfg);
+
+  Feed(wm, Edge(1, 0, 2, 100));
+  // A straggler with an old timestamp neither rewinds the watermark nor
+  // gets grandfathered: its expiry (5 + 10 < 100) is already due at the
+  // *next* advance.
+  EXPECT_TRUE(Feed(wm, Edge(2, 0, 3, 5)).empty());
+  EXPECT_EQ(wm.watermark(), 100u);
+  std::vector<EdgeUpdate> dels = Feed(wm, Edge(3, 0, 4, 101));
+  ASSERT_EQ(dels.size(), 1u);
+  EXPECT_EQ(dels[0].src, 2u);
+  ExpectInvariant(wm);
+}
+
+TEST(WindowManagerTest, ReAddRefreshesTheHorizon) {
+  WindowConfig cfg;
+  cfg.policy = WindowPolicy::kTime;
+  cfg.width = 10;
+  WindowManager wm(cfg);
+
+  Feed(wm, Edge(1, 0, 2, 0));
+  // Same edge key re-added later: one live edge, horizon moves to 5 + 10.
+  EXPECT_TRUE(Feed(wm, Edge(1, 0, 2, 5)).empty());
+  EXPECT_EQ(wm.live_edges(), 1u);
+  EXPECT_EQ(wm.ingested_edges(), 1u);
+
+  // Watermark 12 passes the original expiry (10) but not the refreshed one.
+  EXPECT_TRUE(Feed(wm, Edge(5, 0, 6, 12)).empty());
+  std::vector<EdgeUpdate> dels = Feed(wm, Edge(6, 0, 7, 15));
+  ASSERT_EQ(dels.size(), 1u);
+  EXPECT_EQ(dels[0].src, 1u);
+  ExpectInvariant(wm);
+}
+
+TEST(WindowManagerTest, ExplicitDeleteRetiresWithoutExpiry) {
+  WindowConfig cfg;
+  cfg.policy = WindowPolicy::kTime;
+  cfg.width = 10;
+  WindowManager wm(cfg);
+
+  Feed(wm, Edge(1, 0, 2, 0));
+  Feed(wm, Edge(1, 0, 2, 3, UpdateOp::kDelete));
+  EXPECT_EQ(wm.live_edges(), 0u);
+  EXPECT_EQ(wm.removed_edges(), 1u);
+  // Its stale heap entry must not surface as a duplicate delete later.
+  EXPECT_TRUE(Feed(wm, Edge(3, 0, 4, 1000)).empty());
+  EXPECT_EQ(wm.expired_edges(), 0u);
+  ExpectInvariant(wm);
+}
+
+TEST(WindowManagerTest, CountWindowEvictsFifo) {
+  WindowConfig cfg;
+  cfg.policy = WindowPolicy::kCount;
+  cfg.width = 2;
+  WindowManager wm(cfg);
+
+  EXPECT_TRUE(Feed(wm, Edge(1, 0, 2, 0)).empty());
+  EXPECT_TRUE(Feed(wm, Edge(2, 0, 3, 0)).empty());
+  std::vector<EdgeUpdate> dels = Feed(wm, Edge(3, 0, 4, 0));
+  ASSERT_EQ(dels.size(), 1u);
+  EXPECT_EQ(dels[0].src, 1u);  // oldest out
+  EXPECT_EQ(wm.live_edges(), 2u);
+
+  // Re-adding a live edge refreshes its position instead of evicting.
+  EXPECT_TRUE(Feed(wm, Edge(2, 0, 3, 0)).empty());
+  dels = Feed(wm, Edge(4, 0, 5, 0));
+  ASSERT_EQ(dels.size(), 1u);
+  EXPECT_EQ(dels[0].src, 3u);  // 3 is now older than the refreshed 2
+  ExpectInvariant(wm);
+}
+
+TEST(WindowManagerTest, LabelTtlUsesOverridesAndDefault) {
+  WindowConfig cfg;
+  cfg.policy = WindowPolicy::kLabelTtl;
+  cfg.width = 100;                  // default TTL
+  cfg.label_ttls.push_back({7, 5});  // label 7 expires fast
+  WindowManager wm(cfg);
+
+  Feed(wm, Edge(1, 7, 2, 0));
+  Feed(wm, Edge(3, 9, 4, 0));
+  std::vector<EdgeUpdate> dels = Feed(wm, Edge(5, 9, 6, 50));
+  ASSERT_EQ(dels.size(), 1u);
+  EXPECT_EQ(dels[0].label, 7u);
+  dels = Feed(wm, Edge(7, 9, 8, 200));
+  EXPECT_EQ(dels.size(), 2u);
+  ExpectInvariant(wm);
+}
+
+// ---- `.gsb` v2: the optional per-record timestamp column ----
+
+std::vector<EdgeUpdate> SampleStream(bool timestamped) {
+  std::vector<EdgeUpdate> updates;
+  for (uint32_t i = 0; i < 50; ++i) {
+    EdgeUpdate u = Edge(i % 7, i % 3, (i + 1) % 7, timestamped ? 1000 + i : 0,
+                        i % 11 == 10 ? UpdateOp::kDelete : UpdateOp::kAdd);
+    updates.push_back(u);
+  }
+  return updates;
+}
+
+StringInterner SampleDict() {
+  StringInterner interner;
+  for (const char* s : {"a", "b", "c", "d", "e", "f", "g"}) interner.Intern(s);
+  return interner;
+}
+
+TEST(GsbTimestampTest, TimestampedRoundTripPreservesTs) {
+  StringInterner interner = SampleDict();
+  const std::vector<EdgeUpdate> updates = SampleStream(/*timestamped=*/true);
+  ingest::GsbWriterOptions wopts;
+  wopts.records_per_block = 16;  // multiple kRecordsTs blocks
+  const std::vector<uint8_t> image = ingest::EncodeGsb(interner, updates, wopts);
+
+  ingest::MemorySource src(image);
+  ingest::GsbReader reader(src);
+  ASSERT_TRUE(reader.Open()) << reader.error();
+  EXPECT_EQ(reader.header().version, ingest::kGsbVersionTs);
+  EXPECT_NE(reader.header().flags & ingest::kGsbFlagTimestamps, 0u);
+
+  std::vector<ingest::GsbBlockRef> blocks;
+  ASSERT_TRUE(reader.ScanBlocks(ingest::CorruptPolicy::kFail, blocks));
+  std::vector<EdgeUpdate> decoded;
+  for (const ingest::GsbBlockRef& b : blocks) {
+    if (b.kind != ingest::GsbBlockKind::kRecordsTs) continue;
+    std::string reason;
+    ASSERT_EQ(reader.DecodeRecords(b, decoded, &reason),
+              ingest::DecodeStatus::kOk)
+        << reason;
+  }
+  ASSERT_EQ(decoded.size(), updates.size());
+  for (size_t i = 0; i < updates.size(); ++i) {
+    EXPECT_EQ(decoded[i].ts, updates[i].ts) << i;
+    EXPECT_EQ(decoded[i].src, updates[i].src) << i;
+    EXPECT_EQ(decoded[i].op, updates[i].op) << i;
+  }
+}
+
+TEST(GsbTimestampTest, UntimestampedStreamStaysByteIdenticalV1) {
+  // An all-zero timestamp column must not change the file format at all:
+  // v2 is strictly opt-in, so untouched producers keep bit-stable outputs.
+  StringInterner interner = SampleDict();
+  const std::vector<EdgeUpdate> updates = SampleStream(/*timestamped=*/false);
+  const std::vector<uint8_t> image = ingest::EncodeGsb(interner, updates, {});
+
+  ingest::MemorySource src(image);
+  ingest::GsbReader reader(src);
+  ASSERT_TRUE(reader.Open()) << reader.error();
+  EXPECT_EQ(reader.header().version, ingest::kGsbVersion);
+  EXPECT_EQ(reader.header().flags & ingest::kGsbFlagTimestamps, 0u);
+
+  std::vector<ingest::GsbBlockRef> blocks;
+  ASSERT_TRUE(reader.ScanBlocks(ingest::CorruptPolicy::kFail, blocks));
+  for (const ingest::GsbBlockRef& b : blocks)
+    EXPECT_NE(b.kind, ingest::GsbBlockKind::kRecordsTs);
+}
+
+// ---- snapshot v2: the temporal-horizon counters ----
+
+ingest::SnapshotData SampleSnapshot() {
+  ingest::SnapshotData snap;
+  snap.stream.header_crc = 0xabcd1234;
+  snap.stream.dict_count = 7;
+  snap.stream.record_count = 50;
+  snap.engine_name = "tric+";
+  snap.record_offset = 25;
+  snap.windows_finalized = 5;
+  snap.updates_applied = 31;
+  snap.new_embeddings = 12;
+  snap.fingerprint = 0xfeedface;
+  snap.satisfied = {3, 1};
+  snap.ingested_edges = 25;
+  snap.expired_edges = 6;
+  snap.removed_edges = 2;
+  snap.expiry_batches = 4;
+  snap.live_edges = 17;
+  snap.watermark = 1024;
+  return snap;
+}
+
+TEST(SnapshotTemporalTest, V2RoundTripCarriesTheHorizon) {
+  const ingest::SnapshotData snap = SampleSnapshot();
+  const std::vector<uint8_t> image = ingest::EncodeSnapshot(snap);
+
+  ingest::SnapshotData decoded;
+  std::string err;
+  ASSERT_TRUE(ingest::DecodeSnapshot(image.data(), image.size(), decoded, &err))
+      << err;
+  EXPECT_EQ(decoded.ingested_edges, snap.ingested_edges);
+  EXPECT_EQ(decoded.expired_edges, snap.expired_edges);
+  EXPECT_EQ(decoded.removed_edges, snap.removed_edges);
+  EXPECT_EQ(decoded.expiry_batches, snap.expiry_batches);
+  EXPECT_EQ(decoded.live_edges, snap.live_edges);
+  EXPECT_EQ(decoded.watermark, snap.watermark);
+  EXPECT_EQ(decoded.record_offset, snap.record_offset);
+  EXPECT_EQ(decoded.fingerprint, snap.fingerprint);
+}
+
+TEST(SnapshotTemporalTest, V1ImagesStillDecodeWithZeroHorizon) {
+  // Reconstruct the v1 layout from a v2 image: strip the trailing 48-byte
+  // horizon, stamp version 1, and re-derive length + CRC. A pre-upgrade
+  // snapshot must keep decoding (recovery across the version bump).
+  std::vector<uint8_t> image = ingest::EncodeSnapshot(SampleSnapshot());
+  constexpr size_t kHeader = 16, kHorizon = 48;
+  ASSERT_GT(image.size(), kHeader + kHorizon);
+  image.resize(image.size() - kHorizon);
+  const uint32_t payload_len = static_cast<uint32_t>(image.size() - kHeader);
+  image[4] = 1;  // version (little-endian u32; high bytes already 0)
+  image[8] = static_cast<uint8_t>(payload_len);
+  image[9] = static_cast<uint8_t>(payload_len >> 8);
+  image[10] = static_cast<uint8_t>(payload_len >> 16);
+  image[11] = static_cast<uint8_t>(payload_len >> 24);
+  const uint32_t crc = ingest::Crc32c(image.data() + kHeader, payload_len);
+  image[12] = static_cast<uint8_t>(crc);
+  image[13] = static_cast<uint8_t>(crc >> 8);
+  image[14] = static_cast<uint8_t>(crc >> 16);
+  image[15] = static_cast<uint8_t>(crc >> 24);
+
+  ingest::SnapshotData decoded;
+  std::string err;
+  ASSERT_TRUE(ingest::DecodeSnapshot(image.data(), image.size(), decoded, &err))
+      << err;
+  EXPECT_EQ(decoded.record_offset, 25u);
+  EXPECT_EQ(decoded.ingested_edges, 0u);
+  EXPECT_EQ(decoded.live_edges, 0u);
+  EXPECT_EQ(decoded.watermark, 0u);
+}
+
+}  // namespace
+}  // namespace temporal
+}  // namespace gstream

@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/driver.h"
+#include "engine/engine.h"
+#include "time/window.h"
+#include "time/windowed_stream.h"
+#include "workload/query_gen.h"
+#include "workload/snb.h"
+
+namespace gstream {
+namespace temporal {
+namespace {
+
+/// The central equality of the temporal subsystem (DESIGN.md §13): running a
+/// stream under a sliding-window policy must be *observationally identical*
+/// to running the equivalent stream with every expiry written out as an
+/// explicit deletion (and every query TTL as an explicit removal) — for
+/// every view engine, per-update batch or windowed batch, with or without
+/// shard threads. Expiry adds no new engine semantics, only stream rewriting.
+
+struct Emission {
+  uint64_t index;
+  UpdateResult result;
+};
+
+bool operator==(const Emission& a, const Emission& b) {
+  return a.index == b.index && a.result.changed == b.result.changed &&
+         a.result.triggered == b.result.triggered &&
+         a.result.per_query == b.result.per_query;
+}
+
+std::vector<EngineKind> ViewEngineKinds() {
+  std::vector<EngineKind> kinds;
+  for (EngineKind kind : PaperEngineKinds())
+    if (kind != EngineKind::kGraphDb) kinds.push_back(kind);
+  return kinds;
+}
+
+class WindowedOracleTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    workload::SnbConfig cfg;
+    cfg.num_updates = 1200;
+    cfg.seed = 17;
+    cfg.num_places = 10;
+    cfg.num_tags = 10;
+    w_ = new workload::Workload(workload::GenerateSnb(cfg));
+
+    workload::QueryGenConfig qcfg;
+    qcfg.num_queries = 8;
+    qcfg.avg_size = 4.0;
+    qcfg.selectivity = 0.5;
+    qcfg.overlap = 0.5;
+    qcfg.seed = 5;
+    queries_ = new std::vector<QueryPattern>(
+        workload::GenerateQueries(*w_, qcfg).queries);
+
+    // Synthetic event time: ~20 records per tick with occasional jumps, so
+    // windows expire in batches mid-stream (not only at the tail).
+    events_ = new std::vector<StreamEvent>();
+    for (size_t i = 0; i < w_->stream.size(); ++i) {
+      EdgeUpdate u = w_->stream[i];
+      u.ts = (i / 20) * 10 + (i % 20 == 19 ? 25 : 0);
+      events_->push_back(StreamEvent::Update(u));
+    }
+  }
+
+  static void TearDownTestSuite() {
+    delete w_;
+    delete queries_;
+    delete events_;
+    w_ = nullptr;
+    queries_ = nullptr;
+    events_ = nullptr;
+  }
+
+  static std::unique_ptr<ContinuousEngine> MakeEngine(EngineKind kind) {
+    auto engine = CreateEngine(kind);
+    for (QueryId qid = 0; qid < queries_->size(); ++qid)
+      engine->AddQuery(qid, (*queries_)[qid]);
+    return engine;
+  }
+
+  /// Runs `events` windowed under (`window`, `config`) and captures the full
+  /// emission sequence plus the final fingerprint.
+  struct Captured {
+    WindowedRunStats stats;
+    std::vector<Emission> emissions;
+    uint64_t fingerprint = 0;
+  };
+  static Captured Run(EngineKind kind, const std::vector<StreamEvent>& events,
+                      const WindowConfig& window, size_t batch, int threads) {
+    Captured out;
+    auto engine = MakeEngine(kind);
+    RunConfig config;
+    config.batch_window = batch;
+    config.batch_threads = threads;
+    out.stats = RunWindowedStream(
+        *engine, events, window, config,
+        [&](uint64_t idx, const UpdateResult& r) {
+          out.emissions.push_back({idx, r});
+        });
+    out.fingerprint = engine->StateFingerprint();
+    return out;
+  }
+
+  static void ExpectRunsEqual(const Captured& a, const Captured& b,
+                              const std::string& label) {
+    EXPECT_EQ(a.fingerprint, b.fingerprint) << label;
+    EXPECT_EQ(a.stats.mixed.updates_applied, b.stats.mixed.updates_applied)
+        << label;
+    EXPECT_EQ(a.stats.mixed.new_embeddings, b.stats.mixed.new_embeddings)
+        << label;
+    ASSERT_EQ(a.emissions.size(), b.emissions.size()) << label;
+    for (size_t i = 0; i < a.emissions.size(); ++i)
+      ASSERT_TRUE(a.emissions[i] == b.emissions[i])
+          << label << ": emission " << i << " (record " << a.emissions[i].index
+          << ") diverged";
+  }
+
+  static workload::Workload* w_;
+  static std::vector<QueryPattern>* queries_;
+  static std::vector<StreamEvent>* events_;
+};
+
+workload::Workload* WindowedOracleTest::w_ = nullptr;
+std::vector<QueryPattern>* WindowedOracleTest::queries_ = nullptr;
+std::vector<StreamEvent>* WindowedOracleTest::events_ = nullptr;
+
+WindowConfig TimeWindow(uint64_t width) {
+  WindowConfig cfg;
+  cfg.policy = WindowPolicy::kTime;
+  cfg.width = width;
+  return cfg;
+}
+
+TEST_F(WindowedOracleTest, OracleExpansionIsDeterministicAndAccounted) {
+  const ExpiryOracle oracle = MaterializeExpiryOracle(*events_, TimeWindow(100));
+  ASSERT_GT(oracle.expired_edges, 0u) << "window too wide to exercise expiry";
+  EXPECT_EQ(oracle.events.size(), oracle.synthetic.size());
+  EXPECT_EQ(oracle.events.size(), events_->size() + oracle.expired_edges);
+  EXPECT_EQ(oracle.ingested_edges,
+            oracle.live_edges + oracle.expired_edges + oracle.removed_edges);
+
+  size_t synthetic = 0;
+  for (size_t i = 0; i < oracle.events.size(); ++i) {
+    if (!oracle.synthetic[i]) continue;
+    ++synthetic;
+    ASSERT_EQ(oracle.events[i].kind, StreamEvent::Kind::kUpdate);
+    EXPECT_EQ(oracle.events[i].update.op, UpdateOp::kDelete);
+  }
+  EXPECT_EQ(synthetic, oracle.expired_edges);
+
+  // Purity: materializing twice yields the same expansion.
+  const ExpiryOracle again = MaterializeExpiryOracle(*events_, TimeWindow(100));
+  ASSERT_EQ(again.events.size(), oracle.events.size());
+  for (size_t i = 0; i < oracle.events.size(); ++i)
+    ASSERT_TRUE(oracle.events[i].update == again.events[i].update) << i;
+}
+
+TEST_F(WindowedOracleTest, WindowedRunEqualsExplicitDeletionsForEveryEngine) {
+  const WindowConfig window = TimeWindow(100);
+  const ExpiryOracle oracle = MaterializeExpiryOracle(*events_, window);
+  ASSERT_GT(oracle.expired_edges, 0u);
+
+  for (EngineKind kind : ViewEngineKinds()) {
+    const std::string name = EngineKindName(kind);
+    // The oracle side: the pre-expanded stream under NO window policy — an
+    // ordinary mixed run whose deletions happen to be written out.
+    const Captured explicit_dels =
+        Run(kind, oracle.events, WindowConfig{}, /*batch=*/1, /*threads=*/1);
+    // The windowed side, per-update and batched (with shard threads).
+    for (const auto& [batch, threads] :
+         std::vector<std::pair<size_t, int>>{{1, 1}, {7, 1}, {64, 4}}) {
+      const Captured windowed = Run(kind, *events_, window, batch, threads);
+      EXPECT_EQ(windowed.stats.expired_edges, oracle.expired_edges) << name;
+      EXPECT_EQ(windowed.stats.live_edges, oracle.live_edges) << name;
+      EXPECT_EQ(windowed.stats.ingested_edges,
+                windowed.stats.live_edges + windowed.stats.expired_edges +
+                    windowed.stats.removed_edges)
+          << name;
+      ExpectRunsEqual(explicit_dels, windowed,
+                      name + " batch=" + std::to_string(batch) +
+                          " threads=" + std::to_string(threads));
+    }
+  }
+}
+
+TEST_F(WindowedOracleTest, CountWindowAgreesToo) {
+  WindowConfig window;
+  window.policy = WindowPolicy::kCount;
+  window.width = 200;
+  const ExpiryOracle oracle = MaterializeExpiryOracle(*events_, window);
+  ASSERT_GT(oracle.expired_edges, 0u);
+  EXPECT_LE(oracle.live_edges, window.width);
+
+  for (EngineKind kind : {EngineKind::kTricPlus, EngineKind::kInvPlus,
+                          EngineKind::kIncPlus}) {
+    const std::string name = EngineKindName(kind);
+    const Captured explicit_dels =
+        Run(kind, oracle.events, WindowConfig{}, 1, 1);
+    const Captured windowed = Run(kind, *events_, window, 32, 2);
+    ExpectRunsEqual(explicit_dels, windowed, name + " count-window");
+  }
+}
+
+TEST_F(WindowedOracleTest, TtlQueriesExpireAndMatchExplicitRemovals) {
+  // A TTL'd query registered mid-stream: the windowed runner must remove it
+  // exactly when the watermark passes registration + ttl, matching a stream
+  // with the removal written out at that position.
+  std::vector<StreamEvent> events = *events_;
+  const QueryId ttl_qid = static_cast<QueryId>(queries_->size());
+  StreamEvent add = StreamEvent::Add(ttl_qid, (*queries_)[0], /*ttl=*/150);
+  events.insert(events.begin() + 100, add);
+
+  const WindowConfig window = TimeWindow(100);
+  const ExpiryOracle oracle = MaterializeExpiryOracle(events, window);
+  EXPECT_EQ(oracle.expired_queries, 1u);
+
+  // The expansion holds exactly one synthetic removal of that query.
+  size_t removals = 0;
+  for (size_t i = 0; i < oracle.events.size(); ++i)
+    if (oracle.synthetic[i] &&
+        oracle.events[i].kind == StreamEvent::Kind::kRemoveQuery) {
+      ++removals;
+      EXPECT_EQ(oracle.events[i].qid, ttl_qid);
+    }
+  EXPECT_EQ(removals, 1u);
+
+  for (EngineKind kind : {EngineKind::kTricPlus, EngineKind::kInv}) {
+    const std::string name = EngineKindName(kind);
+    const Captured explicit_rm = Run(kind, oracle.events, WindowConfig{}, 1, 1);
+    const Captured windowed = Run(kind, events, window, 16, 1);
+    EXPECT_EQ(windowed.stats.expired_queries, 1u) << name;
+    EXPECT_EQ(windowed.stats.mixed.queries_removed, 1u) << name;
+    ExpectRunsEqual(explicit_rm, windowed, name + " ttl-query");
+  }
+
+  // An immortal registration (ttl 0) is never auto-removed.
+  std::vector<StreamEvent> immortal = *events_;
+  immortal.insert(immortal.begin() + 100,
+                  StreamEvent::Add(ttl_qid, (*queries_)[0]));
+  const ExpiryOracle none = MaterializeExpiryOracle(immortal, window);
+  EXPECT_EQ(none.expired_queries, 0u);
+}
+
+TEST_F(WindowedOracleTest, NoPolicyOnPlainStreamIsIdentity) {
+  const ExpiryOracle oracle = MaterializeExpiryOracle(*events_, WindowConfig{});
+  EXPECT_EQ(oracle.events.size(), events_->size());
+  EXPECT_EQ(oracle.expired_edges, 0u);
+  EXPECT_EQ(oracle.ingested_edges, 0u);  // pass-through tracks nothing
+  for (uint8_t s : oracle.synthetic) EXPECT_EQ(s, 0);
+}
+
+}  // namespace
+}  // namespace temporal
+}  // namespace gstream

@@ -1,0 +1,308 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "ingest/gsb_writer.h"
+#include "ingest/pipeline.h"
+#include "ingest/snapshot.h"
+#include "time/window.h"
+#include "time/windowed_stream.h"
+#include "workload/query_gen.h"
+#include "workload/snb.h"
+
+namespace gstream {
+namespace ingest {
+namespace {
+
+/// Crash consistency *with a live window* (DESIGN.md §13): expiry is
+/// event-time deterministic, so a snapshot never serializes the
+/// WindowManager — recovery fast-forwards the timestamped prefix, which
+/// re-derives the exact live-edge horizon, and the v2 snapshot's temporal
+/// counters cross-check that rebuild the same way the engine fingerprint
+/// cross-checks the view state. The suite kills a windowed replay
+/// mid-stream (edges expiring before AND after the crash point), resumes
+/// into a fresh engine, and requires byte-identical tail emissions plus
+/// identical final temporal accounting — for every view engine. It also
+/// pins the windowed file replay to the in-memory windowed driver.
+
+constexpr size_t kWindow = 25;
+constexpr uint64_t kKillIndex = 800;   // Simulated crash point (record index).
+constexpr uint64_t kWindowWidth = 120; // Event-time width; ~24 records/tick
+                                       // step below ⇒ expiry well before kill.
+
+bool ReadFileBytes(const std::string& path, std::vector<uint8_t>& out) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  out.clear();
+  uint8_t buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+    out.insert(out.end(), buf, buf + n);
+  std::fclose(f);
+  return true;
+}
+
+bool WriteFileBytes(const std::string& path, const std::vector<uint8_t>& bytes) {
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok =
+      bytes.empty() || std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+struct Emission {
+  uint64_t index;
+  UpdateResult result;
+};
+
+bool operator==(const Emission& a, const Emission& b) {
+  return a.index == b.index && a.result.changed == b.result.changed &&
+         a.result.triggered == b.result.triggered &&
+         a.result.per_query == b.result.per_query;
+}
+
+temporal::WindowConfig TimeWindow() {
+  temporal::WindowConfig cfg;
+  cfg.policy = temporal::WindowPolicy::kTime;
+  cfg.width = kWindowWidth;
+  return cfg;
+}
+
+class WindowedRecoveryTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    workload::SnbConfig cfg;
+    cfg.num_updates = 1500;
+    cfg.seed = 21;
+    cfg.num_places = 10;
+    cfg.num_tags = 10;
+    w_ = new workload::Workload(workload::GenerateSnb(cfg));
+
+    workload::QueryGenConfig qcfg;
+    qcfg.num_queries = 8;
+    qcfg.avg_size = 4.0;
+    qcfg.selectivity = 0.5;
+    qcfg.overlap = 0.5;
+    qcfg.seed = 7;
+    queries_ = new std::vector<QueryPattern>(
+        workload::GenerateQueries(*w_, qcfg).queries);
+
+    // Timestamped stream: ~12 records per tick of 5 units, with a straggler
+    // every 40th record (ts jumps back within the watermark) so recovery
+    // re-derives a horizon shaped by real out-of-order arrival.
+    stamped_ = new std::vector<EdgeUpdate>(w_->stream.updates());
+    for (size_t i = 0; i < stamped_->size(); ++i) {
+      uint64_t ts = (i / 12) * 5;
+      if (i % 40 == 39 && ts >= 10) ts -= 10;
+      (*stamped_)[i].ts = ts;
+    }
+    image_ = new std::vector<uint8_t>(EncodeGsb(*w_->interner, *stamped_, {}));
+  }
+
+  static void TearDownTestSuite() {
+    delete w_;
+    delete queries_;
+    delete stamped_;
+    delete image_;
+    w_ = nullptr;
+    queries_ = nullptr;
+    stamped_ = nullptr;
+    image_ = nullptr;
+  }
+
+  static std::unique_ptr<ContinuousEngine> MakeEngine(EngineKind kind) {
+    auto engine = CreateEngine(kind);
+    for (QueryId qid = 0; qid < queries_->size(); ++qid)
+      engine->AddQuery(qid, (*queries_)[qid]);
+    return engine;
+  }
+
+  static IngestOptions WindowedOpts() {
+    IngestOptions opts;
+    opts.batch_window = kWindow;
+    opts.reader_threads = 2;
+    opts.ring_capacity = 4;
+    opts.window = TimeWindow();
+    return opts;
+  }
+
+  struct FullRun {
+    IngestStats stats;
+    std::vector<Emission> emissions;
+    std::vector<uint8_t> killed_snapshot;  ///< Bytes grabbed at the crash.
+  };
+
+  // Uninterrupted windowed run with snapshot cadence; grabs the snapshot
+  // file's bytes the moment the emission index crosses kKillIndex.
+  static FullRun RunFull(EngineKind kind, const std::string& snapshot_path) {
+    FullRun out;
+    MemorySource src(*image_);
+    IngestSession session;
+    EXPECT_TRUE(session.Open(src, CorruptPolicy::kFail)) << session.error();
+    auto engine = MakeEngine(kind);
+    IngestOptions opts = WindowedOpts();
+    opts.snapshot_every_windows = 2;
+    opts.snapshot_path = snapshot_path;
+    out.stats = session.Replay(
+        *engine, opts, [&](uint64_t idx, const UpdateResult& r) {
+          out.emissions.push_back({idx, r});
+          if (idx >= kKillIndex && out.killed_snapshot.empty())
+            ReadFileBytes(snapshot_path, out.killed_snapshot);
+        });
+    return out;
+  }
+
+  static workload::Workload* w_;
+  static std::vector<QueryPattern>* queries_;
+  static std::vector<EdgeUpdate>* stamped_;
+  static std::vector<uint8_t>* image_;
+};
+
+workload::Workload* WindowedRecoveryTest::w_ = nullptr;
+std::vector<QueryPattern>* WindowedRecoveryTest::queries_ = nullptr;
+std::vector<EdgeUpdate>* WindowedRecoveryTest::stamped_ = nullptr;
+std::vector<uint8_t>* WindowedRecoveryTest::image_ = nullptr;
+
+TEST_F(WindowedRecoveryTest, KillAndResumeWithLiveWindowIsExact) {
+  for (EngineKind kind : PaperEngineKinds()) {
+    if (kind == EngineKind::kGraphDb) continue;  // No snapshot fingerprint.
+    const std::string name = EngineKindName(kind);
+    const std::string snap_path =
+        testing::TempDir() + "/wrecovery_" + name + ".snap";
+    const std::string killed_path =
+        testing::TempDir() + "/wrecovery_" + name + "_killed.snap";
+
+    FullRun full = RunFull(kind, snap_path);
+    ASSERT_FALSE(full.stats.failed) << name << ": " << full.stats.error;
+    // Record accounting stays in file terms: internal expiry deletions never
+    // consume record indexes (pipeline contract).
+    ASSERT_EQ(full.stats.run.updates_applied, stamped_->size()) << name;
+    ASSERT_GT(full.stats.expired_edges, 0u)
+        << name << ": window too wide — nothing expired, test is vacuous";
+    ASSERT_EQ(full.stats.ingested_edges,
+              full.stats.live_edges + full.stats.expired_edges +
+                  full.stats.removed_edges)
+        << name;
+    ASSERT_GT(full.stats.snapshots_written, 0u) << name;
+    ASSERT_FALSE(full.killed_snapshot.empty()) << name;
+    ASSERT_TRUE(WriteFileBytes(killed_path, full.killed_snapshot)) << name;
+
+    SnapshotData snap;
+    std::string error;
+    ASSERT_TRUE(ReadSnapshot(killed_path, snap, &error)) << name << ": " << error;
+    EXPECT_EQ(snap.engine_name, name);
+    EXPECT_EQ(snap.record_offset % kWindow, 0u) << name;
+    // The crash point sits mid-window: edges had already expired (the v2
+    // horizon is non-trivial) AND more expire after the boundary.
+    EXPECT_GT(snap.expired_edges, 0u) << name;
+    EXPECT_LT(snap.expired_edges, full.stats.expired_edges) << name;
+    EXPECT_GT(snap.live_edges, 0u) << name;
+    EXPECT_EQ(snap.ingested_edges,
+              snap.live_edges + snap.expired_edges + snap.removed_edges)
+        << name;
+    EXPECT_GT(snap.watermark, 0u) << name;
+
+    // Recover into a FRESH engine with the same queries and window config.
+    MemorySource src(*image_);
+    IngestSession session;
+    ASSERT_TRUE(session.Open(src, CorruptPolicy::kFail)) << session.error();
+    std::vector<Emission> tail;
+    auto resumed = MakeEngine(kind);
+    IngestStats stats = ResumeReplay(
+        *resumed, session, snap, WindowedOpts(),
+        [&](uint64_t idx, const UpdateResult& r) { tail.push_back({idx, r}); });
+    ASSERT_FALSE(stats.failed) << name << ": " << stats.error;
+
+    // Final counters — engine side and temporal side — match exactly.
+    EXPECT_EQ(stats.run.updates_applied, full.stats.run.updates_applied) << name;
+    EXPECT_EQ(stats.run.new_embeddings, full.stats.run.new_embeddings) << name;
+    EXPECT_EQ(stats.windows_finalized, full.stats.windows_finalized) << name;
+    EXPECT_EQ(stats.ingested_edges, full.stats.ingested_edges) << name;
+    EXPECT_EQ(stats.expired_edges, full.stats.expired_edges) << name;
+    EXPECT_EQ(stats.expiry_batches, full.stats.expiry_batches) << name;
+    EXPECT_EQ(stats.live_edges, full.stats.live_edges) << name;
+    EXPECT_EQ(stats.watermark, full.stats.watermark) << name;
+
+    // The resumed run emits exactly the uninterrupted run's tail.
+    std::vector<Emission> expected_tail;
+    for (const Emission& e : full.emissions)
+      if (e.index >= snap.record_offset) expected_tail.push_back(e);
+    ASSERT_EQ(tail.size(), expected_tail.size()) << name;
+    for (size_t i = 0; i < tail.size(); ++i)
+      ASSERT_TRUE(tail[i] == expected_tail[i])
+          << name << " tail emission " << i << " (record " << tail[i].index
+          << ") diverged";
+
+    std::remove(snap_path.c_str());
+    std::remove(killed_path.c_str());
+  }
+}
+
+TEST_F(WindowedRecoveryTest, ResumeWithoutWindowConfigIsRejected) {
+  // A v2 snapshot carrying a live horizon cannot be resumed into a replay
+  // that splices no expiry — the temporal cross-check must refuse, not
+  // silently diverge.
+  const std::string snap_path = testing::TempDir() + "/wrecovery_nowin.snap";
+  FullRun full = RunFull(EngineKind::kTricPlus, snap_path);
+  ASSERT_FALSE(full.stats.failed) << full.stats.error;
+  ASSERT_FALSE(full.killed_snapshot.empty());
+  ASSERT_TRUE(WriteFileBytes(snap_path, full.killed_snapshot));
+  SnapshotData snap;
+  std::string error;
+  ASSERT_TRUE(ReadSnapshot(snap_path, snap, &error)) << error;
+  ASSERT_GT(snap.expired_edges, 0u);
+
+  MemorySource src(*image_);
+  IngestSession session;
+  ASSERT_TRUE(session.Open(src, CorruptPolicy::kFail)) << session.error();
+  auto engine = MakeEngine(EngineKind::kTricPlus);
+  IngestOptions opts = WindowedOpts();
+  opts.window = temporal::WindowConfig{};  // Policy dropped on resume.
+  IngestStats stats = ResumeReplay(*engine, session, snap, opts);
+  // Whichever cross-check trips first (the counter replay diverges as soon
+  // as the un-spliced prefix keeps expired edges alive, else the horizon
+  // check), recovery must refuse rather than silently diverge.
+  EXPECT_TRUE(stats.failed);
+  EXPECT_NE(stats.error.find("cross-check failed"), std::string::npos)
+      << stats.error;
+  std::remove(snap_path.c_str());
+}
+
+TEST_F(WindowedRecoveryTest, FileReplayMatchesInMemoryWindowedDriver) {
+  // The ingest pipeline's spliced expiry and the in-memory windowed driver
+  // are two implementations of one contract; pin them to each other.
+  std::vector<StreamEvent> events;
+  for (const EdgeUpdate& u : *stamped_) events.push_back(StreamEvent::Update(u));
+
+  for (EngineKind kind : {EngineKind::kTricPlus, EngineKind::kIncPlus}) {
+    const std::string name = EngineKindName(kind);
+    auto mem_engine = MakeEngine(kind);
+    RunConfig config;
+    config.batch_window = kWindow;
+    const temporal::WindowedRunStats mem =
+        temporal::RunWindowedStream(*mem_engine, events, TimeWindow(), config);
+
+    MemorySource src(*image_);
+    IngestSession session;
+    ASSERT_TRUE(session.Open(src, CorruptPolicy::kFail)) << session.error();
+    auto file_engine = MakeEngine(kind);
+    IngestStats file = session.Replay(*file_engine, WindowedOpts());
+    ASSERT_FALSE(file.failed) << name << ": " << file.error;
+
+    EXPECT_EQ(file.expired_edges, mem.expired_edges) << name;
+    EXPECT_EQ(file.expiry_batches, mem.expiry_batches) << name;
+    EXPECT_EQ(file.live_edges, mem.live_edges) << name;
+    EXPECT_EQ(file.watermark, mem.watermark) << name;
+    EXPECT_EQ(file.run.new_embeddings, mem.mixed.new_embeddings) << name;
+    EXPECT_EQ(mem_engine->StateFingerprint(), file_engine->StateFingerprint())
+        << name;
+  }
+}
+
+}  // namespace
+}  // namespace ingest
+}  // namespace gstream

@@ -50,6 +50,10 @@ METRICS = ("updates_per_sec", "items_per_sec", "max_items_per_sec")
 # (e.g. a faster join masking a broken posting list).
 LOWER_IS_BETTER = ("candidates_per_update",)
 
+# Temporal accounting fields (the fig16 windowed cells): any line carrying
+# all three must satisfy ingested == live + expired + removed.
+ACCOUNTING_FIELDS = ("ingested_edges", "live_edges", "expired_edges")
+
 
 def die(msg):
     """Usage / parse error: the documented exit status 2, never a silent 1."""
@@ -95,6 +99,25 @@ def identity(line):
     if "overlap" in line:
         key.append(("overlap", line["overlap"]))
     return tuple(sorted(key))
+
+
+def accounting_violations(lines):
+    """Expiry-accounting gate: a windowed cell whose counters do not add up
+    (`ingested != live + expired + removed`) indicates a WindowManager that
+    leaked or double-retired edges — a correctness failure, not a perf delta,
+    so it fails the gate regardless of thresholds or partial flags."""
+    bad = []
+    for line in lines:
+        if not all(isinstance(line.get(f), (int, float))
+                   for f in ACCOUNTING_FIELDS):
+            continue
+        expected = (line["live_edges"] + line["expired_edges"] +
+                    line.get("removed_edges", 0))
+        if line["ingested_edges"] != expected:
+            name = " ".join(f"{k}={v}" for k, v in identity(line))
+            bad.append(f"{name}: ingested_edges={line['ingested_edges']} != "
+                       f"live+expired+removed={expected}")
+    return bad
 
 
 def metric_of(line):
@@ -175,6 +198,10 @@ def compare(base_lines, fresh_lines, threshold, quiet=False):
 
 def self_test(baseline_path, threshold):
     base = load_lines(baseline_path)
+    if accounting_violations(base):
+        print(f"bench_compare: self-test FAILED: {baseline_path} itself "
+              "violates the expiry accounting", file=sys.stderr)
+        return 1
     clean_reg, compared = compare(base, copy.deepcopy(base), threshold, quiet=True)
     if not compared:
         die(f"--self-test: {baseline_path} has no comparable (non-partial, "
@@ -222,10 +249,25 @@ def self_test(baseline_path, threshold):
                   file=sys.stderr)
             return 1
 
+    # And the expiry-accounting gate, when the snapshot carries windowed
+    # cells: break one line's counter sum and require exactly one finding.
+    accounting_checked = False
+    injected = copy.deepcopy(base)
+    for line in injected:
+        if all(isinstance(line.get(f), (int, float)) for f in ACCOUNTING_FIELDS):
+            line["ingested_edges"] += 1
+            accounting_checked = True
+            break
+    if accounting_checked and len(accounting_violations(injected)) != 1:
+        print("bench_compare: self-test FAILED: injected accounting "
+              "violation was not detected", file=sys.stderr)
+        return 1
+
     print(f"bench_compare: self-test OK: {len(compared)} comparable cells; "
           f"injected regression on [{' '.join(f'{k}={v}' for k, v in victim)}] "
           "was detected"
-          + ("; counter-gate regression was detected" if counter_checked else ""))
+          + ("; counter-gate regression was detected" if counter_checked else "")
+          + ("; accounting violation was detected" if accounting_checked else ""))
     return 0
 
 
@@ -265,8 +307,17 @@ def main():
 
     print(f"bench_compare: {args.baseline} vs {args.fresh} "
           f"(threshold {args.threshold * 100.0:.0f}%)")
-    regressions, compared = compare(load_lines(args.baseline),
-                                    load_lines(args.fresh), args.threshold)
+    base_lines, fresh_lines = load_lines(args.baseline), load_lines(args.fresh)
+    for path, lines in ((args.baseline, base_lines), (args.fresh, fresh_lines)):
+        violations = accounting_violations(lines)
+        for v in violations:
+            print(f"bench_compare: ACCOUNTING VIOLATION in {path}: {v}",
+                  file=sys.stderr)
+        if violations and path == args.fresh:
+            print("bench_compare: FAIL: expiry accounting violated "
+                  f"({len(violations)} lines)")
+            sys.exit(1)
+    regressions, compared = compare(base_lines, fresh_lines, args.threshold)
     if not compared:
         print("bench_compare: warning: no comparable cells (disjoint bench "
               "sets or all partial) — gate passes vacuously", file=sys.stderr)

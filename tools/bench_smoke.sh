@@ -129,6 +129,22 @@ else
   echo "bench_smoke: fig_scale_qdb not built; skipping scale lines" >&2
 fi
 
+# Sliding-window smoke: the two temporal cells (taxi 1-hour window,
+# fraud rolling per-label TTLs + TTL'd queries). Their BENCH_JSON lines
+# carry the expiry accounting (ingested_edges / expired_edges / live_edges)
+# that tools/bench_compare.py gates with `ingested == live + expired +
+# removed` — the benches themselves abort on a violation, so a line that
+# made it here already passed once.
+for wbench in fig16a_taxi_window fig16b_fraud_window; do
+  if [[ -x "$BUILD_DIR/$wbench" ]]; then
+    "$BUILD_DIR/$wbench" --budget-sec=2 --cell-budget-sec=2 \
+      | grep '^BENCH_JSON ' | tee -a "$BENCH_LINES_TMP" \
+      || { echo "bench_smoke: $wbench failed" >&2; exit 1; }
+  else
+    echo "bench_smoke: $wbench not built; skipping window lines" >&2
+  fi
+done
+
 # Aggregate the per-suite reports into one *valid* JSON document (an array
 # of google-benchmark reports), so consumers can json.load() the artifact.
 python3 - "$OUT" "${REPORTS[@]}" <<'EOF'

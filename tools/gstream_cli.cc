@@ -22,6 +22,10 @@
 //   --snapshot=FILE       snapshot path (with --snapshot-every / --recover)
 //   --snapshot-every=N    write a snapshot every N finalized windows
 //   --recover             resume from --snapshot instead of starting fresh
+//   --window-policy=none|time|count|label-ttl   sliding-window expiry policy
+//   --window-width=N      window width / count / default TTL (event-time
+//                         units from the .gsb timestamp column; recovery must
+//                         use the same window flags as the original run)
 //
 // Fault injection (deterministic, for the CI smoke leg and local testing;
 // loads the file into memory and corrupts the image before replay):
@@ -358,6 +362,14 @@ int RunGsbMode(const Flags& flags, EngineKind kind, bool shared_finalize,
   opts.snapshot_every_windows =
       static_cast<uint64_t>(flags.GetIntAtLeast("snapshot-every", 0, 0));
   opts.snapshot_path = flags.GetString("snapshot", "");
+  if (!temporal::ParseWindowPolicy(flags.GetString("window-policy", "none"),
+                                   &opts.window.policy)) {
+    std::fprintf(stderr,
+                 "--window-policy must be none, time, count, or label-ttl\n");
+    return 2;
+  }
+  opts.window.width =
+      static_cast<uint64_t>(flags.GetIntAtLeast("window-width", 0, 0));
 
   uint64_t notifications = 0;
   size_t triggering_updates = 0;
@@ -406,6 +418,16 @@ int RunGsbMode(const Flags& flags, EngineKind kind, bool shared_finalize,
               static_cast<unsigned long long>(stats.blocks_quarantined),
               static_cast<unsigned long long>(stats.records_missing),
               static_cast<unsigned long long>(stats.snapshots_written));
+  if (opts.window.enabled())
+    std::printf("window policy=%s width=%llu ingested=%llu expired_edges=%llu "
+                "expiry_batches=%llu live_edges=%llu watermark=%llu\n",
+                temporal::WindowPolicyName(opts.window.policy),
+                static_cast<unsigned long long>(opts.window.width),
+                static_cast<unsigned long long>(stats.ingested_edges),
+                static_cast<unsigned long long>(stats.expired_edges),
+                static_cast<unsigned long long>(stats.expiry_batches),
+                static_cast<unsigned long long>(stats.live_edges),
+                static_cast<unsigned long long>(stats.watermark));
   std::printf("ring pushed=%llu blocked=%llu shed_batches=%llu "
               "shed_records=%llu max_occupancy=%zu\n",
               static_cast<unsigned long long>(stats.ring.batches_pushed),

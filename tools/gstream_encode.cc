@@ -5,6 +5,7 @@
 // Usage:
 //   gstream_encode --out=FILE.gsb [--dataset=snb|taxi|bio] [--updates=N]
 //                  [--seed=N] [--stream=FILE.csv] [--block-records=N]
+//                  [--ts-start=N --ts-step=N]
 //
 // The stream comes from one of the built-in generators (--dataset, the
 // paper's SNB / taxi / BioGRID workloads) or from a CSV edge stream
@@ -12,6 +13,11 @@
 // radius of one corrupt block: smaller blocks quarantine fewer records per
 // CRC mismatch at the cost of per-block header overhead (bench/micro_ingest
 // sweeps this).
+//
+// --ts-start/--ts-step stamp synthetic event timestamps (record i gets
+// ts-start + i * ts-step), upgrading the file to the timestamped `.gsb` v2
+// layout for gstream_cli's --window-policy sliding-window replay. Without
+// them the output is the byte-identical v1 format.
 
 #include <cstdio>
 #include <memory>
@@ -80,8 +86,18 @@ int main(int argc, char** argv) {
     w = MakeDataset(dataset, updates, seed);
   }
 
+  std::vector<EdgeUpdate> records = w.stream.updates();
+  const uint64_t ts_start =
+      static_cast<uint64_t>(flags.GetIntAtLeast("ts-start", 0, 0));
+  const uint64_t ts_step =
+      static_cast<uint64_t>(flags.GetIntAtLeast("ts-step", 0, 0));
+  if (ts_start > 0 || ts_step > 0) {
+    for (size_t i = 0; i < records.size(); ++i)
+      records[i].ts = ts_start + static_cast<uint64_t>(i) * ts_step;
+  }
+
   const std::vector<uint8_t> image =
-      ingest::EncodeGsb(*w.interner, w.stream.updates(), options);
+      ingest::EncodeGsb(*w.interner, records, options);
   std::string error;
   if (!ingest::AtomicWriteFile(out, image.data(), image.size(), &error)) {
     std::fprintf(stderr, "%s\n", error.c_str());

@@ -16,6 +16,8 @@
 //                  [--idle-timeout-millis=N] [--flush-millis=N]
 //                  [--journal=FILE.gsb --state=FILE.state]
 //                  [--snapshot-every=WINDOWS]
+//                  [--window-policy=none|time|count|label-ttl]
+//                  [--window-width=N]
 //
 // Prints "server listening port=NNNN" once bound (port 0 = ephemeral), and
 // greppable "server exit:" counter lines on shutdown.
@@ -98,6 +100,13 @@ int main(int argc, char** argv) {
   opts.state_path = flags.GetString("state", "");
   opts.snapshot_every_windows =
       static_cast<uint64_t>(flags.GetIntAtLeast("snapshot-every", 0, 0));
+  if (!temporal::ParseWindowPolicy(flags.GetString("window-policy", "none"),
+                                   &opts.window.policy)) {
+    std::fprintf(stderr, "unknown --window-policy (none|time|count|label-ttl)\n");
+    return 2;
+  }
+  opts.window.width =
+      static_cast<uint64_t>(flags.GetIntAtLeast("window-width", 0, 0));
 
   server::Server server(opts);
   std::string error;
@@ -134,6 +143,12 @@ int main(int argc, char** argv) {
               (unsigned long long)s.protocol_errors,
               (unsigned long long)s.idle_disconnects,
               (unsigned long long)s.slow_disconnects);
+  if (opts.window.enabled())
+    std::printf("server exit: expired_edges=%llu expiry_batches=%llu "
+                "live_edges=%llu\n",
+                (unsigned long long)s.expired_edges,
+                (unsigned long long)s.expiry_batches,
+                (unsigned long long)s.live_edges);
   std::fflush(stdout);
   return 0;
 }
