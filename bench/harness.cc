@@ -137,6 +137,9 @@ CellResult RunCell(EngineKind kind, const std::vector<QueryPattern>& queries,
   cell.shared_finalize_groups = engine->shared_finalize_groups();
   cell.routed_candidates = engine->routed_candidates();
   cell.prefilter_rejects = engine->prefilter_rejects();
+  cell.batch_tasks = engine->batch_tasks();
+  cell.batch_steals = engine->batch_steals();
+  cell.footprint_cache_hits = engine->footprint_cache_hits();
   cell.queries_satisfied = stats.queries_satisfied;
   return cell;
 }

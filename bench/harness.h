@@ -106,6 +106,9 @@ struct CellResult {
   uint64_t shared_finalize_groups = 0; ///< Passes fanned out to ≥ 2 queries.
   uint64_t routed_candidates = 0;      ///< Candidate work items (see engine.h).
   uint64_t prefilter_rejects = 0;      ///< Updates rejected by the prefilter.
+  uint64_t batch_tasks = 0;            ///< Scheduler tasks (see engine.h).
+  uint64_t batch_steals = 0;           ///< Cross-executor steals.
+  uint64_t footprint_cache_hits = 0;   ///< Partition-memo window hits.
   size_t queries_satisfied = 0;
   IndexStats index_stats;
 

@@ -1,0 +1,287 @@
+#include "common/task_scheduler.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace gstream {
+
+namespace {
+
+/// Nodes per arena block: big enough that a typical window (a few dozen
+/// shard-group tasks) never allocates twice, small enough to stay cheap for
+/// engines that rarely batch.
+constexpr size_t kArenaBlockSize = 64;
+
+/// xorshift64* step; good-enough victim randomization without a heavyweight
+/// RNG in the steal path.
+inline uint64_t NextSeed(uint64_t& s) {
+  s ^= s >> 12;
+  s ^= s << 25;
+  s ^= s >> 27;
+  return s * 0x2545f4914f6cdd1dull;
+}
+
+/// The executing task's scheduler + executor index, for Spawn. A pair so a
+/// task of scheduler A can never spawn into an unrelated scheduler B that
+/// happens to run on the same thread later.
+thread_local TaskScheduler* tls_scheduler = nullptr;
+thread_local int tls_executor = -1;
+
+}  // namespace
+
+namespace internal {
+
+WorkStealingDeque::WorkStealingDeque(size_t capacity) {
+  // Power-of-two capacity for the mask; 8 is a floor, not a target.
+  size_t cap = 8;
+  while (cap < capacity) cap <<= 1;
+  retired_.push_back(std::make_unique<Buffer>(cap));
+  buffer_.store(retired_.back().get(), std::memory_order_relaxed);
+}
+
+void WorkStealingDeque::PushBottom(TaskNode* node) {
+  const int64_t b = bottom_.load(std::memory_order_relaxed);
+  const int64_t t = top_.load(std::memory_order_acquire);
+  Buffer* buf = buffer_.load(std::memory_order_relaxed);
+  if (b - t >= static_cast<int64_t>(buf->capacity)) buf = Grow(buf, t, b);
+  buf->Put(b, node);
+  // seq_cst publish: a thief that observes bottom > i also observes slot i.
+  bottom_.store(b + 1, std::memory_order_seq_cst);
+}
+
+TaskNode* WorkStealingDeque::PopBottom() {
+  const int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+  // Publish the claim on slot b before reading top (Dekker handshake with
+  // StealTop's CAS; both sides seq_cst).
+  bottom_.store(b, std::memory_order_seq_cst);
+  int64_t t = top_.load(std::memory_order_seq_cst);
+  if (t > b) {
+    // Empty: restore the canonical bottom == top state.
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  TaskNode* node = buffer_.load(std::memory_order_acquire)->Get(b);
+  if (t != b) return node;  // More than one element: no race possible.
+  // Last element: win or lose it against concurrent thieves via the CAS.
+  if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst))
+    node = nullptr;  // A thief took it.
+  bottom_.store(b + 1, std::memory_order_relaxed);
+  return node;
+}
+
+TaskNode* WorkStealingDeque::StealTop() {
+  int64_t t = top_.load(std::memory_order_seq_cst);
+  const int64_t b = bottom_.load(std::memory_order_seq_cst);
+  if (t >= b) return nullptr;
+  TaskNode* node = buffer_.load(std::memory_order_acquire)->Get(t);
+  if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst))
+    return nullptr;  // Lost the race; caller picks another victim.
+  return node;
+}
+
+size_t WorkStealingDeque::ApproxSize() const {
+  const int64_t b = bottom_.load(std::memory_order_relaxed);
+  const int64_t t = top_.load(std::memory_order_relaxed);
+  return b > t ? static_cast<size_t>(b - t) : 0;
+}
+
+WorkStealingDeque::Buffer* WorkStealingDeque::Grow(Buffer* old, int64_t top,
+                                                   int64_t bottom) {
+  auto grown = std::make_unique<Buffer>(old->capacity * 2);
+  for (int64_t i = top; i < bottom; ++i) grown->Put(i, old->Get(i));
+  Buffer* raw = grown.get();
+  retired_.push_back(std::move(grown));
+  // Old buffers stay alive in retired_: a slow thief may still read a slot
+  // through the stale pointer; the live range is identical and the CAS on
+  // top_ arbitrates.
+  buffer_.store(raw, std::memory_order_release);
+  return raw;
+}
+
+}  // namespace internal
+
+internal::TaskNode* TaskScheduler::Executor::AllocNode() {
+  if (blocks.empty() || block_used == kArenaBlockSize) {
+    blocks.push_back(std::make_unique<internal::TaskNode[]>(kArenaBlockSize));
+    block_used = 0;
+  }
+  return &blocks.back()[block_used++];
+}
+
+TaskScheduler::TaskScheduler(int threads) {
+  const int executors = std::max(threads, 1);
+  executors_.reserve(static_cast<size_t>(executors));
+  for (int i = 0; i < executors; ++i) {
+    executors_.push_back(std::make_unique<Executor>());
+    executors_.back()->steal_seed =
+        0x9e3779b97f4a7c15ull * static_cast<uint64_t>(i + 1) + 1;
+  }
+  workers_.reserve(static_cast<size_t>(executors - 1));
+  for (int i = 1; i < executors; ++i)
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+}
+
+TaskScheduler::~TaskScheduler() { Shutdown(); }
+
+bool TaskScheduler::Submit(std::function<void()> fn) {
+  if (stop_.load(std::memory_order_acquire)) {
+    GS_LOG(Error) << "TaskScheduler::Submit after Shutdown: task rejected "
+                     "(the scheduler's workers are gone; see the lifecycle "
+                     "contract in task_scheduler.h)";
+    return false;
+  }
+  Executor& ex = *executors_[0];
+  internal::TaskNode* node = ex.AllocNode();
+  node->fn = std::move(fn);
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  unclaimed_.fetch_add(1, std::memory_order_seq_cst);
+  ex.deque.PushBottom(node);
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+
+  const uint64_t depth = ex.deque.ApproxSize();
+  uint64_t cur = max_queue_depth_.load(std::memory_order_relaxed);
+  while (depth > cur && !max_queue_depth_.compare_exchange_weak(
+                            cur, depth, std::memory_order_relaxed)) {
+  }
+
+  if (sleepers_.load(std::memory_order_relaxed) > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    work_cv_.notify_one();
+  }
+  return true;
+}
+
+bool TaskScheduler::Spawn(std::function<void()> fn) {
+  if (tls_scheduler != this || tls_executor < 0) {
+    GS_LOG(Error) << "TaskScheduler::Spawn outside a running task: rejected";
+    return false;
+  }
+  if (stop_.load(std::memory_order_acquire)) return false;
+  Executor& ex = *executors_[tls_executor];
+  internal::TaskNode* node = ex.AllocNode();
+  node->fn = std::move(fn);
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  unclaimed_.fetch_add(1, std::memory_order_seq_cst);
+  ex.deque.PushBottom(node);
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+
+  // A spawned task may need to wake a parked worker — or the coordinator,
+  // which parks in Wait() when everything it can see is already claimed.
+  if (sleepers_.load(std::memory_order_relaxed) > 0 ||
+      coordinator_waiting_.load(std::memory_order_relaxed)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    work_cv_.notify_one();
+    idle_cv_.notify_all();
+  }
+  return true;
+}
+
+void TaskScheduler::Wait() {
+  Executor& ex = *executors_[0];
+  while (true) {
+    internal::TaskNode* node = ex.deque.PopBottom();
+    if (node == nullptr) node = TrySteal(0);
+    if (node != nullptr) {
+      unclaimed_.fetch_sub(1, std::memory_order_relaxed);
+      RunTask(node, 0);
+      continue;
+    }
+    if (pending_.load(std::memory_order_acquire) == 0) break;
+    std::unique_lock<std::mutex> lock(mu_);
+    coordinator_waiting_ = true;
+    idle_cv_.wait(lock, [this] {
+      return pending_.load(std::memory_order_acquire) == 0 ||
+             unclaimed_.load(std::memory_order_acquire) > 0;
+    });
+    coordinator_waiting_ = false;
+  }
+  ResetArenas();
+}
+
+void TaskScheduler::Shutdown() {
+  bool expected = false;
+  if (!stop_.compare_exchange_strong(expected, true,
+                                     std::memory_order_acq_rel)) {
+    return;  // Idempotent.
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    work_cv_.notify_all();
+    idle_cv_.notify_all();
+  }
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+}
+
+internal::TaskNode* TaskScheduler::TrySteal(int self) {
+  const size_t n = executors_.size();
+  if (n <= 1) return nullptr;
+  uint64_t& seed = executors_[self]->steal_seed;
+  // Two randomized sweeps over the other executors before giving up; a
+  // failed CAS (lost race) just moves on to the next victim.
+  for (size_t attempt = 0; attempt < 2 * n; ++attempt) {
+    const size_t victim = NextSeed(seed) % n;
+    if (victim == static_cast<size_t>(self)) continue;
+    internal::TaskNode* node = executors_[victim]->deque.StealTop();
+    if (node != nullptr) {
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      return node;
+    }
+  }
+  return nullptr;
+}
+
+void TaskScheduler::RunTask(internal::TaskNode* node, int self) {
+  TaskScheduler* prev_sched = tls_scheduler;
+  const int prev_exec = tls_executor;
+  tls_scheduler = this;
+  tls_executor = self;
+  node->fn();
+  node->fn = std::function<void()>();  // Drop captures at task exit.
+  tls_scheduler = prev_sched;
+  tls_executor = prev_exec;
+  executed_.fetch_add(1, std::memory_order_relaxed);
+  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Last task: wake the coordinator. Lock-then-notify pairs with Wait's
+    // predicate check under the same mutex, so the wakeup cannot be missed.
+    std::lock_guard<std::mutex> lock(mu_);
+    idle_cv_.notify_all();
+  }
+}
+
+void TaskScheduler::WorkerLoop(int self) {
+  Executor& ex = *executors_[self];
+  while (true) {
+    internal::TaskNode* node = ex.deque.PopBottom();
+    if (node == nullptr) node = TrySteal(self);
+    if (node != nullptr) {
+      unclaimed_.fetch_sub(1, std::memory_order_relaxed);
+      RunTask(node, self);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stop_.load(std::memory_order_acquire)) return;
+    if (unclaimed_.load(std::memory_order_acquire) > 0) continue;  // Recheck.
+    ++sleepers_;
+    work_cv_.wait(lock, [this] {
+      return stop_.load(std::memory_order_acquire) ||
+             unclaimed_.load(std::memory_order_acquire) > 0;
+    });
+    --sleepers_;
+    if (stop_.load(std::memory_order_acquire)) return;
+  }
+}
+
+void TaskScheduler::ResetArenas() {
+  // Barrier-only: every task finished, every deque is empty, and workers
+  // touch arenas only from inside a running task — so the coordinator may
+  // reset all of them. Keeps one block per executor to stay allocation-free
+  // across steady-state windows.
+  for (auto& ex : executors_) {
+    if (ex->blocks.size() > 1) ex->blocks.resize(1);
+    ex->block_used = 0;
+  }
+}
+
+}  // namespace gstream

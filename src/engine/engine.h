@@ -113,6 +113,24 @@ class ContinuousEngine {
   /// routing prefilter before touching any posting list or base view.
   virtual uint64_t prefilter_rejects() const { return 0; }
 
+  /// Diagnostic counter: tasks handed to the work-stealing batch scheduler
+  /// by sharded window execution (grain-packed shard groups; see
+  /// ViewEngineBase). 0 for single-threaded execution or engines without a
+  /// batch override. The scheduler benches divide by windows to show the
+  /// dispatch granularity.
+  virtual uint64_t batch_tasks() const { return 0; }
+
+  /// Diagnostic counter companion: how many of those tasks an idle executor
+  /// acquired by stealing from another executor's deque. Nonzero steals on a
+  /// skewed window are the signature of load balancing actually happening;
+  /// the micro_sched skew sweep asserts on it.
+  virtual uint64_t batch_steals() const { return 0; }
+
+  /// Diagnostic counter: batch windows whose footprint/union-find shard
+  /// partition was served from the generalization-profile memo instead of
+  /// recomputed (see ViewEngineBase::RunInsertWindowImpl).
+  virtual uint64_t footprint_cache_hits() const { return 0; }
+
   /// Toggles the sublinear query routing index (on by default for the view
   /// engines). With routing off the per-update dispatch takes the legacy
   /// linear path — full posting-probe fan-out plus per-query finalize

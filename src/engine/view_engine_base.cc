@@ -29,6 +29,16 @@ struct ElemHash {
   size_t operator()(uint64_t e) const { return Mix64(e); }
 };
 
+/// Generalization-profile encoding sentinels (pattern ids are small nonzero
+/// values, so the top of the 64-bit space is free for markers).
+constexpr uint64_t kProfileNextUpdate = ~0ull;
+constexpr uint64_t kProfileDuplicate = ~0ull - 1;
+
+/// Partition-memo bound: windows of a homogeneous stream collapse to a
+/// handful of profiles, so a small cache captures the steady state; a
+/// profile churn (adversarial or ingest-phase) just degrades to recompute.
+constexpr size_t kPartitionCacheMax = 64;
+
 }  // namespace
 
 Relation* ViewEngineBase::GetOrCreateBaseView(const GenericEdgePattern& p) {
@@ -78,6 +88,10 @@ void ViewEngineBase::UnrefBaseView(const GenericEdgePattern& p) {
   OnRelationEvicted(it->second.get());
   base_views_.erase(it);
   pattern_ids_.Erase(p);  // footprint ids are window-scoped; safe to recycle
+  // Cached partitions may key on the recycled id; the removal wave also
+  // marks the reaches dirty, but clear eagerly so no window in between can
+  // see a stale partition.
+  partition_cache_.clear();
 }
 
 void ViewEngineBase::CompactSharedState() { pattern_ids_.Compact(); }
@@ -107,12 +121,15 @@ bool ViewEngineBase::IsDuplicateUpdate(const EdgeUpdate& u) {
   return !seen_edges_.insert(u).second;
 }
 
+void ViewEngineBase::EnsureReach() {
+  if (!reach_dirty_) return;
+  pattern_reach_.clear();
+  BuildPatternReach();
+  reach_dirty_ = false;
+}
+
 bool ViewEngineBase::CollectFootprint(const EdgeUpdate& u, Footprint& out) {
-  if (reach_dirty_) {
-    pattern_reach_.clear();
-    BuildPatternReach();
-    reach_dirty_ = false;
-  }
+  EnsureReach();
   for (const auto& g : Generalizations(u)) {
     // Unregistered patterns have no base view and no index entries — an
     // insert matching only those touches nothing.
@@ -182,24 +199,26 @@ void ViewEngineBase::EnsureFinalizeGroups() {
 
   // Signature encoding is per-query independent and read-only (after the
   // prepare hook), so a registration wave big enough to matter fans out
-  // across the batch pool; the grouping below stays sequential either way,
-  // so the group order is identical to a single-threaded build.
+  // across the batch scheduler; the grouping below stays sequential either
+  // way, so the group order is identical to a single-threaded build. Chunks
+  // are deliberately smaller than executors so idle executors keep stealing
+  // work off the coordinator's deque until the wave drains.
   std::vector<std::vector<uint64_t>> keys(qids.size());
   std::vector<uint8_t> shareable(qids.size(), 0);
   constexpr size_t kParallelSignatureMin = 64;
-  if (pool_ != nullptr && qids.size() >= kParallelSignatureMin) {
-    const size_t num_tasks = static_cast<size_t>(pool_->size());
+  if (sched_ != nullptr && qids.size() >= kParallelSignatureMin) {
+    const size_t num_tasks = static_cast<size_t>(sched_->size()) * 4;
     const size_t chunk = (qids.size() + num_tasks - 1) / num_tasks;
     for (size_t t = 0; t < num_tasks; ++t) {
       const size_t lo = t * chunk;
       const size_t hi = std::min(lo + chunk, qids.size());
       if (lo >= hi) break;
-      pool_->Submit([this, &qids, &keys, &shareable, lo, hi] {
+      sched_->Submit([this, &qids, &keys, &shareable, lo, hi] {
         for (size_t i = lo; i < hi; ++i)
           shareable[i] = EncodeFinalizeSignature(qids[i], keys[i]) ? 1 : 0;
       });
     }
-    pool_->Wait();
+    sched_->Wait();
   } else {
     for (size_t i = 0; i < qids.size(); ++i)
       shareable[i] = EncodeFinalizeSignature(qids[i], keys[i]) ? 1 : 0;
@@ -349,74 +368,174 @@ bool ViewEngineBase::RunInsertWindowImpl(const EdgeUpdate* updates, size_t lo,
   };
 
   const auto run_single = [&]() { return delta ? run_sequential_delta() : run_sequential(); };
-  if (pool_ == nullptr || count == 1) return run_single();
+  if (sched_ == nullptr || count == 1) return run_single();
 
-  // Footprint collection + union-find grouping: two inserts sharing any
-  // footprint element may interact and land in one shard; shards are
-  // therefore pairwise disjoint in everything they read or write.
-  std::vector<Footprint> fps(count);
-  std::vector<uint32_t> parent(count);
-  std::iota(parent.begin(), parent.end(), 0u);
-  FlatMap<uint64_t, uint32_t, ElemHash> owner;
-  for (size_t k = 0; k < count; ++k) {
-    if (dup[k]) continue;
-    if (!CollectFootprint(updates[lo + k], fps[k])) return run_single();
-    for (uint64_t e : fps[k]) {
-      uint32_t& first = owner.GetOrCreate(e);
-      if (first == 0) {
-        first = static_cast<uint32_t>(k) + 1;  // 1-based; 0 = unclaimed
-      } else {
-        Union(parent, first - 1, static_cast<uint32_t>(k));
+  // ---- shard partition: generalization-profile memo, else union-find ----
+  //
+  // The partition is a pure function of the window's *generalization
+  // profile*: per update, the ids of the registered patterns it matches
+  // (the default CollectFootprint concatenates exactly those patterns'
+  // precomputed reaches), plus the duplicate mask. Identical-profile
+  // windows — the steady state of a homogeneous stream — reuse the shard
+  // member lists and skip the element-level union-find entirely.
+  const std::vector<std::vector<uint32_t>>* shard_lists = nullptr;
+  std::vector<uint64_t> profile;
+  if (footprint_pattern_local_) {
+    EnsureReach();
+    profile.reserve(count * 3);
+    for (size_t k = 0; k < count; ++k) {
+      profile.push_back(kProfileNextUpdate);
+      if (dup[k]) {
+        profile.push_back(kProfileDuplicate);
+        continue;
       }
+      for (const auto& g : Generalizations(updates[lo + k])) {
+        if (pattern_reach_.find(g) == pattern_reach_.end()) continue;
+        profile.push_back(PatternId(g));
+      }
+    }
+    auto hit = partition_cache_.find(profile);
+    if (hit != partition_cache_.end()) {
+      footprint_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      shard_lists = &hit->second.shard_members;
     }
   }
 
-  // Shard member lists, ascending stream position within each shard. The
-  // root is always a shard's smallest slot, so indexing by root keeps member
-  // lists ordered and the shard order deterministic.
-  std::vector<std::vector<uint32_t>> shards(count);
-  size_t num_shards = 0;
-  for (size_t k = 0; k < count; ++k) {
-    if (dup[k]) continue;
-    std::vector<uint32_t>& members = shards[FindRoot(parent, static_cast<uint32_t>(k))];
-    if (members.empty()) ++num_shards;
-    members.push_back(static_cast<uint32_t>(k));
-  }
-  if (num_shards <= 1) return run_single();
+  std::vector<std::vector<uint32_t>> computed_shards;
+  if (shard_lists == nullptr) {
+    // Footprint collection + union-find grouping: two inserts sharing any
+    // footprint element may interact and land in one shard; shards are
+    // therefore pairwise disjoint in everything they read or write.
+    std::vector<Footprint> fps(count);
+    std::vector<uint32_t> parent(count);
+    std::iota(parent.begin(), parent.end(), 0u);
+    FlatMap<uint64_t, uint32_t, ElemHash> owner;
+    for (size_t k = 0; k < count; ++k) {
+      if (dup[k]) continue;
+      if (!CollectFootprint(updates[lo + k], fps[k])) return run_single();
+      for (uint64_t e : fps[k]) {
+        uint32_t& first = owner.GetOrCreate(e);
+        if (first == 0) {
+          first = static_cast<uint32_t>(k) + 1;  // 1-based; 0 = unclaimed
+        } else {
+          Union(parent, first - 1, static_cast<uint32_t>(k));
+        }
+      }
+    }
 
-  std::vector<UpdateResult> window(count);  // dup slots stay the no-op result
+    // Shard member lists, ascending stream position within each shard. The
+    // root is always a shard's smallest slot, so emitting shards in
+    // first-member order keeps both the member lists and the shard order
+    // deterministic.
+    std::vector<int32_t> shard_of_root(count, -1);
+    for (size_t k = 0; k < count; ++k) {
+      if (dup[k]) continue;
+      const uint32_t root = FindRoot(parent, static_cast<uint32_t>(k));
+      if (shard_of_root[root] < 0) {
+        shard_of_root[root] = static_cast<int32_t>(computed_shards.size());
+        computed_shards.emplace_back();
+      }
+      computed_shards[static_cast<size_t>(shard_of_root[root])].push_back(
+          static_cast<uint32_t>(k));
+    }
+
+    if (footprint_pattern_local_) {
+      if (partition_cache_.size() >= kPartitionCacheMax)
+        partition_cache_.clear();
+      WindowPartition& slot = partition_cache_[std::move(profile)];
+      slot.shard_members = std::move(computed_shards);
+      shard_lists = &slot.shard_members;
+    } else {
+      shard_lists = &computed_shards;
+    }
+  }
+
+  const std::vector<std::vector<uint32_t>>& shards = *shard_lists;
+  if (shards.size() <= 1) return run_single();
+
+  // ---- task planning: grain-packed shard groups ----
+  //
+  // Shards vastly outnumber executors on busy windows, and per-shard tasks
+  // would pay queue and wakeup costs per shard — so contiguous shards are
+  // packed into tasks of roughly live/(P*8) members. The over-decomposition
+  // (≈8 tasks per executor) is what lets stealing balance skew: a task that
+  // landed one hot shard runs alone while idle executors steal the rest one
+  // task at a time, so the window's makespan tracks the hot shard instead
+  // of the hot shard plus a static 1/P stripe of everything else.
+  size_t live = 0;
+  for (const auto& members : shards) live += members.size();
+  const size_t grain =
+      std::max<size_t>(1, live / (static_cast<size_t>(sched_->size()) * 8));
+  struct TaskSpan {
+    uint32_t first = 0;  ///< First shard index of the span.
+    uint32_t limit = 0;  ///< One past the last shard index.
+  };
+  std::vector<TaskSpan> tasks;
+  {
+    TaskSpan span;
+    size_t span_members = 0;
+    for (uint32_t s = 0; s < shards.size(); ++s) {
+      span_members += shards[s].size();
+      if (span_members >= grain) {
+        span.limit = s + 1;
+        tasks.push_back(span);
+        span.first = s + 1;
+        span_members = 0;
+      }
+    }
+    if (span.first < shards.size()) {
+      span.limit = static_cast<uint32_t>(shards.size());
+      tasks.push_back(span);
+    }
+  }
+
   // Shards must not poll the (non-thread-safe) budget; the coordinator
   // checks it at the window boundary instead.
   Budget* saved_budget = budget_;
   budget_ = nullptr;
-  // One task per executor, striped over the shards — shards greatly
-  // outnumber threads on busy windows and per-shard tasks would pay queue
-  // and wakeup costs per shard. On the delta path each shard replays its
-  // members' maintenance in stream order, then finalizes its own queries
-  // once — tags are global window positions, so the merged results read
-  // exactly like sequential execution.
-  const size_t num_tasks =
-      std::min(static_cast<size_t>(pool_->size()), num_shards);
-  for (size_t t = 0; t < num_tasks; ++t) {
-    pool_->Submit([this, updates, lo, t, num_tasks, delta, &shards, &window] {
-      for (size_t g = t; g < shards.size(); g += num_tasks) {
-        if (shards[g].empty()) continue;
+  // Each task owns a full-window result arena: FinalizeWindow scatters by
+  // global window position, and distinct tasks never share a position, so
+  // arenas also kill false sharing on the hot result slots. On the delta
+  // path each shard replays its members' maintenance in stream order, then
+  // finalizes its own queries once — tags are global window positions, so
+  // the merged results read exactly like sequential execution.
+  const uint64_t steals_before = sched_->steals();
+  std::vector<std::vector<UpdateResult>> arenas(tasks.size());
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    sched_->Submit([this, updates, lo, count, delta, t, &tasks, &shards,
+                    &arenas] {
+      std::vector<UpdateResult>& arena = arenas[t];
+      arena.resize(count);
+      const TaskSpan span = tasks[t];
+      for (uint32_t s = span.first; s < span.limit; ++s) {
         if (delta) {
           std::unique_ptr<WindowContext> ctx = NewWindowContext();
           ctx->window_updates = updates + lo;
-          for (uint32_t k : shards[g]) {
+          for (uint32_t k : shards[s]) {
             ctx->position = k + 1;
-            ProcessInsertDelta(updates[lo + k], *ctx, window[k]);
+            ProcessInsertDelta(updates[lo + k], *ctx, arena[k]);
           }
-          FinalizeWindow(*ctx, window.data());
+          FinalizeWindow(*ctx, arena.data());
         } else {
-          for (uint32_t k : shards[g]) window[k] = ProcessInsert(updates[lo + k]);
+          for (uint32_t k : shards[s]) arena[k] = ProcessInsert(updates[lo + k]);
         }
       }
     });
   }
-  pool_->Wait();
+  sched_->Wait();
   budget_ = saved_budget;
+  batch_tasks_.fetch_add(tasks.size(), std::memory_order_relaxed);
+  batch_steals_.fetch_add(sched_->steals() - steals_before,
+                          std::memory_order_relaxed);
+
+  // Deterministic positional merge, in task-submission order. Positions are
+  // task-disjoint, so the merged window is byte-identical to sequential
+  // execution no matter which executor ran which task.
+  std::vector<UpdateResult> window(count);  // dup slots stay the no-op result
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    for (uint32_t s = tasks[t].first; s < tasks[t].limit; ++s)
+      for (uint32_t k : shards[s]) window[k] = std::move(arenas[t][k]);
+  }
 
   normalize_order(window);
   for (size_t k = 0; k < count; ++k) results.push_back(std::move(window[k]));

@@ -7,8 +7,10 @@
 #include <unordered_set>
 #include <vector>
 
+#include <map>
+
 #include "common/flat_map.h"
-#include "common/thread_pool.h"
+#include "common/task_scheduler.h"
 #include "engine/engine.h"
 #include "matview/join_cache.h"
 #include "matview/relation.h"
@@ -31,12 +33,22 @@ namespace gstream {
 ///    insertions is grouped by the footprint of everything each insert's
 ///    processing can read or write — genericized edge patterns (base views),
 ///    trie nodes (prefix views), query ids (per-query state). Footprint-
-///    disjoint shards commute, so they run concurrently on a small fixed
-///    thread pool while each shard replays its members in stream order;
-///    results are merged back by stream position, keeping match sets and
-///    notification order identical to sequential execution. Deletions and
+///    disjoint shards commute, so they run concurrently on the engine's
+///    work-stealing `TaskScheduler` while each shard replays its members in
+///    stream order. Shards are packed into tasks by member count (a hot
+///    shard rides alone; small shards coalesce), each task writes into its
+///    own full-window result arena, and the coordinator merges the arenas
+///    back in task-submission order at the window barrier — positions are
+///    task-disjoint, so the merged window is byte-identical to sequential
+///    execution regardless of which executor ran what. Deletions and
 ///    duplicate checks are order-sensitive and global, so deletions act as
 ///    window barriers and the duplicate pre-pass runs on the coordinator.
+///    The footprint/union-find partition is memoized per window shape: the
+///    shard member lists are a pure function of the window's
+///    *generalization profile* (the per-update sequence of matched
+///    registered pattern ids, plus the duplicate mask), so identical-shape
+///    windows — the steady state of a homogeneous stream — skip the
+///    element-level union-find entirely (see footprint_cache_hits).
 ///  * window-delta execution (DESIGN.md §7): within an insert window the
 ///    engines that opt in (`SupportsWindowDelta`) split each update into
 ///    cheap view maintenance (`ProcessInsertDelta`, run per update in stream
@@ -64,7 +76,19 @@ class ViewEngineBase : public ContinuousEngine {
   std::vector<UpdateResult> ApplyBatch(const EdgeUpdate* updates, size_t n) override;
 
   void SetBatchThreads(int threads) override {
-    pool_ = threads > 1 ? std::make_unique<ThreadPool>(threads) : nullptr;
+    sched_ = threads > 1 ? std::make_unique<TaskScheduler>(threads) : nullptr;
+  }
+
+  uint64_t batch_tasks() const override {
+    return batch_tasks_.load(std::memory_order_relaxed);
+  }
+
+  uint64_t batch_steals() const override {
+    return batch_steals_.load(std::memory_order_relaxed);
+  }
+
+  uint64_t footprint_cache_hits() const override {
+    return footprint_cache_hits_.load(std::memory_order_relaxed);
   }
 
   uint64_t final_join_passes() const override {
@@ -333,9 +357,16 @@ class ViewEngineBase : public ContinuousEngine {
   /// `u`'s ≤4 generalizations (lazily rebuilt via BuildPatternReach after
   /// AddQuery — the routing indexes are immutable while updates stream, so
   /// reaches are stable across a window); engines whose reach is not
-  /// pattern-local may override. Returning false marks the update
+  /// pattern-local may override — and must then also set
+  /// `footprint_pattern_local_ = false`, because the window partition cache
+  /// keys on exactly the default implementation's inputs (the matched
+  /// registered pattern ids). Returning false marks the update
   /// non-shardable; its window falls back to sequential execution.
   virtual bool CollectFootprint(const EdgeUpdate& u, Footprint& out);
+
+  /// Rebuilds `pattern_reach_` (via BuildPatternReach) when dirty.
+  /// Coordinator-thread only.
+  void EnsureReach();
 
   /// Fills `pattern_reach_`: for every *registered* genericized pattern,
   /// every element an insert matching that pattern can read or write
@@ -352,6 +383,10 @@ class ViewEngineBase : public ContinuousEngine {
     reach_dirty_ = true;
     pattern_reach_.clear();
     finalize_groups_dirty_ = true;
+    // The cached window partitions are keyed on pattern ids whose reaches
+    // just changed (and whose ids may recycle) — exactly as stale as the
+    // reaches themselves.
+    partition_cache_.clear();
   }
 
   /// The insert path of `ApplyUpdate` *after* the duplicate check. Must be
@@ -444,10 +479,15 @@ class ViewEngineBase : public ContinuousEngine {
       base_view_refs_;
   std::unordered_set<EdgeUpdate, EdgeKeyHash, EdgeKeyEq> seen_edges_;
   std::atomic<size_t> peak_transient_bytes_{0};
-  std::unique_ptr<ThreadPool> pool_;  ///< Non-null after SetBatchThreads(>1).
+  /// Work-stealing batch scheduler; non-null after SetBatchThreads(>1).
+  std::unique_ptr<TaskScheduler> sched_;
   /// Per-pattern reach aggregates; see CollectFootprint/BuildPatternReach.
   std::unordered_map<GenericEdgePattern, Footprint, GenericEdgePatternHash>
       pattern_reach_;
+  /// False when a subclass overrides CollectFootprint with a reach that is
+  /// not a pure function of the matched registered patterns — disables the
+  /// generalization-profile partition cache (see RunInsertWindowImpl).
+  bool footprint_pattern_local_ = true;
 
  private:
   /// Executes inserts `updates[lo..hi)` (one delete-free run), appending one
@@ -459,15 +499,30 @@ class ViewEngineBase : public ContinuousEngine {
   bool RunInsertWindowImpl(const EdgeUpdate* updates, size_t lo, size_t hi,
                              std::vector<UpdateResult>& results);
 
+  /// One memoized window partition: the footprint shards' member lists
+  /// (window slot indices, ascending within and across shards). Keyed by the
+  /// window's generalization profile — see RunInsertWindowImpl.
+  struct WindowPartition {
+    std::vector<std::vector<uint32_t>> shard_members;
+  };
+
   FlatMap<GenericEdgePattern, uint32_t, GenericEdgePatternHash> pattern_ids_;
   uint32_t next_pattern_id_ = 0;
   bool reach_dirty_ = true;
+  /// Generalization-profile -> shard partition memo. Full-key comparison (a
+  /// hash collision here would merge/split shards — a correctness bug, not a
+  /// perf miss); cleared with the reaches (MarkReachDirty) and bounded by
+  /// kPartitionCacheMax.
+  std::map<std::vector<uint64_t>, WindowPartition> partition_cache_;
   bool window_cache_enabled_ = false;
   std::unique_ptr<WindowJoinCache> window_cache_;
   std::atomic<uint64_t> final_join_passes_{0};
   std::atomic<uint64_t> shared_finalize_groups_{0};
   std::atomic<uint64_t> routed_candidates_{0};
   std::atomic<uint64_t> prefilter_rejects_{0};
+  std::atomic<uint64_t> batch_tasks_{0};
+  std::atomic<uint64_t> batch_steals_{0};
+  std::atomic<uint64_t> footprint_cache_hits_{0};
 
   /// Signature-group planner state (shared finalization + routing targets):
   /// the groups and the qid -> group index. Rebuilt by EnsureFinalizeGroups

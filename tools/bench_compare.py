@@ -3,22 +3,34 @@
 
 Usage:
   tools/bench_compare.py BASELINE.json FRESH.json [--threshold 0.25]
-  tools/bench_compare.py --newest-baseline DIR FRESH.json [--threshold 0.25]
-  tools/bench_compare.py --self-test BASELINE.json [--threshold 0.25]
+  tools/bench_compare.py --newest-baseline DIR FRESH.json
+  tools/bench_compare.py --self-test BASELINE.json
+  tools/bench_compare.py --scaling-gate FRESH.json
+  ... all optionally with --noise-margins BENCH_NOISE.json
 
---newest-baseline picks the committed BENCH_PR<N>.json with the highest N in
-DIR as the baseline. When DIR holds no baseline at all (the first PR of a
-repo, or a checkout without committed snapshots) the gate passes cleanly
-with an explanatory message instead of erroring — "no baseline yet" is not a
-regression.
+--newest-baseline picks the committed <prefix><N>.json with the highest N in
+DIR as the baseline (default prefix BENCH_PR; pass --baseline-prefix
+BENCH_RUNNER_PR for the runner-native scheduler snapshots). When DIR holds
+no baseline at all (the first PR of a repo, or a checkout without committed
+snapshots) the gate passes cleanly with an explanatory message instead of
+erroring — "no baseline yet" is not a regression.
 
 Trajectory files are the {"generated_by": ..., "lines": [...]} documents
-written by tools/bench_smoke.sh (one dict per BENCH_JSON line). Lines are
-paired across the two files by their identity fields — every string-valued
-field (bench, dataset, engine, name, ...) plus the numeric sweep coordinate
-"overlap" when present. For each pair the first throughput metric present in
-METRICS is compared; the gate fails when the fresh value drops more than
---threshold below the baseline.
+written by tools/bench_smoke.sh and tools/bench_runner.sh (one dict per
+BENCH_JSON line). Lines are paired across the two files by their identity
+fields — every string-valued field (bench, dataset, engine, name, ...) plus
+the numeric sweep coordinates in SWEEP_FIELDS (overlap, threads, ...) when
+present. For each pair the first throughput metric present in METRICS is
+compared; the gate fails when the fresh value drops more than the metric's
+margin below the baseline.
+
+Margins: the flat --threshold (default 25%) is the uncalibrated fallback.
+With --noise-margins, per-metric thresholds come from a committed
+BENCH_NOISE.json produced by tools/bench_noise_calibrate.py from repeated
+runs — lookup order is benches[<bench>][<metric>], then metrics[<metric>],
+then the file's "default", then --threshold. A calibrated margin is
+typically far tighter than 25%, which is the point: a 10% scheduler
+regression must not hide inside a flat one-size-fits-all allowance.
 
 Completed cells only: a cell that hit its time budget measures an arbitrary
 stream prefix, and for engines whose per-update cost grows with the graph a
@@ -27,9 +39,22 @@ processes a longer, more expensive prefix and can report a lower average).
 Any line flagged "partial" on either side is therefore skipped, as are lines
 present on only one side (new or retired benches).
 
+--scaling-gate checks a single snapshot for parallel-scaling sanity: lines
+that differ only in their "threads" coordinate are grouped, and for each
+group the highest-thread cell must not be slower than the lowest-thread cell
+(beyond the metric's noise margin) on any SCALING_METRICS value. Only
+metrics where more threads must help are gated — raw dispatch overhead
+(tasks_per_sec on trivial tasks) legitimately degrades with contention and
+is exempt. CI's bench-multicore job runs this against the runner-native
+BENCH_RUNNER.json, where threads=4 losing to threads=1 on real engine work
+means the work-stealing fan-out broke.
+
 --self-test verifies the gate end-to-end against a single snapshot: the
 snapshot must pass against itself, and an injected synthetic regression
-(one comparable metric scaled below the threshold) must make it fail.
+(one comparable metric scaled below its margin) must make it fail. With
+--noise-margins it additionally proves the tightening has teeth: a 10%
+injected regression on a gated metric whose calibrated margin is below 10%
+must fail, and at least one such metric must exist in the snapshot.
 
 Exit status: 0 ok, 1 regression detected, 2 usage or parse error.
 """
@@ -42,13 +67,23 @@ import sys
 from pathlib import Path
 
 # Throughput metrics, in priority order; higher is better.
-METRICS = ("updates_per_sec", "items_per_sec", "max_items_per_sec")
+METRICS = ("updates_per_sec", "items_per_sec", "max_items_per_sec",
+           "tasks_per_sec", "speedup_vs_static")
 
 # Routing-selectivity counters; *lower* is better. Gated independently of
 # throughput: a routed cell whose candidates/update starts scaling with
 # |QDB| again is a routing regression even when raw updates/s still passes
 # (e.g. a faster join masking a broken posting list).
 LOWER_IS_BETTER = ("candidates_per_update",)
+
+# Numeric sweep coordinates that are part of a line's identity: two cells
+# that differ only in one of these are different cells, not a regression.
+SWEEP_FIELDS = ("overlap", "tenants", "qdb", "threads", "hot_factor", "batch")
+
+# Metrics gated by --scaling-gate: more threads must not make these worse.
+# Deliberately excludes tasks_per_sec — the dispatch cell measures per-task
+# overhead on trivial tasks, where extra executors only add steal traffic.
+SCALING_METRICS = ("updates_per_sec", "speedup_vs_static")
 
 # Temporal accounting fields (the fig16 windowed cells): any line carrying
 # all three must satisfy ingested == live + expired + removed.
@@ -69,25 +104,73 @@ def load_lines(path):
         die(f"cannot load {path}: {e}")
     if not isinstance(doc, dict):
         die(f"{path} is not a JSON object "
-            "(expected a tools/bench_smoke.sh trajectory snapshot)")
+            "(expected a bench trajectory snapshot)")
     lines = doc.get("lines")
     if not isinstance(lines, list):
         die(f"{path} has no 'lines' array "
-            "(expected a tools/bench_smoke.sh trajectory snapshot)")
+            "(expected a bench trajectory snapshot)")
     if not all(isinstance(line, dict) for line in lines):
         die(f"{path}: every entry of 'lines' must be an object")
     return lines
 
 
-def newest_baseline(dir_path):
-    """Highest-numbered committed BENCH_PR<N>.json in `dir_path`, or None."""
+class Margins:
+    """Per-metric regression thresholds, from a committed BENCH_NOISE.json.
+
+    Lookup order for a (line, metric) pair: the per-bench override
+    benches[line["bench"]][metric], then metrics[metric], then the file's
+    "default", then the CLI --threshold fallback. Without a margins file
+    every lookup returns the flat fallback — the pre-calibration behavior.
+    """
+
+    def __init__(self, fallback, path=None):
+        self.fallback = fallback
+        self.doc = {}
+        self.path = path
+        if path is None:
+            return
+        try:
+            with open(path) as f:
+                self.doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            die(f"cannot load noise margins {path}: {e}")
+        if not isinstance(self.doc, dict):
+            die(f"{path}: noise margins must be a JSON object")
+        for metric, v in self.doc.get("metrics", {}).items():
+            self._check(f"metrics.{metric}", v)
+        for bench, overrides in self.doc.get("benches", {}).items():
+            for metric, v in overrides.items():
+                self._check(f"benches.{bench}.{metric}", v)
+        if "default" in self.doc:
+            self._check("default", self.doc["default"])
+
+    def _check(self, what, v):
+        if not isinstance(v, (int, float)) or not 0.0 < v < 1.0:
+            die(f"{self.path}: margin {what} must be a number in (0, 1), "
+                f"got {v!r}")
+
+    def margin(self, line, metric):
+        bench = line.get("bench")
+        per_bench = self.doc.get("benches", {})
+        if isinstance(bench, str) and metric in per_bench.get(bench, {}):
+            return float(per_bench[bench][metric])
+        if metric in self.doc.get("metrics", {}):
+            return float(self.doc["metrics"][metric])
+        if "default" in self.doc:
+            return float(self.doc["default"])
+        return self.fallback
+
+
+def newest_baseline(dir_path, prefix):
+    """Highest-numbered committed <prefix><N>.json in `dir_path`, or None."""
     try:
-        candidates = list(Path(dir_path).glob("BENCH_PR*.json"))
+        candidates = list(Path(dir_path).glob(f"{prefix}*.json"))
     except OSError as e:
         die(f"cannot scan {dir_path}: {e}")
+    pattern = re.compile(re.escape(prefix) + r"(\d+)\.json")
     best, best_n = None, -1
     for path in candidates:
-        m = re.fullmatch(r"BENCH_PR(\d+)\.json", path.name)
+        m = pattern.fullmatch(path.name)
         if m and int(m.group(1)) > best_n:
             best, best_n = path, int(m.group(1))
     return best
@@ -96,8 +179,9 @@ def newest_baseline(dir_path):
 def identity(line):
     """Stable pairing key: the string-valued fields + sweep coordinates."""
     key = [(k, v) for k, v in line.items() if isinstance(v, str)]
-    if "overlap" in line:
-        key.append(("overlap", line["overlap"]))
+    for k in SWEEP_FIELDS:
+        if k in line and not isinstance(line[k], str):
+            key.append((k, line[k]))
     return tuple(sorted(key))
 
 
@@ -140,7 +224,7 @@ def index_by_identity(lines, path):
     return out
 
 
-def compare(base_lines, fresh_lines, threshold, quiet=False):
+def compare(base_lines, fresh_lines, margins, quiet=False):
     """Returns (regressions, compared): lists of result-row dicts."""
     base = index_by_identity(base_lines, "baseline")
     fresh = index_by_identity(fresh_lines, "fresh")
@@ -162,10 +246,11 @@ def compare(base_lines, fresh_lines, threshold, quiet=False):
                 skipped.append((name, f"fresh run lacks {metric}"))
             else:
                 ratio = fval / bval
+                margin = margins.margin(bline, metric)
                 row = {"name": name, "metric": metric, "base": bval,
-                       "fresh": fval, "ratio": ratio}
+                       "fresh": fval, "ratio": ratio, "margin": margin}
                 compared.append(row)
-                if ratio < 1.0 - threshold:
+                if ratio < 1.0 - margin:
                     regressions.append(row)
         for lmetric in LOWER_IS_BETTER:
             lbase = bline.get(lmetric)
@@ -176,13 +261,14 @@ def compare(base_lines, fresh_lines, threshold, quiet=False):
                 skipped.append((name, f"fresh run lacks {lmetric}"))
                 continue
             # Lower is better: the gate trips when the fresh value grew more
-            # than `threshold` above the baseline. `ratio` is inverted
+            # than the margin above the baseline. `ratio` is inverted
             # (base/fresh) so < 100% in the report still reads "got worse".
             ratio = lbase / lfresh
+            margin = margins.margin(bline, lmetric)
             row = {"name": name, "metric": lmetric, "base": lbase,
-                   "fresh": lfresh, "ratio": ratio}
+                   "fresh": lfresh, "ratio": ratio, "margin": margin}
             compared.append(row)
-            if lfresh > lbase * (1.0 + threshold):
+            if lfresh > lbase * (1.0 + margin):
                 regressions.append(row)
 
     if not quiet:
@@ -192,17 +278,62 @@ def compare(base_lines, fresh_lines, threshold, quiet=False):
             flag = "REGRESSION" if row in regressions else "ok"
             print(f"  {flag:>10}  {row['name']}  {row['metric']}: "
                   f"{row['base']:.1f} -> {row['fresh']:.1f} "
-                  f"({row['ratio'] * 100.0:.1f}%)")
+                  f"({row['ratio'] * 100.0:.1f}%, margin "
+                  f"{row['margin'] * 100.0:.0f}%)")
     return regressions, compared
 
 
-def self_test(baseline_path, threshold):
+def scaling_gate(lines, margins):
+    """Single-snapshot parallel-scaling check. Groups lines differing only in
+    "threads"; within each group the highest-thread completed cell must not
+    be slower than the lowest-thread one on any SCALING_METRICS metric,
+    beyond the metric's noise margin. Returns (failures, checked) counts."""
+    groups = {}
+    for line in lines:
+        t = line.get("threads")
+        if not isinstance(t, (int, float)) or isinstance(t, bool):
+            continue
+        key = tuple(sorted(
+            [(k, v) for k, v in line.items() if isinstance(v, str)] +
+            [(k, line[k]) for k in SWEEP_FIELDS
+             if k != "threads" and k in line
+             and not isinstance(line[k], str)]))
+        groups.setdefault(key, {}).setdefault(t, line)
+
+    failures = checked = 0
+    for key, by_t in sorted(groups.items()):
+        if len(by_t) < 2:
+            continue
+        lo_t, hi_t = min(by_t), max(by_t)
+        lo, hi = by_t[lo_t], by_t[hi_t]
+        name = " ".join(f"{k}={v}" for k, v in key)
+        if lo.get("partial") or hi.get("partial"):
+            print(f"  skip  {name}  [partial (budget-clipped) cell]")
+            continue
+        for metric in SCALING_METRICS:
+            lval, hval = lo.get(metric), hi.get(metric)
+            if not all(isinstance(v, (int, float)) and v > 0
+                       for v in (lval, hval)):
+                continue
+            checked += 1
+            margin = margins.margin(hi, metric)
+            ok = hval >= lval * (1.0 - margin)
+            flag = "ok" if ok else "SCALING FAIL"
+            print(f"  {flag:>12}  {name}  {metric}: threads={lo_t:g} "
+                  f"{lval:.2f} -> threads={hi_t:g} {hval:.2f} "
+                  f"({hval / lval * 100.0:.1f}%, margin {margin * 100.0:.0f}%)")
+            if not ok:
+                failures += 1
+    return failures, checked
+
+
+def self_test(baseline_path, margins):
     base = load_lines(baseline_path)
     if accounting_violations(base):
         print(f"bench_compare: self-test FAILED: {baseline_path} itself "
               "violates the expiry accounting", file=sys.stderr)
         return 1
-    clean_reg, compared = compare(base, copy.deepcopy(base), threshold, quiet=True)
+    clean_reg, compared = compare(base, copy.deepcopy(base), margins, quiet=True)
     if not compared:
         die(f"--self-test: {baseline_path} has no comparable (non-partial, "
             "throughput-bearing) lines")
@@ -211,17 +342,17 @@ def self_test(baseline_path, threshold):
               "a regression", file=sys.stderr)
         return 1
 
-    # Inject a synthetic regression just past the threshold into the first
+    # Inject a synthetic regression just past the margin into the first
     # comparable line and require the gate to trip on exactly that line.
     injected = copy.deepcopy(base)
     victim = None
     for line in injected:
         metric, val = metric_of(line)
         if metric is not None and not line.get("partial"):
-            line[metric] = val * (1.0 - threshold) * 0.9
+            line[metric] = val * (1.0 - margins.margin(line, metric)) * 0.9
             victim = identity(line)
             break
-    inj_reg, _ = compare(base, injected, threshold, quiet=True)
+    inj_reg, _ = compare(base, injected, margins, quiet=True)
     if len(inj_reg) != 1:
         print(f"bench_compare: self-test FAILED: injected regression tripped "
               f"{len(inj_reg)} findings (expected 1)", file=sys.stderr)
@@ -229,20 +360,20 @@ def self_test(baseline_path, threshold):
 
     # Same exercise for the lower-is-better routing counters, when the
     # snapshot carries any: inflate one candidates/update value past the
-    # threshold and require the gate to trip on exactly that line.
+    # margin and require the gate to trip on exactly that line.
     counter_checked = False
     injected = copy.deepcopy(base)
     for line in injected:
         for lmetric in LOWER_IS_BETTER:
             val = line.get(lmetric)
             if isinstance(val, (int, float)) and val > 0 and not line.get("partial"):
-                line[lmetric] = val * (1.0 + threshold) * 1.1
+                line[lmetric] = val * (1.0 + margins.margin(line, lmetric)) * 1.1
                 counter_checked = True
                 break
         if counter_checked:
             break
     if counter_checked:
-        inj_reg, _ = compare(base, injected, threshold, quiet=True)
+        inj_reg, _ = compare(base, injected, margins, quiet=True)
         if len(inj_reg) != 1:
             print(f"bench_compare: self-test FAILED: injected counter "
                   f"regression tripped {len(inj_reg)} findings (expected 1)",
@@ -263,11 +394,41 @@ def self_test(baseline_path, threshold):
               "violation was not detected", file=sys.stderr)
         return 1
 
+    # Calibrated-margin teeth: with a noise file loaded, a 10% regression on
+    # a gated metric whose margin is tighter than 10% MUST fail, and such a
+    # metric must exist at all — otherwise the "tightened" gate still lets a
+    # 10% scheduler regression through and the calibration is pointless.
+    tightened_checked = 0
+    if margins.path is not None:
+        for idx, bline in enumerate(base):
+            metric, val = metric_of(bline)
+            if metric is None or bline.get("partial"):
+                continue
+            if margins.margin(bline, metric) >= 0.10:
+                continue
+            injected = copy.deepcopy(base)
+            injected[idx][metric] = val * 0.90
+            inj_reg, _ = compare(base, injected, margins, quiet=True)
+            if not any(r["metric"] == metric for r in inj_reg):
+                print(f"bench_compare: self-test FAILED: 10% regression on "
+                      f"{metric} (margin "
+                      f"{margins.margin(bline, metric) * 100.0:.0f}%) "
+                      "was not detected", file=sys.stderr)
+                return 1
+            tightened_checked += 1
+        if tightened_checked == 0:
+            print("bench_compare: self-test FAILED: no comparable metric has "
+                  "a calibrated margin below 10% — the noise file does not "
+                  "tighten the gate", file=sys.stderr)
+            return 1
+
     print(f"bench_compare: self-test OK: {len(compared)} comparable cells; "
           f"injected regression on [{' '.join(f'{k}={v}' for k, v in victim)}] "
           "was detected"
           + ("; counter-gate regression was detected" if counter_checked else "")
-          + ("; accounting violation was detected" if accounting_checked else ""))
+          + ("; accounting violation was detected" if accounting_checked else "")
+          + (f"; 10% regressions detected on {tightened_checked} "
+             "margin-tightened cells" if tightened_checked else ""))
     return 0
 
 
@@ -276,37 +437,71 @@ def main():
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("baseline",
                         help="committed BENCH_PR*.json snapshot (with "
-                             "--newest-baseline: the FRESH snapshot)")
-    parser.add_argument("fresh", nargs="?", help="fresh bench_smoke.sh snapshot")
+                             "--newest-baseline / --self-test / "
+                             "--scaling-gate: the FRESH snapshot)")
+    parser.add_argument("fresh", nargs="?", help="fresh trajectory snapshot")
     parser.add_argument("--threshold", type=float, default=0.25,
-                        help="max tolerated fractional drop (default 0.25)")
+                        help="fallback max tolerated fractional drop for "
+                             "metrics without a calibrated margin "
+                             "(default 0.25)")
+    parser.add_argument("--noise-margins", metavar="FILE",
+                        help="committed BENCH_NOISE.json with per-metric "
+                             "margins (tools/bench_noise_calibrate.py)")
     parser.add_argument("--self-test", action="store_true",
                         help="verify the gate trips on an injected regression")
+    parser.add_argument("--scaling-gate", action="store_true",
+                        help="single-snapshot check: highest-threads cells "
+                             "must not lose to lowest-threads cells")
     parser.add_argument("--newest-baseline", metavar="DIR",
-                        help="pick the highest-numbered BENCH_PR*.json in DIR "
-                             "as the baseline; pass cleanly when none exists")
+                        help="pick the highest-numbered baseline in DIR; "
+                             "pass cleanly when none exists")
+    parser.add_argument("--baseline-prefix", default="BENCH_PR",
+                        help="baseline filename prefix for --newest-baseline "
+                             "(default BENCH_PR; the runner-native snapshots "
+                             "use BENCH_RUNNER_PR)")
     args = parser.parse_args()
     if not 0.0 < args.threshold < 1.0:
         parser.error("--threshold must be in (0, 1)")
+    margins = Margins(args.threshold, args.noise_margins)
 
     if args.self_test:
-        sys.exit(self_test(args.baseline, args.threshold))
+        sys.exit(self_test(args.baseline, margins))
+
+    if args.scaling_gate:
+        if args.fresh is not None:
+            parser.error("with --scaling-gate, pass only FRESH.json")
+        lines = load_lines(args.baseline)
+        print(f"bench_compare: scaling gate on {args.baseline}")
+        failures, checked = scaling_gate(lines, margins)
+        if checked == 0:
+            print("bench_compare: warning: no thread-sweep pairs to check — "
+                  "scaling gate passes vacuously", file=sys.stderr)
+        if failures:
+            print(f"bench_compare: FAIL: {failures}/{checked} scaling cells "
+                  "got slower with more threads")
+            sys.exit(1)
+        print(f"bench_compare: OK: {checked} scaling cells hold")
+        sys.exit(0)
 
     if args.newest_baseline is not None:
         if args.fresh is not None:
             parser.error("with --newest-baseline, pass only FRESH.json")
         args.fresh = args.baseline
-        baseline = newest_baseline(args.newest_baseline)
+        baseline = newest_baseline(args.newest_baseline, args.baseline_prefix)
         if baseline is None:
-            print(f"bench_compare: no committed BENCH_PR*.json baseline in "
-                  f"{args.newest_baseline} — nothing to compare, gate passes")
+            print(f"bench_compare: no committed {args.baseline_prefix}*.json "
+                  f"baseline in {args.newest_baseline} — nothing to compare, "
+                  "gate passes")
             sys.exit(0)
         args.baseline = str(baseline)
     if args.fresh is None:
-        parser.error("FRESH.json is required unless --self-test is given")
+        parser.error("FRESH.json is required unless --self-test or "
+                     "--scaling-gate is given")
 
     print(f"bench_compare: {args.baseline} vs {args.fresh} "
-          f"(threshold {args.threshold * 100.0:.0f}%)")
+          f"(fallback threshold {args.threshold * 100.0:.0f}%"
+          + (f", margins from {args.noise_margins}" if args.noise_margins
+             else "") + ")")
     base_lines, fresh_lines = load_lines(args.baseline), load_lines(args.fresh)
     for path, lines in ((args.baseline, base_lines), (args.fresh, fresh_lines)):
         violations = accounting_violations(lines)
@@ -317,14 +512,13 @@ def main():
             print("bench_compare: FAIL: expiry accounting violated "
                   f"({len(violations)} lines)")
             sys.exit(1)
-    regressions, compared = compare(base_lines, fresh_lines, args.threshold)
+    regressions, compared = compare(base_lines, fresh_lines, margins)
     if not compared:
         print("bench_compare: warning: no comparable cells (disjoint bench "
               "sets or all partial) — gate passes vacuously", file=sys.stderr)
     if regressions:
         print(f"bench_compare: FAIL: {len(regressions)}/{len(compared)} "
-              f"completed cells regressed more than "
-              f"{args.threshold * 100.0:.0f}%")
+              "completed cells regressed past their margins")
         sys.exit(1)
     print(f"bench_compare: OK: {len(compared)} completed cells within budget")
     sys.exit(0)

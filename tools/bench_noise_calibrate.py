@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Calibrate per-metric bench noise margins from repeated runs.
+
+Usage:
+  tools/bench_noise_calibrate.py --out BENCH_NOISE.json RUN1.json RUN2.json ...
+
+Input: two or more trajectory snapshots ({"generated_by", "lines": [...]} as
+written by tools/bench_smoke.sh / tools/bench_runner.sh) from REPEATED runs
+of the same build on the same machine. The runs' spread is, by definition,
+pure noise — no code changed — so a regression gate tighter than that spread
+would flap, and one much looser (the old flat 25%) waves real regressions
+through.
+
+For every cell present and completed (non-partial) in at least two runs, the
+relative spread of each gated metric is measured as (max - min) / max. The
+margin for a (bench, metric) pair is
+
+    clamp(2 * max_spread_over_cells, 0.05, 0.22)
+
+— double the worst observed same-build spread (headroom for cross-machine
+variance between the committing run and CI's runner), floored at 5% (below
+which timer jitter dominates) and capped at 22% (always at least slightly
+tighter than the old flat 25% gate). The output's "benches" section carries
+these per-bench margins; "metrics" carries the loosest margin seen per
+metric (the fallback for benches that did not exist at calibration time);
+"default" stays 0.25 for metrics never calibrated at all.
+
+The output feeds tools/bench_compare.py --noise-margins. Recalibrate (and
+recommit BENCH_NOISE.json) when cells are added or the bench sizes change:
+
+  for i in 1 2 3 4 5; do tools/bench_smoke.sh build /tmp/noise_$i.json; done
+  tools/bench_noise_calibrate.py --out BENCH_NOISE.json /tmp/noise_*.json
+"""
+
+import argparse
+import json
+import sys
+
+from bench_compare import (METRICS, LOWER_IS_BETTER, identity, load_lines,
+                           metric_of)
+
+MARGIN_FLOOR = 0.05
+MARGIN_CAP = 0.22
+UNCALIBRATED_DEFAULT = 0.25
+
+
+def gated_metrics(line):
+    """The metrics bench_compare actually gates on this line: the first
+    present METRICS entry plus every lower-is-better counter it carries."""
+    out = []
+    metric, _ = metric_of(line)
+    if metric is not None:
+        out.append(metric)
+    for lmetric in LOWER_IS_BETTER:
+        v = line.get(lmetric)
+        if isinstance(v, (int, float)) and v > 0:
+            out.append(lmetric)
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--out", required=True, metavar="BENCH_NOISE.json")
+    parser.add_argument("runs", nargs="+",
+                        help="two or more repeated trajectory snapshots")
+    args = parser.parse_args()
+    if len(args.runs) < 2:
+        parser.error("need at least two repeated runs to measure spread")
+
+    # (bench, metric) -> {identity -> [values across runs]}
+    samples = {}
+    for path in args.runs:
+        for line in load_lines(path):
+            if line.get("partial"):
+                continue
+            bench = line.get("bench")
+            if not isinstance(bench, str):
+                continue
+            for metric in gated_metrics(line):
+                v = float(line[metric])
+                samples.setdefault((bench, metric), {}) \
+                       .setdefault(identity(line), []).append(v)
+
+    benches, metrics = {}, {}
+    cells_used = 0
+    for (bench, metric), by_cell in sorted(samples.items()):
+        spread = 0.0
+        seen = False
+        for values in by_cell.values():
+            if len(values) < 2:
+                continue  # cell not stable across runs; nothing to measure
+            seen = True
+            cells_used += 1
+            spread = max(spread, (max(values) - min(values)) / max(values))
+        if not seen:
+            continue
+        margin = min(max(2.0 * spread, MARGIN_FLOOR), MARGIN_CAP)
+        benches.setdefault(bench, {})[metric] = round(margin, 4)
+        metrics[metric] = max(metrics.get(metric, 0.0), round(margin, 4))
+
+    if not benches:
+        print("bench_noise_calibrate: no cell completed in two or more runs — "
+              "nothing to calibrate", file=sys.stderr)
+        sys.exit(2)
+
+    doc = {
+        "generated_by": "tools/bench_noise_calibrate.py",
+        "runs": len(args.runs),
+        "cells_measured": cells_used,
+        "default": UNCALIBRATED_DEFAULT,
+        "metrics": metrics,
+        "benches": benches,
+    }
+    with open(args.out, "w") as f:
+        json.dump(doc, f, indent=1, sort_keys=False)
+        f.write("\n")
+    print(f"bench_noise_calibrate: {cells_used} cells across {len(args.runs)} "
+          f"runs -> {args.out} ({sum(len(v) for v in benches.values())} "
+          "per-bench margins)")
+
+
+if __name__ == "__main__":
+    main()

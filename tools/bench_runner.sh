@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Runner-native scheduler benches: runs bench/micro_sched across a thread
+# sweep and collects its BENCH_JSON lines into one trajectory snapshot.
+#
+#   tools/bench_runner.sh [build_dir] [out.json] [thread_list]
+#
+# Defaults: build dir `build`, output `<build_dir>/BENCH_RUNNER.json`,
+# threads `1 2 4`. The output is the same {"generated_by", "lines": [...]}
+# document bench_smoke.sh writes, so tools/bench_compare.py consumes it
+# unchanged — including the scaling gate:
+#
+#   python3 tools/bench_compare.py --scaling-gate build/BENCH_RUNNER.json
+#
+# fails when any completed threads=4 cell is slower than its threads=1
+# counterpart (beyond the per-metric noise margin).
+#
+# The point of this file existing apart from bench_smoke.sh: these cells are
+# only meaningful on a MULTI-CORE machine. The dev container is 1-CPU, where
+# threads>1 just time-slices and speedup_vs_static sits at ~1.0; CI's
+# bench-multicore job runs this script on the runner and uploads the snapshot
+# as the runner-native baseline (commit it as tools/BENCH_RUNNER_PR<N>.json
+# to arm the regression diff — see tools/bench_compare.py --baseline-prefix).
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-$BUILD_DIR/BENCH_RUNNER.json}"
+THREADS="${3:-1 2 4}"
+BENCH_LINES_TMP="$(mktemp)"
+trap 'rm -f "$BENCH_LINES_TMP"' EXIT
+
+BIN="$BUILD_DIR/micro_sched"
+if [[ ! -x "$BIN" ]]; then
+  echo "bench_runner: $BIN not built (cmake --build $BUILD_DIR --target micro_sched)" >&2
+  exit 1
+fi
+
+for t in $THREADS; do
+  echo "bench_runner: micro_sched --threads=$t" >&2
+  "$BIN" --threads=$t --cell-budget-sec=2 \
+    | grep '^BENCH_JSON ' | tee -a "$BENCH_LINES_TMP" \
+    || { echo "bench_runner: micro_sched --threads=$t failed" >&2; exit 1; }
+done
+
+python3 - "$OUT" "$BENCH_LINES_TMP" <<'EOF'
+import json, sys
+out, lines_path = sys.argv[1], sys.argv[2]
+lines = []
+with open(lines_path) as f:
+    for line in f:
+        line = line.strip()
+        if line.startswith("BENCH_JSON "):
+            lines.append(json.loads(line[len("BENCH_JSON "):]))
+with open(out, "w") as f:
+    json.dump({"generated_by": "tools/bench_runner.sh", "lines": lines}, f, indent=1)
+    f.write("\n")
+EOF
+
+echo "bench_runner: snapshot written to $OUT" >&2
